@@ -1,0 +1,117 @@
+// E14 — codec micro-benchmarks (google-benchmark): GF(2^8) primitives and
+// Reed-Solomon encode/decode throughput across object sizes and [n, k].
+#include "codec/codec.hpp"
+#include "codec/gf256.hpp"
+#include "common/types.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace ares;
+using namespace ares::codec;
+
+void BM_GfMul(benchmark::State& state) {
+  std::uint8_t acc = 1;
+  std::uint8_t x = 3;
+  for (auto _ : state) {
+    acc = GF256::mul(acc, x);
+    x = static_cast<std::uint8_t>(x + 2) | 1;
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_GfMul);
+
+void BM_GfInv(benchmark::State& state) {
+  std::uint8_t x = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GF256::inv(x));
+    x = static_cast<std::uint8_t>(x + 1);
+    if (x == 0) x = 1;
+  }
+}
+BENCHMARK(BM_GfInv);
+
+void BM_RsEncode(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto size = static_cast<std::size_t>(state.range(2));
+  ReedSolomonCodec codec(n, k);
+  const Value v = make_test_value(size, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.encode(v));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_RsEncode)
+    ->Args({5, 3, 4096})
+    ->Args({5, 3, 65536})
+    ->Args({5, 3, 1 << 20})
+    ->Args({9, 7, 65536})
+    ->Args({14, 10, 65536});
+
+void BM_RsEncodeOne(benchmark::State& state) {
+  ReedSolomonCodec codec(9, 7);
+  const Value v = make_test_value(65536, 1);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.encode_one(v, i));
+    i = (i + 1) % 9;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          65536);
+}
+BENCHMARK(BM_RsEncodeOne);
+
+void BM_RsDecode(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto size = static_cast<std::size_t>(state.range(2));
+  ReedSolomonCodec codec(n, k);
+  const Value v = make_test_value(size, 1);
+  auto frags = codec.encode(v);
+  // Worst case: decode from the *last* k fragments (all parity).
+  std::vector<Fragment> subset(frags.end() - static_cast<std::ptrdiff_t>(k),
+                               frags.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.decode(subset));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_RsDecode)
+    ->Args({5, 3, 4096})
+    ->Args({5, 3, 65536})
+    ->Args({5, 3, 1 << 20})
+    ->Args({9, 7, 65536})
+    ->Args({14, 10, 65536});
+
+void BM_RsDecodeSystematic(benchmark::State& state) {
+  // Best case: the k systematic fragments (identity submatrix).
+  ReedSolomonCodec codec(5, 3);
+  const Value v = make_test_value(65536, 1);
+  auto frags = codec.encode(v);
+  std::vector<Fragment> subset(frags.begin(), frags.begin() + 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.decode(subset));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          65536);
+}
+BENCHMARK(BM_RsDecodeSystematic);
+
+void BM_ReplicationEncode(benchmark::State& state) {
+  ReplicationCodec codec(3);
+  const Value v = make_test_value(65536, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.encode(v));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          65536);
+}
+BENCHMARK(BM_ReplicationEncode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+// E12 — Theorem 9 and the delta trade-off: the concurrency bound delta
+// buys read liveness at a linear storage/communication price:
+//   storage = (delta+1) * n/k      read comm <= (delta+2) * n/k
+// We sweep delta, measure both, and probe the liveness boundary by running
+// more concurrent writers than delta tolerates (with and without the
+// documented re-query extension).
+#include "checker/atomicity.hpp"
+#include "harness/static_cluster.hpp"
+#include "harness/table.hpp"
+#include "harness/workload.hpp"
+
+#include <cstdio>
+
+namespace {
+
+using namespace ares;
+
+struct CostRow {
+  double storage_units;
+  double read_units;
+};
+
+CostRow measure_costs(std::size_t delta, std::size_t value_size) {
+  harness::StaticClusterOptions o;
+  o.protocol = dap::Protocol::kTreas;
+  o.num_servers = 6;
+  o.k = 4;
+  o.delta = delta;
+  o.num_clients = 1;
+  harness::StaticCluster cluster(o);
+  for (std::size_t i = 0; i < delta + 3; ++i) {
+    auto payload = make_value(make_test_value(value_size, i));
+    (void)sim::run_to_completion(cluster.sim(),
+                                 cluster.client(0).reg().write(payload));
+  }
+  cluster.sim().run();
+  CostRow row{};
+  row.storage_units = static_cast<double>(cluster.total_stored_bytes()) /
+                      static_cast<double>(value_size);
+  cluster.net().reset_stats();
+  (void)sim::run_to_completion(cluster.sim(), cluster.client(0).reg().read());
+  cluster.sim().run();
+  row.read_units = static_cast<double>(cluster.net().stats().data_bytes) /
+                   static_cast<double>(value_size);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E12 (Theorem 3 + Theorem 9): the delta trade-off for TREAS [6,4].\n\n");
+
+  harness::Table table({"delta", "storage meas", "storage paper",
+                        "read comm meas", "read comm paper"});
+  const std::size_t value_size = 100'000;
+  for (std::size_t delta : {0u, 1u, 2u, 4u, 8u}) {
+    const CostRow row = measure_costs(delta, value_size);
+    table.add_row(delta, harness::fmt(row.storage_units),
+                  harness::fmt((delta + 1.0) * 6.0 / 4.0),
+                  harness::fmt(row.read_units),
+                  harness::fmt((delta + 2.0) * 6.0 / 4.0));
+  }
+  table.print();
+
+  std::printf(
+      "\nLiveness boundary (Theorem 9): 5 writers racing one reader.\n"
+      "delta >= concurrent writers keeps pure-paper reads live; smaller\n"
+      "delta needs the re-query extension.\n\n");
+  harness::Table live({"delta", "retry", "reads done", "read failures",
+                       "atomic"});
+  for (std::size_t delta : {0u, 2u, 8u}) {
+    for (bool retry : {false, true}) {
+      harness::StaticClusterOptions o;
+      o.protocol = dap::Protocol::kTreas;
+      o.num_servers = 6;
+      o.k = 4;
+      o.delta = delta;
+      o.num_clients = 6;
+      o.seed = delta * 2 + (retry ? 1 : 0) + 1;
+      o.treas_retry_timeout = retry ? 400 : 0;
+      harness::StaticCluster cluster(o);
+      std::vector<dap::RegisterClient*> regs;
+      for (auto& c : cluster.clients()) regs.push_back(&c->reg());
+
+      harness::WorkloadOptions opt;
+      opt.ops_per_client = 8;
+      opt.write_fraction = 0.8;  // heavy write concurrency
+      opt.value_size = 2048;
+      opt.think_max = 5;
+      opt.seed = delta + 77;
+      // Bounded budget: without retries and delta too small, reads may
+      // legitimately never complete (the paper's liveness precondition is
+      // violated); the budget turns that into a measurable outcome.
+      const auto result =
+          harness::run_workload(cluster.sim(), regs, opt, 3'000'000);
+      std::size_t reads = 0;
+      for (const auto& op : result.ops) {
+        if (!op.is_write) ++reads;
+      }
+      const auto verdict =
+          checker::check_tag_atomicity(cluster.history().records());
+      live.add_row(delta, retry ? "on" : "off", reads,
+                   result.failures + (result.completed ? 0 : 1),
+                   verdict.ok ? "yes" : "NO");
+    }
+  }
+  live.print();
+  std::printf(
+      "\nShape check: every configuration stays atomic (safety never\n"
+      "depends on delta); only read *liveness* degrades when concurrency\n"
+      "exceeds delta and retries are off — exactly Theorem 9's hypothesis.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// E11 — Section 5 / Figure 3: what moves where during reconfiguration.
+// ARES (Algorithm 5) pulls the object through the reconfiguration client;
+// ARES-TREAS forwards coded elements server-to-server via the md-primitive.
+// We compare, per object size: bytes through the client, bytes on
+// server-to-server forward messages, and reconfiguration latency.
+#include "harness/ares_cluster.hpp"
+#include "harness/table.hpp"
+
+#include <cstdio>
+
+namespace {
+
+using namespace ares;
+
+struct Result {
+  std::uint64_t through_client = 0;
+  std::uint64_t fwd_bytes = 0;
+  std::uint64_t list_bytes = 0;
+  SimDuration latency = 0;
+};
+
+Result run_one(bool direct, std::size_t value_size, std::size_t n2,
+               std::size_t k2) {
+  harness::AresClusterOptions o;
+  o.server_pool = 16;
+  o.initial_servers = 5;
+  o.initial_k = 3;
+  o.num_rw_clients = 1;
+  o.num_reconfigurers = 1;
+  o.direct_transfer = direct;
+  harness::AresCluster cluster(o);
+
+  auto payload = make_value(make_test_value(value_size, 1));
+  (void)sim::run_to_completion(cluster.sim(), cluster.client(0).write(payload));
+  cluster.sim().run();
+  cluster.net().reset_stats();
+
+  auto spec = cluster.make_spec(dap::Protocol::kTreas, 5, n2, k2);
+  const SimTime t0 = cluster.sim().now();
+  (void)sim::run_to_completion(cluster.sim(),
+                               cluster.reconfigurer(0).reconfig(spec));
+  Result r;
+  r.latency = cluster.sim().now() - t0;
+  r.through_client =
+      cluster.reconfigurer(0).update_config_bytes_through_client();
+  const auto& stats = cluster.net().stats();
+  auto find = [&stats](const char* type) -> std::uint64_t {
+    auto it = stats.data_bytes_by_type.find(type);
+    return it == stats.data_bytes_by_type.end() ? 0 : it->second;
+  };
+  r.fwd_bytes = find("treas.fwd_code_elem");
+  r.list_bytes = find("treas.query_list_reply");
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E11 (Section 5 / Fig. 3): reconfiguration data path, [5,3] -> [n',k'].\n"
+      "ARES moves the object through the reconfig client; ARES-TREAS moves\n"
+      "coded elements directly between server sets (client handles only\n"
+      "metadata).\n\n");
+
+  harness::Table table({"object KB", "[n',k']", "mode", "bytes thru client",
+                        "server->server fwd", "lists to client",
+                        "reconfig latency"});
+  for (std::size_t kb : {64u, 256u, 1024u}) {
+    for (auto [n2, k2] : {std::pair<std::size_t, std::size_t>{5, 3},
+                          std::pair<std::size_t, std::size_t>{9, 7}}) {
+      for (bool direct : {false, true}) {
+        const Result r = run_one(direct, kb * 1024, n2, k2);
+        char nk[16];
+        std::snprintf(nk, sizeof(nk), "[%zu,%zu]", n2, k2);
+        table.add_row(kb, nk, direct ? "ARES-TREAS" : "ARES",
+                      r.through_client, r.fwd_bytes, r.list_bytes, r.latency);
+      }
+    }
+  }
+  table.print();
+  std::printf(
+      "\nShape check: ARES-TREAS keeps 'bytes thru client' at exactly 0 for\n"
+      "every object size (the Section-5 claim); the object travels on\n"
+      "FWD-CODE-ELEM messages instead. ARES grows linearly in object size\n"
+      "through the client — the bottleneck the paper removes.\n");
+  return 0;
+}

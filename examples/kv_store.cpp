@@ -1,0 +1,147 @@
+// Atomic key-value store by composition (Section 1: "atomic objects are
+// composable, enabling the creation of large shared memory systems from
+// individual atomic data objects"). Each key is an independent ARES
+// register: its own configuration id over the shared server pool, its own
+// reconfiguration lineage. The same physical servers host every key's
+// per-configuration state.
+#include "ares/client.hpp"
+#include "ares/server.hpp"
+#include "checker/atomicity.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace ares;
+
+namespace {
+
+/// A multi-key atomic KV store: one ARES register per key, all sharing a
+/// server pool. Keys can be reconfigured independently (e.g. move a hot
+/// key to a wider code).
+class KvStore {
+ public:
+  KvStore(sim::Simulator& sim, sim::Network& net, std::size_t num_servers)
+      : sim_(sim), net_(net) {
+    for (std::size_t i = 0; i < num_servers; ++i) {
+      servers_.push_back(std::make_unique<reconfig::AresServer>(
+          sim, net, static_cast<ProcessId>(i), registry_));
+      pool_.push_back(static_cast<ProcessId>(i));
+    }
+  }
+
+  /// Creates the register for `key` on `n` servers with code [n, k].
+  void create_key(const std::string& key, std::size_t first, std::size_t n,
+                  std::size_t k) {
+    dap::ConfigSpec spec;
+    spec.id = next_config_id_++;
+    spec.protocol = k > 1 ? dap::Protocol::kTreas : dap::Protocol::kAbd;
+    spec.k = k;
+    spec.delta = 4;
+    for (std::size_t i = 0; i < n; ++i) {
+      spec.servers.push_back(pool_[(first + i) % pool_.size()]);
+    }
+    registry_.register_config(spec);
+    keys_[key] = spec.id;
+  }
+
+  /// One ARES client handle bound to `key` for a given application process.
+  std::unique_ptr<reconfig::AresClient> open(const std::string& key,
+                                             ProcessId client_id) {
+    return std::make_unique<reconfig::AresClient>(
+        sim_, net_, client_id, registry_, keys_.at(key),
+        &histories_[key]);
+  }
+
+  /// Atomicity is a per-object property; each key gets its own history
+  /// (tag spaces of distinct registers are independent).
+  [[nodiscard]] checker::HistoryRecorder& history(const std::string& key) {
+    return histories_[key];
+  }
+  [[nodiscard]] const std::map<std::string, ConfigId>& keys() const {
+    return keys_;
+  }
+  [[nodiscard]] dap::ConfigRegistry& registry() { return registry_; }
+  [[nodiscard]] ConfigId allocate_config_id() { return next_config_id_++; }
+  [[nodiscard]] const std::vector<ProcessId>& pool() const { return pool_; }
+
+ private:
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  dap::ConfigRegistry registry_;
+  std::map<std::string, checker::HistoryRecorder> histories_;
+  std::vector<std::unique_ptr<reconfig::AresServer>> servers_;
+  std::vector<ProcessId> pool_;
+  std::map<std::string, ConfigId> keys_;
+  ConfigId next_config_id_ = 0;
+};
+
+Value to_value(const std::string& s) { return Value(s.begin(), s.end()); }
+std::string to_string(const ValuePtr& v) {
+  return v ? std::string(v->begin(), v->end()) : std::string("<null>");
+}
+
+}  // namespace
+
+int main() {
+  sim::Simulator sim(11);
+  sim::Network net(sim, 10, 40);
+  KvStore store(sim, net, /*num_servers=*/8);
+
+  // Three keys with different placement and codes on the same 8 servers.
+  store.create_key("user:alice", 0, 5, 3);   // TREAS [5,3]
+  store.create_key("user:bob", 2, 5, 3);     // TREAS [5,3], shifted placement
+  store.create_key("config:flags", 4, 3, 1); // small key: ABD replication
+
+  auto alice_w = store.open("user:alice", 100);
+  auto alice_r = store.open("user:alice", 101);
+  auto bob_w = store.open("user:bob", 102);
+  auto flags = store.open("config:flags", 103);
+
+  (void)sim::run_to_completion(
+      sim, alice_w->write(make_value(to_value("alice: balance=1000"))));
+  (void)sim::run_to_completion(
+      sim, bob_w->write(make_value(to_value("bob: balance=250"))));
+  (void)sim::run_to_completion(
+      sim, flags->write(make_value(to_value("feature_x=on"))));
+
+  auto a = sim::run_to_completion(sim, alice_r->read());
+  std::printf("GET user:alice    -> \"%s\" (tag %s)\n",
+              to_string(a.value).c_str(), a.tag.to_string().c_str());
+
+  // Concurrent updates to one key from two writers stay atomic.
+  auto alice_w2 = store.open("user:alice", 104);
+  auto f1 = alice_w->write(make_value(to_value("alice: balance=900")));
+  auto f2 = alice_w2->write(make_value(to_value("alice: balance=1100")));
+  (void)sim.run_until([&] { return f1.ready() && f2.ready(); });
+  auto a2 = sim::run_to_completion(sim, alice_r->read());
+  std::printf("after concurrent writes: \"%s\" (tag %s)\n",
+              to_string(a2.value).c_str(), a2.tag.to_string().c_str());
+
+  // Per-key reconfiguration: move the hot key to a wider [8,6] code while
+  // other keys keep serving — composability means nothing else notices.
+  dap::ConfigSpec wide;
+  wide.id = store.allocate_config_id();
+  wide.protocol = dap::Protocol::kTreas;
+  wide.k = 6;
+  wide.delta = 4;
+  wide.servers = store.pool();
+  (void)sim::run_to_completion(sim, alice_w->reconfig(std::move(wide)));
+  auto a3 = sim::run_to_completion(sim, alice_r->read());
+  std::printf("after moving user:alice to TREAS[8,6]: \"%s\"\n",
+              to_string(a3.value).c_str());
+
+  bool all_ok = true;
+  for (const auto& [key, cfg] : store.keys()) {
+    const auto verdict =
+        checker::check_tag_atomicity(store.history(key).records());
+    std::printf("atomicity of key \"%s\": %s\n", key.c_str(),
+                verdict.ok ? "PASS" : verdict.violation.c_str());
+    all_ok = all_ok && verdict.ok;
+  }
+  return all_ok ? 0 : 1;
+}

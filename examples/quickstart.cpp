@@ -1,0 +1,51 @@
+// Quickstart: bring up a 5-server TREAS [5,3] atomic register, write from
+// one client, read from another, survive a server crash, and inspect the
+// storage savings vs replication — in ~40 lines of API use.
+#include "harness/static_cluster.hpp"
+
+#include <cstdio>
+
+using namespace ares;
+
+int main() {
+  // 1. Describe the deployment: 5 servers, MDS code [n=5, k=3], two
+  //    clients, message delays uniform in [10, 40] simulated time units.
+  harness::StaticClusterOptions options;
+  options.protocol = dap::Protocol::kTreas;
+  options.num_servers = 5;
+  options.k = 3;
+  options.delta = 4;          // tolerated read/write concurrency
+  options.num_clients = 2;
+  options.seed = 2024;
+  harness::StaticCluster cluster(options);
+
+  // 2. Write a 1 MiB object from client 0. write() runs the two-round
+  //    TREAS protocol: get-tag on a ⌈(n+k)/2⌉ quorum, then put-data of one
+  //    coded element (1/k of the object) per server.
+  Value object = make_test_value(1 << 20, /*seed=*/42);
+  auto tag = sim::run_to_completion(
+      cluster.sim(), cluster.client(0).reg().write(make_value(object)));
+  std::printf("wrote 1 MiB under tag %s\n", tag.to_string().c_str());
+
+  // 3. Read it back from client 1 (decodes from any k = 3 coded elements).
+  auto tv = sim::run_to_completion(cluster.sim(), cluster.client(1).reg().read());
+  std::printf("read back tag %s, %zu bytes, %s\n", tv.tag.to_string().c_str(),
+              tv.value->size(),
+              *tv.value == object ? "content OK" : "CONTENT MISMATCH");
+
+  // 4. Storage check: ~n/k = 1.67 MiB total across servers, not 5 MiB.
+  std::printf("total bytes stored across servers: %.2f MiB (replication "
+              "would use %.0f MiB)\n",
+              cluster.total_stored_bytes() / 1048576.0, 5.0);
+
+  // 5. Crash a server — [5,3] tolerates f = (n-k)/2 = 1 — and keep going.
+  cluster.crash_servers(1);
+  auto tag2 = sim::run_to_completion(
+      cluster.sim(),
+      cluster.client(0).reg().write(make_value(make_test_value(4096, 7))));
+  auto tv2 = sim::run_to_completion(cluster.sim(), cluster.client(1).reg().read());
+  std::printf("after one crash: wrote %s, read %s — service still atomic "
+              "and live\n",
+              tag2.to_string().c_str(), tv2.tag.to_string().c_str());
+  return 0;
+}

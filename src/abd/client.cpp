@@ -1,0 +1,51 @@
+#include "abd/client.hpp"
+
+#include "abd/messages.hpp"
+
+namespace ares::abd {
+
+sim::Future<Tag> AbdDap::get_tag() {
+  auto qc = sim::broadcast_collect<QueryTagReply>(
+      owner_, spec_.servers, [this](ProcessId) {
+        auto req = std::make_shared<QueryTagReq>();
+        req->config = spec_.id;
+        return req;
+      });
+  co_await qc.wait_for(spec_.quorum_size());
+  Tag max = kInitialTag;
+  for (const auto& a : qc.arrivals()) max = std::max(max, a.reply->tag);
+  co_return max;
+}
+
+sim::Future<TagValue> AbdDap::get_data() {
+  auto qc = sim::broadcast_collect<QueryReply>(
+      owner_, spec_.servers, [this](ProcessId) {
+        auto req = std::make_shared<QueryReq>();
+        req->config = spec_.id;
+        return req;
+      });
+  co_await qc.wait_for(spec_.quorum_size());
+  TagValue best{kInitialTag, nullptr};
+  for (const auto& a : qc.arrivals()) {
+    if (a.reply->tag > best.tag ||
+        (a.reply->tag == best.tag && !best.value)) {
+      best = TagValue{a.reply->tag, a.reply->value};
+    }
+  }
+  co_return best;
+}
+
+sim::Future<void> AbdDap::put_data(TagValue tv) {
+  auto qc = sim::broadcast_collect<WriteAck>(
+      owner_, spec_.servers, [this, &tv](ProcessId) {
+        auto req = std::make_shared<WriteReq>();
+        req->config = spec_.id;
+        req->tag = tv.tag;
+        req->value = tv.value;
+        return req;
+      });
+  co_await qc.wait_for(spec_.quorum_size());
+  co_return;
+}
+
+}  // namespace ares::abd

@@ -1,0 +1,29 @@
+// Client-side ABD DAP (Automaton 12): majority-quorum get-tag / get-data /
+// put-data over full replicas.
+#pragma once
+
+#include "dap/config.hpp"
+#include "dap/dap.hpp"
+#include "sim/process.hpp"
+
+namespace ares::abd {
+
+class AbdDap final : public dap::Dap {
+ public:
+  /// `owner` is the client process executing the primitives; it must
+  /// outlive this object.
+  AbdDap(sim::Process& owner, dap::ConfigSpec spec)
+      : owner_(owner), spec_(std::move(spec)) {}
+
+  [[nodiscard]] sim::Future<Tag> get_tag() override;
+  [[nodiscard]] sim::Future<TagValue> get_data() override;
+  [[nodiscard]] sim::Future<void> put_data(TagValue tv) override;
+
+  [[nodiscard]] const dap::ConfigSpec& spec() const { return spec_; }
+
+ private:
+  sim::Process& owner_;
+  dap::ConfigSpec spec_;
+};
+
+}  // namespace ares::abd

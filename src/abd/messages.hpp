@@ -1,0 +1,65 @@
+// Wire messages of the multi-writer ABD algorithm (Automaton 12).
+#pragma once
+
+#include "common/types.hpp"
+#include "sim/message.hpp"
+
+namespace ares::abd {
+
+/// QUERY-TAG: server replies with its current tag (metadata only).
+class QueryTagReq final : public sim::RpcRequest {
+ public:
+  [[nodiscard]] std::string_view type_name() const override {
+    return "abd.query_tag";
+  }
+};
+
+class QueryTagReply final : public sim::RpcReply {
+ public:
+  Tag tag;
+  [[nodiscard]] std::string_view type_name() const override {
+    return "abd.query_tag_reply";
+  }
+};
+
+/// QUERY: server replies with its ⟨tag, value⟩ pair.
+class QueryReq final : public sim::RpcRequest {
+ public:
+  [[nodiscard]] std::string_view type_name() const override {
+    return "abd.query";
+  }
+};
+
+class QueryReply final : public sim::RpcReply {
+ public:
+  Tag tag;
+  ValuePtr value;
+  [[nodiscard]] std::size_t data_bytes() const override {
+    return value ? value->size() : 0;
+  }
+  [[nodiscard]] std::string_view type_name() const override {
+    return "abd.query_reply";
+  }
+};
+
+/// WRITE ⟨τ, v⟩: server adopts the pair if τ is newer, then acks.
+class WriteReq final : public sim::RpcRequest {
+ public:
+  Tag tag;
+  ValuePtr value;
+  [[nodiscard]] std::size_t data_bytes() const override {
+    return value ? value->size() : 0;
+  }
+  [[nodiscard]] std::string_view type_name() const override {
+    return "abd.write";
+  }
+};
+
+class WriteAck final : public sim::RpcReply {
+ public:
+  [[nodiscard]] std::string_view type_name() const override {
+    return "abd.write_ack";
+  }
+};
+
+}  // namespace ares::abd

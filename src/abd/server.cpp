@@ -1,0 +1,32 @@
+#include "abd/server.hpp"
+
+#include "abd/messages.hpp"
+
+namespace ares::abd {
+
+bool AbdServerState::handle(dap::ServerContext& ctx, const sim::Message& msg) {
+  if (std::dynamic_pointer_cast<const QueryTagReq>(msg.body)) {
+    auto reply = std::make_shared<QueryTagReply>();
+    reply->tag = tag_;
+    ctx.process.reply_to(msg, std::move(reply));
+    return true;
+  }
+  if (std::dynamic_pointer_cast<const QueryReq>(msg.body)) {
+    auto reply = std::make_shared<QueryReply>();
+    reply->tag = tag_;
+    reply->value = value_;
+    ctx.process.reply_to(msg, std::move(reply));
+    return true;
+  }
+  if (auto write = std::dynamic_pointer_cast<const WriteReq>(msg.body)) {
+    if (write->tag > tag_) {
+      tag_ = write->tag;
+      value_ = write->value;
+    }
+    ctx.process.reply_to(msg, std::make_shared<WriteAck>());
+    return true;
+  }
+  return false;
+}
+
+}  // namespace ares::abd

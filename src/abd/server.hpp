@@ -1,0 +1,28 @@
+// Server-side ABD state: the single ⟨tag, value⟩ register replica with
+// adopt-if-newer semantics (Automaton 12 primitive handlers).
+#pragma once
+
+#include "dap/dap_server.hpp"
+
+namespace ares::abd {
+
+class AbdServerState final : public dap::DapServer {
+ public:
+  /// Starts with ⟨t0, v0⟩ where v0 is the canonical empty value.
+  AbdServerState() : value_(make_value(Value{})) {}
+
+  bool handle(dap::ServerContext& ctx, const sim::Message& msg) override;
+
+  [[nodiscard]] std::size_t stored_data_bytes() const override {
+    return value_ ? value_->size() : 0;
+  }
+  [[nodiscard]] Tag max_tag() const override { return tag_; }
+
+  [[nodiscard]] const ValuePtr& value() const { return value_; }
+
+ private:
+  Tag tag_ = kInitialTag;
+  ValuePtr value_;
+};
+
+}  // namespace ares::abd

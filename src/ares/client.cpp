@@ -1,0 +1,243 @@
+#include "ares/client.hpp"
+
+#include "dap/factory.hpp"
+
+#include <cassert>
+
+namespace ares::reconfig {
+
+AresClient::AresClient(sim::Simulator& sim, sim::Network& net, ProcessId id,
+                       dap::ConfigRegistry& registry, ConfigId c0,
+                       checker::HistoryRecorder* recorder)
+    : sim::Process(sim, net, id), registry_(registry), recorder_(recorder) {
+  assert(registry_.contains(c0));
+  cseq_.push_back(CseqEntry{c0, true});  // cseq[0] = ⟨c0, F⟩
+}
+
+AresClient::~AresClient() = default;
+
+void AresClient::handle(const sim::Message& msg) {
+  // Plain clients receive only RPC replies (routed before handle()); one-way
+  // messages such as TransferAck are handled by subclasses.
+  (void)msg;
+}
+
+std::size_t AresClient::mu() const {
+  for (std::size_t i = cseq_.size(); i-- > 0;) {
+    if (cseq_[i].finalized) return i;
+  }
+  assert(false && "cseq[0] is always finalized");
+  return 0;
+}
+
+void AresClient::set_entry(std::size_t idx, CseqEntry e) {
+  assert(e.valid());
+  assert(idx <= cseq_.size());
+  if (idx == cseq_.size()) {
+    cseq_.push_back(e);
+    return;
+  }
+  // Configuration Uniqueness (Lemma 47): the id in one slot never differs.
+  assert(cseq_[idx].cfg == e.cfg);
+  cseq_[idx].finalized = cseq_[idx].finalized || e.finalized;
+}
+
+const std::shared_ptr<dap::Dap>& AresClient::dap_for(ConfigId cfg) {
+  auto it = daps_.find(cfg);
+  if (it == daps_.end()) {
+    it = daps_.emplace(cfg, dap::make_dap(*this, registry_.get(cfg))).first;
+  }
+  return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Sequence traversal (Algorithm 4)
+// ---------------------------------------------------------------------------
+
+sim::Future<std::optional<CseqEntry>> AresClient::read_next_config(
+    ConfigId c) {
+  const auto& spec = registry_.get(c);
+  auto qc = sim::broadcast_collect<ReadConfigReply>(
+      *this, spec.servers, [c](ProcessId) {
+        auto req = std::make_shared<ReadConfigReq>();
+        req->config = c;
+        return req;
+      });
+  co_await qc.wait_for(spec.quorum_size());
+  std::optional<CseqEntry> result;
+  for (const auto& a : qc.arrivals()) {
+    if (!a.reply->next.valid()) continue;
+    if (!result || (a.reply->next.finalized && !result->finalized)) {
+      result = a.reply->next;
+    }
+  }
+  co_return result;
+}
+
+sim::Future<void> AresClient::put_config(ConfigId c, CseqEntry e) {
+  const auto& spec = registry_.get(c);
+  auto qc = sim::broadcast_collect<WriteConfigAck>(
+      *this, spec.servers, [c, e](ProcessId) {
+        auto req = std::make_shared<WriteConfigReq>();
+        req->config = c;
+        req->next = e;
+        return req;
+      });
+  co_await qc.wait_for(spec.quorum_size());
+  co_return;
+}
+
+sim::Future<void> AresClient::read_config() {
+  // Start from the last *finalized* configuration and chase nextC pointers
+  // to the end of GL, helping propagate every link discovered (Alg. 4).
+  std::size_t idx = mu();
+  for (;;) {
+    std::optional<CseqEntry> next =
+        co_await read_next_config(cseq_[idx].cfg);
+    if (!next) break;
+    set_entry(idx + 1, *next);
+    co_await put_config(cseq_[idx].cfg, cseq_[idx + 1]);
+    ++idx;
+  }
+  co_return;
+}
+
+// ---------------------------------------------------------------------------
+// Read / write operations (Algorithm 7)
+// ---------------------------------------------------------------------------
+
+sim::Future<Tag> AresClient::write(ValuePtr value) {
+  std::uint64_t op = 0;
+  if (recorder_ != nullptr) {
+    op = recorder_->begin(id(), checker::OpKind::kWrite, simulator().now());
+  }
+
+  co_await read_config();
+  const std::size_t m = mu();
+  std::size_t v = nu();
+
+  // Max tag across configurations µ..ν.
+  Tag tmax = kInitialTag;
+  for (std::size_t i = m; i <= v; ++i) {
+    tmax = std::max(tmax, co_await dap_for(cseq_[i].cfg)->get_tag());
+  }
+  const Tag tw = tmax.next(id());
+  if (recorder_ != nullptr) {
+    // Record the tag pre-put: a crashed writer's value may still surface.
+    recorder_->note_write_tag(op, tw, value);
+  }
+
+  // Propagate into the last configuration until the sequence stops growing.
+  TagValue to_write{tw, value};  // named: see GCC-12 note in sim/coro.hpp
+  for (;;) {
+    co_await dap_for(cseq_[v].cfg)->put_data(to_write);
+    co_await read_config();
+    if (nu() == v) break;
+    v = nu();
+  }
+
+  if (recorder_ != nullptr) {
+    recorder_->end(op, simulator().now(), tw, value);
+  }
+  co_return tw;
+}
+
+sim::Future<TagValue> AresClient::read() {
+  std::uint64_t op = 0;
+  if (recorder_ != nullptr) {
+    op = recorder_->begin(id(), checker::OpKind::kRead, simulator().now());
+  }
+
+  co_await read_config();
+  const std::size_t m = mu();
+  std::size_t v = nu();
+
+  TagValue best{kInitialTag, nullptr};
+  for (std::size_t i = m; i <= v; ++i) {
+    TagValue tv = co_await dap_for(cseq_[i].cfg)->get_data();
+    best = max_by_tag(best, tv);
+  }
+  if (!best.value) best.value = make_value(Value{});  // initial v0
+
+  for (;;) {
+    co_await dap_for(cseq_[v].cfg)->put_data(best);
+    co_await read_config();
+    if (nu() == v) break;
+    v = nu();
+  }
+
+  if (recorder_ != nullptr) {
+    recorder_->end(op, simulator().now(), best.tag, best.value);
+  }
+  co_return best;
+}
+
+// ---------------------------------------------------------------------------
+// Reconfiguration (Algorithm 5)
+// ---------------------------------------------------------------------------
+
+sim::Future<consensus::PaxosValue> AresClient::propose(ConfigId on_cfg,
+                                                       ConfigId value) {
+  auto it = proposers_.find(on_cfg);
+  if (it == proposers_.end()) {
+    it = proposers_
+             .emplace(on_cfg, std::make_unique<consensus::PaxosProposer>(
+                                  *this, on_cfg,
+                                  registry_.get(on_cfg).servers,
+                                  simulator().rng().next_u64()))
+             .first;
+  }
+  return it->second->propose(value);
+}
+
+sim::Future<void> AresClient::update_config() {
+  // Algorithm 5 update-config: pull the max tag-value pair from every
+  // configuration in cseq[µ..ν] through this client, then push it into the
+  // newly added configuration ν. (The value flows through the client — the
+  // bottleneck ARES-TREAS removes; see arestreas::DirectAresClient.)
+  const std::size_t m = mu();
+  const std::size_t v = nu();
+  TagValue best{kInitialTag, nullptr};
+  for (std::size_t i = m; i <= v; ++i) {
+    TagValue tv = co_await dap_for(cseq_[i].cfg)->get_data();
+    if (tv.value) update_config_bytes_ += tv.value->size();  // pulled in
+    best = max_by_tag(best, tv);
+  }
+  if (!best.value) best.value = make_value(Value{});
+  update_config_bytes_ += best.value->size();  // pushed out
+  co_await dap_for(cseq_[v].cfg)->put_data(best);
+  co_return;
+}
+
+sim::Future<ConfigId> AresClient::reconfig(dap::ConfigSpec new_spec) {
+  // Make the proposed spec resolvable by every process (the simulation's
+  // equivalent of shipping the spec alongside its id).
+  if (!registry_.contains(new_spec.id)) {
+    registry_.register_config(new_spec);
+  }
+
+  // Phase 1: read-config.
+  co_await read_config();
+
+  // Phase 2: add-config — consensus on the successor of the current last
+  // configuration, then announce the link with put-config.
+  const std::size_t v = nu();
+  const ConfigId prev = cseq_[v].cfg;
+  const ConfigId decided =
+      static_cast<ConfigId>(co_await propose(prev, new_spec.id));
+  set_entry(v + 1, CseqEntry{decided, false});
+  co_await put_config(prev, cseq_[v + 1]);
+
+  // Phase 3: update-config — transfer the latest object state into the new
+  // configuration.
+  co_await update_config();
+
+  // Phase 4: finalize-config.
+  const std::size_t last = nu();
+  cseq_[last].finalized = true;
+  co_await put_config(cseq_[last - 1].cfg, cseq_[last]);
+
+  co_return decided;
+}
+
+}  // namespace ares::reconfig

@@ -1,0 +1,99 @@
+// The ARES client process: sequence traversal (Algorithm 4), reader/writer
+// protocols (Algorithm 7) and the four-phase reconfig operation
+// (Algorithm 5). One class serves readers, writers and reconfigurers —
+// which operations a given process invokes determines its role.
+//
+// The update-config phase is virtual: the base class implements the
+// client-conduit transfer of Algorithm 5; arestreas::DirectAresClient
+// overrides it with the direct server-to-server transfer of Section 5.
+#pragma once
+
+#include "ares/messages.hpp"
+#include "checker/history.hpp"
+#include "consensus/paxos.hpp"
+#include "dap/config.hpp"
+#include "dap/dap.hpp"
+#include "sim/process.hpp"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace ares::reconfig {
+
+class AresClient : public sim::Process {
+ public:
+  /// `registry` must contain the initial configuration `c0`; the local
+  /// cseq starts as ⟨c0, F⟩. `recorder` (optional) logs the operation
+  /// history for atomicity checking.
+  AresClient(sim::Simulator& sim, sim::Network& net, ProcessId id,
+             dap::ConfigRegistry& registry, ConfigId c0,
+             checker::HistoryRecorder* recorder = nullptr);
+  ~AresClient() override;
+
+  /// Algorithm 7 write. Completes with the tag the value was written under.
+  [[nodiscard]] sim::Future<Tag> write(ValuePtr value);
+
+  /// Algorithm 7 read. Completes with the tag-value pair returned.
+  [[nodiscard]] sim::Future<TagValue> read();
+
+  /// Algorithm 5 reconfig(c): registers `new_spec` and attempts to append
+  /// it to GL. Completes with the configuration id actually installed in
+  /// that slot (new_spec.id if this client's proposal won consensus, the
+  /// competing winner otherwise).
+  [[nodiscard]] sim::Future<ConfigId> reconfig(dap::ConfigSpec new_spec);
+
+  /// This client's current local configuration sequence (tests / metrics).
+  [[nodiscard]] const std::vector<CseqEntry>& cseq() const { return cseq_; }
+
+  /// Index of the last finalized entry (µ) and last entry (ν).
+  [[nodiscard]] std::size_t mu() const;
+  [[nodiscard]] std::size_t nu() const { return cseq_.size() - 1; }
+
+  /// Runs the Alg. 4 sequence traversal once (exposed for tests and for the
+  /// latency benchmarks that measure T(read-config)).
+  [[nodiscard]] sim::Future<void> read_config();
+
+  /// Object-data bytes this client pulled through itself during
+  /// update-config phases (the reconfiguration-bottleneck metric of
+  /// Section 5; stays 0 for the direct-transfer client).
+  [[nodiscard]] std::uint64_t update_config_bytes_through_client() const {
+    return update_config_bytes_;
+  }
+
+ protected:
+  void handle(const sim::Message& msg) override;
+
+  /// The update-config phase of reconfig (overridable; see class comment).
+  [[nodiscard]] virtual sim::Future<void> update_config();
+
+  /// get-next-config(c): one quorum read of nextC on c's servers. Returns
+  /// the F-status reply if any, else a P-status reply, else nullopt (⊥).
+  [[nodiscard]] sim::Future<std::optional<CseqEntry>> read_next_config(
+      ConfigId c);
+
+  /// put-config(c, e): write nextC = e to a quorum of c's servers.
+  [[nodiscard]] sim::Future<void> put_config(ConfigId c, CseqEntry e);
+
+  /// The DAP client bound to configuration `cfg` (cached).
+  [[nodiscard]] const std::shared_ptr<dap::Dap>& dap_for(ConfigId cfg);
+
+  /// Record entry `e` at index `idx` of the local cseq (append or merge
+  /// status; configuration ids at one index never differ — Lemma 47).
+  void set_entry(std::size_t idx, CseqEntry e);
+
+  dap::ConfigRegistry& registry_;
+  std::vector<CseqEntry> cseq_;
+  checker::HistoryRecorder* recorder_;
+  std::uint64_t update_config_bytes_ = 0;
+
+ private:
+  [[nodiscard]] sim::Future<consensus::PaxosValue> propose(ConfigId on_cfg,
+                                                           ConfigId value);
+
+  std::map<ConfigId, std::shared_ptr<dap::Dap>> daps_;
+  std::map<ConfigId, std::unique_ptr<consensus::PaxosProposer>> proposers_;
+};
+
+}  // namespace ares::reconfig

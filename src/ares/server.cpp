@@ -1,0 +1,73 @@
+#include "ares/server.hpp"
+
+#include "dap/factory.hpp"
+
+#include <algorithm>
+
+namespace ares::reconfig {
+
+AresServer::AresServer(sim::Simulator& sim, sim::Network& net, ProcessId id,
+                       const dap::ConfigRegistry& registry)
+    : sim::Process(sim, net, id), registry_(registry) {}
+
+std::optional<CseqEntry> AresServer::next_config(ConfigId cfg) const {
+  auto it = configs_.find(cfg);
+  if (it == configs_.end() || !it->second.nextc.valid()) return std::nullopt;
+  return it->second.nextc;
+}
+
+const dap::DapServer* AresServer::dap_state(ConfigId cfg) const {
+  auto it = configs_.find(cfg);
+  return it == configs_.end() ? nullptr : it->second.dap.get();
+}
+
+std::size_t AresServer::stored_data_bytes() const {
+  std::size_t sum = 0;
+  for (const auto& [cfg, pc] : configs_) {
+    if (pc.dap) sum += pc.dap->stored_data_bytes();
+  }
+  return sum;
+}
+
+AresServer::PerConfig* AresServer::config_state(ConfigId cfg) {
+  auto it = configs_.find(cfg);
+  if (it != configs_.end()) return &it->second;
+  if (!registry_.contains(cfg)) return nullptr;
+  const auto& spec = registry_.get(cfg);
+  const bool member = std::find(spec.servers.begin(), spec.servers.end(),
+                                id()) != spec.servers.end();
+  if (!member) return nullptr;  // misaddressed message
+  PerConfig pc;
+  pc.dap = dap::make_dap_server(spec, id());
+  auto [ins, _] = configs_.emplace(cfg, std::move(pc));
+  return &ins->second;
+}
+
+void AresServer::handle(const sim::Message& msg) {
+  auto req = std::dynamic_pointer_cast<const sim::RpcRequest>(msg.body);
+  if (!req) return;
+  PerConfig* pc = config_state(req->config);
+  if (pc == nullptr) return;
+
+  if (std::dynamic_pointer_cast<const ReadConfigReq>(msg.body)) {
+    auto reply = std::make_shared<ReadConfigReply>();
+    reply->next = pc->nextc;
+    reply_to(msg, std::move(reply));
+    return;
+  }
+  if (auto write = std::dynamic_pointer_cast<const WriteConfigReq>(msg.body)) {
+    // Alg. 6: adopt if nextC = ⊥ or still pending; once finalized, the
+    // pointer never changes again (Lemma 46).
+    if (!pc->nextc.valid() || !pc->nextc.finalized) {
+      pc->nextc = write->next;
+    }
+    reply_to(msg, std::make_shared<WriteConfigAck>());
+    return;
+  }
+  if (pc->paxos.handle(*this, msg)) return;
+
+  dap::ServerContext ctx{*this, registry_.get(req->config), registry_};
+  pc->dap->handle(ctx, msg);
+}
+
+}  // namespace ares::reconfig

@@ -1,0 +1,54 @@
+// The ARES server process (Algorithm 6): hosts, per configuration it is a
+// member of, (i) the nextC pointer of the reconfiguration service, (ii) the
+// acceptor of that configuration's consensus object c.Con, and (iii) the
+// server state of the configuration's DAP protocol (ABD / TREAS / LDR).
+#pragma once
+
+#include "ares/messages.hpp"
+#include "consensus/paxos.hpp"
+#include "dap/config.hpp"
+#include "dap/dap_server.hpp"
+#include "sim/process.hpp"
+
+#include <map>
+#include <memory>
+#include <optional>
+
+namespace ares::reconfig {
+
+class AresServer final : public sim::Process {
+ public:
+  AresServer(sim::Simulator& sim, sim::Network& net, ProcessId id,
+             const dap::ConfigRegistry& registry);
+
+  /// nextC of configuration `cfg` as this server knows it (tests/debug).
+  [[nodiscard]] std::optional<CseqEntry> next_config(ConfigId cfg) const;
+
+  /// The per-configuration DAP state, or nullptr if not instantiated
+  /// (tests/metrics).
+  [[nodiscard]] const dap::DapServer* dap_state(ConfigId cfg) const;
+
+  /// Total object-data bytes stored across all hosted configurations
+  /// (the paper's storage cost for this server).
+  [[nodiscard]] std::size_t stored_data_bytes() const;
+
+ protected:
+  void handle(const sim::Message& msg) override;
+
+ private:
+  struct PerConfig {
+    CseqEntry nextc;  // nextC, initially ⊥ (cfg == kNoConfig)
+    consensus::PaxosAcceptor paxos;
+    std::unique_ptr<dap::DapServer> dap;
+  };
+
+  /// Find or lazily create the state for `cfg` (a server instantiates a
+  /// configuration's state the first time it is addressed in it; new
+  /// configurations start from the protocol's initial state, per the paper).
+  PerConfig* config_state(ConfigId cfg);
+
+  const dap::ConfigRegistry& registry_;
+  std::map<ConfigId, PerConfig> configs_;
+};
+
+}  // namespace ares::reconfig

@@ -1,0 +1,84 @@
+#include "arestreas/direct_client.hpp"
+
+#include <cassert>
+
+namespace ares::arestreas {
+
+void DirectAresClient::handle(const sim::Message& msg) {
+  if (auto ack = std::dynamic_pointer_cast<const treas::TransferAck>(msg.body)) {
+    auto it = transfers_.find(ack->transfer_id);
+    if (it == transfers_.end()) return;
+    auto& t = it->second;
+    t.ackers.insert(msg.from);
+    if (!t.fulfilled && t.ackers.size() >= t.needed) {
+      t.fulfilled = true;
+      t.done.set_value(true);
+    }
+    return;
+  }
+  reconfig::AresClient::handle(msg);
+}
+
+sim::Future<void> DirectAresClient::forward_code_element(Tag tag,
+                                                         ConfigId src,
+                                                         ConfigId dst) {
+  const auto& src_spec = registry_.get(src);
+  const auto& dst_spec = registry_.get(dst);
+
+  const std::uint64_t tid = next_transfer_id_++;
+  auto& pending = transfers_[tid];
+  pending.needed = dst_spec.quorum_size();  // ⌈(n'+k')/2⌉
+  auto done = pending.done.get_future();
+
+  auto req = std::make_shared<treas::ReqFwdCodeElem>();
+  req->config = src;  // routed to the source configuration's state
+  req->transfer_id = tid;
+  req->reconfigurer = id();
+  req->src_config = src;
+  req->dst_config = dst;
+  req->tag = tag;
+  // md-primitive of [21]: delivered to every non-faulty server of C or none.
+  network().atomic_broadcast(id(), src_spec.servers, std::move(req));
+
+  co_await done;
+  transfers_.erase(tid);
+  co_return;
+}
+
+sim::Future<void> DirectAresClient::update_config() {
+  const std::size_t m = mu();
+  const std::size_t v = nu();
+
+  // Direct transfer needs TREAS state on both ends; if any involved
+  // configuration runs a different protocol, fall back to the client-
+  // conduit transfer of Algorithm 5.
+  bool all_treas = true;
+  for (std::size_t i = m; i <= v; ++i) {
+    if (registry_.get(cseq_[i].cfg).protocol != dap::Protocol::kTreas) {
+      all_treas = false;
+      break;
+    }
+  }
+  if (!all_treas) {
+    co_await reconfig::AresClient::update_config();
+    co_return;
+  }
+
+  // Algorithm 8: gather ⟨tag, configuration⟩ pairs — metadata only.
+  Tag best = kInitialTag;
+  ConfigId holder = cseq_[m].cfg;
+  for (std::size_t i = m; i <= v; ++i) {
+    const Tag t = co_await dap_for(cseq_[i].cfg)->get_dec_tag();
+    if (t > best || i == m) {
+      best = t;
+      holder = cseq_[i].cfg;
+    }
+  }
+
+  // forward-code-element(τ, C, C'): the object bytes move server→server;
+  // update_config_bytes_through_client() stays 0.
+  co_await forward_code_element(best, holder, cseq_[v].cfg);
+  co_return;
+}
+
+}  // namespace ares::arestreas

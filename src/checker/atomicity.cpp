@@ -1,0 +1,190 @@
+#include "checker/atomicity.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace ares::checker {
+namespace {
+
+std::string describe(const OpRecord& r) {
+  std::ostringstream os;
+  os << (r.kind == OpKind::kWrite ? "write" : "read") << "#" << r.op_id
+     << " by p" << r.client << " [" << r.invoked << ","
+     << (r.complete() ? std::to_string(r.responded) : std::string("∞")) << "]"
+     << " tag=" << r.tag.to_string();
+  return os.str();
+}
+
+CheckResult fail(const std::string& msg) { return CheckResult{false, msg}; }
+
+}  // namespace
+
+CheckResult check_tag_atomicity(const std::vector<OpRecord>& ops,
+                                Tag initial_tag,
+                                std::uint64_t initial_hash) {
+  // Index writes by tag (complete and incomplete: a read may legitimately
+  // return the value of a write still in flight).
+  struct WriteInfo {
+    const OpRecord* op;
+  };
+  std::map<Tag, WriteInfo> writes;
+  for (const auto& r : ops) {
+    if (r.kind != OpKind::kWrite) continue;
+    if (!r.tag_known) continue;  // crashed before choosing a tag
+    auto [it, inserted] = writes.emplace(r.tag, WriteInfo{&r});
+    if (!inserted && r.complete()) {
+      // Two completed writes with one tag would break A2. (An incomplete
+      // retry duplicate is tolerated only if tags truly collide, which the
+      // algorithms never produce.)
+      return fail("duplicate write tag: " + describe(r) + " vs " +
+                  describe(*it->second.op));
+    }
+  }
+
+  // A3: each read returns the pair some write put (or the initial pair),
+  // and never from the future.
+  for (const auto& r : ops) {
+    if (r.kind != OpKind::kRead || !r.complete()) continue;
+    if (r.tag == initial_tag) {
+      if (r.value_hash != initial_hash) {
+        return fail("read returned initial tag with wrong value: " +
+                    describe(r));
+      }
+      continue;
+    }
+    auto it = writes.find(r.tag);
+    if (it == writes.end()) {
+      return fail("read returned a tag no write produced: " + describe(r));
+    }
+    if (it->second.op->value_hash != r.value_hash) {
+      return fail("read returned wrong value for its tag: " + describe(r) +
+                  " vs " + describe(*it->second.op));
+    }
+    if (it->second.op->invoked > r.responded) {
+      return fail("read returned a value written after it responded: " +
+                  describe(r));
+    }
+  }
+
+  // A1 (real-time order): sweep ops by invocation time, tracking the max
+  // tag among operations already responded. Because tags are totally
+  // ordered, checking each op against the running max covers all pairs.
+  std::vector<const OpRecord*> complete;
+  for (const auto& r : ops) {
+    if (r.complete()) complete.push_back(&r);
+  }
+  std::vector<const OpRecord*> by_invoked = complete;
+  std::sort(by_invoked.begin(), by_invoked.end(),
+            [](auto* a, auto* b) { return a->invoked < b->invoked; });
+  std::vector<const OpRecord*> by_responded = complete;
+  std::sort(by_responded.begin(), by_responded.end(),
+            [](auto* a, auto* b) { return a->responded < b->responded; });
+
+  std::size_t j = 0;
+  Tag max_tag = Tag{0, 0};
+  const OpRecord* max_op = nullptr;
+  bool any_completed = false;
+  for (const OpRecord* op : by_invoked) {
+    while (j < by_responded.size() &&
+           by_responded[j]->responded < op->invoked) {
+      if (!any_completed || by_responded[j]->tag > max_tag) {
+        max_tag = by_responded[j]->tag;
+        max_op = by_responded[j];
+      }
+      any_completed = true;
+      ++j;
+    }
+    if (!any_completed) continue;
+    if (op->kind == OpKind::kWrite) {
+      if (!(op->tag > max_tag)) {
+        return fail("A1 violated (write tag not above preceding op): " +
+                    describe(*op) + " preceded by " + describe(*max_op));
+      }
+    } else {
+      if (op->tag < max_tag) {
+        return fail("A1 violated (read tag below preceding op): " +
+                    describe(*op) + " preceded by " + describe(*max_op));
+      }
+    }
+  }
+
+  return CheckResult{};
+}
+
+CheckResult check_linearizable_bruteforce(const std::vector<OpRecord>& ops,
+                                          Tag initial_tag,
+                                          std::uint64_t initial_hash) {
+  // Candidate set: all complete ops (must be linearized) plus incomplete
+  // writes (may be linearized anywhere consistent, or dropped).
+  std::vector<const OpRecord*> cand;
+  for (const auto& r : ops) {
+    if (r.complete() ||
+        (r.kind == OpKind::kWrite && r.tag_known)) {
+      cand.push_back(&r);
+    }
+  }
+  const std::size_t n = cand.size();
+  if (n > 24) {
+    return fail("history too large for brute-force checker (" +
+                std::to_string(n) + " ops)");
+  }
+
+  std::uint32_t complete_mask = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cand[i]->complete()) complete_mask |= (1u << i);
+  }
+
+  // visited (mask, last_write_index+1) states; last_write == n means initial.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> visited;
+
+  // Iterative DFS.
+  struct Frame {
+    std::uint32_t mask;
+    std::uint32_t last_write;  // index into cand, or n for "initial value"
+  };
+  std::vector<Frame> stack{{0, static_cast<std::uint32_t>(n)}};
+
+  auto current_pair = [&](std::uint32_t last_write) {
+    if (last_write == n) return std::pair<Tag, std::uint64_t>(
+        initial_tag, initial_hash);
+    return std::pair<Tag, std::uint64_t>(cand[last_write]->tag,
+                                         cand[last_write]->value_hash);
+  };
+
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if ((f.mask & complete_mask) == complete_mask) return CheckResult{};
+    if (!visited.emplace(f.mask, f.last_write).second) continue;
+
+    // Earliest response among unlinearized complete ops limits candidates:
+    // op x is schedulable only if no unlinearized complete op responded
+    // strictly before x was invoked.
+    SimTime min_resp = kNotResponded;
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((f.mask >> i) & 1u) continue;
+      if (cand[i]->complete()) min_resp = std::min(min_resp, cand[i]->responded);
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((f.mask >> i) & 1u) continue;
+      if (cand[i]->invoked > min_resp) continue;  // would violate real time
+      const auto [cur_tag, cur_hash] = current_pair(f.last_write);
+      if (cand[i]->kind == OpKind::kRead) {
+        if (cand[i]->tag != cur_tag || cand[i]->value_hash != cur_hash) {
+          continue;  // read wouldn't observe current value here
+        }
+        stack.push_back(Frame{f.mask | (1u << i), f.last_write});
+      } else {
+        stack.push_back(
+            Frame{f.mask | (1u << i), static_cast<std::uint32_t>(i)});
+      }
+    }
+  }
+  return fail("no valid linearization exists");
+}
+
+}  // namespace ares::checker

@@ -1,0 +1,50 @@
+// Atomicity (linearizability) verification for MWMR register histories.
+//
+// Two independent checkers:
+//
+//  1. check_tag_atomicity — sound and complete for tag-based algorithms
+//     (everything in this repo): verifies that the tags define the partial
+//     order ≺ required by properties A1-A3 of Section 2. Runs in
+//     O(n log n). This is the checker used by the large property suites.
+//
+//  2. check_linearizable_bruteforce — black-box Wing&Gong-style search over
+//     all linearization orders (memoized). Exponential worst case: only for
+//     small histories. Used to validate checker 1 and for histories from
+//     hypothetical non-tag-based implementations.
+#pragma once
+
+#include "checker/history.hpp"
+
+#include <string>
+#include <vector>
+
+namespace ares::checker {
+
+struct CheckResult {
+  bool ok = true;
+  std::string violation;  // human-readable description when !ok
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Verifies, over the *complete* operations of a history:
+///   U  — write tags are unique;
+///   A1 — real-time order respected: op1 responded before op2 invoked
+///        implies tag(op2) >= tag(op1), strictly if op2 is a write;
+///   A2 — total order on writes (implied by U + total tag order);
+///   A3 — every read's (tag, value) matches the write that created the tag
+///        (or (t0, v0)), and that write was invoked before the read
+///        responded (reads never return values "from the future").
+/// Incomplete operations in `ops` are ignored except that a read may return
+/// the tag of an incomplete write (the write takes effect).
+[[nodiscard]] CheckResult check_tag_atomicity(
+    const std::vector<OpRecord>& ops, Tag initial_tag = kInitialTag,
+    std::uint64_t initial_hash = initial_value_hash());
+
+/// Exhaustive linearizability check for small histories (<= ~20 complete
+/// operations). Values are identified by (tag, value_hash).
+[[nodiscard]] CheckResult check_linearizable_bruteforce(
+    const std::vector<OpRecord>& ops, Tag initial_tag = kInitialTag,
+    std::uint64_t initial_hash = initial_value_hash());
+
+}  // namespace ares::checker

@@ -1,0 +1,63 @@
+#include "checker/history.hpp"
+
+#include <cassert>
+
+namespace ares::checker {
+
+std::uint64_t hash_value(const ValuePtr& v) {
+  if (!v) return 0;
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::uint8_t b : *v) {
+    h ^= b;
+    h *= 0x100000001B3ULL;
+  }
+  return h == 0 ? 1 : h;  // reserve 0 for "no value"
+}
+
+std::uint64_t initial_value_hash() {
+  static const std::uint64_t h = hash_value(make_value(Value{}));
+  return h;
+}
+
+std::uint64_t HistoryRecorder::begin(ProcessId client, OpKind kind,
+                                     SimTime now) {
+  OpRecord r;
+  r.op_id = ops_.size();
+  r.client = client;
+  r.kind = kind;
+  r.invoked = now;
+  ops_.push_back(r);
+  return r.op_id;
+}
+
+void HistoryRecorder::note_write_tag(std::uint64_t op_id, Tag tag,
+                                     const ValuePtr& value) {
+  assert(op_id < ops_.size());
+  OpRecord& r = ops_[op_id];
+  assert(r.kind == OpKind::kWrite);
+  r.tag = tag;
+  r.value_hash = hash_value(value);
+  r.tag_known = true;
+}
+
+void HistoryRecorder::end(std::uint64_t op_id, SimTime now, Tag tag,
+                          const ValuePtr& value) {
+  assert(op_id < ops_.size());
+  OpRecord& r = ops_[op_id];
+  assert(!r.complete() && "operation responded twice");
+  assert(now >= r.invoked);
+  r.responded = now;
+  r.tag = tag;
+  r.value_hash = hash_value(value);
+  r.tag_known = true;
+}
+
+std::vector<OpRecord> HistoryRecorder::completed() const {
+  std::vector<OpRecord> out;
+  for (const auto& r : ops_) {
+    if (r.complete()) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace ares::checker

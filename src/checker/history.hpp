@@ -1,0 +1,68 @@
+// Operation history recording: every client read/write logs its invocation
+// and response events so the test suite can machine-check atomicity
+// (properties A1-A3 of Section 2) on real executions.
+#pragma once
+
+#include "common/types.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ares::checker {
+
+enum class OpKind { kRead, kWrite };
+
+inline constexpr SimTime kNotResponded = ~SimTime{0};
+
+struct OpRecord {
+  std::uint64_t op_id = 0;
+  ProcessId client = kNoProcess;
+  OpKind kind = OpKind::kRead;
+  SimTime invoked = 0;
+  SimTime responded = kNotResponded;
+  Tag tag;                    // write: tag created; read: tag returned
+  std::uint64_t value_hash = 0;
+
+  /// True once `tag`/`value_hash` are meaningful. A write that crashed
+  /// before choosing its tag stays tag_known == false and can never be
+  /// matched by (or satisfy) a read.
+  bool tag_known = false;
+
+  [[nodiscard]] bool complete() const { return responded != kNotResponded; }
+};
+
+/// FNV-1a digest of a value (0 for absent values); used to compare what a
+/// read returned against what a write wrote without retaining payloads.
+[[nodiscard]] std::uint64_t hash_value(const ValuePtr& v);
+
+/// Digest of the canonical initial value v0 (the empty value), which every
+/// protocol in this repo returns for reads that observe only t0.
+[[nodiscard]] std::uint64_t initial_value_hash();
+
+class HistoryRecorder {
+ public:
+  /// Record an invocation; returns the op id to close with end().
+  std::uint64_t begin(ProcessId client, OpKind kind, SimTime now);
+
+  /// Record the tag a write chose, *before* it completes — so a writer
+  /// that crashes mid-put still leaves a matchable record (its value may
+  /// legitimately be returned by reads).
+  void note_write_tag(std::uint64_t op_id, Tag tag, const ValuePtr& value);
+
+  /// Record the matching response.
+  void end(std::uint64_t op_id, SimTime now, Tag tag, const ValuePtr& value);
+
+  [[nodiscard]] const std::vector<OpRecord>& records() const { return ops_; }
+
+  /// Only the operations that responded (the set Π of the atomicity
+  /// definition contains complete operations).
+  [[nodiscard]] std::vector<OpRecord> completed() const;
+
+  void clear() { ops_.clear(); }
+
+ private:
+  std::vector<OpRecord> ops_;
+};
+
+}  // namespace ares::checker

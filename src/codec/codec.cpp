@@ -1,0 +1,164 @@
+#include "codec/codec.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <unordered_set>
+
+namespace ares::codec {
+namespace {
+
+constexpr std::size_t kHeaderBytes = 8;  // original value length, LE u64
+
+void put_len(Value& frag, std::uint64_t len) {
+  for (std::size_t i = 0; i < kHeaderBytes; ++i) {
+    frag[i] = static_cast<std::uint8_t>(len >> (8 * i));
+  }
+}
+
+std::uint64_t get_len(const Value& frag) {
+  std::uint64_t len = 0;
+  for (std::size_t i = 0; i < kHeaderBytes; ++i) {
+    len |= static_cast<std::uint64_t>(frag[i]) << (8 * i);
+  }
+  return len;
+}
+
+/// Picks k fragments with distinct indices; nullopt if impossible.
+std::optional<std::vector<Fragment>> pick_distinct(
+    const std::vector<Fragment>& fragments, std::size_t k, std::size_t n) {
+  std::vector<Fragment> picked;
+  std::unordered_set<std::uint32_t> seen;
+  for (const auto& f : fragments) {
+    if (!f.data || f.index >= n || seen.contains(f.index)) continue;
+    seen.insert(f.index);
+    picked.push_back(f);
+    if (picked.size() == k) return picked;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool Codec::is_decodable(const std::vector<Fragment>& fragments) const {
+  std::unordered_set<std::uint32_t> seen;
+  for (const auto& f : fragments) {
+    if (f.data && f.index < n()) seen.insert(f.index);
+  }
+  return seen.size() >= k();
+}
+
+// ---------------------------------------------------------------------------
+// ReedSolomonCodec
+// ---------------------------------------------------------------------------
+
+ReedSolomonCodec::ReedSolomonCodec(std::size_t n, std::size_t k)
+    : n_(n), k_(k), generator_(systematic_mds_matrix(n, k)) {
+  assert(k >= 1 && k <= n && n <= 255);
+}
+
+std::vector<Value> ReedSolomonCodec::stripes(const Value& v) const {
+  const std::size_t stripe_len = (v.size() + k_ - 1) / k_;
+  std::vector<Value> out(k_, Value(stripe_len, 0));
+  for (std::size_t i = 0; i < v.size(); ++i) out[i / stripe_len][i % stripe_len] = v[i];
+  return out;
+}
+
+std::vector<Fragment> ReedSolomonCodec::encode(const Value& v) const {
+  const auto in = stripes(v);
+  const auto coded = generator_.apply(in);
+  std::vector<Fragment> out(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    Value frag(kHeaderBytes + coded[i].size());
+    put_len(frag, v.size());
+    std::copy(coded[i].begin(), coded[i].end(), frag.begin() + kHeaderBytes);
+    out[i] = Fragment{static_cast<std::uint32_t>(i),
+                      std::make_shared<const Value>(std::move(frag))};
+  }
+  return out;
+}
+
+Fragment ReedSolomonCodec::encode_one(const Value& v,
+                                      std::uint32_t index) const {
+  assert(index < n_);
+  const auto in = stripes(v);
+  const std::size_t stripe_len = in.front().size();
+  Value frag(kHeaderBytes + stripe_len, 0);
+  put_len(frag, v.size());
+  for (std::size_t c = 0; c < k_; ++c) {
+    const GF256::Elem a = generator_.at(index, c);
+    if (a == 0) continue;
+    for (std::size_t j = 0; j < stripe_len; ++j) {
+      frag[kHeaderBytes + j] =
+          GF256::add(frag[kHeaderBytes + j], GF256::mul(a, in[c][j]));
+    }
+  }
+  return Fragment{index, std::make_shared<const Value>(std::move(frag))};
+}
+
+std::optional<Value> ReedSolomonCodec::decode(
+    const std::vector<Fragment>& fragments) const {
+  auto picked = pick_distinct(fragments, k_, n_);
+  if (!picked) return std::nullopt;
+
+  std::vector<std::size_t> rows(k_);
+  std::vector<std::vector<std::uint8_t>> payloads(k_);
+  std::size_t stripe_len = 0;
+  std::uint64_t orig_len = 0;
+  for (std::size_t i = 0; i < k_; ++i) {
+    const auto& f = (*picked)[i];
+    if (f.data->size() < kHeaderBytes) return std::nullopt;
+    rows[i] = f.index;
+    payloads[i].assign(f.data->begin() + kHeaderBytes, f.data->end());
+    if (i == 0) {
+      stripe_len = payloads[i].size();
+      orig_len = get_len(*f.data);
+    } else if (payloads[i].size() != stripe_len || get_len(*f.data) != orig_len) {
+      return std::nullopt;  // inconsistent fragment set
+    }
+  }
+
+  auto sub_inv = generator_.select_rows(rows).inverse();
+  if (!sub_inv) return std::nullopt;  // cannot happen for an MDS generator
+  const auto recovered = sub_inv->apply(payloads);
+
+  Value v(orig_len);
+  for (std::size_t i = 0; i < orig_len; ++i) {
+    v[i] = recovered[i / stripe_len][i % stripe_len];
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// ReplicationCodec
+// ---------------------------------------------------------------------------
+
+std::vector<Fragment> ReplicationCodec::encode(const Value& v) const {
+  auto shared = std::make_shared<const Value>(v);
+  std::vector<Fragment> out(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    out[i] = Fragment{static_cast<std::uint32_t>(i), shared};
+  }
+  return out;
+}
+
+Fragment ReplicationCodec::encode_one(const Value& v,
+                                      std::uint32_t index) const {
+  assert(index < n_);
+  return Fragment{index, std::make_shared<const Value>(v)};
+}
+
+std::optional<Value> ReplicationCodec::decode(
+    const std::vector<Fragment>& fragments) const {
+  for (const auto& f : fragments) {
+    if (f.data && f.index < n_) return *f.data;
+  }
+  return std::nullopt;
+}
+
+std::shared_ptr<const Codec> make_codec(std::size_t n, std::size_t k) {
+  if (k <= 1) return std::make_shared<ReplicationCodec>(n);
+  return std::make_shared<ReedSolomonCodec>(n, k);
+}
+
+}  // namespace ares::codec

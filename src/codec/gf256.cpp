@@ -1,0 +1,45 @@
+#include "codec/gf256.hpp"
+
+#include <cassert>
+
+namespace ares::codec {
+
+const GF256::Tables& GF256::tables() {
+  static const Tables t = [] {
+    Tables tb;
+    // Generator 0x03 is primitive for polynomial 0x11B.
+    unsigned x = 1;
+    for (unsigned i = 0; i < 255; ++i) {
+      tb.exp[i] = static_cast<Elem>(x);
+      tb.exp[i + 255] = static_cast<Elem>(x);
+      tb.log[x] = static_cast<std::uint16_t>(i);
+      // x *= 3 in GF(2^8): x ^ (x << 1) with reduction.
+      unsigned next = x ^ (x << 1);
+      if (next & 0x100) next ^= 0x11B;
+      x = next & 0xFF;
+    }
+    tb.log[0] = 0;  // never consulted: mul/div guard zero operands
+    return tb;
+  }();
+  return t;
+}
+
+GF256::Elem GF256::inv(Elem a) {
+  assert(a != 0 && "division by zero in GF(256)");
+  return tables().exp[255 - tables().log[a]];
+}
+
+GF256::Elem GF256::div(Elem a, Elem b) {
+  assert(b != 0 && "division by zero in GF(256)");
+  if (a == 0) return 0;
+  return tables().exp[tables().log[a] + 255 - tables().log[b]];
+}
+
+GF256::Elem GF256::pow(Elem a, unsigned e) {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const unsigned idx = (static_cast<unsigned>(tables().log[a]) * e) % 255;
+  return tables().exp[idx];
+}
+
+}  // namespace ares::codec

@@ -1,0 +1,43 @@
+// Arithmetic in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1 (0x11B),
+// via log/exp tables built at static-init time. This is the field underlying
+// the Reed-Solomon [n, k] MDS codes used by TREAS (n <= 255).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace ares::codec {
+
+class GF256 {
+ public:
+  using Elem = std::uint8_t;
+
+  static constexpr unsigned kFieldSize = 256;
+
+  [[nodiscard]] static Elem add(Elem a, Elem b) { return a ^ b; }
+  [[nodiscard]] static Elem sub(Elem a, Elem b) { return a ^ b; }
+
+  [[nodiscard]] static Elem mul(Elem a, Elem b) {
+    if (a == 0 || b == 0) return 0;
+    return tables().exp[tables().log[a] + tables().log[b]];
+  }
+
+  /// Multiplicative inverse. Precondition: a != 0.
+  [[nodiscard]] static Elem inv(Elem a);
+
+  /// a / b. Precondition: b != 0.
+  [[nodiscard]] static Elem div(Elem a, Elem b);
+
+  /// a^e (e >= 0).
+  [[nodiscard]] static Elem pow(Elem a, unsigned e);
+
+ private:
+  struct Tables {
+    // exp has 510 entries so mul can skip the mod-255 reduction.
+    std::array<Elem, 510> exp{};
+    std::array<std::uint16_t, 256> log{};
+  };
+  static const Tables& tables();
+};
+
+}  // namespace ares::codec

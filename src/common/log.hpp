@@ -1,0 +1,43 @@
+// Minimal leveled logging. Off by default so tests and benches run quietly;
+// examples turn it on to narrate executions.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ares {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+/// Streaming log statement: LOG(kInfo) << "x=" << x;
+class LogStatement {
+ public:
+  explicit LogStatement(LogLevel level) : level_(level) {}
+  ~LogStatement() {
+    if (level_ >= log_level()) detail::log_line(level_, stream_.str());
+  }
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+
+  template <typename T>
+  LogStatement& operator<<(const T& v) {
+    if (level_ >= log_level()) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace ares
+
+#define ARES_LOG(level) ::ares::LogStatement(::ares::LogLevel::level)

@@ -1,0 +1,57 @@
+#include "common/random.hpp"
+
+namespace ares {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& w : state_) w = splitmix64(s);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) {
+  if (lo >= hi) return lo;
+  const std::uint64_t span = hi - lo + 1;
+  // Rejection sampling to avoid modulo bias (span never near 2^64 here).
+  const std::uint64_t limit = span * (UINT64_MAX / span);
+  std::uint64_t x;
+  do {
+    x = next_u64();
+  } while (x >= limit);
+  return lo + x % span;
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) { return uniform01() < p; }
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+}  // namespace ares

@@ -1,0 +1,35 @@
+// Deterministic, seedable PRNG used everywhere in the simulation so that
+// every execution is exactly reproducible from a single seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace ares {
+
+/// xoshiro256** seeded via SplitMix64. Small, fast, and good enough for
+/// simulated message delays and workload generation (not cryptographic).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in the closed interval [lo, hi].
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p);
+
+  /// Derive an independent child RNG (for per-component streams).
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace ares

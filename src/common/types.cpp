@@ -1,0 +1,24 @@
+#include "common/types.hpp"
+
+#include "common/random.hpp"
+
+#include <utility>
+
+namespace ares {
+
+std::string Tag::to_string() const {
+  return "(" + std::to_string(z) + "," + std::to_string(writer) + ")";
+}
+
+ValuePtr make_value(Value v) {
+  return std::make_shared<const Value>(std::move(v));
+}
+
+Value make_test_value(std::size_t size, std::uint64_t seed) {
+  Value v(size);
+  Rng rng(seed);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.next_u64());
+  return v;
+}
+
+}  // namespace ares

@@ -1,0 +1,79 @@
+// Core value types shared by every module: process identifiers, logical
+// tags (the paper's (z, w) timestamps), object values, and simulated time.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ares {
+
+/// Identifier of any process (client or server) in the system.
+/// Process ids are dense small integers assigned by the deployment builder.
+using ProcessId = std::uint32_t;
+
+/// Sentinel meaning "no process".
+inline constexpr ProcessId kNoProcess = std::numeric_limits<ProcessId>::max();
+
+/// Identifier of a configuration (the paper's c ∈ C).
+using ConfigId = std::uint32_t;
+
+/// Sentinel meaning "no configuration" (the paper's ⊥ pointer).
+inline constexpr ConfigId kNoConfig = std::numeric_limits<ConfigId>::max();
+
+/// Simulated time, in abstract "time units" (the paper measures everything
+/// in multiples of the message-delay bounds d and D).
+using SimTime = std::uint64_t;
+using SimDuration = std::uint64_t;
+
+/// A logical tag τ = (z, w): an unbounded integer z paired with the writer
+/// id w that created it. Totally ordered lexicographically (Section 2).
+struct Tag {
+  std::uint64_t z = 0;
+  ProcessId writer = 0;
+
+  friend constexpr auto operator<=>(const Tag&, const Tag&) = default;
+
+  /// The paper's inc(t) for writer w: (t.z + 1, w).
+  [[nodiscard]] constexpr Tag next(ProcessId w) const { return Tag{z + 1, w}; }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// The initial tag t0 associated with the initial value v0.
+inline constexpr Tag kInitialTag{0, 0};
+
+/// An object value. The paper normalizes costs to |v| = 1 unit; we carry
+/// real bytes so erasure coding and byte accounting are exercised for real.
+using Value = std::vector<std::uint8_t>;
+
+/// Values travel through the simulated network by shared pointer so that a
+/// broadcast of a 1 MB object does not physically copy it n times; the
+/// network still *accounts* the bytes per message (see sim/network.hpp).
+using ValuePtr = std::shared_ptr<const Value>;
+
+/// Convenience: wrap a Value into a ValuePtr.
+[[nodiscard]] ValuePtr make_value(Value v);
+
+/// Convenience: a deterministic pseudo-random value of `size` bytes derived
+/// from `seed` (used by tests, examples and workloads).
+[[nodiscard]] Value make_test_value(std::size_t size, std::uint64_t seed);
+
+/// A (tag, value) pair as used by get-data / put-data.
+struct TagValue {
+  Tag tag;
+  ValuePtr value;  // may be null to represent ⊥ / metadata-only
+
+  [[nodiscard]] bool has_value() const { return value != nullptr; }
+};
+
+/// Returns the later of two tag-value pairs by tag order.
+[[nodiscard]] inline const TagValue& max_by_tag(const TagValue& a,
+                                                const TagValue& b) {
+  return (b.tag > a.tag) ? b : a;
+}
+
+}  // namespace ares

@@ -1,0 +1,194 @@
+#include "consensus/paxos.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+
+namespace ares::consensus {
+
+// --- acceptor ---------------------------------------------------------------
+
+bool PaxosAcceptor::handle(sim::Process& host, const sim::Message& msg) {
+  if (auto prep = std::dynamic_pointer_cast<const PrepareReq>(msg.body)) {
+    auto reply = std::make_shared<PrepareReply>();
+    reply->decided = decided_;
+    reply->decided_value = decided_value_;
+    if (!decided_ && prep->ballot > promised_) {
+      promised_ = prep->ballot;
+      reply->ok = true;
+      reply->has_accepted = has_accepted_;
+      reply->accepted_ballot = accepted_ballot_;
+      reply->accepted_value = accepted_value_;
+    } else {
+      reply->promised = promised_;
+    }
+    host.reply_to(msg, std::move(reply));
+    return true;
+  }
+  if (auto acc = std::dynamic_pointer_cast<const AcceptReq>(msg.body)) {
+    auto reply = std::make_shared<AcceptReply>();
+    reply->decided = decided_;
+    reply->decided_value = decided_value_;
+    if (!decided_ && acc->ballot >= promised_) {
+      promised_ = acc->ballot;
+      has_accepted_ = true;
+      accepted_ballot_ = acc->ballot;
+      accepted_value_ = acc->value;
+      reply->ok = true;
+    } else {
+      reply->promised = promised_;
+    }
+    host.reply_to(msg, std::move(reply));
+    return true;
+  }
+  if (auto dec = std::dynamic_pointer_cast<const DecidedMsg>(msg.body)) {
+    decided_ = true;
+    decided_value_ = dec->value;
+    return true;
+  }
+  return false;
+}
+
+// --- proposer ---------------------------------------------------------------
+
+PaxosProposer::PaxosProposer(sim::Process& owner, ConfigId instance,
+                             std::vector<ProcessId> acceptors,
+                             std::uint64_t seed, SimDuration backoff_base)
+    : owner_(owner),
+      instance_(instance),
+      acceptors_(std::move(acceptors)),
+      rng_(seed),
+      backoff_base_(backoff_base) {}
+
+sim::Future<PaxosValue> PaxosProposer::propose(PaxosValue value) {
+  const std::size_t n = acceptors_.size();
+  const std::size_t maj = majority();
+
+  for (;;) {
+    ++round_;
+    const Ballot ballot{round_, owner_.id()};
+
+    // ---- Phase 1: prepare --------------------------------------------------
+    auto p1 = sim::broadcast_collect<PrepareReply>(
+        owner_, acceptors_, [this, ballot](ProcessId) {
+          auto req = std::make_shared<PrepareReq>();
+          req->config = instance_;
+          req->ballot = ballot;
+          return req;
+        });
+    using P1Arrivals = std::vector<sim::QuorumCollector<PrepareReply>::Arrival>;
+    // Hoisted per the GCC-12 note in sim/coro.hpp.
+    std::function<bool(const P1Arrivals&)> p1_pred = [maj,
+                                                      n](const P1Arrivals& a) {
+      std::size_t ok = 0, nack = 0;
+      bool decided = false;
+      for (const auto& r : a) {
+        if (r.reply->decided) decided = true;
+        r.reply->ok ? ++ok : ++nack;
+      }
+      return decided || ok >= maj || nack > n - maj;
+    };
+    sim::Future<bool> p1_wait = p1.wait(p1_pred);
+    co_await p1_wait;
+
+    std::size_t promises = 0;
+    Ballot best_accepted{};
+    std::optional<PaxosValue> adopted;
+    Ballot highest_promised{};
+    bool saw_decided = false;
+    PaxosValue decided_value = 0;
+    for (const auto& r : p1.arrivals()) {
+      if (r.reply->decided) {
+        saw_decided = true;
+        decided_value = r.reply->decided_value;
+      }
+      if (r.reply->ok) {
+        ++promises;
+        if (r.reply->has_accepted && r.reply->accepted_ballot >= best_accepted) {
+          best_accepted = r.reply->accepted_ballot;
+          adopted = r.reply->accepted_value;
+        }
+      } else {
+        highest_promised = std::max(highest_promised, r.reply->promised);
+      }
+    }
+    if (saw_decided) {
+      // Learn + help spread the decision, then return it (Agreement).
+      for (ProcessId s : acceptors_) {
+        auto dec = std::make_shared<DecidedMsg>();
+        dec->config = instance_;
+        dec->value = decided_value;
+        owner_.send(s, std::move(dec));
+      }
+      co_return decided_value;
+    }
+
+    if (promises >= maj) {
+      const PaxosValue proposal = adopted.value_or(value);
+
+      // ---- Phase 2: accept -------------------------------------------------
+      auto p2 = sim::broadcast_collect<AcceptReply>(
+          owner_, acceptors_, [this, ballot, proposal](ProcessId) {
+            auto req = std::make_shared<AcceptReq>();
+            req->config = instance_;
+            req->ballot = ballot;
+            req->value = proposal;
+            return req;
+          });
+      using P2Arrivals =
+          std::vector<sim::QuorumCollector<AcceptReply>::Arrival>;
+      std::function<bool(const P2Arrivals&)> p2_pred =
+          [maj, n](const P2Arrivals& a) {
+            std::size_t ok = 0, nack = 0;
+            bool decided = false;
+            for (const auto& r : a) {
+              if (r.reply->decided) decided = true;
+              r.reply->ok ? ++ok : ++nack;
+            }
+            return decided || ok >= maj || nack > n - maj;
+          };
+      sim::Future<bool> p2_wait = p2.wait(p2_pred);
+      co_await p2_wait;
+
+      std::size_t accepts = 0;
+      saw_decided = false;
+      for (const auto& r : p2.arrivals()) {
+        if (r.reply->decided) {
+          saw_decided = true;
+          decided_value = r.reply->decided_value;
+        }
+        if (r.reply->ok) ++accepts;
+        else highest_promised = std::max(highest_promised, r.reply->promised);
+      }
+      if (saw_decided) {
+        for (ProcessId s : acceptors_) {
+          auto dec = std::make_shared<DecidedMsg>();
+          dec->config = instance_;
+          dec->value = decided_value;
+          owner_.send(s, std::move(dec));
+        }
+        co_return decided_value;
+      }
+      if (accepts >= maj) {
+        // Chosen. Teach the acceptors so later proposers short-circuit.
+        for (ProcessId s : acceptors_) {
+          auto dec = std::make_shared<DecidedMsg>();
+          dec->config = instance_;
+          dec->value = proposal;
+          owner_.send(s, std::move(dec));
+        }
+        co_return proposal;
+      }
+    }
+
+    // Lost the round: jump past the highest ballot we saw, back off randomly
+    // so contending proposers interleave, and retry.
+    round_ = std::max(round_, highest_promised.round);
+    const std::uint64_t shift = std::min<std::uint64_t>(round_, 6);
+    const SimDuration backoff = static_cast<SimDuration>(
+        rng_.uniform(1, backoff_base_ << shift));
+    co_await sim::sleep_for(owner_.simulator(), backoff);
+  }
+}
+
+}  // namespace ares::consensus

@@ -1,0 +1,130 @@
+// Single-decree Paxos: the consensus service c.Con each ARES configuration
+// runs on its servers (Definition 41: Agreement, Validity, Termination).
+// Acceptors are the configuration's servers (majority quorums); any client
+// may propose. Randomized exponential backoff between ballot rounds makes
+// termination hold with probability 1 under the simulator's fair scheduling.
+#pragma once
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+#include "sim/coro.hpp"
+#include "sim/message.hpp"
+#include "sim/process.hpp"
+
+#include <compare>
+#include <cstdint>
+#include <vector>
+
+namespace ares::consensus {
+
+/// Values decided by c.Con are configuration identifiers.
+using PaxosValue = std::uint64_t;
+
+struct Ballot {
+  std::uint64_t round = 0;
+  ProcessId proposer = 0;
+  friend constexpr auto operator<=>(const Ballot&, const Ballot&) = default;
+};
+
+// --- messages --------------------------------------------------------------
+
+class PrepareReq final : public sim::RpcRequest {
+ public:
+  Ballot ballot;
+  [[nodiscard]] std::string_view type_name() const override {
+    return "paxos.prepare";
+  }
+};
+
+class PrepareReply final : public sim::RpcReply {
+ public:
+  bool ok = false;
+  Ballot promised;  // on nack: the ballot we already promised
+  bool has_accepted = false;
+  Ballot accepted_ballot;
+  PaxosValue accepted_value = 0;
+  bool decided = false;
+  PaxosValue decided_value = 0;
+  [[nodiscard]] std::string_view type_name() const override {
+    return "paxos.promise";
+  }
+};
+
+class AcceptReq final : public sim::RpcRequest {
+ public:
+  Ballot ballot;
+  PaxosValue value = 0;
+  [[nodiscard]] std::string_view type_name() const override {
+    return "paxos.accept";
+  }
+};
+
+class AcceptReply final : public sim::RpcReply {
+ public:
+  bool ok = false;
+  Ballot promised;
+  bool decided = false;
+  PaxosValue decided_value = 0;
+  [[nodiscard]] std::string_view type_name() const override {
+    return "paxos.accepted";
+  }
+};
+
+/// One-way decision broadcast so acceptors can answer future proposers
+/// immediately. Derives RpcRequest only to carry the config id; no reply.
+class DecidedMsg final : public sim::RpcRequest {
+ public:
+  PaxosValue value = 0;
+  [[nodiscard]] std::string_view type_name() const override {
+    return "paxos.decided";
+  }
+};
+
+// --- acceptor ---------------------------------------------------------------
+
+/// Per-configuration acceptor state, hosted inside a server process.
+class PaxosAcceptor {
+ public:
+  /// Handles prepare/accept/decided messages; returns true if consumed.
+  bool handle(sim::Process& host, const sim::Message& msg);
+
+  [[nodiscard]] bool decided() const { return decided_; }
+  [[nodiscard]] PaxosValue decided_value() const { return decided_value_; }
+
+ private:
+  Ballot promised_{};
+  bool has_accepted_ = false;
+  Ballot accepted_ballot_{};
+  PaxosValue accepted_value_ = 0;
+  bool decided_ = false;
+  PaxosValue decided_value_ = 0;
+};
+
+// --- proposer ---------------------------------------------------------------
+
+class PaxosProposer {
+ public:
+  /// `owner` executes the protocol; `instance` is the configuration whose
+  /// consensus object this is; `acceptors` are that configuration's servers.
+  PaxosProposer(sim::Process& owner, ConfigId instance,
+                std::vector<ProcessId> acceptors, std::uint64_t seed,
+                SimDuration backoff_base = 8);
+
+  /// Definition 41 propose(v): completes with the decided value (which is
+  /// v, or the value some competing proposer got decided).
+  [[nodiscard]] sim::Future<PaxosValue> propose(PaxosValue value);
+
+ private:
+  [[nodiscard]] std::size_t majority() const {
+    return acceptors_.size() / 2 + 1;
+  }
+
+  sim::Process& owner_;
+  ConfigId instance_;
+  std::vector<ProcessId> acceptors_;
+  Rng rng_;
+  SimDuration backoff_base_;
+  std::uint64_t round_ = 0;
+};
+
+}  // namespace ares::consensus

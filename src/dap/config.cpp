@@ -1,0 +1,17 @@
+#include "dap/config.hpp"
+
+namespace ares::dap {
+
+const char* protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kAbd:
+      return "ABD";
+    case Protocol::kTreas:
+      return "TREAS";
+    case Protocol::kLdr:
+      return "LDR";
+  }
+  return "?";
+}
+
+}  // namespace ares::dap

@@ -1,0 +1,114 @@
+// Configuration descriptors (the paper's c ∈ C): which servers, which
+// atomic-memory algorithm with which parameters, and the derived quorum
+// arithmetic. A ConfigRegistry maps configuration ids to specs — the
+// simulated equivalent of shipping the spec inside configuration metadata.
+#pragma once
+
+#include "common/types.hpp"
+#include "codec/codec.hpp"
+
+#include <cassert>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace ares::dap {
+
+/// Which DAP implementation a configuration runs (Remark 22: ARES may mix
+/// protocols across configurations).
+enum class Protocol {
+  kAbd,    // replication, majority quorums (Automaton 12)
+  kTreas,  // [n,k] MDS erasure coding (Section 3)
+  kLdr,    // directories + replicas (Automaton 13)
+};
+
+[[nodiscard]] const char* protocol_name(Protocol p);
+
+struct ConfigSpec {
+  ConfigId id = kNoConfig;
+  Protocol protocol = Protocol::kAbd;
+
+  /// All servers that are members of this configuration (c.Servers). For
+  /// LDR this is directories ∪ replicas.
+  std::vector<ProcessId> servers;
+
+  /// Erasure-code parameters (TREAS). k == 1 means replication.
+  std::size_t k = 1;
+
+  /// TREAS garbage-collection bound: servers keep coded elements for the
+  /// δ+1 highest tags.
+  std::size_t delta = 4;
+
+  /// LDR role split (empty for ABD/TREAS).
+  std::vector<ProcessId> directories;
+  std::vector<ProcessId> replicas;
+
+  /// LDR replica fault-tolerance parameter f (writes go to 2f+1 replicas,
+  /// await f+1 acks).
+  std::size_t ldr_f = 1;
+
+  /// TREAS read liveness knobs beyond the paper's δ assumption: if the
+  /// get-data decodability condition is not met, re-query after this many
+  /// time units (0 = wait forever, the paper's exact semantics), up to
+  /// `treas_max_retries` rounds.
+  SimDuration treas_retry_timeout = 0;
+  std::size_t treas_max_retries = 16;
+
+  [[nodiscard]] std::size_t n() const { return servers.size(); }
+
+  /// Client wait threshold for DAP phases:
+  ///   ABD   — majority:      ⌊n/2⌋ + 1
+  ///   TREAS — ⌈(n+k)/2⌉  (Section 3, requires k > n/3 for liveness)
+  [[nodiscard]] std::size_t quorum_size() const {
+    if (protocol == Protocol::kTreas) return (n() + k + 1) / 2;
+    return n() / 2 + 1;
+  }
+
+  /// Maximum crash faults the configuration tolerates:
+  ///   ABD   — ⌈n/2⌉ - 1
+  ///   TREAS — ⌊(n-k)/2⌋ (Section 3.1)
+  [[nodiscard]] std::size_t max_crash_faults() const {
+    if (protocol == Protocol::kTreas) return (n() - k) / 2;
+    return (n() - 1) / 2;
+  }
+
+  /// The codec this configuration stores data with.
+  [[nodiscard]] std::shared_ptr<const codec::Codec> make_codec() const {
+    return codec::make_codec(n(), protocol == Protocol::kTreas ? k : 1);
+  }
+};
+
+/// Shared id -> spec map. In a deployed system the spec rides along with
+/// configuration identifiers in messages; the registry is the simulation's
+/// equivalent lookup and is written once per configuration (specs are
+/// immutable after registration).
+class ConfigRegistry {
+ public:
+  ConfigId register_config(ConfigSpec spec) {
+    assert(spec.id != kNoConfig);
+    assert(!specs_.contains(spec.id) && "configuration ids are unique");
+    const ConfigId id = spec.id;
+    specs_.emplace(id, std::move(spec));
+    return id;
+  }
+
+  [[nodiscard]] const ConfigSpec& get(ConfigId id) const {
+    auto it = specs_.find(id);
+    assert(it != specs_.end() && "unknown configuration id");
+    return it->second;
+  }
+
+  [[nodiscard]] bool contains(ConfigId id) const { return specs_.contains(id); }
+
+  /// Allocate the next unused configuration id.
+  [[nodiscard]] ConfigId next_id() const {
+    ConfigId maxid = 0;
+    for (const auto& [id, _] : specs_) maxid = std::max(maxid, id);
+    return specs_.empty() ? 0 : maxid + 1;
+  }
+
+ private:
+  std::unordered_map<ConfigId, ConfigSpec> specs_;
+};
+
+}  // namespace ares::dap

@@ -1,0 +1,10 @@
+#include "dap/dap.hpp"
+
+namespace ares::dap {
+
+sim::Future<Tag> Dap::get_dec_tag() {
+  TagValue tv = co_await get_data();
+  co_return tv.tag;
+}
+
+}  // namespace ares::dap

@@ -1,0 +1,37 @@
+// The three data-access primitives of Definition 1, as an abstract
+// client-side interface. Implementations: AbdDap, TreasDap, LdrDap.
+//
+// Consistency contract (Definition 2), which the generic templates A1/A2
+// rely on for atomicity:
+//   C1: put-data(⟨τ,v⟩) completed before get-tag/get-data π ⟹ τ_π ≥ τ
+//   C2: get-data returns a pair written by some non-later put-data (or
+//       (t0, v0))
+//   C3 (A2 only): get-data results are monotone across sequential calls
+#pragma once
+
+#include "common/types.hpp"
+#include "sim/coro.hpp"
+
+namespace ares::dap {
+
+class Dap {
+ public:
+  virtual ~Dap() = default;
+
+  /// D1: c.get-tag()
+  [[nodiscard]] virtual sim::Future<Tag> get_tag() = 0;
+
+  /// D2: c.get-data()
+  [[nodiscard]] virtual sim::Future<TagValue> get_data() = 0;
+
+  /// D3: c.put-data(⟨τ,v⟩)
+  [[nodiscard]] virtual sim::Future<void> put_data(TagValue tv) = 0;
+
+  /// Extension used by ARES-TREAS reconfiguration (Section 5): the tag that
+  /// get-data would return, without moving the value through the client.
+  /// Default: run get-data and discard the value (correct but not
+  /// bandwidth-optimal; TREAS overrides with a metadata-only phase).
+  [[nodiscard]] virtual sim::Future<Tag> get_dec_tag();
+};
+
+}  // namespace ares::dap

@@ -1,0 +1,39 @@
+// Server-side counterpart of a DAP implementation: the per-configuration
+// state machine a server hosts (ABD's ⟨tag,value⟩ pair, TREAS's List, LDR's
+// directory/replica state) plus its message handlers.
+#pragma once
+
+#include "common/types.hpp"
+#include "dap/config.hpp"
+#include "sim/message.hpp"
+#include "sim/process.hpp"
+
+#include <memory>
+
+namespace ares::dap {
+
+/// What a server-side handler may do: reply to the request and send
+/// further messages (ARES-TREAS servers forward coded elements).
+struct ServerContext {
+  sim::Process& process;           // the hosting server process
+  const ConfigSpec& config;        // this configuration's spec
+  const ConfigRegistry& registry;  // for cross-configuration lookups
+};
+
+class DapServer {
+ public:
+  virtual ~DapServer() = default;
+
+  /// Handle one protocol message addressed to this configuration's state.
+  /// Returns true if the message was recognized and consumed.
+  virtual bool handle(ServerContext& ctx, const sim::Message& msg) = 0;
+
+  /// Bytes of object data currently stored (the paper's storage cost,
+  /// before normalization; metadata excluded).
+  [[nodiscard]] virtual std::size_t stored_data_bytes() const = 0;
+
+  /// Highest tag this server has seen (Definition 10 diagnostics).
+  [[nodiscard]] virtual Tag max_tag() const = 0;
+};
+
+}  // namespace ares::dap

@@ -1,0 +1,42 @@
+#include "dap/factory.hpp"
+
+#include "abd/client.hpp"
+#include "abd/server.hpp"
+#include "ldr/client.hpp"
+#include "ldr/server.hpp"
+#include "treas/client.hpp"
+#include "treas/server.hpp"
+
+namespace ares::dap {
+
+std::shared_ptr<Dap> make_dap(sim::Process& owner, const ConfigSpec& spec) {
+  switch (spec.protocol) {
+    case Protocol::kAbd:
+      return std::make_shared<abd::AbdDap>(owner, spec);
+    case Protocol::kTreas:
+      return std::make_shared<treas::TreasDap>(owner, spec);
+    case Protocol::kLdr:
+      return std::make_shared<ldr::LdrDap>(owner, spec);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<DapServer> make_dap_server(const ConfigSpec& spec,
+                                           ProcessId self) {
+  switch (spec.protocol) {
+    case Protocol::kAbd:
+      return std::make_unique<abd::AbdServerState>();
+    case Protocol::kTreas:
+      return std::make_unique<treas::TreasServerState>(spec, self);
+    case Protocol::kLdr:
+      return std::make_unique<ldr::LdrServerState>(spec, self);
+  }
+  return nullptr;
+}
+
+ReadTemplate read_template_for(Protocol p) {
+  return p == Protocol::kLdr ? ReadTemplate::kA2OnePhase
+                             : ReadTemplate::kA1TwoPhase;
+}
+
+}  // namespace ares::dap

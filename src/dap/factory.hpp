@@ -1,0 +1,27 @@
+// Instantiates the protocol-specific DAP client / server state for a
+// configuration (Remark 22: each configuration may pick its own protocol).
+#pragma once
+
+#include "dap/config.hpp"
+#include "dap/dap.hpp"
+#include "dap/dap_server.hpp"
+#include "dap/register_client.hpp"
+#include "sim/process.hpp"
+
+#include <memory>
+
+namespace ares::dap {
+
+/// Client-side primitives for `spec`, executed by `owner` (must outlive the
+/// returned object).
+[[nodiscard]] std::shared_ptr<Dap> make_dap(sim::Process& owner,
+                                            const ConfigSpec& spec);
+
+/// Per-configuration server state hosted by server `self`.
+[[nodiscard]] std::unique_ptr<DapServer> make_dap_server(
+    const ConfigSpec& spec, ProcessId self);
+
+/// The read template each protocol's DAP supports (LDR satisfies C3, so A2).
+[[nodiscard]] ReadTemplate read_template_for(Protocol p);
+
+}  // namespace ares::dap

@@ -1,0 +1,61 @@
+#include "dap/register_client.hpp"
+
+#include "checker/history.hpp"
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace ares::dap {
+namespace {
+
+SimTime sim_now() {
+  auto* sim = sim::Simulator::current();
+  return sim ? sim->now() : 0;
+}
+
+}  // namespace
+
+RegisterClient::RegisterClient(std::shared_ptr<Dap> dap, ProcessId writer_id,
+                               ReadTemplate read_template,
+                               checker::HistoryRecorder* recorder)
+    : dap_(std::move(dap)),
+      writer_id_(writer_id),
+      read_template_(read_template),
+      recorder_(recorder) {}
+
+sim::Future<TagValue> RegisterClient::read() {
+  std::uint64_t op_id = 0;
+  if (recorder_ != nullptr) {
+    op_id = recorder_->begin(writer_id_, checker::OpKind::kRead, sim_now());
+  }
+  TagValue tv = co_await dap_->get_data();
+  if (read_template_ == ReadTemplate::kA1TwoPhase) {
+    co_await dap_->put_data(tv);
+  }
+  if (recorder_ != nullptr) {
+    recorder_->end(op_id, sim_now(), tv.tag, tv.value);
+  }
+  co_return tv;
+}
+
+sim::Future<Tag> RegisterClient::write(ValuePtr value) {
+  std::uint64_t op_id = 0;
+  if (recorder_ != nullptr) {
+    op_id = recorder_->begin(writer_id_, checker::OpKind::kWrite, sim_now());
+  }
+  Tag t = co_await dap_->get_tag();
+  const Tag tw = t.next(writer_id_);
+  if (recorder_ != nullptr) {
+    // Record the tag now: if this writer crashes mid-put, its value may
+    // still be returned by reads and must be matchable in the history.
+    recorder_->note_write_tag(op_id, tw, value);
+  }
+  TagValue to_write{tw, value};  // named: see GCC-12 note in sim/coro.hpp
+  co_await dap_->put_data(to_write);
+  if (recorder_ != nullptr) {
+    recorder_->end(op_id, sim_now(), tw, value);
+  }
+  co_return tw;
+}
+
+}  // namespace ares::dap

@@ -1,0 +1,50 @@
+// The paper's generic templates A1 (Algorithm 10) and A2 (Algorithm 11):
+// any DAP satisfying C1/C2 (and C3 for A2) becomes an atomic MWMR register.
+//
+//   A1 read : ⟨t,v⟩ ← get-data(); put-data(⟨t,v⟩); return ⟨t,v⟩
+//   A2 read : ⟨t,v⟩ ← get-data(); return ⟨t,v⟩
+//   write(v): t ← get-tag(); put-data(⟨(t.z+1, w), v⟩)
+#pragma once
+
+#include "common/types.hpp"
+#include "dap/dap.hpp"
+#include "sim/coro.hpp"
+
+#include <memory>
+
+namespace ares::checker {
+class HistoryRecorder;
+}
+
+namespace ares::dap {
+
+enum class ReadTemplate {
+  kA1TwoPhase,   // get-data + put-data (ABD, TREAS)
+  kA2OnePhase,   // get-data only (LDR: its get-data already writes back
+                 // metadata, satisfying C3)
+};
+
+class RegisterClient {
+ public:
+  /// `writer_id` is the w component of generated tags; `recorder` (optional)
+  /// receives the operation history for atomicity checking.
+  RegisterClient(std::shared_ptr<Dap> dap, ProcessId writer_id,
+                 ReadTemplate read_template = ReadTemplate::kA1TwoPhase,
+                 checker::HistoryRecorder* recorder = nullptr);
+
+  /// Template A1/A2 read. Returns the tag-value pair.
+  [[nodiscard]] sim::Future<TagValue> read();
+
+  /// Template write. Returns the tag the value was written with.
+  [[nodiscard]] sim::Future<Tag> write(ValuePtr value);
+
+  [[nodiscard]] const std::shared_ptr<Dap>& dap() const { return dap_; }
+
+ private:
+  std::shared_ptr<Dap> dap_;
+  ProcessId writer_id_;
+  ReadTemplate read_template_;
+  checker::HistoryRecorder* recorder_;
+};
+
+}  // namespace ares::dap

@@ -1,0 +1,77 @@
+#include "harness/ares_cluster.hpp"
+
+#include <cassert>
+
+namespace ares::harness {
+
+AresCluster::AresCluster(AresClusterOptions options)
+    : options_(options),
+      sim_(options.seed),
+      net_(sim_, options.min_delay, options.max_delay) {
+  assert(options_.initial_servers <= options_.server_pool);
+
+  // Initial configuration c0 over the first servers of the pool.
+  dap::ConfigSpec c0;
+  c0.id = 0;
+  c0.protocol = options_.initial_protocol;
+  c0.k = options_.initial_protocol == dap::Protocol::kTreas
+             ? options_.initial_k
+             : 1;
+  c0.delta = options_.delta;
+  c0.treas_retry_timeout = options_.treas_retry_timeout;
+  for (std::size_t i = 0; i < options_.initial_servers; ++i) {
+    c0.servers.push_back(static_cast<ProcessId>(i));
+  }
+  registry_.register_config(c0);
+
+  for (std::size_t i = 0; i < options_.server_pool; ++i) {
+    servers_.push_back(std::make_unique<reconfig::AresServer>(
+        sim_, net_, static_cast<ProcessId>(i), registry_));
+  }
+
+  ProcessId next_pid = static_cast<ProcessId>(options_.server_pool);
+  for (std::size_t i = 0; i < options_.num_rw_clients; ++i) {
+    clients_.push_back(std::make_unique<reconfig::AresClient>(
+        sim_, net_, next_pid++, registry_, /*c0=*/0, &history_));
+  }
+  for (std::size_t i = 0; i < options_.num_reconfigurers; ++i) {
+    if (options_.direct_transfer) {
+      reconfigurers_.push_back(std::make_unique<arestreas::DirectAresClient>(
+          sim_, net_, next_pid++, registry_, /*c0=*/0, nullptr));
+    } else {
+      reconfigurers_.push_back(std::make_unique<reconfig::AresClient>(
+          sim_, net_, next_pid++, registry_, /*c0=*/0, nullptr));
+    }
+  }
+}
+
+dap::ConfigSpec AresCluster::make_spec(dap::Protocol protocol,
+                                       std::size_t first_server,
+                                       std::size_t n, std::size_t k) {
+  assert(n <= options_.server_pool);
+  dap::ConfigSpec spec;
+  spec.id = allocate_config_id();
+  spec.protocol = protocol;
+  spec.k = protocol == dap::Protocol::kTreas ? k : 1;
+  spec.delta = options_.delta;
+  spec.treas_retry_timeout = options_.treas_retry_timeout;
+  for (std::size_t i = 0; i < n; ++i) {
+    spec.servers.push_back(static_cast<ProcessId>(
+        (first_server + i) % options_.server_pool));
+  }
+  if (protocol == dap::Protocol::kLdr) {
+    const std::size_t d = std::max<std::size_t>(1, n / 2);
+    spec.directories.assign(spec.servers.begin(),
+                            spec.servers.begin() + static_cast<std::ptrdiff_t>(d));
+    spec.replicas.assign(spec.servers.begin(), spec.servers.end());
+  }
+  return spec;
+}
+
+std::size_t AresCluster::total_stored_bytes() const {
+  std::size_t sum = 0;
+  for (const auto& s : servers_) sum += s->stored_data_bytes();
+  return sum;
+}
+
+}  // namespace ares::harness

@@ -1,0 +1,95 @@
+// A full ARES deployment: a pool of ARES server processes, reader/writer
+// clients and reconfigurer clients, plus helpers to mint new configuration
+// specs drawn from the server pool — the harness for every reconfiguration
+// experiment.
+#pragma once
+
+#include "ares/client.hpp"
+#include "ares/server.hpp"
+#include "arestreas/direct_client.hpp"
+#include "checker/history.hpp"
+#include "dap/config.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace ares::harness {
+
+struct AresClusterOptions {
+  /// Total server processes available (configurations draw members from
+  /// this pool).
+  std::size_t server_pool = 12;
+
+  /// Initial configuration c0.
+  dap::Protocol initial_protocol = dap::Protocol::kTreas;
+  std::size_t initial_servers = 5;  // first N of the pool
+  std::size_t initial_k = 3;
+  std::size_t delta = 4;
+
+  std::size_t num_rw_clients = 2;
+  std::size_t num_reconfigurers = 1;
+
+  /// Reconfigurers use the Section-5 direct state transfer when true.
+  bool direct_transfer = false;
+
+  SimDuration min_delay = 10;  // d
+  SimDuration max_delay = 40;  // D
+  std::uint64_t seed = 1;
+  SimDuration treas_retry_timeout = 0;
+};
+
+class AresCluster {
+ public:
+  explicit AresCluster(AresClusterOptions options);
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] sim::Network& net() { return net_; }
+  [[nodiscard]] dap::ConfigRegistry& registry() { return registry_; }
+  [[nodiscard]] checker::HistoryRecorder& history() { return history_; }
+  [[nodiscard]] ConfigId initial_config() const { return 0; }
+
+  [[nodiscard]] std::vector<std::unique_ptr<reconfig::AresServer>>& servers() {
+    return servers_;
+  }
+  [[nodiscard]] reconfig::AresClient& client(std::size_t i) {
+    return *clients_[i];
+  }
+  [[nodiscard]] std::size_t num_clients() const { return clients_.size(); }
+  [[nodiscard]] reconfig::AresClient& reconfigurer(std::size_t i) {
+    return *reconfigurers_[i];
+  }
+  [[nodiscard]] std::size_t num_reconfigurers() const {
+    return reconfigurers_.size();
+  }
+
+  /// Builds the spec of a fresh configuration: `n` servers starting at pool
+  /// index `first_server` (wrapping), protocol/k as given. Does not
+  /// register it — reconfig() does that.
+  [[nodiscard]] dap::ConfigSpec make_spec(dap::Protocol protocol,
+                                          std::size_t first_server,
+                                          std::size_t n, std::size_t k);
+
+  /// Total object-data bytes stored across the whole server pool.
+  [[nodiscard]] std::size_t total_stored_bytes() const;
+
+  [[nodiscard]] const AresClusterOptions& options() const { return options_; }
+
+ private:
+  AresClusterOptions options_;
+  sim::Simulator sim_;
+  sim::Network net_;
+  dap::ConfigRegistry registry_;
+  checker::HistoryRecorder history_;
+  std::vector<std::unique_ptr<reconfig::AresServer>> servers_;
+  std::vector<std::unique_ptr<reconfig::AresClient>> clients_;
+  std::vector<std::unique_ptr<reconfig::AresClient>> reconfigurers_;
+  ConfigId next_config_id_ = 1;
+
+ public:
+  /// Next unused configuration id (monotonic; callers embed it in specs).
+  [[nodiscard]] ConfigId allocate_config_id() { return next_config_id_++; }
+};
+
+}  // namespace ares::harness

@@ -1,0 +1,83 @@
+#include "harness/static_cluster.hpp"
+
+#include <cassert>
+
+namespace ares::harness {
+
+StaticServer::StaticServer(sim::Simulator& sim, sim::Network& net,
+                           ProcessId id, const dap::ConfigSpec& spec,
+                           const dap::ConfigRegistry& reg)
+    : sim::Process(sim, net, id),
+      spec_(spec),
+      registry_(reg),
+      state_(dap::make_dap_server(spec, id)) {}
+
+void StaticServer::handle(const sim::Message& msg) {
+  dap::ServerContext ctx{*this, spec_, registry_};
+  state_->handle(ctx, msg);
+}
+
+StaticClient::StaticClient(sim::Simulator& sim, sim::Network& net,
+                           ProcessId id, const dap::ConfigSpec& spec,
+                           checker::HistoryRecorder* recorder)
+    : sim::Process(sim, net, id) {
+  dap_ = dap::make_dap(*this, spec);
+  reg_ = std::make_unique<dap::RegisterClient>(
+      dap_, id, dap::read_template_for(spec.protocol), recorder);
+}
+
+StaticCluster::StaticCluster(StaticClusterOptions options)
+    : options_(options),
+      sim_(options.seed),
+      net_(sim_, options.min_delay, options.max_delay) {
+  assert(options_.num_servers >= 1);
+
+  spec_.id = 0;
+  spec_.protocol = options_.protocol;
+  spec_.k = options_.protocol == dap::Protocol::kTreas ? options_.k : 1;
+  spec_.delta = options_.delta;
+  spec_.ldr_f = options_.ldr_f;
+  spec_.treas_retry_timeout = options_.treas_retry_timeout;
+  for (std::size_t i = 0; i < options_.num_servers; ++i) {
+    spec_.servers.push_back(static_cast<ProcessId>(i));
+  }
+  if (options_.protocol == dap::Protocol::kLdr) {
+    const std::size_t d =
+        std::min(options_.ldr_directories, options_.num_servers);
+    for (std::size_t i = 0; i < d; ++i) {
+      spec_.directories.push_back(static_cast<ProcessId>(i));
+    }
+    // Replicas: the remaining servers (all servers if too few remain).
+    for (std::size_t i = d; i < options_.num_servers; ++i) {
+      spec_.replicas.push_back(static_cast<ProcessId>(i));
+    }
+    if (spec_.replicas.size() < 2 * options_.ldr_f + 1) {
+      spec_.replicas = spec_.servers;
+    }
+  }
+  registry_.register_config(spec_);
+
+  for (ProcessId s : spec_.servers) {
+    servers_.push_back(
+        std::make_unique<StaticServer>(sim_, net_, s, spec_, registry_));
+  }
+  for (std::size_t i = 0; i < options_.num_clients; ++i) {
+    const ProcessId cid =
+        static_cast<ProcessId>(options_.num_servers + i);
+    clients_.push_back(
+        std::make_unique<StaticClient>(sim_, net_, cid, spec_, &history_));
+  }
+}
+
+std::size_t StaticCluster::total_stored_bytes() const {
+  std::size_t sum = 0;
+  for (const auto& s : servers_) sum += s->state().stored_data_bytes();
+  return sum;
+}
+
+void StaticCluster::crash_servers(std::size_t count) {
+  assert(count <= servers_.size());
+  for (std::size_t i = 0; i < count; ++i) net_.crash(servers_[i]->id());
+}
+
+}  // namespace ares::harness

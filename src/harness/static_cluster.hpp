@@ -1,0 +1,106 @@
+// A single-configuration deployment (no reconfiguration): n servers running
+// one DAP protocol plus any number of register clients. This is the harness
+// for standalone ABD / TREAS / LDR experiments and tests.
+#pragma once
+
+#include "checker/history.hpp"
+#include "dap/config.hpp"
+#include "dap/dap_server.hpp"
+#include "dap/factory.hpp"
+#include "dap/register_client.hpp"
+#include "sim/network.hpp"
+#include "sim/process.hpp"
+#include "sim/simulator.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace ares::harness {
+
+/// Server process hosting exactly one configuration's DAP state.
+class StaticServer final : public sim::Process {
+ public:
+  StaticServer(sim::Simulator& sim, sim::Network& net, ProcessId id,
+               const dap::ConfigSpec& spec, const dap::ConfigRegistry& reg);
+
+  [[nodiscard]] dap::DapServer& state() { return *state_; }
+  [[nodiscard]] const dap::DapServer& state() const { return *state_; }
+
+ protected:
+  void handle(const sim::Message& msg) override;
+
+ private:
+  const dap::ConfigSpec& spec_;
+  const dap::ConfigRegistry& registry_;
+  std::unique_ptr<dap::DapServer> state_;
+};
+
+/// Client process owning a RegisterClient over the configuration's DAP.
+class StaticClient final : public sim::Process {
+ public:
+  StaticClient(sim::Simulator& sim, sim::Network& net, ProcessId id,
+               const dap::ConfigSpec& spec,
+               checker::HistoryRecorder* recorder = nullptr);
+
+  [[nodiscard]] dap::RegisterClient& reg() { return *reg_; }
+  [[nodiscard]] dap::Dap& dap() { return *dap_; }
+
+ protected:
+  void handle(const sim::Message&) override {}
+
+ private:
+  std::shared_ptr<dap::Dap> dap_;
+  std::unique_ptr<dap::RegisterClient> reg_;
+};
+
+struct StaticClusterOptions {
+  dap::Protocol protocol = dap::Protocol::kTreas;
+  std::size_t num_servers = 5;
+  std::size_t k = 3;          // TREAS code dimension
+  std::size_t delta = 4;      // TREAS GC bound
+  std::size_t num_clients = 2;
+  std::size_t ldr_directories = 3;  // LDR role split (first d servers)
+  std::size_t ldr_f = 1;
+  SimDuration min_delay = 10;   // d
+  SimDuration max_delay = 40;   // D
+  std::uint64_t seed = 1;
+  SimDuration treas_retry_timeout = 0;
+};
+
+/// Owns the simulator, network, servers and clients of one static
+/// deployment. Construction wires everything; ops run via clients().
+class StaticCluster {
+ public:
+  explicit StaticCluster(StaticClusterOptions options);
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] sim::Network& net() { return net_; }
+  [[nodiscard]] const dap::ConfigSpec& spec() const { return spec_; }
+  [[nodiscard]] checker::HistoryRecorder& history() { return history_; }
+
+  [[nodiscard]] std::vector<std::unique_ptr<StaticServer>>& servers() {
+    return servers_;
+  }
+  [[nodiscard]] std::vector<std::unique_ptr<StaticClient>>& clients() {
+    return clients_;
+  }
+  [[nodiscard]] StaticClient& client(std::size_t i) { return *clients_[i]; }
+
+  /// Total object-data bytes stored across servers (paper's storage cost).
+  [[nodiscard]] std::size_t total_stored_bytes() const;
+
+  /// Crash `count` servers (the first `count`, deterministically).
+  void crash_servers(std::size_t count);
+
+ private:
+  StaticClusterOptions options_;
+  sim::Simulator sim_;
+  sim::Network net_;
+  dap::ConfigRegistry registry_;
+  dap::ConfigSpec spec_;
+  checker::HistoryRecorder history_;
+  std::vector<std::unique_ptr<StaticServer>> servers_;
+  std::vector<std::unique_ptr<StaticClient>> clients_;
+};
+
+}  // namespace ares::harness

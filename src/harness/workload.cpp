@@ -1,0 +1,4 @@
+#include "harness/workload.hpp"
+
+// Header-only templates; this TU anchors the library target.
+namespace ares::harness {}

@@ -1,0 +1,119 @@
+// Workload driver: runs concurrent randomized read/write workloads against
+// any client type exposing read()/write() (dap::RegisterClient for static
+// deployments, reconfig::AresClient for ARES) and gathers latency stats.
+#pragma once
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+#include "sim/coro.hpp"
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+namespace ares::harness {
+
+struct WorkloadOptions {
+  std::size_t ops_per_client = 20;
+  double write_fraction = 0.5;
+  std::size_t value_size = 64;
+  SimDuration think_min = 0;   // idle time between a client's operations
+  SimDuration think_max = 0;
+  std::uint64_t seed = 7;
+};
+
+struct OpStat {
+  bool is_write = false;
+  SimTime start = 0;
+  SimTime end = 0;
+  [[nodiscard]] SimDuration latency() const { return end - start; }
+};
+
+struct WorkloadResult {
+  std::vector<OpStat> ops;
+  std::size_t failures = 0;   // operations that threw (e.g. retry exhaustion)
+  bool completed = false;     // all client loops finished within the budget
+
+  [[nodiscard]] double mean_latency(bool writes) const {
+    double sum = 0;
+    std::size_t n = 0;
+    for (const auto& o : ops) {
+      if (o.is_write == writes) {
+        sum += static_cast<double>(o.latency());
+        ++n;
+      }
+    }
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+  }
+  [[nodiscard]] SimDuration max_latency() const {
+    SimDuration m = 0;
+    for (const auto& o : ops) m = std::max(m, o.latency());
+    return m;
+  }
+};
+
+namespace detail {
+
+struct WorkloadShared {
+  std::vector<OpStat> ops;
+  std::size_t failures = 0;
+  std::size_t done_loops = 0;
+};
+
+/// One client's operation loop. A named coroutine taking everything by
+/// value/shared-ptr (CppCoreGuidelines CP.51/CP.53).
+template <typename Client>
+sim::Future<void> client_loop(sim::Simulator* sim, Client* client,
+                              WorkloadOptions opt, std::uint64_t seed,
+                              std::shared_ptr<WorkloadShared> shared) {
+  Rng rng(seed);
+  for (std::size_t i = 0; i < opt.ops_per_client; ++i) {
+    if (opt.think_max > 0) {
+      co_await sim::sleep_for(*sim, rng.uniform(opt.think_min, opt.think_max));
+    }
+    OpStat stat;
+    stat.is_write = rng.chance(opt.write_fraction);
+    stat.start = sim->now();
+    try {
+      if (stat.is_write) {
+        auto payload = make_value(make_test_value(opt.value_size,
+                                                  rng.next_u64()));
+        (void)co_await client->write(std::move(payload));
+      } else {
+        (void)co_await client->read();
+      }
+      stat.end = sim->now();
+      shared->ops.push_back(stat);
+    } catch (const std::exception&) {
+      ++shared->failures;
+    }
+  }
+  ++shared->done_loops;
+  co_return;
+}
+
+}  // namespace detail
+
+/// Runs `opt.ops_per_client` operations on every client concurrently and
+/// drives the simulation until all loops finish (or the budget is hit).
+template <typename Client>
+WorkloadResult run_workload(sim::Simulator& sim, std::vector<Client*> clients,
+                            WorkloadOptions opt,
+                            std::size_t max_events = 20'000'000) {
+  auto shared = std::make_shared<detail::WorkloadShared>();
+  Rng seeder(opt.seed);
+  for (Client* c : clients) {
+    sim::detach(detail::client_loop(&sim, c, opt, seeder.next_u64(), shared));
+  }
+  const bool done = sim.run_until(
+      [&shared, n = clients.size()] { return shared->done_loops >= n; },
+      max_events);
+  WorkloadResult result;
+  result.ops = shared->ops;
+  result.failures = shared->failures;
+  result.completed = done;
+  return result;
+}
+
+}  // namespace ares::harness

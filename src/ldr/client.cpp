@@ -1,0 +1,119 @@
+#include "ldr/client.hpp"
+
+#include "ldr/messages.hpp"
+
+#include <cassert>
+
+namespace ares::ldr {
+
+LdrDap::LdrDap(sim::Process& owner, dap::ConfigSpec spec)
+    : owner_(owner), spec_(std::move(spec)) {
+  assert(spec_.protocol == dap::Protocol::kLdr);
+  assert(!spec_.directories.empty());
+  assert(spec_.replicas.size() >= 2 * spec_.ldr_f + 1);
+}
+
+sim::Future<Tag> LdrDap::get_tag() {
+  auto qc = sim::broadcast_collect<QueryTagLocReply>(
+      owner_, spec_.directories, [this](ProcessId) {
+        auto req = std::make_shared<QueryTagLocReq>();
+        req->config = spec_.id;
+        return req;
+      });
+  co_await qc.wait_for(dir_majority());
+  Tag max = kInitialTag;
+  for (const auto& a : qc.arrivals()) max = std::max(max, a.reply->tag);
+  co_return max;
+}
+
+sim::Future<TagValue> LdrDap::get_data() {
+  // Phase 1: ⟨τmax, Umax⟩ from a directory majority.
+  auto q1 = sim::broadcast_collect<QueryTagLocReply>(
+      owner_, spec_.directories, [this](ProcessId) {
+        auto req = std::make_shared<QueryTagLocReq>();
+        req->config = spec_.id;
+        return req;
+      });
+  co_await q1.wait_for(dir_majority());
+  Tag tmax = kInitialTag;
+  std::vector<ProcessId> umax;
+  for (const auto& a : q1.arrivals()) {
+    if (a.reply->tag > tmax || (a.reply->tag == tmax && umax.empty())) {
+      tmax = a.reply->tag;
+      umax = a.reply->loc;
+    }
+  }
+
+  // Phase 2: write the metadata back to a directory majority (C3).
+  auto q2 = sim::broadcast_collect<PutMetaAck>(
+      owner_, spec_.directories, [this, tmax, &umax](ProcessId) {
+        auto req = std::make_shared<PutMetaReq>();
+        req->config = spec_.id;
+        req->tag = tmax;
+        req->loc = umax;
+        return req;
+      });
+  co_await q2.wait_for(dir_majority());
+
+  // Phase 3: fetch the value from the location set (every replica for the
+  // initial tag, whose location metadata is empty).
+  std::vector<ProcessId> targets = umax.empty() ? spec_.replicas : umax;
+  auto q3 = sim::broadcast_collect<GetDataReply>(
+      owner_, targets, [this, tmax](ProcessId) {
+        auto req = std::make_shared<GetDataReq>();
+        req->config = spec_.id;
+        req->tag = tmax;
+        return req;
+      });
+  using Arrivals = std::vector<sim::QuorumCollector<GetDataReply>::Arrival>;
+  // Hoisted per the GCC-12 note in sim/coro.hpp.
+  std::function<bool(const Arrivals&)> pred = [tmax](const Arrivals& arrivals) {
+    for (const auto& a : arrivals) {
+      if (a.reply->value && a.reply->tag == tmax) return true;
+    }
+    return false;
+  };
+  sim::Future<bool> wait_future = q3.wait(pred);
+  co_await wait_future;
+  for (const auto& a : q3.arrivals()) {
+    if (a.reply->value && a.reply->tag == tmax) {
+      co_return TagValue{tmax, a.reply->value};
+    }
+  }
+  assert(false && "wait predicate guaranteed a matching reply");
+  co_return TagValue{};
+}
+
+sim::Future<void> LdrDap::put_data(TagValue tv) {
+  assert(tv.value);
+  // Phase 1: value to 2f+1 replicas, await f+1 acks; U = the responders.
+  std::vector<ProcessId> targets(spec_.replicas.begin(),
+                                 spec_.replicas.begin() +
+                                     static_cast<std::ptrdiff_t>(
+                                         2 * spec_.ldr_f + 1));
+  auto q1 = sim::broadcast_collect<PutDataAck>(
+      owner_, targets, [this, &tv](ProcessId) {
+        auto req = std::make_shared<PutDataReq>();
+        req->config = spec_.id;
+        req->tag = tv.tag;
+        req->value = tv.value;
+        return req;
+      });
+  co_await q1.wait_for(spec_.ldr_f + 1);
+  std::vector<ProcessId> u;
+  for (const auto& a : q1.arrivals()) u.push_back(a.from);
+
+  // Phase 2: ⟨τ, U⟩ metadata to a directory majority.
+  auto q2 = sim::broadcast_collect<PutMetaAck>(
+      owner_, spec_.directories, [this, &tv, &u](ProcessId) {
+        auto req = std::make_shared<PutMetaReq>();
+        req->config = spec_.id;
+        req->tag = tv.tag;
+        req->loc = u;
+        return req;
+      });
+  co_await q2.wait_for(dir_majority());
+  co_return;
+}
+
+}  // namespace ares::ldr

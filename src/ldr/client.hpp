@@ -1,0 +1,32 @@
+// Client-side LDR DAP (Automaton 13). Note LDR is used with read template
+// A2 (one-phase reads): its get-data already pushes ⟨τmax, Umax⟩ metadata
+// back to a directory majority before fetching the value, which gives the
+// C3 monotonicity property.
+#pragma once
+
+#include "dap/config.hpp"
+#include "dap/dap.hpp"
+#include "sim/process.hpp"
+
+namespace ares::ldr {
+
+class LdrDap final : public dap::Dap {
+ public:
+  LdrDap(sim::Process& owner, dap::ConfigSpec spec);
+
+  [[nodiscard]] sim::Future<Tag> get_tag() override;
+  [[nodiscard]] sim::Future<TagValue> get_data() override;
+  [[nodiscard]] sim::Future<void> put_data(TagValue tv) override;
+
+  [[nodiscard]] const dap::ConfigSpec& spec() const { return spec_; }
+
+ private:
+  [[nodiscard]] std::size_t dir_majority() const {
+    return spec_.directories.size() / 2 + 1;
+  }
+
+  sim::Process& owner_;
+  dap::ConfigSpec spec_;
+};
+
+}  // namespace ares::ldr

@@ -1,0 +1,87 @@
+// Wire messages of the LDR algorithm (Automaton 13): directory servers
+// keep ⟨tag, location-set⟩ metadata; replica servers keep the values.
+#pragma once
+
+#include "common/types.hpp"
+#include "sim/message.hpp"
+
+#include <vector>
+
+namespace ares::ldr {
+
+/// QUERY-TAG-LOCATION (directory): current ⟨tag, loc⟩ (metadata only).
+class QueryTagLocReq final : public sim::RpcRequest {
+ public:
+  [[nodiscard]] std::string_view type_name() const override {
+    return "ldr.query_tag_loc";
+  }
+};
+
+class QueryTagLocReply final : public sim::RpcReply {
+ public:
+  Tag tag;
+  std::vector<ProcessId> loc;
+  [[nodiscard]] std::string_view type_name() const override {
+    return "ldr.query_tag_loc_reply";
+  }
+};
+
+/// PUT-METADATA ⟨τ, U⟩ (directory): adopt if newer, ack.
+class PutMetaReq final : public sim::RpcRequest {
+ public:
+  Tag tag;
+  std::vector<ProcessId> loc;
+  [[nodiscard]] std::string_view type_name() const override {
+    return "ldr.put_meta";
+  }
+};
+
+class PutMetaAck final : public sim::RpcReply {
+ public:
+  [[nodiscard]] std::string_view type_name() const override {
+    return "ldr.put_meta_ack";
+  }
+};
+
+/// PUT-DATA ⟨τ, v⟩ (replica): store the full value, ack.
+class PutDataReq final : public sim::RpcRequest {
+ public:
+  Tag tag;
+  ValuePtr value;
+  [[nodiscard]] std::size_t data_bytes() const override {
+    return value ? value->size() : 0;
+  }
+  [[nodiscard]] std::string_view type_name() const override {
+    return "ldr.put_data";
+  }
+};
+
+class PutDataAck final : public sim::RpcReply {
+ public:
+  [[nodiscard]] std::string_view type_name() const override {
+    return "ldr.put_data_ack";
+  }
+};
+
+/// GET-DATA τ (replica): fetch the value stored for tag τ.
+class GetDataReq final : public sim::RpcRequest {
+ public:
+  Tag tag;
+  [[nodiscard]] std::string_view type_name() const override {
+    return "ldr.get_data";
+  }
+};
+
+class GetDataReply final : public sim::RpcReply {
+ public:
+  Tag tag;
+  ValuePtr value;  // null if the replica no longer stores the tag
+  [[nodiscard]] std::size_t data_bytes() const override {
+    return value ? value->size() : 0;
+  }
+  [[nodiscard]] std::string_view type_name() const override {
+    return "ldr.get_data_reply";
+  }
+};
+
+}  // namespace ares::ldr

@@ -1,0 +1,73 @@
+#include "ldr/server.hpp"
+
+#include "ldr/messages.hpp"
+
+#include <algorithm>
+
+namespace ares::ldr {
+
+LdrServerState::LdrServerState(const dap::ConfigSpec& spec, ProcessId self)
+    : history_bound_(spec.delta + 1) {
+  is_directory_ = std::find(spec.directories.begin(), spec.directories.end(),
+                            self) != spec.directories.end();
+  is_replica_ = std::find(spec.replicas.begin(), spec.replicas.end(), self) !=
+                spec.replicas.end();
+  if (is_replica_) store_.emplace(kInitialTag, make_value(Value{}));
+}
+
+std::size_t LdrServerState::stored_data_bytes() const {
+  std::size_t sum = 0;
+  for (const auto& [tag, v] : store_) {
+    if (v) sum += v->size();
+  }
+  return sum;
+}
+
+Tag LdrServerState::max_tag() const {
+  Tag t = dir_tag_;
+  if (!store_.empty()) t = std::max(t, store_.rbegin()->first);
+  return t;
+}
+
+bool LdrServerState::handle(dap::ServerContext& ctx, const sim::Message& msg) {
+  if (is_directory_) {
+    if (std::dynamic_pointer_cast<const QueryTagLocReq>(msg.body)) {
+      auto reply = std::make_shared<QueryTagLocReply>();
+      reply->tag = dir_tag_;
+      reply->loc = dir_loc_;
+      ctx.process.reply_to(msg, std::move(reply));
+      return true;
+    }
+    if (auto put = std::dynamic_pointer_cast<const PutMetaReq>(msg.body)) {
+      if (put->tag > dir_tag_) {
+        dir_tag_ = put->tag;
+        dir_loc_ = put->loc;
+      }
+      ctx.process.reply_to(msg, std::make_shared<PutMetaAck>());
+      return true;
+    }
+  }
+  if (is_replica_) {
+    if (auto put = std::dynamic_pointer_cast<const PutDataReq>(msg.body)) {
+      store_[put->tag] = put->value;
+      while (store_.size() > history_bound_) store_.erase(store_.begin());
+      ctx.process.reply_to(msg, std::make_shared<PutDataAck>());
+      return true;
+    }
+    if (auto get = std::dynamic_pointer_cast<const GetDataReq>(msg.body)) {
+      auto reply = std::make_shared<GetDataReply>();
+      auto it = store_.find(get->tag);
+      if (it != store_.end()) {
+        reply->tag = it->first;
+        reply->value = it->second;
+      } else {
+        reply->tag = get->tag;  // echo; value stays null ("don't have it")
+      }
+      ctx.process.reply_to(msg, std::move(reply));
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ares::ldr

@@ -1,0 +1,11 @@
+#include "sim/coro.hpp"
+
+namespace ares::sim {
+
+Future<void> sleep_for(Simulator& sim, SimDuration delay) {
+  Promise<void> done;
+  sim.schedule_after(delay, [done]() mutable { done.set_value(); });
+  return done.get_future();
+}
+
+}  // namespace ares::sim

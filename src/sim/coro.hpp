@@ -1,0 +1,226 @@
+// Coroutine plumbing for the simulator: Future<T> is both an awaitable and a
+// coroutine return type, so protocol code reads like the paper's pseudocode:
+//
+//   Future<Tag> get_tag(Config c) {
+//     QuorumCollector<TagReply> qc(...);
+//     co_await qc.wait_for(quorum_size);
+//     co_return max_tag(qc.arrivals());
+//   }
+//
+// Rules followed (CppCoreGuidelines CP.51/CP.53): coroutines are named
+// functions, never capturing lambdas, and take parameters by value.
+//
+// !!! GCC 12 WORKAROUND (load-bearing convention) !!!
+// GCC 12.2 miscompiles non-trivially-destructible *temporaries* appearing
+// inside a co_await full-expression (other than the awaited Future itself):
+// the temporary is destroyed twice, corrupting e.g. shared_ptr refcounts.
+// Therefore NEVER write
+//     co_await foo(SomeStruct{...});          // temp argument — UB here
+//     co_await qc.wait([..]{...});            // lambda→std::function temp
+// Always hoist:
+//     SomeStruct arg{...};                    // or: auto fut = foo(...);
+//     co_await foo(arg);                      //     co_await fut;
+// Trivially-destructible arguments (ints, Tag, ConfigId) are fine, as is
+// the Future temporary produced by the awaited call itself.
+//
+// Resumption discipline: fulfilling a promise never resumes the waiter
+// inline; the resumption is posted to the simulator's event queue. This
+// gives deterministic FIFO ordering and rules out re-entrancy bugs.
+#pragma once
+
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <utility>
+
+namespace ares::sim {
+
+namespace detail {
+
+/// Shared completion state between a Promise/coroutine and its Future.
+template <typename T>
+struct SharedState {
+  std::optional<T> value;
+  std::exception_ptr error;
+  std::coroutine_handle<> waiter;
+
+  [[nodiscard]] bool ready() const {
+    return value.has_value() || error != nullptr;
+  }
+
+  void notify() {
+    if (!waiter) return;
+    auto h = std::exchange(waiter, nullptr);
+    if (auto* sim = Simulator::current()) {
+      sim->post([h] { h.resume(); });
+    } else {
+      h.resume();
+    }
+  }
+
+  void set_value(T v) {
+    assert(!ready() && "promise fulfilled twice");
+    value.emplace(std::move(v));
+    notify();
+  }
+
+  void set_error(std::exception_ptr e) {
+    assert(!ready() && "promise fulfilled twice");
+    error = std::move(e);
+    notify();
+  }
+
+  T take() {
+    if (error) std::rethrow_exception(error);
+    return std::move(*value);
+  }
+};
+
+template <>
+struct SharedState<void> {
+  bool done = false;
+  std::exception_ptr error;
+  std::coroutine_handle<> waiter;
+
+  [[nodiscard]] bool ready() const { return done || error != nullptr; }
+
+  void notify() {
+    if (!waiter) return;
+    auto h = std::exchange(waiter, nullptr);
+    if (auto* sim = Simulator::current()) {
+      sim->post([h] { h.resume(); });
+    } else {
+      h.resume();
+    }
+  }
+
+  void set_value() {
+    assert(!ready() && "promise fulfilled twice");
+    done = true;
+    notify();
+  }
+
+  void set_error(std::exception_ptr e) {
+    assert(!ready() && "promise fulfilled twice");
+    error = std::move(e);
+    notify();
+  }
+
+  void take() {
+    if (error) std::rethrow_exception(error);
+  }
+};
+
+template <typename T>
+struct FuturePromise;
+
+}  // namespace detail
+
+/// A single-consumer future bound to the simulator event loop.
+///
+/// Obtained either from a coroutine returning Future<T> (runs eagerly until
+/// its first suspension) or from a Promise<T>. Copyable (copies share the
+/// completion state) but only one copy may be awaited.
+template <typename T>
+class [[nodiscard]] Future {
+ public:
+  using promise_type = detail::FuturePromise<T>;
+
+  Future() = default;
+  explicit Future(std::shared_ptr<detail::SharedState<T>> state)
+      : state_(std::move(state)) {}
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] bool ready() const { return state_ && state_->ready(); }
+
+  /// Blocking get for non-coroutine contexts (tests / harness). Requires
+  /// ready(); the caller drives the simulator until then.
+  T get() const {
+    assert(ready());
+    return state_->take();
+  }
+
+  // --- awaitable interface -------------------------------------------------
+  [[nodiscard]] bool await_ready() const noexcept { return ready(); }
+  void await_suspend(std::coroutine_handle<> h) {
+    assert(state_ && !state_->waiter && "future already awaited");
+    state_->waiter = h;
+  }
+  T await_resume() { return state_->take(); }
+
+ private:
+  std::shared_ptr<detail::SharedState<T>> state_;
+};
+
+/// Producer side used by callback-style code (RPC reply matching, quorum
+/// collectors) to complete a Future.
+template <typename T>
+class Promise {
+ public:
+  Promise() : state_(std::make_shared<detail::SharedState<T>>()) {}
+
+  [[nodiscard]] Future<T> get_future() const { return Future<T>(state_); }
+  [[nodiscard]] bool fulfilled() const { return state_->ready(); }
+
+  template <typename... Args>
+  void set_value(Args&&... args) {
+    state_->set_value(std::forward<Args>(args)...);
+  }
+  void set_error(std::exception_ptr e) { state_->set_error(std::move(e)); }
+
+ private:
+  std::shared_ptr<detail::SharedState<T>> state_;
+};
+
+namespace detail {
+
+template <typename T>
+struct FuturePromiseBase {
+  std::shared_ptr<SharedState<T>> state = std::make_shared<SharedState<T>>();
+
+  Future<T> get_return_object() { return Future<T>(state); }
+  std::suspend_never initial_suspend() noexcept { return {}; }
+  std::suspend_never final_suspend() noexcept { return {}; }
+  void unhandled_exception() { state->set_error(std::current_exception()); }
+};
+
+template <typename T>
+struct FuturePromise : FuturePromiseBase<T> {
+  void return_value(T v) { this->state->set_value(std::move(v)); }
+};
+
+template <>
+struct FuturePromise<void> : FuturePromiseBase<void> {
+  void return_void() { this->state->set_value(); }
+};
+
+}  // namespace detail
+
+/// Explicitly discard a future whose coroutine should keep running detached
+/// (the coroutine frame owns itself; discarding the future is safe).
+template <typename T>
+void detach(Future<T>&& f) {
+  (void)f;
+}
+
+/// Awaitable pause: resume after `delay` simulated time units.
+Future<void> sleep_for(Simulator& sim, SimDuration delay);
+
+/// Drive the simulator until `f` completes; returns its value. Throws if
+/// the simulation drains or exceeds the event budget first (i.e. the
+/// operation can never finish — e.g. too many servers crashed).
+template <typename T>
+T run_to_completion(Simulator& sim, Future<T> f,
+                    std::size_t max_events = Simulator::kDefaultEventBudget) {
+  if (!sim.run_until([&f] { return f.ready(); }, max_events)) {
+    throw std::runtime_error(
+        "simulation drained before the awaited operation completed");
+  }
+  return f.get();
+}
+
+}  // namespace ares::sim

@@ -1,0 +1,18 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace ares::sim {
+
+void EventQueue::push(SimTime at, Action action) {
+  heap_.push(Event{at, next_seq_++,
+                   std::make_shared<Action>(std::move(action))});
+}
+
+EventQueue::Action EventQueue::pop() {
+  Action a = std::move(*heap_.top().action);
+  heap_.pop();
+  return a;
+}
+
+}  // namespace ares::sim

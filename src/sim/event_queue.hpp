@@ -1,0 +1,50 @@
+// Deterministic discrete-event queue: events ordered by (timestamp,
+// insertion sequence) so same-time events run FIFO and every run with the
+// same seed replays identically.
+#pragma once
+
+#include "common/types.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace ares::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Enqueue `action` to fire at absolute simulated time `at`.
+  void push(SimTime at, Action action);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event. Requires !empty().
+  [[nodiscard]] SimTime next_time() const { return heap_.top().at; }
+
+  /// Remove and return the earliest pending event's action.
+  /// Requires !empty().
+  [[nodiscard]] Action pop();
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    // Shared (not unique) so Event stays copyable inside priority_queue.
+    std::shared_ptr<Action> action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ares::sim

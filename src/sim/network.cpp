@@ -1,0 +1,99 @@
+#include "sim/network.hpp"
+
+#include "sim/process.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace ares::sim {
+
+DelayFn uniform_delay(SimDuration min_delay, SimDuration max_delay) {
+  assert(min_delay <= max_delay);
+  return [min_delay, max_delay](const Message&, Rng& rng) {
+    return static_cast<SimDuration>(rng.uniform(min_delay, max_delay));
+  };
+}
+
+DelayFn fixed_delay(SimDuration delay) {
+  return [delay](const Message&, Rng&) { return delay; };
+}
+
+DelayFn biased_delay(std::unordered_set<ProcessId> fast,
+                     SimDuration fast_delay, SimDuration slow_delay) {
+  return [fast = std::move(fast), fast_delay, slow_delay](const Message& m,
+                                                          Rng&) {
+    if (fast.contains(m.from) || fast.contains(m.to)) return fast_delay;
+    return slow_delay;
+  };
+}
+
+Network::Network(Simulator& sim, SimDuration min_delay, SimDuration max_delay)
+    : sim_(sim),
+      delay_fn_(uniform_delay(min_delay, max_delay)),
+      rng_(sim.rng().fork()) {}
+
+void Network::register_process(Process& p) {
+  assert(!processes_.contains(p.id()) && "duplicate process id");
+  processes_[p.id()] = &p;
+}
+
+void Network::unregister_process(ProcessId id) { processes_.erase(id); }
+
+void Network::set_delay_bounds(SimDuration min_delay, SimDuration max_delay) {
+  delay_fn_ = uniform_delay(min_delay, max_delay);
+}
+
+void Network::account(const BodyPtr& body) {
+  ++stats_.messages;
+  stats_.data_bytes += body->data_bytes();
+  stats_.metadata_bytes += body->metadata_bytes();
+  const std::string type(body->type_name());
+  ++stats_.messages_by_type[type];
+  stats_.data_bytes_by_type[type] += body->data_bytes();
+}
+
+void Network::deliver(ProcessId to, Message msg) {
+  if (crashed_.contains(to)) return;
+  auto it = processes_.find(to);
+  if (it == processes_.end()) return;
+  it->second->deliver(msg);
+}
+
+void Network::send(ProcessId from, ProcessId to, BodyPtr body) {
+  assert(body != nullptr);
+  if (crashed_.contains(from)) return;
+  Message msg{from, to, sim_.now(), std::move(body)};
+  const SimDuration delay = delay_fn_(msg, rng_);
+  if (delay == kDropMessage) return;
+  account(msg.body);
+  sim_.schedule_after(delay, [this, to, msg = std::move(msg)] {
+    deliver(to, msg);
+  });
+}
+
+void Network::atomic_broadcast(ProcessId from, std::vector<ProcessId> dests,
+                               BodyPtr body) {
+  assert(body != nullptr);
+  if (crashed_.contains(from)) return;
+  Message probe{from, from, sim_.now(), body};
+  const SimDuration delay = delay_fn_(probe, rng_);
+  if (delay == kDropMessage) return;
+  for (std::size_t i = 0; i < dests.size(); ++i) account(body);
+  sim_.schedule_after(delay, [this, from, dests = std::move(dests),
+                              body = std::move(body)] {
+    // Single event: all alive destinations observe the message "at once".
+    for (ProcessId to : dests) {
+      deliver(to, Message{from, to, sim_.now(), body});
+    }
+  });
+}
+
+void Network::crash(ProcessId id) {
+  crashed_.insert(id);
+  auto it = processes_.find(id);
+  if (it != processes_.end()) it->second->mark_crashed();
+}
+
+bool Network::is_crashed(ProcessId id) const { return crashed_.contains(id); }
+
+}  // namespace ares::sim

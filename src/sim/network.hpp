@@ -1,0 +1,97 @@
+// The simulated asynchronous network: reliable channels with per-message
+// delay in [d, D], crash-stop failures, all-or-none broadcast (the
+// md-primitive of [21] used by ARES-TREAS), and byte accounting.
+#pragma once
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+#include "sim/message.hpp"
+#include "sim/simulator.hpp"
+
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace ares::sim {
+
+class Process;
+
+/// Decides the delivery delay for a message. Must be deterministic given the
+/// rng stream. Returning kDropMessage drops the message (used by loss /
+/// partition tests; the paper assumes reliable channels, so default policies
+/// never drop).
+using DelayFn = std::function<SimDuration(const Message&, Rng&)>;
+
+inline constexpr SimDuration kDropMessage =
+    std::numeric_limits<SimDuration>::max();
+
+/// Uniform delay in [min_delay, max_delay] — the paper's [d, D] model.
+[[nodiscard]] DelayFn uniform_delay(SimDuration min_delay,
+                                    SimDuration max_delay);
+
+/// Fixed delay for every message.
+[[nodiscard]] DelayFn fixed_delay(SimDuration delay);
+
+/// Adversarial policy for the Appendix-D worst case: messages to/from the
+/// processes in `fast` travel at exactly `fast_delay`; all others at
+/// `slow_delay`. Used to race reconfigurers against readers/writers.
+[[nodiscard]] DelayFn biased_delay(std::unordered_set<ProcessId> fast,
+                                   SimDuration fast_delay,
+                                   SimDuration slow_delay);
+
+class Network {
+ public:
+  struct Stats {
+    std::uint64_t messages = 0;
+    std::uint64_t data_bytes = 0;
+    std::uint64_t metadata_bytes = 0;
+    std::map<std::string, std::uint64_t> messages_by_type;
+    std::map<std::string, std::uint64_t> data_bytes_by_type;
+  };
+
+  Network(Simulator& sim, SimDuration min_delay, SimDuration max_delay);
+
+  /// Processes register themselves on construction (see Process).
+  void register_process(Process& p);
+  void unregister_process(ProcessId id);
+
+  /// Point-to-point send. Reliable unless a party crashes: the message is
+  /// dropped if the sender is already crashed at send time or the receiver
+  /// is crashed at delivery time.
+  void send(ProcessId from, ProcessId to, BodyPtr body);
+
+  /// All-or-none broadcast (md-primitive of [21]): one event delivers the
+  /// message to every destination that is alive at delivery time. Because
+  /// the delivery is a single simulator event, no prefix of destinations can
+  /// observe it while others never do — exactly the primitive's guarantee.
+  void atomic_broadcast(ProcessId from, std::vector<ProcessId> dests,
+                        BodyPtr body);
+
+  /// Crash-stop `id`: it stops receiving and sending from this instant.
+  void crash(ProcessId id);
+  [[nodiscard]] bool is_crashed(ProcessId id) const;
+
+  void set_delay_fn(DelayFn fn) { delay_fn_ = std::move(fn); }
+  void set_delay_bounds(SimDuration min_delay, SimDuration max_delay);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  [[nodiscard]] Simulator& simulator() { return sim_; }
+
+ private:
+  void account(const BodyPtr& body);
+  void deliver(ProcessId to, Message msg);
+
+  Simulator& sim_;
+  DelayFn delay_fn_;
+  Rng rng_;
+  std::unordered_map<ProcessId, Process*> processes_;
+  std::unordered_set<ProcessId> crashed_;
+  Stats stats_;
+};
+
+}  // namespace ares::sim

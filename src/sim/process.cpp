@@ -1,0 +1,41 @@
+#include "sim/process.hpp"
+
+#include <utility>
+
+namespace ares::sim {
+
+Process::Process(Simulator& sim, Network& net, ProcessId id)
+    : sim_(sim), net_(net), id_(id) {
+  net_.register_process(*this);
+}
+
+Process::~Process() { net_.unregister_process(id_); }
+
+void Process::deliver(const Message& msg) {
+  if (crashed_) return;
+  if (auto reply = std::dynamic_pointer_cast<const RpcReply>(msg.body)) {
+    auto it = pending_.find(reply->rpc_id);
+    if (it == pending_.end()) return;  // late reply for a finished call
+    auto callback = std::move(it->second);
+    pending_.erase(it);
+    callback(msg.body);
+    return;
+  }
+  handle(msg);
+}
+
+void Process::call_async(ProcessId to, std::shared_ptr<RpcRequest> req,
+                         std::function<void(BodyPtr)> on_reply) {
+  req->rpc_id = next_rpc_id_++;
+  pending_[req->rpc_id] = std::move(on_reply);
+  send(to, std::move(req));
+}
+
+Future<BodyPtr> Process::call(ProcessId to, std::shared_ptr<RpcRequest> req) {
+  Promise<BodyPtr> promise;
+  call_async(to, std::move(req),
+             [promise](BodyPtr reply) mutable { promise.set_value(reply); });
+  return promise.get_future();
+}
+
+}  // namespace ares::sim

@@ -1,0 +1,179 @@
+// Process: the actor base class. Handles registration with the network,
+// crash state, RPC request/reply matching for client-side calls, and typed
+// dispatch for server-side handlers.
+#pragma once
+
+#include "sim/coro.hpp"
+#include "sim/message.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+namespace ares::sim {
+
+class Process {
+ public:
+  Process(Simulator& sim, Network& net, ProcessId id);
+  virtual ~Process();
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  [[nodiscard]] ProcessId id() const { return id_; }
+  [[nodiscard]] bool crashed() const { return crashed_; }
+  [[nodiscard]] Simulator& simulator() { return sim_; }
+  [[nodiscard]] Network& network() { return net_; }
+
+  /// Entry point used by the network. Routes RPC replies to pending calls
+  /// and everything else to handle().
+  void deliver(const Message& msg);
+
+  /// Called by the network when this process crash-stops.
+  void mark_crashed() { crashed_ = true; }
+
+  /// Fire-and-forget send.
+  void send(ProcessId to, BodyPtr body) { net_.send(id_, to, std::move(body)); }
+
+  /// Client-side call with callback on reply. The callback is never invoked
+  /// after this process crashes. Requests to crashed servers simply never
+  /// complete (asynchrony: slow and dead are indistinguishable).
+  void call_async(ProcessId to, std::shared_ptr<RpcRequest> req,
+                  std::function<void(BodyPtr)> on_reply);
+
+  /// Awaitable call. Completes when (if ever) the reply arrives.
+  Future<BodyPtr> call(ProcessId to, std::shared_ptr<RpcRequest> req);
+
+  /// Reply to a request: copies the rpc id into `reply` and sends it back.
+  /// (Public so per-configuration DapServer state machines, which are not
+  /// Process subclasses, can respond through their hosting process.)
+  template <typename Reply>
+  void reply_to(const Message& req, std::shared_ptr<Reply> reply) {
+    reply->rpc_id = std::static_pointer_cast<const RpcRequest>(req.body)->rpc_id;
+    send(req.from, std::move(reply));
+  }
+
+ protected:
+  /// Subclasses implement protocol logic here. Only non-reply messages (or
+  /// replies with no pending call, which are dropped before reaching here)
+  /// arrive.
+  virtual void handle(const Message& msg) = 0;
+
+ private:
+  Simulator& sim_;
+  Network& net_;
+  ProcessId id_;
+  bool crashed_ = false;
+  std::uint64_t next_rpc_id_ = 1;
+  std::unordered_map<std::uint64_t, std::function<void(BodyPtr)>> pending_;
+};
+
+/// Collects replies from a broadcast to a set of servers and completes when
+/// a caller-supplied condition holds. This is the building block for every
+/// "send to all, await ⌈(n+k)/2⌉ / a quorum" step in the paper.
+///
+/// The collector owns shared state kept alive by in-flight callbacks, so it
+/// may be destroyed (e.g. client operation abandoned) while replies are
+/// still in the air.
+template <typename Reply>
+class QuorumCollector {
+ public:
+  struct Arrival {
+    ProcessId from;
+    std::shared_ptr<const Reply> reply;
+  };
+
+  /// Broadcasts `make_request(server)` to every server in `servers`.
+  /// `make_request` may return the same body for all (cheap broadcast) or a
+  /// per-server body (erasure-coded put-data sends distinct fragments).
+  template <typename SendFn, typename MakeReq>
+  QuorumCollector(SendFn&& do_call, std::vector<ProcessId> servers,
+                  MakeReq&& make_request)
+      : inner_(std::make_shared<Inner>()) {
+    inner_->expected = servers.size();
+    for (ProcessId s : servers) {
+      auto req = make_request(s);
+      do_call(s, std::move(req),
+              [inner = inner_, s](BodyPtr reply) { inner->on_reply(s, reply); });
+    }
+  }
+
+  /// Completes with true when `pred(arrivals)` first returns true (evaluated
+  /// on every arrival). If the predicate never becomes true the future never
+  /// completes — exactly the paper's semantics for e.g. a read that cannot
+  /// decode; callers layer timeouts/retries on top where wanted.
+  Future<bool> wait(std::function<bool(const std::vector<Arrival>&)> pred) {
+    inner_->pred = std::move(pred);
+    inner_->check();
+    return inner_->done.get_future();
+  }
+
+  /// Like wait(), but also completes (with false) after `timeout` time units
+  /// if the predicate has not been satisfied by then.
+  Future<bool> wait(std::function<bool(const std::vector<Arrival>&)> pred,
+                    Simulator& sim, SimDuration timeout) {
+    auto f = wait(std::move(pred));
+    sim.schedule_after(timeout, [inner = inner_] {
+      if (!inner->fulfilled) {
+        inner->fulfilled = true;
+        inner->done.set_value(false);
+      }
+    });
+    return f;
+  }
+
+  /// Completes when at least `count` replies have arrived.
+  Future<bool> wait_for(std::size_t count) {
+    return wait([count](const std::vector<Arrival>& a) {
+      return a.size() >= count;
+    });
+  }
+
+  [[nodiscard]] const std::vector<Arrival>& arrivals() const {
+    return inner_->arrivals;
+  }
+
+ private:
+  struct Inner {
+    std::vector<Arrival> arrivals;
+    std::size_t expected = 0;
+    std::function<bool(const std::vector<Arrival>&)> pred;
+    Promise<bool> done;
+    bool fulfilled = false;
+
+    void on_reply(ProcessId from, const BodyPtr& body) {
+      auto typed = std::dynamic_pointer_cast<const Reply>(body);
+      if (!typed) return;  // wrong reply type: ignore (defensive)
+      arrivals.push_back(Arrival{from, std::move(typed)});
+      check();
+    }
+
+    void check() {
+      if (fulfilled || !pred) return;
+      if (pred(arrivals)) {
+        fulfilled = true;
+        done.set_value(true);
+      }
+    }
+  };
+
+  std::shared_ptr<Inner> inner_;
+};
+
+/// Convenience: broadcast `make_request(server)` from `p` to `servers` and
+/// collect typed replies.
+template <typename Reply, typename MakeReq>
+[[nodiscard]] QuorumCollector<Reply> broadcast_collect(
+    Process& p, const std::vector<ProcessId>& servers, MakeReq&& make_request) {
+  auto do_call = [&p](ProcessId s, std::shared_ptr<RpcRequest> r,
+                      std::function<void(BodyPtr)> cb) {
+    p.call_async(s, std::move(r), std::move(cb));
+  };
+  return QuorumCollector<Reply>(do_call, servers,
+                                std::forward<MakeReq>(make_request));
+}
+
+}  // namespace ares::sim

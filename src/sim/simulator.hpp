@@ -1,0 +1,67 @@
+// The simulation kernel: a virtual clock plus the deterministic event loop.
+// Every process, network hop and coroutine resumption in the system is an
+// event on this queue.
+#pragma once
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+#include "sim/event_queue.hpp"
+
+#include <cstdint>
+#include <functional>
+
+namespace ares::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// The simulator most recently constructed on this thread (coroutine
+  /// promises use it to schedule resumptions through the event queue).
+  [[nodiscard]] static Simulator* current();
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// Run `action` at the current time, after already-queued same-time events.
+  void post(std::function<void()> action);
+
+  /// Run `action` `delay` time units from now.
+  void schedule_after(SimDuration delay, std::function<void()> action);
+
+  /// Run `action` at absolute time `at` (clamped to now if in the past).
+  void schedule_at(SimTime at, std::function<void()> action);
+
+  /// Execute the single earliest event. Returns false if queue empty.
+  bool step();
+
+  /// Run until the queue drains or `max_events` fire. Returns events run.
+  std::size_t run(std::size_t max_events = kDefaultEventBudget);
+
+  /// Run until `done()` returns true (checked after every event), the queue
+  /// drains, or the budget is hit. Returns true iff `done()` held.
+  bool run_until(const std::function<bool()>& done,
+                 std::size_t max_events = kDefaultEventBudget);
+
+  /// Run all events with timestamp <= now() + duration.
+  void run_for(SimDuration duration,
+               std::size_t max_events = kDefaultEventBudget);
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::size_t events_executed() const { return executed_; }
+
+  static constexpr std::size_t kDefaultEventBudget = 50'000'000;
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  Rng rng_;
+  std::size_t executed_ = 0;
+  Simulator* prev_current_ = nullptr;
+};
+
+}  // namespace ares::sim

@@ -1,0 +1,195 @@
+#include "treas/client.hpp"
+
+#include "treas/messages.hpp"
+
+#include <cassert>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ares::treas {
+namespace {
+
+/// Aggregated view of the Lists received so far (Alg. 2 lines 11-14):
+/// per tag, in how many Lists it appears and the distinct coded elements
+/// available for it.
+struct ListAnalysis {
+  std::map<Tag, std::size_t> seen_in;  // tag -> #lists containing it
+  std::map<Tag, std::vector<codec::Fragment>> elements;  // distinct indices
+
+  void add_entry(Tag tag, const std::optional<codec::Fragment>& frag) {
+    ++seen_in[tag];
+    if (!frag) return;
+    auto& v = elements[tag];
+    for (const auto& f : v) {
+      if (f.index == frag->index) return;
+    }
+    v.push_back(*frag);
+  }
+
+  /// t*_max = max tag in >= k Lists; t^dec_max = max tag with >= k distinct
+  /// coded elements. The read/fix-point condition is t*_max == t^dec_max.
+  struct Verdict {
+    bool ready = false;
+    Tag tag;
+  };
+
+  [[nodiscard]] Verdict verdict(std::size_t k) const {
+    bool has_star = false, has_dec = false;
+    Tag t_star, t_dec;
+    for (const auto& [tag, count] : seen_in) {
+      if (count >= k) {
+        t_star = has_star ? std::max(t_star, tag) : tag;
+        has_star = true;
+      }
+    }
+    for (const auto& [tag, frags] : elements) {
+      if (frags.size() >= k) {
+        t_dec = has_dec ? std::max(t_dec, tag) : tag;
+        has_dec = true;
+      }
+    }
+    if (has_star && has_dec && t_star == t_dec) return Verdict{true, t_dec};
+    return Verdict{};
+  }
+};
+
+using ListArrivals =
+    std::vector<typename sim::QuorumCollector<QueryListReply>::Arrival>;
+
+ListAnalysis analyze(const ListArrivals& arrivals) {
+  ListAnalysis a;
+  for (const auto& arr : arrivals) {
+    for (const auto& e : arr.reply->list) a.add_entry(e.tag, e.fragment);
+  }
+  return a;
+}
+
+using DigestArrivals =
+    std::vector<typename sim::QuorumCollector<QueryDigestReply>::Arrival>;
+
+ListAnalysis analyze_digests(const DigestArrivals& arrivals) {
+  ListAnalysis a;
+  std::uint32_t fake_index = 0;
+  for (const auto& arr : arrivals) {
+    // Digests carry no elements; use a synthetic distinct index per list so
+    // decodability *counting* still works (each list contributes at most
+    // one element per tag, exactly as with full lists).
+    ++fake_index;
+    for (const auto& e : arr.reply->entries) {
+      std::optional<codec::Fragment> frag;
+      if (e.has_fragment) frag = codec::Fragment{fake_index, nullptr};
+      a.add_entry(e.tag, frag);
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+TreasDap::TreasDap(sim::Process& owner, dap::ConfigSpec spec)
+    : owner_(owner), spec_(std::move(spec)), codec_(spec_.make_codec()) {
+  assert(spec_.protocol == dap::Protocol::kTreas);
+}
+
+sim::Future<Tag> TreasDap::get_tag() {
+  auto qc = sim::broadcast_collect<QueryTagReply>(
+      owner_, spec_.servers, [this](ProcessId) {
+        auto req = std::make_shared<QueryTagReq>();
+        req->config = spec_.id;
+        return req;
+      });
+  co_await qc.wait_for(spec_.quorum_size());
+  Tag max = kInitialTag;
+  for (const auto& a : qc.arrivals()) max = std::max(max, a.reply->tag);
+  co_return max;
+}
+
+sim::Future<TagValue> TreasDap::get_data() {
+  const std::size_t q = spec_.quorum_size();
+  const std::size_t k = spec_.k;
+  for (std::size_t attempt = 0;; ++attempt) {
+    auto qc = sim::broadcast_collect<QueryListReply>(
+        owner_, spec_.servers, [this](ProcessId) {
+          auto req = std::make_shared<QueryListReq>();
+          req->config = spec_.id;
+          return req;
+        });
+    // Hoisted per the GCC-12 note in sim/coro.hpp: no temporaries (the
+    // lambda→std::function conversion) inside the co_await expression.
+    std::function<bool(const ListArrivals&)> pred =
+        [q, k](const ListArrivals& arrivals) {
+          if (arrivals.size() < q) return false;
+          return analyze(arrivals).verdict(k).ready;
+        };
+    sim::Future<bool> wait_future =
+        spec_.treas_retry_timeout == 0
+            ? qc.wait(pred)
+            : qc.wait(pred, owner_.simulator(), spec_.treas_retry_timeout);
+    const bool ok = co_await wait_future;
+    if (ok) {
+      const auto a = analyze(qc.arrivals());
+      const auto v = a.verdict(k);
+      assert(v.ready);
+      auto value = codec_->decode(a.elements.at(v.tag));
+      assert(value.has_value() && "verdict said decodable");
+      co_return TagValue{v.tag, make_value(std::move(*value))};
+    }
+    if (attempt + 1 >= spec_.treas_max_retries) {
+      throw std::runtime_error(
+          "TREAS get-data: decodability condition never met (concurrency "
+          "exceeded delta and retries exhausted)");
+    }
+  }
+}
+
+sim::Future<Tag> TreasDap::get_dec_tag() {
+  const std::size_t q = spec_.quorum_size();
+  const std::size_t k = spec_.k;
+  for (std::size_t attempt = 0;; ++attempt) {
+    auto qc = sim::broadcast_collect<QueryDigestReply>(
+        owner_, spec_.servers, [this](ProcessId) {
+          auto req = std::make_shared<QueryDigestReq>();
+          req->config = spec_.id;
+          return req;
+        });
+    std::function<bool(const DigestArrivals&)> pred =
+        [q, k](const DigestArrivals& arrivals) {
+          if (arrivals.size() < q) return false;
+          return analyze_digests(arrivals).verdict(k).ready;
+        };
+    sim::Future<bool> wait_future =
+        spec_.treas_retry_timeout == 0
+            ? qc.wait(pred)
+            : qc.wait(pred, owner_.simulator(), spec_.treas_retry_timeout);
+    const bool ok = co_await wait_future;
+    if (ok) {
+      co_return analyze_digests(qc.arrivals()).verdict(k).tag;
+    }
+    if (attempt + 1 >= spec_.treas_max_retries) {
+      throw std::runtime_error(
+          "TREAS get-dec-tag: decodability condition never met");
+    }
+  }
+}
+
+sim::Future<void> TreasDap::put_data(TagValue tv) {
+  assert(tv.value && "TREAS put-data requires a value to encode");
+  const auto fragments = codec_->encode(*tv.value);
+  std::unordered_map<ProcessId, codec::Fragment> frag_for;
+  for (std::size_t i = 0; i < spec_.servers.size(); ++i) {
+    frag_for.emplace(spec_.servers[i], fragments[i]);
+  }
+  auto qc = sim::broadcast_collect<PutAck>(
+      owner_, spec_.servers, [this, &frag_for, &tv](ProcessId s) {
+        auto req = std::make_shared<PutReq>();
+        req->config = spec_.id;
+        req->tag = tv.tag;
+        req->fragment = frag_for.at(s);
+        return req;
+      });
+  co_await qc.wait_for(spec_.quorum_size());
+  co_return;
+}
+
+}  // namespace ares::treas

@@ -1,0 +1,33 @@
+// Client-side TREAS DAP (Algorithm 2): ⌈(n+k)/2⌉ quorums over coded
+// elements. get-data returns the highest tag that is both seen in >= k
+// Lists and decodable from >= k coded elements.
+#pragma once
+
+#include "codec/codec.hpp"
+#include "dap/config.hpp"
+#include "dap/dap.hpp"
+#include "sim/process.hpp"
+
+namespace ares::treas {
+
+class TreasDap final : public dap::Dap {
+ public:
+  TreasDap(sim::Process& owner, dap::ConfigSpec spec);
+
+  [[nodiscard]] sim::Future<Tag> get_tag() override;
+  [[nodiscard]] sim::Future<TagValue> get_data() override;
+  [[nodiscard]] sim::Future<void> put_data(TagValue tv) override;
+
+  /// Metadata-only variant of get-data used by ARES-TREAS reconfiguration:
+  /// same tag-selection rule, no object bytes moved to the client.
+  [[nodiscard]] sim::Future<Tag> get_dec_tag() override;
+
+  [[nodiscard]] const dap::ConfigSpec& spec() const { return spec_; }
+
+ private:
+  sim::Process& owner_;
+  dap::ConfigSpec spec_;
+  std::shared_ptr<const codec::Codec> codec_;
+};
+
+}  // namespace ares::treas

@@ -1,0 +1,198 @@
+// Wire messages of TREAS (Algorithms 2 and 3) plus the ARES-TREAS state
+// transfer messages (Algorithms 8 and 9 / Figure 3).
+#pragma once
+
+#include "codec/codec.hpp"
+#include "common/types.hpp"
+#include "sim/message.hpp"
+
+#include <optional>
+#include <vector>
+
+namespace ares::treas {
+
+/// One entry of a server's List as it travels on the wire: a tag plus the
+/// coded element, or ⊥ if the element was garbage-collected.
+struct ListEntry {
+  Tag tag;
+  std::optional<codec::Fragment> fragment;
+
+  [[nodiscard]] std::size_t data_bytes() const {
+    return fragment ? fragment->size() : 0;
+  }
+};
+
+/// QUERY-TAG: highest tag in the server's List (metadata only).
+class QueryTagReq final : public sim::RpcRequest {
+ public:
+  [[nodiscard]] std::string_view type_name() const override {
+    return "treas.query_tag";
+  }
+};
+
+class QueryTagReply final : public sim::RpcReply {
+ public:
+  Tag tag;
+  [[nodiscard]] std::string_view type_name() const override {
+    return "treas.query_tag_reply";
+  }
+};
+
+/// QUERY-LIST: the full List, coded elements included.
+class QueryListReq final : public sim::RpcRequest {
+ public:
+  [[nodiscard]] std::string_view type_name() const override {
+    return "treas.query_list";
+  }
+};
+
+class QueryListReply final : public sim::RpcReply {
+ public:
+  std::vector<ListEntry> list;
+  [[nodiscard]] std::size_t data_bytes() const override {
+    std::size_t sum = 0;
+    for (const auto& e : list) sum += e.data_bytes();
+    return sum;
+  }
+  [[nodiscard]] std::string_view type_name() const override {
+    return "treas.query_list_reply";
+  }
+};
+
+/// QUERY-DIGEST (implementation extension used by ARES-TREAS get_dec_tag):
+/// the List's tags and element-presence bits only — no data bytes. Lets a
+/// reconfigurer pick the transfer tag without moving object data.
+class QueryDigestReq final : public sim::RpcRequest {
+ public:
+  [[nodiscard]] std::string_view type_name() const override {
+    return "treas.query_digest";
+  }
+};
+
+class QueryDigestReply final : public sim::RpcReply {
+ public:
+  struct Entry {
+    Tag tag;
+    bool has_fragment = false;
+  };
+  std::vector<Entry> entries;
+  [[nodiscard]] std::string_view type_name() const override {
+    return "treas.query_digest_reply";
+  }
+};
+
+/// PUT-DATA ⟨τ, e_i⟩: one coded element for one server.
+class PutReq final : public sim::RpcRequest {
+ public:
+  Tag tag;
+  codec::Fragment fragment;
+  [[nodiscard]] std::size_t data_bytes() const override {
+    return fragment.size();
+  }
+  [[nodiscard]] std::string_view type_name() const override {
+    return "treas.put";
+  }
+};
+
+class PutAck final : public sim::RpcReply {
+ public:
+  [[nodiscard]] std::string_view type_name() const override {
+    return "treas.put_ack";
+  }
+};
+
+// ---------------------------------------------------------------------------
+// ARES-TREAS direct state transfer (Section 5, Algorithms 8/9)
+// ---------------------------------------------------------------------------
+
+/// REQ-FW-CODE-ELEM, delivered to the *old* configuration's servers through
+/// the md-primitive (all-or-none broadcast): "send your coded element for
+/// `tag` to every server of configuration `dst_config`". One-way, but
+/// derives RpcRequest so `config` routes it to the source configuration's
+/// server state.
+class ReqFwdCodeElem final : public sim::RpcRequest {
+ public:
+  std::uint64_t transfer_id = 0;  // identifies this transfer (per reconfig)
+  ProcessId reconfigurer = kNoProcess;
+  ConfigId src_config = kNoConfig;
+  ConfigId dst_config = kNoConfig;
+  Tag tag;
+  [[nodiscard]] std::string_view type_name() const override {
+    return "treas.req_fwd_code_elem";
+  }
+};
+
+/// FWD-CODE-ELEM: old-config server s_i forwards ⟨τ, e_i⟩ to a new-config
+/// server (one-way; `config` routes to the destination configuration).
+class FwdCodeElem final : public sim::RpcRequest {
+ public:
+  std::uint64_t transfer_id = 0;
+  ProcessId reconfigurer = kNoProcess;
+  ConfigId src_config = kNoConfig;
+  ConfigId dst_config = kNoConfig;
+  Tag tag;
+  codec::Fragment fragment;  // indexed in the *source* configuration's code
+  [[nodiscard]] std::size_t data_bytes() const override {
+    return fragment.size();
+  }
+  [[nodiscard]] std::string_view type_name() const override {
+    return "treas.fwd_code_elem";
+  }
+};
+
+/// ACK from a new-config server to the reconfigurer once ⟨τ, *⟩ is in its
+/// List (one-way; collected by the reconfigurer client).
+class TransferAck final : public sim::MessageBody {
+ public:
+  std::uint64_t transfer_id = 0;
+  [[nodiscard]] std::string_view type_name() const override {
+    return "treas.transfer_ack";
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Fragment repair (the conclusion's future-work direction, implemented with
+// the MDS code: a server missing the coded element for a tag rebuilds it by
+// decoding k peer fragments and re-encoding its own index).
+// ---------------------------------------------------------------------------
+
+/// Maintenance trigger: "repair your coded element for `tag` if missing".
+/// Ack reports whether a repair was started.
+class TriggerRepairReq final : public sim::RpcRequest {
+ public:
+  Tag tag;
+  [[nodiscard]] std::string_view type_name() const override {
+    return "treas.trigger_repair";
+  }
+};
+
+class TriggerRepairAck final : public sim::RpcReply {
+ public:
+  bool started = false;   // false: element already present (or tag unknown)
+  [[nodiscard]] std::string_view type_name() const override {
+    return "treas.trigger_repair_ack";
+  }
+};
+
+/// Server-to-server: "send me your coded element for `tag`".
+class RepairFragReq final : public sim::RpcRequest {
+ public:
+  Tag tag;
+  [[nodiscard]] std::string_view type_name() const override {
+    return "treas.repair_frag";
+  }
+};
+
+class RepairFragReply final : public sim::RpcReply {
+ public:
+  Tag tag;
+  std::optional<codec::Fragment> fragment;  // nullopt: peer lacks it too
+  [[nodiscard]] std::size_t data_bytes() const override {
+    return fragment ? fragment->size() : 0;
+  }
+  [[nodiscard]] std::string_view type_name() const override {
+    return "treas.repair_frag_reply";
+  }
+};
+
+}  // namespace ares::treas

@@ -1,0 +1,232 @@
+#include "treas/server.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ares::treas {
+namespace {
+
+/// Position of `self` in the configuration's server list = coded-element
+/// index (the paper associates Φ_i(v) with server i).
+std::uint32_t index_of(const dap::ConfigSpec& spec, ProcessId self) {
+  for (std::size_t i = 0; i < spec.servers.size(); ++i) {
+    if (spec.servers[i] == self) return static_cast<std::uint32_t>(i);
+  }
+  assert(false && "server not a member of its configuration");
+  return 0;
+}
+
+}  // namespace
+
+TreasServerState::TreasServerState(const dap::ConfigSpec& spec, ProcessId self)
+    : spec_(spec),
+      self_(self),
+      index_(index_of(spec, self)),
+      codec_(spec.make_codec()) {
+  // List initially {(t0, Φ_i(v0))} with v0 = empty value.
+  insert(kInitialTag, codec_->encode_one(Value{}, index_));
+}
+
+void TreasServerState::insert(Tag tag, std::optional<codec::Fragment> fragment) {
+  auto it = list_.find(tag);
+  if (it == list_.end()) {
+    list_.emplace(tag, std::move(fragment));
+  } else if (!it->second && fragment) {
+    // Re-learning an element we only had as ⊥ (e.g. via state transfer) is
+    // allowed; GC below may immediately null it again if it is old.
+    it->second = std::move(fragment);
+  }
+  garbage_collect();
+}
+
+void TreasServerState::garbage_collect() {
+  // Maintain the Alg. 3 invariant: coded elements only for the (δ+1)
+  // highest tags; lower tags keep their entry with the element replaced
+  // by ⊥.
+  std::size_t kept = 0;
+  for (auto it = list_.rbegin(); it != list_.rend(); ++it) {
+    if (kept < spec_.delta + 1) {
+      if (it->second) ++kept;
+    } else {
+      it->second.reset();
+    }
+  }
+}
+
+std::size_t TreasServerState::stored_data_bytes() const {
+  std::size_t sum = 0;
+  for (const auto& [tag, frag] : list_) {
+    if (frag) sum += frag->size();
+  }
+  for (const auto& [tag, st] : staging_) {
+    for (const auto& f : st.fragments) sum += f.size();
+  }
+  for (const auto& [tag, frags] : repair_staging_) {
+    for (const auto& f : frags) sum += f.size();
+  }
+  return sum;
+}
+
+Tag TreasServerState::max_tag() const {
+  assert(!list_.empty());
+  return list_.rbegin()->first;
+}
+
+std::size_t TreasServerState::live_elements() const {
+  std::size_t n = 0;
+  for (const auto& [tag, frag] : list_) {
+    if (frag) ++n;
+  }
+  return n;
+}
+
+bool TreasServerState::handle(dap::ServerContext& ctx,
+                              const sim::Message& msg) {
+  if (std::dynamic_pointer_cast<const QueryTagReq>(msg.body)) {
+    auto reply = std::make_shared<QueryTagReply>();
+    reply->tag = max_tag();
+    ctx.process.reply_to(msg, std::move(reply));
+    return true;
+  }
+  if (std::dynamic_pointer_cast<const QueryListReq>(msg.body)) {
+    auto reply = std::make_shared<QueryListReply>();
+    reply->list.reserve(list_.size());
+    for (const auto& [tag, frag] : list_) {
+      reply->list.push_back(ListEntry{tag, frag});
+    }
+    ctx.process.reply_to(msg, std::move(reply));
+    return true;
+  }
+  if (std::dynamic_pointer_cast<const QueryDigestReq>(msg.body)) {
+    auto reply = std::make_shared<QueryDigestReply>();
+    reply->entries.reserve(list_.size());
+    for (const auto& [tag, frag] : list_) {
+      reply->entries.push_back(
+          QueryDigestReply::Entry{tag, frag.has_value()});
+    }
+    ctx.process.reply_to(msg, std::move(reply));
+    return true;
+  }
+  if (auto put = std::dynamic_pointer_cast<const PutReq>(msg.body)) {
+    insert(put->tag, put->fragment);
+    ctx.process.reply_to(msg, std::make_shared<PutAck>());
+    return true;
+  }
+  if (auto req = std::dynamic_pointer_cast<const ReqFwdCodeElem>(msg.body)) {
+    // Alg. 9, source side: if ⟨τ, e_i⟩ ∈ List (element present), forward it
+    // to every server of the destination configuration.
+    auto it = list_.find(req->tag);
+    if (it != list_.end() && it->second) {
+      const auto& dst = ctx.registry.get(req->dst_config);
+      auto fwd = std::make_shared<FwdCodeElem>();
+      fwd->config = req->dst_config;  // routes to the new configuration
+      fwd->transfer_id = req->transfer_id;
+      fwd->reconfigurer = req->reconfigurer;
+      fwd->src_config = req->src_config;
+      fwd->dst_config = req->dst_config;
+      fwd->tag = req->tag;
+      fwd->fragment = *it->second;
+      for (ProcessId s : dst.servers) ctx.process.send(s, fwd);
+    }
+    return true;
+  }
+  if (auto fwd = std::dynamic_pointer_cast<const FwdCodeElem>(msg.body)) {
+    handle_fwd_code_elem(ctx, *fwd);
+    return true;
+  }
+  if (auto trig = std::dynamic_pointer_cast<const TriggerRepairReq>(msg.body)) {
+    // Repair ensures this server holds the coded element for `tag`, whether
+    // the element was garbage-collected or the tag never arrived at all.
+    // Note the GC interplay: a repaired element for a tag below the
+    // (δ+1)-highest-tags horizon is immediately re-collected — repairing
+    // below the horizon is a deliberate no-op.
+    auto ack = std::make_shared<TriggerRepairAck>();
+    ack->started = !has_element(trig->tag);
+    if (ack->started) start_repair(ctx, trig->tag);
+    ctx.process.reply_to(msg, std::move(ack));
+    return true;
+  }
+  if (auto rep = std::dynamic_pointer_cast<const RepairFragReq>(msg.body)) {
+    auto reply = std::make_shared<RepairFragReply>();
+    reply->tag = rep->tag;
+    auto it = list_.find(rep->tag);
+    if (it != list_.end() && it->second) reply->fragment = *it->second;
+    ctx.process.reply_to(msg, std::move(reply));
+    return true;
+  }
+  return false;
+}
+
+void TreasServerState::start_repair(dap::ServerContext& ctx, Tag tag) {
+  if (repair_staging_.contains(tag)) return;  // already repairing
+  repair_staging_.emplace(tag, std::vector<codec::Fragment>{});
+  for (ProcessId peer : spec_.servers) {
+    if (peer == self_) continue;
+    auto req = std::make_shared<RepairFragReq>();
+    req->config = spec_.id;
+    req->tag = tag;
+    // The callback only captures what it needs; `this` lives as long as
+    // the hosting server's per-configuration state (never removed).
+    ctx.process.call_async(
+        peer, std::move(req), [this, tag](sim::BodyPtr body) {
+          auto reply = std::dynamic_pointer_cast<const RepairFragReply>(body);
+          if (reply) on_repair_fragment(tag, reply->fragment);
+        });
+  }
+}
+
+void TreasServerState::on_repair_fragment(
+    Tag tag, const std::optional<codec::Fragment>& frag) {
+  auto it = repair_staging_.find(tag);
+  if (it == repair_staging_.end() || !frag) return;
+  auto& frags = it->second;
+  const bool duplicate = std::any_of(
+      frags.begin(), frags.end(),
+      [&](const codec::Fragment& f) { return f.index == frag->index; });
+  if (!duplicate) frags.push_back(*frag);
+  if (codec_->is_decodable(frags)) {
+    auto value = codec_->decode(frags);
+    assert(value.has_value());
+    repair_staging_.erase(it);
+    insert(tag, codec_->encode_one(*value, index_));
+  }
+}
+
+void TreasServerState::handle_fwd_code_elem(dap::ServerContext& ctx,
+                                            const FwdCodeElem& fwd) {
+  // Alg. 9, destination side.
+  const std::pair<ProcessId, std::uint64_t> key{fwd.reconfigurer,
+                                                fwd.transfer_id};
+  if (acked_transfers_.contains(key)) return;  // rc ∈ Recons
+
+  if (!list_.contains(fwd.tag)) {
+    // Stage the source-configuration fragment in D.
+    auto& st = staging_[fwd.tag];
+    st.src_config = fwd.src_config;
+    const bool duplicate =
+        std::any_of(st.fragments.begin(), st.fragments.end(),
+                    [&](const codec::Fragment& f) {
+                      return f.index == fwd.fragment.index;
+                    });
+    if (!duplicate) st.fragments.push_back(fwd.fragment);
+
+    const auto& src_spec = ctx.registry.get(fwd.src_config);
+    const auto src_codec = src_spec.make_codec();
+    if (src_codec->is_decodable(st.fragments)) {
+      auto value = src_codec->decode(st.fragments);
+      assert(value.has_value());
+      // Re-encode under *this* configuration's code and store (Alg. 9:15).
+      insert(fwd.tag, codec_->encode_one(*value, index_));
+      staging_.erase(fwd.tag);  // D keeps only the tag conceptually
+    }
+  }
+
+  if (list_.contains(fwd.tag)) {
+    acked_transfers_.insert(key);
+    auto ack = std::make_shared<TransferAck>();
+    ack->transfer_id = fwd.transfer_id;
+    ctx.process.send(fwd.reconfigurer, std::move(ack));
+  }
+}
+
+}  // namespace ares::treas

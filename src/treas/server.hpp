@@ -1,0 +1,85 @@
+// Server-side TREAS state (Algorithm 3): the List of up to δ+1 live coded
+// elements (older tags retained with ⊥ elements), plus the ARES-TREAS state
+// transfer extension (Algorithm 9): the staging set D and the Recons set.
+#pragma once
+
+#include "codec/codec.hpp"
+#include "dap/dap_server.hpp"
+#include "treas/messages.hpp"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace ares::treas {
+
+class TreasServerState final : public dap::DapServer {
+ public:
+  /// `spec` is this configuration; `self` the hosting server's process id
+  /// (determines which coded-element index this server stores).
+  TreasServerState(const dap::ConfigSpec& spec, ProcessId self);
+
+  bool handle(dap::ServerContext& ctx, const sim::Message& msg) override;
+
+  [[nodiscard]] std::size_t stored_data_bytes() const override;
+  [[nodiscard]] Tag max_tag() const override;
+
+  /// Number of List entries whose coded element is still present (bounded
+  /// by δ+1 — Lemma 38's storage bound).
+  [[nodiscard]] std::size_t live_elements() const;
+
+  /// Total number of List entries (tags), including ⊥ ones.
+  [[nodiscard]] std::size_t list_size() const { return list_.size(); }
+
+  /// Insert a ⟨tag, element⟩ pair and run garbage collection. Exposed for
+  /// the initial-state setup (List starts as {(t0, Φ_i(v0))}).
+  void insert(Tag tag, std::optional<codec::Fragment> fragment);
+
+  /// True if the List holds a live coded element for `tag`.
+  [[nodiscard]] bool has_element(Tag tag) const {
+    auto it = list_.find(tag);
+    return it != list_.end() && it->second.has_value();
+  }
+
+  /// The stored coded element for `tag`, if live (tests / diagnostics).
+  [[nodiscard]] std::optional<codec::Fragment> element(Tag tag) const {
+    auto it = list_.find(tag);
+    if (it == list_.end()) return std::nullopt;
+    return it->second;
+  }
+
+ private:
+  void garbage_collect();
+  void handle_fwd_code_elem(dap::ServerContext& ctx, const FwdCodeElem& fwd);
+  void start_repair(dap::ServerContext& ctx, Tag tag);
+  void on_repair_fragment(Tag tag, const std::optional<codec::Fragment>& frag);
+
+  dap::ConfigSpec spec_;
+  ProcessId self_;
+  std::uint32_t index_;  // this server's coded-element index in spec_
+  std::shared_ptr<const codec::Codec> codec_;
+
+  /// The List variable: tag -> coded element (nullopt = ⊥).
+  std::map<Tag, std::optional<codec::Fragment>> list_;
+
+  /// Alg. 9 staging area D: per transferred tag, fragments received from
+  /// the source configuration (indexed in the source code).
+  struct Staging {
+    ConfigId src_config = kNoConfig;
+    std::vector<codec::Fragment> fragments;
+  };
+  std::map<Tag, Staging> staging_;
+
+  /// Alg. 9 Recons: transfers already acknowledged, keyed by
+  /// (reconfigurer, transfer id) — ids are only unique per reconfigurer,
+  /// and concurrent reconfigurers race legitimately.
+  std::set<std::pair<ProcessId, std::uint64_t>> acked_transfers_;
+
+  /// In-flight repairs: per tag, the peer fragments gathered so far.
+  std::map<Tag, std::vector<codec::Fragment>> repair_staging_;
+};
+
+}  // namespace ares::treas

@@ -1,0 +1,126 @@
+// Tests of the ABD DAP (Automaton 12) on a static majority-quorum
+// configuration: basic semantics, crash tolerance, atomicity under
+// randomized concurrency.
+#include "abd/client.hpp"
+#include "abd/server.hpp"
+#include "test_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ares {
+namespace {
+
+harness::StaticClusterOptions abd_options(std::size_t servers,
+                                          std::size_t clients,
+                                          std::uint64_t seed = 1) {
+  harness::StaticClusterOptions o;
+  o.protocol = dap::Protocol::kAbd;
+  o.num_servers = servers;
+  o.num_clients = clients;
+  o.seed = seed;
+  return o;
+}
+
+TEST(Abd, WriteThenReadReturnsValue) {
+  harness::StaticCluster cluster(abd_options(3, 2));
+  auto payload = make_value(make_test_value(128, 1));
+  auto wtag = sim::run_to_completion(cluster.sim(),
+                                     cluster.client(0).reg().write(payload));
+  EXPECT_EQ(wtag.writer, cluster.client(0).id());
+  EXPECT_EQ(wtag.z, 1u);
+
+  auto tv = sim::run_to_completion(cluster.sim(), cluster.client(1).reg().read());
+  EXPECT_EQ(tv.tag, wtag);
+  ASSERT_TRUE(tv.value);
+  EXPECT_EQ(*tv.value, *payload);
+}
+
+TEST(Abd, ReadBeforeAnyWriteReturnsInitial) {
+  harness::StaticCluster cluster(abd_options(3, 1));
+  auto tv = sim::run_to_completion(cluster.sim(), cluster.client(0).reg().read());
+  EXPECT_EQ(tv.tag, kInitialTag);
+}
+
+TEST(Abd, SequentialWritesMonotoneTags) {
+  harness::StaticCluster cluster(abd_options(3, 1));
+  Tag prev = kInitialTag;
+  for (int i = 0; i < 5; ++i) {
+    auto payload = make_value(make_test_value(16, static_cast<uint64_t>(i)));
+    auto t = sim::run_to_completion(cluster.sim(),
+                                    cluster.client(0).reg().write(payload));
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Abd, ToleratesMinorityCrash) {
+  harness::StaticCluster cluster(abd_options(5, 2));
+  cluster.crash_servers(2);  // f = ⌈5/2⌉-1 = 2
+  auto payload = make_value(make_test_value(64, 2));
+  auto wtag = sim::run_to_completion(cluster.sim(),
+                                     cluster.client(0).reg().write(payload));
+  auto tv = sim::run_to_completion(cluster.sim(), cluster.client(1).reg().read());
+  EXPECT_EQ(tv.tag, wtag);
+  EXPECT_EQ(*tv.value, *payload);
+}
+
+TEST(Abd, BlocksWithoutMajority) {
+  harness::StaticCluster cluster(abd_options(5, 1));
+  cluster.crash_servers(3);
+  auto f = cluster.client(0).reg().write(make_value({1}));
+  EXPECT_FALSE(cluster.sim().run_until([&] { return f.ready(); }));
+}
+
+TEST(Abd, StorageCostIsNTimesValue) {
+  // The §1 motivating example: replication stores the full value on every
+  // server — n units total.
+  harness::StaticCluster cluster(abd_options(3, 1));
+  const std::size_t size = 10000;
+  auto payload = make_value(make_test_value(size, 3));
+  (void)sim::run_to_completion(cluster.sim(),
+                               cluster.client(0).reg().write(payload));
+  cluster.sim().run();  // let all server copies settle
+  EXPECT_EQ(cluster.total_stored_bytes(), 3 * size);
+}
+
+TEST(Abd, ServerAdoptsOnlyNewerTags) {
+  abd::AbdServerState state;
+  // Direct state-machine check: older writes never roll the value back.
+  // (Exercised through messages elsewhere; here via the public interface.)
+  EXPECT_EQ(state.max_tag(), kInitialTag);
+  EXPECT_EQ(state.stored_data_bytes(), 0u);
+}
+
+class AbdAtomicity
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(AbdAtomicity, RandomConcurrentWorkloadIsAtomic) {
+  const auto [seed, n_clients] = GetParam();
+  harness::StaticCluster cluster(
+      abd_options(5, static_cast<std::size_t>(n_clients), seed));
+  harness::WorkloadOptions opt;
+  opt.ops_per_client = 15;
+  opt.write_fraction = 0.5;
+  opt.value_size = 32;
+  opt.think_max = 30;
+  opt.seed = seed * 77 + 1;
+  testing_util::run_and_check_atomic(cluster, opt);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AbdAtomicity,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6),
+                       ::testing::Values(2, 4)));
+
+TEST(Abd, AtomicUnderCrashDuringWorkload) {
+  harness::StaticCluster cluster(abd_options(5, 3, 9));
+  cluster.sim().schedule_after(200, [&cluster] { cluster.crash_servers(2); });
+  harness::WorkloadOptions opt;
+  opt.ops_per_client = 10;
+  opt.think_max = 50;
+  opt.seed = 5;
+  testing_util::run_and_check_atomic(cluster, opt);
+}
+
+}  // namespace
+}  // namespace ares

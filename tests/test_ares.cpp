@@ -1,0 +1,297 @@
+// Tests of the ARES framework (Section 4): sequence traversal, the
+// four-phase reconfig operation, reader/writer protocols chasing the
+// configuration sequence, reconfiguration properties (Lemmas 47/51/53 as
+// runtime assertions), and atomicity under concurrent reconfiguration.
+#include "checker/atomicity.hpp"
+#include "harness/ares_cluster.hpp"
+#include "harness/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ares {
+namespace {
+
+harness::AresClusterOptions base_options(std::uint64_t seed = 1) {
+  harness::AresClusterOptions o;
+  o.server_pool = 14;
+  o.initial_protocol = dap::Protocol::kTreas;
+  o.initial_servers = 5;
+  o.initial_k = 3;
+  o.num_rw_clients = 3;
+  o.num_reconfigurers = 2;
+  o.seed = seed;
+  return o;
+}
+
+TEST(Ares, ReadWriteOnInitialConfiguration) {
+  harness::AresCluster cluster(base_options());
+  auto payload = make_value(make_test_value(300, 1));
+  auto wtag = sim::run_to_completion(cluster.sim(),
+                                     cluster.client(0).write(payload));
+  auto tv = sim::run_to_completion(cluster.sim(), cluster.client(1).read());
+  EXPECT_EQ(tv.tag, wtag);
+  EXPECT_EQ(*tv.value, *payload);
+}
+
+TEST(Ares, ReconfigInstallsAndFinalizesNewConfiguration) {
+  harness::AresCluster cluster(base_options());
+  auto& rc = cluster.reconfigurer(0);
+  auto spec = cluster.make_spec(dap::Protocol::kTreas, 5, 5, 3);
+  const ConfigId installed =
+      sim::run_to_completion(cluster.sim(), rc.reconfig(spec));
+  EXPECT_EQ(installed, spec.id);
+  ASSERT_EQ(rc.cseq().size(), 2u);
+  EXPECT_TRUE(rc.cseq()[1].finalized);
+  EXPECT_EQ(rc.cseq()[1].cfg, spec.id);
+}
+
+TEST(Ares, ValueSurvivesReconfiguration) {
+  harness::AresCluster cluster(base_options());
+  auto payload = make_value(make_test_value(2000, 2));
+  auto wtag = sim::run_to_completion(cluster.sim(),
+                                     cluster.client(0).write(payload));
+
+  auto spec = cluster.make_spec(dap::Protocol::kTreas, 5, 5, 3);
+  (void)sim::run_to_completion(cluster.sim(),
+                               cluster.reconfigurer(0).reconfig(spec));
+
+  auto tv = sim::run_to_completion(cluster.sim(), cluster.client(1).read());
+  EXPECT_EQ(tv.tag, wtag);
+  EXPECT_EQ(*tv.value, *payload);
+}
+
+TEST(Ares, ClientsDiscoverNewConfiguration) {
+  harness::AresCluster cluster(base_options());
+  auto spec = cluster.make_spec(dap::Protocol::kTreas, 5, 5, 3);
+  (void)sim::run_to_completion(cluster.sim(),
+                               cluster.reconfigurer(0).reconfig(spec));
+  // A write by a client that has not seen the reconfig must land in the new
+  // configuration and extend the client's local sequence.
+  auto payload = make_value(make_test_value(100, 3));
+  (void)sim::run_to_completion(cluster.sim(), cluster.client(0).write(payload));
+  ASSERT_EQ(cluster.client(0).cseq().size(), 2u);
+  EXPECT_EQ(cluster.client(0).cseq()[1].cfg, spec.id);
+}
+
+TEST(Ares, ChainOfReconfigurations) {
+  harness::AresCluster cluster(base_options());
+  auto payload = make_value(make_test_value(512, 4));
+  auto wtag = sim::run_to_completion(cluster.sim(),
+                                     cluster.client(0).write(payload));
+  for (int i = 0; i < 5; ++i) {
+    auto spec = cluster.make_spec(dap::Protocol::kTreas,
+                                  static_cast<std::size_t>(2 * i) % 9, 5, 3);
+    (void)sim::run_to_completion(cluster.sim(),
+                                 cluster.reconfigurer(0).reconfig(spec));
+  }
+  EXPECT_EQ(cluster.reconfigurer(0).cseq().size(), 6u);
+  for (const auto& e : cluster.reconfigurer(0).cseq()) {
+    EXPECT_TRUE(e.finalized);
+  }
+  auto tv = sim::run_to_completion(cluster.sim(), cluster.client(1).read());
+  EXPECT_EQ(tv.tag, wtag);
+  EXPECT_EQ(*tv.value, *payload);
+}
+
+TEST(Ares, ProtocolSwitchingAcrossConfigurations) {
+  // Remark 22: ABD → TREAS → LDR chain, data preserved across all of it.
+  harness::AresClusterOptions o = base_options();
+  o.initial_protocol = dap::Protocol::kAbd;
+  harness::AresCluster cluster(o);
+
+  auto payload = make_value(make_test_value(1500, 5));
+  auto wtag = sim::run_to_completion(cluster.sim(),
+                                     cluster.client(0).write(payload));
+
+  auto treas_spec = cluster.make_spec(dap::Protocol::kTreas, 4, 6, 4);
+  (void)sim::run_to_completion(cluster.sim(),
+                               cluster.reconfigurer(0).reconfig(treas_spec));
+  auto tv1 = sim::run_to_completion(cluster.sim(), cluster.client(1).read());
+  EXPECT_EQ(tv1.tag, wtag);
+  EXPECT_EQ(*tv1.value, *payload);
+
+  auto ldr_spec = cluster.make_spec(dap::Protocol::kLdr, 0, 8, 1);
+  (void)sim::run_to_completion(cluster.sim(),
+                               cluster.reconfigurer(0).reconfig(ldr_spec));
+  auto tv2 = sim::run_to_completion(cluster.sim(), cluster.client(2).read());
+  EXPECT_EQ(tv2.tag, tv1.tag);
+  EXPECT_EQ(*tv2.value, *payload);
+}
+
+TEST(Ares, ScaleUpAndScaleDown) {
+  harness::AresCluster cluster(base_options());
+  auto payload = make_value(make_test_value(800, 6));
+  auto wtag = sim::run_to_completion(cluster.sim(),
+                                     cluster.client(0).write(payload));
+
+  // Scale up [5,3] → [11,8], then down to [3,2].
+  auto up = cluster.make_spec(dap::Protocol::kTreas, 0, 11, 8);
+  (void)sim::run_to_completion(cluster.sim(),
+                               cluster.reconfigurer(0).reconfig(up));
+  auto down = cluster.make_spec(dap::Protocol::kTreas, 11, 3, 2);
+  (void)sim::run_to_completion(cluster.sim(),
+                               cluster.reconfigurer(0).reconfig(down));
+  auto tv = sim::run_to_completion(cluster.sim(), cluster.client(1).read());
+  EXPECT_EQ(tv.tag, wtag);
+  EXPECT_EQ(*tv.value, *payload);
+}
+
+TEST(Ares, ConcurrentReconfigurersAgreeOnSequence) {
+  // Two reconfigurers race for the same slot: consensus picks one winner
+  // per slot and both end with identical configuration sequences
+  // (Configuration Uniqueness, Lemma 47).
+  harness::AresCluster cluster(base_options(3));
+  auto s1 = cluster.make_spec(dap::Protocol::kTreas, 5, 5, 3);
+  auto s2 = cluster.make_spec(dap::Protocol::kTreas, 9, 5, 3);
+  auto f1 = cluster.reconfigurer(0).reconfig(s1);
+  auto f2 = cluster.reconfigurer(1).reconfig(s2);
+  ASSERT_TRUE(cluster.sim().run_until(
+      [&] { return f1.ready() && f2.ready(); }));
+
+  const auto& c1 = cluster.reconfigurer(0).cseq();
+  const auto& c2 = cluster.reconfigurer(1).cseq();
+  const std::size_t common = std::min(c1.size(), c2.size());
+  EXPECT_GE(common, 2u);
+  for (std::size_t i = 0; i < common; ++i) {
+    EXPECT_EQ(c1[i].cfg, c2[i].cfg) << "uniqueness violated at " << i;
+  }
+  // Slot 1 winner is one of the two proposals.
+  EXPECT_TRUE(c1[1].cfg == s1.id || c1[1].cfg == s2.id);
+}
+
+TEST(Ares, ReadConfigPrefixAndProgress) {
+  // Lemmas 51/53: a later read-config returns an extension with µ at least
+  // as large.
+  harness::AresCluster cluster(base_options());
+  auto& rc = cluster.reconfigurer(0);
+  auto& client = cluster.client(0);
+
+  sim::run_to_completion(cluster.sim(), client.read_config());
+  const auto before = client.cseq();
+  const std::size_t mu_before = client.mu();
+
+  auto spec = cluster.make_spec(dap::Protocol::kTreas, 5, 5, 3);
+  (void)sim::run_to_completion(cluster.sim(), rc.reconfig(spec));
+
+  sim::run_to_completion(cluster.sim(), client.read_config());
+  const auto after = client.cseq();
+  ASSERT_GE(after.size(), before.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(after[i].cfg, before[i].cfg);  // prefix
+  }
+  EXPECT_GE(client.mu(), mu_before);  // progress
+}
+
+TEST(Ares, ServerNextPointerMonotonicity) {
+  // Lemma 46: once a server's nextC is finalized it never changes.
+  harness::AresCluster cluster(base_options());
+  auto spec = cluster.make_spec(dap::Protocol::kTreas, 5, 5, 3);
+  (void)sim::run_to_completion(cluster.sim(),
+                               cluster.reconfigurer(0).reconfig(spec));
+  cluster.sim().run();
+  std::size_t finalized = 0;
+  for (std::size_t i = 0; i < 5; ++i) {  // c0's servers
+    auto next = cluster.servers()[i]->next_config(cluster.initial_config());
+    if (next && next->finalized) {
+      ++finalized;
+      EXPECT_EQ(next->cfg, spec.id);
+    }
+  }
+  EXPECT_GE(finalized, 4u);  // a quorum learned ⟨c1, F⟩
+}
+
+TEST(Ares, ReconfigToleratesOldConfigCrashes) {
+  harness::AresCluster cluster(base_options());
+  auto payload = make_value(make_test_value(400, 7));
+  (void)sim::run_to_completion(cluster.sim(), cluster.client(0).write(payload));
+  cluster.net().crash(0);  // f = (5-3)/2 = 1 for the initial [5,3] config
+  auto spec = cluster.make_spec(dap::Protocol::kTreas, 5, 5, 3);
+  (void)sim::run_to_completion(cluster.sim(),
+                               cluster.reconfigurer(0).reconfig(spec));
+  auto tv = sim::run_to_completion(cluster.sim(), cluster.client(1).read());
+  EXPECT_EQ(*tv.value, *payload);
+}
+
+// --- atomicity under concurrent reconfiguration ------------------------------
+
+/// Reconfiguration loop: installs `count` configurations back to back.
+sim::Future<void> reconfig_loop(harness::AresCluster* cluster,
+                                reconfig::AresClient* rc, int count,
+                                std::size_t stride, bool* done) {
+  for (int i = 0; i < count; ++i) {
+    auto spec = cluster->make_spec(dap::Protocol::kTreas,
+                                   (static_cast<std::size_t>(i) * stride) %
+                                       cluster->options().server_pool,
+                                   5, 3);
+    (void)co_await rc->reconfig(std::move(spec));
+  }
+  *done = true;
+  co_return;
+}
+
+class AresAtomicity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AresAtomicity, ConcurrentRwAndReconfigIsAtomic) {
+  harness::AresCluster cluster(base_options(GetParam()));
+
+  bool reconfig_done = false;
+  sim::detach(reconfig_loop(&cluster, &cluster.reconfigurer(0), 3, 3,
+                            &reconfig_done));
+
+  std::vector<reconfig::AresClient*> clients;
+  for (std::size_t i = 0; i < cluster.num_clients(); ++i) {
+    clients.push_back(&cluster.client(i));
+  }
+  harness::WorkloadOptions opt;
+  opt.ops_per_client = 8;
+  opt.write_fraction = 0.5;
+  opt.value_size = 64;
+  opt.think_max = 100;
+  opt.seed = GetParam() * 101 + 3;
+  const auto result = harness::run_workload(cluster.sim(), clients, opt);
+  ASSERT_TRUE(result.completed);
+  ASSERT_EQ(result.failures, 0u);
+  ASSERT_TRUE(cluster.sim().run_until([&] { return reconfig_done; }));
+
+  const auto verdict =
+      checker::check_tag_atomicity(cluster.history().records());
+  EXPECT_TRUE(verdict.ok) << verdict.violation;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AresAtomicity,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+TEST(Ares, TwoReconfigurersAndWorkload) {
+  harness::AresCluster cluster(base_options(42));
+  bool done0 = false, done1 = false;
+  sim::detach(
+      reconfig_loop(&cluster, &cluster.reconfigurer(0), 2, 3, &done0));
+  sim::detach(
+      reconfig_loop(&cluster, &cluster.reconfigurer(1), 2, 5, &done1));
+
+  std::vector<reconfig::AresClient*> clients;
+  for (std::size_t i = 0; i < cluster.num_clients(); ++i) {
+    clients.push_back(&cluster.client(i));
+  }
+  harness::WorkloadOptions opt;
+  opt.ops_per_client = 6;
+  opt.think_max = 150;
+  opt.seed = 17;
+  const auto result = harness::run_workload(cluster.sim(), clients, opt);
+  ASSERT_TRUE(result.completed);
+  ASSERT_TRUE(cluster.sim().run_until([&] { return done0 && done1; }));
+
+  const auto verdict =
+      checker::check_tag_atomicity(cluster.history().records());
+  EXPECT_TRUE(verdict.ok) << verdict.violation;
+
+  // Both reconfigurers converged on a common prefix.
+  const auto& c1 = cluster.reconfigurer(0).cseq();
+  const auto& c2 = cluster.reconfigurer(1).cseq();
+  for (std::size_t i = 0; i < std::min(c1.size(), c2.size()); ++i) {
+    EXPECT_EQ(c1[i].cfg, c2[i].cfg);
+  }
+}
+
+}  // namespace
+}  // namespace ares

@@ -1,0 +1,114 @@
+// Unit tests for common/: tags, RNG, value helpers.
+#include "common/random.hpp"
+#include "common/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ares {
+namespace {
+
+TEST(Tag, OrderingIsLexicographic) {
+  // Section 2: τ2 > τ1 iff τ2.z > τ1.z, or z equal and τ2.w > τ1.w.
+  EXPECT_LT((Tag{1, 5}), (Tag{2, 0}));
+  EXPECT_LT((Tag{2, 1}), (Tag{2, 2}));
+  EXPECT_EQ((Tag{3, 4}), (Tag{3, 4}));
+  EXPECT_GT((Tag{3, 4}), (Tag{3, 3}));
+  EXPECT_GT((Tag{4, 0}), (Tag{3, 9}));
+}
+
+TEST(Tag, NextIncrementsIntegerAndSetsWriter) {
+  const Tag t{7, 2};
+  const Tag n = t.next(9);
+  EXPECT_EQ(n.z, 8u);
+  EXPECT_EQ(n.writer, 9u);
+  EXPECT_GT(n, t);
+}
+
+TEST(Tag, NextIsAlwaysGreaterRegardlessOfWriterId) {
+  // A writer with a *smaller* id still generates a strictly larger tag.
+  const Tag t{7, 9};
+  EXPECT_GT(t.next(0), t);
+}
+
+TEST(Tag, InitialTagIsMinimal) {
+  EXPECT_LE(kInitialTag, (Tag{0, 0}));
+  EXPECT_LT(kInitialTag, (Tag{0, 1}));
+  EXPECT_LT(kInitialTag, (Tag{1, 0}));
+}
+
+TEST(Tag, ToStringFormat) { EXPECT_EQ((Tag{3, 7}).to_string(), "(3,7)"); }
+
+TEST(MaxByTag, PicksLaterPair) {
+  const TagValue a{Tag{1, 0}, make_value({1})};
+  const TagValue b{Tag{2, 0}, make_value({2})};
+  EXPECT_EQ(max_by_tag(a, b).tag, (Tag{2, 0}));
+  EXPECT_EQ(max_by_tag(b, a).tag, (Tag{2, 0}));
+  // Ties keep the first argument (stable).
+  const TagValue c{Tag{2, 0}, make_value({3})};
+  EXPECT_EQ(max_by_tag(b, c).value, b.value);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformHitsAllValuesInSmallRange) {
+  Rng r(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.uniform(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformDegenerateRange) {
+  Rng r(3);
+  EXPECT_EQ(r.uniform(5, 5), 5u);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.fork();
+  // The fork must not replay the parent's stream.
+  Rng b(5);
+  (void)b.next_u64();  // parent consumed one value for the fork
+  EXPECT_NE(child.next_u64(), b.next_u64());
+}
+
+TEST(Value, MakeTestValueDeterministic) {
+  EXPECT_EQ(make_test_value(32, 1), make_test_value(32, 1));
+  EXPECT_NE(make_test_value(32, 1), make_test_value(32, 2));
+  EXPECT_EQ(make_test_value(0, 1).size(), 0u);
+  EXPECT_EQ(make_test_value(1000, 3).size(), 1000u);
+}
+
+}  // namespace
+}  // namespace ares

@@ -1,0 +1,173 @@
+// Direct verification of the DAP consistency properties (Definition 2 /
+// Definition 31) for each protocol's primitive implementation:
+//   C1 — completed put-data(⟨τ,v⟩) precedes get-tag/get-data ⟹ result ≥ τ
+//   C2 — get-data returns a pair some put-data put (or the initial pair)
+//   C3 — (LDR/A2) sequential get-data results are tag-monotone
+#include "harness/static_cluster.hpp"
+#include "test_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ares {
+namespace {
+
+harness::StaticClusterOptions options_for(dap::Protocol p,
+                                          std::uint64_t seed) {
+  harness::StaticClusterOptions o;
+  o.protocol = p;
+  o.num_servers = p == dap::Protocol::kLdr ? 8 : 5;
+  o.k = 3;
+  o.ldr_directories = 3;
+  o.num_clients = 3;
+  o.seed = seed;
+  return o;
+}
+
+class DapProperties
+    : public ::testing::TestWithParam<std::tuple<dap::Protocol, std::uint64_t>> {
+};
+
+TEST_P(DapProperties, C1_GetTagSeesCompletedPut) {
+  const auto [proto, seed] = GetParam();
+  harness::StaticCluster cluster(options_for(proto, seed));
+  auto& sim = cluster.sim();
+
+  const Tag tau{5, cluster.client(0).id()};
+  auto payload = make_value(make_test_value(100, 1));
+  sim::run_to_completion(
+      sim, cluster.client(0).dap().put_data(TagValue{tau, payload}));
+
+  const Tag got = sim::run_to_completion(sim, cluster.client(1).dap().get_tag());
+  EXPECT_GE(got, tau);
+}
+
+TEST_P(DapProperties, C1_GetDataSeesCompletedPut) {
+  const auto [proto, seed] = GetParam();
+  harness::StaticCluster cluster(options_for(proto, seed));
+  auto& sim = cluster.sim();
+
+  const Tag tau{3, cluster.client(0).id()};
+  auto payload = make_value(make_test_value(64, 2));
+  sim::run_to_completion(
+      sim, cluster.client(0).dap().put_data(TagValue{tau, payload}));
+
+  const TagValue got =
+      sim::run_to_completion(sim, cluster.client(1).dap().get_data());
+  EXPECT_GE(got.tag, tau);
+  if (got.tag == tau) {
+    ASSERT_TRUE(got.value);
+    EXPECT_EQ(*got.value, *payload);
+  }
+}
+
+TEST_P(DapProperties, C1_ChainsAcrossClients) {
+  // put(τ1) → put(τ2) → get must see at least τ2.
+  const auto [proto, seed] = GetParam();
+  harness::StaticCluster cluster(options_for(proto, seed));
+  auto& sim = cluster.sim();
+
+  const Tag t1{1, cluster.client(0).id()};
+  const Tag t2{2, cluster.client(1).id()};
+  sim::run_to_completion(sim, cluster.client(0).dap().put_data(
+                                  TagValue{t1, make_value({1})}));
+  sim::run_to_completion(sim, cluster.client(1).dap().put_data(
+                                  TagValue{t2, make_value({2})}));
+  const Tag got = sim::run_to_completion(sim, cluster.client(2).dap().get_tag());
+  EXPECT_GE(got, t2);
+}
+
+TEST_P(DapProperties, C2_GetDataReturnsOnlyPutPairs) {
+  const auto [proto, seed] = GetParam();
+  harness::StaticCluster cluster(options_for(proto, seed));
+  auto& sim = cluster.sim();
+
+  std::set<std::pair<std::uint64_t, ProcessId>> put_tags;
+  Rng rng(seed);
+  for (int i = 1; i <= 6; ++i) {
+    const Tag t{static_cast<std::uint64_t>(i), cluster.client(0).id()};
+    put_tags.insert({t.z, t.writer});
+    auto payload = make_value(make_test_value(32, static_cast<uint64_t>(i)));
+    sim::run_to_completion(sim,
+                           cluster.client(0).dap().put_data(TagValue{t, payload}));
+  }
+  const TagValue got =
+      sim::run_to_completion(sim, cluster.client(1).dap().get_data());
+  const bool is_initial = got.tag == kInitialTag;
+  const bool was_put = put_tags.contains({got.tag.z, got.tag.writer});
+  EXPECT_TRUE(is_initial || was_put)
+      << "get-data invented tag " << got.tag.to_string();
+}
+
+TEST_P(DapProperties, InitialStateReturnsT0V0) {
+  const auto [proto, seed] = GetParam();
+  harness::StaticCluster cluster(options_for(proto, seed));
+  const TagValue got = sim::run_to_completion(
+      cluster.sim(), cluster.client(0).dap().get_data());
+  EXPECT_EQ(got.tag, kInitialTag);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, DapProperties,
+    ::testing::Combine(::testing::Values(dap::Protocol::kAbd,
+                                         dap::Protocol::kTreas,
+                                         dap::Protocol::kLdr),
+                       ::testing::Values(1, 2, 3)),
+    [](const ::testing::TestParamInfo<std::tuple<dap::Protocol, std::uint64_t>>&
+           info) {
+      return std::string(dap::protocol_name(std::get<0>(info.param))) + "s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(DapPropertiesLdr, C3_SequentialGetDataMonotone) {
+  harness::StaticCluster cluster(options_for(dap::Protocol::kLdr, 7));
+  auto& sim = cluster.sim();
+  // Interleave puts with pairs of sequential get-datas; each pair must be
+  // monotone even when a put races them.
+  Tag prev = kInitialTag;
+  for (int i = 1; i <= 5; ++i) {
+    auto put = cluster.client(0).dap().put_data(
+        TagValue{Tag{static_cast<std::uint64_t>(i), 0},
+                 make_value(make_test_value(16, static_cast<uint64_t>(i)))});
+    const TagValue a =
+        sim::run_to_completion(sim, cluster.client(1).dap().get_data());
+    const TagValue b =
+        sim::run_to_completion(sim, cluster.client(1).dap().get_data());
+    EXPECT_GE(b.tag, a.tag) << "C3 violated";
+    EXPECT_GE(a.tag, prev);
+    prev = b.tag;
+    sim::run_to_completion(sim, std::move(put));
+  }
+}
+
+TEST(DapPropertiesTreas, GetDecTagMatchesGetData) {
+  harness::StaticCluster cluster(options_for(dap::Protocol::kTreas, 9));
+  auto& sim = cluster.sim();
+  for (int i = 1; i <= 4; ++i) {
+    const Tag t{static_cast<std::uint64_t>(i), 1};
+    sim::run_to_completion(
+        sim, cluster.client(0).dap().put_data(
+                 TagValue{t, make_value(make_test_value(64, 1))}));
+    const Tag dec =
+        sim::run_to_completion(sim, cluster.client(1).dap().get_dec_tag());
+    const TagValue data =
+        sim::run_to_completion(sim, cluster.client(1).dap().get_data());
+    EXPECT_EQ(dec, data.tag);
+  }
+}
+
+TEST(DapPropertiesTreas, GetDecTagMovesNoData) {
+  harness::StaticCluster cluster(options_for(dap::Protocol::kTreas, 10));
+  auto& sim = cluster.sim();
+  sim::run_to_completion(
+      sim, cluster.client(0).dap().put_data(
+               TagValue{Tag{1, 0}, make_value(make_test_value(8192, 1))}));
+  sim.run();
+  cluster.net().reset_stats();
+  (void)sim::run_to_completion(sim, cluster.client(1).dap().get_dec_tag());
+  EXPECT_EQ(cluster.net().stats().data_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace ares

@@ -1,0 +1,278 @@
+// Failure-injection suite: client crashes mid-operation, reconfigurer
+// crashes between reconfiguration phases, server crashes during state
+// transfer, and determinism/replay guarantees of the simulation itself.
+#include "checker/atomicity.hpp"
+#include "harness/ares_cluster.hpp"
+#include "harness/static_cluster.hpp"
+#include "harness/workload.hpp"
+#include "test_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ares {
+namespace {
+
+// --- client crashes -----------------------------------------------------------
+
+class ClientCrash : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClientCrash, WriterCrashMidOperationPreservesAtomicity) {
+  // A writer crashes at a random instant mid-write. The write either takes
+  // effect (some reader returns its tag) or not — both fine; atomicity of
+  // the surviving history must hold either way.
+  harness::StaticClusterOptions o;
+  o.protocol = dap::Protocol::kTreas;
+  o.num_servers = 5;
+  o.k = 3;
+  o.num_clients = 3;
+  o.seed = GetParam();
+  harness::StaticCluster cluster(o);
+
+  // Crash client 0 somewhere inside its write.
+  auto doomed = cluster.client(0).reg().write(
+      make_value(make_test_value(256, 1)));
+  Rng rng(GetParam());
+  cluster.sim().schedule_after(rng.uniform(1, 120), [&cluster] {
+    cluster.net().crash(cluster.client(0).id());
+  });
+
+  // The remaining clients run a workload over the wreckage.
+  harness::WorkloadOptions opt;
+  opt.ops_per_client = 8;
+  opt.think_max = 30;
+  opt.seed = GetParam() + 5;
+  std::vector<dap::RegisterClient*> regs{&cluster.client(1).reg(),
+                                         &cluster.client(2).reg()};
+  const auto result = harness::run_workload(cluster.sim(), regs, opt);
+  ASSERT_TRUE(result.completed);
+  (void)doomed;  // may or may not have completed
+
+  const auto verdict =
+      checker::check_tag_atomicity(cluster.history().records());
+  EXPECT_TRUE(verdict.ok) << verdict.violation;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClientCrash,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+TEST(ClientCrashEdge, ReaderCrashMidReadIsHarmless) {
+  harness::StaticClusterOptions o;
+  o.protocol = dap::Protocol::kTreas;
+  o.num_servers = 5;
+  o.k = 3;
+  o.num_clients = 2;
+  harness::StaticCluster cluster(o);
+  (void)sim::run_to_completion(
+      cluster.sim(),
+      cluster.client(0).reg().write(make_value(make_test_value(64, 1))));
+
+  auto doomed = cluster.client(1).reg().read();
+  cluster.sim().schedule_after(15, [&cluster] {
+    cluster.net().crash(cluster.client(1).id());
+  });
+  cluster.sim().run();
+  EXPECT_FALSE(doomed.ready());  // the crashed reader never responds
+
+  // The system is unaffected: another operation completes normally.
+  auto tv = sim::run_to_completion(cluster.sim(), cluster.client(0).reg().read());
+  EXPECT_EQ(tv.tag, (Tag{1, cluster.client(0).id()}));
+}
+
+// --- reconfigurer crashes -------------------------------------------------------
+
+TEST(ReconfigurerCrash, CrashAfterAddConfigLeavesSystemUsable) {
+  // The reconfigurer dies right after consensus decides the new
+  // configuration but before update/finalize. Readers and writers discover
+  // the pending configuration through read-config and keep operating on
+  // the extended (pending) sequence — Alg. 7 handles status-P entries.
+  harness::AresClusterOptions o;
+  o.server_pool = 10;
+  o.initial_servers = 5;
+  o.num_rw_clients = 2;
+  o.num_reconfigurers = 2;
+  o.seed = 17;
+  harness::AresCluster cluster(o);
+
+  auto payload = make_value(make_test_value(512, 1));
+  auto wtag = sim::run_to_completion(cluster.sim(),
+                                     cluster.client(0).write(payload));
+
+  auto spec = cluster.make_spec(dap::Protocol::kTreas, 5, 5, 3);
+  auto doomed = cluster.reconfigurer(0).reconfig(spec);
+  // Let it pass consensus + put-config (a few hundred time units), then die.
+  cluster.sim().run_for(400);
+  cluster.net().crash(cluster.reconfigurer(0).id());
+  cluster.sim().run();
+  (void)doomed;
+
+  // Ongoing reads/writes must still complete and stay atomic.
+  auto tv = sim::run_to_completion(cluster.sim(), cluster.client(1).read());
+  EXPECT_GE(tv.tag, wtag);
+  auto wtag2 = sim::run_to_completion(
+      cluster.sim(),
+      cluster.client(0).write(make_value(make_test_value(64, 2))));
+  EXPECT_GT(wtag2, wtag);
+
+  // And a second reconfigurer can finish the job (its read-config adopts
+  // the pending configuration; consensus on the *next* slot proceeds).
+  auto spec2 = cluster.make_spec(dap::Protocol::kTreas, 2, 5, 3);
+  (void)sim::run_to_completion(cluster.sim(),
+                               cluster.reconfigurer(1).reconfig(spec2));
+  auto tv2 = sim::run_to_completion(cluster.sim(), cluster.client(1).read());
+  EXPECT_GE(tv2.tag, wtag2);
+
+  const auto verdict =
+      checker::check_tag_atomicity(cluster.history().records());
+  EXPECT_TRUE(verdict.ok) << verdict.violation;
+}
+
+TEST(ReconfigurerCrash, DirectTransferCrashBeforeForward) {
+  // ARES-TREAS: the md-primitive's all-or-none delivery means a crash
+  // *before* the broadcast leaves nothing dangling; a later reconfigurer
+  // redoes the transfer cleanly.
+  harness::AresClusterOptions o;
+  o.server_pool = 12;
+  o.initial_servers = 5;
+  o.num_rw_clients = 2;
+  o.num_reconfigurers = 2;
+  o.direct_transfer = true;
+  o.seed = 23;
+  harness::AresCluster cluster(o);
+
+  auto payload = make_value(make_test_value(2048, 3));
+  auto wtag = sim::run_to_completion(cluster.sim(),
+                                     cluster.client(0).write(payload));
+
+  auto spec = cluster.make_spec(dap::Protocol::kTreas, 5, 5, 3);
+  auto doomed = cluster.reconfigurer(0).reconfig(spec);
+  cluster.sim().run_for(250);  // inside the reconfig
+  cluster.net().crash(cluster.reconfigurer(0).id());
+  cluster.sim().run();
+  (void)doomed;
+
+  auto spec2 = cluster.make_spec(dap::Protocol::kTreas, 7, 5, 3);
+  (void)sim::run_to_completion(cluster.sim(),
+                               cluster.reconfigurer(1).reconfig(spec2));
+  auto tv = sim::run_to_completion(cluster.sim(), cluster.client(1).read());
+  EXPECT_EQ(tv.tag, wtag);
+  EXPECT_EQ(*tv.value, *payload);
+}
+
+// --- server crashes during transfer ---------------------------------------------
+
+TEST(ServerCrash, OldServersCrashDuringDirectTransfer) {
+  // f = 1 of the source configuration dies before the forward request:
+  // the surviving servers still hold >= k fragments of any completed
+  // write, so destination servers decode.
+  harness::AresClusterOptions o;
+  o.server_pool = 12;
+  o.initial_servers = 5;
+  o.num_rw_clients = 2;
+  o.num_reconfigurers = 1;
+  o.direct_transfer = true;
+  o.seed = 29;
+  harness::AresCluster cluster(o);
+
+  auto payload = make_value(make_test_value(4096, 4));
+  auto wtag = sim::run_to_completion(cluster.sim(),
+                                     cluster.client(0).write(payload));
+  cluster.net().crash(0);
+
+  auto spec = cluster.make_spec(dap::Protocol::kTreas, 5, 5, 3);
+  (void)sim::run_to_completion(cluster.sim(),
+                               cluster.reconfigurer(0).reconfig(spec));
+  auto tv = sim::run_to_completion(cluster.sim(), cluster.client(1).read());
+  EXPECT_EQ(tv.tag, wtag);
+  EXPECT_EQ(*tv.value, *payload);
+}
+
+TEST(ServerCrash, NewServerCrashDuringTransferToleratedByQuorum) {
+  harness::AresClusterOptions o;
+  o.server_pool = 12;
+  o.initial_servers = 5;
+  o.num_rw_clients = 2;
+  o.num_reconfigurers = 1;
+  o.direct_transfer = true;
+  o.seed = 31;
+  harness::AresCluster cluster(o);
+
+  auto payload = make_value(make_test_value(1024, 5));
+  auto wtag = sim::run_to_completion(cluster.sim(),
+                                     cluster.client(0).write(payload));
+  cluster.net().crash(5);  // one *destination* server is already dead
+
+  auto spec = cluster.make_spec(dap::Protocol::kTreas, 5, 5, 3);  // 5..9
+  (void)sim::run_to_completion(cluster.sim(),
+                               cluster.reconfigurer(0).reconfig(spec));
+  auto tv = sim::run_to_completion(cluster.sim(), cluster.client(1).read());
+  EXPECT_EQ(tv.tag, wtag);
+}
+
+// --- determinism -----------------------------------------------------------------
+
+std::vector<checker::OpRecord> run_seeded(std::uint64_t seed) {
+  harness::StaticClusterOptions o;
+  o.protocol = dap::Protocol::kTreas;
+  o.num_servers = 5;
+  o.k = 3;
+  o.num_clients = 3;
+  o.seed = seed;
+  harness::StaticCluster cluster(o);
+  harness::WorkloadOptions opt;
+  opt.ops_per_client = 10;
+  opt.think_max = 25;
+  opt.seed = 99;
+  std::vector<dap::RegisterClient*> regs;
+  for (auto& c : cluster.clients()) regs.push_back(&c->reg());
+  (void)harness::run_workload(cluster.sim(), regs, opt);
+  return cluster.history().records();
+}
+
+TEST(Determinism, SameSeedReplaysIdentically) {
+  const auto a = run_seeded(4242);
+  const auto b = run_seeded(4242);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].invoked, b[i].invoked);
+    EXPECT_EQ(a[i].responded, b[i].responded);
+    EXPECT_EQ(a[i].tag, b[i].tag);
+    EXPECT_EQ(a[i].value_hash, b[i].value_hash);
+  }
+}
+
+TEST(Determinism, DifferentSeedsDiverge) {
+  const auto a = run_seeded(1);
+  const auto b = run_seeded(2);
+  bool differs = a.size() != b.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a[i].responded != b[i].responded;
+  }
+  EXPECT_TRUE(differs);
+}
+
+// --- extreme delay variance -------------------------------------------------------
+
+class DelayVariance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DelayVariance, AtomicUnderHugeDelaySpread) {
+  // d=1, D=1000: messages reorder wildly; atomicity must be unaffected.
+  harness::StaticClusterOptions o;
+  o.protocol = dap::Protocol::kTreas;
+  o.num_servers = 5;
+  o.k = 3;
+  o.num_clients = 3;
+  o.min_delay = 1;
+  o.max_delay = 1000;
+  o.seed = GetParam();
+  harness::StaticCluster cluster(o);
+  harness::WorkloadOptions opt;
+  opt.ops_per_client = 8;
+  opt.think_max = 200;
+  opt.seed = GetParam() * 3 + 1;
+  testing_util::run_and_check_atomic(cluster, opt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DelayVariance, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace ares

@@ -1,0 +1,123 @@
+// Tests of the LDR DAP (Automaton 13): directory/replica split, one-phase
+// (A2) reads, and atomicity under concurrency.
+#include "ldr/client.hpp"
+#include "ldr/server.hpp"
+#include "test_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ares {
+namespace {
+
+harness::StaticClusterOptions ldr_options(std::size_t servers,
+                                          std::size_t dirs,
+                                          std::size_t clients,
+                                          std::uint64_t seed = 1) {
+  harness::StaticClusterOptions o;
+  o.protocol = dap::Protocol::kLdr;
+  o.num_servers = servers;
+  o.ldr_directories = dirs;
+  o.ldr_f = 1;
+  o.num_clients = clients;
+  o.seed = seed;
+  return o;
+}
+
+TEST(Ldr, WriteThenReadRoundTrip) {
+  harness::StaticCluster cluster(ldr_options(8, 3, 2));
+  auto payload = make_value(make_test_value(777, 1));
+  auto wtag = sim::run_to_completion(cluster.sim(),
+                                     cluster.client(0).reg().write(payload));
+  auto tv = sim::run_to_completion(cluster.sim(), cluster.client(1).reg().read());
+  EXPECT_EQ(tv.tag, wtag);
+  ASSERT_TRUE(tv.value);
+  EXPECT_EQ(*tv.value, *payload);
+}
+
+TEST(Ldr, ReadBeforeWriteReturnsInitial) {
+  harness::StaticCluster cluster(ldr_options(8, 3, 1));
+  auto tv = sim::run_to_completion(cluster.sim(), cluster.client(0).reg().read());
+  EXPECT_EQ(tv.tag, kInitialTag);
+}
+
+TEST(Ldr, UsesA2OnePhaseReadTemplate) {
+  EXPECT_EQ(dap::read_template_for(dap::Protocol::kLdr),
+            dap::ReadTemplate::kA2OnePhase);
+  EXPECT_EQ(dap::read_template_for(dap::Protocol::kAbd),
+            dap::ReadTemplate::kA1TwoPhase);
+  EXPECT_EQ(dap::read_template_for(dap::Protocol::kTreas),
+            dap::ReadTemplate::kA1TwoPhase);
+}
+
+TEST(Ldr, OnlyReplicasStoreData) {
+  harness::StaticCluster cluster(ldr_options(8, 3, 1));
+  const std::size_t size = 5000;
+  auto payload = make_value(make_test_value(size, 2));
+  (void)sim::run_to_completion(cluster.sim(),
+                               cluster.client(0).reg().write(payload));
+  cluster.sim().run();
+  // Directories (servers 0..2) hold only metadata.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(cluster.servers()[i]->state().stored_data_bytes(), 0u)
+        << "directory " << i << " stored data";
+  }
+  // The value went to 2f+1 = 3 replicas at most (f+1 = 2 guaranteed).
+  std::size_t replicas_with_data = 0;
+  for (std::size_t i = 3; i < 8; ++i) {
+    if (cluster.servers()[i]->state().stored_data_bytes() >= size) {
+      ++replicas_with_data;
+    }
+  }
+  EXPECT_GE(replicas_with_data, 2u);
+  EXPECT_LE(replicas_with_data, 3u);
+}
+
+TEST(Ldr, ToleratesDirectoryMinorityCrash) {
+  harness::StaticCluster cluster(ldr_options(8, 3, 2));
+  cluster.net().crash(0);  // one of three directories
+  auto payload = make_value(make_test_value(128, 3));
+  auto wtag = sim::run_to_completion(cluster.sim(),
+                                     cluster.client(0).reg().write(payload));
+  auto tv = sim::run_to_completion(cluster.sim(), cluster.client(1).reg().read());
+  EXPECT_EQ(tv.tag, wtag);
+}
+
+TEST(Ldr, BlocksWithoutDirectoryMajority) {
+  harness::StaticCluster cluster(ldr_options(8, 3, 1));
+  cluster.net().crash(0);
+  cluster.net().crash(1);
+  auto f = cluster.client(0).reg().write(make_value({1}));
+  EXPECT_FALSE(cluster.sim().run_until([&] { return f.ready(); }));
+}
+
+class LdrAtomicity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LdrAtomicity, RandomConcurrentWorkloadIsAtomic) {
+  harness::StaticCluster cluster(ldr_options(9, 3, 3, GetParam()));
+  harness::WorkloadOptions opt;
+  opt.ops_per_client = 12;
+  opt.write_fraction = 0.5;
+  opt.value_size = 48;
+  opt.think_max = 40;
+  opt.seed = GetParam() * 13 + 5;
+  testing_util::run_and_check_atomic(cluster, opt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LdrAtomicity,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Ldr, MetadataOnlyTrafficForGetTag) {
+  // get-tag touches directories only and moves no object data.
+  harness::StaticCluster cluster(ldr_options(8, 3, 1));
+  auto payload = make_value(make_test_value(4096, 4));
+  (void)sim::run_to_completion(cluster.sim(),
+                               cluster.client(0).reg().write(payload));
+  cluster.sim().run();
+  cluster.net().reset_stats();
+  auto f = cluster.client(0).dap().get_tag();
+  (void)sim::run_to_completion(cluster.sim(), std::move(f));
+  EXPECT_EQ(cluster.net().stats().data_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace ares

@@ -1,0 +1,546 @@
+// White-box tests of the server-side state machines, driven message by
+// message: TREAS Lists and garbage collection (Alg. 3), the ARES-TREAS
+// forward/decode/re-encode path (Alg. 9), ARES nextC update rules (Alg. 6),
+// the Paxos acceptor, and LDR's role split.
+#include "abd/messages.hpp"
+#include "abd/server.hpp"
+#include "ares/messages.hpp"
+#include "ares/server.hpp"
+#include "consensus/paxos.hpp"
+#include "dap/factory.hpp"
+#include "ldr/messages.hpp"
+#include "ldr/server.hpp"
+#include "treas/messages.hpp"
+#include "treas/server.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ares {
+namespace {
+
+/// Hosts one DapServer and exposes raw handle() access.
+class Host final : public sim::Process {
+ public:
+  Host(sim::Simulator& sim, sim::Network& net, ProcessId id,
+       const dap::ConfigSpec& spec, const dap::ConfigRegistry& reg)
+      : sim::Process(sim, net, id), spec_(spec), registry_(reg) {
+    state_ = dap::make_dap_server(spec, id);
+  }
+
+  [[nodiscard]] dap::DapServer& state() { return *state_; }
+
+ protected:
+  void handle(const sim::Message& msg) override {
+    dap::ServerContext ctx{*this, spec_, registry_};
+    state_->handle(ctx, msg);
+  }
+
+ private:
+  const dap::ConfigSpec& spec_;
+  const dap::ConfigRegistry& registry_;
+  std::unique_ptr<dap::DapServer> state_;
+};
+
+/// Plain client process used to issue raw requests.
+class Prober final : public sim::Process {
+ public:
+  using sim::Process::Process;
+
+  /// All one-way (non-reply) messages delivered to this process.
+  std::vector<sim::BodyPtr> received;
+
+ protected:
+  void handle(const sim::Message& msg) override {
+    received.push_back(msg.body);
+  }
+};
+
+struct TreasFixture {
+  TreasFixture(std::size_t n = 5, std::size_t k = 3, std::size_t delta = 1)
+      : sim(1), net(sim, 1, 1) {
+    spec.id = 0;
+    spec.protocol = dap::Protocol::kTreas;
+    spec.k = k;
+    spec.delta = delta;
+    for (std::size_t i = 0; i < n; ++i) {
+      spec.servers.push_back(static_cast<ProcessId>(i));
+    }
+    registry.register_config(spec);
+    host = std::make_unique<Host>(sim, net, 0, spec, registry);
+    prober = std::make_unique<Prober>(sim, net, 100);
+  }
+
+  treas::TreasServerState& state() {
+    return dynamic_cast<treas::TreasServerState&>(host->state());
+  }
+
+  /// Sends a PUT and waits for the ack.
+  void put(Tag tag, std::size_t payload_seed) {
+    auto codec = spec.make_codec();
+    auto req = std::make_shared<treas::PutReq>();
+    req->config = 0;
+    req->tag = tag;
+    req->fragment = codec->encode_one(make_test_value(90, payload_seed), 0);
+    auto f = prober->call(0, std::move(req));
+    ASSERT_TRUE(sim.run_until([&] { return f.ready(); }));
+  }
+
+  sim::Simulator sim;
+  sim::Network net;
+  dap::ConfigRegistry registry;
+  dap::ConfigSpec spec;
+  std::unique_ptr<Host> host;
+  std::unique_ptr<Prober> prober;
+};
+
+TEST(TreasServer, InitialListHoldsT0) {
+  TreasFixture fx;
+  EXPECT_EQ(fx.state().list_size(), 1u);
+  EXPECT_EQ(fx.state().live_elements(), 1u);
+  EXPECT_EQ(fx.state().max_tag(), kInitialTag);
+}
+
+TEST(TreasServer, PutGrowsListAndGcKeepsDeltaPlusOne) {
+  TreasFixture fx(5, 3, /*delta=*/1);
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    fx.put(Tag{i, 1}, i);
+  }
+  // All 6 tags (t0 + 5) retained; only delta+1 = 2 live elements.
+  EXPECT_EQ(fx.state().list_size(), 6u);
+  EXPECT_EQ(fx.state().live_elements(), 2u);
+  EXPECT_EQ(fx.state().max_tag(), (Tag{5, 1}));
+}
+
+TEST(TreasServer, GcKeepsTheHighestTags) {
+  TreasFixture fx(5, 3, /*delta=*/1);
+  // Insert out of order: the *highest* tags keep elements, not the newest
+  // arrivals.
+  fx.put(Tag{5, 1}, 5);
+  fx.put(Tag{1, 1}, 1);
+  fx.put(Tag{9, 1}, 9);
+  fx.put(Tag{2, 1}, 2);
+
+  auto req = std::make_shared<treas::QueryListReq>();
+  req->config = 0;
+  auto f = fx.prober->call(0, std::move(req));
+  ASSERT_TRUE(fx.sim.run_until([&] { return f.ready(); }));
+  auto reply = std::dynamic_pointer_cast<const treas::QueryListReply>(f.get());
+  ASSERT_TRUE(reply);
+  for (const auto& e : reply->list) {
+    const bool should_be_live = e.tag >= Tag{5, 1};
+    EXPECT_EQ(e.fragment.has_value(), should_be_live)
+        << "tag " << e.tag.to_string();
+  }
+}
+
+TEST(TreasServer, DuplicatePutIsIdempotent) {
+  TreasFixture fx;
+  fx.put(Tag{1, 1}, 1);
+  fx.put(Tag{1, 1}, 1);
+  EXPECT_EQ(fx.state().list_size(), 2u);  // t0 + one tag
+}
+
+TEST(TreasServer, QueryTagReturnsMax) {
+  TreasFixture fx;
+  fx.put(Tag{3, 2}, 1);
+  fx.put(Tag{2, 9}, 2);
+  auto req = std::make_shared<treas::QueryTagReq>();
+  req->config = 0;
+  auto f = fx.prober->call(0, std::move(req));
+  ASSERT_TRUE(fx.sim.run_until([&] { return f.ready(); }));
+  auto reply = std::dynamic_pointer_cast<const treas::QueryTagReply>(f.get());
+  ASSERT_TRUE(reply);
+  EXPECT_EQ(reply->tag, (Tag{3, 2}));
+}
+
+TEST(TreasServer, DigestCarriesNoData) {
+  TreasFixture fx;
+  fx.put(Tag{1, 1}, 1);
+  auto req = std::make_shared<treas::QueryDigestReq>();
+  req->config = 0;
+  fx.net.reset_stats();
+  auto f = fx.prober->call(0, std::move(req));
+  ASSERT_TRUE(fx.sim.run_until([&] { return f.ready(); }));
+  EXPECT_EQ(fx.net.stats().data_bytes, 0u);
+}
+
+// --- Alg. 9 destination-side transfer ---------------------------------------
+
+struct TransferFixture {
+  TransferFixture() : sim(1), net(sim, 1, 1) {
+    src.id = 0;
+    src.protocol = dap::Protocol::kTreas;
+    src.k = 3;
+    src.delta = 4;
+    for (ProcessId i = 0; i < 5; ++i) src.servers.push_back(i);
+    dst.id = 1;
+    dst.protocol = dap::Protocol::kTreas;
+    dst.k = 2;  // different code parameters force decode + re-encode
+    dst.delta = 4;
+    for (ProcessId i = 10; i < 13; ++i) dst.servers.push_back(i);
+    registry.register_config(src);
+    registry.register_config(dst);
+    host = std::make_unique<Host>(sim, net, 10, dst, registry);  // dst server
+    rc = std::make_unique<Prober>(sim, net, 100);
+  }
+
+  void deliver_fragment(Tag tag, const Value& v, std::uint32_t src_index,
+                        std::uint64_t transfer_id = 7) {
+    auto codec = src.make_codec();
+    auto fwd = std::make_shared<treas::FwdCodeElem>();
+    fwd->config = dst.id;
+    fwd->transfer_id = transfer_id;
+    fwd->reconfigurer = rc->id();
+    fwd->src_config = src.id;
+    fwd->dst_config = dst.id;
+    fwd->tag = tag;
+    fwd->fragment = codec->encode_one(v, src_index);
+    net.send(static_cast<ProcessId>(0), 10, std::move(fwd));
+    sim.run();
+  }
+
+  treas::TreasServerState& state() {
+    return dynamic_cast<treas::TreasServerState&>(host->state());
+  }
+
+  std::size_t acks() const {
+    std::size_t n = 0;
+    for (const auto& b : rc->received) {
+      if (std::dynamic_pointer_cast<const treas::TransferAck>(b)) ++n;
+    }
+    return n;
+  }
+
+  sim::Simulator sim;
+  sim::Network net;
+  dap::ConfigRegistry registry;
+  dap::ConfigSpec src, dst;
+  std::unique_ptr<Host> host;
+  std::unique_ptr<Prober> rc;
+};
+
+TEST(TreasTransfer, DecodesAfterKDistinctFragmentsAndAcksOnce) {
+  TransferFixture fx;
+  const Value v = make_test_value(500, 1);
+  const Tag tag{4, 2};
+  fx.deliver_fragment(tag, v, 0);
+  EXPECT_EQ(fx.acks(), 0u);  // 1 < k fragments: staged in D, no ack
+  fx.deliver_fragment(tag, v, 1);
+  EXPECT_EQ(fx.acks(), 0u);
+  fx.deliver_fragment(tag, v, 2);  // k = 3 distinct: decode + re-encode
+  EXPECT_EQ(fx.acks(), 1u);
+  EXPECT_EQ(fx.state().max_tag(), tag);
+
+  // Further fragments for the same transfer are ignored (rc ∈ Recons).
+  fx.deliver_fragment(tag, v, 3);
+  EXPECT_EQ(fx.acks(), 1u);
+}
+
+TEST(TreasTransfer, DuplicateSourceIndexDoesNotCount) {
+  TransferFixture fx;
+  const Value v = make_test_value(300, 2);
+  const Tag tag{2, 1};
+  fx.deliver_fragment(tag, v, 0);
+  fx.deliver_fragment(tag, v, 0);
+  fx.deliver_fragment(tag, v, 0);
+  EXPECT_EQ(fx.acks(), 0u) << "3 copies of one fragment must not decode";
+}
+
+TEST(TreasTransfer, TagAlreadyInListAcksImmediately) {
+  TransferFixture fx;
+  const Tag t0 = kInitialTag;  // every server starts with t0 in its List
+  fx.deliver_fragment(t0, Value{}, 0);
+  EXPECT_EQ(fx.acks(), 1u);
+}
+
+TEST(TreasTransfer, SeparateTransfersAckSeparately) {
+  TransferFixture fx;
+  const Value v = make_test_value(100, 3);
+  const Tag tag{3, 3};
+  fx.deliver_fragment(tag, v, 0, /*transfer_id=*/1);
+  fx.deliver_fragment(tag, v, 1, /*transfer_id=*/1);
+  fx.deliver_fragment(tag, v, 2, /*transfer_id=*/1);
+  EXPECT_EQ(fx.acks(), 1u);
+  // A second reconfigurer transfer for a tag already present acks at once.
+  fx.deliver_fragment(tag, v, 0, /*transfer_id=*/2);
+  EXPECT_EQ(fx.acks(), 2u);
+}
+
+// --- ARES server nextC rules (Alg. 6) ----------------------------------------
+
+struct AresServerFixture {
+  AresServerFixture() : sim(1), net(sim, 1, 1) {
+    spec.id = 0;
+    spec.protocol = dap::Protocol::kAbd;
+    for (ProcessId i = 0; i < 3; ++i) spec.servers.push_back(i);
+    registry.register_config(spec);
+    server = std::make_unique<reconfig::AresServer>(sim, net, 0, registry);
+    client = std::make_unique<Prober>(sim, net, 100);
+  }
+
+  void write_config(reconfig::CseqEntry e) {
+    auto req = std::make_shared<reconfig::WriteConfigReq>();
+    req->config = 0;
+    req->next = e;
+    auto f = client->call(0, std::move(req));
+    ASSERT_TRUE(sim.run_until([&] { return f.ready(); }));
+  }
+
+  sim::Simulator sim;
+  sim::Network net;
+  dap::ConfigRegistry registry;
+  dap::ConfigSpec spec;
+  std::unique_ptr<reconfig::AresServer> server;
+  std::unique_ptr<Prober> client;
+};
+
+TEST(AresServer, NextCStartsBottom) {
+  AresServerFixture fx;
+  // Force state creation with a read.
+  auto req = std::make_shared<reconfig::ReadConfigReq>();
+  req->config = 0;
+  auto f = fx.client->call(0, std::move(req));
+  ASSERT_TRUE(fx.sim.run_until([&] { return f.ready(); }));
+  auto reply = std::dynamic_pointer_cast<const reconfig::ReadConfigReply>(f.get());
+  ASSERT_TRUE(reply);
+  EXPECT_FALSE(reply->next.valid());
+}
+
+TEST(AresServer, BottomAcceptsPending) {
+  AresServerFixture fx;
+  fx.write_config({7, false});
+  auto next = fx.server->next_config(0);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->cfg, 7u);
+  EXPECT_FALSE(next->finalized);
+}
+
+TEST(AresServer, PendingUpgradesToFinal) {
+  AresServerFixture fx;
+  fx.write_config({7, false});
+  fx.write_config({7, true});
+  auto next = fx.server->next_config(0);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_TRUE(next->finalized);
+}
+
+TEST(AresServer, FinalNeverChanges) {
+  // Lemma 46: once ⟨c, F⟩ is set, nothing overwrites it — not even another
+  // F write (and certainly not a P write).
+  AresServerFixture fx;
+  fx.write_config({7, true});
+  fx.write_config({9, false});
+  fx.write_config({9, true});
+  auto next = fx.server->next_config(0);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->cfg, 7u);
+  EXPECT_TRUE(next->finalized);
+}
+
+TEST(AresServer, IgnoresUnknownConfigurations) {
+  AresServerFixture fx;
+  auto req = std::make_shared<reconfig::ReadConfigReq>();
+  req->config = 42;  // never registered
+  auto f = fx.client->call(0, std::move(req));
+  EXPECT_FALSE(fx.sim.run_until([&] { return f.ready(); }));
+}
+
+TEST(AresServer, NonMemberIgnoresMessages) {
+  AresServerFixture fx;
+  dap::ConfigSpec other;
+  other.id = 5;
+  other.protocol = dap::Protocol::kAbd;
+  other.servers = {1, 2};  // server 0 not a member
+  fx.registry.register_config(other);
+  auto req = std::make_shared<reconfig::ReadConfigReq>();
+  req->config = 5;
+  auto f = fx.client->call(0, std::move(req));
+  EXPECT_FALSE(fx.sim.run_until([&] { return f.ready(); }));
+  EXPECT_EQ(fx.server->dap_state(5), nullptr);
+}
+
+// --- Paxos acceptor protocol rules -------------------------------------------
+
+struct PaxosFixture {
+  PaxosFixture() : sim(1), net(sim, 1, 1) {
+    spec.id = 0;
+    spec.protocol = dap::Protocol::kAbd;
+    spec.servers = {0};
+    registry.register_config(spec);
+    server = std::make_unique<reconfig::AresServer>(sim, net, 0, registry);
+    client = std::make_unique<Prober>(sim, net, 100);
+  }
+
+  std::shared_ptr<const consensus::PrepareReply> prepare(
+      consensus::Ballot b) {
+    auto req = std::make_shared<consensus::PrepareReq>();
+    req->config = 0;
+    req->ballot = b;
+    auto f = client->call(0, std::move(req));
+    EXPECT_TRUE(sim.run_until([&] { return f.ready(); }));
+    return std::dynamic_pointer_cast<const consensus::PrepareReply>(f.get());
+  }
+
+  std::shared_ptr<const consensus::AcceptReply> accept(consensus::Ballot b,
+                                                       std::uint64_t v) {
+    auto req = std::make_shared<consensus::AcceptReq>();
+    req->config = 0;
+    req->ballot = b;
+    req->value = v;
+    auto f = client->call(0, std::move(req));
+    EXPECT_TRUE(sim.run_until([&] { return f.ready(); }));
+    return std::dynamic_pointer_cast<const consensus::AcceptReply>(f.get());
+  }
+
+  sim::Simulator sim;
+  sim::Network net;
+  dap::ConfigRegistry registry;
+  dap::ConfigSpec spec;
+  std::unique_ptr<reconfig::AresServer> server;
+  std::unique_ptr<Prober> client;
+};
+
+TEST(PaxosAcceptor, PromisesMonotonicallyIncreasingBallots) {
+  PaxosFixture fx;
+  EXPECT_TRUE(fx.prepare({1, 5})->ok);
+  EXPECT_TRUE(fx.prepare({2, 5})->ok);
+  auto nack = fx.prepare({1, 4});  // below the promise
+  ASSERT_TRUE(nack);
+  EXPECT_FALSE(nack->ok);
+  EXPECT_EQ(nack->promised, (consensus::Ballot{2, 5}));
+}
+
+TEST(PaxosAcceptor, AcceptRequiresPromisedBallot) {
+  PaxosFixture fx;
+  EXPECT_TRUE(fx.prepare({5, 1})->ok);
+  EXPECT_FALSE(fx.accept({4, 1}, 77)->ok);  // stale ballot
+  EXPECT_TRUE(fx.accept({5, 1}, 77)->ok);
+}
+
+TEST(PaxosAcceptor, PromiseReturnsAcceptedValue) {
+  PaxosFixture fx;
+  EXPECT_TRUE(fx.prepare({1, 1})->ok);
+  EXPECT_TRUE(fx.accept({1, 1}, 42)->ok);
+  auto p = fx.prepare({2, 2});
+  ASSERT_TRUE(p);
+  EXPECT_TRUE(p->ok);
+  EXPECT_TRUE(p->has_accepted);
+  EXPECT_EQ(p->accepted_value, 42u);
+  EXPECT_EQ(p->accepted_ballot, (consensus::Ballot{1, 1}));
+}
+
+TEST(PaxosAcceptor, DecidedShortCircuitsEverything) {
+  PaxosFixture fx;
+  auto dec = std::make_shared<consensus::DecidedMsg>();
+  dec->config = 0;
+  dec->value = 7;
+  fx.net.send(fx.client->id(), 0, std::move(dec));
+  fx.sim.run();
+  auto p = fx.prepare({100, 1});
+  ASSERT_TRUE(p);
+  EXPECT_FALSE(p->ok);
+  EXPECT_TRUE(p->decided);
+  EXPECT_EQ(p->decided_value, 7u);
+  auto a = fx.accept({100, 1}, 9);
+  EXPECT_TRUE(a->decided);
+  EXPECT_EQ(a->decided_value, 7u);
+}
+
+// --- LDR server roles ---------------------------------------------------------
+
+TEST(LdrServer, DirectoryIgnoresReplicaMessages) {
+  sim::Simulator sim(1);
+  sim::Network net(sim, 1, 1);
+  dap::ConfigRegistry registry;
+  dap::ConfigSpec spec;
+  spec.id = 0;
+  spec.protocol = dap::Protocol::kLdr;
+  spec.servers = {0, 1, 2, 3, 4, 5};
+  spec.directories = {0, 1, 2};
+  spec.replicas = {3, 4, 5};
+  registry.register_config(spec);
+  Host dir(sim, net, 0, spec, registry);
+  Prober client(sim, net, 100);
+
+  auto get = std::make_shared<ldr::GetDataReq>();
+  get->config = 0;
+  get->tag = kInitialTag;
+  auto f = client.call(0, std::move(get));
+  EXPECT_FALSE(sim.run_until([&] { return f.ready(); }))
+      << "a pure directory must not serve GET-DATA";
+}
+
+TEST(LdrServer, ReplicaServesExactTagOrNull) {
+  sim::Simulator sim(1);
+  sim::Network net(sim, 1, 1);
+  dap::ConfigRegistry registry;
+  dap::ConfigSpec spec;
+  spec.id = 0;
+  spec.protocol = dap::Protocol::kLdr;
+  spec.servers = {0};
+  spec.directories = {};
+  spec.replicas = {0};
+  registry.register_config(spec);
+  Host replica(sim, net, 0, spec, registry);
+  Prober client(sim, net, 100);
+
+  auto put = std::make_shared<ldr::PutDataReq>();
+  put->config = 0;
+  put->tag = Tag{3, 1};
+  put->value = make_value(make_test_value(64, 1));
+  auto fp = client.call(0, std::move(put));
+  ASSERT_TRUE(sim.run_until([&] { return fp.ready(); }));
+
+  auto hit = std::make_shared<ldr::GetDataReq>();
+  hit->config = 0;
+  hit->tag = Tag{3, 1};
+  auto fh = client.call(0, std::move(hit));
+  ASSERT_TRUE(sim.run_until([&] { return fh.ready(); }));
+  auto hr = std::dynamic_pointer_cast<const ldr::GetDataReply>(fh.get());
+  ASSERT_TRUE(hr->value);
+
+  auto miss = std::make_shared<ldr::GetDataReq>();
+  miss->config = 0;
+  miss->tag = Tag{9, 9};
+  auto fm = client.call(0, std::move(miss));
+  ASSERT_TRUE(sim.run_until([&] { return fm.ready(); }));
+  auto mr = std::dynamic_pointer_cast<const ldr::GetDataReply>(fm.get());
+  EXPECT_FALSE(mr->value);
+}
+
+// --- ABD server ----------------------------------------------------------------
+
+TEST(AbdServer, AdoptIfNewerOnly) {
+  sim::Simulator sim(1);
+  sim::Network net(sim, 1, 1);
+  dap::ConfigRegistry registry;
+  dap::ConfigSpec spec;
+  spec.id = 0;
+  spec.protocol = dap::Protocol::kAbd;
+  spec.servers = {0};
+  registry.register_config(spec);
+  Host host(sim, net, 0, spec, registry);
+  Prober client(sim, net, 100);
+
+  auto write = [&](Tag t, std::uint8_t b) {
+    auto req = std::make_shared<abd::WriteReq>();
+    req->config = 0;
+    req->tag = t;
+    req->value = make_value({b});
+    auto f = client.call(0, std::move(req));
+    ASSERT_TRUE(sim.run_until([&] { return f.ready(); }));
+  };
+  write(Tag{5, 1}, 55);
+  write(Tag{3, 1}, 33);  // older: must be ignored
+
+  auto q = std::make_shared<abd::QueryReq>();
+  q->config = 0;
+  auto f = client.call(0, std::move(q));
+  ASSERT_TRUE(sim.run_until([&] { return f.ready(); }));
+  auto reply = std::dynamic_pointer_cast<const abd::QueryReply>(f.get());
+  EXPECT_EQ(reply->tag, (Tag{5, 1}));
+  EXPECT_EQ((*reply->value)[0], 55);
+}
+
+}  // namespace
+}  // namespace ares

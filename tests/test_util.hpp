@@ -1,0 +1,32 @@
+// Shared helpers for protocol-level tests.
+#pragma once
+
+#include "checker/atomicity.hpp"
+#include "dap/register_client.hpp"
+#include "harness/static_cluster.hpp"
+#include "harness/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ares::testing_util {
+
+/// Runs a randomized concurrent workload on a static cluster and asserts
+/// the recorded history is atomic.
+inline void run_and_check_atomic(harness::StaticCluster& cluster,
+                                 harness::WorkloadOptions opt) {
+  std::vector<dap::RegisterClient*> regs;
+  regs.reserve(cluster.clients().size());
+  for (auto& c : cluster.clients()) regs.push_back(&c->reg());
+  const auto result = harness::run_workload(cluster.sim(), regs, opt);
+  ASSERT_TRUE(result.completed) << "workload did not finish";
+  ASSERT_EQ(result.failures, 0u);
+  const auto verdict =
+      checker::check_tag_atomicity(cluster.history().records());
+  EXPECT_TRUE(verdict.ok) << verdict.violation;
+  EXPECT_EQ(result.ops.size(),
+            opt.ops_per_client * cluster.clients().size());
+}
+
+}  // namespace ares::testing_util
