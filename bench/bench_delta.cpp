@@ -68,7 +68,7 @@ int main() {
       "delta >= concurrent writers keeps pure-paper reads live; smaller\n"
       "delta needs the re-query extension.\n\n");
   harness::Table live({"delta", "retry", "reads done", "read failures",
-                       "atomic"});
+                       "mean failure latency", "atomic"});
   for (std::size_t delta : {0u, 2u, 8u}) {
     for (bool retry : {false, true}) {
       harness::StaticClusterOptions o;
@@ -96,12 +96,13 @@ int main() {
           harness::run_workload(cluster.sim(), regs, opt, 3'000'000);
       std::size_t reads = 0;
       for (const auto& op : result.ops) {
-        if (!op.is_write) ++reads;
+        if (!op.is_write && !op.failed) ++reads;  // completed reads only
       }
       const auto verdict =
           checker::check_tag_atomicity(cluster.history().records());
       live.add_row(delta, retry ? "on" : "off", reads,
                    result.failures + (result.completed ? 0 : 1),
+                   harness::fmt(result.mean_failure_latency()),
                    verdict.ok ? "yes" : "NO");
     }
   }

@@ -97,13 +97,13 @@ int main() {
     for (int trial = 0; trial < 40; ++trial) {
       SimTime t0 = cluster.sim().now();
       (void)sim::run_to_completion(
-          cluster.sim(), probe.read_next_config(cluster.initial_config()));
+          cluster.sim(), probe.read_next_config(kDefaultObject, cluster.initial_config()));
       rnc.add(cluster.sim().now() - t0);
 
       t0 = cluster.sim().now();
       reconfig::CseqEntry entry{cluster.initial_config(), false};
       sim::run_to_completion(
-          cluster.sim(), probe.put_config(cluster.initial_config(), entry));
+          cluster.sim(), probe.put_config(kDefaultObject, cluster.initial_config(), entry));
       pc.add(cluster.sim().now() - t0);
     }
     harness::Table t({"action", "measured min", "measured max", "paper lo=2d",

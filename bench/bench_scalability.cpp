@@ -53,16 +53,18 @@ Point run(dap::Protocol proto, std::size_t n, std::size_t k,
   // Launch both batches in one simulation run.
   auto shared_r = std::make_shared<harness::detail::WorkloadShared>();
   auto shared_w = std::make_shared<harness::detail::WorkloadShared>();
+  auto picker = std::make_shared<const harness::KeyPicker>(
+      1, harness::KeyDistribution::kUniform, 0.99);
   Rng seeder(seed);
   for (auto* c : readers_v) {
     sim::detach(
         harness::detail::client_loop(&cluster.sim(), c, ro, seeder.next_u64(),
-                                     shared_r));
+                                     picker, shared_r));
   }
   for (auto* c : writers_v) {
     sim::detach(
         harness::detail::client_loop(&cluster.sim(), c, wo, seeder.next_u64(),
-                                     shared_w));
+                                     picker, shared_w));
   }
   (void)cluster.sim().run_until([&] {
     return shared_r->done_loops >= readers_v.size() &&
@@ -71,8 +73,13 @@ Point run(dap::Protocol proto, std::size_t n, std::size_t k,
 
   auto mean = [](const std::vector<harness::OpStat>& ops) {
     double sum = 0;
-    for (const auto& o2 : ops) sum += static_cast<double>(o2.latency());
-    return ops.empty() ? 0.0 : sum / static_cast<double>(ops.size());
+    std::size_t n = 0;
+    for (const auto& o2 : ops) {
+      if (o2.failed) continue;  // failure latency is tracked separately
+      sum += static_cast<double>(o2.latency());
+      ++n;
+    }
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
   };
   return Point{mean(shared_r->ops), mean(shared_w->ops)};
 }

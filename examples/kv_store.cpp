@@ -1,12 +1,13 @@
 // Atomic key-value store by composition (Section 1: "atomic objects are
 // composable, enabling the creation of large shared memory systems from
-// individual atomic data objects"). Each key is an independent ARES
-// register: its own configuration id over the shared server pool, its own
-// reconfiguration lineage. The same physical servers host every key's
-// per-configuration state.
+// individual atomic data objects"). Multi-object storage is first-class in
+// the core: every key maps to an ObjectId, one client serves all keys, and
+// each key has its own configuration lineage (placement, code, and
+// reconfiguration schedule) while sharing the same physical server pool.
 #include "ares/client.hpp"
 #include "ares/server.hpp"
 #include "checker/atomicity.hpp"
+#include "harness/workload.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 
@@ -20,9 +21,10 @@ using namespace ares;
 
 namespace {
 
-/// A multi-key atomic KV store: one ARES register per key, all sharing a
-/// server pool. Keys can be reconfigured independently (e.g. move a hot
-/// key to a wider code).
+/// A multi-key atomic KV store: a shared server pool, a name → ObjectId
+/// table, and per-key initial configurations. All protocol machinery —
+/// per-object server state, per-object cseq, per-object histories — lives
+/// in the core; this wrapper only maps names to object ids.
 class KvStore {
  public:
   KvStore(sim::Simulator& sim, sim::Network& net, std::size_t num_servers)
@@ -35,8 +37,9 @@ class KvStore {
   }
 
   /// Creates the register for `key` on `n` servers with code [n, k].
-  void create_key(const std::string& key, std::size_t first, std::size_t n,
-                  std::size_t k) {
+  ObjectId create_key(const std::string& key, std::size_t first,
+                      std::size_t n, std::size_t k) {
+    assert(!keys_.contains(key) && "key already exists");
     dap::ConfigSpec spec;
     spec.id = next_config_id_++;
     spec.protocol = k > 1 ? dap::Protocol::kTreas : dap::Protocol::kAbd;
@@ -46,26 +49,35 @@ class KvStore {
       spec.servers.push_back(pool_[(first + i) % pool_.size()]);
     }
     registry_.register_config(spec);
-    keys_[key] = spec.id;
+    const ObjectId obj = static_cast<ObjectId>(keys_.size());
+    keys_[key] = Key{obj, spec.id};
+    return obj;
   }
 
-  /// One ARES client handle bound to `key` for a given application process.
-  std::unique_ptr<reconfig::AresClient> open(const std::string& key,
-                                             ProcessId client_id) {
-    return std::make_unique<reconfig::AresClient>(
-        sim_, net_, client_id, registry_, keys_.at(key),
-        &histories_[key]);
+  /// One client handle for an application process, bound to every key.
+  std::unique_ptr<reconfig::AresClient> open(ProcessId client_id) {
+    assert(!keys_.empty());
+    auto client = std::make_unique<reconfig::AresClient>(
+        sim_, net_, client_id, registry_, keys_.begin()->second.initial_cfg,
+        &history_);
+    for (const auto& [name, key] : keys_) {
+      client->bind_object(key.object, key.initial_cfg);
+    }
+    return client;
   }
 
-  /// Atomicity is a per-object property; each key gets its own history
-  /// (tag spaces of distinct registers are independent).
-  [[nodiscard]] checker::HistoryRecorder& history(const std::string& key) {
-    return histories_[key];
+  struct Key {
+    ObjectId object = kNoObject;
+    ConfigId initial_cfg = kNoConfig;
+  };
+
+  [[nodiscard]] ObjectId object(const std::string& key) const {
+    return keys_.at(key).object;
   }
-  [[nodiscard]] const std::map<std::string, ConfigId>& keys() const {
+  [[nodiscard]] const std::map<std::string, Key>& keys() const {
     return keys_;
   }
-  [[nodiscard]] dap::ConfigRegistry& registry() { return registry_; }
+  [[nodiscard]] checker::HistoryRecorder& history() { return history_; }
   [[nodiscard]] ConfigId allocate_config_id() { return next_config_id_++; }
   [[nodiscard]] const std::vector<ProcessId>& pool() const { return pool_; }
 
@@ -73,10 +85,10 @@ class KvStore {
   sim::Simulator& sim_;
   sim::Network& net_;
   dap::ConfigRegistry registry_;
-  std::map<std::string, checker::HistoryRecorder> histories_;
+  checker::HistoryRecorder history_;  // one history; verdicts are per object
   std::vector<std::unique_ptr<reconfig::AresServer>> servers_;
   std::vector<ProcessId> pool_;
-  std::map<std::string, ConfigId> keys_;
+  std::map<std::string, Key> keys_;
   ConfigId next_config_id_ = 0;
 };
 
@@ -93,55 +105,82 @@ int main() {
   KvStore store(sim, net, /*num_servers=*/8);
 
   // Three keys with different placement and codes on the same 8 servers.
-  store.create_key("user:alice", 0, 5, 3);   // TREAS [5,3]
-  store.create_key("user:bob", 2, 5, 3);     // TREAS [5,3], shifted placement
-  store.create_key("config:flags", 4, 3, 1); // small key: ABD replication
+  const ObjectId alice = store.create_key("user:alice", 0, 5, 3);  // TREAS[5,3]
+  const ObjectId bob = store.create_key("user:bob", 2, 5, 3);      // shifted
+  const ObjectId flags = store.create_key("config:flags", 4, 3, 1);  // ABD
 
-  auto alice_w = store.open("user:alice", 100);
-  auto alice_r = store.open("user:alice", 101);
-  auto bob_w = store.open("user:bob", 102);
-  auto flags = store.open("config:flags", 103);
+  // One client per application process serves *all* keys.
+  auto app0 = store.open(100);
+  auto app1 = store.open(101);
 
   (void)sim::run_to_completion(
-      sim, alice_w->write(make_value(to_value("alice: balance=1000"))));
+      sim, app0->write(alice, make_value(to_value("alice: balance=1000"))));
   (void)sim::run_to_completion(
-      sim, bob_w->write(make_value(to_value("bob: balance=250"))));
+      sim, app0->write(bob, make_value(to_value("bob: balance=250"))));
   (void)sim::run_to_completion(
-      sim, flags->write(make_value(to_value("feature_x=on"))));
+      sim, app0->write(flags, make_value(to_value("feature_x=on"))));
 
-  auto a = sim::run_to_completion(sim, alice_r->read());
+  auto a = sim::run_to_completion(sim, app1->read(alice));
   std::printf("GET user:alice    -> \"%s\" (tag %s)\n",
               to_string(a.value).c_str(), a.tag.to_string().c_str());
 
   // Concurrent updates to one key from two writers stay atomic.
-  auto alice_w2 = store.open("user:alice", 104);
-  auto f1 = alice_w->write(make_value(to_value("alice: balance=900")));
-  auto f2 = alice_w2->write(make_value(to_value("alice: balance=1100")));
+  auto f1 = app0->write(alice, make_value(to_value("alice: balance=900")));
+  auto f2 = app1->write(alice, make_value(to_value("alice: balance=1100")));
   (void)sim.run_until([&] { return f1.ready() && f2.ready(); });
-  auto a2 = sim::run_to_completion(sim, alice_r->read());
+  auto a2 = sim::run_to_completion(sim, app1->read(alice));
   std::printf("after concurrent writes: \"%s\" (tag %s)\n",
               to_string(a2.value).c_str(), a2.tag.to_string().c_str());
 
   // Per-key reconfiguration: move the hot key to a wider [8,6] code while
-  // other keys keep serving — composability means nothing else notices.
+  // other keys keep serving — only user:alice's lineage changes.
   dap::ConfigSpec wide;
   wide.id = store.allocate_config_id();
   wide.protocol = dap::Protocol::kTreas;
   wide.k = 6;
   wide.delta = 4;
   wide.servers = store.pool();
-  (void)sim::run_to_completion(sim, alice_w->reconfig(std::move(wide)));
-  auto a3 = sim::run_to_completion(sim, alice_r->read());
+  (void)sim::run_to_completion(sim, app0->reconfig(alice, std::move(wide)));
+  auto a3 = sim::run_to_completion(sim, app1->read(alice));
   std::printf("after moving user:alice to TREAS[8,6]: \"%s\"\n",
               to_string(a3.value).c_str());
 
-  bool all_ok = true;
-  for (const auto& [key, cfg] : store.keys()) {
-    const auto verdict =
-        checker::check_tag_atomicity(store.history(key).records());
-    std::printf("atomicity of key \"%s\": %s\n", key.c_str(),
-                verdict.ok ? "PASS" : verdict.violation.c_str());
-    all_ok = all_ok && verdict.ok;
+  // A skewed multi-key workload straight through the generic driver: the
+  // Zipfian picker concentrates traffic on the hot key while all keys see
+  // concurrent reads and writes from both application clients.
+  harness::WorkloadOptions wl;
+  wl.ops_per_client = 30;
+  wl.write_fraction = 0.5;
+  wl.value_size = 32;
+  wl.num_objects = store.keys().size();
+  wl.key_distribution = harness::KeyDistribution::kZipfian;
+  wl.zipf_s = 0.99;
+  wl.seed = 42;
+  std::vector<reconfig::AresClient*> clients{app0.get(), app1.get()};
+  const auto result = harness::run_workload(sim, clients, wl);
+  std::printf("\nzipfian workload: %zu ops, %zu failures, completed=%s\n",
+              result.ops.size(), result.failures,
+              result.completed ? "yes" : "no");
+  for (const auto& [name, key] : store.keys()) {
+    std::printf("  key \"%s\" (obj %u): %zu ops\n", name.c_str(), key.object,
+                result.ops_on(key.object));
+  }
+  bool all_ok = result.completed && result.failures == 0;
+
+  // Atomicity is a per-object property; one recorder holds the interleaved
+  // history and the checker issues an independent verdict per key.
+  const auto verdicts =
+      checker::check_tag_atomicity_per_object(store.history().records());
+  for (const auto& [name, key] : store.keys()) {
+    auto it = verdicts.find(key.object);
+    if (it == verdicts.end()) {  // key saw no operations: nothing to violate
+      std::printf("atomicity of key \"%s\": PASS (no operations)\n",
+                  name.c_str());
+      continue;
+    }
+    std::printf("atomicity of key \"%s\": %s\n", name.c_str(),
+                it->second.ok ? "PASS" : it->second.violation.c_str());
+    all_ok = all_ok && it->second.ok;
   }
   return all_ok ? 0 : 1;
 }

@@ -9,6 +9,7 @@ sim::Future<Tag> AbdDap::get_tag() {
       owner_, spec_.servers, [this](ProcessId) {
         auto req = std::make_shared<QueryTagReq>();
         req->config = spec_.id;
+        req->object = object();
         return req;
       });
   co_await qc.wait_for(spec_.quorum_size());
@@ -22,6 +23,7 @@ sim::Future<TagValue> AbdDap::get_data() {
       owner_, spec_.servers, [this](ProcessId) {
         auto req = std::make_shared<QueryReq>();
         req->config = spec_.id;
+        req->object = object();
         return req;
       });
   co_await qc.wait_for(spec_.quorum_size());
@@ -40,6 +42,7 @@ sim::Future<void> AbdDap::put_data(TagValue tv) {
       owner_, spec_.servers, [this, &tv](ProcessId) {
         auto req = std::make_shared<WriteReq>();
         req->config = spec_.id;
+        req->object = object();
         req->tag = tv.tag;
         req->value = tv.value;
         return req;

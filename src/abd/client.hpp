@@ -11,9 +11,10 @@ namespace ares::abd {
 class AbdDap final : public dap::Dap {
  public:
   /// `owner` is the client process executing the primitives; it must
-  /// outlive this object.
-  AbdDap(sim::Process& owner, dap::ConfigSpec spec)
-      : owner_(owner), spec_(std::move(spec)) {}
+  /// outlive this instance. `object` is the atomic object addressed.
+  AbdDap(sim::Process& owner, dap::ConfigSpec spec,
+         ObjectId object = kDefaultObject)
+      : dap::Dap(object), owner_(owner), spec_(std::move(spec)) {}
 
   [[nodiscard]] sim::Future<Tag> get_tag() override;
   [[nodiscard]] sim::Future<TagValue> get_data() override;

@@ -1,4 +1,7 @@
-// Wire messages of the multi-writer ABD algorithm (Automaton 12).
+// Wire messages of the multi-writer ABD algorithm (Automaton 12). All
+// requests derive sim::RpcRequest and therefore carry (config, object):
+// servers route them to the addressed atomic object's ⟨tag, value⟩
+// register within the configuration's state.
 #pragma once
 
 #include "common/types.hpp"

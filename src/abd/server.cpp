@@ -4,24 +4,61 @@
 
 namespace ares::abd {
 
+namespace {
+
+/// The ⟨t0, v0⟩ register every object starts from.
+const AbdServerState::Register& initial_register() {
+  static const AbdServerState::Register r{kInitialTag, make_value(Value{})};
+  return r;
+}
+
+}  // namespace
+
+const AbdServerState::Register& AbdServerState::reg(ObjectId obj) const {
+  auto it = objects_.find(obj);
+  return it == objects_.end() ? initial_register() : it->second;
+}
+
+AbdServerState::Register& AbdServerState::reg(ObjectId obj) {
+  auto it = objects_.find(obj);
+  if (it == objects_.end()) {
+    it = objects_.emplace(obj, initial_register()).first;
+  }
+  return it->second;
+}
+
+std::size_t AbdServerState::stored_data_bytes() const {
+  std::size_t sum = 0;
+  for (const auto& [obj, r] : objects_) {
+    if (r.value) sum += r.value->size();
+  }
+  return sum;
+}
+
+Tag AbdServerState::max_tag(ObjectId obj) const { return reg(obj).tag; }
+
 bool AbdServerState::handle(dap::ServerContext& ctx, const sim::Message& msg) {
+  auto req = std::dynamic_pointer_cast<const sim::RpcRequest>(msg.body);
+  if (!req) return false;
+  Register& r = reg(req->object);
+
   if (std::dynamic_pointer_cast<const QueryTagReq>(msg.body)) {
     auto reply = std::make_shared<QueryTagReply>();
-    reply->tag = tag_;
+    reply->tag = r.tag;
     ctx.process.reply_to(msg, std::move(reply));
     return true;
   }
   if (std::dynamic_pointer_cast<const QueryReq>(msg.body)) {
     auto reply = std::make_shared<QueryReply>();
-    reply->tag = tag_;
-    reply->value = value_;
+    reply->tag = r.tag;
+    reply->value = r.value;
     ctx.process.reply_to(msg, std::move(reply));
     return true;
   }
   if (auto write = std::dynamic_pointer_cast<const WriteReq>(msg.body)) {
-    if (write->tag > tag_) {
-      tag_ = write->tag;
-      value_ = write->value;
+    if (write->tag > r.tag) {
+      r.tag = write->tag;
+      r.value = write->value;
     }
     ctx.process.reply_to(msg, std::make_shared<WriteAck>());
     return true;

@@ -1,28 +1,39 @@
-// Server-side ABD state: the single ⟨tag, value⟩ register replica with
-// adopt-if-newer semantics (Automaton 12 primitive handlers).
+// Server-side ABD state: one ⟨tag, value⟩ register replica per atomic
+// object, with adopt-if-newer semantics (Automaton 12 primitive handlers).
 #pragma once
 
 #include "dap/dap_server.hpp"
+
+#include <map>
 
 namespace ares::abd {
 
 class AbdServerState final : public dap::DapServer {
  public:
-  /// Starts with ⟨t0, v0⟩ where v0 is the canonical empty value.
-  AbdServerState() : value_(make_value(Value{})) {}
+  /// Every object's register starts as ⟨t0, v0⟩ where v0 is the canonical
+  /// empty value (registers materialize on first access).
+  AbdServerState() = default;
+
+  /// The per-object register of Automaton 12.
+  struct Register {
+    Tag tag = kInitialTag;
+    ValuePtr value;
+  };
 
   bool handle(dap::ServerContext& ctx, const sim::Message& msg) override;
 
-  [[nodiscard]] std::size_t stored_data_bytes() const override {
-    return value_ ? value_->size() : 0;
-  }
-  [[nodiscard]] Tag max_tag() const override { return tag_; }
+  [[nodiscard]] std::size_t stored_data_bytes() const override;
+  [[nodiscard]] Tag max_tag(ObjectId obj = kDefaultObject) const override;
 
-  [[nodiscard]] const ValuePtr& value() const { return value_; }
+  [[nodiscard]] const ValuePtr& value(ObjectId obj = kDefaultObject) const {
+    return reg(obj).value;
+  }
 
  private:
-  Tag tag_ = kInitialTag;
-  ValuePtr value_;
+  [[nodiscard]] const Register& reg(ObjectId obj) const;
+  [[nodiscard]] Register& reg(ObjectId obj);
+
+  std::map<ObjectId, Register> objects_;
 };
 
 }  // namespace ares::abd

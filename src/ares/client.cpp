@@ -9,12 +9,39 @@ namespace ares::reconfig {
 AresClient::AresClient(sim::Simulator& sim, sim::Network& net, ProcessId id,
                        dap::ConfigRegistry& registry, ConfigId c0,
                        checker::HistoryRecorder* recorder)
-    : sim::Process(sim, net, id), registry_(registry), recorder_(recorder) {
+    : sim::Process(sim, net, id),
+      registry_(registry),
+      recorder_(recorder),
+      default_c0_(c0) {
   assert(registry_.contains(c0));
-  cseq_.push_back(CseqEntry{c0, true});  // cseq[0] = ⟨c0, F⟩
+  // Objects bind lazily (obj_state), so a multi-object store may
+  // bind_object() any id — including kDefaultObject — to a different
+  // initial configuration before its first operation.
 }
 
 AresClient::~AresClient() = default;
+
+void AresClient::bind_object(ObjectId obj, ConfigId c0) {
+  assert(registry_.contains(c0));
+  auto it = objects_.find(obj);
+  if (it != objects_.end()) {
+    assert(it->second.cseq[0].cfg == c0 &&
+           "object already bound to a different initial configuration");
+    return;
+  }
+  ObjectState state;
+  state.cseq.push_back(CseqEntry{c0, true});  // cseq[0] = ⟨c0, F⟩
+  objects_.emplace(obj, std::move(state));
+}
+
+AresClient::ObjectState& AresClient::obj_state(ObjectId obj) {
+  auto it = objects_.find(obj);
+  if (it == objects_.end()) {
+    bind_object(obj, default_c0_);
+    it = objects_.find(obj);
+  }
+  return it->second;
+}
 
 void AresClient::handle(const sim::Message& msg) {
   // Plain clients receive only RPC replies (routed before handle()); one-way
@@ -22,30 +49,35 @@ void AresClient::handle(const sim::Message& msg) {
   (void)msg;
 }
 
-std::size_t AresClient::mu() const {
-  for (std::size_t i = cseq_.size(); i-- > 0;) {
-    if (cseq_[i].finalized) return i;
+std::size_t AresClient::mu(ObjectId obj) {
+  const auto& cs = cseq(obj);
+  for (std::size_t i = cs.size(); i-- > 0;) {
+    if (cs[i].finalized) return i;
   }
   assert(false && "cseq[0] is always finalized");
   return 0;
 }
 
-void AresClient::set_entry(std::size_t idx, CseqEntry e) {
+void AresClient::set_entry(ObjectId obj, std::size_t idx, CseqEntry e) {
+  auto& cs = obj_state(obj).cseq;
   assert(e.valid());
-  assert(idx <= cseq_.size());
-  if (idx == cseq_.size()) {
-    cseq_.push_back(e);
+  assert(idx <= cs.size());
+  if (idx == cs.size()) {
+    cs.push_back(e);
     return;
   }
   // Configuration Uniqueness (Lemma 47): the id in one slot never differs.
-  assert(cseq_[idx].cfg == e.cfg);
-  cseq_[idx].finalized = cseq_[idx].finalized || e.finalized;
+  assert(cs[idx].cfg == e.cfg);
+  cs[idx].finalized = cs[idx].finalized || e.finalized;
 }
 
-const std::shared_ptr<dap::Dap>& AresClient::dap_for(ConfigId cfg) {
-  auto it = daps_.find(cfg);
-  if (it == daps_.end()) {
-    it = daps_.emplace(cfg, dap::make_dap(*this, registry_.get(cfg))).first;
+const std::shared_ptr<dap::Dap>& AresClient::dap_for(ObjectId obj,
+                                                     ConfigId cfg) {
+  auto& daps = obj_state(obj).daps;
+  auto it = daps.find(cfg);
+  if (it == daps.end()) {
+    it = daps.emplace(cfg, dap::make_dap(*this, registry_.get(cfg), obj))
+             .first;
   }
   return it->second;
 }
@@ -55,12 +87,13 @@ const std::shared_ptr<dap::Dap>& AresClient::dap_for(ConfigId cfg) {
 // ---------------------------------------------------------------------------
 
 sim::Future<std::optional<CseqEntry>> AresClient::read_next_config(
-    ConfigId c) {
+    ObjectId obj, ConfigId c) {
   const auto& spec = registry_.get(c);
   auto qc = sim::broadcast_collect<ReadConfigReply>(
-      *this, spec.servers, [c](ProcessId) {
+      *this, spec.servers, [obj, c](ProcessId) {
         auto req = std::make_shared<ReadConfigReq>();
         req->config = c;
+        req->object = obj;
         return req;
       });
   co_await qc.wait_for(spec.quorum_size());
@@ -74,12 +107,14 @@ sim::Future<std::optional<CseqEntry>> AresClient::read_next_config(
   co_return result;
 }
 
-sim::Future<void> AresClient::put_config(ConfigId c, CseqEntry e) {
+sim::Future<void> AresClient::put_config(ObjectId obj, ConfigId c,
+                                         CseqEntry e) {
   const auto& spec = registry_.get(c);
   auto qc = sim::broadcast_collect<WriteConfigAck>(
-      *this, spec.servers, [c, e](ProcessId) {
+      *this, spec.servers, [obj, c, e](ProcessId) {
         auto req = std::make_shared<WriteConfigReq>();
         req->config = c;
+        req->object = obj;
         req->next = e;
         return req;
       });
@@ -87,16 +122,17 @@ sim::Future<void> AresClient::put_config(ConfigId c, CseqEntry e) {
   co_return;
 }
 
-sim::Future<void> AresClient::read_config() {
+sim::Future<void> AresClient::read_config(ObjectId obj) {
+  (void)obj_state(obj);  // lazily bind to the default c0 on first use
   // Start from the last *finalized* configuration and chase nextC pointers
   // to the end of GL, helping propagate every link discovered (Alg. 4).
-  std::size_t idx = mu();
+  std::size_t idx = mu(obj);
   for (;;) {
     std::optional<CseqEntry> next =
-        co_await read_next_config(cseq_[idx].cfg);
+        co_await read_next_config(obj, cseq(obj)[idx].cfg);
     if (!next) break;
-    set_entry(idx + 1, *next);
-    co_await put_config(cseq_[idx].cfg, cseq_[idx + 1]);
+    set_entry(obj, idx + 1, *next);
+    co_await put_config(obj, cseq(obj)[idx].cfg, cseq(obj)[idx + 1]);
     ++idx;
   }
   co_return;
@@ -106,20 +142,22 @@ sim::Future<void> AresClient::read_config() {
 // Read / write operations (Algorithm 7)
 // ---------------------------------------------------------------------------
 
-sim::Future<Tag> AresClient::write(ValuePtr value) {
+sim::Future<Tag> AresClient::write(ObjectId obj, ValuePtr value) {
+  (void)obj_state(obj);  // lazily bind to the default c0 on first use
   std::uint64_t op = 0;
   if (recorder_ != nullptr) {
-    op = recorder_->begin(id(), checker::OpKind::kWrite, simulator().now());
+    op = recorder_->begin(id(), checker::OpKind::kWrite, simulator().now(),
+                          obj);
   }
 
-  co_await read_config();
-  const std::size_t m = mu();
-  std::size_t v = nu();
+  co_await read_config(obj);
+  const std::size_t m = mu(obj);
+  std::size_t v = nu(obj);
 
   // Max tag across configurations µ..ν.
   Tag tmax = kInitialTag;
   for (std::size_t i = m; i <= v; ++i) {
-    tmax = std::max(tmax, co_await dap_for(cseq_[i].cfg)->get_tag());
+    tmax = std::max(tmax, co_await dap_for(obj, cseq(obj)[i].cfg)->get_tag());
   }
   const Tag tw = tmax.next(id());
   if (recorder_ != nullptr) {
@@ -130,10 +168,10 @@ sim::Future<Tag> AresClient::write(ValuePtr value) {
   // Propagate into the last configuration until the sequence stops growing.
   TagValue to_write{tw, value};  // named: see GCC-12 note in sim/coro.hpp
   for (;;) {
-    co_await dap_for(cseq_[v].cfg)->put_data(to_write);
-    co_await read_config();
-    if (nu() == v) break;
-    v = nu();
+    co_await dap_for(obj, cseq(obj)[v].cfg)->put_data(to_write);
+    co_await read_config(obj);
+    if (nu(obj) == v) break;
+    v = nu(obj);
   }
 
   if (recorder_ != nullptr) {
@@ -142,28 +180,30 @@ sim::Future<Tag> AresClient::write(ValuePtr value) {
   co_return tw;
 }
 
-sim::Future<TagValue> AresClient::read() {
+sim::Future<TagValue> AresClient::read(ObjectId obj) {
+  (void)obj_state(obj);  // lazily bind to the default c0 on first use
   std::uint64_t op = 0;
   if (recorder_ != nullptr) {
-    op = recorder_->begin(id(), checker::OpKind::kRead, simulator().now());
+    op = recorder_->begin(id(), checker::OpKind::kRead, simulator().now(),
+                          obj);
   }
 
-  co_await read_config();
-  const std::size_t m = mu();
-  std::size_t v = nu();
+  co_await read_config(obj);
+  const std::size_t m = mu(obj);
+  std::size_t v = nu(obj);
 
   TagValue best{kInitialTag, nullptr};
   for (std::size_t i = m; i <= v; ++i) {
-    TagValue tv = co_await dap_for(cseq_[i].cfg)->get_data();
+    TagValue tv = co_await dap_for(obj, cseq(obj)[i].cfg)->get_data();
     best = max_by_tag(best, tv);
   }
   if (!best.value) best.value = make_value(Value{});  // initial v0
 
   for (;;) {
-    co_await dap_for(cseq_[v].cfg)->put_data(best);
-    co_await read_config();
-    if (nu() == v) break;
-    v = nu();
+    co_await dap_for(obj, cseq(obj)[v].cfg)->put_data(best);
+    co_await read_config(obj);
+    if (nu(obj) == v) break;
+    v = nu(obj);
   }
 
   if (recorder_ != nullptr) {
@@ -176,40 +216,45 @@ sim::Future<TagValue> AresClient::read() {
 // Reconfiguration (Algorithm 5)
 // ---------------------------------------------------------------------------
 
-sim::Future<consensus::PaxosValue> AresClient::propose(ConfigId on_cfg,
+sim::Future<consensus::PaxosValue> AresClient::propose(ObjectId obj,
+                                                       ConfigId on_cfg,
                                                        ConfigId value) {
-  auto it = proposers_.find(on_cfg);
-  if (it == proposers_.end()) {
-    it = proposers_
+  auto& proposers = obj_state(obj).proposers;
+  auto it = proposers.find(on_cfg);
+  if (it == proposers.end()) {
+    it = proposers
              .emplace(on_cfg, std::make_unique<consensus::PaxosProposer>(
                                   *this, on_cfg,
                                   registry_.get(on_cfg).servers,
-                                  simulator().rng().next_u64()))
+                                  simulator().rng().next_u64(),
+                                  /*backoff_base=*/8, obj))
              .first;
   }
   return it->second->propose(value);
 }
 
-sim::Future<void> AresClient::update_config() {
+sim::Future<void> AresClient::update_config(ObjectId obj) {
   // Algorithm 5 update-config: pull the max tag-value pair from every
   // configuration in cseq[µ..ν] through this client, then push it into the
   // newly added configuration ν. (The value flows through the client — the
   // bottleneck ARES-TREAS removes; see arestreas::DirectAresClient.)
-  const std::size_t m = mu();
-  const std::size_t v = nu();
+  const std::size_t m = mu(obj);
+  const std::size_t v = nu(obj);
   TagValue best{kInitialTag, nullptr};
   for (std::size_t i = m; i <= v; ++i) {
-    TagValue tv = co_await dap_for(cseq_[i].cfg)->get_data();
+    TagValue tv = co_await dap_for(obj, cseq(obj)[i].cfg)->get_data();
     if (tv.value) update_config_bytes_ += tv.value->size();  // pulled in
     best = max_by_tag(best, tv);
   }
   if (!best.value) best.value = make_value(Value{});
   update_config_bytes_ += best.value->size();  // pushed out
-  co_await dap_for(cseq_[v].cfg)->put_data(best);
+  co_await dap_for(obj, cseq(obj)[v].cfg)->put_data(best);
   co_return;
 }
 
-sim::Future<ConfigId> AresClient::reconfig(dap::ConfigSpec new_spec) {
+sim::Future<ConfigId> AresClient::reconfig(ObjectId obj,
+                                           dap::ConfigSpec new_spec) {
+  (void)obj_state(obj);  // lazily bind to the default c0 on first use
   // Make the proposed spec resolvable by every process (the simulation's
   // equivalent of shipping the spec alongside its id).
   if (!registry_.contains(new_spec.id)) {
@@ -217,25 +262,25 @@ sim::Future<ConfigId> AresClient::reconfig(dap::ConfigSpec new_spec) {
   }
 
   // Phase 1: read-config.
-  co_await read_config();
+  co_await read_config(obj);
 
   // Phase 2: add-config — consensus on the successor of the current last
   // configuration, then announce the link with put-config.
-  const std::size_t v = nu();
-  const ConfigId prev = cseq_[v].cfg;
+  const std::size_t v = nu(obj);
+  const ConfigId prev = cseq(obj)[v].cfg;
   const ConfigId decided =
-      static_cast<ConfigId>(co_await propose(prev, new_spec.id));
-  set_entry(v + 1, CseqEntry{decided, false});
-  co_await put_config(prev, cseq_[v + 1]);
+      static_cast<ConfigId>(co_await propose(obj, prev, new_spec.id));
+  set_entry(obj, v + 1, CseqEntry{decided, false});
+  co_await put_config(obj, prev, cseq(obj)[v + 1]);
 
   // Phase 3: update-config — transfer the latest object state into the new
   // configuration.
-  co_await update_config();
+  co_await update_config(obj);
 
   // Phase 4: finalize-config.
-  const std::size_t last = nu();
-  cseq_[last].finalized = true;
-  co_await put_config(cseq_[last - 1].cfg, cseq_[last]);
+  const std::size_t last = nu(obj);
+  obj_state(obj).cseq[last].finalized = true;
+  co_await put_config(obj, cseq(obj)[last - 1].cfg, cseq(obj)[last]);
 
   co_return decided;
 }

@@ -3,6 +3,13 @@
 // (Algorithm 5). One class serves readers, writers and reconfigurers —
 // which operations a given process invokes determines its role.
 //
+// Every operation is keyed by ObjectId: one client serves any number of
+// independent atomic objects, each with its own local configuration
+// sequence cseq, its own DAP bindings and its own consensus proposers —
+// so a hot object can be reconfigured (e.g. moved to a wider code) without
+// touching any other object's lineage. The single-argument overloads
+// operate on kDefaultObject for one-object deployments.
+//
 // The update-config phase is virtual: the base class implements the
 // client-conduit transfer of Algorithm 5; arestreas::DirectAresClient
 // overrides it with the direct server-to-server transfer of Section 5.
@@ -24,40 +31,68 @@ namespace ares::reconfig {
 
 class AresClient : public sim::Process {
  public:
-  /// `registry` must contain the initial configuration `c0`; the local
-  /// cseq starts as ⟨c0, F⟩. `recorder` (optional) logs the operation
-  /// history for atomicity checking.
+  /// `registry` must contain the initial configuration `c0`; every object's
+  /// local cseq starts as ⟨c0, F⟩ unless rebound with bind_object().
+  /// `recorder` (optional) logs the per-object operation history for
+  /// atomicity checking.
   AresClient(sim::Simulator& sim, sim::Network& net, ProcessId id,
              dap::ConfigRegistry& registry, ConfigId c0,
              checker::HistoryRecorder* recorder = nullptr);
   ~AresClient() override;
 
-  /// Algorithm 7 write. Completes with the tag the value was written under.
-  [[nodiscard]] sim::Future<Tag> write(ValuePtr value);
+  /// Bind `obj` to initial configuration `c0` (must precede any operation
+  /// on `obj`; objects not explicitly bound start at the constructor's c0).
+  /// Distinct objects may start from distinct configurations — this is how
+  /// a multi-object store places different keys on different server sets.
+  void bind_object(ObjectId obj, ConfigId c0);
 
-  /// Algorithm 7 read. Completes with the tag-value pair returned.
-  [[nodiscard]] sim::Future<TagValue> read();
+  /// Algorithm 7 write on `obj`. Completes with the tag the value was
+  /// written under.
+  [[nodiscard]] sim::Future<Tag> write(ObjectId obj, ValuePtr value);
+  [[nodiscard]] sim::Future<Tag> write(ValuePtr value) {
+    return write(kDefaultObject, std::move(value));
+  }
 
-  /// Algorithm 5 reconfig(c): registers `new_spec` and attempts to append
-  /// it to GL. Completes with the configuration id actually installed in
-  /// that slot (new_spec.id if this client's proposal won consensus, the
-  /// competing winner otherwise).
-  [[nodiscard]] sim::Future<ConfigId> reconfig(dap::ConfigSpec new_spec);
+  /// Algorithm 7 read on `obj`. Completes with the tag-value pair returned.
+  [[nodiscard]] sim::Future<TagValue> read(ObjectId obj);
+  [[nodiscard]] sim::Future<TagValue> read() { return read(kDefaultObject); }
 
-  /// This client's current local configuration sequence (tests / metrics).
-  [[nodiscard]] const std::vector<CseqEntry>& cseq() const { return cseq_; }
+  /// Algorithm 5 reconfig(c) on `obj`: registers `new_spec` and attempts to
+  /// append it to `obj`'s GL. Completes with the configuration id actually
+  /// installed in that slot (new_spec.id if this client's proposal won
+  /// consensus, the competing winner otherwise).
+  [[nodiscard]] sim::Future<ConfigId> reconfig(ObjectId obj,
+                                               dap::ConfigSpec new_spec);
+  [[nodiscard]] sim::Future<ConfigId> reconfig(dap::ConfigSpec new_spec) {
+    return reconfig(kDefaultObject, std::move(new_spec));
+  }
 
-  /// Index of the last finalized entry (µ) and last entry (ν).
-  [[nodiscard]] std::size_t mu() const;
-  [[nodiscard]] std::size_t nu() const { return cseq_.size() - 1; }
+  /// This client's current local configuration sequence for `obj`
+  /// (tests / metrics). Objects not yet operated on bind lazily to the
+  /// constructor's c0, so an untouched object reports the length-1
+  /// sequence [⟨c0, F⟩].
+  [[nodiscard]] const std::vector<CseqEntry>& cseq(ObjectId obj) {
+    return obj_state(obj).cseq;
+  }
+  [[nodiscard]] const std::vector<CseqEntry>& cseq() {
+    return cseq(kDefaultObject);
+  }
 
-  /// Runs the Alg. 4 sequence traversal once (exposed for tests and for the
-  /// latency benchmarks that measure T(read-config)).
-  [[nodiscard]] sim::Future<void> read_config();
+  /// Index of the last finalized entry (µ) and last entry (ν) of `obj`'s
+  /// sequence.
+  [[nodiscard]] std::size_t mu(ObjectId obj = kDefaultObject);
+  [[nodiscard]] std::size_t nu(ObjectId obj = kDefaultObject) {
+    return cseq(obj).size() - 1;
+  }
+
+  /// Runs the Alg. 4 sequence traversal once for `obj` (exposed for tests
+  /// and for the latency benchmarks that measure T(read-config)).
+  [[nodiscard]] sim::Future<void> read_config(ObjectId obj = kDefaultObject);
 
   /// Object-data bytes this client pulled through itself during
-  /// update-config phases (the reconfiguration-bottleneck metric of
-  /// Section 5; stays 0 for the direct-transfer client).
+  /// update-config phases, across all objects (the reconfiguration-
+  /// bottleneck metric of Section 5; stays 0 for the direct-transfer
+  /// client).
   [[nodiscard]] std::uint64_t update_config_bytes_through_client() const {
     return update_config_bytes_;
   }
@@ -65,35 +100,49 @@ class AresClient : public sim::Process {
  protected:
   void handle(const sim::Message& msg) override;
 
+  /// Per-object client state: the local configuration sequence plus cached
+  /// protocol endpoints, all independent between objects.
+  struct ObjectState {
+    std::vector<CseqEntry> cseq;
+    std::map<ConfigId, std::shared_ptr<dap::Dap>> daps;
+    std::map<ConfigId, std::unique_ptr<consensus::PaxosProposer>> proposers;
+  };
+
+  /// Find `obj`'s state, lazily binding it to the constructor's c0.
+  ObjectState& obj_state(ObjectId obj);
+
   /// The update-config phase of reconfig (overridable; see class comment).
-  [[nodiscard]] virtual sim::Future<void> update_config();
+  [[nodiscard]] virtual sim::Future<void> update_config(ObjectId obj);
 
-  /// get-next-config(c): one quorum read of nextC on c's servers. Returns
-  /// the F-status reply if any, else a P-status reply, else nullopt (⊥).
+  /// get-next-config(c): one quorum read of `obj`'s nextC on c's servers.
+  /// Returns the F-status reply if any, else a P-status reply, else
+  /// nullopt (⊥).
   [[nodiscard]] sim::Future<std::optional<CseqEntry>> read_next_config(
-      ConfigId c);
+      ObjectId obj, ConfigId c);
 
-  /// put-config(c, e): write nextC = e to a quorum of c's servers.
-  [[nodiscard]] sim::Future<void> put_config(ConfigId c, CseqEntry e);
+  /// put-config(c, e): write `obj`'s nextC = e to a quorum of c's servers.
+  [[nodiscard]] sim::Future<void> put_config(ObjectId obj, ConfigId c,
+                                             CseqEntry e);
 
-  /// The DAP client bound to configuration `cfg` (cached).
-  [[nodiscard]] const std::shared_ptr<dap::Dap>& dap_for(ConfigId cfg);
+  /// The DAP client bound to (obj, cfg) (cached).
+  [[nodiscard]] const std::shared_ptr<dap::Dap>& dap_for(ObjectId obj,
+                                                         ConfigId cfg);
 
-  /// Record entry `e` at index `idx` of the local cseq (append or merge
+  /// Record entry `e` at index `idx` of `obj`'s local cseq (append or merge
   /// status; configuration ids at one index never differ — Lemma 47).
-  void set_entry(std::size_t idx, CseqEntry e);
+  void set_entry(ObjectId obj, std::size_t idx, CseqEntry e);
 
   dap::ConfigRegistry& registry_;
-  std::vector<CseqEntry> cseq_;
   checker::HistoryRecorder* recorder_;
   std::uint64_t update_config_bytes_ = 0;
 
  private:
-  [[nodiscard]] sim::Future<consensus::PaxosValue> propose(ConfigId on_cfg,
+  [[nodiscard]] sim::Future<consensus::PaxosValue> propose(ObjectId obj,
+                                                           ConfigId on_cfg,
                                                            ConfigId value);
 
-  std::map<ConfigId, std::shared_ptr<dap::Dap>> daps_;
-  std::map<ConfigId, std::unique_ptr<consensus::PaxosProposer>> proposers_;
+  ConfigId default_c0_;
+  std::map<ObjectId, ObjectState> objects_;
 };
 
 }  // namespace ares::reconfig

@@ -1,6 +1,9 @@
 // ARES reconfiguration-service messages (Algorithms 4 and 6): reading and
-// writing the per-configuration nextC pointers that form the distributed
-// global configuration sequence GL.
+// writing the nextC pointers that form the distributed global configuration
+// sequence GL. Every atomic object has its own sequence: requests derive
+// sim::RpcRequest, so they carry (config, object) and servers keep one
+// nextC pointer per (configuration, object) pair — a hot object can be
+// moved to a wider code without touching any other object's lineage.
 #pragma once
 
 #include "common/types.hpp"

@@ -10,10 +10,15 @@ AresServer::AresServer(sim::Simulator& sim, sim::Network& net, ProcessId id,
                        const dap::ConfigRegistry& registry)
     : sim::Process(sim, net, id), registry_(registry) {}
 
-std::optional<CseqEntry> AresServer::next_config(ConfigId cfg) const {
+std::optional<CseqEntry> AresServer::next_config(ConfigId cfg,
+                                                 ObjectId obj) const {
   auto it = configs_.find(cfg);
-  if (it == configs_.end() || !it->second.nextc.valid()) return std::nullopt;
-  return it->second.nextc;
+  if (it == configs_.end()) return std::nullopt;
+  auto oit = it->second.objects.find(obj);
+  if (oit == it->second.objects.end() || !oit->second.nextc.valid()) {
+    return std::nullopt;
+  }
+  return oit->second.nextc;
 }
 
 const dap::DapServer* AresServer::dap_state(ConfigId cfg) const {
@@ -48,23 +53,24 @@ void AresServer::handle(const sim::Message& msg) {
   if (!req) return;
   PerConfig* pc = config_state(req->config);
   if (pc == nullptr) return;
+  PerObject& po = pc->objects[req->object];
 
   if (std::dynamic_pointer_cast<const ReadConfigReq>(msg.body)) {
     auto reply = std::make_shared<ReadConfigReply>();
-    reply->next = pc->nextc;
+    reply->next = po.nextc;
     reply_to(msg, std::move(reply));
     return;
   }
   if (auto write = std::dynamic_pointer_cast<const WriteConfigReq>(msg.body)) {
     // Alg. 6: adopt if nextC = ⊥ or still pending; once finalized, the
     // pointer never changes again (Lemma 46).
-    if (!pc->nextc.valid() || !pc->nextc.finalized) {
-      pc->nextc = write->next;
+    if (!po.nextc.valid() || !po.nextc.finalized) {
+      po.nextc = write->next;
     }
     reply_to(msg, std::make_shared<WriteConfigAck>());
     return;
   }
-  if (pc->paxos.handle(*this, msg)) return;
+  if (po.paxos.handle(*this, msg)) return;
 
   dap::ServerContext ctx{*this, registry_.get(req->config), registry_};
   pc->dap->handle(ctx, msg);

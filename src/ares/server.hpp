@@ -1,7 +1,9 @@
 // The ARES server process (Algorithm 6): hosts, per configuration it is a
-// member of, (i) the nextC pointer of the reconfiguration service, (ii) the
-// acceptor of that configuration's consensus object c.Con, and (iii) the
-// server state of the configuration's DAP protocol (ABD / TREAS / LDR).
+// member of, (i) the nextC pointers of the reconfiguration service — one
+// per atomic object, since every object has an independent configuration
+// sequence, (ii) the per-object acceptors of that configuration's consensus
+// objects c.Con, and (iii) the server state of the configuration's DAP
+// protocol (ABD / TREAS / LDR), which is itself keyed per object.
 #pragma once
 
 #include "ares/messages.hpp"
@@ -21,24 +23,31 @@ class AresServer final : public sim::Process {
   AresServer(sim::Simulator& sim, sim::Network& net, ProcessId id,
              const dap::ConfigRegistry& registry);
 
-  /// nextC of configuration `cfg` as this server knows it (tests/debug).
-  [[nodiscard]] std::optional<CseqEntry> next_config(ConfigId cfg) const;
+  /// nextC of configuration `cfg` for object `obj` as this server knows it
+  /// (tests/debug).
+  [[nodiscard]] std::optional<CseqEntry> next_config(
+      ConfigId cfg, ObjectId obj = kDefaultObject) const;
 
   /// The per-configuration DAP state, or nullptr if not instantiated
-  /// (tests/metrics).
+  /// (tests/metrics). One DapServer instance hosts every object.
   [[nodiscard]] const dap::DapServer* dap_state(ConfigId cfg) const;
 
-  /// Total object-data bytes stored across all hosted configurations
-  /// (the paper's storage cost for this server).
+  /// Total object-data bytes stored across all hosted configurations and
+  /// objects (the paper's storage cost for this server).
   [[nodiscard]] std::size_t stored_data_bytes() const;
 
  protected:
   void handle(const sim::Message& msg) override;
 
  private:
-  struct PerConfig {
+  /// Reconfiguration-service state for one (configuration, object) pair.
+  struct PerObject {
     CseqEntry nextc;  // nextC, initially ⊥ (cfg == kNoConfig)
     consensus::PaxosAcceptor paxos;
+  };
+
+  struct PerConfig {
+    std::map<ObjectId, PerObject> objects;
     std::unique_ptr<dap::DapServer> dap;
   };
 

@@ -19,7 +19,8 @@ void DirectAresClient::handle(const sim::Message& msg) {
   reconfig::AresClient::handle(msg);
 }
 
-sim::Future<void> DirectAresClient::forward_code_element(Tag tag,
+sim::Future<void> DirectAresClient::forward_code_element(ObjectId obj,
+                                                         Tag tag,
                                                          ConfigId src,
                                                          ConfigId dst) {
   const auto& src_spec = registry_.get(src);
@@ -32,6 +33,7 @@ sim::Future<void> DirectAresClient::forward_code_element(Tag tag,
 
   auto req = std::make_shared<treas::ReqFwdCodeElem>();
   req->config = src;  // routed to the source configuration's state
+  req->object = obj;  // ... for this atomic object
   req->transfer_id = tid;
   req->reconfigurer = id();
   req->src_config = src;
@@ -45,39 +47,39 @@ sim::Future<void> DirectAresClient::forward_code_element(Tag tag,
   co_return;
 }
 
-sim::Future<void> DirectAresClient::update_config() {
-  const std::size_t m = mu();
-  const std::size_t v = nu();
+sim::Future<void> DirectAresClient::update_config(ObjectId obj) {
+  const std::size_t m = mu(obj);
+  const std::size_t v = nu(obj);
 
   // Direct transfer needs TREAS state on both ends; if any involved
   // configuration runs a different protocol, fall back to the client-
   // conduit transfer of Algorithm 5.
   bool all_treas = true;
   for (std::size_t i = m; i <= v; ++i) {
-    if (registry_.get(cseq_[i].cfg).protocol != dap::Protocol::kTreas) {
+    if (registry_.get(cseq(obj)[i].cfg).protocol != dap::Protocol::kTreas) {
       all_treas = false;
       break;
     }
   }
   if (!all_treas) {
-    co_await reconfig::AresClient::update_config();
+    co_await reconfig::AresClient::update_config(obj);
     co_return;
   }
 
   // Algorithm 8: gather ⟨tag, configuration⟩ pairs — metadata only.
   Tag best = kInitialTag;
-  ConfigId holder = cseq_[m].cfg;
+  ConfigId holder = cseq(obj)[m].cfg;
   for (std::size_t i = m; i <= v; ++i) {
-    const Tag t = co_await dap_for(cseq_[i].cfg)->get_dec_tag();
+    const Tag t = co_await dap_for(obj, cseq(obj)[i].cfg)->get_dec_tag();
     if (t > best || i == m) {
       best = t;
-      holder = cseq_[i].cfg;
+      holder = cseq(obj)[i].cfg;
     }
   }
 
   // forward-code-element(τ, C, C'): the object bytes move server→server;
   // update_config_bytes_through_client() stays 0.
-  co_await forward_code_element(best, holder, cseq_[v].cfg);
+  co_await forward_code_element(obj, best, holder, cseq(obj)[v].cfg);
   co_return;
 }
 

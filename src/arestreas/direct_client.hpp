@@ -22,7 +22,7 @@ class DirectAresClient final : public reconfig::AresClient {
   using reconfig::AresClient::AresClient;
 
  protected:
-  [[nodiscard]] sim::Future<void> update_config() override;
+  [[nodiscard]] sim::Future<void> update_config(ObjectId obj) override;
 
   void handle(const sim::Message& msg) override;
 
@@ -34,9 +34,10 @@ class DirectAresClient final : public reconfig::AresClient {
     bool fulfilled = false;
   };
 
-  /// forward-code-element(τ, C, C'): md-primitive to C's servers, then wait
-  /// for ⌈(n'+k')/2⌉ acks from C''s servers.
-  [[nodiscard]] sim::Future<void> forward_code_element(Tag tag, ConfigId src,
+  /// forward-code-element(τ, C, C') for `obj`: md-primitive to C's servers,
+  /// then wait for ⌈(n'+k')/2⌉ acks from C''s servers.
+  [[nodiscard]] sim::Future<void> forward_code_element(ObjectId obj, Tag tag,
+                                                       ConfigId src,
                                                        ConfigId dst);
 
   std::uint64_t next_transfer_id_ = 1;

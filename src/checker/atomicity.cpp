@@ -12,7 +12,8 @@ namespace {
 std::string describe(const OpRecord& r) {
   std::ostringstream os;
   os << (r.kind == OpKind::kWrite ? "write" : "read") << "#" << r.op_id
-     << " by p" << r.client << " [" << r.invoked << ","
+     << " by p" << r.client << " on obj" << r.object << " [" << r.invoked
+     << ","
      << (r.complete() ? std::to_string(r.responded) : std::string("∞")) << "]"
      << " tag=" << r.tag.to_string();
   return os.str();
@@ -20,11 +21,20 @@ std::string describe(const OpRecord& r) {
 
 CheckResult fail(const std::string& msg) { return CheckResult{false, msg}; }
 
-}  // namespace
+/// Split a (possibly mixed) history into per-object sub-histories,
+/// preserving record order. Single-object histories come back as one group.
+std::map<ObjectId, std::vector<OpRecord>> split_by_object(
+    const std::vector<OpRecord>& ops) {
+  std::map<ObjectId, std::vector<OpRecord>> groups;
+  for (const auto& r : ops) groups[r.object].push_back(r);
+  return groups;
+}
 
-CheckResult check_tag_atomicity(const std::vector<OpRecord>& ops,
-                                Tag initial_tag,
-                                std::uint64_t initial_hash) {
+/// The single-object core of check_tag_atomicity: all of `ops` must belong
+/// to one object (tags of distinct objects are incomparable).
+CheckResult check_one_object_tags(const std::vector<OpRecord>& ops,
+                                  Tag initial_tag,
+                                  std::uint64_t initial_hash) {
   // Index writes by tag (complete and incomplete: a read may legitimately
   // return the value of a write still in flight).
   struct WriteInfo {
@@ -114,9 +124,10 @@ CheckResult check_tag_atomicity(const std::vector<OpRecord>& ops,
   return CheckResult{};
 }
 
-CheckResult check_linearizable_bruteforce(const std::vector<OpRecord>& ops,
-                                          Tag initial_tag,
-                                          std::uint64_t initial_hash) {
+/// The single-object core of check_linearizable_bruteforce.
+CheckResult check_one_object_bruteforce(const std::vector<OpRecord>& ops,
+                                        Tag initial_tag,
+                                        std::uint64_t initial_hash) {
   // Candidate set: all complete ops (must be linearized) plus incomplete
   // writes (may be linearized anywhere consistent, or dropped).
   std::vector<const OpRecord*> cand;
@@ -185,6 +196,40 @@ CheckResult check_linearizable_bruteforce(const std::vector<OpRecord>& ops,
     }
   }
   return fail("no valid linearization exists");
+}
+
+}  // namespace
+
+CheckResult check_tag_atomicity(const std::vector<OpRecord>& ops,
+                                Tag initial_tag,
+                                std::uint64_t initial_hash) {
+  for (const auto& [obj, sub] : split_by_object(ops)) {
+    CheckResult r = check_one_object_tags(sub, initial_tag, initial_hash);
+    if (!r.ok) return r;
+  }
+  return CheckResult{};
+}
+
+std::map<ObjectId, CheckResult> check_tag_atomicity_per_object(
+    const std::vector<OpRecord>& ops, Tag initial_tag,
+    std::uint64_t initial_hash) {
+  std::map<ObjectId, CheckResult> verdicts;
+  for (const auto& [obj, sub] : split_by_object(ops)) {
+    verdicts.emplace(obj,
+                     check_one_object_tags(sub, initial_tag, initial_hash));
+  }
+  return verdicts;
+}
+
+CheckResult check_linearizable_bruteforce(const std::vector<OpRecord>& ops,
+                                          Tag initial_tag,
+                                          std::uint64_t initial_hash) {
+  for (const auto& [obj, sub] : split_by_object(ops)) {
+    CheckResult r =
+        check_one_object_bruteforce(sub, initial_tag, initial_hash);
+    if (!r.ok) return r;
+  }
+  return CheckResult{};
 }
 
 }  // namespace ares::checker

@@ -15,6 +15,7 @@
 
 #include "checker/history.hpp"
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -37,12 +38,26 @@ struct CheckResult {
 ///        responded (reads never return values "from the future").
 /// Incomplete operations in `ops` are ignored except that a read may return
 /// the tag of an incomplete write (the write takes effect).
+///
+/// Atomicity is a per-object property (tag spaces of distinct objects are
+/// independent): `ops` may mix operations on several objects — the history
+/// is split by ObjectId and each sub-history is verified independently; the
+/// result is the first violation found, if any.
 [[nodiscard]] CheckResult check_tag_atomicity(
     const std::vector<OpRecord>& ops, Tag initial_tag = kInitialTag,
     std::uint64_t initial_hash = initial_value_hash());
 
+/// Per-object verdicts for a multi-object history: each object's
+/// sub-history is checked in isolation, so a violation on one object never
+/// taints another's verdict.
+[[nodiscard]] std::map<ObjectId, CheckResult> check_tag_atomicity_per_object(
+    const std::vector<OpRecord>& ops, Tag initial_tag = kInitialTag,
+    std::uint64_t initial_hash = initial_value_hash());
+
 /// Exhaustive linearizability check for small histories (<= ~20 complete
-/// operations). Values are identified by (tag, value_hash).
+/// operations per object). Values are identified by (tag, value_hash).
+/// Multi-object histories are split and checked per object like
+/// check_tag_atomicity.
 [[nodiscard]] CheckResult check_linearizable_bruteforce(
     const std::vector<OpRecord>& ops, Tag initial_tag = kInitialTag,
     std::uint64_t initial_hash = initial_value_hash());

@@ -1,6 +1,7 @@
 #include "checker/history.hpp"
 
 #include <cassert>
+#include <set>
 
 namespace ares::checker {
 
@@ -20,10 +21,11 @@ std::uint64_t initial_value_hash() {
 }
 
 std::uint64_t HistoryRecorder::begin(ProcessId client, OpKind kind,
-                                     SimTime now) {
+                                     SimTime now, ObjectId object) {
   OpRecord r;
   r.op_id = ops_.size();
   r.client = client;
+  r.object = object;
   r.kind = kind;
   r.invoked = now;
   ops_.push_back(r);
@@ -58,6 +60,20 @@ std::vector<OpRecord> HistoryRecorder::completed() const {
     if (r.complete()) out.push_back(r);
   }
   return out;
+}
+
+std::vector<OpRecord> HistoryRecorder::records_for(ObjectId object) const {
+  std::vector<OpRecord> out;
+  for (const auto& r : ops_) {
+    if (r.object == object) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<ObjectId> HistoryRecorder::objects() const {
+  std::set<ObjectId> seen;
+  for (const auto& r : ops_) seen.insert(r.object);
+  return std::vector<ObjectId>(seen.begin(), seen.end());
 }
 
 }  // namespace ares::checker

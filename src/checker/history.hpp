@@ -18,6 +18,9 @@ inline constexpr SimTime kNotResponded = ~SimTime{0};
 struct OpRecord {
   std::uint64_t op_id = 0;
   ProcessId client = kNoProcess;
+  /// The atomic object this operation addressed. Atomicity is a per-object
+  /// property: records of distinct objects form independent histories.
+  ObjectId object = kDefaultObject;
   OpKind kind = OpKind::kRead;
   SimTime invoked = 0;
   SimTime responded = kNotResponded;
@@ -42,8 +45,12 @@ struct OpRecord {
 
 class HistoryRecorder {
  public:
-  /// Record an invocation; returns the op id to close with end().
-  std::uint64_t begin(ProcessId client, OpKind kind, SimTime now);
+  /// Record an invocation on `object`; returns the op id to close with
+  /// end(). One recorder serves a whole deployment: operations on distinct
+  /// objects interleave in `records()` and are separated per object by the
+  /// atomicity checker.
+  std::uint64_t begin(ProcessId client, OpKind kind, SimTime now,
+                      ObjectId object = kDefaultObject);
 
   /// Record the tag a write chose, *before* it completes — so a writer
   /// that crashes mid-put still leaves a matchable record (its value may
@@ -58,6 +65,12 @@ class HistoryRecorder {
   /// Only the operations that responded (the set Π of the atomicity
   /// definition contains complete operations).
   [[nodiscard]] std::vector<OpRecord> completed() const;
+
+  /// The sub-history of one object.
+  [[nodiscard]] std::vector<OpRecord> records_for(ObjectId object) const;
+
+  /// The distinct objects appearing in this history, ascending.
+  [[nodiscard]] std::vector<ObjectId> objects() const;
 
   void clear() { ops_.clear(); }
 

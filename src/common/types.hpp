@@ -24,6 +24,19 @@ using ConfigId = std::uint32_t;
 /// Sentinel meaning "no configuration" (the paper's ⊥ pointer).
 inline constexpr ConfigId kNoConfig = std::numeric_limits<ConfigId>::max();
 
+/// Identifier of an atomic object. The paper's introduction notes that
+/// atomic objects are composable into large shared-memory systems; the
+/// whole stack is keyed by ObjectId so one deployment hosts many
+/// independent atomic registers (each with its own tag space, its own
+/// configuration sequence, and its own per-server state).
+using ObjectId = std::uint32_t;
+
+/// Sentinel meaning "no object".
+inline constexpr ObjectId kNoObject = std::numeric_limits<ObjectId>::max();
+
+/// The object single-object deployments operate on implicitly.
+inline constexpr ObjectId kDefaultObject = 0;
+
 /// Simulated time, in abstract "time units" (the paper measures everything
 /// in multiples of the message-delay bounds d and D).
 using SimTime = std::uint64_t;

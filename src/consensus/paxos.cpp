@@ -53,9 +53,11 @@ bool PaxosAcceptor::handle(sim::Process& host, const sim::Message& msg) {
 
 PaxosProposer::PaxosProposer(sim::Process& owner, ConfigId instance,
                              std::vector<ProcessId> acceptors,
-                             std::uint64_t seed, SimDuration backoff_base)
+                             std::uint64_t seed, SimDuration backoff_base,
+                             ObjectId object)
     : owner_(owner),
       instance_(instance),
+      object_(object),
       acceptors_(std::move(acceptors)),
       rng_(seed),
       backoff_base_(backoff_base) {}
@@ -73,6 +75,7 @@ sim::Future<PaxosValue> PaxosProposer::propose(PaxosValue value) {
         owner_, acceptors_, [this, ballot](ProcessId) {
           auto req = std::make_shared<PrepareReq>();
           req->config = instance_;
+          req->object = object_;
           req->ballot = ballot;
           return req;
         });
@@ -117,6 +120,7 @@ sim::Future<PaxosValue> PaxosProposer::propose(PaxosValue value) {
       for (ProcessId s : acceptors_) {
         auto dec = std::make_shared<DecidedMsg>();
         dec->config = instance_;
+        dec->object = object_;
         dec->value = decided_value;
         owner_.send(s, std::move(dec));
       }
@@ -131,6 +135,7 @@ sim::Future<PaxosValue> PaxosProposer::propose(PaxosValue value) {
           owner_, acceptors_, [this, ballot, proposal](ProcessId) {
             auto req = std::make_shared<AcceptReq>();
             req->config = instance_;
+            req->object = object_;
             req->ballot = ballot;
             req->value = proposal;
             return req;
@@ -164,6 +169,7 @@ sim::Future<PaxosValue> PaxosProposer::propose(PaxosValue value) {
         for (ProcessId s : acceptors_) {
           auto dec = std::make_shared<DecidedMsg>();
           dec->config = instance_;
+          dec->object = object_;
           dec->value = decided_value;
           owner_.send(s, std::move(dec));
         }
@@ -174,6 +180,7 @@ sim::Future<PaxosValue> PaxosProposer::propose(PaxosValue value) {
         for (ProcessId s : acceptors_) {
           auto dec = std::make_shared<DecidedMsg>();
           dec->config = instance_;
+          dec->object = object_;
           dec->value = proposal;
           owner_.send(s, std::move(dec));
         }

@@ -104,11 +104,13 @@ class PaxosAcceptor {
 
 class PaxosProposer {
  public:
-  /// `owner` executes the protocol; `instance` is the configuration whose
-  /// consensus object this is; `acceptors` are that configuration's servers.
+  /// `owner` executes the protocol; `(instance, object)` names the
+  /// consensus instance — per-object reconfiguration gives every atomic
+  /// object its own c.Con on a configuration's servers; `acceptors` are
+  /// that configuration's servers.
   PaxosProposer(sim::Process& owner, ConfigId instance,
                 std::vector<ProcessId> acceptors, std::uint64_t seed,
-                SimDuration backoff_base = 8);
+                SimDuration backoff_base = 8, ObjectId object = kDefaultObject);
 
   /// Definition 41 propose(v): completes with the decided value (which is
   /// v, or the value some competing proposer got decided).
@@ -121,6 +123,7 @@ class PaxosProposer {
 
   sim::Process& owner_;
   ConfigId instance_;
+  ObjectId object_;
   std::vector<ProcessId> acceptors_;
   Rng rng_;
   SimDuration backoff_base_;

@@ -16,7 +16,13 @@ namespace ares::dap {
 
 class Dap {
  public:
+  /// Every DAP instance binds to exactly one atomic object: all of its
+  /// primitives address that object's state on the servers.
+  explicit Dap(ObjectId object = kDefaultObject) : object_(object) {}
   virtual ~Dap() = default;
+
+  /// The atomic object this instance operates on.
+  [[nodiscard]] ObjectId object() const { return object_; }
 
   /// D1: c.get-tag()
   [[nodiscard]] virtual sim::Future<Tag> get_tag() = 0;
@@ -32,6 +38,9 @@ class Dap {
   /// Default: run get-data and discard the value (correct but not
   /// bandwidth-optimal; TREAS overrides with a metadata-only phase).
   [[nodiscard]] virtual sim::Future<Tag> get_dec_tag();
+
+ private:
+  ObjectId object_;
 };
 
 }  // namespace ares::dap

@@ -1,6 +1,8 @@
 // Server-side counterpart of a DAP implementation: the per-configuration
-// state machine a server hosts (ABD's ⟨tag,value⟩ pair, TREAS's List, LDR's
-// directory/replica state) plus its message handlers.
+// state machine a server hosts (ABD's ⟨tag,value⟩ pairs, TREAS's Lists,
+// LDR's directory/replica state) plus its message handlers. One DapServer
+// instance serves every atomic object addressed in its configuration; state
+// is keyed internally by the ObjectId carried in each request.
 #pragma once
 
 #include "common/types.hpp"
@@ -28,12 +30,13 @@ class DapServer {
   /// Returns true if the message was recognized and consumed.
   virtual bool handle(ServerContext& ctx, const sim::Message& msg) = 0;
 
-  /// Bytes of object data currently stored (the paper's storage cost,
-  /// before normalization; metadata excluded).
+  /// Bytes of object data currently stored across all objects (the paper's
+  /// storage cost, before normalization; metadata excluded).
   [[nodiscard]] virtual std::size_t stored_data_bytes() const = 0;
 
-  /// Highest tag this server has seen (Definition 10 diagnostics).
-  [[nodiscard]] virtual Tag max_tag() const = 0;
+  /// Highest tag this server has seen for `obj` (Definition 10
+  /// diagnostics). Tag spaces of distinct objects are independent.
+  [[nodiscard]] virtual Tag max_tag(ObjectId obj = kDefaultObject) const = 0;
 };
 
 }  // namespace ares::dap

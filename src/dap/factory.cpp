@@ -9,14 +9,15 @@
 
 namespace ares::dap {
 
-std::shared_ptr<Dap> make_dap(sim::Process& owner, const ConfigSpec& spec) {
+std::shared_ptr<Dap> make_dap(sim::Process& owner, const ConfigSpec& spec,
+                              ObjectId object) {
   switch (spec.protocol) {
     case Protocol::kAbd:
-      return std::make_shared<abd::AbdDap>(owner, spec);
+      return std::make_shared<abd::AbdDap>(owner, spec, object);
     case Protocol::kTreas:
-      return std::make_shared<treas::TreasDap>(owner, spec);
+      return std::make_shared<treas::TreasDap>(owner, spec, object);
     case Protocol::kLdr:
-      return std::make_shared<ldr::LdrDap>(owner, spec);
+      return std::make_shared<ldr::LdrDap>(owner, spec, object);
   }
   return nullptr;
 }

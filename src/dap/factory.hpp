@@ -12,10 +12,13 @@
 
 namespace ares::dap {
 
-/// Client-side primitives for `spec`, executed by `owner` (must outlive the
-/// returned object).
+/// Client-side primitives for `spec` bound to atomic object `object`,
+/// executed by `owner` (must outlive the returned instance). Each Dap
+/// instance addresses exactly one object; a client holding many objects
+/// makes one Dap per (configuration, object) pair.
 [[nodiscard]] std::shared_ptr<Dap> make_dap(sim::Process& owner,
-                                            const ConfigSpec& spec);
+                                            const ConfigSpec& spec,
+                                            ObjectId object = kDefaultObject);
 
 /// Per-configuration server state hosted by server `self`.
 [[nodiscard]] std::unique_ptr<DapServer> make_dap_server(

@@ -26,7 +26,8 @@ RegisterClient::RegisterClient(std::shared_ptr<Dap> dap, ProcessId writer_id,
 sim::Future<TagValue> RegisterClient::read() {
   std::uint64_t op_id = 0;
   if (recorder_ != nullptr) {
-    op_id = recorder_->begin(writer_id_, checker::OpKind::kRead, sim_now());
+    op_id = recorder_->begin(writer_id_, checker::OpKind::kRead, sim_now(),
+                             dap_->object());
   }
   TagValue tv = co_await dap_->get_data();
   if (read_template_ == ReadTemplate::kA1TwoPhase) {
@@ -41,7 +42,8 @@ sim::Future<TagValue> RegisterClient::read() {
 sim::Future<Tag> RegisterClient::write(ValuePtr value) {
   std::uint64_t op_id = 0;
   if (recorder_ != nullptr) {
-    op_id = recorder_->begin(writer_id_, checker::OpKind::kWrite, sim_now());
+    op_id = recorder_->begin(writer_id_, checker::OpKind::kWrite, sim_now(),
+                             dap_->object());
   }
   Tag t = co_await dap_->get_tag();
   const Tag tw = t.next(writer_id_);

@@ -74,4 +74,12 @@ std::size_t AresCluster::total_stored_bytes() const {
   return sum;
 }
 
+WorkloadResult AresCluster::run_multi_object_workload(WorkloadOptions opt) {
+  opt.num_objects = options_.num_objects;
+  std::vector<reconfig::AresClient*> clients;
+  clients.reserve(clients_.size());
+  for (auto& c : clients_) clients.push_back(c.get());
+  return run_workload(sim_, clients, opt);
+}
+
 }  // namespace ares::harness

@@ -7,11 +7,14 @@
 #include "ares/client.hpp"
 #include "ares/server.hpp"
 #include "arestreas/direct_client.hpp"
+#include "checker/atomicity.hpp"
 #include "checker/history.hpp"
 #include "dap/config.hpp"
+#include "harness/workload.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -30,6 +33,10 @@ struct AresClusterOptions {
 
   std::size_t num_rw_clients = 2;
   std::size_t num_reconfigurers = 1;
+
+  /// Atomic objects hosted by the deployment. All objects start in c0;
+  /// each can be reconfigured independently afterwards (per-object cseq).
+  std::size_t num_objects = 1;
 
   /// Reconfigurers use the Section-5 direct state transfer when true.
   bool direct_transfer = false;
@@ -73,6 +80,21 @@ class AresCluster {
 
   /// Total object-data bytes stored across the whole server pool.
   [[nodiscard]] std::size_t total_stored_bytes() const;
+
+  /// The multi-object scenario: a concurrent workload over the key-space
+  /// [0, options().num_objects) on every read/write client, with the key
+  /// per operation drawn by `opt.key_distribution` (uniform or Zipfian).
+  /// `opt.num_objects` is overridden by the cluster's option so workload
+  /// and deployment always agree on the key-space.
+  WorkloadResult run_multi_object_workload(WorkloadOptions opt);
+
+  /// Per-object atomicity verdicts over everything recorded so far.
+  /// Atomicity is a per-object property: one object's violation never
+  /// taints another's verdict.
+  [[nodiscard]] std::map<ObjectId, checker::CheckResult>
+  check_atomicity_per_object() const {
+    return checker::check_tag_atomicity_per_object(history_.records());
+  }
 
   [[nodiscard]] const AresClusterOptions& options() const { return options_; }
 

@@ -20,10 +20,21 @@ void StaticServer::handle(const sim::Message& msg) {
 StaticClient::StaticClient(sim::Simulator& sim, sim::Network& net,
                            ProcessId id, const dap::ConfigSpec& spec,
                            checker::HistoryRecorder* recorder)
-    : sim::Process(sim, net, id) {
-  dap_ = dap::make_dap(*this, spec);
-  reg_ = std::make_unique<dap::RegisterClient>(
-      dap_, id, dap::read_template_for(spec.protocol), recorder);
+    : sim::Process(sim, net, id), spec_(spec), recorder_(recorder) {}
+
+StaticClient::~StaticClient() = default;
+
+dap::RegisterClient& StaticClient::reg(ObjectId obj) {
+  auto it = regs_.find(obj);
+  if (it == regs_.end()) {
+    auto d = dap::make_dap(*this, spec_, obj);
+    it = regs_.emplace(obj, std::make_unique<dap::RegisterClient>(
+                                std::move(d), id(),
+                                dap::read_template_for(spec_.protocol),
+                                recorder_))
+             .first;
+  }
+  return *it->second;
 }
 
 StaticCluster::StaticCluster(StaticClusterOptions options)

@@ -12,6 +12,7 @@
 #include "sim/process.hpp"
 #include "sim/simulator.hpp"
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -35,22 +36,37 @@ class StaticServer final : public sim::Process {
   std::unique_ptr<dap::DapServer> state_;
 };
 
-/// Client process owning a RegisterClient over the configuration's DAP.
+/// Client process owning RegisterClients over the configuration's DAP —
+/// one per atomic object, created lazily. Exposes the object-keyed
+/// read/write API, so it drives multi-object workloads directly.
 class StaticClient final : public sim::Process {
  public:
   StaticClient(sim::Simulator& sim, sim::Network& net, ProcessId id,
                const dap::ConfigSpec& spec,
                checker::HistoryRecorder* recorder = nullptr);
+  ~StaticClient() override;
 
-  [[nodiscard]] dap::RegisterClient& reg() { return *reg_; }
-  [[nodiscard]] dap::Dap& dap() { return *dap_; }
+  /// The register client bound to `obj` (created on first use).
+  [[nodiscard]] dap::RegisterClient& reg(ObjectId obj = kDefaultObject);
+  [[nodiscard]] dap::Dap& dap(ObjectId obj = kDefaultObject) {
+    return *reg(obj).dap();
+  }
+
+  /// Object-keyed operations (harness::run_workload's multi-object API).
+  [[nodiscard]] sim::Future<TagValue> read(ObjectId obj) {
+    return reg(obj).read();
+  }
+  [[nodiscard]] sim::Future<Tag> write(ObjectId obj, ValuePtr value) {
+    return reg(obj).write(std::move(value));
+  }
 
  protected:
   void handle(const sim::Message&) override {}
 
  private:
-  std::shared_ptr<dap::Dap> dap_;
-  std::unique_ptr<dap::RegisterClient> reg_;
+  dap::ConfigSpec spec_;
+  checker::HistoryRecorder* recorder_;
+  std::map<ObjectId, std::unique_ptr<dap::RegisterClient>> regs_;
 };
 
 struct StaticClusterOptions {

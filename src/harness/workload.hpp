@@ -1,6 +1,13 @@
 // Workload driver: runs concurrent randomized read/write workloads against
 // any client type exposing read()/write() (dap::RegisterClient for static
 // deployments, reconfig::AresClient for ARES) and gathers latency stats.
+//
+// Multi-object workloads: when `num_objects > 1` and the client exposes the
+// object-keyed API (read(ObjectId) / write(ObjectId, ValuePtr) — e.g.
+// reconfig::AresClient or harness::StaticClient), every operation first
+// draws a key from the key-space using the configured picker (uniform or
+// Zipfian), so scalability benches exercise many independent atomic
+// objects, including hot-key skew.
 #pragma once
 
 #include "common/random.hpp"
@@ -9,10 +16,18 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 namespace ares::harness {
+
+/// How operations pick their target object from the key-space.
+enum class KeyDistribution {
+  kUniform,  // every object equally likely
+  kZipfian,  // object i+1 with weight 1/(i+1)^s — hot-key skew (YCSB-style)
+};
 
 struct WorkloadOptions {
   std::size_t ops_per_client = 20;
@@ -21,39 +36,119 @@ struct WorkloadOptions {
   SimDuration think_min = 0;   // idle time between a client's operations
   SimDuration think_max = 0;
   std::uint64_t seed = 7;
+
+  /// Key-space: operations target objects [0, num_objects). A single-object
+  /// workload (the default) always addresses kDefaultObject.
+  std::size_t num_objects = 1;
+  KeyDistribution key_distribution = KeyDistribution::kUniform;
+  double zipf_s = 0.99;  // Zipfian exponent (YCSB default)
+};
+
+/// Draws ObjectIds from [0, num_objects) under the configured distribution.
+/// Zipfian sampling inverts the precomputed CDF by binary search —
+/// deterministic given the rng stream.
+class KeyPicker {
+ public:
+  KeyPicker(std::size_t num_objects, KeyDistribution dist, double zipf_s)
+      : num_objects_(std::max<std::size_t>(1, num_objects)), dist_(dist) {
+    if (dist_ == KeyDistribution::kZipfian && num_objects_ > 1) {
+      cdf_.reserve(num_objects_);
+      double sum = 0;
+      for (std::size_t i = 0; i < num_objects_; ++i) {
+        sum += 1.0 / std::pow(static_cast<double>(i + 1), zipf_s);
+        cdf_.push_back(sum);
+      }
+      for (double& c : cdf_) c /= sum;
+    }
+  }
+
+  [[nodiscard]] ObjectId pick(Rng& rng) const {
+    if (num_objects_ == 1) return kDefaultObject;
+    if (dist_ == KeyDistribution::kUniform) {
+      return static_cast<ObjectId>(rng.uniform(0, num_objects_ - 1));
+    }
+    const double u = rng.uniform01();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<ObjectId>(it - cdf_.begin());
+  }
+
+  [[nodiscard]] std::size_t num_objects() const { return num_objects_; }
+
+ private:
+  std::size_t num_objects_;
+  KeyDistribution dist_;
+  std::vector<double> cdf_;  // Zipfian cumulative weights
 };
 
 struct OpStat {
   bool is_write = false;
+  bool failed = false;  // threw (e.g. retry exhaustion); end is still set
+  ObjectId object = kDefaultObject;
   SimTime start = 0;
   SimTime end = 0;
   [[nodiscard]] SimDuration latency() const { return end - start; }
 };
 
 struct WorkloadResult {
+  /// Every operation attempted, failed ones included (check `failed`).
   std::vector<OpStat> ops;
   std::size_t failures = 0;   // operations that threw (e.g. retry exhaustion)
   bool completed = false;     // all client loops finished within the budget
 
+  /// Mean latency of *successful* reads or writes.
   [[nodiscard]] double mean_latency(bool writes) const {
     double sum = 0;
     std::size_t n = 0;
     for (const auto& o : ops) {
-      if (o.is_write == writes) {
+      if (o.is_write == writes && !o.failed) {
         sum += static_cast<double>(o.latency());
         ++n;
       }
     }
     return n == 0 ? 0.0 : sum / static_cast<double>(n);
   }
+
+  /// Mean time failed operations burned before giving up (0 if none failed).
+  [[nodiscard]] double mean_failure_latency() const {
+    double sum = 0;
+    std::size_t n = 0;
+    for (const auto& o : ops) {
+      if (o.failed) {
+        sum += static_cast<double>(o.latency());
+        ++n;
+      }
+    }
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+  }
+
+  /// Max latency of *successful* operations (consistent with
+  /// mean_latency; failed-op time is reported by mean_failure_latency).
   [[nodiscard]] SimDuration max_latency() const {
     SimDuration m = 0;
-    for (const auto& o : ops) m = std::max(m, o.latency());
+    for (const auto& o : ops) {
+      if (!o.failed) m = std::max(m, o.latency());
+    }
     return m;
+  }
+
+  /// Operations that targeted `obj` (per-object throughput accounting).
+  [[nodiscard]] std::size_t ops_on(ObjectId obj) const {
+    std::size_t n = 0;
+    for (const auto& o : ops) {
+      if (o.object == obj) ++n;
+    }
+    return n;
   }
 };
 
 namespace detail {
+
+/// Clients exposing the object-keyed operation API.
+template <typename Client>
+concept ObjectKeyedClient = requires(Client c, ObjectId obj, ValuePtr v) {
+  c.read(obj);
+  c.write(obj, v);
+};
 
 struct WorkloadShared {
   std::vector<OpStat> ops;
@@ -66,6 +161,7 @@ struct WorkloadShared {
 template <typename Client>
 sim::Future<void> client_loop(sim::Simulator* sim, Client* client,
                               WorkloadOptions opt, std::uint64_t seed,
+                              std::shared_ptr<const KeyPicker> picker,
                               std::shared_ptr<WorkloadShared> shared) {
   Rng rng(seed);
   for (std::size_t i = 0; i < opt.ops_per_client; ++i) {
@@ -74,20 +170,32 @@ sim::Future<void> client_loop(sim::Simulator* sim, Client* client,
     }
     OpStat stat;
     stat.is_write = rng.chance(opt.write_fraction);
+    stat.object = picker->pick(rng);
     stat.start = sim->now();
     try {
       if (stat.is_write) {
         auto payload = make_value(make_test_value(opt.value_size,
                                                   rng.next_u64()));
-        (void)co_await client->write(std::move(payload));
+        if constexpr (ObjectKeyedClient<Client>) {
+          (void)co_await client->write(stat.object, std::move(payload));
+        } else {
+          (void)co_await client->write(std::move(payload));
+        }
       } else {
-        (void)co_await client->read();
+        if constexpr (ObjectKeyedClient<Client>) {
+          (void)co_await client->read(stat.object);
+        } else {
+          (void)co_await client->read();
+        }
       }
-      stat.end = sim->now();
-      shared->ops.push_back(stat);
     } catch (const std::exception&) {
+      // Failed operations stay in the stats — their end time shows how long
+      // the operation burned before giving up (failure latency).
+      stat.failed = true;
       ++shared->failures;
     }
+    stat.end = sim->now();
+    shared->ops.push_back(stat);
   }
   ++shared->done_loops;
   co_return;
@@ -97,14 +205,25 @@ sim::Future<void> client_loop(sim::Simulator* sim, Client* client,
 
 /// Runs `opt.ops_per_client` operations on every client concurrently and
 /// drives the simulation until all loops finish (or the budget is hit).
+/// Multi-object key-spaces (opt.num_objects > 1) require a client type with
+/// the object-keyed API.
 template <typename Client>
 WorkloadResult run_workload(sim::Simulator& sim, std::vector<Client*> clients,
                             WorkloadOptions opt,
                             std::size_t max_events = 20'000'000) {
+  if constexpr (!detail::ObjectKeyedClient<Client>) {
+    if (opt.num_objects > 1) {
+      throw std::invalid_argument(
+          "multi-object workloads need a client with read(obj)/write(obj,v)");
+    }
+  }
   auto shared = std::make_shared<detail::WorkloadShared>();
+  auto picker = std::make_shared<const KeyPicker>(
+      opt.num_objects, opt.key_distribution, opt.zipf_s);
   Rng seeder(opt.seed);
   for (Client* c : clients) {
-    sim::detach(detail::client_loop(&sim, c, opt, seeder.next_u64(), shared));
+    sim::detach(detail::client_loop(&sim, c, opt, seeder.next_u64(), picker,
+                                    shared));
   }
   const bool done = sim.run_until(
       [&shared, n = clients.size()] { return shared->done_loops >= n; },

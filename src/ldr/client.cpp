@@ -6,8 +6,8 @@
 
 namespace ares::ldr {
 
-LdrDap::LdrDap(sim::Process& owner, dap::ConfigSpec spec)
-    : owner_(owner), spec_(std::move(spec)) {
+LdrDap::LdrDap(sim::Process& owner, dap::ConfigSpec spec, ObjectId object)
+    : dap::Dap(object), owner_(owner), spec_(std::move(spec)) {
   assert(spec_.protocol == dap::Protocol::kLdr);
   assert(!spec_.directories.empty());
   assert(spec_.replicas.size() >= 2 * spec_.ldr_f + 1);
@@ -18,6 +18,7 @@ sim::Future<Tag> LdrDap::get_tag() {
       owner_, spec_.directories, [this](ProcessId) {
         auto req = std::make_shared<QueryTagLocReq>();
         req->config = spec_.id;
+        req->object = object();
         return req;
       });
   co_await qc.wait_for(dir_majority());
@@ -32,6 +33,7 @@ sim::Future<TagValue> LdrDap::get_data() {
       owner_, spec_.directories, [this](ProcessId) {
         auto req = std::make_shared<QueryTagLocReq>();
         req->config = spec_.id;
+        req->object = object();
         return req;
       });
   co_await q1.wait_for(dir_majority());
@@ -49,6 +51,7 @@ sim::Future<TagValue> LdrDap::get_data() {
       owner_, spec_.directories, [this, tmax, &umax](ProcessId) {
         auto req = std::make_shared<PutMetaReq>();
         req->config = spec_.id;
+        req->object = object();
         req->tag = tmax;
         req->loc = umax;
         return req;
@@ -62,6 +65,7 @@ sim::Future<TagValue> LdrDap::get_data() {
       owner_, targets, [this, tmax](ProcessId) {
         auto req = std::make_shared<GetDataReq>();
         req->config = spec_.id;
+        req->object = object();
         req->tag = tmax;
         return req;
       });
@@ -95,6 +99,7 @@ sim::Future<void> LdrDap::put_data(TagValue tv) {
       owner_, targets, [this, &tv](ProcessId) {
         auto req = std::make_shared<PutDataReq>();
         req->config = spec_.id;
+        req->object = object();
         req->tag = tv.tag;
         req->value = tv.value;
         return req;
@@ -108,6 +113,7 @@ sim::Future<void> LdrDap::put_data(TagValue tv) {
       owner_, spec_.directories, [this, &tv, &u](ProcessId) {
         auto req = std::make_shared<PutMetaReq>();
         req->config = spec_.id;
+        req->object = object();
         req->tag = tv.tag;
         req->loc = u;
         return req;

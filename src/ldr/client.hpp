@@ -12,7 +12,8 @@ namespace ares::ldr {
 
 class LdrDap final : public dap::Dap {
  public:
-  LdrDap(sim::Process& owner, dap::ConfigSpec spec);
+  LdrDap(sim::Process& owner, dap::ConfigSpec spec,
+         ObjectId object = kDefaultObject);
 
   [[nodiscard]] sim::Future<Tag> get_tag() override;
   [[nodiscard]] sim::Future<TagValue> get_data() override;

@@ -1,5 +1,8 @@
 // Wire messages of the LDR algorithm (Automaton 13): directory servers
-// keep ⟨tag, location-set⟩ metadata; replica servers keep the values.
+// keep ⟨tag, location-set⟩ metadata; replica servers keep the values. All
+// requests derive sim::RpcRequest and therefore carry (config, object):
+// directories and replicas keep independent metadata/value state per
+// atomic object.
 #pragma once
 
 #include "common/types.hpp"

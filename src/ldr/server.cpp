@@ -12,36 +12,54 @@ LdrServerState::LdrServerState(const dap::ConfigSpec& spec, ProcessId self)
                             self) != spec.directories.end();
   is_replica_ = std::find(spec.replicas.begin(), spec.replicas.end(), self) !=
                 spec.replicas.end();
-  if (is_replica_) store_.emplace(kInitialTag, make_value(Value{}));
+}
+
+LdrServerState::PerObject& LdrServerState::object_state(ObjectId obj) {
+  auto it = objects_.find(obj);
+  if (it == objects_.end()) {
+    it = objects_.emplace(obj, PerObject{}).first;
+    if (is_replica_) it->second.store.emplace(kInitialTag, make_value(Value{}));
+  }
+  return it->second;
 }
 
 std::size_t LdrServerState::stored_data_bytes() const {
   std::size_t sum = 0;
-  for (const auto& [tag, v] : store_) {
-    if (v) sum += v->size();
+  for (const auto& [obj, state] : objects_) {
+    for (const auto& [tag, v] : state.store) {
+      if (v) sum += v->size();
+    }
   }
   return sum;
 }
 
-Tag LdrServerState::max_tag() const {
-  Tag t = dir_tag_;
-  if (!store_.empty()) t = std::max(t, store_.rbegin()->first);
+Tag LdrServerState::max_tag(ObjectId obj) const {
+  auto it = objects_.find(obj);
+  if (it == objects_.end()) return kInitialTag;
+  Tag t = it->second.dir_tag;
+  if (!it->second.store.empty()) {
+    t = std::max(t, it->second.store.rbegin()->first);
+  }
   return t;
 }
 
 bool LdrServerState::handle(dap::ServerContext& ctx, const sim::Message& msg) {
+  auto rpc = std::dynamic_pointer_cast<const sim::RpcRequest>(msg.body);
+  if (!rpc) return false;
+  PerObject& state = object_state(rpc->object);
+
   if (is_directory_) {
     if (std::dynamic_pointer_cast<const QueryTagLocReq>(msg.body)) {
       auto reply = std::make_shared<QueryTagLocReply>();
-      reply->tag = dir_tag_;
-      reply->loc = dir_loc_;
+      reply->tag = state.dir_tag;
+      reply->loc = state.dir_loc;
       ctx.process.reply_to(msg, std::move(reply));
       return true;
     }
     if (auto put = std::dynamic_pointer_cast<const PutMetaReq>(msg.body)) {
-      if (put->tag > dir_tag_) {
-        dir_tag_ = put->tag;
-        dir_loc_ = put->loc;
+      if (put->tag > state.dir_tag) {
+        state.dir_tag = put->tag;
+        state.dir_loc = put->loc;
       }
       ctx.process.reply_to(msg, std::make_shared<PutMetaAck>());
       return true;
@@ -49,15 +67,17 @@ bool LdrServerState::handle(dap::ServerContext& ctx, const sim::Message& msg) {
   }
   if (is_replica_) {
     if (auto put = std::dynamic_pointer_cast<const PutDataReq>(msg.body)) {
-      store_[put->tag] = put->value;
-      while (store_.size() > history_bound_) store_.erase(store_.begin());
+      state.store[put->tag] = put->value;
+      while (state.store.size() > history_bound_) {
+        state.store.erase(state.store.begin());
+      }
       ctx.process.reply_to(msg, std::make_shared<PutDataAck>());
       return true;
     }
     if (auto get = std::dynamic_pointer_cast<const GetDataReq>(msg.body)) {
       auto reply = std::make_shared<GetDataReply>();
-      auto it = store_.find(get->tag);
-      if (it != store_.end()) {
+      auto it = state.store.find(get->tag);
+      if (it != state.store.end()) {
         reply->tag = it->first;
         reply->value = it->second;
       } else {

@@ -1,6 +1,7 @@
 // Server-side LDR state. One server process may play the directory role,
 // the replica role, or both, depending on its membership in the
-// configuration's role lists.
+// configuration's role lists. Directory metadata and the replica value
+// store are kept independently per atomic object.
 #pragma once
 
 #include "dap/dap_server.hpp"
@@ -16,22 +17,29 @@ class LdrServerState final : public dap::DapServer {
   bool handle(dap::ServerContext& ctx, const sim::Message& msg) override;
 
   [[nodiscard]] std::size_t stored_data_bytes() const override;
-  [[nodiscard]] Tag max_tag() const override;
+  [[nodiscard]] Tag max_tag(ObjectId obj = kDefaultObject) const override;
 
  private:
+  /// One atomic object's directory + replica state on this server.
+  struct PerObject {
+    // Directory role.
+    Tag dir_tag = kInitialTag;
+    std::vector<ProcessId> dir_loc;
+
+    // Replica role: bounded per-tag history so a GET-DATA(τ) for a recent τ
+    // can be served even after newer writes land (the Automaton-13
+    // single-pair replica loses that ability; we keep the paper's δ-style
+    // bound instead and document the strengthening).
+    std::map<Tag, ValuePtr> store;
+  };
+
+  PerObject& object_state(ObjectId obj);
+
   bool is_directory_ = false;
   bool is_replica_ = false;
   std::size_t history_bound_;  // replicas keep the (δ+1) newest values
 
-  // Directory role.
-  Tag dir_tag_ = kInitialTag;
-  std::vector<ProcessId> dir_loc_;
-
-  // Replica role: bounded per-tag history so a GET-DATA(τ) for a recent τ
-  // can be served even after newer writes land (the Automaton-13
-  // single-pair replica loses that ability; we keep the paper's δ-style
-  // bound instead and document the strengthening).
-  std::map<Tag, ValuePtr> store_;
+  std::map<ObjectId, PerObject> objects_;
 };
 
 }  // namespace ares::ldr

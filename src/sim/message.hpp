@@ -38,12 +38,14 @@ struct Message {
 };
 
 /// Base for request/response matching. `rpc_id` is assigned by the caller's
-/// process; `config` identifies which configuration's state the request
-/// addresses (servers host per-configuration state).
+/// process; `(config, object)` identifies which configuration's state for
+/// which atomic object the request addresses (servers host per-configuration
+/// state, keyed internally per object).
 class RpcRequest : public MessageBody {
  public:
   std::uint64_t rpc_id = 0;
   ConfigId config = kNoConfig;
+  ObjectId object = kDefaultObject;
 };
 
 class RpcReply : public MessageBody {

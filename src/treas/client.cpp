@@ -87,8 +87,12 @@ ListAnalysis analyze_digests(const DigestArrivals& arrivals) {
 
 }  // namespace
 
-TreasDap::TreasDap(sim::Process& owner, dap::ConfigSpec spec)
-    : owner_(owner), spec_(std::move(spec)), codec_(spec_.make_codec()) {
+TreasDap::TreasDap(sim::Process& owner, dap::ConfigSpec spec,
+                   ObjectId object)
+    : dap::Dap(object),
+      owner_(owner),
+      spec_(std::move(spec)),
+      codec_(spec_.make_codec()) {
   assert(spec_.protocol == dap::Protocol::kTreas);
 }
 
@@ -97,6 +101,7 @@ sim::Future<Tag> TreasDap::get_tag() {
       owner_, spec_.servers, [this](ProcessId) {
         auto req = std::make_shared<QueryTagReq>();
         req->config = spec_.id;
+        req->object = object();
         return req;
       });
   co_await qc.wait_for(spec_.quorum_size());
@@ -113,6 +118,7 @@ sim::Future<TagValue> TreasDap::get_data() {
         owner_, spec_.servers, [this](ProcessId) {
           auto req = std::make_shared<QueryListReq>();
           req->config = spec_.id;
+          req->object = object();
           return req;
         });
     // Hoisted per the GCC-12 note in sim/coro.hpp: no temporaries (the
@@ -151,6 +157,7 @@ sim::Future<Tag> TreasDap::get_dec_tag() {
         owner_, spec_.servers, [this](ProcessId) {
           auto req = std::make_shared<QueryDigestReq>();
           req->config = spec_.id;
+          req->object = object();
           return req;
         });
     std::function<bool(const DigestArrivals&)> pred =
@@ -184,6 +191,7 @@ sim::Future<void> TreasDap::put_data(TagValue tv) {
       owner_, spec_.servers, [this, &frag_for, &tv](ProcessId s) {
         auto req = std::make_shared<PutReq>();
         req->config = spec_.id;
+        req->object = object();
         req->tag = tv.tag;
         req->fragment = frag_for.at(s);
         return req;

@@ -12,7 +12,8 @@ namespace ares::treas {
 
 class TreasDap final : public dap::Dap {
  public:
-  TreasDap(sim::Process& owner, dap::ConfigSpec spec);
+  TreasDap(sim::Process& owner, dap::ConfigSpec spec,
+           ObjectId object = kDefaultObject);
 
   [[nodiscard]] sim::Future<Tag> get_tag() override;
   [[nodiscard]] sim::Future<TagValue> get_data() override;

@@ -1,5 +1,10 @@
 // Wire messages of TREAS (Algorithms 2 and 3) plus the ARES-TREAS state
-// transfer messages (Algorithms 8 and 9 / Figure 3).
+// transfer messages (Algorithms 8 and 9 / Figure 3). All requests derive
+// sim::RpcRequest and therefore carry (config, object): servers route them
+// to the addressed atomic object's List within the configuration's state,
+// and state transfers preserve the object across configurations (a
+// FwdCodeElem lands in the destination configuration's List *for the same
+// object* it was read from).
 #pragma once
 
 #include "codec/codec.hpp"

@@ -23,28 +23,44 @@ TreasServerState::TreasServerState(const dap::ConfigSpec& spec, ProcessId self)
       self_(self),
       index_(index_of(spec, self)),
       codec_(spec.make_codec()) {
-  // List initially {(t0, Φ_i(v0))} with v0 = empty value.
-  insert(kInitialTag, codec_->encode_one(Value{}, index_));
+  // Every object's List starts as {(t0, Φ_i(v0))} with v0 = empty value.
+  initial_list_.emplace(kInitialTag, codec_->encode_one(Value{}, index_));
 }
 
-void TreasServerState::insert(Tag tag, std::optional<codec::Fragment> fragment) {
-  auto it = list_.find(tag);
-  if (it == list_.end()) {
-    list_.emplace(tag, std::move(fragment));
+TreasServerState::PerObject& TreasServerState::object_state(ObjectId obj) {
+  auto it = objects_.find(obj);
+  if (it == objects_.end()) {
+    it = objects_.emplace(obj, PerObject{}).first;
+    it->second.list = initial_list_;
+  }
+  return it->second;
+}
+
+const TreasServerState::List& TreasServerState::list(ObjectId obj) const {
+  auto it = objects_.find(obj);
+  return it == objects_.end() ? initial_list_ : it->second.list;
+}
+
+void TreasServerState::insert(Tag tag, std::optional<codec::Fragment> fragment,
+                              ObjectId obj) {
+  PerObject& state = object_state(obj);
+  auto it = state.list.find(tag);
+  if (it == state.list.end()) {
+    state.list.emplace(tag, std::move(fragment));
   } else if (!it->second && fragment) {
     // Re-learning an element we only had as ⊥ (e.g. via state transfer) is
     // allowed; GC below may immediately null it again if it is old.
     it->second = std::move(fragment);
   }
-  garbage_collect();
+  garbage_collect(state);
 }
 
-void TreasServerState::garbage_collect() {
-  // Maintain the Alg. 3 invariant: coded elements only for the (δ+1)
-  // highest tags; lower tags keep their entry with the element replaced
-  // by ⊥.
+void TreasServerState::garbage_collect(PerObject& state) {
+  // Maintain the Alg. 3 invariant per object: coded elements only for the
+  // (δ+1) highest tags; lower tags keep their entry with the element
+  // replaced by ⊥.
   std::size_t kept = 0;
-  for (auto it = list_.rbegin(); it != list_.rend(); ++it) {
+  for (auto it = state.list.rbegin(); it != state.list.rend(); ++it) {
     if (kept < spec_.delta + 1) {
       if (it->second) ++kept;
     } else {
@@ -55,26 +71,29 @@ void TreasServerState::garbage_collect() {
 
 std::size_t TreasServerState::stored_data_bytes() const {
   std::size_t sum = 0;
-  for (const auto& [tag, frag] : list_) {
-    if (frag) sum += frag->size();
-  }
-  for (const auto& [tag, st] : staging_) {
-    for (const auto& f : st.fragments) sum += f.size();
-  }
-  for (const auto& [tag, frags] : repair_staging_) {
-    for (const auto& f : frags) sum += f.size();
+  for (const auto& [obj, state] : objects_) {
+    for (const auto& [tag, frag] : state.list) {
+      if (frag) sum += frag->size();
+    }
+    for (const auto& [tag, st] : state.staging) {
+      for (const auto& f : st.fragments) sum += f.size();
+    }
+    for (const auto& [tag, frags] : state.repair_staging) {
+      for (const auto& f : frags) sum += f.size();
+    }
   }
   return sum;
 }
 
-Tag TreasServerState::max_tag() const {
-  assert(!list_.empty());
-  return list_.rbegin()->first;
+Tag TreasServerState::max_tag(ObjectId obj) const {
+  const auto& l = list(obj);
+  assert(!l.empty());
+  return l.rbegin()->first;
 }
 
-std::size_t TreasServerState::live_elements() const {
+std::size_t TreasServerState::live_elements(ObjectId obj) const {
   std::size_t n = 0;
-  for (const auto& [tag, frag] : list_) {
+  for (const auto& [tag, frag] : list(obj)) {
     if (frag) ++n;
   }
   return n;
@@ -82,16 +101,21 @@ std::size_t TreasServerState::live_elements() const {
 
 bool TreasServerState::handle(dap::ServerContext& ctx,
                               const sim::Message& msg) {
+  auto rpc = std::dynamic_pointer_cast<const sim::RpcRequest>(msg.body);
+  if (!rpc) return false;
+  const ObjectId obj = rpc->object;
+
   if (std::dynamic_pointer_cast<const QueryTagReq>(msg.body)) {
     auto reply = std::make_shared<QueryTagReply>();
-    reply->tag = max_tag();
+    reply->tag = max_tag(obj);
     ctx.process.reply_to(msg, std::move(reply));
     return true;
   }
   if (std::dynamic_pointer_cast<const QueryListReq>(msg.body)) {
     auto reply = std::make_shared<QueryListReply>();
-    reply->list.reserve(list_.size());
-    for (const auto& [tag, frag] : list_) {
+    const auto& l = list(obj);
+    reply->list.reserve(l.size());
+    for (const auto& [tag, frag] : l) {
       reply->list.push_back(ListEntry{tag, frag});
     }
     ctx.process.reply_to(msg, std::move(reply));
@@ -99,8 +123,9 @@ bool TreasServerState::handle(dap::ServerContext& ctx,
   }
   if (std::dynamic_pointer_cast<const QueryDigestReq>(msg.body)) {
     auto reply = std::make_shared<QueryDigestReply>();
-    reply->entries.reserve(list_.size());
-    for (const auto& [tag, frag] : list_) {
+    const auto& l = list(obj);
+    reply->entries.reserve(l.size());
+    for (const auto& [tag, frag] : l) {
       reply->entries.push_back(
           QueryDigestReply::Entry{tag, frag.has_value()});
     }
@@ -108,18 +133,20 @@ bool TreasServerState::handle(dap::ServerContext& ctx,
     return true;
   }
   if (auto put = std::dynamic_pointer_cast<const PutReq>(msg.body)) {
-    insert(put->tag, put->fragment);
+    insert(put->tag, put->fragment, obj);
     ctx.process.reply_to(msg, std::make_shared<PutAck>());
     return true;
   }
   if (auto req = std::dynamic_pointer_cast<const ReqFwdCodeElem>(msg.body)) {
     // Alg. 9, source side: if ⟨τ, e_i⟩ ∈ List (element present), forward it
     // to every server of the destination configuration.
-    auto it = list_.find(req->tag);
-    if (it != list_.end() && it->second) {
+    const auto& l = list(obj);
+    auto it = l.find(req->tag);
+    if (it != l.end() && it->second) {
       const auto& dst = ctx.registry.get(req->dst_config);
       auto fwd = std::make_shared<FwdCodeElem>();
       fwd->config = req->dst_config;  // routes to the new configuration
+      fwd->object = obj;              // ... and the same atomic object
       fwd->transfer_id = req->transfer_id;
       fwd->reconfigurer = req->reconfigurer;
       fwd->src_config = req->src_config;
@@ -141,44 +168,49 @@ bool TreasServerState::handle(dap::ServerContext& ctx,
     // (δ+1)-highest-tags horizon is immediately re-collected — repairing
     // below the horizon is a deliberate no-op.
     auto ack = std::make_shared<TriggerRepairAck>();
-    ack->started = !has_element(trig->tag);
-    if (ack->started) start_repair(ctx, trig->tag);
+    ack->started = !has_element(trig->tag, obj);
+    if (ack->started) start_repair(ctx, obj, trig->tag);
     ctx.process.reply_to(msg, std::move(ack));
     return true;
   }
   if (auto rep = std::dynamic_pointer_cast<const RepairFragReq>(msg.body)) {
     auto reply = std::make_shared<RepairFragReply>();
     reply->tag = rep->tag;
-    auto it = list_.find(rep->tag);
-    if (it != list_.end() && it->second) reply->fragment = *it->second;
+    const auto& l = list(obj);
+    auto it = l.find(rep->tag);
+    if (it != l.end() && it->second) reply->fragment = *it->second;
     ctx.process.reply_to(msg, std::move(reply));
     return true;
   }
   return false;
 }
 
-void TreasServerState::start_repair(dap::ServerContext& ctx, Tag tag) {
-  if (repair_staging_.contains(tag)) return;  // already repairing
-  repair_staging_.emplace(tag, std::vector<codec::Fragment>{});
+void TreasServerState::start_repair(dap::ServerContext& ctx, ObjectId obj,
+                                    Tag tag) {
+  PerObject& state = object_state(obj);
+  if (state.repair_staging.contains(tag)) return;  // already repairing
+  state.repair_staging.emplace(tag, std::vector<codec::Fragment>{});
   for (ProcessId peer : spec_.servers) {
     if (peer == self_) continue;
     auto req = std::make_shared<RepairFragReq>();
     req->config = spec_.id;
+    req->object = obj;
     req->tag = tag;
     // The callback only captures what it needs; `this` lives as long as
     // the hosting server's per-configuration state (never removed).
     ctx.process.call_async(
-        peer, std::move(req), [this, tag](sim::BodyPtr body) {
+        peer, std::move(req), [this, obj, tag](sim::BodyPtr body) {
           auto reply = std::dynamic_pointer_cast<const RepairFragReply>(body);
-          if (reply) on_repair_fragment(tag, reply->fragment);
+          if (reply) on_repair_fragment(obj, tag, reply->fragment);
         });
   }
 }
 
 void TreasServerState::on_repair_fragment(
-    Tag tag, const std::optional<codec::Fragment>& frag) {
-  auto it = repair_staging_.find(tag);
-  if (it == repair_staging_.end() || !frag) return;
+    ObjectId obj, Tag tag, const std::optional<codec::Fragment>& frag) {
+  PerObject& state = object_state(obj);
+  auto it = state.repair_staging.find(tag);
+  if (it == state.repair_staging.end() || !frag) return;
   auto& frags = it->second;
   const bool duplicate = std::any_of(
       frags.begin(), frags.end(),
@@ -187,8 +219,8 @@ void TreasServerState::on_repair_fragment(
   if (codec_->is_decodable(frags)) {
     auto value = codec_->decode(frags);
     assert(value.has_value());
-    repair_staging_.erase(it);
-    insert(tag, codec_->encode_one(*value, index_));
+    state.repair_staging.erase(it);
+    insert(tag, codec_->encode_one(*value, index_), obj);
   }
 }
 
@@ -199,9 +231,11 @@ void TreasServerState::handle_fwd_code_elem(dap::ServerContext& ctx,
                                                 fwd.transfer_id};
   if (acked_transfers_.contains(key)) return;  // rc ∈ Recons
 
-  if (!list_.contains(fwd.tag)) {
+  const ObjectId obj = fwd.object;
+  PerObject& state = object_state(obj);
+  if (!state.list.contains(fwd.tag)) {
     // Stage the source-configuration fragment in D.
-    auto& st = staging_[fwd.tag];
+    auto& st = state.staging[fwd.tag];
     st.src_config = fwd.src_config;
     const bool duplicate =
         std::any_of(st.fragments.begin(), st.fragments.end(),
@@ -216,12 +250,12 @@ void TreasServerState::handle_fwd_code_elem(dap::ServerContext& ctx,
       auto value = src_codec->decode(st.fragments);
       assert(value.has_value());
       // Re-encode under *this* configuration's code and store (Alg. 9:15).
-      insert(fwd.tag, codec_->encode_one(*value, index_));
-      staging_.erase(fwd.tag);  // D keeps only the tag conceptually
+      insert(fwd.tag, codec_->encode_one(*value, index_), obj);
+      state.staging.erase(fwd.tag);  // D keeps only the tag conceptually
     }
   }
 
-  if (list_.contains(fwd.tag)) {
+  if (state.list.contains(fwd.tag)) {
     acked_transfers_.insert(key);
     auto ack = std::make_shared<TransferAck>();
     ack->transfer_id = fwd.transfer_id;

@@ -1,6 +1,8 @@
-// Server-side TREAS state (Algorithm 3): the List of up to δ+1 live coded
-// elements (older tags retained with ⊥ elements), plus the ARES-TREAS state
-// transfer extension (Algorithm 9): the staging set D and the Recons set.
+// Server-side TREAS state (Algorithm 3), per atomic object: the List of up
+// to δ+1 live coded elements (older tags retained with ⊥ elements), plus
+// the ARES-TREAS state transfer extension (Algorithm 9): the staging set D
+// and the Recons set. One instance hosts every object addressed in its
+// configuration; each object has an independent List/staging/repair state.
 #pragma once
 
 #include "codec/codec.hpp"
@@ -25,45 +27,42 @@ class TreasServerState final : public dap::DapServer {
   bool handle(dap::ServerContext& ctx, const sim::Message& msg) override;
 
   [[nodiscard]] std::size_t stored_data_bytes() const override;
-  [[nodiscard]] Tag max_tag() const override;
+  [[nodiscard]] Tag max_tag(ObjectId obj = kDefaultObject) const override;
 
-  /// Number of List entries whose coded element is still present (bounded
-  /// by δ+1 — Lemma 38's storage bound).
-  [[nodiscard]] std::size_t live_elements() const;
+  /// Number of List entries for `obj` whose coded element is still present
+  /// (bounded by δ+1 — Lemma 38's storage bound).
+  [[nodiscard]] std::size_t live_elements(ObjectId obj = kDefaultObject) const;
 
-  /// Total number of List entries (tags), including ⊥ ones.
-  [[nodiscard]] std::size_t list_size() const { return list_.size(); }
-
-  /// Insert a ⟨tag, element⟩ pair and run garbage collection. Exposed for
-  /// the initial-state setup (List starts as {(t0, Φ_i(v0))}).
-  void insert(Tag tag, std::optional<codec::Fragment> fragment);
-
-  /// True if the List holds a live coded element for `tag`.
-  [[nodiscard]] bool has_element(Tag tag) const {
-    auto it = list_.find(tag);
-    return it != list_.end() && it->second.has_value();
+  /// Total number of List entries (tags) for `obj`, including ⊥ ones.
+  [[nodiscard]] std::size_t list_size(ObjectId obj = kDefaultObject) const {
+    return list(obj).size();
   }
 
-  /// The stored coded element for `tag`, if live (tests / diagnostics).
-  [[nodiscard]] std::optional<codec::Fragment> element(Tag tag) const {
-    auto it = list_.find(tag);
-    if (it == list_.end()) return std::nullopt;
+  /// Insert a ⟨tag, element⟩ pair into `obj`'s List and run garbage
+  /// collection. Exposed for the initial-state setup (every List starts as
+  /// {(t0, Φ_i(v0))}).
+  void insert(Tag tag, std::optional<codec::Fragment> fragment,
+              ObjectId obj = kDefaultObject);
+
+  /// True if `obj`'s List holds a live coded element for `tag`.
+  [[nodiscard]] bool has_element(Tag tag, ObjectId obj = kDefaultObject) const {
+    const auto& l = list(obj);
+    auto it = l.find(tag);
+    return it != l.end() && it->second.has_value();
+  }
+
+  /// The stored coded element for `tag` of `obj`, if live (tests /
+  /// diagnostics).
+  [[nodiscard]] std::optional<codec::Fragment> element(
+      Tag tag, ObjectId obj = kDefaultObject) const {
+    const auto& l = list(obj);
+    auto it = l.find(tag);
+    if (it == l.end()) return std::nullopt;
     return it->second;
   }
 
  private:
-  void garbage_collect();
-  void handle_fwd_code_elem(dap::ServerContext& ctx, const FwdCodeElem& fwd);
-  void start_repair(dap::ServerContext& ctx, Tag tag);
-  void on_repair_fragment(Tag tag, const std::optional<codec::Fragment>& frag);
-
-  dap::ConfigSpec spec_;
-  ProcessId self_;
-  std::uint32_t index_;  // this server's coded-element index in spec_
-  std::shared_ptr<const codec::Codec> codec_;
-
-  /// The List variable: tag -> coded element (nullopt = ⊥).
-  std::map<Tag, std::optional<codec::Fragment>> list_;
+  using List = std::map<Tag, std::optional<codec::Fragment>>;
 
   /// Alg. 9 staging area D: per transferred tag, fragments received from
   /// the source configuration (indexed in the source code).
@@ -71,15 +70,45 @@ class TreasServerState final : public dap::DapServer {
     ConfigId src_config = kNoConfig;
     std::vector<codec::Fragment> fragments;
   };
-  std::map<Tag, Staging> staging_;
+
+  /// One atomic object's server-side state.
+  struct PerObject {
+    /// The List variable: tag -> coded element (nullopt = ⊥).
+    List list;
+
+    /// Alg. 9 staging area D for state transfers into this configuration.
+    std::map<Tag, Staging> staging;
+
+    /// In-flight repairs: per tag, the peer fragments gathered so far.
+    std::map<Tag, std::vector<codec::Fragment>> repair_staging;
+  };
+
+  /// Find-or-create `obj`'s state, initializing its List to {(t0, Φ_i(v0))}.
+  PerObject& object_state(ObjectId obj);
+
+  /// Read-only List view (the initial List for untouched objects).
+  [[nodiscard]] const List& list(ObjectId obj) const;
+
+  void garbage_collect(PerObject& state);
+  void handle_fwd_code_elem(dap::ServerContext& ctx, const FwdCodeElem& fwd);
+  void start_repair(dap::ServerContext& ctx, ObjectId obj, Tag tag);
+  void on_repair_fragment(ObjectId obj, Tag tag,
+                          const std::optional<codec::Fragment>& frag);
+
+  dap::ConfigSpec spec_;
+  ProcessId self_;
+  std::uint32_t index_;  // this server's coded-element index in spec_
+  std::shared_ptr<const codec::Codec> codec_;
+
+  std::map<ObjectId, PerObject> objects_;
+
+  /// The initial List {(t0, Φ_i(v0))} shared by every untouched object.
+  List initial_list_;
 
   /// Alg. 9 Recons: transfers already acknowledged, keyed by
   /// (reconfigurer, transfer id) — ids are only unique per reconfigurer,
   /// and concurrent reconfigurers race legitimately.
   std::set<std::pair<ProcessId, std::uint64_t>> acked_transfers_;
-
-  /// In-flight repairs: per tag, the peer fragments gathered so far.
-  std::map<Tag, std::vector<codec::Fragment>> repair_staging_;
 };
 
 }  // namespace ares::treas

@@ -1,0 +1,222 @@
+// Per-object isolation: many atomic objects hosted by one deployment must
+// behave as fully independent registers — independent tag spaces,
+// independent per-server state, independent configuration lineages, and
+// independent atomicity verdicts.
+#include "checker/atomicity.hpp"
+#include "harness/ares_cluster.hpp"
+#include "harness/static_cluster.hpp"
+#include "harness/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ares {
+namespace {
+
+TEST(MultiObject, KeyPickerUniformCoversKeySpace) {
+  harness::KeyPicker picker(8, harness::KeyDistribution::kUniform, 0.99);
+  Rng rng(3);
+  std::set<ObjectId> seen;
+  for (int i = 0; i < 400; ++i) {
+    const ObjectId o = picker.pick(rng);
+    ASSERT_LT(o, 8u);
+    seen.insert(o);
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(MultiObject, KeyPickerZipfianSkewsTowardHotKeys) {
+  harness::KeyPicker picker(16, harness::KeyDistribution::kZipfian, 0.99);
+  Rng rng(7);
+  std::vector<std::size_t> counts(16, 0);
+  for (int i = 0; i < 4000; ++i) ++counts[picker.pick(rng)];
+  // Object 0 is the hottest; the head must dominate the tail.
+  EXPECT_GT(counts[0], counts[8]);
+  EXPECT_GT(counts[0] + counts[1], 4000u / 4);
+}
+
+TEST(MultiObject, ServerStatePerObjectTagSpacesAreIndependent) {
+  // Writes to one object must not move any other object's tag on servers.
+  harness::StaticClusterOptions o;
+  o.protocol = dap::Protocol::kAbd;
+  o.num_servers = 3;
+  o.num_clients = 1;
+  harness::StaticCluster cluster(o);
+
+  auto& client = *cluster.clients()[0];
+  (void)sim::run_to_completion(
+      cluster.sim(), client.write(0, make_value(make_test_value(16, 1))));
+  (void)sim::run_to_completion(
+      cluster.sim(), client.write(0, make_value(make_test_value(16, 2))));
+  (void)sim::run_to_completion(
+      cluster.sim(), client.write(1, make_value(make_test_value(16, 3))));
+
+  for (auto& server : cluster.servers()) {
+    const auto& state = server->state();
+    EXPECT_GE(state.max_tag(0).z, state.max_tag(1).z);
+    EXPECT_EQ(state.max_tag(2), kInitialTag);  // untouched object
+  }
+
+  // Reads come back from the right object.
+  const auto v0 = sim::run_to_completion(cluster.sim(), client.read(0));
+  const auto v1 = sim::run_to_completion(cluster.sim(), client.read(1));
+  EXPECT_EQ(*v0.value, make_test_value(16, 2));
+  EXPECT_EQ(*v1.value, make_test_value(16, 3));
+}
+
+TEST(MultiObject, ConcurrentWorkloadYieldsIndependentVerdicts) {
+  // Concurrent reads/writes on >= 3 objects through one deployment: each
+  // object's sub-history gets its own (passing) verdict.
+  harness::StaticClusterOptions o;
+  o.protocol = dap::Protocol::kTreas;
+  o.num_servers = 5;
+  o.k = 3;
+  o.delta = 8;
+  o.num_clients = 3;
+  harness::StaticCluster cluster(o);
+
+  harness::WorkloadOptions opt;
+  opt.ops_per_client = 24;
+  opt.num_objects = 4;
+  opt.key_distribution = harness::KeyDistribution::kUniform;
+  opt.seed = 17;
+  std::vector<harness::StaticClient*> clients;
+  for (auto& c : cluster.clients()) clients.push_back(c.get());
+  const auto result = harness::run_workload(cluster.sim(), clients, opt);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.failures, 0u);
+
+  const auto verdicts =
+      checker::check_tag_atomicity_per_object(cluster.history().records());
+  ASSERT_GE(verdicts.size(), 3u);
+  for (const auto& [obj, verdict] : verdicts) {
+    EXPECT_TRUE(verdict.ok) << "object " << obj << ": " << verdict.violation;
+  }
+  // Each op was recorded under the object it targeted, and the recorder's
+  // per-object views agree with the workload's per-object counts.
+  std::size_t total = 0;
+  for (ObjectId obj : cluster.history().objects()) {
+    const auto sub = cluster.history().records_for(obj);
+    EXPECT_EQ(sub.size(), result.ops_on(obj)) << "object " << obj;
+    for (const auto& r : sub) EXPECT_EQ(r.object, obj);
+    total += result.ops_on(obj);
+  }
+  EXPECT_EQ(total, result.ops.size());
+  // No failures, so no failure latency to report.
+  EXPECT_EQ(result.mean_failure_latency(), 0.0);
+}
+
+TEST(MultiObject, InjectedViolationDoesNotTaintOtherObjects) {
+  // Run a clean concurrent workload over 3 objects, then inject an
+  // atomicity violation into object 1's history only: object 1 must fail,
+  // objects 0 and 2 must keep passing.
+  harness::StaticClusterOptions o;
+  o.protocol = dap::Protocol::kAbd;
+  o.num_servers = 3;
+  o.num_clients = 2;
+  harness::StaticCluster cluster(o);
+
+  harness::WorkloadOptions opt;
+  opt.ops_per_client = 12;
+  opt.num_objects = 3;
+  opt.seed = 23;
+  std::vector<harness::StaticClient*> clients;
+  for (auto& c : cluster.clients()) clients.push_back(c.get());
+  const auto result = harness::run_workload(cluster.sim(), clients, opt);
+  ASSERT_TRUE(result.completed);
+
+  auto& rec = cluster.history();
+  const SimTime t = cluster.sim().now();
+  // A write of tag (90,9) on object 1, then a later read that still
+  // returns the initial tag — a textbook A1 violation, on object 1 only.
+  const auto w = rec.begin(/*client=*/90, checker::OpKind::kWrite, t + 10, 1);
+  rec.end(w, t + 20, Tag{90, 9}, make_value(make_test_value(8, 90)));
+  const auto r = rec.begin(/*client=*/91, checker::OpKind::kRead, t + 30, 1);
+  rec.end(r, t + 40, kInitialTag, make_value(Value{}));
+
+  const auto verdicts = checker::check_tag_atomicity_per_object(rec.records());
+  ASSERT_TRUE(verdicts.contains(0));
+  ASSERT_TRUE(verdicts.contains(1));
+  ASSERT_TRUE(verdicts.contains(2));
+  EXPECT_TRUE(verdicts.at(0).ok) << verdicts.at(0).violation;
+  EXPECT_FALSE(verdicts.at(1).ok);
+  EXPECT_TRUE(verdicts.at(2).ok) << verdicts.at(2).violation;
+
+  // The aggregate checker reports the mixed history as violating.
+  EXPECT_FALSE(checker::check_tag_atomicity(rec.records()).ok);
+}
+
+TEST(MultiObject, AresZipfianWorkloadPassesPerObject) {
+  // The multi-object scenario on a full ARES deployment: skewed traffic
+  // over the key-space through reconfigurable clients.
+  harness::AresClusterOptions o;
+  o.server_pool = 6;
+  o.initial_servers = 5;
+  o.initial_k = 3;
+  o.num_rw_clients = 2;
+  o.num_objects = 4;
+  o.treas_retry_timeout = 2000;
+  harness::AresCluster cluster(o);
+
+  harness::WorkloadOptions opt;
+  opt.ops_per_client = 16;
+  opt.key_distribution = harness::KeyDistribution::kZipfian;
+  opt.zipf_s = 0.99;
+  opt.seed = 5;
+  const auto result = cluster.run_multi_object_workload(opt);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.failures, 0u);
+
+  const auto verdicts = cluster.check_atomicity_per_object();
+  EXPECT_GE(verdicts.size(), 2u);  // zipf concentrates but must spread some
+  for (const auto& [obj, verdict] : verdicts) {
+    EXPECT_TRUE(verdict.ok) << "object " << obj << ": " << verdict.violation;
+  }
+}
+
+TEST(MultiObject, PerObjectReconfigLeavesOtherObjectsAlone) {
+  // Reconfiguring one object must not advance any other object's
+  // configuration sequence, and the untouched objects keep their data.
+  harness::AresClusterOptions o;
+  o.server_pool = 8;
+  o.initial_servers = 5;
+  o.initial_k = 3;
+  o.num_rw_clients = 1;
+  o.num_reconfigurers = 1;
+  o.num_objects = 3;
+  harness::AresCluster cluster(o);
+
+  auto& client = cluster.client(0);
+  for (ObjectId obj = 0; obj < 3; ++obj) {
+    (void)sim::run_to_completion(
+        cluster.sim(),
+        client.write(obj, make_value(make_test_value(64, 100 + obj))));
+  }
+
+  // Move object 0 to a wider code; objects 1 and 2 stay in c0.
+  auto spec = cluster.make_spec(dap::Protocol::kTreas, 0, 8, 5);
+  auto& rc = cluster.reconfigurer(0);
+  (void)sim::run_to_completion(cluster.sim(), rc.reconfig(0, spec));
+
+  EXPECT_EQ(rc.cseq(0).size(), 2u);
+  EXPECT_TRUE(rc.cseq(0)[1].finalized);
+  EXPECT_EQ(rc.cseq(1).size(), 1u);
+  EXPECT_EQ(rc.cseq(2).size(), 1u);
+
+  // Readers traverse per-object sequences independently and observe the
+  // values written before the reconfiguration.
+  for (ObjectId obj = 0; obj < 3; ++obj) {
+    const auto tv = sim::run_to_completion(cluster.sim(), client.read(obj));
+    EXPECT_EQ(*tv.value, make_test_value(64, 100 + obj)) << "object " << obj;
+    EXPECT_EQ(client.cseq(obj).size(), obj == 0 ? 2u : 1u);
+  }
+
+  const auto verdicts = cluster.check_atomicity_per_object();
+  for (const auto& [obj, verdict] : verdicts) {
+    EXPECT_TRUE(verdict.ok) << "object " << obj << ": " << verdict.violation;
+  }
+}
+
+}  // namespace
+}  // namespace ares
