@@ -1,0 +1,211 @@
+// Placement & hot-object rebalancing under Zipfian skew.
+//
+// The deployment shards its key-space across narrow configurations drawn
+// from one server pool, while every server is a FIFO queue (queued_delay):
+// traffic skew becomes latency. Three placements of the same workload are
+// compared:
+//
+//   static       — every object on shard 0 (the unsharded baseline),
+//   round-robin  — objects dealt evenly across shards,
+//   round-robin + rebalancer — as above, plus the placement::Rebalancer
+//                  watching live per-object counters; when the Zipfian hot
+//                  object crosses the hotness threshold it is migrated,
+//                  mid-workload, to a wider erasure code on the idle half
+//                  of the pool via AresClient::reconfig(obj, spec) — the
+//                  per-configuration reconfiguration ARES was built for.
+//
+// For the rebalanced run the hot object's mean latency is split into the
+// pre-spread window (ops finished before the migration was decided) and
+// the post-spread window (ops started after it installed); the atomicity
+// checker must pass on the full multi-object history of every run.
+#include "harness/ares_cluster.hpp"
+#include "harness/table.hpp"
+#include "placement/policy.hpp"
+#include "placement/rebalancer.hpp"
+#include "placement/stats.hpp"
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <unordered_set>
+
+namespace {
+
+using namespace ares;
+
+constexpr std::size_t kPool = 12;
+constexpr std::size_t kObjects = 8;
+constexpr std::size_t kShards = 2;           // servers 0-2 and 3-5
+constexpr std::size_t kServersPerShard = 3;  // servers 6-11 stay idle
+constexpr SimDuration kMinDelay = 10, kMaxDelay = 40, kServiceTime = 30;
+
+struct ScenarioResult {
+  std::string policy;
+  ObjectId hot = kNoObject;
+  std::size_t hot_ops = 0;
+  double hot_share = 0;
+  double hot_pre = 0;    // hot-object mean latency before the spread
+  double hot_post = -1;  // after the spread (-1: never spread)
+  double overall = 0;    // mean over all successful ops, whole run
+  std::size_t rebalances = 0;
+  bool atomic_ok = false;
+  std::optional<placement::RebalanceEvent> event;
+};
+
+double mean_latency_if(const harness::WorkloadResult& r, ObjectId obj,
+                       SimTime end_before, SimTime start_after) {
+  double sum = 0;
+  std::size_t n = 0;
+  for (const auto& o : r.ops) {
+    if (o.failed || o.object != obj) continue;
+    if (o.end > end_before || o.start < start_after) continue;
+    sum += static_cast<double>(o.latency());
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+ScenarioResult run_scenario(placement::PlacementPolicy& policy,
+                            bool use_rebalancer) {
+  harness::AresClusterOptions o;
+  o.server_pool = kPool;
+  o.initial_protocol = dap::Protocol::kAbd;
+  o.initial_servers = 3;  // c0; unused once shard_objects() rebinds
+  o.num_rw_clients = 6;
+  o.num_reconfigurers = 1;
+  o.num_objects = kObjects;
+  o.delta = 8;
+  o.min_delay = kMinDelay;
+  o.max_delay = kMaxDelay;
+  o.seed = 42;
+  harness::AresCluster cluster(o);
+  std::unordered_set<ProcessId> pool_servers;
+  for (ProcessId s = 0; s < kPool; ++s) pool_servers.insert(s);
+  cluster.net().set_delay_fn(sim::queued_delay(
+      kMinDelay, kMaxDelay, kServiceTime, std::move(pool_servers)));
+  (void)cluster.shard_objects(policy, kShards, kServersPerShard,
+                              dap::Protocol::kAbd, 1);
+
+  placement::LoadTracker tracker;
+  std::optional<placement::Rebalancer> rebalancer;
+  if (use_rebalancer) {
+    placement::RebalancerOptions ro;
+    ro.check_interval = 1'000;
+    ro.hot_share = 0.30;
+    ro.min_window_ops = 40;
+    ro.max_rebalances = 1;
+    // Spread target: a wider code on the idle half of the pool — TREAS[6,4]
+    // on servers 6-11, disjoint from both shards.
+    rebalancer.emplace(
+        cluster.sim(), cluster.reconfigurer(0), tracker,
+        [&cluster](ObjectId) {
+          return cluster.make_spec(dap::Protocol::kTreas, 6, 6, 4);
+        },
+        ro);
+    rebalancer->start();
+  }
+
+  harness::WorkloadOptions w;
+  w.ops_per_client = 80;
+  w.write_fraction = 0.4;
+  w.value_size = 256;
+  w.key_distribution = harness::KeyDistribution::kZipfian;
+  w.zipf_s = 1.2;
+  w.seed = 9;
+  w.on_op = [&tracker](const harness::OpStat& s) {
+    tracker.record(s.object, s.is_write);
+  };
+  const auto result = cluster.run_multi_object_workload(w);
+  if (rebalancer) rebalancer->shutdown();
+
+  ScenarioResult out;
+  out.policy = std::string(policy.name()) + (use_rebalancer ? " + reb" : "");
+  for (ObjectId obj = 0; obj < kObjects; ++obj) {
+    if (result.ops_on(obj) > out.hot_ops) {
+      out.hot = obj;
+      out.hot_ops = result.ops_on(obj);
+    }
+  }
+  out.hot_share =
+      static_cast<double>(out.hot_ops) / static_cast<double>(result.ops.size());
+  {
+    double sum = 0;
+    std::size_t n = 0;
+    for (const auto& op : result.ops) {
+      if (op.failed) continue;
+      sum += static_cast<double>(op.latency());
+      ++n;
+    }
+    out.overall = n == 0 ? 0.0 : sum / static_cast<double>(n);
+  }
+  if (rebalancer && !rebalancer->events().empty()) {
+    out.event = rebalancer->events().front();
+    out.rebalances = rebalancer->events().size();
+    out.hot_pre = mean_latency_if(result, out.event->object,
+                                  /*end_before=*/out.event->decided_at,
+                                  /*start_after=*/0);
+    out.hot_post = mean_latency_if(result, out.event->object,
+                                   /*end_before=*/~SimTime{0},
+                                   /*start_after=*/out.event->installed_at);
+  } else {
+    out.hot_pre = mean_latency_if(result, out.hot, ~SimTime{0}, 0);
+  }
+  out.atomic_ok = result.completed && result.failures == 0;
+  for (const auto& [obj, verdict] : cluster.check_atomicity_per_object()) {
+    out.atomic_ok = out.atomic_ok && verdict.ok;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Load-aware placement & hot-object rebalancing: %zu objects, Zipfian\n"
+      "s=1.2, 6 clients, %zu shards x %zu servers (pool %zu, servers 6-11\n"
+      "idle), per-server FIFO queueing (service %llu, hop [%llu, %llu]).\n"
+      "The rebalancer migrates the hot object to TREAS[6,4] on the idle\n"
+      "servers mid-workload.\n\n",
+      kObjects, kShards, kServersPerShard, kPool,
+      static_cast<unsigned long long>(kServiceTime),
+      static_cast<unsigned long long>(kMinDelay),
+      static_cast<unsigned long long>(kMaxDelay));
+
+  harness::Table table({"placement", "hot obj", "hot ops", "hot share",
+                        "hot mean lat (pre)", "hot mean lat (post)",
+                        "overall mean", "rebalances", "atomicity"});
+  std::optional<placement::RebalanceEvent> event;
+  for (int scenario = 0; scenario < 3; ++scenario) {
+    placement::StaticPlacement stat;
+    placement::RoundRobinPlacement rr;
+    placement::PlacementPolicy& policy =
+        scenario == 0 ? static_cast<placement::PlacementPolicy&>(stat) : rr;
+    const auto r = run_scenario(policy, /*use_rebalancer=*/scenario == 2);
+    table.add_row(r.policy, r.hot, r.hot_ops, harness::fmt(r.hot_share),
+                  harness::fmt(r.hot_pre, 1),
+                  r.hot_post < 0 ? "-" : harness::fmt(r.hot_post, 1),
+                  harness::fmt(r.overall, 1), r.rebalances,
+                  r.atomic_ok ? "PASS" : "FAIL");
+    if (r.event) event = r.event;
+    if (!r.atomic_ok) {
+      table.print();
+      std::printf("\natomicity FAILED for placement '%s'\n", r.policy.c_str());
+      return 1;
+    }
+  }
+  table.print();
+
+  if (!event) {
+    std::printf("\nno rebalance was triggered — thresholds need retuning\n");
+    return 1;
+  }
+  std::printf(
+      "\nRebalance event: object %u detected hot at t=%llu (share %s over\n"
+      "%llu window ops), migrated to config %u (TREAS[6,4], servers 6-11)\n"
+      "by t=%llu while the workload kept running.\n",
+      event->object, static_cast<unsigned long long>(event->decided_at),
+      harness::fmt(event->share).c_str(),
+      static_cast<unsigned long long>(event->window_ops), event->installed,
+      static_cast<unsigned long long>(event->installed_at));
+  return 0;
+}

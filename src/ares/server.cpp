@@ -53,24 +53,31 @@ void AresServer::handle(const sim::Message& msg) {
   if (!req) return;
   PerConfig* pc = config_state(req->config);
   if (pc == nullptr) return;
-  PerObject& po = pc->objects[req->object];
 
+  // Reconfiguration-service state (a nextC pointer plus a Paxos acceptor
+  // per (configuration, object)) materializes only for the message types
+  // that use it — a plain DAP data request must not grow acceptor state.
   if (std::dynamic_pointer_cast<const ReadConfigReq>(msg.body)) {
     auto reply = std::make_shared<ReadConfigReply>();
-    reply->next = po.nextc;
+    reply->next = pc->objects[req->object].nextc;
     reply_to(msg, std::move(reply));
     return;
   }
   if (auto write = std::dynamic_pointer_cast<const WriteConfigReq>(msg.body)) {
     // Alg. 6: adopt if nextC = ⊥ or still pending; once finalized, the
     // pointer never changes again (Lemma 46).
+    PerObject& po = pc->objects[req->object];
     if (!po.nextc.valid() || !po.nextc.finalized) {
       po.nextc = write->next;
     }
     reply_to(msg, std::make_shared<WriteConfigAck>());
     return;
   }
-  if (po.paxos.handle(*this, msg)) return;
+  if (std::dynamic_pointer_cast<const consensus::PrepareReq>(msg.body) ||
+      std::dynamic_pointer_cast<const consensus::AcceptReq>(msg.body) ||
+      std::dynamic_pointer_cast<const consensus::DecidedMsg>(msg.body)) {
+    if (pc->objects[req->object].paxos.handle(*this, msg)) return;
+  }
 
   dap::ServerContext ctx{*this, registry_.get(req->config), registry_};
   pc->dap->handle(ctx, msg);

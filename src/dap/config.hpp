@@ -7,6 +7,7 @@
 #include "common/types.hpp"
 #include "codec/codec.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <memory>
 #include <unordered_map>
@@ -99,6 +100,18 @@ class ConfigRegistry {
   }
 
   [[nodiscard]] bool contains(ConfigId id) const { return specs_.contains(id); }
+
+  [[nodiscard]] std::size_t size() const { return specs_.size(); }
+
+  /// All registered configuration ids, ascending (placement diagnostics:
+  /// the shard set a deployment's key-space is spread over).
+  [[nodiscard]] std::vector<ConfigId> ids() const {
+    std::vector<ConfigId> out;
+    out.reserve(specs_.size());
+    for (const auto& [id, _] : specs_) out.push_back(id);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
 
   /// Allocate the next unused configuration id.
   [[nodiscard]] ConfigId next_id() const {

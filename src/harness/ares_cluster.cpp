@@ -68,6 +68,26 @@ dap::ConfigSpec AresCluster::make_spec(dap::Protocol protocol,
   return spec;
 }
 
+std::vector<ConfigId> AresCluster::shard_objects(
+    placement::PlacementPolicy& policy, std::size_t num_shards,
+    std::size_t servers_per_shard, dap::Protocol protocol, std::size_t k) {
+  assert(num_shards > 0 && servers_per_shard > 0);
+  std::vector<ConfigId> shards;
+  shards.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    auto spec =
+        make_spec(protocol, s * servers_per_shard, servers_per_shard, k);
+    shards.push_back(registry_.register_config(std::move(spec)));
+  }
+  for (ObjectId obj = 0; obj < options_.num_objects; ++obj) {
+    const ConfigId shard = policy.place(obj, shards);
+    placement_[obj] = shard;
+    for (auto& c : clients_) c->bind_object(obj, shard);
+    for (auto& r : reconfigurers_) r->bind_object(obj, shard);
+  }
+  return shards;
+}
+
 std::size_t AresCluster::total_stored_bytes() const {
   std::size_t sum = 0;
   for (const auto& s : servers_) sum += s->stored_data_bytes();

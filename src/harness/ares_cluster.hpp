@@ -11,6 +11,7 @@
 #include "checker/history.hpp"
 #include "dap/config.hpp"
 #include "harness/workload.hpp"
+#include "placement/policy.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 
@@ -81,6 +82,31 @@ class AresCluster {
   /// Total object-data bytes stored across the whole server pool.
   [[nodiscard]] std::size_t total_stored_bytes() const;
 
+  /// The sharded-placement scenario: mints `num_shards` configurations,
+  /// shard s covering `servers_per_shard` consecutive pool servers starting
+  /// at pool index s * servers_per_shard (wrapping), registers them, and
+  /// binds every object of the key-space [0, options().num_objects) to the
+  /// shard `policy` chooses — on every read/write client and reconfigurer,
+  /// so all processes agree on each object's initial configuration.
+  /// Call before any operation; returns the shard configuration ids.
+  std::vector<ConfigId> shard_objects(placement::PlacementPolicy& policy,
+                                      std::size_t num_shards,
+                                      std::size_t servers_per_shard,
+                                      dap::Protocol protocol, std::size_t k);
+
+  /// The configuration `obj`'s lineage was rooted in: its shard when
+  /// shard_objects() placed it, initial_config() otherwise.
+  [[nodiscard]] ConfigId placement_of(ObjectId obj) const {
+    auto it = placement_.find(obj);
+    return it == placement_.end() ? initial_config() : it->second;
+  }
+
+  /// The full object -> initial configuration map (empty until
+  /// shard_objects() runs).
+  [[nodiscard]] const std::map<ObjectId, ConfigId>& placement() const {
+    return placement_;
+  }
+
   /// The multi-object scenario: a concurrent workload over the key-space
   /// [0, options().num_objects) on every read/write client, with the key
   /// per operation drawn by `opt.key_distribution` (uniform or Zipfian).
@@ -107,6 +133,7 @@ class AresCluster {
   std::vector<std::unique_ptr<reconfig::AresServer>> servers_;
   std::vector<std::unique_ptr<reconfig::AresClient>> clients_;
   std::vector<std::unique_ptr<reconfig::AresClient>> reconfigurers_;
+  std::map<ObjectId, ConfigId> placement_;
   ConfigId next_config_id_ = 1;
 
  public:

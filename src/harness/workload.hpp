@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <memory>
 #include <stdexcept>
 #include <vector>
@@ -28,6 +29,8 @@ enum class KeyDistribution {
   kUniform,  // every object equally likely
   kZipfian,  // object i+1 with weight 1/(i+1)^s — hot-key skew (YCSB-style)
 };
+
+struct OpStat;
 
 struct WorkloadOptions {
   std::size_t ops_per_client = 20;
@@ -42,6 +45,24 @@ struct WorkloadOptions {
   std::size_t num_objects = 1;
   KeyDistribution key_distribution = KeyDistribution::kUniform;
   double zipf_s = 0.99;  // Zipfian exponent (YCSB default)
+
+  /// Observer invoked after every completed operation (failed ones
+  /// included), while the workload is still running — the live stats feed
+  /// for placement::LoadTracker and the hot-object Rebalancer.
+  std::function<void(const OpStat&)> on_op;
+
+  /// Rejects nonsense option combinations (run_workload calls this before
+  /// spawning any client loop). Throws std::invalid_argument.
+  void validate() const {
+    if (think_min > think_max) {
+      throw std::invalid_argument(
+          "WorkloadOptions: think_min > think_max (inverted think range)");
+    }
+    if (write_fraction < 0.0 || write_fraction > 1.0) {
+      throw std::invalid_argument(
+          "WorkloadOptions: write_fraction outside [0, 1]");
+    }
+  }
 };
 
 /// Draws ObjectIds from [0, num_objects) under the configured distribution.
@@ -59,6 +80,11 @@ class KeyPicker {
         cdf_.push_back(sum);
       }
       for (double& c : cdf_) c /= sum;
+      // Floating-point normalization can leave back() strictly below 1.0,
+      // and uniform01() may then draw above it — lower_bound would return
+      // end() and the "picked" id would equal num_objects_. Pin the last
+      // bucket so the CDF really covers [0, 1].
+      cdf_.back() = 1.0;
     }
   }
 
@@ -67,9 +93,16 @@ class KeyPicker {
     if (dist_ == KeyDistribution::kUniform) {
       return static_cast<ObjectId>(rng.uniform(0, num_objects_ - 1));
     }
-    const double u = rng.uniform01();
+    return index_for(rng.uniform01());
+  }
+
+  /// Inverts the Zipfian CDF at `u`, clamped into [0, num_objects) even for
+  /// u at or above the top of the table (exposed so tests can drive the
+  /// boundary deterministically). Returns 0 for non-Zipfian pickers.
+  [[nodiscard]] ObjectId index_for(double u) const {
     const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
-    return static_cast<ObjectId>(it - cdf_.begin());
+    const auto idx = static_cast<std::size_t>(it - cdf_.begin());
+    return static_cast<ObjectId>(std::min(idx, num_objects_ - 1));
   }
 
   [[nodiscard]] std::size_t num_objects() const { return num_objects_; }
@@ -188,14 +221,26 @@ sim::Future<void> client_loop(sim::Simulator* sim, Client* client,
           (void)co_await client->read();
         }
       }
-    } catch (const std::exception&) {
+    } catch (...) {
       // Failed operations stay in the stats — their end time shows how long
-      // the operation burned before giving up (failure latency).
+      // the operation burned before giving up (failure latency). The
+      // catch-all matters: a non-std::exception throw escaping this
+      // coroutine would skip the done_loops increment below and make
+      // run_workload burn its whole event budget.
       stat.failed = true;
       ++shared->failures;
     }
     stat.end = sim->now();
     shared->ops.push_back(stat);
+    if (opt.on_op) {
+      try {
+        opt.on_op(stat);
+      } catch (...) {
+        // A throwing observer must not kill the client loop — that would
+        // skip the done_loops increment and burn the whole event budget,
+        // the very failure the catch-all above guards against.
+      }
+    }
   }
   ++shared->done_loops;
   co_return;
@@ -211,6 +256,7 @@ template <typename Client>
 WorkloadResult run_workload(sim::Simulator& sim, std::vector<Client*> clients,
                             WorkloadOptions opt,
                             std::size_t max_events = 20'000'000) {
+  opt.validate();
   if constexpr (!detail::ObjectKeyedClient<Client>) {
     if (opt.num_objects > 1) {
       throw std::invalid_argument(

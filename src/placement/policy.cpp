@@ -1,0 +1,42 @@
+#include "placement/policy.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace ares::placement {
+
+ConfigId StaticPlacement::place(ObjectId /*obj*/,
+                                const std::vector<ConfigId>& shards) {
+  assert(!shards.empty());
+  return shards.at(shard_index_ % shards.size());
+}
+
+ConfigId RoundRobinPlacement::place(ObjectId /*obj*/,
+                                    const std::vector<ConfigId>& shards) {
+  assert(!shards.empty());
+  return shards[next_++ % shards.size()];
+}
+
+ConfigId LoadAwarePlacement::place(ObjectId obj,
+                                   const std::vector<ConfigId>& shards) {
+  assert(!shards.empty());
+  ConfigId best = shards.front();
+  std::uint64_t best_weight = std::numeric_limits<std::uint64_t>::max();
+  for (ConfigId shard : shards) {
+    const std::uint64_t w = assigned_.contains(shard) ? assigned_.at(shard) : 0;
+    if (w < best_weight) {
+      best = shard;
+      best_weight = w;
+    }
+  }
+  const std::uint64_t obj_weight = 1 + (tracker_ ? tracker_->ops(obj) : 0);
+  assigned_[best] += obj_weight;
+  return best;
+}
+
+std::uint64_t LoadAwarePlacement::assigned_weight(ConfigId shard) const {
+  auto it = assigned_.find(shard);
+  return it == assigned_.end() ? 0 : it->second;
+}
+
+}  // namespace ares::placement

@@ -1,0 +1,86 @@
+// Placement policies: given the candidate shard configurations of a
+// deployment, decide which configuration each object starts its lineage in
+// (AresClient::bind_object). This is the initial-placement half of the
+// placement subsystem; the Rebalancer handles live migration of objects
+// that turn hot after placement.
+//
+// Policies are stateful on purpose — round-robin remembers its cursor and
+// load-aware accumulates the weight it has already assigned per shard — so
+// one policy instance places one deployment's whole key-space.
+#pragma once
+
+#include "common/types.hpp"
+#include "placement/stats.hpp"
+
+#include <cstdint>
+#include <map>
+#include <string_view>
+#include <vector>
+
+namespace ares::placement {
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  /// Choose `obj`'s initial configuration among `shards` (must be
+  /// non-empty; ids of already-registered configurations).
+  [[nodiscard]] virtual ConfigId place(
+      ObjectId obj, const std::vector<ConfigId>& shards) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+/// Everything on one shard (the pre-placement behavior: all objects share
+/// c0). The baseline the other policies are measured against.
+class StaticPlacement final : public PlacementPolicy {
+ public:
+  explicit StaticPlacement(std::size_t shard_index = 0)
+      : shard_index_(shard_index) {}
+
+  [[nodiscard]] ConfigId place(ObjectId obj,
+                               const std::vector<ConfigId>& shards) override;
+  [[nodiscard]] std::string_view name() const override { return "static"; }
+
+ private:
+  std::size_t shard_index_;
+};
+
+/// Objects dealt across shards in arrival order — even object count per
+/// shard, blind to per-object load.
+class RoundRobinPlacement final : public PlacementPolicy {
+ public:
+  [[nodiscard]] ConfigId place(ObjectId obj,
+                               const std::vector<ConfigId>& shards) override;
+  [[nodiscard]] std::string_view name() const override {
+    return "round-robin";
+  }
+
+ private:
+  std::size_t next_ = 0;
+};
+
+/// Each object goes to the shard with the least accumulated load, where an
+/// object's load is its operation count in `tracker` (window counters; +1
+/// so unknown objects still count as one unit). With a tracker warmed on a
+/// previous epoch's traffic this packs cold objects together and gives hot
+/// objects shards of their own; without a tracker it degrades to
+/// least-object-count balancing.
+class LoadAwarePlacement final : public PlacementPolicy {
+ public:
+  explicit LoadAwarePlacement(const LoadTracker* tracker = nullptr)
+      : tracker_(tracker) {}
+
+  [[nodiscard]] ConfigId place(ObjectId obj,
+                               const std::vector<ConfigId>& shards) override;
+  [[nodiscard]] std::string_view name() const override { return "load-aware"; }
+
+  /// Load this policy has assigned to `shard` so far (tests / diagnostics).
+  [[nodiscard]] std::uint64_t assigned_weight(ConfigId shard) const;
+
+ private:
+  const LoadTracker* tracker_;
+  std::map<ConfigId, std::uint64_t> assigned_;
+};
+
+}  // namespace ares::placement

@@ -1,0 +1,101 @@
+#include "placement/rebalancer.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace ares::placement {
+
+Rebalancer::Rebalancer(sim::Simulator& sim,
+                       reconfig::AresClient& reconfigurer, LoadTracker& tracker,
+                       SpecMaker make_spread_spec, RebalancerOptions opt)
+    : sim_(sim), state_(std::make_shared<State>()) {
+  state_->tracker = &tracker;
+  state_->reconfigurer = &reconfigurer;
+  state_->make_spec = std::move(make_spread_spec);
+  state_->opt = opt;
+}
+
+void Rebalancer::start() {
+  // Gate on idle(), not the running flag: after stop() the old loop may
+  // still be suspended in its sleep — spawning a second loop would revive
+  // the orphan (both see running == true) and they would race each other.
+  if (!idle()) return;
+  state_->running = true;
+  loop_future_ = loop(&sim_, state_);
+}
+
+Rebalancer::~Rebalancer() { shutdown(); }
+
+void Rebalancer::stop() { state_->running = false; }
+
+void Rebalancer::shutdown() {
+  stop();
+  if (!idle()) {
+    const bool exited = sim_.run_until([this] { return idle(); });
+    assert(exited && "rebalancer control loop failed to exit");
+    (void)exited;
+  }
+}
+
+bool Rebalancer::idle() const {
+  return !loop_future_.valid() || loop_future_.ready();
+}
+
+sim::Future<void> Rebalancer::loop(sim::Simulator* sim,
+                                   std::shared_ptr<State> state) {
+  while (state->running && state->events.size() < state->opt.max_rebalances) {
+    co_await sim::sleep_for(*sim, state->opt.check_interval);
+    if (!state->running) break;
+
+    LoadTracker& tracker = *state->tracker;
+    if (tracker.total_ops() < state->opt.min_window_ops) continue;
+
+    // Judge the hottest object not yet spread — an already-migrated object
+    // that stays hot must not starve the runner-up keys. top() is sorted
+    // descending and at most |rebalanced| of its entries can be
+    // already-spread, so asking for one more always surfaces a candidate
+    // when one exists.
+    ObjectId hot = kNoObject;
+    std::uint64_t hot_ops = 0;
+    for (const auto& [obj, ops] : tracker.top(state->rebalanced.size() + 1)) {
+      if (!state->rebalanced.contains(obj)) {
+        hot = obj;
+        hot_ops = ops;
+        break;
+      }
+    }
+    const double share =
+        static_cast<double>(hot_ops) / static_cast<double>(tracker.total_ops());
+    if (hot == kNoObject || share <= state->opt.hot_share) {
+      // Judged and found cold: start a fresh window so the next decision
+      // reflects post-judgment traffic only.
+      tracker.reset_window();
+      continue;
+    }
+
+    RebalanceEvent ev;
+    ev.decided_at = sim->now();
+    ev.object = hot;
+    ev.window_ops = tracker.total_ops();
+    ev.share = share;
+    state->rebalanced.insert(hot);
+    tracker.reset_window();
+
+    try {
+      dap::ConfigSpec spec = state->make_spec(hot);
+      ev.installed = co_await state->reconfigurer->reconfig(hot,
+                                                            std::move(spec));
+      ev.installed_at = sim->now();
+      state->events.push_back(ev);
+    } catch (...) {
+      // Failed migration (e.g. the target configuration can't reach
+      // quorum): forget the attempt so the object can be retried in a
+      // later window, and keep the control loop alive.
+      state->rebalanced.erase(hot);
+    }
+  }
+  state->running = false;
+  co_return;
+}
+
+}  // namespace ares::placement

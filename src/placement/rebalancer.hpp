@@ -1,0 +1,109 @@
+// The hot-object rebalancer: a control loop on the simulator that watches a
+// LoadTracker while a workload runs, detects objects whose share of the
+// window traffic exceeds a threshold, and live-migrates each one exactly
+// once to a wider / disjoint configuration via AresClient::reconfig(obj,
+// spec) — the per-object reconfiguration ARES was built for (readers and
+// writers keep operating throughout; the four-phase reconfig transfers the
+// object's state and the per-object cseq does the rest).
+#pragma once
+
+#include "ares/client.hpp"
+#include "dap/config.hpp"
+#include "placement/stats.hpp"
+#include "sim/coro.hpp"
+#include "sim/simulator.hpp"
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+namespace ares::placement {
+
+struct RebalancerOptions {
+  /// How often the control loop wakes to inspect the tracker window.
+  SimDuration check_interval = 2'000;
+
+  /// An object is hot when its share of the window traffic exceeds this.
+  double hot_share = 0.35;
+
+  /// Don't judge hotness before the window holds this many operations.
+  std::uint64_t min_window_ops = 32;
+
+  /// Total reconfigurations this rebalancer will issue before its loop
+  /// exits on its own.
+  std::size_t max_rebalances = 1;
+};
+
+/// One completed migration (diagnostics / benches).
+struct RebalanceEvent {
+  SimTime decided_at = 0;    // when hotness was detected
+  SimTime installed_at = 0;  // when the reconfig completed
+  ObjectId object = kNoObject;
+  ConfigId installed = kNoConfig;  // the config id that won the GL slot
+  std::uint64_t window_ops = 0;    // tracker window size at decision time
+  double share = 0;                // the hot object's share at decision time
+};
+
+class Rebalancer {
+ public:
+  /// Builds the spread target for a hot object (typically a wider erasure
+  /// code over a disjoint / larger server set). Called once per migration;
+  /// the spec's id must be fresh (reconfig registers it).
+  using SpecMaker = std::function<dap::ConfigSpec(ObjectId hot)>;
+
+  /// `reconfigurer` issues the migrations; `tracker` is fed by the running
+  /// workload (WorkloadOptions::on_op). All three references must outlive
+  /// the control loop: construct the Rebalancer after the deployment (so
+  /// it is destroyed first) — its destructor runs shutdown(), which drives
+  /// the simulator until the loop has exited.
+  Rebalancer(sim::Simulator& sim, reconfig::AresClient& reconfigurer,
+             LoadTracker& tracker, SpecMaker make_spread_spec,
+             RebalancerOptions opt = {});
+  ~Rebalancer();
+
+  Rebalancer(const Rebalancer&) = delete;
+  Rebalancer& operator=(const Rebalancer&) = delete;
+
+  /// Detach the control loop onto the simulator (idempotent).
+  void start();
+
+  /// Ask the loop to exit at its next wake-up (no simulator driving).
+  void stop();
+
+  /// stop() and drive the simulator until the loop has actually exited, so
+  /// no coroutine frame outlives the deployment. Safe to call repeatedly.
+  void shutdown();
+
+  /// True once the loop has exited (or was never started).
+  [[nodiscard]] bool idle() const;
+
+  [[nodiscard]] const std::vector<RebalanceEvent>& events() const {
+    return state_->events;
+  }
+  [[nodiscard]] bool rebalanced(ObjectId obj) const {
+    return state_->rebalanced.contains(obj);
+  }
+
+ private:
+  /// Shared with the detached loop coroutine (CP.51-style: the coroutine
+  /// takes this by shared_ptr, never `this`).
+  struct State {
+    LoadTracker* tracker = nullptr;
+    reconfig::AresClient* reconfigurer = nullptr;
+    SpecMaker make_spec;
+    RebalancerOptions opt;
+    bool running = false;
+    std::vector<RebalanceEvent> events;
+    std::set<ObjectId> rebalanced;
+  };
+
+  static sim::Future<void> loop(sim::Simulator* sim,
+                                std::shared_ptr<State> state);
+
+  sim::Simulator& sim_;
+  std::shared_ptr<State> state_;
+  sim::Future<void> loop_future_;
+};
+
+}  // namespace ares::placement

@@ -1,0 +1,74 @@
+#include "placement/stats.hpp"
+
+#include <algorithm>
+
+namespace ares::placement {
+
+void LoadTracker::record(ObjectId obj, bool is_write) {
+  auto bump = [is_write](ObjectLoad& load) {
+    if (is_write) {
+      ++load.writes;
+    } else {
+      ++load.reads;
+    }
+  };
+  bump(window_[obj]);
+  bump(lifetime_[obj]);
+  ++window_total_;
+  ++lifetime_total_;
+}
+
+void LoadTracker::merge(const LoadTracker& other) {
+  for (const auto& [obj, load] : other.lifetime_) {
+    window_[obj] += load;
+    lifetime_[obj] += load;
+  }
+  window_total_ += other.lifetime_total_;
+  lifetime_total_ += other.lifetime_total_;
+}
+
+void LoadTracker::reset_window() {
+  window_.clear();
+  window_total_ = 0;
+}
+
+std::uint64_t LoadTracker::ops(ObjectId obj) const {
+  auto it = window_.find(obj);
+  return it == window_.end() ? 0 : it->second.ops();
+}
+
+double LoadTracker::share(ObjectId obj) const {
+  if (window_total_ == 0) return 0.0;
+  return static_cast<double>(ops(obj)) / static_cast<double>(window_total_);
+}
+
+std::optional<ObjectId> LoadTracker::hottest() const {
+  std::optional<ObjectId> best;
+  std::uint64_t best_ops = 0;
+  for (const auto& [obj, load] : window_) {
+    if (load.ops() > best_ops) {
+      best = obj;
+      best_ops = load.ops();
+    }
+  }
+  return best;
+}
+
+std::vector<std::pair<ObjectId, std::uint64_t>> LoadTracker::top(
+    std::size_t n) const {
+  std::vector<std::pair<ObjectId, std::uint64_t>> out;
+  out.reserve(window_.size());
+  for (const auto& [obj, load] : window_) out.emplace_back(obj, load.ops());
+  std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+std::uint64_t LoadTracker::lifetime_ops(ObjectId obj) const {
+  auto it = lifetime_.find(obj);
+  return it == lifetime_.end() ? 0 : it->second.ops();
+}
+
+}  // namespace ares::placement

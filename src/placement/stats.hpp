@@ -1,0 +1,74 @@
+// Per-object load accounting for placement decisions: operation counters
+// fed live from the workload driver (WorkloadOptions::on_op) or aggregated
+// from several per-client trackers, queried by the placement policies and
+// the hot-object Rebalancer. Counters are split into a resettable window
+// (what the Rebalancer judges hotness on) and lifetime totals.
+#pragma once
+
+#include "common/types.hpp"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace ares::placement {
+
+/// Read/write counts for one object.
+struct ObjectLoad {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+
+  [[nodiscard]] std::uint64_t ops() const { return reads + writes; }
+
+  ObjectLoad& operator+=(const ObjectLoad& o) {
+    reads += o.reads;
+    writes += o.writes;
+    return *this;
+  }
+};
+
+class LoadTracker {
+ public:
+  /// Count one operation on `obj` (both the current window and lifetime).
+  void record(ObjectId obj, bool is_write);
+
+  /// Fold another tracker's *lifetime* counters into this one's window and
+  /// lifetime (aggregating per-client or per-server trackers).
+  void merge(const LoadTracker& other);
+
+  /// Forget the current window, keeping lifetime totals — the Rebalancer
+  /// calls this after each decision so stale traffic cannot re-trigger it.
+  void reset_window();
+
+  /// Window counters (what hotness is judged on).
+  [[nodiscard]] std::uint64_t ops(ObjectId obj) const;
+  [[nodiscard]] std::uint64_t total_ops() const { return window_total_; }
+
+  /// `obj`'s share of the window traffic in [0, 1]; 0 when the window is
+  /// empty.
+  [[nodiscard]] double share(ObjectId obj) const;
+
+  /// The object with the most window ops (smallest id wins ties); nullopt
+  /// when the window is empty.
+  [[nodiscard]] std::optional<ObjectId> hottest() const;
+
+  /// The `n` most-loaded objects of the window, descending by ops
+  /// (smallest id first within a tie).
+  [[nodiscard]] std::vector<std::pair<ObjectId, std::uint64_t>> top(
+      std::size_t n) const;
+
+  /// Lifetime counters (never reset).
+  [[nodiscard]] std::uint64_t lifetime_ops(ObjectId obj) const;
+  [[nodiscard]] std::uint64_t lifetime_total_ops() const {
+    return lifetime_total_;
+  }
+
+ private:
+  std::map<ObjectId, ObjectLoad> window_;
+  std::map<ObjectId, ObjectLoad> lifetime_;
+  std::uint64_t window_total_ = 0;
+  std::uint64_t lifetime_total_ = 0;
+};
+
+}  // namespace ares::placement

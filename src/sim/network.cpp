@@ -2,7 +2,9 @@
 
 #include "sim/process.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <memory>
 #include <utility>
 
 namespace ares::sim {
@@ -24,6 +26,25 @@ DelayFn biased_delay(std::unordered_set<ProcessId> fast,
                                                           Rng&) {
     if (fast.contains(m.from) || fast.contains(m.to)) return fast_delay;
     return slow_delay;
+  };
+}
+
+DelayFn queued_delay(SimDuration min_delay, SimDuration max_delay,
+                     SimDuration service_time,
+                     std::unordered_set<ProcessId> queued) {
+  assert(min_delay <= max_delay);
+  // busy-until per destination, shared by every copy of the DelayFn.
+  auto busy_until = std::make_shared<std::unordered_map<ProcessId, SimTime>>();
+  return [min_delay, max_delay, service_time, busy_until,
+          queued = std::move(queued)](const Message& m, Rng& rng) {
+    const SimDuration hop =
+        static_cast<SimDuration>(rng.uniform(min_delay, max_delay));
+    if (!queued.empty() && !queued.contains(m.to)) return hop;
+    // The network invokes the DelayFn at send time, so m.sent_at is "now".
+    SimTime& busy = (*busy_until)[m.to];
+    const SimTime start = std::max(m.sent_at + hop, busy);
+    busy = start + service_time;
+    return static_cast<SimDuration>(busy - m.sent_at);
   };
 }
 

@@ -42,6 +42,19 @@ inline constexpr SimDuration kDropMessage =
                                    SimDuration fast_delay,
                                    SimDuration slow_delay);
 
+/// Load-dependent policy: on top of a uniform [min_delay, max_delay]
+/// network hop, each destination in `queued` (typically the server pool;
+/// empty = every process) is a FIFO single-server queue that serves one
+/// message per `service_time` — messages to a busy (hot) process wait
+/// behind earlier arrivals. This is how traffic skew becomes latency in
+/// the placement / hot-object-rebalancing experiments: a shard drowning in
+/// Zipfian traffic answers slowly, an idle shard answers at network speed.
+/// Deterministic given the rng stream and event order.
+[[nodiscard]] DelayFn queued_delay(SimDuration min_delay,
+                                   SimDuration max_delay,
+                                   SimDuration service_time,
+                                   std::unordered_set<ProcessId> queued = {});
+
 class Network {
  public:
   struct Stats {

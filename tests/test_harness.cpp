@@ -141,6 +141,76 @@ TEST(Workload, LatencyStatsAreConsistent) {
   for (const auto& op : result.ops) EXPECT_GE(op.end, op.start);
 }
 
+namespace workload_failures {
+
+/// A client whose every operation throws something that is NOT derived
+/// from std::exception — the case that used to escape client_loop's
+/// catch(const std::exception&), skip the done_loops increment, and make
+/// run_workload burn its whole event budget.
+struct NonStdThrowingClient {
+  sim::Future<TagValue> read(ObjectId /*obj*/) { return throwing_read(); }
+  sim::Future<Tag> write(ObjectId /*obj*/, ValuePtr /*v*/) {
+    return throwing_write();
+  }
+
+  static sim::Future<TagValue> throwing_read() {
+    throw 42;  // NOLINT: deliberately not a std::exception
+    co_return TagValue{};
+  }
+  static sim::Future<Tag> throwing_write() {
+    throw 42;  // NOLINT
+    co_return Tag{};
+  }
+};
+
+}  // namespace workload_failures
+
+TEST(Workload, NonStdExceptionIsRecordedAsFailedOperation) {
+  sim::Simulator sim(1);
+  workload_failures::NonStdThrowingClient client;
+  harness::WorkloadOptions opt;
+  opt.ops_per_client = 5;
+  opt.num_objects = 2;
+  opt.seed = 9;
+  std::vector<workload_failures::NonStdThrowingClient*> clients{&client};
+  // A tight event budget: if the throw ever escapes the loop again, the
+  // workload cannot complete and this stays false instead of hanging long.
+  const auto result = harness::run_workload(sim, clients, opt, 10'000);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.ops.size(), 5u);
+  EXPECT_EQ(result.failures, 5u);
+  for (const auto& op : result.ops) EXPECT_TRUE(op.failed);
+}
+
+TEST(Workload, RejectsInvertedThinkRange) {
+  harness::StaticClusterOptions o;
+  o.protocol = dap::Protocol::kAbd;
+  o.num_servers = 3;
+  o.num_clients = 1;
+  harness::StaticCluster cluster(o);
+  harness::WorkloadOptions opt;
+  opt.think_min = 50;
+  opt.think_max = 10;  // inverted — must be rejected up front
+  std::vector<dap::RegisterClient*> regs{&cluster.clients()[0]->reg()};
+  EXPECT_THROW((void)harness::run_workload(cluster.sim(), regs, opt),
+               std::invalid_argument);
+}
+
+TEST(WorkloadOptions, ValidateChecksRanges) {
+  harness::WorkloadOptions opt;
+  EXPECT_NO_THROW(opt.validate());
+  opt.think_min = 5;
+  opt.think_max = 5;
+  EXPECT_NO_THROW(opt.validate());
+  opt.think_max = 4;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt.think_max = 6;
+  opt.write_fraction = 1.5;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt.write_fraction = -0.1;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+}
+
 TEST(Table, PrintsAlignedMarkdown) {
   harness::Table t({"a", "long-header"});
   t.add_row(1, "x");

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 namespace ares {
@@ -34,6 +35,20 @@ TEST(MultiObject, KeyPickerZipfianSkewsTowardHotKeys) {
   // Object 0 is the hottest; the head must dominate the tail.
   EXPECT_GT(counts[0], counts[8]);
   EXPECT_GT(counts[0] + counts[1], 4000u / 4);
+}
+
+TEST(MultiObject, KeyPickerZipfianCdfBoundaryStaysInRange) {
+  // Regression: floating-point normalization can leave cdf_.back() < 1.0;
+  // a uniform01() draw above it made lower_bound return end() and pick()
+  // return num_objects — an out-of-range ObjectId. Drive the boundary
+  // directly through the CDF inverter.
+  harness::KeyPicker picker(5, harness::KeyDistribution::kZipfian, 0.99);
+  EXPECT_EQ(picker.index_for(0.0), 0u);
+  EXPECT_EQ(picker.index_for(1.0), 4u);
+  // Even a u strictly above the whole table must clamp, not fall off.
+  EXPECT_EQ(picker.index_for(std::nextafter(1.0, 2.0)), 4u);
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) ASSERT_LT(picker.pick(rng), 5u);
 }
 
 TEST(MultiObject, ServerStatePerObjectTagSpacesAreIndependent) {
