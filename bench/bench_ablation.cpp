@@ -28,6 +28,7 @@ Probe probe_fault_tolerance(std::size_t n, std::size_t k,
     o.num_servers = n;
     o.k = k;
     o.num_clients = 1;
+    o.semifast = false;  // measure the paper's exact message pattern
     harness::StaticCluster cluster(o);
     cluster.crash_servers(crashes_live);
     auto f = cluster.client(0).reg().write(
@@ -40,6 +41,7 @@ Probe probe_fault_tolerance(std::size_t n, std::size_t k,
     o.num_servers = n;
     o.k = k;
     o.num_clients = 1;
+    o.semifast = false;  // measure the paper's exact message pattern
     harness::StaticCluster cluster(o);
     cluster.crash_servers(crashes_block);
     auto f = cluster.client(0).reg().write(

@@ -31,6 +31,7 @@ Measured measure(const Row& row, std::size_t value_size) {
   o.delta = row.delta;
   o.ldr_directories = 3;
   o.num_clients = 1;
+  o.semifast = false;  // measure the paper's exact message pattern
   harness::StaticCluster cluster(o);
 
   // Fill the history so reads see full (delta+1)-deep Lists — the paper's

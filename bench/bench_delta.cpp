@@ -27,6 +27,7 @@ CostRow measure_costs(std::size_t delta, std::size_t value_size) {
   o.k = 4;
   o.delta = delta;
   o.num_clients = 1;
+  o.semifast = false;  // measure the paper's exact message pattern
   harness::StaticCluster cluster(o);
   for (std::size_t i = 0; i < delta + 3; ++i) {
     auto payload = make_value(make_test_value(value_size, i));
@@ -79,6 +80,7 @@ int main() {
       o.num_clients = 6;
       o.seed = delta * 2 + (retry ? 1 : 0) + 1;
       o.treas_retry_timeout = retry ? 400 : 0;
+      o.semifast = false;  // measure the paper's exact message pattern
       harness::StaticCluster cluster(o);
       std::vector<dap::RegisterClient*> regs;
       for (auto& c : cluster.clients()) regs.push_back(&c->reg());

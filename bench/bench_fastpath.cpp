@@ -1,0 +1,187 @@
+// Steady-state fast path: baseline (the paper's exact round structure —
+// read-config before and after every data phase, unconditional read
+// write-back) vs fast path (piggybacked config discovery + semifast
+// confirmed-tag reads) on identical ARES deployments and workloads.
+//
+// Three scenarios: quiescent read-heavy (the steady state the fast path is
+// built for), quiescent write-heavy, and reconfig churn (a reconfigurer
+// installs a chain of configurations mid-workload — the fast path must fall
+// back gracefully and the atomicity checker must stay green).
+//
+// Emits BENCH_fastpath.json (mean/p99 latency, rounds/op, messages/op,
+// bytes/op, read-config message counts) — one point of the machine-readable
+// perf trajectory. Exits non-zero if atomicity fails anywhere or the
+// quiescent read-heavy scenario improves mean read latency by less than
+// 25%.
+#include "harness/ares_cluster.hpp"
+#include "harness/json.hpp"
+#include "harness/table.hpp"
+#include "harness/workload.hpp"
+
+#include <cstdio>
+#include <string>
+
+namespace {
+
+using namespace ares;
+
+struct Scenario {
+  std::string name;
+  double write_fraction = 0.1;
+  bool churn = false;
+};
+
+struct RunResult {
+  harness::WorkloadResult wl;
+  std::uint64_t read_config_msgs = 0;
+  bool atomic_ok = false;
+};
+
+std::uint64_t read_config_messages(const sim::Network& net) {
+  const auto& by_type = net.stats().messages_by_type;
+  auto it = by_type.find("ares.read_config");
+  return it == by_type.end() ? 0 : it->second;
+}
+
+sim::Future<void> churn_loop(harness::AresCluster* cluster, bool* done) {
+  for (int i = 0; i < 4; ++i) {
+    co_await sim::sleep_for(cluster->sim(), 1'500);
+    auto spec = cluster->make_spec(
+        i % 2 == 0 ? dap::Protocol::kTreas : dap::Protocol::kAbd,
+        static_cast<std::size_t>(1 + 2 * i), 5, i % 2 == 0 ? 3 : 1);
+    (void)co_await cluster->reconfigurer(0).reconfig(spec);
+  }
+  *done = true;
+  co_return;
+}
+
+RunResult run_once(const Scenario& sc, bool fast_path) {
+  harness::AresClusterOptions o;
+  o.server_pool = 12;
+  o.initial_protocol = dap::Protocol::kAbd;
+  o.initial_servers = 5;
+  o.num_rw_clients = 4;
+  o.num_reconfigurers = 1;
+  o.num_objects = 4;
+  o.seed = 42;
+  o.fast_path = fast_path;
+  o.semifast = fast_path;
+  harness::AresCluster cluster(o);
+
+  bool churn_done = !sc.churn;
+  if (sc.churn) {
+    sim::detach(churn_loop(&cluster, &churn_done));
+  }
+
+  harness::WorkloadOptions w;
+  w.ops_per_client = 150;
+  w.write_fraction = sc.write_fraction;
+  w.value_size = 256;
+  w.num_objects = o.num_objects;
+  w.seed = 7;
+
+  RunResult r;
+  r.wl = cluster.run_multi_object_workload(w);
+  r.read_config_msgs = read_config_messages(cluster.net());
+  r.atomic_ok = r.wl.completed && r.wl.failures == 0 &&
+                cluster.sim().run_until([&] { return churn_done; });
+  for (const auto& [obj, verdict] : cluster.check_atomicity_per_object()) {
+    r.atomic_ok = r.atomic_ok && verdict.ok;
+  }
+  return r;
+}
+
+harness::Json metrics_json(const RunResult& r) {
+  harness::Json j;
+  j.set("read_mean_latency", r.wl.mean_latency(false))
+      .set("read_p99_latency", r.wl.latency_percentile(false, 99))
+      .set("write_mean_latency", r.wl.mean_latency(true))
+      .set("write_p99_latency", r.wl.latency_percentile(true, 99))
+      .set("read_rounds_per_op", r.wl.mean_rounds(false))
+      .set("write_rounds_per_op", r.wl.mean_rounds(true))
+      .set("read_messages_per_op", r.wl.mean_messages(false))
+      .set("write_messages_per_op", r.wl.mean_messages(true))
+      .set("read_bytes_per_op", r.wl.mean_bytes(false))
+      .set("write_bytes_per_op", r.wl.mean_bytes(true))
+      .set("read_config_messages", r.read_config_msgs)
+      .set("ops", r.wl.ops.size())
+      .set("atomicity", r.atomic_ok);
+  return j;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : std::string("BENCH_fastpath.json");
+
+  std::printf(
+      "Steady-state fast path vs baseline: ABD[5] initial config, pool 12,\n"
+      "4 clients x 150 ops, 4 objects, 256 B values. Baseline = explicit\n"
+      "read-config every operation + unconditional read write-back; fast =\n"
+      "piggybacked nextC discovery + semifast confirmed-tag reads.\n\n");
+
+  const Scenario scenarios[] = {
+      {"read_heavy", 0.10, false},
+      {"write_heavy", 0.90, false},
+      {"reconfig_churn", 0.50, true},
+  };
+
+  harness::Table table({"scenario", "mode", "read mean", "read p99",
+                        "write mean", "read rnd/op", "write rnd/op",
+                        "bytes/op (r)", "readcfg msgs", "atomicity"});
+  harness::Json doc;
+  doc.set("bench", "fastpath");
+  auto arr = harness::Json::array();
+
+  bool all_atomic = true;
+  double read_heavy_reduction = 0;
+  for (const auto& sc : scenarios) {
+    const RunResult base = run_once(sc, /*fast_path=*/false);
+    const RunResult fast = run_once(sc, /*fast_path=*/true);
+    all_atomic = all_atomic && base.atomic_ok && fast.atomic_ok;
+
+    for (const auto* r : {&base, &fast}) {
+      table.add_row(sc.name, r == &base ? "baseline" : "fast",
+                    harness::fmt(r->wl.mean_latency(false), 1),
+                    harness::fmt(r->wl.latency_percentile(false, 99), 0),
+                    harness::fmt(r->wl.mean_latency(true), 1),
+                    harness::fmt(r->wl.mean_rounds(false)),
+                    harness::fmt(r->wl.mean_rounds(true)),
+                    harness::fmt(r->wl.mean_bytes(false), 0),
+                    r->read_config_msgs, r->atomic_ok ? "PASS" : "FAIL");
+    }
+
+    const double base_read = base.wl.mean_latency(false);
+    const double fast_read = fast.wl.mean_latency(false);
+    const double reduction =
+        base_read > 0 ? 1.0 - fast_read / base_read : 0.0;
+    if (sc.name == "read_heavy") read_heavy_reduction = reduction;
+
+    harness::Json entry;
+    entry.set("name", sc.name)
+        .set("write_fraction", sc.write_fraction)
+        .set("churn", sc.churn)
+        .set("baseline", metrics_json(base))
+        .set("fastpath", metrics_json(fast))
+        .set("read_latency_reduction", reduction);
+    arr.push(std::move(entry));
+  }
+  doc.set("scenarios", std::move(arr));
+  doc.set("read_heavy_read_latency_reduction", read_heavy_reduction);
+
+  table.print();
+  std::printf("\nquiescent read-heavy mean read latency reduction: %.1f%%\n",
+              100.0 * read_heavy_reduction);
+  harness::write_json_file(out_path, doc);
+
+  if (!all_atomic) {
+    std::printf("FAIL: atomicity violated in at least one scenario\n");
+    return 1;
+  }
+  if (read_heavy_reduction < 0.25) {
+    std::printf("FAIL: read-heavy latency reduction below 25%%\n");
+    return 1;
+  }
+  return 0;
+}

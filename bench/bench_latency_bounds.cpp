@@ -53,6 +53,7 @@ int main() {
     o.num_clients = 1;
     o.min_delay = d;
     o.max_delay = D;
+    o.semifast = false;  // measure the paper's exact message pattern
     harness::StaticCluster cluster(o);
     auto& sim = cluster.sim();
     auto& c = cluster.client(0);
@@ -90,6 +91,8 @@ int main() {
     o.min_delay = d;
     o.max_delay = D;
     o.num_rw_clients = 1;
+    o.fast_path = false;  // measure the paper's exact round structure
+    o.semifast = false;
     harness::AresCluster cluster(o);
     ProbeClient probe(cluster.sim(), cluster.net(), 900, cluster.registry(),
                       cluster.initial_config(), nullptr);
@@ -129,6 +132,8 @@ int main() {
     o.max_delay = D;
     o.num_rw_clients = 1;
     o.num_reconfigurers = 1;
+    o.fast_path = false;  // measure the paper's exact round structure
+    o.semifast = false;
     harness::AresCluster cluster(o);
     // Install chain-1 additional configurations.
     for (std::size_t i = 0; i + 1 < chain; ++i) {

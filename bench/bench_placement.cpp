@@ -19,6 +19,7 @@
 // the post-spread window (ops started after it installed); the atomicity
 // checker must pass on the full multi-object history of every run.
 #include "harness/ares_cluster.hpp"
+#include "harness/json.hpp"
 #include "harness/table.hpp"
 #include "placement/policy.hpp"
 #include "placement/rebalancer.hpp"
@@ -28,6 +29,7 @@
 #include <optional>
 #include <string>
 #include <unordered_set>
+#include <vector>
 
 namespace {
 
@@ -175,6 +177,7 @@ int main() {
                         "hot mean lat (pre)", "hot mean lat (post)",
                         "overall mean", "rebalances", "atomicity"});
   std::optional<placement::RebalanceEvent> event;
+  std::vector<ScenarioResult> results;
   for (int scenario = 0; scenario < 3; ++scenario) {
     placement::StaticPlacement stat;
     placement::RoundRobinPlacement rr;
@@ -187,6 +190,7 @@ int main() {
                   harness::fmt(r.overall, 1), r.rebalances,
                   r.atomic_ok ? "PASS" : "FAIL");
     if (r.event) event = r.event;
+    results.push_back(r);
     if (!r.atomic_ok) {
       table.print();
       std::printf("\natomicity FAILED for placement '%s'\n", r.policy.c_str());
@@ -194,6 +198,24 @@ int main() {
     }
   }
   table.print();
+
+  harness::Json doc;
+  doc.set("bench", "placement");
+  auto arr = harness::Json::array();
+  for (const auto& r : results) {
+    harness::Json entry;
+    entry.set("policy", r.policy)
+        .set("hot_object", r.hot)
+        .set("hot_share", r.hot_share)
+        .set("hot_mean_latency_pre", r.hot_pre)
+        .set("hot_mean_latency_post", r.hot_post)
+        .set("overall_mean_latency", r.overall)
+        .set("rebalances", r.rebalances)
+        .set("atomicity", r.atomic_ok);
+    arr.push(std::move(entry));
+  }
+  doc.set("scenarios", std::move(arr));
+  harness::write_json_file("BENCH_placement.json", doc);
 
   if (!event) {
     std::printf("\nno rebalance was triggered — thresholds need retuning\n");

@@ -23,6 +23,8 @@ SimDuration measure_tcn(SimDuration d) {
   o.min_delay = d;
   o.max_delay = d;
   o.num_rw_clients = 1;
+  o.fast_path = false;  // measure the paper's exact round structure
+  o.semifast = false;
   harness::AresCluster cluster(o);
   // Use a raw proposer against c0's servers.
   consensus::PaxosProposer proposer(cluster.client(0), 0,
@@ -56,6 +58,8 @@ int main() {
     o.num_reconfigurers = k;  // the paper's construction: each install is
                               // performed by a *fresh* reconfigurer that
                               // must first re-traverse the whole chain
+    o.fast_path = false;  // measure the paper's exact round structure
+    o.semifast = false;
     harness::AresCluster cluster(o);
 
     const SimTime t0 = cluster.sim().now();

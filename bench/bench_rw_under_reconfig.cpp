@@ -51,6 +51,8 @@ int main() {
     o.num_rw_clients = 2;
     o.num_reconfigurers = 1;
     o.seed = static_cast<std::uint64_t>(r) + 1;
+    o.fast_path = false;  // measure the paper's exact round structure
+    o.semifast = false;
     harness::AresCluster cluster(o);
 
     bool done = (r == 0);
@@ -94,6 +96,8 @@ int main() {
     o.num_rw_clients = 1;
     o.num_reconfigurers = 1;
     o.seed = dfast;
+    o.fast_path = false;  // measure the paper's exact round structure
+    o.semifast = false;
     harness::AresCluster cluster(o);
     // Reconfigurer (and servers reached by it) fast; everyone else slow.
     cluster.net().set_delay_fn(sim::biased_delay(

@@ -28,6 +28,7 @@ Point run(dap::Protocol proto, std::size_t n, std::size_t k,
   o.num_clients = readers + writers;
   o.seed = seed;
   o.treas_retry_timeout = 2000;  // liveness beyond delta, worst case
+  o.semifast = false;  // measure the paper's exact message pattern
   harness::StaticCluster cluster(o);
 
   std::vector<dap::RegisterClient*> readers_v, writers_v;

@@ -28,6 +28,8 @@ Result run_one(bool direct, std::size_t value_size, std::size_t n2,
   o.num_rw_clients = 1;
   o.num_reconfigurers = 1;
   o.direct_transfer = direct;
+  o.fast_path = false;  // measure the paper's exact round structure
+  o.semifast = false;
   harness::AresCluster cluster(o);
 
   auto payload = make_value(make_test_value(value_size, 1));

@@ -26,6 +26,7 @@ double measure_storage_units(const Row& row, std::size_t value_size) {
   o.ldr_directories = 3;
   o.num_clients = 1;
   if (row.protocol == dap::Protocol::kLdr) o.num_servers = row.n + 3;
+  o.semifast = false;  // measure the paper's exact message pattern
   harness::StaticCluster cluster(o);
 
   // Enough sequential writes to cycle the bounded history several times.

@@ -1,53 +1,68 @@
 #include "abd/client.hpp"
 
 #include "abd/messages.hpp"
+#include "dap/messages.hpp"
 
 namespace ares::abd {
 
 sim::Future<Tag> AbdDap::get_tag() {
-  auto qc = sim::broadcast_collect<QueryTagReply>(
-      owner_, spec_.servers, [this](ProcessId) {
-        auto req = std::make_shared<QueryTagReq>();
-        req->config = spec_.id;
-        req->object = object();
-        return req;
-      });
+  auto req = std::make_shared<QueryTagReq>();
+  req->config = spec_.id;
+  req->object = object();
+  req->confirmed_hint = confirmed_tag();
+  auto qc = sim::broadcast_collect<QueryTagReply>(owner_, spec_.servers,
+                                                  std::move(req));
   co_await qc.wait_for(spec_.quorum_size());
   Tag max = kInitialTag;
   for (const auto& a : qc.arrivals()) max = std::max(max, a.reply->tag);
   co_return max;
 }
 
-sim::Future<TagValue> AbdDap::get_data() {
-  auto qc = sim::broadcast_collect<QueryReply>(
-      owner_, spec_.servers, [this](ProcessId) {
-        auto req = std::make_shared<QueryReq>();
-        req->config = spec_.id;
-        req->object = object();
-        return req;
-      });
+sim::Future<dap::GetDataResult> AbdDap::get_data_confirmed() {
+  auto req = std::make_shared<QueryReq>();
+  req->config = spec_.id;
+  req->object = object();
+  req->confirmed_hint = confirmed_tag();
+  auto qc = sim::broadcast_collect<QueryReply>(owner_, spec_.servers,
+                                               std::move(req));
   co_await qc.wait_for(spec_.quorum_size());
   TagValue best{kInitialTag, nullptr};
+  Tag confirmed = kInitialTag;
   for (const auto& a : qc.arrivals()) {
     if (a.reply->tag > best.tag ||
         (a.reply->tag == best.tag && !best.value)) {
       best = TagValue{a.reply->tag, a.reply->value};
     }
+    confirmed = std::max(confirmed, a.reply->confirmed);
   }
-  co_return best;
+  dap::GetDataResult result{best, false};
+  // One confirming server suffices: its claim is that a *quorum* already
+  // stores tag ≥ best.tag, so any later read's query quorum intersects that
+  // quorum and observes a tag ≥ best.tag without our write-back.
+  if (spec_.semifast && confirmed >= best.tag) {
+    result.confirmed = true;
+    note_confirmed(best.tag);
+  }
+  co_return result;
 }
 
 sim::Future<void> AbdDap::put_data(TagValue tv) {
-  auto qc = sim::broadcast_collect<WriteAck>(
-      owner_, spec_.servers, [this, &tv](ProcessId) {
-        auto req = std::make_shared<WriteReq>();
-        req->config = spec_.id;
-        req->object = object();
-        req->tag = tv.tag;
-        req->value = tv.value;
-        return req;
-      });
+  auto req = std::make_shared<WriteReq>();
+  req->config = spec_.id;
+  req->object = object();
+  req->confirmed_hint = confirmed_tag();
+  req->tag = tv.tag;
+  req->value = tv.value;
+  auto qc = sim::broadcast_collect<WriteAck>(owner_, spec_.servers,
+                                             std::move(req));
   co_await qc.wait_for(spec_.quorum_size());
+  // ⟨τ, v⟩ now rests at a quorum: remember it and tell the servers, so
+  // subsequent reads (ours via the piggybacked hint, anyone's via the
+  // broadcast) can skip their write-back.
+  note_confirmed(tv.tag);
+  if (spec_.semifast) {
+    dap::broadcast_confirm(owner_, spec_.id, object(), tv.tag, spec_.servers);
+  }
   co_return;
 }
 

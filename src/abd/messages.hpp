@@ -37,6 +37,7 @@ class QueryReply final : public sim::RpcReply {
  public:
   Tag tag;
   ValuePtr value;
+  Tag confirmed;  // highest tag this server knows is quorum-propagated
   [[nodiscard]] std::size_t data_bytes() const override {
     return value ? value->size() : 0;
   }

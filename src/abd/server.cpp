@@ -8,7 +8,7 @@ namespace {
 
 /// The ⟨t0, v0⟩ register every object starts from.
 const AbdServerState::Register& initial_register() {
-  static const AbdServerState::Register r{kInitialTag, make_value(Value{})};
+  static const AbdServerState::Register r{kInitialTag, initial_value()};
   return r;
 }
 
@@ -40,6 +40,7 @@ Tag AbdServerState::max_tag(ObjectId obj) const { return reg(obj).tag; }
 bool AbdServerState::handle(dap::ServerContext& ctx, const sim::Message& msg) {
   auto req = std::dynamic_pointer_cast<const sim::RpcRequest>(msg.body);
   if (!req) return false;
+  if (absorb_confirmations(msg)) return true;
   Register& r = reg(req->object);
 
   if (std::dynamic_pointer_cast<const QueryTagReq>(msg.body)) {
@@ -52,6 +53,7 @@ bool AbdServerState::handle(dap::ServerContext& ctx, const sim::Message& msg) {
     auto reply = std::make_shared<QueryReply>();
     reply->tag = r.tag;
     reply->value = r.value;
+    reply->confirmed = confirmed_tag(req->object);
     ctx.process.reply_to(msg, std::move(reply));
     return true;
   }

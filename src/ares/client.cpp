@@ -5,6 +5,20 @@
 #include <cassert>
 
 namespace ares::reconfig {
+namespace {
+
+/// Piggybacked nextC discovery is sound for a configuration iff its DAP
+/// phase quorums intersect every reconfiguration-service quorum on the same
+/// configuration (so a completed put-config is always visible in at least
+/// one reply). ABD and TREAS phases wait on server quorums (≥ a majority of
+/// c.Servers); LDR phases talk to directory majorities / replica subsets,
+/// which need not intersect a server quorum — LDR tails therefore always
+/// take the explicit read-config round.
+bool covers_config_hints(const dap::ConfigSpec& spec) {
+  return spec.protocol != dap::Protocol::kLdr;
+}
+
+}  // namespace
 
 AresClient::AresClient(sim::Simulator& sim, sim::Network& net, ProcessId id,
                        dap::ConfigRegistry& registry, ConfigId c0,
@@ -23,22 +37,20 @@ AresClient::~AresClient() = default;
 
 void AresClient::bind_object(ObjectId obj, ConfigId c0) {
   assert(registry_.contains(c0));
-  auto it = objects_.find(obj);
-  if (it != objects_.end()) {
+  auto [it, inserted] = objects_.try_emplace(obj);
+  if (!inserted) {
     assert(it->second.cseq[0].cfg == c0 &&
            "object already bound to a different initial configuration");
     return;
   }
-  ObjectState state;
-  state.cseq.push_back(CseqEntry{c0, true});  // cseq[0] = ⟨c0, F⟩
-  objects_.emplace(obj, std::move(state));
+  it->second.cseq.push_back(CseqEntry{c0, true});  // cseq[0] = ⟨c0, F⟩
 }
 
 AresClient::ObjectState& AresClient::obj_state(ObjectId obj) {
-  auto it = objects_.find(obj);
-  if (it == objects_.end()) {
-    bind_object(obj, default_c0_);
-    it = objects_.find(obj);
+  auto [it, inserted] = objects_.try_emplace(obj);
+  if (inserted) {
+    assert(registry_.contains(default_c0_));
+    it->second.cseq.push_back(CseqEntry{default_c0_, true});
   }
   return it->second;
 }
@@ -47,6 +59,27 @@ void AresClient::handle(const sim::Message& msg) {
   // Plain clients receive only RPC replies (routed before handle()); one-way
   // messages such as TransferAck are handled by subclasses.
   (void)msg;
+}
+
+void AresClient::note_config_hint(ConfigId cfg, ObjectId obj,
+                                  const CseqEntry& next) {
+  auto it = objects_.find(obj);
+  if (it == objects_.end()) return;  // reply for an object we dropped state of
+  ObjectState& st = it->second;
+  for (std::size_t i = 0; i < st.cseq.size(); ++i) {
+    if (st.cseq[i].cfg != cfg) continue;
+    if (i + 1 == st.cseq.size()) {
+      // A successor we did not know: the cached sequence is stale until a
+      // full traversal confirms where GL currently ends.
+      st.cseq.push_back(next);
+      st.synced = false;
+    } else {
+      // Configuration Uniqueness (Lemma 47): only the status can be news.
+      assert(st.cseq[i + 1].cfg == next.cfg);
+      st.cseq[i + 1].finalized = st.cseq[i + 1].finalized || next.finalized;
+    }
+    return;
+  }
 }
 
 std::size_t AresClient::mu(ObjectId obj) {
@@ -82,6 +115,10 @@ const std::shared_ptr<dap::Dap>& AresClient::dap_for(ObjectId obj,
   return it->second;
 }
 
+bool AresClient::tail_covers_hints(ObjectId obj) {
+  return covers_config_hints(registry_.get(cseq(obj)[nu(obj)].cfg));
+}
+
 // ---------------------------------------------------------------------------
 // Sequence traversal (Algorithm 4)
 // ---------------------------------------------------------------------------
@@ -89,13 +126,11 @@ const std::shared_ptr<dap::Dap>& AresClient::dap_for(ObjectId obj,
 sim::Future<std::optional<CseqEntry>> AresClient::read_next_config(
     ObjectId obj, ConfigId c) {
   const auto& spec = registry_.get(c);
-  auto qc = sim::broadcast_collect<ReadConfigReply>(
-      *this, spec.servers, [obj, c](ProcessId) {
-        auto req = std::make_shared<ReadConfigReq>();
-        req->config = c;
-        req->object = obj;
-        return req;
-      });
+  auto req = std::make_shared<ReadConfigReq>();
+  req->config = c;
+  req->object = obj;
+  auto qc = sim::broadcast_collect<ReadConfigReply>(*this, spec.servers,
+                                                    std::move(req));
   co_await qc.wait_for(spec.quorum_size());
   std::optional<CseqEntry> result;
   for (const auto& a : qc.arrivals()) {
@@ -110,14 +145,12 @@ sim::Future<std::optional<CseqEntry>> AresClient::read_next_config(
 sim::Future<void> AresClient::put_config(ObjectId obj, ConfigId c,
                                          CseqEntry e) {
   const auto& spec = registry_.get(c);
-  auto qc = sim::broadcast_collect<WriteConfigAck>(
-      *this, spec.servers, [obj, c, e](ProcessId) {
-        auto req = std::make_shared<WriteConfigReq>();
-        req->config = c;
-        req->object = obj;
-        req->next = e;
-        return req;
-      });
+  auto req = std::make_shared<WriteConfigReq>();
+  req->config = c;
+  req->object = obj;
+  req->next = e;
+  auto qc = sim::broadcast_collect<WriteConfigAck>(*this, spec.servers,
+                                                   std::move(req));
   co_await qc.wait_for(spec.quorum_size());
   co_return;
 }
@@ -130,16 +163,38 @@ sim::Future<void> AresClient::read_config(ObjectId obj) {
   for (;;) {
     std::optional<CseqEntry> next =
         co_await read_next_config(obj, cseq(obj)[idx].cfg);
-    if (!next) break;
+    if (!next) {
+      // A piggybacked hint (e.g. from a late reply of an earlier round) may
+      // have extended the sequence past idx even though this quorum round
+      // reported ⊥ — keep chasing from the extended entry.
+      if (nu(obj) > idx) {
+        co_await put_config(obj, cseq(obj)[idx].cfg, cseq(obj)[idx + 1]);
+        ++idx;
+        continue;
+      }
+      break;
+    }
     set_entry(obj, idx + 1, *next);
     co_await put_config(obj, cseq(obj)[idx].cfg, cseq(obj)[idx + 1]);
     ++idx;
   }
+  // No suspension between the loop's exit condition and here, so no hint
+  // can sneak in: the traversal really reached the current end of GL.
+  obj_state(obj).synced = true;
+  co_return;
+}
+
+sim::Future<void> AresClient::ensure_config(ObjectId obj) {
+  ObjectState& st = obj_state(obj);
+  if (fast_path_ && st.synced && tail_covers_hints(obj)) {
+    co_return;  // steady state: the cached cseq is current — zero rounds
+  }
+  co_await read_config(obj);
   co_return;
 }
 
 // ---------------------------------------------------------------------------
-// Read / write operations (Algorithm 7)
+// Read / write operations (Algorithm 7, with the steady-state fast path)
 // ---------------------------------------------------------------------------
 
 sim::Future<Tag> AresClient::write(ObjectId obj, ValuePtr value) {
@@ -150,14 +205,21 @@ sim::Future<Tag> AresClient::write(ObjectId obj, ValuePtr value) {
                           obj);
   }
 
-  co_await read_config(obj);
-  const std::size_t m = mu(obj);
-  std::size_t v = nu(obj);
+  co_await ensure_config(obj);
 
-  // Max tag across configurations µ..ν.
+  // Max tag across configurations µ..ν. If a piggybacked hint reveals a
+  // successor mid-phase, re-traverse and re-run so tmax covers it.
   Tag tmax = kInitialTag;
-  for (std::size_t i = m; i <= v; ++i) {
-    tmax = std::max(tmax, co_await dap_for(obj, cseq(obj)[i].cfg)->get_tag());
+  std::size_t v = 0;
+  for (;;) {
+    const std::size_t m = mu(obj);
+    v = nu(obj);
+    tmax = kInitialTag;
+    for (std::size_t i = m; i <= v; ++i) {
+      tmax = std::max(tmax, co_await dap_for(obj, cseq(obj)[i].cfg)->get_tag());
+    }
+    if (nu(obj) == v) break;
+    co_await read_config(obj);
   }
   const Tag tw = tmax.next(id());
   if (recorder_ != nullptr) {
@@ -166,6 +228,14 @@ sim::Future<Tag> AresClient::write(ObjectId obj, ValuePtr value) {
   }
 
   // Propagate into the last configuration until the sequence stops growing.
+  // The explicit read-config after put-data is NOT elidable: piggybacked
+  // hints are sampled at each server's ack time, which may precede a
+  // concurrent put-config's completion — a reconfiguration racing the put
+  // could then transfer state without this write's tag while the write
+  // completes hint-free (see FastPath.WriteDiscoversReconfigCompleting-
+  // DuringPutRound). Sampling a nextC quorum *after* the put completed
+  // (exactly what this round does) closes that window; making the round
+  // elidable requires fenced transfer reads (see ROADMAP).
   TagValue to_write{tw, value};  // named: see GCC-12 note in sim/coro.hpp
   for (;;) {
     co_await dap_for(obj, cseq(obj)[v].cfg)->put_data(to_write);
@@ -188,22 +258,49 @@ sim::Future<TagValue> AresClient::read(ObjectId obj) {
                           obj);
   }
 
-  co_await read_config(obj);
-  const std::size_t m = mu(obj);
-  std::size_t v = nu(obj);
+  co_await ensure_config(obj);
 
   TagValue best{kInitialTag, nullptr};
-  for (std::size_t i = m; i <= v; ++i) {
-    TagValue tv = co_await dap_for(obj, cseq(obj)[i].cfg)->get_data();
-    best = max_by_tag(best, tv);
-  }
-  if (!best.value) best.value = make_value(Value{});  // initial v0
-
+  bool confirmed = false;
+  std::size_t m = 0;
+  std::size_t v = 0;
   for (;;) {
-    co_await dap_for(obj, cseq(obj)[v].cfg)->put_data(best);
-    co_await read_config(obj);
-    if (nu(obj) == v) break;
+    m = mu(obj);
     v = nu(obj);
+    best = TagValue{kInitialTag, nullptr};
+    confirmed = false;
+    for (std::size_t i = m; i <= v; ++i) {
+      dap::GetDataResult r =
+          co_await dap_for(obj, cseq(obj)[i].cfg)->get_data_confirmed();
+      if (r.tv.tag > best.tag || !best.value) {
+        best = r.tv;
+        confirmed = r.confirmed;
+      }
+    }
+    if (nu(obj) == v) break;
+    co_await read_config(obj);  // hint revealed a successor: re-run the phase
+  }
+  if (!best.value) best.value = initial_value();  // initial v0
+
+  // Semifast read: when the whole sequence is one configuration and the max
+  // tag is already quorum-confirmed there, the write-back phase (and its
+  // trailing read-config) is redundant. Safe because the confirmation is
+  // evidence about the *past* — the tag rested at a full quorum before this
+  // read's replies — so any reconfiguration transfer sampling after our
+  // replies observes it by quorum intersection, and any reconfiguration
+  // whose put-config completed before our replies was already visible as a
+  // piggybacked hint (forcing the re-run above). Contrast with the write
+  // path, whose tag reaches a quorum only concurrently with its put round
+  // and therefore must re-sample afterwards.
+  const bool skip_write_back =
+      fast_path_ && confirmed && m == v && tail_covers_hints(obj);
+  if (!skip_write_back) {
+    for (;;) {
+      co_await dap_for(obj, cseq(obj)[v].cfg)->put_data(best);
+      co_await read_config(obj);
+      if (nu(obj) == v) break;
+      v = nu(obj);
+    }
   }
 
   if (recorder_ != nullptr) {
@@ -246,7 +343,7 @@ sim::Future<void> AresClient::update_config(ObjectId obj) {
     if (tv.value) update_config_bytes_ += tv.value->size();  // pulled in
     best = max_by_tag(best, tv);
   }
-  if (!best.value) best.value = make_value(Value{});
+  if (!best.value) best.value = initial_value();
   update_config_bytes_ += best.value->size();  // pushed out
   co_await dap_for(obj, cseq(obj)[v].cfg)->put_data(best);
   co_return;
@@ -261,7 +358,8 @@ sim::Future<ConfigId> AresClient::reconfig(ObjectId obj,
     registry_.register_config(new_spec);
   }
 
-  // Phase 1: read-config.
+  // Phase 1: read-config. Reconfigurations are rare: always the full
+  // traversal, never the cached-cseq shortcut.
   co_await read_config(obj);
 
   // Phase 2: add-config — consensus on the successor of the current last
@@ -274,11 +372,15 @@ sim::Future<ConfigId> AresClient::reconfig(ObjectId obj,
   co_await put_config(obj, prev, cseq(obj)[v + 1]);
 
   // Phase 3: update-config — transfer the latest object state into the new
-  // configuration.
+  // configuration. Pin the index now: update_config transfers into the tail
+  // known at this instant, and phase 4 must finalize exactly that entry —
+  // never an even-newer configuration a piggybacked hint appends while the
+  // transfer is in flight (its own reconfigurer finalizes it after its own
+  // transfer).
+  const std::size_t last = nu(obj);
   co_await update_config(obj);
 
   // Phase 4: finalize-config.
-  const std::size_t last = nu(obj);
   obj_state(obj).cseq[last].finalized = true;
   co_await put_config(obj, cseq(obj)[last - 1].cfg, cseq(obj)[last]);
 

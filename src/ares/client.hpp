@@ -89,6 +89,16 @@ class AresClient : public sim::Process {
   /// and for the latency benchmarks that measure T(read-config)).
   [[nodiscard]] sim::Future<void> read_config(ObjectId obj = kDefaultObject);
 
+  /// Steady-state fast path (default on): skip the explicit read-config
+  /// round while the locally cached cseq is known current — every DAP reply
+  /// piggybacks the servers' nextC, and any reply revealing a successor
+  /// configuration falls the operation back to the full Alg. 4 traversal —
+  /// and elide the read write-back phase when the returned tag is already
+  /// quorum-confirmed (semifast read). Off = the paper's exact round
+  /// structure (benchmark baseline).
+  void set_fast_path(bool on) { fast_path_ = on; }
+  [[nodiscard]] bool fast_path() const { return fast_path_; }
+
   /// Object-data bytes this client pulled through itself during
   /// update-config phases, across all objects (the reconfiguration-
   /// bottleneck metric of Section 5; stays 0 for the direct-transfer
@@ -100,10 +110,20 @@ class AresClient : public sim::Process {
  protected:
   void handle(const sim::Message& msg) override;
 
+  /// Applies piggybacked nextC hints to `obj`'s local cseq: appending a
+  /// newly revealed successor marks the sequence unsynced (there may be
+  /// further links only a full traversal finds).
+  void note_config_hint(ConfigId cfg, ObjectId obj,
+                        const CseqEntry& next) override;
+
   /// Per-object client state: the local configuration sequence plus cached
   /// protocol endpoints, all independent between objects.
   struct ObjectState {
     std::vector<CseqEntry> cseq;
+    /// True once a full read-config traversal completed and no piggybacked
+    /// hint has revealed an unexplored successor since — the fast path may
+    /// then trust cseq without the explicit round.
+    bool synced = false;
     std::map<ConfigId, std::shared_ptr<dap::Dap>> daps;
     std::map<ConfigId, std::unique_ptr<consensus::PaxosProposer>> proposers;
   };
@@ -141,7 +161,16 @@ class AresClient : public sim::Process {
                                                            ConfigId on_cfg,
                                                            ConfigId value);
 
+  /// read_config, unless the fast path may trust the cached cseq for `obj`.
+  [[nodiscard]] sim::Future<void> ensure_config(ObjectId obj);
+
+  /// True when piggybacked hints on `obj`'s current tail configuration are
+  /// guaranteed to reveal any installed successor (the tail's DAP phase
+  /// quorums intersect every reconfiguration-service quorum).
+  [[nodiscard]] bool tail_covers_hints(ObjectId obj);
+
   ConfigId default_c0_;
+  bool fast_path_ = true;
   std::map<ObjectId, ObjectState> objects_;
 };
 

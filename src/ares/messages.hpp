@@ -12,13 +12,10 @@
 namespace ares::reconfig {
 
 /// One element of a configuration sequence: ⟨cfg, status⟩ with status
-/// P (pending) or F (finalized).
-struct CseqEntry {
-  ConfigId cfg = kNoConfig;
-  bool finalized = false;
-
-  [[nodiscard]] bool valid() const { return cfg != kNoConfig; }
-};
+/// P (pending) or F (finalized). Defined in common/types.hpp since every
+/// sim::RpcReply piggybacks one; re-exported here for the reconfiguration
+/// module's historical spelling.
+using ares::CseqEntry;
 
 /// READ-CONFIG: server replies with its nextC variable.
 class ReadConfigReq final : public sim::RpcRequest {

@@ -21,6 +21,15 @@ std::optional<CseqEntry> AresServer::next_config(ConfigId cfg,
   return oit->second.nextc;
 }
 
+CseqEntry AresServer::next_config_hint(ConfigId cfg, ObjectId obj) const {
+  // Pure lookup: hint stamping must not materialize per-object reconfig
+  // state (see the comment in handle()).
+  auto it = configs_.find(cfg);
+  if (it == configs_.end()) return {};
+  auto oit = it->second.objects.find(obj);
+  return oit == it->second.objects.end() ? CseqEntry{} : oit->second.nextc;
+}
+
 const dap::DapServer* AresServer::dap_state(ConfigId cfg) const {
   auto it = configs_.find(cfg);
   return it == configs_.end() ? nullptr : it->second.dap.get();

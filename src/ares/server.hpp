@@ -39,6 +39,13 @@ class AresServer final : public sim::Process {
  protected:
   void handle(const sim::Message& msg) override;
 
+  /// Piggybacked configuration discovery: every reply this server sends —
+  /// DAP data phases, consensus, reconfiguration service — carries its
+  /// nextC for the addressed (configuration, object), so clients learn of
+  /// successor configurations without an explicit read-config round.
+  [[nodiscard]] CseqEntry next_config_hint(ConfigId cfg,
+                                           ObjectId obj) const override;
+
  private:
   /// Reconfiguration-service state for one (configuration, object) pair.
   struct PerObject {

@@ -14,6 +14,11 @@ ValuePtr make_value(Value v) {
   return std::make_shared<const Value>(std::move(v));
 }
 
+const ValuePtr& initial_value() {
+  static const ValuePtr v0 = std::make_shared<const Value>();
+  return v0;
+}
+
 Value make_test_value(std::size_t size, std::uint64_t seed) {
   Value v(size);
   Rng rng(seed);

@@ -59,6 +59,17 @@ struct Tag {
 /// The initial tag t0 associated with the initial value v0.
 inline constexpr Tag kInitialTag{0, 0};
 
+/// One element of a configuration sequence: ⟨cfg, status⟩ with status
+/// P (pending) or F (finalized). Lives here (not in the reconfiguration
+/// module) because every RPC reply piggybacks the replying server's nextC
+/// pointer for the addressed (configuration, object) — see sim::RpcReply.
+struct CseqEntry {
+  ConfigId cfg = kNoConfig;
+  bool finalized = false;
+
+  [[nodiscard]] bool valid() const { return cfg != kNoConfig; }
+};
+
 /// An object value. The paper normalizes costs to |v| = 1 unit; we carry
 /// real bytes so erasure coding and byte accounting are exercised for real.
 using Value = std::vector<std::uint8_t>;
@@ -70,6 +81,11 @@ using ValuePtr = std::shared_ptr<const Value>;
 
 /// Convenience: wrap a Value into a ValuePtr.
 [[nodiscard]] ValuePtr make_value(Value v);
+
+/// The canonical initial value v0 (empty), as one process-wide shared
+/// instance: hot paths that fall back to ⟨t0, v0⟩ must not allocate a fresh
+/// empty Value per operation.
+[[nodiscard]] const ValuePtr& initial_value();
 
 /// Convenience: a deterministic pseudo-random value of `size` bytes derived
 /// from `seed` (used by tests, examples and workloads).

@@ -71,14 +71,12 @@ sim::Future<PaxosValue> PaxosProposer::propose(PaxosValue value) {
     const Ballot ballot{round_, owner_.id()};
 
     // ---- Phase 1: prepare --------------------------------------------------
-    auto p1 = sim::broadcast_collect<PrepareReply>(
-        owner_, acceptors_, [this, ballot](ProcessId) {
-          auto req = std::make_shared<PrepareReq>();
-          req->config = instance_;
-          req->object = object_;
-          req->ballot = ballot;
-          return req;
-        });
+    auto prepare = std::make_shared<PrepareReq>();
+    prepare->config = instance_;
+    prepare->object = object_;
+    prepare->ballot = ballot;
+    auto p1 = sim::broadcast_collect<PrepareReply>(owner_, acceptors_,
+                                                   std::move(prepare));
     using P1Arrivals = std::vector<sim::QuorumCollector<PrepareReply>::Arrival>;
     // Hoisted per the GCC-12 note in sim/coro.hpp.
     std::function<bool(const P1Arrivals&)> p1_pred = [maj,
@@ -131,15 +129,13 @@ sim::Future<PaxosValue> PaxosProposer::propose(PaxosValue value) {
       const PaxosValue proposal = adopted.value_or(value);
 
       // ---- Phase 2: accept -------------------------------------------------
-      auto p2 = sim::broadcast_collect<AcceptReply>(
-          owner_, acceptors_, [this, ballot, proposal](ProcessId) {
-            auto req = std::make_shared<AcceptReq>();
-            req->config = instance_;
-            req->object = object_;
-            req->ballot = ballot;
-            req->value = proposal;
-            return req;
-          });
+      auto accept = std::make_shared<AcceptReq>();
+      accept->config = instance_;
+      accept->object = object_;
+      accept->ballot = ballot;
+      accept->value = proposal;
+      auto p2 = sim::broadcast_collect<AcceptReply>(owner_, acceptors_,
+                                                    std::move(accept));
       using P2Arrivals =
           std::vector<sim::QuorumCollector<AcceptReply>::Arrival>;
       std::function<bool(const P2Arrivals&)> p2_pred =

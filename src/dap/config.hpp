@@ -48,6 +48,14 @@ struct ConfigSpec {
   /// await f+1 acks).
   std::size_t ldr_f = 1;
 
+  /// Semifast steady-state optimization (implementation extension, after
+  /// the authors' semifast-register line of work): servers track the
+  /// highest tag known to be propagated to a full quorum and report it in
+  /// query replies; readers that find the maximum tag already confirmed
+  /// skip the write-back phase. Off = the paper's exact message pattern
+  /// (used as the benchmark baseline).
+  bool semifast = true;
+
   /// TREAS read liveness knobs beyond the paper's δ assumption: if the
   /// get-data decodability condition is not met, re-query after this many
   /// time units (0 = wait forever, the paper's exact semantics), up to

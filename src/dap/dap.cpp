@@ -2,6 +2,11 @@
 
 namespace ares::dap {
 
+sim::Future<TagValue> Dap::get_data() {
+  GetDataResult r = co_await get_data_confirmed();
+  co_return r.tv;
+}
+
 sim::Future<Tag> Dap::get_dec_tag() {
   TagValue tv = co_await get_data();
   co_return tv.tag;

@@ -12,7 +12,18 @@
 #include "common/types.hpp"
 #include "sim/coro.hpp"
 
+#include <algorithm>
+
 namespace ares::dap {
+
+/// get-data plus the semifast confirmation verdict: `confirmed` means the
+/// returned tag is known to be propagated to a full quorum already, so the
+/// reader's write-back phase (A1's put-data) is redundant and may be
+/// elided without violating C1 for later operations.
+struct GetDataResult {
+  TagValue tv;
+  bool confirmed = false;
+};
 
 class Dap {
  public:
@@ -27,8 +38,14 @@ class Dap {
   /// D1: c.get-tag()
   [[nodiscard]] virtual sim::Future<Tag> get_tag() = 0;
 
-  /// D2: c.get-data()
-  [[nodiscard]] virtual sim::Future<TagValue> get_data() = 0;
+  /// D2 + semifast metadata: c.get-data() plus whether the returned tag is
+  /// quorum-confirmed (always false when the configuration's `semifast`
+  /// flag is off).
+  [[nodiscard]] virtual sim::Future<GetDataResult> get_data_confirmed() = 0;
+
+  /// D2: c.get-data() (wrapper over get_data_confirmed for callers that do
+  /// not care about the confirmation verdict).
+  [[nodiscard]] sim::Future<TagValue> get_data();
 
   /// D3: c.put-data(⟨τ,v⟩)
   [[nodiscard]] virtual sim::Future<void> put_data(TagValue tv) = 0;
@@ -39,8 +56,19 @@ class Dap {
   /// bandwidth-optimal; TREAS overrides with a metadata-only phase).
   [[nodiscard]] virtual sim::Future<Tag> get_dec_tag();
 
+  /// Highest tag this client knows is quorum-propagated for its
+  /// (configuration, object) — t0 is trivially confirmed (every server
+  /// starts from ⟨t0, v0⟩).
+  [[nodiscard]] Tag confirmed_tag() const { return confirmed_; }
+
+ protected:
+  /// Record that put-data(τ) completed at a quorum (or that a server
+  /// reported τ confirmed).
+  void note_confirmed(Tag t) { confirmed_ = std::max(confirmed_, t); }
+
  private:
   ObjectId object_;
+  Tag confirmed_ = kInitialTag;
 };
 
 }  // namespace ares::dap

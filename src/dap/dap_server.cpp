@@ -1,0 +1,32 @@
+#include "dap/dap_server.hpp"
+
+#include "dap/messages.hpp"
+
+#include <algorithm>
+
+namespace ares::dap {
+
+Tag DapServer::confirmed_tag(ObjectId obj) const {
+  auto it = confirmed_.find(obj);
+  return it == confirmed_.end() ? kInitialTag : it->second;
+}
+
+bool DapServer::absorb_confirmations(const sim::Message& msg) {
+  auto req = std::dynamic_pointer_cast<const sim::RpcRequest>(msg.body);
+  if (!req) return false;
+  // t0 is confirmed by construction; don't materialize map entries for it.
+  if (req->confirmed_hint > kInitialTag) {
+    auto& cur = confirmed_[req->object];
+    cur = std::max(cur, req->confirmed_hint);
+  }
+  if (auto confirm = std::dynamic_pointer_cast<const ConfirmMsg>(msg.body)) {
+    if (confirm->tag > kInitialTag) {
+      auto& cur = confirmed_[confirm->object];
+      cur = std::max(cur, confirm->tag);
+    }
+    return true;  // fire-and-forget: consumed, no reply
+  }
+  return false;
+}
+
+}  // namespace ares::dap

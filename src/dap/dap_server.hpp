@@ -10,6 +10,7 @@
 #include "sim/message.hpp"
 #include "sim/process.hpp"
 
+#include <map>
 #include <memory>
 
 namespace ares::dap {
@@ -37,6 +38,22 @@ class DapServer {
   /// Highest tag this server has seen for `obj` (Definition 10
   /// diagnostics). Tag spaces of distinct objects are independent.
   [[nodiscard]] virtual Tag max_tag(ObjectId obj = kDefaultObject) const = 0;
+
+  /// Highest tag known to be propagated to a full quorum of this
+  /// configuration for `obj` (semifast reads: query replies report it so
+  /// readers can elide the write-back phase). Learned from the
+  /// confirmed_hint piggybacked on requests and from ConfirmMsg broadcasts.
+  [[nodiscard]] Tag confirmed_tag(ObjectId obj) const;
+
+ protected:
+  /// Absorb the confirmation evidence carried by `msg` (every request's
+  /// confirmed_hint; a standalone ConfirmMsg). Returns true iff the message
+  /// was a ConfirmMsg and is thereby fully consumed (no reply is due).
+  /// Protocol handlers call this before their own dispatch.
+  bool absorb_confirmations(const sim::Message& msg);
+
+ private:
+  std::map<ObjectId, Tag> confirmed_;
 };
 
 }  // namespace ares::dap

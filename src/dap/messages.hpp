@@ -1,0 +1,39 @@
+// Protocol-agnostic DAP control messages, shared by ABD / TREAS / LDR.
+#pragma once
+
+#include "common/types.hpp"
+#include "sim/message.hpp"
+#include "sim/process.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace ares::dap {
+
+/// CONFIRM ⟨τ⟩ (fire-and-forget): the sender completed a quorum put-data of
+/// tag τ for (config, object), so a quorum of the configuration's servers
+/// now stores tag ≥ τ. Receiving servers raise their confirmed tag, which
+/// later query replies report — the evidence that lets semifast readers
+/// skip the write-back phase. Metadata only; no reply.
+class ConfirmMsg final : public sim::RpcRequest {
+ public:
+  Tag tag;
+  [[nodiscard]] std::string_view type_name() const override {
+    return "dap.confirm";
+  }
+};
+
+/// Broadcast one shared CONFIRM ⟨τ⟩ body to `servers` (no acks awaited —
+/// zero rounds added to the completing operation).
+inline void broadcast_confirm(sim::Process& owner, ConfigId config,
+                              ObjectId object, Tag tag,
+                              const std::vector<ProcessId>& servers) {
+  auto msg = std::make_shared<ConfirmMsg>();
+  msg->config = config;
+  msg->object = object;
+  msg->tag = tag;
+  const sim::BodyPtr body = std::move(msg);
+  for (ProcessId s : servers) owner.send(s, body);
+}
+
+}  // namespace ares::dap

@@ -29,14 +29,17 @@ sim::Future<TagValue> RegisterClient::read() {
     op_id = recorder_->begin(writer_id_, checker::OpKind::kRead, sim_now(),
                              dap_->object());
   }
-  TagValue tv = co_await dap_->get_data();
-  if (read_template_ == ReadTemplate::kA1TwoPhase) {
-    co_await dap_->put_data(tv);
+  GetDataResult r = co_await dap_->get_data_confirmed();
+  // Semifast read: skip the write-back when the tag is already known
+  // quorum-propagated (always the case under A2, whose get-data maintains
+  // C3 itself).
+  if (read_template_ == ReadTemplate::kA1TwoPhase && !r.confirmed) {
+    co_await dap_->put_data(r.tv);
   }
   if (recorder_ != nullptr) {
-    recorder_->end(op_id, sim_now(), tv.tag, tv.value);
+    recorder_->end(op_id, sim_now(), r.tv.tag, r.tv.value);
   }
-  co_return tv;
+  co_return r.tv;
 }
 
 sim::Future<Tag> RegisterClient::write(ValuePtr value) {

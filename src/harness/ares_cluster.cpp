@@ -19,6 +19,7 @@ AresCluster::AresCluster(AresClusterOptions options)
              : 1;
   c0.delta = options_.delta;
   c0.treas_retry_timeout = options_.treas_retry_timeout;
+  c0.semifast = options_.semifast;
   for (std::size_t i = 0; i < options_.initial_servers; ++i) {
     c0.servers.push_back(static_cast<ProcessId>(i));
   }
@@ -33,6 +34,7 @@ AresCluster::AresCluster(AresClusterOptions options)
   for (std::size_t i = 0; i < options_.num_rw_clients; ++i) {
     clients_.push_back(std::make_unique<reconfig::AresClient>(
         sim_, net_, next_pid++, registry_, /*c0=*/0, &history_));
+    clients_.back()->set_fast_path(options_.fast_path);
   }
   for (std::size_t i = 0; i < options_.num_reconfigurers; ++i) {
     if (options_.direct_transfer) {
@@ -42,6 +44,7 @@ AresCluster::AresCluster(AresClusterOptions options)
       reconfigurers_.push_back(std::make_unique<reconfig::AresClient>(
           sim_, net_, next_pid++, registry_, /*c0=*/0, nullptr));
     }
+    reconfigurers_.back()->set_fast_path(options_.fast_path);
   }
 }
 
@@ -55,6 +58,7 @@ dap::ConfigSpec AresCluster::make_spec(dap::Protocol protocol,
   spec.k = protocol == dap::Protocol::kTreas ? k : 1;
   spec.delta = options_.delta;
   spec.treas_retry_timeout = options_.treas_retry_timeout;
+  spec.semifast = options_.semifast;
   for (std::size_t i = 0; i < n; ++i) {
     spec.servers.push_back(static_cast<ProcessId>(
         (first_server + i) % options_.server_pool));

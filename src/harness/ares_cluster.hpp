@@ -42,6 +42,14 @@ struct AresClusterOptions {
   /// Reconfigurers use the Section-5 direct state transfer when true.
   bool direct_transfer = false;
 
+  /// Steady-state fast path on every client (piggybacked config discovery +
+  /// semifast reads; see reconfig::AresClient::set_fast_path). `semifast`
+  /// additionally controls the confirmed-tag machinery in every
+  /// configuration spec the cluster mints. Both false = the paper's exact
+  /// round structure (benchmark baseline).
+  bool fast_path = true;
+  bool semifast = true;
+
   SimDuration min_delay = 10;  // d
   SimDuration max_delay = 40;  // D
   std::uint64_t seed = 1;

@@ -1,0 +1,120 @@
+#include "harness/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ares::harness {
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double d) {
+  if (d == std::floor(d) && std::abs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
+    out += buf;
+  } else {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", d);
+    out += buf;
+  }
+}
+
+void append_indent(std::string& out, int indent) {
+  out.append(static_cast<std::size_t>(indent) * 2, ' ');
+}
+
+}  // namespace
+
+Json& Json::set(std::string key, Json v) {
+  auto* obj = std::get_if<Object>(&value_);
+  if (obj == nullptr) {
+    value_ = Object{};
+    obj = &std::get<Object>(value_);
+  }
+  obj->emplace_back(std::move(key), std::make_shared<Json>(std::move(v)));
+  return *this;
+}
+
+Json& Json::push(Json v) {
+  auto* arr = std::get_if<Array>(&value_);
+  if (arr == nullptr) {
+    value_ = Array{};
+    arr = &std::get<Array>(value_);
+  }
+  arr->push_back(std::make_shared<Json>(std::move(v)));
+  return *this;
+}
+
+void Json::dump_to(std::string& out, int indent) const {
+  if (const auto* b = std::get_if<bool>(&value_)) {
+    out += *b ? "true" : "false";
+  } else if (const auto* d = std::get_if<double>(&value_)) {
+    append_number(out, *d);
+  } else if (const auto* s = std::get_if<std::string>(&value_)) {
+    append_escaped(out, *s);
+  } else if (const auto* obj = std::get_if<Object>(&value_)) {
+    if (obj->empty()) {
+      out += "{}";
+      return;
+    }
+    out += "{\n";
+    for (std::size_t i = 0; i < obj->size(); ++i) {
+      append_indent(out, indent + 1);
+      append_escaped(out, (*obj)[i].first);
+      out += ": ";
+      (*obj)[i].second->dump_to(out, indent + 1);
+      if (i + 1 < obj->size()) out += ',';
+      out += '\n';
+    }
+    append_indent(out, indent);
+    out += '}';
+  } else if (const auto* arr = std::get_if<Array>(&value_)) {
+    if (arr->empty()) {
+      out += "[]";
+      return;
+    }
+    out += "[\n";
+    for (std::size_t i = 0; i < arr->size(); ++i) {
+      append_indent(out, indent + 1);
+      (*arr)[i]->dump_to(out, indent + 1);
+      if (i + 1 < arr->size()) out += ',';
+      out += '\n';
+    }
+    append_indent(out, indent);
+    out += ']';
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out, 0);
+  return out;
+}
+
+bool write_json_file(const std::string& path, const Json& j) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::perror(("write_json_file: " + path).c_str());
+    return false;
+  }
+  const std::string s = j.dump() + "\n";
+  std::fwrite(s.data(), 1, s.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace ares::harness

@@ -1,0 +1,58 @@
+// Minimal ordered JSON value + writer, so benches can emit machine-readable
+// BENCH_<name>.json result files (the perf trajectory CI uploads) without an
+// external dependency. Supports exactly what the benches need: objects
+// (insertion-ordered), arrays, strings, numbers, booleans.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace ares::harness {
+
+class Json {
+ public:
+  Json() : value_(Object{}) {}
+  Json(bool b) : value_(b) {}                        // NOLINT(runtime/explicit)
+  Json(double d) : value_(d) {}                      // NOLINT(runtime/explicit)
+  template <typename T>
+    requires(std::integral<T> && !std::same_as<T, bool>)
+  Json(T i) : value_(static_cast<double>(i)) {}      // NOLINT(runtime/explicit)
+  Json(const char* s) : value_(std::string(s)) {}    // NOLINT(runtime/explicit)
+  Json(std::string s) : value_(std::move(s)) {}      // NOLINT(runtime/explicit)
+
+  static Json object() { return Json(); }
+  static Json array() {
+    Json j;
+    j.value_ = Array{};
+    return j;
+  }
+
+  /// Object field (insertion order preserved). Returns *this for chaining.
+  Json& set(std::string key, Json v);
+
+  /// Array element. Returns *this for chaining.
+  Json& push(Json v);
+
+  /// Serialized form, pretty-printed with 2-space indentation.
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  using Object = std::vector<std::pair<std::string, std::shared_ptr<Json>>>;
+  using Array = std::vector<std::shared_ptr<Json>>;
+
+  void dump_to(std::string& out, int indent) const;
+
+  std::variant<bool, double, std::string, Object, Array> value_;
+};
+
+/// Writes `j` to `path` (trailing newline included) and prints where the
+/// result landed. Returns false (after perror) if the file cannot be
+/// written.
+bool write_json_file(const std::string& path, const Json& j);
+
+}  // namespace ares::harness

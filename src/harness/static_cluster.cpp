@@ -49,6 +49,7 @@ StaticCluster::StaticCluster(StaticClusterOptions options)
   spec_.delta = options_.delta;
   spec_.ldr_f = options_.ldr_f;
   spec_.treas_retry_timeout = options_.treas_retry_timeout;
+  spec_.semifast = options_.semifast;
   for (std::size_t i = 0; i < options_.num_servers; ++i) {
     spec_.servers.push_back(static_cast<ProcessId>(i));
   }

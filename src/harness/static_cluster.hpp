@@ -81,6 +81,10 @@ struct StaticClusterOptions {
   SimDuration max_delay = 40;   // D
   std::uint64_t seed = 1;
   SimDuration treas_retry_timeout = 0;
+
+  /// Confirmed-tag tracking + semifast read elision (see ConfigSpec).
+  /// false = the paper's exact message pattern (benchmark baseline).
+  bool semifast = true;
 };
 
 /// Owns the simulator, network, servers and clients of one static

@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <concepts>
 #include <functional>
 #include <memory>
 #include <stdexcept>
@@ -119,6 +120,15 @@ struct OpStat {
   ObjectId object = kDefaultObject;
   SimTime start = 0;
   SimTime end = 0;
+
+  /// Operation cost counters, sampled from the client process's
+  /// sim::TrafficStats around the operation (0 for client types without
+  /// traffic accounting): quorum rounds initiated, messages sent, and
+  /// bytes sent+received while the operation ran.
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+
   [[nodiscard]] SimDuration latency() const { return end - start; }
 };
 
@@ -172,6 +182,52 @@ struct WorkloadResult {
     }
     return n;
   }
+
+  /// Latency percentile (0 < pct <= 100) of successful reads or writes.
+  [[nodiscard]] double latency_percentile(bool writes, double pct) const {
+    std::vector<SimDuration> lat;
+    for (const auto& o : ops) {
+      if (o.is_write == writes && !o.failed) lat.push_back(o.latency());
+    }
+    if (lat.empty()) return 0.0;
+    std::sort(lat.begin(), lat.end());
+    const auto rank = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(pct / 100.0 * static_cast<double>(lat.size()))));
+    return static_cast<double>(lat[std::min(rank, lat.size()) - 1]);
+  }
+
+  /// Mean quorum rounds per successful read or write (the paper-style
+  /// operation cost, measured — 4 for a baseline ARES read, 1 on the
+  /// semifast fast path).
+  [[nodiscard]] double mean_rounds(bool writes) const {
+    return mean_counter(writes, [](const OpStat& o) { return o.rounds; });
+  }
+
+  /// Mean messages sent per successful read or write.
+  [[nodiscard]] double mean_messages(bool writes) const {
+    return mean_counter(writes, [](const OpStat& o) { return o.messages; });
+  }
+
+  /// Mean bytes (sent + received, data + metadata) per successful read or
+  /// write.
+  [[nodiscard]] double mean_bytes(bool writes) const {
+    return mean_counter(writes, [](const OpStat& o) { return o.bytes; });
+  }
+
+ private:
+  template <typename Get>
+  [[nodiscard]] double mean_counter(bool writes, Get get) const {
+    double sum = 0;
+    std::size_t n = 0;
+    for (const auto& o : ops) {
+      if (o.is_write == writes && !o.failed) {
+        sum += static_cast<double>(get(o));
+        ++n;
+      }
+    }
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+  }
 };
 
 namespace detail {
@@ -181,6 +237,12 @@ template <typename Client>
 concept ObjectKeyedClient = requires(Client c, ObjectId obj, ValuePtr v) {
   c.read(obj);
   c.write(obj, v);
+};
+
+/// Clients with per-process traffic accounting (any sim::Process).
+template <typename Client>
+concept TrafficCountedClient = requires(const Client c) {
+  { c.traffic().quorum_rounds } -> std::convertible_to<std::uint64_t>;
 };
 
 struct WorkloadShared {
@@ -205,6 +267,13 @@ sim::Future<void> client_loop(sim::Simulator* sim, Client* client,
     stat.is_write = rng.chance(opt.write_fraction);
     stat.object = picker->pick(rng);
     stat.start = sim->now();
+    std::uint64_t rounds0 = 0, messages0 = 0, bytes0 = 0;
+    if constexpr (TrafficCountedClient<Client>) {
+      const auto& t = client->traffic();
+      rounds0 = t.quorum_rounds;
+      messages0 = t.messages_sent;
+      bytes0 = t.bytes_total();
+    }
     try {
       if (stat.is_write) {
         auto payload = make_value(make_test_value(opt.value_size,
@@ -231,6 +300,12 @@ sim::Future<void> client_loop(sim::Simulator* sim, Client* client,
       ++shared->failures;
     }
     stat.end = sim->now();
+    if constexpr (TrafficCountedClient<Client>) {
+      const auto& t = client->traffic();
+      stat.rounds = t.quorum_rounds - rounds0;
+      stat.messages = t.messages_sent - messages0;
+      stat.bytes = t.bytes_total() - bytes0;
+    }
     shared->ops.push_back(stat);
     if (opt.on_op) {
       try {

@@ -1,5 +1,6 @@
 #include "ldr/client.hpp"
 
+#include "dap/messages.hpp"
 #include "ldr/messages.hpp"
 
 #include <cassert>
@@ -14,61 +15,71 @@ LdrDap::LdrDap(sim::Process& owner, dap::ConfigSpec spec, ObjectId object)
 }
 
 sim::Future<Tag> LdrDap::get_tag() {
-  auto qc = sim::broadcast_collect<QueryTagLocReply>(
-      owner_, spec_.directories, [this](ProcessId) {
-        auto req = std::make_shared<QueryTagLocReq>();
-        req->config = spec_.id;
-        req->object = object();
-        return req;
-      });
+  auto req = std::make_shared<QueryTagLocReq>();
+  req->config = spec_.id;
+  req->object = object();
+  req->confirmed_hint = confirmed_tag();
+  auto qc = sim::broadcast_collect<QueryTagLocReply>(owner_, spec_.directories,
+                                                     std::move(req));
   co_await qc.wait_for(dir_majority());
   Tag max = kInitialTag;
   for (const auto& a : qc.arrivals()) max = std::max(max, a.reply->tag);
   co_return max;
 }
 
-sim::Future<TagValue> LdrDap::get_data() {
+sim::Future<dap::GetDataResult> LdrDap::get_data_confirmed() {
   // Phase 1: ⟨τmax, Umax⟩ from a directory majority.
+  auto q1req = std::make_shared<QueryTagLocReq>();
+  q1req->config = spec_.id;
+  q1req->object = object();
+  q1req->confirmed_hint = confirmed_tag();
   auto q1 = sim::broadcast_collect<QueryTagLocReply>(
-      owner_, spec_.directories, [this](ProcessId) {
-        auto req = std::make_shared<QueryTagLocReq>();
-        req->config = spec_.id;
-        req->object = object();
-        return req;
-      });
+      owner_, spec_.directories, std::move(q1req));
   co_await q1.wait_for(dir_majority());
   Tag tmax = kInitialTag;
+  Tag confirmed = kInitialTag;
   std::vector<ProcessId> umax;
   for (const auto& a : q1.arrivals()) {
     if (a.reply->tag > tmax || (a.reply->tag == tmax && umax.empty())) {
       tmax = a.reply->tag;
       umax = a.reply->loc;
     }
+    confirmed = std::max(confirmed, a.reply->confirmed);
   }
 
   // Phase 2: write the metadata back to a directory majority (C3).
-  auto q2 = sim::broadcast_collect<PutMetaAck>(
-      owner_, spec_.directories, [this, tmax, &umax](ProcessId) {
-        auto req = std::make_shared<PutMetaReq>();
-        req->config = spec_.id;
-        req->object = object();
-        req->tag = tmax;
-        req->loc = umax;
-        return req;
-      });
-  co_await q2.wait_for(dir_majority());
+  // Semifast elision: confirmed ≥ τmax means ⟨τ', U⟩ with τ' ≥ τmax already
+  // rests at a directory majority, so later phase-1 majorities observe a
+  // tag ≥ τmax without our write-back — C3 holds without the round.
+  const bool skip_meta = spec_.semifast && confirmed >= tmax;
+  if (skip_meta) {
+    note_confirmed(tmax);
+  } else {
+    auto q2req = std::make_shared<PutMetaReq>();
+    q2req->config = spec_.id;
+    q2req->object = object();
+    q2req->confirmed_hint = confirmed_tag();
+    q2req->tag = tmax;
+    q2req->loc = umax;
+    auto q2 = sim::broadcast_collect<PutMetaAck>(owner_, spec_.directories,
+                                                 std::move(q2req));
+    co_await q2.wait_for(dir_majority());
+    note_confirmed(tmax);
+    if (spec_.semifast) {
+      dap::broadcast_confirm(owner_, spec_.id, object(), tmax,
+                             spec_.directories);
+    }
+  }
 
   // Phase 3: fetch the value from the location set (every replica for the
   // initial tag, whose location metadata is empty).
   std::vector<ProcessId> targets = umax.empty() ? spec_.replicas : umax;
-  auto q3 = sim::broadcast_collect<GetDataReply>(
-      owner_, targets, [this, tmax](ProcessId) {
-        auto req = std::make_shared<GetDataReq>();
-        req->config = spec_.id;
-        req->object = object();
-        req->tag = tmax;
-        return req;
-      });
+  auto q3req = std::make_shared<GetDataReq>();
+  q3req->config = spec_.id;
+  q3req->object = object();
+  q3req->tag = tmax;
+  auto q3 = sim::broadcast_collect<GetDataReply>(owner_, targets,
+                                                 std::move(q3req));
   using Arrivals = std::vector<sim::QuorumCollector<GetDataReply>::Arrival>;
   // Hoisted per the GCC-12 note in sim/coro.hpp.
   std::function<bool(const Arrivals&)> pred = [tmax](const Arrivals& arrivals) {
@@ -81,11 +92,14 @@ sim::Future<TagValue> LdrDap::get_data() {
   co_await wait_future;
   for (const auto& a : q3.arrivals()) {
     if (a.reply->value && a.reply->tag == tmax) {
-      co_return TagValue{tmax, a.reply->value};
+      // τmax is confirmed either way by now: phase 2 just put ⟨τmax, U⟩ at
+      // a directory majority itself when it was not elided.
+      co_return dap::GetDataResult{TagValue{tmax, a.reply->value},
+                                   spec_.semifast};
     }
   }
   assert(false && "wait predicate guaranteed a matching reply");
-  co_return TagValue{};
+  co_return dap::GetDataResult{};
 }
 
 sim::Future<void> LdrDap::put_data(TagValue tv) {
@@ -95,30 +109,32 @@ sim::Future<void> LdrDap::put_data(TagValue tv) {
                                  spec_.replicas.begin() +
                                      static_cast<std::ptrdiff_t>(
                                          2 * spec_.ldr_f + 1));
-  auto q1 = sim::broadcast_collect<PutDataAck>(
-      owner_, targets, [this, &tv](ProcessId) {
-        auto req = std::make_shared<PutDataReq>();
-        req->config = spec_.id;
-        req->object = object();
-        req->tag = tv.tag;
-        req->value = tv.value;
-        return req;
-      });
+  auto q1req = std::make_shared<PutDataReq>();
+  q1req->config = spec_.id;
+  q1req->object = object();
+  q1req->tag = tv.tag;
+  q1req->value = tv.value;
+  auto q1 = sim::broadcast_collect<PutDataAck>(owner_, targets,
+                                               std::move(q1req));
   co_await q1.wait_for(spec_.ldr_f + 1);
   std::vector<ProcessId> u;
   for (const auto& a : q1.arrivals()) u.push_back(a.from);
 
   // Phase 2: ⟨τ, U⟩ metadata to a directory majority.
-  auto q2 = sim::broadcast_collect<PutMetaAck>(
-      owner_, spec_.directories, [this, &tv, &u](ProcessId) {
-        auto req = std::make_shared<PutMetaReq>();
-        req->config = spec_.id;
-        req->object = object();
-        req->tag = tv.tag;
-        req->loc = u;
-        return req;
-      });
+  auto q2req = std::make_shared<PutMetaReq>();
+  q2req->config = spec_.id;
+  q2req->object = object();
+  q2req->confirmed_hint = confirmed_tag();
+  q2req->tag = tv.tag;
+  q2req->loc = u;
+  auto q2 = sim::broadcast_collect<PutMetaAck>(owner_, spec_.directories,
+                                               std::move(q2req));
   co_await q2.wait_for(dir_majority());
+  note_confirmed(tv.tag);
+  if (spec_.semifast) {
+    dap::broadcast_confirm(owner_, spec_.id, object(), tv.tag,
+                           spec_.directories);
+  }
   co_return;
 }
 

@@ -16,7 +16,7 @@ class LdrDap final : public dap::Dap {
          ObjectId object = kDefaultObject);
 
   [[nodiscard]] sim::Future<Tag> get_tag() override;
-  [[nodiscard]] sim::Future<TagValue> get_data() override;
+  [[nodiscard]] sim::Future<dap::GetDataResult> get_data_confirmed() override;
   [[nodiscard]] sim::Future<void> put_data(TagValue tv) override;
 
   [[nodiscard]] const dap::ConfigSpec& spec() const { return spec_; }

@@ -24,6 +24,7 @@ class QueryTagLocReply final : public sim::RpcReply {
  public:
   Tag tag;
   std::vector<ProcessId> loc;
+  Tag confirmed;  // highest tag a directory majority is known to carry
   [[nodiscard]] std::string_view type_name() const override {
     return "ldr.query_tag_loc_reply";
   }

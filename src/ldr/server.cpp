@@ -18,7 +18,7 @@ LdrServerState::PerObject& LdrServerState::object_state(ObjectId obj) {
   auto it = objects_.find(obj);
   if (it == objects_.end()) {
     it = objects_.emplace(obj, PerObject{}).first;
-    if (is_replica_) it->second.store.emplace(kInitialTag, make_value(Value{}));
+    if (is_replica_) it->second.store.emplace(kInitialTag, initial_value());
   }
   return it->second;
 }
@@ -46,6 +46,7 @@ Tag LdrServerState::max_tag(ObjectId obj) const {
 bool LdrServerState::handle(dap::ServerContext& ctx, const sim::Message& msg) {
   auto rpc = std::dynamic_pointer_cast<const sim::RpcRequest>(msg.body);
   if (!rpc) return false;
+  if (absorb_confirmations(msg)) return true;
   PerObject& state = object_state(rpc->object);
 
   if (is_directory_) {
@@ -53,6 +54,7 @@ bool LdrServerState::handle(dap::ServerContext& ctx, const sim::Message& msg) {
       auto reply = std::make_shared<QueryTagLocReply>();
       reply->tag = state.dir_tag;
       reply->loc = state.dir_loc;
+      reply->confirmed = confirmed_tag(rpc->object);
       ctx.process.reply_to(msg, std::move(reply));
       return true;
     }

@@ -46,11 +46,26 @@ class RpcRequest : public MessageBody {
   std::uint64_t rpc_id = 0;
   ConfigId config = kNoConfig;
   ObjectId object = kDefaultObject;
+
+  /// Semifast piggyback: the highest tag the caller knows is already
+  /// propagated to a quorum of the addressed (config, object). Servers
+  /// raise their confirmed tag to it, so a client's own completed put-data
+  /// is visible in the very next query round (see dap::DapServer).
+  Tag confirmed_hint = kInitialTag;
 };
 
 class RpcReply : public MessageBody {
  public:
   std::uint64_t rpc_id = 0;
+
+  /// Piggybacked configuration discovery: the replying server's nextC
+  /// pointer for the (config, object) the request addressed (⊥ if no
+  /// successor configuration is known). Stamped by Process::reply_to from
+  /// the server's Process::next_config_hint, so *every* reply — DAP data
+  /// phases, consensus, reconfiguration service — carries it for free.
+  /// Clients that cache their configuration sequence use it to skip the
+  /// explicit read-config round in the quiescent steady state.
+  CseqEntry next_c;
 };
 
 }  // namespace ares::sim

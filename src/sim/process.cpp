@@ -13,13 +13,33 @@ Process::~Process() { net_.unregister_process(id_); }
 
 void Process::deliver(const Message& msg) {
   if (crashed_) return;
+  ++traffic_.messages_received;
+  traffic_.data_bytes_received += msg.body->data_bytes();
+  traffic_.metadata_bytes_received += msg.body->metadata_bytes();
+
   if (auto reply = std::dynamic_pointer_cast<const RpcReply>(msg.body)) {
-    auto it = pending_.find(reply->rpc_id);
-    if (it == pending_.end()) return;  // late reply for a finished call
-    auto callback = std::move(it->second);
-    pending_.erase(it);
-    callback(msg.body);
-    return;
+    if (auto it = pending_.find(reply->rpc_id); it != pending_.end()) {
+      PendingCall call = std::move(it->second);
+      pending_.erase(it);
+      if (reply->next_c.valid()) {
+        note_config_hint(call.config, call.object, reply->next_c);
+      }
+      call.callback(msg.body);
+      return;
+    }
+    if (auto it = broadcasts_.find(reply->rpc_id); it != broadcasts_.end()) {
+      // Copy out before invoking anything: the callback may start new calls
+      // that rehash the maps.
+      auto callback = it->second.callback;
+      const ConfigId config = it->second.config;
+      const ObjectId object = it->second.object;
+      if (--it->second.remaining == 0) broadcasts_.erase(it);
+      if (reply->next_c.valid()) {
+        note_config_hint(config, object, reply->next_c);
+      }
+      callback(msg.from, msg.body);
+    }
+    return;  // late reply for a finished call: drop
   }
   handle(msg);
 }
@@ -27,8 +47,24 @@ void Process::deliver(const Message& msg) {
 void Process::call_async(ProcessId to, std::shared_ptr<RpcRequest> req,
                          std::function<void(BodyPtr)> on_reply) {
   req->rpc_id = next_rpc_id_++;
-  pending_[req->rpc_id] = std::move(on_reply);
+  pending_[req->rpc_id] =
+      PendingCall{std::move(on_reply), req->config, req->object};
   send(to, std::move(req));
+}
+
+void Process::call_broadcast(const std::vector<ProcessId>& dests,
+                             std::shared_ptr<RpcRequest> req,
+                             std::function<void(ProcessId, BodyPtr)> on_reply) {
+  if (dests.empty()) return;
+  // One rpc id for the whole fan-out; replies are told apart by sender.
+  // The request is immutable from here on, so one body serves every
+  // destination (the network shares message bodies by pointer anyway).
+  req->rpc_id = next_rpc_id_++;
+  broadcasts_[req->rpc_id] = PendingBroadcast{std::move(on_reply),
+                                              dests.size(), req->config,
+                                              req->object};
+  const BodyPtr body = std::move(req);
+  for (ProcessId to : dests) send(to, body);
 }
 
 Future<BodyPtr> Process::call(ProcessId to, std::shared_ptr<RpcRequest> req) {

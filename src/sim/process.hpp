@@ -1,6 +1,9 @@
 // Process: the actor base class. Handles registration with the network,
-// crash state, RPC request/reply matching for client-side calls, and typed
-// dispatch for server-side handlers.
+// crash state, RPC request/reply matching for client-side calls (point-to-
+// point and shared-request broadcast), typed dispatch for server-side
+// handlers, piggybacked configuration discovery (every reply carries the
+// server's nextC for the addressed (config, object)), and per-process
+// traffic/round accounting for the metrics layer.
 #pragma once
 
 #include "sim/coro.hpp"
@@ -9,11 +12,36 @@
 #include "sim/simulator.hpp"
 
 #include <cassert>
+#include <concepts>
 #include <functional>
 #include <memory>
 #include <unordered_map>
 
 namespace ares::sim {
+
+/// Per-process traffic counters: everything this process sent/received plus
+/// the number of quorum rounds (broadcast_collect fan-outs) it initiated.
+/// Sampled before/after each workload operation to derive rounds/op,
+/// messages/op and bytes/op — the paper-style operation cost, measured.
+struct TrafficStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t data_bytes_sent = 0;
+  std::uint64_t metadata_bytes_sent = 0;
+  std::uint64_t data_bytes_received = 0;
+  std::uint64_t metadata_bytes_received = 0;
+  std::uint64_t quorum_rounds = 0;
+
+  [[nodiscard]] std::uint64_t bytes_sent() const {
+    return data_bytes_sent + metadata_bytes_sent;
+  }
+  [[nodiscard]] std::uint64_t bytes_received() const {
+    return data_bytes_received + metadata_bytes_received;
+  }
+  [[nodiscard]] std::uint64_t bytes_total() const {
+    return bytes_sent() + bytes_received();
+  }
+};
 
 class Process {
  public:
@@ -36,7 +64,10 @@ class Process {
   void mark_crashed() { crashed_ = true; }
 
   /// Fire-and-forget send.
-  void send(ProcessId to, BodyPtr body) { net_.send(id_, to, std::move(body)); }
+  void send(ProcessId to, BodyPtr body) {
+    account_sent(body);
+    net_.send(id_, to, std::move(body));
+  }
 
   /// Client-side call with callback on reply. The callback is never invoked
   /// after this process crashes. Requests to crashed servers simply never
@@ -44,17 +75,34 @@ class Process {
   void call_async(ProcessId to, std::shared_ptr<RpcRequest> req,
                   std::function<void(BodyPtr)> on_reply);
 
+  /// Broadcast one *shared, immutable* request to every destination under a
+  /// single rpc id; `on_reply` fires once per replying server. One request
+  /// allocation per quorum round instead of one per server — the fan-out
+  /// building block for every phase whose payload does not vary per server.
+  void call_broadcast(const std::vector<ProcessId>& dests,
+                      std::shared_ptr<RpcRequest> req,
+                      std::function<void(ProcessId, BodyPtr)> on_reply);
+
   /// Awaitable call. Completes when (if ever) the reply arrives.
   Future<BodyPtr> call(ProcessId to, std::shared_ptr<RpcRequest> req);
 
-  /// Reply to a request: copies the rpc id into `reply` and sends it back.
-  /// (Public so per-configuration DapServer state machines, which are not
-  /// Process subclasses, can respond through their hosting process.)
+  /// Reply to a request: copies the rpc id into `reply`, stamps the
+  /// piggybacked nextC hint for the addressed (config, object), and sends
+  /// it back. (Public so per-configuration DapServer state machines, which
+  /// are not Process subclasses, can respond through their hosting process.)
   template <typename Reply>
   void reply_to(const Message& req, std::shared_ptr<Reply> reply) {
-    reply->rpc_id = std::static_pointer_cast<const RpcRequest>(req.body)->rpc_id;
+    auto rpc = std::static_pointer_cast<const RpcRequest>(req.body);
+    reply->rpc_id = rpc->rpc_id;
+    reply->next_c = next_config_hint(rpc->config, rpc->object);
     send(req.from, std::move(reply));
   }
+
+  /// Traffic/round counters of this process (workload metrics layer).
+  [[nodiscard]] const TrafficStats& traffic() const { return traffic_; }
+
+  /// One quorum round (a broadcast-and-collect fan-out) started.
+  void note_quorum_round() { ++traffic_.quorum_rounds; }
 
  protected:
   /// Subclasses implement protocol logic here. Only non-reply messages (or
@@ -62,13 +110,56 @@ class Process {
   /// arrive.
   virtual void handle(const Message& msg) = 0;
 
+  /// Server-side hook: the nextC pointer this process would report for
+  /// (cfg, obj), stamped into every reply by reply_to(). Default: ⊥ —
+  /// processes that host no reconfiguration state piggyback nothing.
+  [[nodiscard]] virtual CseqEntry next_config_hint(ConfigId cfg,
+                                                   ObjectId obj) const {
+    (void)cfg;
+    (void)obj;
+    return {};
+  }
+
+  /// Client-side hook: invoked (before the reply callback) whenever an
+  /// incoming reply to this process's own request piggybacks a valid nextC
+  /// for the (cfg, obj) the request addressed. Default: ignore.
+  virtual void note_config_hint(ConfigId cfg, ObjectId obj,
+                                const CseqEntry& next) {
+    (void)cfg;
+    (void)obj;
+    (void)next;
+  }
+
  private:
+  /// Request context remembered per pending rpc id, so piggybacked hints in
+  /// the reply can be attributed to the (config, object) they are about.
+  struct PendingCall {
+    std::function<void(BodyPtr)> callback;
+    ConfigId config = kNoConfig;
+    ObjectId object = kDefaultObject;
+  };
+
+  struct PendingBroadcast {
+    std::function<void(ProcessId, BodyPtr)> callback;
+    std::size_t remaining = 0;  // erased once every destination replied
+    ConfigId config = kNoConfig;
+    ObjectId object = kDefaultObject;
+  };
+
+  void account_sent(const BodyPtr& body) {
+    ++traffic_.messages_sent;
+    traffic_.data_bytes_sent += body->data_bytes();
+    traffic_.metadata_bytes_sent += body->metadata_bytes();
+  }
+
   Simulator& sim_;
   Network& net_;
   ProcessId id_;
   bool crashed_ = false;
   std::uint64_t next_rpc_id_ = 1;
-  std::unordered_map<std::uint64_t, std::function<void(BodyPtr)>> pending_;
+  std::unordered_map<std::uint64_t, PendingCall> pending_;
+  std::unordered_map<std::uint64_t, PendingBroadcast> broadcasts_;
+  TrafficStats traffic_;
 };
 
 /// Collects replies from a broadcast to a set of servers and completes when
@@ -86,9 +177,9 @@ class QuorumCollector {
     std::shared_ptr<const Reply> reply;
   };
 
-  /// Broadcasts `make_request(server)` to every server in `servers`.
-  /// `make_request` may return the same body for all (cheap broadcast) or a
-  /// per-server body (erasure-coded put-data sends distinct fragments).
+  /// Broadcasts `make_request(server)` to every server in `servers` —
+  /// the per-server form for phases whose payload varies per destination
+  /// (erasure-coded put-data sends distinct fragments).
   template <typename SendFn, typename MakeReq>
   QuorumCollector(SendFn&& do_call, std::vector<ProcessId> servers,
                   MakeReq&& make_request)
@@ -99,6 +190,18 @@ class QuorumCollector {
       do_call(s, std::move(req),
               [inner = inner_, s](BodyPtr reply) { inner->on_reply(s, reply); });
     }
+  }
+
+  /// Broadcasts one shared immutable request to every server (one
+  /// allocation, one rpc id — see Process::call_broadcast).
+  QuorumCollector(Process& p, const std::vector<ProcessId>& servers,
+                  std::shared_ptr<RpcRequest> req)
+      : inner_(std::make_shared<Inner>()) {
+    inner_->expected = servers.size();
+    p.call_broadcast(servers, std::move(req),
+                     [inner = inner_](ProcessId s, BodyPtr reply) {
+                       inner->on_reply(s, reply);
+                     });
   }
 
   /// Completes with true when `pred(arrivals)` first returns true (evaluated
@@ -164,16 +267,28 @@ class QuorumCollector {
 };
 
 /// Convenience: broadcast `make_request(server)` from `p` to `servers` and
-/// collect typed replies.
+/// collect typed replies. Counts as one quorum round on `p`.
 template <typename Reply, typename MakeReq>
+  requires std::invocable<MakeReq&, ProcessId>
 [[nodiscard]] QuorumCollector<Reply> broadcast_collect(
     Process& p, const std::vector<ProcessId>& servers, MakeReq&& make_request) {
+  p.note_quorum_round();
   auto do_call = [&p](ProcessId s, std::shared_ptr<RpcRequest> r,
                       std::function<void(BodyPtr)> cb) {
     p.call_async(s, std::move(r), std::move(cb));
   };
   return QuorumCollector<Reply>(do_call, servers,
                                 std::forward<MakeReq>(make_request));
+}
+
+/// Convenience: broadcast one shared immutable request from `p` to
+/// `servers` and collect typed replies. Counts as one quorum round on `p`.
+template <typename Reply>
+[[nodiscard]] QuorumCollector<Reply> broadcast_collect(
+    Process& p, const std::vector<ProcessId>& servers,
+    std::shared_ptr<RpcRequest> req) {
+  p.note_quorum_round();
+  return QuorumCollector<Reply>(p, servers, std::move(req));
 }
 
 }  // namespace ares::sim

@@ -1,5 +1,6 @@
 #include "treas/client.hpp"
 
+#include "dap/messages.hpp"
 #include "treas/messages.hpp"
 
 #include <cassert>
@@ -97,30 +98,28 @@ TreasDap::TreasDap(sim::Process& owner, dap::ConfigSpec spec,
 }
 
 sim::Future<Tag> TreasDap::get_tag() {
-  auto qc = sim::broadcast_collect<QueryTagReply>(
-      owner_, spec_.servers, [this](ProcessId) {
-        auto req = std::make_shared<QueryTagReq>();
-        req->config = spec_.id;
-        req->object = object();
-        return req;
-      });
+  auto req = std::make_shared<QueryTagReq>();
+  req->config = spec_.id;
+  req->object = object();
+  req->confirmed_hint = confirmed_tag();
+  auto qc = sim::broadcast_collect<QueryTagReply>(owner_, spec_.servers,
+                                                  std::move(req));
   co_await qc.wait_for(spec_.quorum_size());
   Tag max = kInitialTag;
   for (const auto& a : qc.arrivals()) max = std::max(max, a.reply->tag);
   co_return max;
 }
 
-sim::Future<TagValue> TreasDap::get_data() {
+sim::Future<dap::GetDataResult> TreasDap::get_data_confirmed() {
   const std::size_t q = spec_.quorum_size();
   const std::size_t k = spec_.k;
   for (std::size_t attempt = 0;; ++attempt) {
-    auto qc = sim::broadcast_collect<QueryListReply>(
-        owner_, spec_.servers, [this](ProcessId) {
-          auto req = std::make_shared<QueryListReq>();
-          req->config = spec_.id;
-          req->object = object();
-          return req;
-        });
+    auto req = std::make_shared<QueryListReq>();
+    req->config = spec_.id;
+    req->object = object();
+    req->confirmed_hint = confirmed_tag();
+    auto qc = sim::broadcast_collect<QueryListReply>(owner_, spec_.servers,
+                                                     std::move(req));
     // Hoisted per the GCC-12 note in sim/coro.hpp: no temporaries (the
     // lambda→std::function conversion) inside the co_await expression.
     std::function<bool(const ListArrivals&)> pred =
@@ -139,7 +138,20 @@ sim::Future<TagValue> TreasDap::get_data() {
       assert(v.ready);
       auto value = codec_->decode(a.elements.at(v.tag));
       assert(value.has_value() && "verdict said decodable");
-      co_return TagValue{v.tag, make_value(std::move(*value))};
+      dap::GetDataResult result{
+          TagValue{v.tag, make_value(std::move(*value))}, false};
+      // Confirmed ⟹ a full quorum already holds coded elements for ≥ v.tag:
+      // two ⌈(n+k)/2⌉ quorums share ≥ k servers, so any later read decodes
+      // it without our write-back redistributing fragments.
+      Tag confirmed = kInitialTag;
+      for (const auto& arr : qc.arrivals()) {
+        confirmed = std::max(confirmed, arr.reply->confirmed);
+      }
+      if (spec_.semifast && confirmed >= v.tag) {
+        result.confirmed = true;
+        note_confirmed(v.tag);
+      }
+      co_return result;
     }
     if (attempt + 1 >= spec_.treas_max_retries) {
       throw std::runtime_error(
@@ -153,13 +165,12 @@ sim::Future<Tag> TreasDap::get_dec_tag() {
   const std::size_t q = spec_.quorum_size();
   const std::size_t k = spec_.k;
   for (std::size_t attempt = 0;; ++attempt) {
+    auto digest_req = std::make_shared<QueryDigestReq>();
+    digest_req->config = spec_.id;
+    digest_req->object = object();
+    digest_req->confirmed_hint = confirmed_tag();
     auto qc = sim::broadcast_collect<QueryDigestReply>(
-        owner_, spec_.servers, [this](ProcessId) {
-          auto req = std::make_shared<QueryDigestReq>();
-          req->config = spec_.id;
-          req->object = object();
-          return req;
-        });
+        owner_, spec_.servers, std::move(digest_req));
     std::function<bool(const DigestArrivals&)> pred =
         [q, k](const DigestArrivals& arrivals) {
           if (arrivals.size() < q) return false;
@@ -187,16 +198,22 @@ sim::Future<void> TreasDap::put_data(TagValue tv) {
   for (std::size_t i = 0; i < spec_.servers.size(); ++i) {
     frag_for.emplace(spec_.servers[i], fragments[i]);
   }
+  // Per-server request form: each destination gets its own coded element.
   auto qc = sim::broadcast_collect<PutAck>(
       owner_, spec_.servers, [this, &frag_for, &tv](ProcessId s) {
         auto req = std::make_shared<PutReq>();
         req->config = spec_.id;
         req->object = object();
+        req->confirmed_hint = confirmed_tag();
         req->tag = tv.tag;
         req->fragment = frag_for.at(s);
         return req;
       });
   co_await qc.wait_for(spec_.quorum_size());
+  note_confirmed(tv.tag);
+  if (spec_.semifast) {
+    dap::broadcast_confirm(owner_, spec_.id, object(), tv.tag, spec_.servers);
+  }
   co_return;
 }
 

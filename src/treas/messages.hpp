@@ -54,6 +54,7 @@ class QueryListReq final : public sim::RpcRequest {
 class QueryListReply final : public sim::RpcReply {
  public:
   std::vector<ListEntry> list;
+  Tag confirmed;  // highest tag this server knows is quorum-propagated
   [[nodiscard]] std::size_t data_bytes() const override {
     std::size_t sum = 0;
     for (const auto& e : list) sum += e.data_bytes();

@@ -103,6 +103,7 @@ bool TreasServerState::handle(dap::ServerContext& ctx,
                               const sim::Message& msg) {
   auto rpc = std::dynamic_pointer_cast<const sim::RpcRequest>(msg.body);
   if (!rpc) return false;
+  if (absorb_confirmations(msg)) return true;
   const ObjectId obj = rpc->object;
 
   if (std::dynamic_pointer_cast<const QueryTagReq>(msg.body)) {
@@ -118,6 +119,7 @@ bool TreasServerState::handle(dap::ServerContext& ctx,
     for (const auto& [tag, frag] : l) {
       reply->list.push_back(ListEntry{tag, frag});
     }
+    reply->confirmed = confirmed_tag(obj);
     ctx.process.reply_to(msg, std::move(reply));
     return true;
   }
