@@ -31,8 +31,8 @@ Probe probe_fault_tolerance(std::size_t n, std::size_t k,
     o.semifast = false;  // measure the paper's exact message pattern
     harness::StaticCluster cluster(o);
     cluster.crash_servers(crashes_live);
-    auto f = cluster.client(0).reg().write(
-        make_value(make_test_value(128, 1)));
+    auto f = cluster.store(0).write(kDefaultObject,
+                                    make_value(make_test_value(128, 1)));
     p.live_at_f = cluster.sim().run_until([&] { return f.ready(); });
   }
   {
@@ -44,8 +44,8 @@ Probe probe_fault_tolerance(std::size_t n, std::size_t k,
     o.semifast = false;  // measure the paper's exact message pattern
     harness::StaticCluster cluster(o);
     cluster.crash_servers(crashes_block);
-    auto f = cluster.client(0).reg().write(
-        make_value(make_test_value(128, 1)));
+    auto f = cluster.store(0).write(kDefaultObject,
+                                    make_value(make_test_value(128, 1)));
     p.blocked_at_f1 = !cluster.sim().run_until([&] { return f.ready(); });
   }
   return p;

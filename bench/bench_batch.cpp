@@ -1,0 +1,156 @@
+// Batched multi-object operations vs the per-object loop, on identical
+// ARES deployments and workloads: rounds/op, messages/op and bytes/op for
+// batch sizes 1 (the unbatched baseline), 4 and 8, under uniform and
+// Zipfian key pick. B objects sharing a configuration cost one multi-object
+// quorum round per phase instead of B — the amortized per-op round count
+// must fall well below the baseline.
+//
+// Emits BENCH_batch.json (one entry per scenario x batch size) — a point
+// of the machine-readable perf trajectory the CI bench-smoke job uploads.
+// Exits non-zero if atomicity fails anywhere, or if batch_size 8 under the
+// uniform read-heavy scenario fails to cut mean read rounds/op by >= 50%.
+#include "harness/ares_cluster.hpp"
+#include "harness/json.hpp"
+#include "harness/table.hpp"
+#include "harness/workload.hpp"
+
+#include <cstdio>
+#include <string>
+
+namespace {
+
+using namespace ares;
+
+struct Scenario {
+  std::string name;
+  harness::KeyDistribution dist = harness::KeyDistribution::kUniform;
+  double write_fraction = 0.1;
+};
+
+struct RunResult {
+  harness::WorkloadResult wl;
+  bool atomic_ok = false;
+};
+
+RunResult run_once(const Scenario& sc, std::size_t batch_size) {
+  harness::AresClusterOptions o;
+  o.server_pool = 12;
+  o.initial_protocol = dap::Protocol::kAbd;  // batch-capable configuration
+  o.initial_servers = 5;
+  o.num_rw_clients = 4;
+  o.num_reconfigurers = 1;
+  o.num_objects = 16;
+  o.seed = 42;
+  harness::AresCluster cluster(o);
+
+  harness::WorkloadOptions w;
+  w.ops_per_client = 160;
+  w.write_fraction = sc.write_fraction;
+  w.value_size = 256;
+  w.key_distribution = sc.dist;
+  w.zipf_s = 0.99;
+  w.batch_size = batch_size;
+  w.seed = 7;
+
+  RunResult r;
+  r.wl = cluster.run_multi_object_workload(w);
+  r.atomic_ok = r.wl.completed && r.wl.failures == 0;
+  for (const auto& [obj, verdict] : cluster.check_atomicity_per_object()) {
+    r.atomic_ok = r.atomic_ok && verdict.ok;
+  }
+  return r;
+}
+
+harness::Json metrics_json(const RunResult& r) {
+  harness::Json j;
+  j.set("read_rounds_per_op", r.wl.mean_rounds(false))
+      .set("write_rounds_per_op", r.wl.mean_rounds(true))
+      .set("read_messages_per_op", r.wl.mean_messages(false))
+      .set("write_messages_per_op", r.wl.mean_messages(true))
+      .set("read_bytes_per_op", r.wl.mean_bytes(false))
+      .set("write_bytes_per_op", r.wl.mean_bytes(true))
+      .set("read_mean_latency", r.wl.mean_latency(false))
+      .set("write_mean_latency", r.wl.mean_latency(true))
+      .set("ops", r.wl.ops.size())
+      .set("atomicity", r.atomic_ok);
+  return j;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : std::string("BENCH_batch.json");
+
+  std::printf(
+      "Batched multi-object ops vs per-object loop: ABD[5] initial config,\n"
+      "pool 12, 4 clients x 160 member-ops, 16 objects, 256 B values.\n"
+      "batch=1 is the unbatched baseline; members sharing a configuration\n"
+      "ride one multi-object quorum round per phase.\n\n");
+
+  const Scenario scenarios[] = {
+      {"uniform_read_heavy", harness::KeyDistribution::kUniform, 0.10},
+      {"uniform_write_heavy", harness::KeyDistribution::kUniform, 0.90},
+      {"zipfian_read_heavy", harness::KeyDistribution::kZipfian, 0.10},
+      {"zipfian_mixed", harness::KeyDistribution::kZipfian, 0.50},
+  };
+  const std::size_t batch_sizes[] = {1, 4, 8};
+
+  harness::Table table({"scenario", "batch", "read rnd/op", "write rnd/op",
+                        "read msg/op", "read B/op", "read mean lat",
+                        "atomicity"});
+  harness::Json doc;
+  doc.set("bench", "batch");
+  auto arr = harness::Json::array();
+
+  bool all_atomic = true;
+  double uniform_read_reduction = 0;
+  for (const auto& sc : scenarios) {
+    double baseline_read_rounds = 0;
+    for (const std::size_t b : batch_sizes) {
+      const RunResult r = run_once(sc, b);
+      all_atomic = all_atomic && r.atomic_ok;
+      if (b == 1) baseline_read_rounds = r.wl.mean_rounds(false);
+
+      table.add_row(sc.name, b, harness::fmt(r.wl.mean_rounds(false)),
+                    harness::fmt(r.wl.mean_rounds(true)),
+                    harness::fmt(r.wl.mean_messages(false), 1),
+                    harness::fmt(r.wl.mean_bytes(false), 0),
+                    harness::fmt(r.wl.mean_latency(false), 1),
+                    r.atomic_ok ? "PASS" : "FAIL");
+
+      harness::Json entry;
+      entry.set("name", sc.name)
+          .set("batch_size", b)
+          .set("write_fraction", sc.write_fraction)
+          .set("zipfian", sc.dist == harness::KeyDistribution::kZipfian)
+          .set("metrics", metrics_json(r));
+      if (b > 1 && baseline_read_rounds > 0) {
+        const double reduction =
+            1.0 - r.wl.mean_rounds(false) / baseline_read_rounds;
+        entry.set("read_rounds_reduction_vs_unbatched", reduction);
+        if (sc.name == "uniform_read_heavy" && b == 8) {
+          uniform_read_reduction = reduction;
+        }
+      }
+      arr.push(std::move(entry));
+    }
+  }
+  doc.set("scenarios", std::move(arr));
+  doc.set("uniform_read_heavy_b8_round_reduction", uniform_read_reduction);
+
+  table.print();
+  std::printf("\nuniform read-heavy, batch 8: read rounds/op cut by %.1f%%\n",
+              100.0 * uniform_read_reduction);
+  harness::write_json_file(out_path, doc);
+
+  if (!all_atomic) {
+    std::printf("FAIL: atomicity violated in at least one scenario\n");
+    return 1;
+  }
+  if (uniform_read_reduction < 0.50) {
+    std::printf("FAIL: batched read rounds/op reduction below 50%%\n");
+    return 1;
+  }
+  return 0;
+}

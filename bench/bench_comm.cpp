@@ -38,22 +38,23 @@ Measured measure(const Row& row, std::size_t value_size) {
   // worst case for read communication.
   for (std::size_t i = 0; i < row.delta + 2; ++i) {
     auto payload = make_value(make_test_value(value_size, i));
-    (void)sim::run_to_completion(cluster.sim(),
-                                 cluster.client(0).reg().write(payload));
+    (void)sim::run_to_completion(
+        cluster.sim(), cluster.store(0).write(kDefaultObject, payload));
   }
   cluster.sim().run();
 
   Measured m{};
   cluster.net().reset_stats();
   auto payload = make_value(make_test_value(value_size, 99));
-  (void)sim::run_to_completion(cluster.sim(),
-                               cluster.client(0).reg().write(payload));
+  (void)sim::run_to_completion(
+      cluster.sim(), cluster.store(0).write(kDefaultObject, payload));
   cluster.sim().run();  // count late replica traffic too (worst case)
   m.write_units = static_cast<double>(cluster.net().stats().data_bytes) /
                   static_cast<double>(value_size);
 
   cluster.net().reset_stats();
-  (void)sim::run_to_completion(cluster.sim(), cluster.client(0).reg().read());
+  (void)sim::run_to_completion(cluster.sim(),
+                               cluster.store(0).read(kDefaultObject));
   cluster.sim().run();
   m.read_units = static_cast<double>(cluster.net().stats().data_bytes) /
                  static_cast<double>(value_size);

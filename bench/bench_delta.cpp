@@ -31,15 +31,16 @@ CostRow measure_costs(std::size_t delta, std::size_t value_size) {
   harness::StaticCluster cluster(o);
   for (std::size_t i = 0; i < delta + 3; ++i) {
     auto payload = make_value(make_test_value(value_size, i));
-    (void)sim::run_to_completion(cluster.sim(),
-                                 cluster.client(0).reg().write(payload));
+    (void)sim::run_to_completion(
+        cluster.sim(), cluster.store(0).write(kDefaultObject, payload));
   }
   cluster.sim().run();
   CostRow row{};
   row.storage_units = static_cast<double>(cluster.total_stored_bytes()) /
                       static_cast<double>(value_size);
   cluster.net().reset_stats();
-  (void)sim::run_to_completion(cluster.sim(), cluster.client(0).reg().read());
+  (void)sim::run_to_completion(cluster.sim(),
+                               cluster.store(0).read(kDefaultObject));
   cluster.sim().run();
   row.read_units = static_cast<double>(cluster.net().stats().data_bytes) /
                    static_cast<double>(value_size);
@@ -82,8 +83,6 @@ int main() {
       o.treas_retry_timeout = retry ? 400 : 0;
       o.semifast = false;  // measure the paper's exact message pattern
       harness::StaticCluster cluster(o);
-      std::vector<dap::RegisterClient*> regs;
-      for (auto& c : cluster.clients()) regs.push_back(&c->reg());
 
       harness::WorkloadOptions opt;
       opt.ops_per_client = 8;
@@ -95,7 +94,8 @@ int main() {
       // legitimately never complete (the paper's liveness precondition is
       // violated); the budget turns that into a measurable outcome.
       const auto result =
-          harness::run_workload(cluster.sim(), regs, opt, 3'000'000);
+          harness::run_workload(cluster.sim(), cluster.stores(), opt,
+                                3'000'000);
       std::size_t reads = 0;
       for (const auto& op : result.ops) {
         if (!op.is_write && !op.failed) ++reads;  // completed reads only

@@ -99,7 +99,7 @@ ScenarioResult run_scenario(placement::PlacementPolicy& policy,
     // Spread target: a wider code on the idle half of the pool — TREAS[6,4]
     // on servers 6-11, disjoint from both shards.
     rebalancer.emplace(
-        cluster.sim(), cluster.reconfigurer(0), tracker,
+        cluster.sim(), cluster.reconfigurer_store(0), tracker,
         [&cluster](ObjectId) {
           return cluster.make_spec(dap::Protocol::kTreas, 6, 6, 4);
         },

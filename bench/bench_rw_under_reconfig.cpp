@@ -18,14 +18,14 @@ namespace {
 using namespace ares;
 
 sim::Future<void> install_loop(harness::AresCluster* cluster,
-                               reconfig::AresClient* rc, int count,
-                               bool* done) {
+                               api::Store* rc, int count, bool* done) {
   for (int i = 0; i < count; ++i) {
     auto spec = cluster->make_spec(
         dap::Protocol::kTreas,
         (static_cast<std::size_t>(i) * 3 + 5) % cluster->options().server_pool,
         5, 3);
-    (void)co_await rc->reconfig(std::move(spec));
+    auto op = rc->reconfig(kDefaultObject, std::move(spec));
+    (void)co_await op;
   }
   *done = true;
   co_return;
@@ -57,20 +57,25 @@ int main() {
 
     bool done = (r == 0);
     if (r > 0) {
-      sim::detach(install_loop(&cluster, &cluster.reconfigurer(0), r, &done));
+      sim::detach(install_loop(&cluster, &cluster.reconfigurer_store(0), r, &done));
     }
     auto payload = make_value(make_test_value(512, 1));
     // Lemma 59 bound uses nu at the operation's end minus mu at its start,
-    // both in the operating client's own view.
+    // both in the operating client's own view (bind first: cseq/mu are
+    // const observers now and never bind implicitly).
+    cluster.client(0).bind_object(kDefaultObject, cluster.initial_config());
+    cluster.client(1).bind_object(kDefaultObject, cluster.initial_config());
     const std::size_t w_mu_start = cluster.client(0).mu();
     SimTime t0 = cluster.sim().now();
-    (void)sim::run_to_completion(cluster.sim(), cluster.client(0).write(payload));
+    (void)sim::run_to_completion(
+        cluster.sim(), cluster.store(0).write(kDefaultObject, payload));
     const SimDuration write_lat = cluster.sim().now() - t0;
     const std::size_t w_span = cluster.client(0).nu() - w_mu_start;
 
     const std::size_t r_mu_start = cluster.client(1).mu();
     t0 = cluster.sim().now();
-    (void)sim::run_to_completion(cluster.sim(), cluster.client(1).read());
+    (void)sim::run_to_completion(cluster.sim(),
+                                 cluster.store(1).read(kDefaultObject));
     const SimDuration read_lat = cluster.sim().now() - t0;
     const std::size_t r_span = cluster.client(1).nu() - r_mu_start;
 
@@ -104,12 +109,13 @@ int main() {
         {cluster.reconfigurer(0).id()}, dfast, D));
 
     bool done = false;
-    sim::detach(install_loop(&cluster, &cluster.reconfigurer(0), 6, &done));
+    sim::detach(install_loop(&cluster, &cluster.reconfigurer_store(0), 6, &done));
 
     auto payload = make_value(make_test_value(256, 2));
+    cluster.client(0).bind_object(kDefaultObject, cluster.initial_config());
     const std::size_t mu_start = cluster.client(0).mu();
     const SimTime t0 = cluster.sim().now();
-    auto wf = cluster.client(0).write(payload);
+    auto wf = cluster.store(0).write(kDefaultObject, payload);
     const bool finished =
         cluster.sim().run_until([&] { return wf.ready(); }, 4'000'000);
     const SimDuration lat = cluster.sim().now() - t0;

@@ -31,16 +31,17 @@ Point run(dap::Protocol proto, std::size_t n, std::size_t k,
   o.semifast = false;  // measure the paper's exact message pattern
   harness::StaticCluster cluster(o);
 
-  std::vector<dap::RegisterClient*> readers_v, writers_v;
+  std::vector<api::Store*> readers_v, writers_v;
   for (std::size_t i = 0; i < readers; ++i) {
-    readers_v.push_back(&cluster.clients()[i]->reg());
+    readers_v.push_back(&cluster.store(i));
   }
   for (std::size_t i = readers; i < readers + writers; ++i) {
-    writers_v.push_back(&cluster.clients()[i]->reg());
+    writers_v.push_back(&cluster.store(i));
   }
 
-  // Run reader-only and writer-only loops concurrently by using two
-  // workloads with write_fraction 0 / 1 over disjoint client sets.
+  // Run reader-only and writer-only loops concurrently: two workloads with
+  // write_fraction 0 / 1 over disjoint store sets, interleaved in one
+  // simulation run via start_workload.
   harness::WorkloadOptions ro;
   ro.ops_per_client = 10;
   ro.write_fraction = 0.0;
@@ -51,26 +52,10 @@ Point run(dap::Protocol proto, std::size_t n, std::size_t k,
   wo.write_fraction = 1.0;
   wo.seed = seed + 1;
 
-  // Launch both batches in one simulation run.
-  auto shared_r = std::make_shared<harness::detail::WorkloadShared>();
-  auto shared_w = std::make_shared<harness::detail::WorkloadShared>();
-  auto picker = std::make_shared<const harness::KeyPicker>(
-      1, harness::KeyDistribution::kUniform, 0.99);
-  Rng seeder(seed);
-  for (auto* c : readers_v) {
-    sim::detach(
-        harness::detail::client_loop(&cluster.sim(), c, ro, seeder.next_u64(),
-                                     picker, shared_r));
-  }
-  for (auto* c : writers_v) {
-    sim::detach(
-        harness::detail::client_loop(&cluster.sim(), c, wo, seeder.next_u64(),
-                                     picker, shared_w));
-  }
-  (void)cluster.sim().run_until([&] {
-    return shared_r->done_loops >= readers_v.size() &&
-           shared_w->done_loops >= writers_v.size();
-  });
+  auto handle_r = harness::start_workload(cluster.sim(), readers_v, ro);
+  auto handle_w = harness::start_workload(cluster.sim(), writers_v, wo);
+  (void)cluster.sim().run_until(
+      [&] { return handle_r.done() && handle_w.done(); });
 
   auto mean = [](const std::vector<harness::OpStat>& ops) {
     double sum = 0;
@@ -82,7 +67,7 @@ Point run(dap::Protocol proto, std::size_t n, std::size_t k,
     }
     return n == 0 ? 0.0 : sum / static_cast<double>(n);
   };
-  return Point{mean(shared_r->ops), mean(shared_w->ops)};
+  return Point{mean(handle_r.result().ops), mean(handle_w.result().ops)};
 }
 
 }  // namespace

@@ -33,14 +33,16 @@ Result run_one(bool direct, std::size_t value_size, std::size_t n2,
   harness::AresCluster cluster(o);
 
   auto payload = make_value(make_test_value(value_size, 1));
-  (void)sim::run_to_completion(cluster.sim(), cluster.client(0).write(payload));
+  (void)sim::run_to_completion(
+      cluster.sim(), cluster.store(0).write(kDefaultObject, payload));
   cluster.sim().run();
   cluster.net().reset_stats();
 
   auto spec = cluster.make_spec(dap::Protocol::kTreas, 5, n2, k2);
   const SimTime t0 = cluster.sim().now();
-  (void)sim::run_to_completion(cluster.sim(),
-                               cluster.reconfigurer(0).reconfig(spec));
+  (void)sim::run_to_completion(
+      cluster.sim(),
+      cluster.reconfigurer_store(0).reconfig(kDefaultObject, spec));
   Result r;
   r.latency = cluster.sim().now() - t0;
   r.through_client =

@@ -32,8 +32,8 @@ double measure_storage_units(const Row& row, std::size_t value_size) {
   // Enough sequential writes to cycle the bounded history several times.
   for (std::size_t i = 0; i < 2 * (row.delta + 2); ++i) {
     auto payload = make_value(make_test_value(value_size, i));
-    (void)sim::run_to_completion(cluster.sim(),
-                                 cluster.client(0).reg().write(payload));
+    (void)sim::run_to_completion(
+        cluster.sim(), cluster.store(0).write(kDefaultObject, payload));
   }
   cluster.sim().run();  // let trailing replicas land
   return static_cast<double>(cluster.total_stored_bytes()) /

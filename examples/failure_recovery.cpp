@@ -26,12 +26,13 @@ int main() {
 
   // The dataset: a 4 MiB object.
   const std::size_t object_size = 4 << 20;
-  auto tag = sim::run_to_completion(
+  auto put = sim::run_to_completion(
       cluster.sim(),
-      cluster.client(0).write(make_value(make_test_value(object_size, 5))));
+      cluster.store(0).write(kDefaultObject,
+                             make_value(make_test_value(object_size, 5))));
   std::printf("dataset written under tag %s (%.1f MiB, stored as %.2f MiB "
               "of [5,3] fragments)\n",
-              tag.to_string().c_str(), object_size / 1048576.0,
+              put.tag.to_string().c_str(), object_size / 1048576.0,
               cluster.total_stored_bytes() / 1048576.0);
 
   // Disaster begins: server 0 dies. [5,3] tolerates f = 1, so the service
@@ -39,7 +40,8 @@ int main() {
   cluster.net().crash(0);
   std::printf("\nserver 0 crashed — fault budget of [5,3] now exhausted by "
               "the next failure.\n");
-  auto tv = sim::run_to_completion(cluster.sim(), cluster.client(1).read());
+  auto tv = sim::run_to_completion(cluster.sim(),
+                                   cluster.store(1).read(kDefaultObject));
   std::printf("reads still served: tag %s, %zu bytes\n",
               tv.tag.to_string().c_str(), tv.value->size());
 
@@ -47,8 +49,9 @@ int main() {
   // Direct transfer: fragments go old-servers -> new-servers.
   auto spec = cluster.make_spec(dap::Protocol::kTreas, 5, 5, 3);
   const SimTime t0 = cluster.sim().now();
-  (void)sim::run_to_completion(cluster.sim(),
-                               cluster.reconfigurer(0).reconfig(spec));
+  (void)sim::run_to_completion(
+      cluster.sim(),
+      cluster.reconfigurer_store(0).reconfig(kDefaultObject, spec));
   std::printf("\nreconfigured onto standby servers in %llu time units; "
               "object bytes through the operator client: %llu\n",
               static_cast<unsigned long long>(cluster.sim().now() - t0),
@@ -60,14 +63,16 @@ int main() {
   // traverse past a dead c0 — the paper's liveness assumption: quorums of
   // a configuration stay available until the system moves on).
   for (std::size_t i = 0; i < cluster.num_clients(); ++i) {
-    (void)sim::run_to_completion(cluster.sim(), cluster.client(i).read());
+    (void)sim::run_to_completion(cluster.sim(),
+                                 cluster.store(i).read(kDefaultObject));
   }
 
   // Now the old machines can all die; the service is unaffected.
   for (ProcessId s = 1; s < 5; ++s) cluster.net().crash(s);
   std::printf("all remaining original servers crashed.\n");
 
-  auto tv2 = sim::run_to_completion(cluster.sim(), cluster.client(1).read());
+  auto tv2 = sim::run_to_completion(cluster.sim(),
+                                    cluster.store(1).read(kDefaultObject));
   std::printf("read after total loss of the original cluster: tag %s, "
               "%zu bytes, %s\n",
               tv2.tag.to_string().c_str(), tv2.value->size(),
@@ -80,11 +85,8 @@ int main() {
   wl.value_size = 65536;
   wl.think_max = 50;
   wl.seed = 77;
-  std::vector<reconfig::AresClient*> clients;
-  for (std::size_t i = 0; i < cluster.num_clients(); ++i) {
-    clients.push_back(&cluster.client(i));
-  }
-  const auto result = harness::run_workload(cluster.sim(), clients, wl);
+  const auto result =
+      harness::run_workload(cluster.sim(), cluster.stores(), wl);
   const auto verdict =
       checker::check_tag_atomicity(cluster.history().records());
   std::printf("\npost-recovery workload: %zu ops, %zu failures; atomicity "

@@ -57,7 +57,7 @@ int main() {
   ro.min_window_ops = 24;
   ro.max_rebalances = 1;
   placement::Rebalancer rebalancer(
-      cluster.sim(), cluster.reconfigurer(0), tracker,
+      cluster.sim(), cluster.reconfigurer_store(0), tracker,
       [&cluster](ObjectId) {
         return cluster.make_spec(dap::Protocol::kTreas, 6, 4, 2);
       },
@@ -95,10 +95,10 @@ int main() {
       static_cast<unsigned long long>(ev.installed_at));
 
   // Only the hot key's lineage moved; cold keys still sit in their shard.
-  auto& client = cluster.client(0);
+  auto& store = cluster.store(0);
   for (ObjectId obj = 0; obj < 6; ++obj) {
-    const auto tv = sim::run_to_completion(cluster.sim(), client.read(obj));
-    const std::size_t lineage = client.cseq(obj).size();
+    const auto tv = sim::run_to_completion(cluster.sim(), store.read(obj));
+    const std::size_t lineage = cluster.client(0).cseq(obj).size();
     std::printf("  object %u: lineage length %zu%s\n", obj, lineage,
                 obj == ev.object ? "  <- rebalanced" : "");
     if (obj == ev.object) {

@@ -4,6 +4,7 @@
 // the core: every key maps to an ObjectId, one client serves all keys, and
 // each key has its own configuration lineage (placement, code, and
 // reconfiguration schedule) while sharing the same physical server pool.
+#include "api/ares_store.hpp"
 #include "ares/client.hpp"
 #include "ares/server.hpp"
 #include "checker/atomicity.hpp"
@@ -54,8 +55,14 @@ class KvStore {
     return obj;
   }
 
-  /// One client handle for an application process, bound to every key.
-  std::unique_ptr<reconfig::AresClient> open(ProcessId client_id) {
+  /// One application handle: an AresClient bound to every key, wrapped in
+  /// the protocol-agnostic Store surface the application programs against.
+  struct Handle {
+    std::unique_ptr<reconfig::AresClient> client;
+    std::unique_ptr<api::AresStore> store;
+  };
+
+  Handle open(ProcessId client_id) {
     assert(!keys_.empty());
     auto client = std::make_unique<reconfig::AresClient>(
         sim_, net_, client_id, registry_, keys_.begin()->second.initial_cfg,
@@ -63,7 +70,8 @@ class KvStore {
     for (const auto& [name, key] : keys_) {
       client->bind_object(key.object, key.initial_cfg);
     }
-    return client;
+    auto store = std::make_unique<api::AresStore>(*client);
+    return Handle{std::move(client), std::move(store)};
   }
 
   struct Key {
@@ -109,39 +117,54 @@ int main() {
   const ObjectId bob = store.create_key("user:bob", 2, 5, 3);      // shifted
   const ObjectId flags = store.create_key("config:flags", 4, 3, 1);  // ABD
 
-  // One client per application process serves *all* keys.
+  // One Store handle per application process serves *all* keys.
   auto app0 = store.open(100);
   auto app1 = store.open(101);
 
-  (void)sim::run_to_completion(
-      sim, app0->write(alice, make_value(to_value("alice: balance=1000"))));
-  (void)sim::run_to_completion(
-      sim, app0->write(bob, make_value(to_value("bob: balance=250"))));
-  (void)sim::run_to_completion(
-      sim, app0->write(flags, make_value(to_value("feature_x=on"))));
+  // A multi-put straight through the Store API: one write_many call (the
+  // three keys live in different configurations, so each takes its own
+  // quorum rounds — batching wins appear when keys share a configuration).
+  std::vector<WriteOp> puts{
+      {alice, make_value(to_value("alice: balance=1000"))},
+      {bob, make_value(to_value("bob: balance=250"))},
+      {flags, make_value(to_value("feature_x=on"))},
+  };
+  (void)sim::run_to_completion(sim, app0.store->write_many(puts));
 
-  auto a = sim::run_to_completion(sim, app1->read(alice));
-  std::printf("GET user:alice    -> \"%s\" (tag %s)\n",
-              to_string(a.value).c_str(), a.tag.to_string().c_str());
+  auto a = sim::run_to_completion(sim, app1.store->read(alice));
+  std::printf("GET user:alice    -> \"%s\" (tag %s, %llu quorum rounds)\n",
+              to_string(a.value).c_str(), a.tag.to_string().c_str(),
+              static_cast<unsigned long long>(a.metrics.rounds));
+
+  // A multi-get through the same surface: every key in one read_many call.
+  std::vector<ObjectId> all_keys{alice, bob, flags};
+  auto snapshot = sim::run_to_completion(sim, app1.store->read_many(all_keys));
+  for (const auto& r : snapshot) {
+    std::printf("MGET object %u -> \"%s\"\n", r.object,
+                to_string(r.value).c_str());
+  }
 
   // Concurrent updates to one key from two writers stay atomic.
-  auto f1 = app0->write(alice, make_value(to_value("alice: balance=900")));
-  auto f2 = app1->write(alice, make_value(to_value("alice: balance=1100")));
+  auto f1 = app0.store->write(alice, make_value(to_value("alice: balance=900")));
+  auto f2 = app1.store->write(alice, make_value(to_value("alice: balance=1100")));
   (void)sim.run_until([&] { return f1.ready() && f2.ready(); });
-  auto a2 = sim::run_to_completion(sim, app1->read(alice));
+  auto a2 = sim::run_to_completion(sim, app1.store->read(alice));
   std::printf("after concurrent writes: \"%s\" (tag %s)\n",
               to_string(a2.value).c_str(), a2.tag.to_string().c_str());
 
-  // Per-key reconfiguration: move the hot key to a wider [8,6] code while
-  // other keys keep serving — only user:alice's lineage changes.
+  // Per-key reconfiguration through the capability-gated Store surface:
+  // move the hot key to a wider [8,6] code while other keys keep serving —
+  // only user:alice's lineage changes.
   dap::ConfigSpec wide;
   wide.id = store.allocate_config_id();
   wide.protocol = dap::Protocol::kTreas;
   wide.k = 6;
   wide.delta = 4;
   wide.servers = store.pool();
-  (void)sim::run_to_completion(sim, app0->reconfig(alice, std::move(wide)));
-  auto a3 = sim::run_to_completion(sim, app1->read(alice));
+  assert(app0.store->supports_reconfig());
+  (void)sim::run_to_completion(sim,
+                               app0.store->reconfig(alice, std::move(wide)));
+  auto a3 = sim::run_to_completion(sim, app1.store->read(alice));
   std::printf("after moving user:alice to TREAS[8,6]: \"%s\"\n",
               to_string(a3.value).c_str());
 
@@ -156,8 +179,8 @@ int main() {
   wl.key_distribution = harness::KeyDistribution::kZipfian;
   wl.zipf_s = 0.99;
   wl.seed = 42;
-  std::vector<reconfig::AresClient*> clients{app0.get(), app1.get()};
-  const auto result = harness::run_workload(sim, clients, wl);
+  std::vector<api::Store*> stores{app0.store.get(), app1.store.get()};
+  const auto result = harness::run_workload(sim, stores, wl);
   std::printf("\nzipfian workload: %zu ops, %zu failures, completed=%s\n",
               result.ops.size(), result.failures,
               result.completed ? "yes" : "no");

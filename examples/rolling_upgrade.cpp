@@ -14,17 +14,18 @@ using namespace ares;
 namespace {
 
 sim::Future<void> upgrade_script(harness::AresCluster* cluster,
-                                 reconfig::AresClient* rc, bool* done) {
+                                 api::Store* rc, bool* done) {
   // Let some traffic hit the old configuration first.
-  co_await sim::sleep_for(rc->simulator(), 500);
+  co_await sim::sleep_for(cluster->sim(), 500);
   std::printf("[t=%llu] reconfig: ABD[3] -> TREAS[6,4] starting...\n",
-              static_cast<unsigned long long>(rc->simulator().now()));
+              static_cast<unsigned long long>(cluster->sim().now()));
   auto spec = cluster->make_spec(dap::Protocol::kTreas, /*first_server=*/3,
                                  /*n=*/6, /*k=*/4);
-  const ConfigId installed = co_await rc->reconfig(std::move(spec));
+  auto op = rc->reconfig(kDefaultObject, std::move(spec));
+  const api::OpResult r = co_await op;
   std::printf("[t=%llu] reconfig: configuration %u installed and finalized\n",
-              static_cast<unsigned long long>(rc->simulator().now()),
-              installed);
+              static_cast<unsigned long long>(cluster->sim().now()),
+              r.installed);
   *done = true;
   co_return;
 }
@@ -45,27 +46,25 @@ int main() {
   const std::size_t object_size = 1 << 20;
   (void)sim::run_to_completion(
       cluster.sim(),
-      cluster.client(0).write(make_value(make_test_value(object_size, 1))));
+      cluster.store(0).write(kDefaultObject,
+                             make_value(make_test_value(object_size, 1))));
   std::printf("before upgrade: %.2f MiB stored (ABD keeps %zu full copies)\n",
               cluster.total_stored_bytes() / 1048576.0,
               options.initial_servers);
 
   // Launch the upgrade concurrently with a read/write workload.
   bool upgrade_done = false;
-  sim::detach(upgrade_script(&cluster, &cluster.reconfigurer(0),
+  sim::detach(upgrade_script(&cluster, &cluster.reconfigurer_store(0),
                              &upgrade_done));
 
-  std::vector<reconfig::AresClient*> clients;
-  for (std::size_t i = 0; i < cluster.num_clients(); ++i) {
-    clients.push_back(&cluster.client(i));
-  }
   harness::WorkloadOptions wl;
   wl.ops_per_client = 10;
   wl.write_fraction = 0.4;
   wl.value_size = object_size / 4;
   wl.think_max = 120;
   wl.seed = 99;
-  const auto result = harness::run_workload(cluster.sim(), clients, wl);
+  const auto result =
+      harness::run_workload(cluster.sim(), cluster.stores(), wl);
   (void)cluster.sim().run_until([&] { return upgrade_done; });
 
   std::printf("workload: %zu operations completed during the upgrade, "

@@ -41,6 +41,7 @@ bool AbdServerState::handle(dap::ServerContext& ctx, const sim::Message& msg) {
   auto req = std::dynamic_pointer_cast<const sim::RpcRequest>(msg.body);
   if (!req) return false;
   if (absorb_confirmations(msg)) return true;
+  if (handle_batch(ctx, msg)) return true;
   Register& r = reg(req->object);
 
   if (std::dynamic_pointer_cast<const QueryTagReq>(msg.body)) {

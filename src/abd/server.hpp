@@ -25,8 +25,24 @@ class AbdServerState final : public dap::DapServer {
   [[nodiscard]] std::size_t stored_data_bytes() const override;
   [[nodiscard]] Tag max_tag(ObjectId obj = kDefaultObject) const override;
 
+  /// Whole replicas per object: the batched multi-object primitives apply.
+  [[nodiscard]] bool supports_batch() const override { return true; }
+
   [[nodiscard]] const ValuePtr& value(ObjectId obj = kDefaultObject) const {
     return reg(obj).value;
+  }
+
+ protected:
+  [[nodiscard]] TagValue query_one(ObjectId obj) const override {
+    const Register& r = reg(obj);
+    return TagValue{r.tag, r.value};
+  }
+  void put_one(ObjectId obj, const Tag& tag, const ValuePtr& value) override {
+    Register& r = reg(obj);
+    if (tag > r.tag) {
+      r.tag = tag;
+      r.value = value;
+    }
   }
 
  private:

@@ -1,0 +1,87 @@
+#include "api/ares_store.hpp"
+
+#include "ares/client.hpp"
+
+namespace ares::api {
+
+const sim::TrafficStats* AresStore::traffic() const {
+  return &client_.traffic();
+}
+
+sim::Future<OpResult> AresStore::read(ObjectId obj) {
+  const auto before = detail::sample(traffic());
+  auto op = client_.read(obj);
+  TagValue tv = co_await op;
+  OpResult r;
+  r.object = obj;
+  r.tag = tv.tag;
+  r.value = tv.value;
+  r.metrics = detail::delta(before, traffic());
+  co_return r;
+}
+
+sim::Future<OpResult> AresStore::write(ObjectId obj, ValuePtr value) {
+  const auto before = detail::sample(traffic());
+  auto op = client_.write(obj, std::move(value));
+  const Tag tag = co_await op;
+  OpResult r;
+  r.object = obj;
+  r.is_write = true;
+  r.tag = tag;
+  r.metrics = detail::delta(before, traffic());
+  co_return r;
+}
+
+sim::Future<OpResult> AresStore::reconfig(ObjectId obj, dap::ConfigSpec spec) {
+  const auto before = detail::sample(traffic());
+  auto op = client_.reconfig(obj, std::move(spec));
+  const ConfigId installed = co_await op;
+  OpResult r;
+  r.object = obj;
+  r.installed = installed;
+  r.metrics = detail::delta(before, traffic());
+  co_return r;
+}
+
+sim::Future<std::vector<OpResult>> AresStore::read_many(
+    std::span<const ObjectId> objs) {
+  const auto before = detail::sample(traffic());
+  std::vector<ObjectId> keys(objs.begin(), objs.end());
+  auto op = client_.read_batch(std::move(keys));
+  auto tvs = co_await op;
+  std::vector<OpResult> out(tvs.size());
+  for (std::size_t i = 0; i < tvs.size(); ++i) {
+    out[i].object = objs[i];
+    out[i].tag = tvs[i].tag;
+    out[i].value = tvs[i].value;
+  }
+  const OpMetrics total = detail::delta(before, traffic());
+  detail::amortize(out, total);
+  co_return out;
+}
+
+sim::Future<std::vector<OpResult>> AresStore::write_many(
+    std::span<const WriteOp> ops) {
+  const auto before = detail::sample(traffic());
+  std::vector<ObjectId> keys;
+  std::vector<ValuePtr> values;
+  keys.reserve(ops.size());
+  values.reserve(ops.size());
+  for (const WriteOp& op : ops) {
+    keys.push_back(op.object);
+    values.push_back(op.value);
+  }
+  auto batch = client_.write_batch(std::move(keys), std::move(values));
+  auto tags = co_await batch;
+  std::vector<OpResult> out(tags.size());
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    out[i].object = ops[i].object;
+    out[i].is_write = true;
+    out[i].tag = tags[i];
+  }
+  const OpMetrics total = detail::delta(before, traffic());
+  detail::amortize(out, total);
+  co_return out;
+}
+
+}  // namespace ares::api

@@ -1,0 +1,40 @@
+// Store adapter over the static A1/A2 register stack (one configuration,
+// no reconfiguration): scalar operations run the generic templates through
+// the per-object RegisterClients; batched operations turn members into one
+// multi-object quorum round per phase when the configuration's protocol is
+// batch-capable (whole replicas — ABD), falling back to the per-object
+// loop otherwise. reconfig() is capability-gated off.
+#pragma once
+
+#include "api/store.hpp"
+
+namespace ares::harness {
+class StaticClient;
+}
+
+namespace ares::api {
+
+class StaticStore final : public Store {
+ public:
+  /// `client` must outlive this adapter. One adapter per client process;
+  /// metrics are sampled from the client's sim::TrafficStats.
+  explicit StaticStore(harness::StaticClient& client) : client_(client) {}
+
+  [[nodiscard]] sim::Future<OpResult> read(ObjectId obj) override;
+  [[nodiscard]] sim::Future<OpResult> write(ObjectId obj,
+                                            ValuePtr value) override;
+
+  [[nodiscard]] sim::Future<std::vector<OpResult>> read_many(
+      std::span<const ObjectId> objs) override;
+  [[nodiscard]] sim::Future<std::vector<OpResult>> write_many(
+      std::span<const WriteOp> ops) override;
+
+  [[nodiscard]] const sim::TrafficStats* traffic() const override;
+
+  [[nodiscard]] harness::StaticClient& client() { return client_; }
+
+ private:
+  harness::StaticClient& client_;
+};
+
+}  // namespace ares::api

@@ -1,0 +1,48 @@
+#include "api/store.hpp"
+
+#include <stdexcept>
+
+namespace ares::api {
+
+sim::Future<OpResult> Store::reconfig(ObjectId obj, dap::ConfigSpec spec) {
+  (void)obj;
+  (void)spec;
+  throw std::logic_error(
+      "this Store does not support reconfig (check supports_reconfig())");
+  co_return OpResult{};  // unreachable; makes this a coroutine
+}
+
+sim::Future<std::vector<OpResult>> Store::read_many(
+    std::span<const ObjectId> objs) {
+  std::vector<OpResult> out;
+  out.reserve(objs.size());
+  for (ObjectId obj : objs) {
+    OpResult r = co_await read(obj);
+    out.push_back(std::move(r));
+  }
+  co_return out;
+}
+
+sim::Future<std::vector<OpResult>> Store::write_many(
+    std::span<const WriteOp> ops) {
+  std::vector<OpResult> out;
+  out.reserve(ops.size());
+  for (const WriteOp& op : ops) {
+    OpResult r = co_await write(op.object, op.value);
+    out.push_back(std::move(r));
+  }
+  co_return out;
+}
+
+void detail::amortize(std::vector<OpResult>& results, const OpMetrics& total) {
+  if (results.empty()) return;
+  const auto n = static_cast<std::uint64_t>(results.size());
+  for (auto& r : results) {
+    r.metrics = {total.rounds / n, total.messages / n, total.bytes / n};
+  }
+  results.front().metrics.rounds += total.rounds % n;
+  results.front().metrics.messages += total.messages % n;
+  results.front().metrics.bytes += total.bytes % n;
+}
+
+}  // namespace ares::api

@@ -1,0 +1,132 @@
+// The protocol-agnostic client surface: one abstract `ares::Store` every
+// deployment flavor adapts to — StaticStore over the A1/A2 register stack,
+// AresStore over the reconfigurable ARES stack. The workload driver, the
+// placement feed, the benches and the examples all program against this
+// interface only, so a new capability is plumbed exactly once.
+//
+// Every operation returns a rich OpResult carrying the tag/value outcome
+// plus the operation's measured traffic cost (quorum rounds, messages,
+// bytes — sampled from the executing process's sim::TrafficStats),
+// replacing the scattered per-client accessors.
+//
+// Batched operations are first-class: read_many/write_many take a span of
+// members and adapters turn members that share a configuration into one
+// multi-object quorum round (see dap/batch.hpp) instead of a per-object
+// loop — B objects in one configuration cost one get-data round, not B.
+// The base-class default is the correct-everywhere sequential loop.
+#pragma once
+
+#include "common/types.hpp"
+#include "dap/config.hpp"
+#include "sim/coro.hpp"
+#include "sim/process.hpp"
+
+#include <span>
+#include <vector>
+
+namespace ares::api {
+
+/// Measured cost of one operation: quorum rounds initiated, messages sent,
+/// and bytes sent+received while it ran. For a batched operation every
+/// member carries its amortized share of the batch total (the batch cost
+/// divided across members; the remainder lands on the first member), so
+/// summing members reproduces the batch and averaging yields cost/op.
+struct OpMetrics {
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// The outcome of one Store operation.
+struct OpResult {
+  ObjectId object = kDefaultObject;
+  bool is_write = false;
+  Tag tag;                         // read: tag returned; write: tag written
+  ValuePtr value;                  // read: value returned (null for writes)
+  ConfigId installed = kNoConfig;  // reconfig: config that won the GL slot
+  OpMetrics metrics;
+};
+
+/// One member of a write_many batch.
+struct WriteOp {
+  ObjectId object = kDefaultObject;
+  ValuePtr value;
+};
+
+class Store {
+ public:
+  virtual ~Store() = default;
+
+  /// Atomic read of `obj`. Completes with the tag-value pair returned.
+  [[nodiscard]] virtual sim::Future<OpResult> read(ObjectId obj) = 0;
+
+  /// Atomic write of `value` to `obj`. Completes with the tag written.
+  [[nodiscard]] virtual sim::Future<OpResult> write(ObjectId obj,
+                                                    ValuePtr value) = 0;
+
+  /// Capability gate for reconfig(): static deployments have no
+  /// reconfiguration machinery and report false.
+  [[nodiscard]] virtual bool supports_reconfig() const { return false; }
+
+  /// Install `spec` as the next configuration of `obj`'s lineage.
+  /// Capability-gated: the default implementation throws std::logic_error
+  /// when awaited (check supports_reconfig() first).
+  [[nodiscard]] virtual sim::Future<OpResult> reconfig(ObjectId obj,
+                                                       dap::ConfigSpec spec);
+
+  /// Batched read of every object in `objs` (the span's storage must stay
+  /// alive until completion). Results align with `objs`. Default: a
+  /// sequential per-object loop; adapters override with real multi-object
+  /// quorum rounds for members sharing a configuration.
+  [[nodiscard]] virtual sim::Future<std::vector<OpResult>> read_many(
+      std::span<const ObjectId> objs);
+
+  /// Batched write of every member in `ops` (same lifetime rule). Results
+  /// align with `ops`.
+  [[nodiscard]] virtual sim::Future<std::vector<OpResult>> write_many(
+      std::span<const WriteOp> ops);
+
+  /// The traffic counters metering this store's operations (null when the
+  /// store is not backed by a sim::Process — metrics then report 0).
+  [[nodiscard]] virtual const sim::TrafficStats* traffic() const {
+    return nullptr;
+  }
+};
+
+namespace detail {
+
+/// Snapshot of the metered counters, for before/after deltas.
+struct TrafficSample {
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+[[nodiscard]] inline TrafficSample sample(const sim::TrafficStats* t) {
+  if (t == nullptr) return {};
+  return {t->quorum_rounds, t->messages_sent, t->bytes_total()};
+}
+
+[[nodiscard]] inline OpMetrics delta(const TrafficSample& before,
+                                     const sim::TrafficStats* t) {
+  if (t == nullptr) return {};
+  return {t->quorum_rounds - before.rounds,
+          t->messages_sent - before.messages,
+          t->bytes_total() - before.bytes};
+}
+
+/// Spread a batch's total cost across `results` (amortized per-member
+/// share; the remainder lands on the first member so the sum is exact).
+void amortize(std::vector<OpResult>& results, const OpMetrics& total);
+
+}  // namespace detail
+
+}  // namespace ares::api
+
+namespace ares {
+// The canonical spelling: `ares::Store` is the client surface.
+using api::OpMetrics;
+using api::OpResult;
+using api::Store;
+using api::WriteOp;
+}  // namespace ares

@@ -1,8 +1,12 @@
 #include "ares/client.hpp"
 
+#include "dap/batch.hpp"
 #include "dap/factory.hpp"
 
 #include <cassert>
+#include <map>
+#include <set>
+#include <stdexcept>
 
 namespace ares::reconfig {
 namespace {
@@ -82,7 +86,17 @@ void AresClient::note_config_hint(ConfigId cfg, ObjectId obj,
   }
 }
 
-std::size_t AresClient::mu(ObjectId obj) {
+const std::vector<CseqEntry>& AresClient::cseq(ObjectId obj) const {
+  auto it = objects_.find(obj);
+  if (it == objects_.end()) {
+    throw std::out_of_range(
+        "AresClient::cseq: object not bound — call bind_object() (or run an "
+        "operation on it) before observing its configuration sequence");
+  }
+  return it->second.cseq;
+}
+
+std::size_t AresClient::mu(ObjectId obj) const {
   const auto& cs = cseq(obj);
   for (std::size_t i = cs.size(); i-- > 0;) {
     if (cs[i].finalized) return i;
@@ -204,7 +218,17 @@ sim::Future<Tag> AresClient::write(ObjectId obj, ValuePtr value) {
     op = recorder_->begin(id(), checker::OpKind::kWrite, simulator().now(),
                           obj);
   }
+  auto core = write_core(obj, value, op);
+  const Tag tw = co_await core;
+  if (recorder_ != nullptr) {
+    recorder_->end(op, simulator().now(), tw, value);
+  }
+  co_return tw;
+}
 
+sim::Future<Tag> AresClient::write_core(ObjectId obj, ValuePtr value,
+                                        std::uint64_t op) {
+  (void)obj_state(obj);  // lazily bind to the default c0 on first use
   co_await ensure_config(obj);
 
   // Max tag across configurations µ..ν. If a piggybacked hint reveals a
@@ -244,9 +268,6 @@ sim::Future<Tag> AresClient::write(ObjectId obj, ValuePtr value) {
     v = nu(obj);
   }
 
-  if (recorder_ != nullptr) {
-    recorder_->end(op, simulator().now(), tw, value);
-  }
   co_return tw;
 }
 
@@ -257,7 +278,16 @@ sim::Future<TagValue> AresClient::read(ObjectId obj) {
     op = recorder_->begin(id(), checker::OpKind::kRead, simulator().now(),
                           obj);
   }
+  auto core = read_core(obj);
+  TagValue best = co_await core;
+  if (recorder_ != nullptr) {
+    recorder_->end(op, simulator().now(), best.tag, best.value);
+  }
+  co_return best;
+}
 
+sim::Future<TagValue> AresClient::read_core(ObjectId obj) {
+  (void)obj_state(obj);  // lazily bind to the default c0 on first use
   co_await ensure_config(obj);
 
   TagValue best{kInitialTag, nullptr};
@@ -303,10 +333,319 @@ sim::Future<TagValue> AresClient::read(ObjectId obj) {
     }
   }
 
-  if (recorder_ != nullptr) {
-    recorder_->end(op, simulator().now(), best.tag, best.value);
-  }
   co_return best;
+}
+
+// ---------------------------------------------------------------------------
+// Batched operations (Store API read_many/write_many): group members by
+// configuration via the synced-cseq cache and serve each group with
+// multi-object quorum rounds; any member whose configuration diverges —
+// mid-reconfig sequence, non-batchable protocol, or a piggybacked hint
+// revealing a successor mid-batch — falls back to the per-object Alg.-7 op.
+// ---------------------------------------------------------------------------
+
+sim::Future<std::vector<CseqEntry>> AresClient::read_config_batch(
+    ConfigId c, std::vector<ObjectId> objs) {
+  const auto& spec = registry_.get(c);
+  auto req = std::make_shared<ReadConfigBatchReq>();
+  req->config = c;
+  req->object = objs.empty() ? kDefaultObject : objs.front();
+  req->objects = objs;
+  auto qc = sim::broadcast_collect<ReadConfigBatchReply>(*this, spec.servers,
+                                                         std::move(req));
+  co_await qc.wait_for(spec.quorum_size());
+  std::vector<CseqEntry> out(objs.size());
+  for (const auto& a : qc.arrivals()) {
+    const std::size_t n = std::min(a.reply->nexts.size(), out.size());
+    for (std::size_t j = 0; j < n; ++j) {
+      const CseqEntry& seen = a.reply->nexts[j];
+      if (!seen.valid()) continue;
+      if (!out[j].valid() || (seen.finalized && !out[j].finalized)) {
+        out[j] = seen;
+      }
+    }
+  }
+  co_return out;
+}
+
+sim::Future<void> AresClient::propagate_tail(ObjectId obj, TagValue tv) {
+  std::size_t v = nu(obj);
+  for (;;) {
+    co_await dap_for(obj, cseq(obj)[v].cfg)->put_data(tv);
+    co_await read_config(obj);
+    if (nu(obj) == v) break;
+    v = nu(obj);
+  }
+  co_return;
+}
+
+namespace {
+
+/// True when `obj`'s whole cached sequence is the single configuration
+/// `st.cseq.back()` and that configuration serves the batch primitives.
+bool group_stable(const AresClient& client, ObjectId obj, ConfigId cfg) {
+  const auto& cs = client.cseq(obj);
+  return cs.back().cfg == cfg && client.mu(obj) == client.nu(obj);
+}
+
+}  // namespace
+
+sim::Future<std::vector<TagValue>> AresClient::read_batch(
+    std::vector<ObjectId> objs) {
+  std::vector<TagValue> out(objs.size());
+  std::vector<std::uint64_t> rec(objs.size(), 0);
+  for (std::size_t i = 0; i < objs.size(); ++i) {
+    (void)obj_state(objs[i]);
+    if (recorder_ != nullptr) {
+      rec[i] = recorder_->begin(id(), checker::OpKind::kRead,
+                                simulator().now(), objs[i]);
+    }
+  }
+  // Resolve configurations (zero rounds per member once synced).
+  for (std::size_t i = 0; i < objs.size(); ++i) {
+    co_await ensure_config(objs[i]);
+  }
+
+  // Group by tail configuration; deduplicate objects within a group (a
+  // repeated read in one batch shares the canonical member's result).
+  std::map<ConfigId, std::vector<std::size_t>> groups;
+  std::vector<std::size_t> singles;
+  for (std::size_t i = 0; i < objs.size(); ++i) {
+    const ObjectState& st = obj_state(objs[i]);
+    const ConfigId tail = st.cseq.back().cfg;
+    if (st.synced && mu(objs[i]) == nu(objs[i]) &&
+        dap::batch_capable(registry_.get(tail))) {
+      groups[tail].push_back(i);
+    } else {
+      singles.push_back(i);
+    }
+  }
+
+  for (auto& [cfg, slots] : groups) {
+    const dap::ConfigSpec& spec = registry_.get(cfg);
+    std::vector<ObjectId> uobjs;           // distinct objects, wire order
+    std::vector<std::size_t> canon;        // canonical member per uobj
+    std::map<ObjectId, std::size_t> uslot;  // object -> uobjs index
+    for (std::size_t s : slots) {
+      auto [it, inserted] = uslot.try_emplace(objs[s], uobjs.size());
+      if (inserted) {
+        uobjs.push_back(objs[s]);
+        canon.push_back(s);
+      }
+    }
+    std::vector<Tag> hints;
+    hints.reserve(uobjs.size());
+    for (ObjectId o : uobjs) hints.push_back(dap_for(o, cfg)->confirmed_tag());
+
+    // One get-data quorum round for the whole group.
+    auto get_fut = dap::batch_get_data(*this, spec, uobjs,
+                                       /*tags_only=*/false, std::move(hints));
+    auto items = co_await get_fut;
+    for (std::size_t u = 0; u < uobjs.size(); ++u) {
+      if (items[u].next_c.valid()) {
+        note_config_hint(cfg, uobjs[u], items[u].next_c);
+      }
+    }
+
+    std::vector<dap::BatchPutItem> wb;   // members needing the write-back
+    std::vector<std::size_t> wb_canon;   // their canonical member indices
+    std::vector<std::size_t> demoted;    // uobj indices rerun per-object
+    for (std::size_t u = 0; u < uobjs.size(); ++u) {
+      const ObjectId obj = uobjs[u];
+      if (!obj_state(obj).synced || !group_stable(*this, obj, cfg)) {
+        demoted.push_back(u);
+        continue;
+      }
+      TagValue best{items[u].tag,
+                    items[u].value ? items[u].value : initial_value()};
+      out[canon[u]] = best;
+      const bool confirmed = spec.semifast && items[u].confirmed >= best.tag;
+      if (confirmed) dap_for(obj, cfg)->note_confirmed(best.tag);
+      if (!(fast_path_ && confirmed)) {
+        wb.push_back({obj, best.tag, best.value});
+        wb_canon.push_back(canon[u]);
+      }
+    }
+
+    if (!wb.empty()) {
+      // One put round writes every non-confirmed pair back...
+      auto put_fut = dap::batch_put_data(*this, spec, wb);
+      auto ack_hints = co_await put_fut;
+      for (std::size_t j = 0; j < wb.size(); ++j) {
+        if (ack_hints[j].valid()) {
+          note_config_hint(cfg, wb[j].object, ack_hints[j]);
+        }
+      }
+      // ...and one batched config check replaces the per-object trailing
+      // read-config (mandatory: ack-time hints can miss a put-config
+      // completing mid-round — see write()).
+      std::vector<ObjectId> wb_objs;
+      wb_objs.reserve(wb.size());
+      for (const auto& p : wb) wb_objs.push_back(p.object);
+      auto check_fut = read_config_batch(cfg, wb_objs);
+      auto nexts = co_await check_fut;
+      for (std::size_t j = 0; j < wb.size(); ++j) {
+        const ObjectId obj = wb[j].object;
+        ObjectState& st = obj_state(obj);
+        if (nexts[j].valid() && st.cseq.back().cfg == cfg) {
+          set_entry(obj, nu(obj) + 1, nexts[j]);
+          st.synced = false;
+        }
+        if (st.cseq.back().cfg != cfg || !st.synced) {
+          TagValue tv = out[wb_canon[j]];
+          auto prop = propagate_tail(obj, tv);
+          co_await prop;
+        } else {
+          // Quorum-propagated by our write-back: remember for next time.
+          dap_for(obj, cfg)->note_confirmed(wb[j].tag);
+        }
+      }
+    }
+
+    for (std::size_t u : demoted) {
+      auto fallback = read_core(uobjs[u]);
+      out[canon[u]] = co_await fallback;
+    }
+    for (std::size_t s : slots) out[s] = out[canon[uslot[objs[s]]]];
+  }
+
+  for (std::size_t i : singles) {
+    auto fallback = read_core(objs[i]);
+    out[i] = co_await fallback;
+  }
+
+  if (recorder_ != nullptr) {
+    for (std::size_t i = 0; i < objs.size(); ++i) {
+      recorder_->end(rec[i], simulator().now(), out[i].tag, out[i].value);
+    }
+  }
+  co_return out;
+}
+
+sim::Future<std::vector<Tag>> AresClient::write_batch(
+    std::vector<ObjectId> objs, std::vector<ValuePtr> values) {
+  assert(objs.size() == values.size());
+  std::vector<Tag> out(objs.size());
+  std::vector<std::uint64_t> rec(objs.size(), 0);
+  for (std::size_t i = 0; i < objs.size(); ++i) {
+    (void)obj_state(objs[i]);
+    if (recorder_ != nullptr) {
+      rec[i] = recorder_->begin(id(), checker::OpKind::kWrite,
+                                simulator().now(), objs[i]);
+    }
+  }
+  for (std::size_t i = 0; i < objs.size(); ++i) {
+    co_await ensure_config(objs[i]);
+  }
+
+  // Group by tail configuration. Unlike reads, duplicate objects are NOT
+  // merged — every member is a distinct write and needs a distinct tag —
+  // so later duplicates take the serialized per-object path.
+  std::map<ConfigId, std::vector<std::size_t>> groups;
+  std::vector<std::size_t> singles;
+  std::set<ObjectId> grouped;
+  for (std::size_t i = 0; i < objs.size(); ++i) {
+    const ObjectState& st = obj_state(objs[i]);
+    const ConfigId tail = st.cseq.back().cfg;
+    if (st.synced && mu(objs[i]) == nu(objs[i]) &&
+        dap::batch_capable(registry_.get(tail)) &&
+        grouped.insert(objs[i]).second) {
+      groups[tail].push_back(i);
+    } else {
+      singles.push_back(i);
+    }
+  }
+
+  for (auto& [cfg, slots] : groups) {
+    const dap::ConfigSpec& spec = registry_.get(cfg);
+    std::vector<ObjectId> gobjs;
+    gobjs.reserve(slots.size());
+    for (std::size_t s : slots) gobjs.push_back(objs[s]);
+    std::vector<Tag> hints;
+    hints.reserve(gobjs.size());
+    for (ObjectId o : gobjs) hints.push_back(dap_for(o, cfg)->confirmed_tag());
+
+    // One batched get-tag round for the whole group.
+    auto tag_fut = dap::batch_get_data(*this, spec, gobjs,
+                                       /*tags_only=*/true, std::move(hints));
+    auto items = co_await tag_fut;
+    for (std::size_t j = 0; j < gobjs.size(); ++j) {
+      if (items[j].next_c.valid()) {
+        note_config_hint(cfg, gobjs[j], items[j].next_c);
+      }
+    }
+
+    std::vector<dap::BatchPutItem> puts;
+    std::vector<std::size_t> put_slots;
+    std::vector<std::size_t> demoted_slots;
+    for (std::size_t j = 0; j < gobjs.size(); ++j) {
+      const ObjectId obj = gobjs[j];
+      const std::size_t slot = slots[j];
+      if (!obj_state(obj).synced || !group_stable(*this, obj, cfg)) {
+        demoted_slots.push_back(slot);
+        continue;
+      }
+      const Tag tw = items[j].tag.next(id());
+      out[slot] = tw;
+      if (recorder_ != nullptr) {
+        // Record the tag pre-put: a crashed writer's value may surface.
+        recorder_->note_write_tag(rec[slot], tw, values[slot]);
+      }
+      puts.push_back({obj, tw, values[slot]});
+      put_slots.push_back(slot);
+    }
+
+    if (!puts.empty()) {
+      // One put round for the whole group...
+      auto put_fut = dap::batch_put_data(*this, spec, puts);
+      auto ack_hints = co_await put_fut;
+      for (std::size_t j = 0; j < puts.size(); ++j) {
+        if (ack_hints[j].valid()) {
+          note_config_hint(cfg, puts[j].object, ack_hints[j]);
+        }
+      }
+      // ...and the batched post-put configuration check. NOT elidable:
+      // a reconfiguration racing the put could transfer state without
+      // these tags while the puts complete hint-free (see write()).
+      std::vector<ObjectId> put_objs;
+      put_objs.reserve(puts.size());
+      for (const auto& p : puts) put_objs.push_back(p.object);
+      auto check_fut = read_config_batch(cfg, put_objs);
+      auto nexts = co_await check_fut;
+      for (std::size_t j = 0; j < puts.size(); ++j) {
+        const ObjectId obj = puts[j].object;
+        ObjectState& st = obj_state(obj);
+        if (nexts[j].valid() && st.cseq.back().cfg == cfg) {
+          set_entry(obj, nu(obj) + 1, nexts[j]);
+          st.synced = false;
+        }
+        if (st.cseq.back().cfg != cfg || !st.synced) {
+          TagValue tv{puts[j].tag, puts[j].value};
+          auto prop = propagate_tail(obj, tv);
+          co_await prop;
+        } else {
+          dap_for(obj, cfg)->note_confirmed(puts[j].tag);
+        }
+      }
+    }
+
+    for (std::size_t slot : demoted_slots) {
+      auto fallback = write_core(objs[slot], values[slot], rec[slot]);
+      out[slot] = co_await fallback;
+    }
+  }
+
+  for (std::size_t i : singles) {
+    auto fallback = write_core(objs[i], values[i], rec[i]);
+    out[i] = co_await fallback;
+  }
+
+  if (recorder_ != nullptr) {
+    for (std::size_t i = 0; i < objs.size(); ++i) {
+      recorder_->end(rec[i], simulator().now(), out[i], values[i]);
+    }
+  }
+  co_return out;
 }
 
 // ---------------------------------------------------------------------------

@@ -57,6 +57,26 @@ class AresClient : public sim::Process {
   [[nodiscard]] sim::Future<TagValue> read(ObjectId obj);
   [[nodiscard]] sim::Future<TagValue> read() { return read(kDefaultObject); }
 
+  /// Batched Algorithm-7 reads: members whose whole cached sequence is one
+  /// batch-capable configuration (see dap::batch_capable) are grouped per
+  /// configuration and served by multi-object quorum rounds — one get-data
+  /// round (plus, when write-back is needed, one put round and one config
+  /// check) for the whole group instead of per member. Members whose
+  /// configuration diverges — mid-reconfig sequences, non-batchable
+  /// protocols, or a piggybacked hint revealing a successor mid-batch —
+  /// fall back to the per-object Algorithm-7 path. Results align with
+  /// `objs`.
+  [[nodiscard]] sim::Future<std::vector<TagValue>> read_batch(
+      std::vector<ObjectId> objs);
+
+  /// Batched Algorithm-7 writes (same grouping and fallback rules; one
+  /// batched get-tag round, one batched put round, one batched post-put
+  /// config check per group). Duplicate objects within one batch are
+  /// serialized through the per-object path so every member gets a
+  /// distinct tag. `values` parallels `objs`.
+  [[nodiscard]] sim::Future<std::vector<Tag>> write_batch(
+      std::vector<ObjectId> objs, std::vector<ValuePtr> values);
+
   /// Algorithm 5 reconfig(c) on `obj`: registers `new_spec` and attempts to
   /// append it to `obj`'s GL. Completes with the configuration id actually
   /// installed in that slot (new_spec.id if this client's proposal won
@@ -67,21 +87,22 @@ class AresClient : public sim::Process {
     return reconfig(kDefaultObject, std::move(new_spec));
   }
 
-  /// This client's current local configuration sequence for `obj`
-  /// (tests / metrics). Objects not yet operated on bind lazily to the
-  /// constructor's c0, so an untouched object reports the length-1
-  /// sequence [⟨c0, F⟩].
-  [[nodiscard]] const std::vector<CseqEntry>& cseq(ObjectId obj) {
-    return obj_state(obj).cseq;
-  }
-  [[nodiscard]] const std::vector<CseqEntry>& cseq() {
+  /// Const observer: this client's current local configuration sequence
+  /// for `obj` (tests / metrics). The object must already be bound —
+  /// explicitly via bind_object() or implicitly by a prior operation;
+  /// throws std::out_of_range otherwise. Observing never mutates client
+  /// state (the historical accessor lazily *bound* the object on a miss;
+  /// callers that want that behavior call bind_object() first).
+  [[nodiscard]] const std::vector<CseqEntry>& cseq(ObjectId obj) const;
+  [[nodiscard]] const std::vector<CseqEntry>& cseq() const {
     return cseq(kDefaultObject);
   }
 
   /// Index of the last finalized entry (µ) and last entry (ν) of `obj`'s
-  /// sequence.
-  [[nodiscard]] std::size_t mu(ObjectId obj = kDefaultObject);
-  [[nodiscard]] std::size_t nu(ObjectId obj = kDefaultObject) {
+  /// sequence. Const observers with the same bound-object requirement as
+  /// cseq().
+  [[nodiscard]] std::size_t mu(ObjectId obj = kDefaultObject) const;
+  [[nodiscard]] std::size_t nu(ObjectId obj = kDefaultObject) const {
     return cseq(obj).size() - 1;
   }
 
@@ -163,6 +184,25 @@ class AresClient : public sim::Process {
 
   /// read_config, unless the fast path may trust the cached cseq for `obj`.
   [[nodiscard]] sim::Future<void> ensure_config(ObjectId obj);
+
+  /// The Alg.-7 operation bodies, minus history recording (the public
+  /// read/write wrappers and the batch paths record around them; `op` is
+  /// the recorder handle for the mid-operation note_write_tag, 0 if none).
+  [[nodiscard]] sim::Future<TagValue> read_core(ObjectId obj);
+  [[nodiscard]] sim::Future<Tag> write_core(ObjectId obj, ValuePtr value,
+                                            std::uint64_t op);
+
+  /// One batched nextC quorum sample on configuration `c` for every listed
+  /// object — the post-put configuration check of a batched operation.
+  /// Returns the best entry seen per object (⊥ when no server knows a
+  /// successor), aligned with `objs`.
+  [[nodiscard]] sim::Future<std::vector<CseqEntry>> read_config_batch(
+      ConfigId c, std::vector<ObjectId> objs);
+
+  /// Alg.-7 propagation loop for a pair that already rests at a quorum of
+  /// the old tail after a successor configuration was revealed: re-put into
+  /// each new tail until the sequence stops growing.
+  [[nodiscard]] sim::Future<void> propagate_tail(ObjectId obj, TagValue tv);
 
   /// True when piggybacked hints on `obj`'s current tail configuration are
   /// guaranteed to reveal any installed successor (the tail's DAP phase

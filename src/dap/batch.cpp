@@ -1,0 +1,95 @@
+#include "dap/batch.hpp"
+
+#include <cassert>
+
+namespace ares::dap {
+
+namespace {
+
+/// Merge a server-reported nextC into the best-so-far for one object:
+/// any valid entry beats ⊥; a finalized entry beats a pending one.
+void merge_next(CseqEntry& best, const CseqEntry& seen) {
+  if (!seen.valid()) return;
+  if (!best.valid() || (seen.finalized && !best.finalized)) best = seen;
+}
+
+}  // namespace
+
+sim::Future<std::vector<BatchQueryItem>> batch_get_data(
+    sim::Process& owner, ConfigSpec spec, std::vector<ObjectId> objects,
+    bool tags_only, std::vector<Tag> confirmed_hints) {
+  assert(batch_capable(spec));
+  auto req = std::make_shared<QueryBatchReq>();
+  req->config = spec.id;
+  req->object = objects.empty() ? kDefaultObject : objects.front();
+  req->objects = objects;
+  req->tags_only = tags_only;
+  req->confirmed_hints = std::move(confirmed_hints);
+  if (!req->confirmed_hints.empty()) {
+    req->confirmed_hint = req->confirmed_hints.front();
+  }
+  auto qc = sim::broadcast_collect<QueryBatchReply>(owner, spec.servers,
+                                                    std::move(req));
+  co_await qc.wait_for(spec.quorum_size());
+
+  std::vector<BatchQueryItem> best(objects.size());
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    best[i].object = objects[i];
+    best[i].tag = kInitialTag;
+    best[i].confirmed = kInitialTag;
+  }
+  for (const auto& a : qc.arrivals()) {
+    // Replies echo the request's object order; tolerate short replies
+    // defensively (a foreign or truncated reply contributes nothing).
+    const std::size_t n = std::min(a.reply->items.size(), best.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const BatchQueryItem& item = a.reply->items[i];
+      if (item.object != objects[i]) continue;
+      if (item.tag > best[i].tag || (item.tag == best[i].tag &&
+                                     !best[i].value && item.value)) {
+        best[i].tag = item.tag;
+        best[i].value = item.value;
+      }
+      best[i].confirmed = std::max(best[i].confirmed, item.confirmed);
+      merge_next(best[i].next_c, item.next_c);
+    }
+  }
+  co_return best;
+}
+
+sim::Future<std::vector<CseqEntry>> batch_put_data(
+    sim::Process& owner, ConfigSpec spec, std::vector<BatchPutItem> items) {
+  assert(batch_capable(spec));
+  auto req = std::make_shared<PutBatchReq>();
+  req->config = spec.id;
+  req->object = items.empty() ? kDefaultObject : items.front().object;
+  req->items = items;
+  auto qc = sim::broadcast_collect<PutBatchReply>(owner, spec.servers,
+                                                  std::move(req));
+  co_await qc.wait_for(spec.quorum_size());
+
+  // Every item's ⟨τ, v⟩ now rests at a quorum: tell the servers in one
+  // fire-and-forget broadcast so subsequent reads can elide the write-back.
+  if (spec.semifast && !items.empty()) {
+    auto confirm = std::make_shared<ConfirmBatchMsg>();
+    confirm->config = spec.id;
+    confirm->object = items.front().object;
+    confirm->tags.reserve(items.size());
+    for (const auto& it : items) {
+      confirm->tags.push_back({it.object, it.tag});
+    }
+    const sim::BodyPtr body = std::move(confirm);
+    for (ProcessId s : spec.servers) owner.send(s, body);
+  }
+
+  std::vector<CseqEntry> hints(items.size());
+  for (const auto& a : qc.arrivals()) {
+    const std::size_t n = std::min(a.reply->next_cs.size(), hints.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      merge_next(hints[i], a.reply->next_cs[i]);
+    }
+  }
+  co_return hints;
+}
+
+}  // namespace ares::dap

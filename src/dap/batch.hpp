@@ -1,0 +1,43 @@
+// Client-side batched multi-object quorum primitives: one QueryBatch /
+// PutBatch round over a configuration's servers covers every listed object,
+// so B objects sharing a configuration cost one quorum round instead of B.
+// These are the building blocks the Store adapters (and AresClient's
+// batched Alg.-7 paths) compose; the per-configuration grouping and the
+// reconfiguration bookkeeping live in the callers.
+#pragma once
+
+#include "dap/config.hpp"
+#include "dap/messages.hpp"
+#include "sim/coro.hpp"
+#include "sim/process.hpp"
+
+#include <vector>
+
+namespace ares::dap {
+
+/// True when `spec`'s protocol serves the whole-replica batch primitives
+/// (servers store full values per object). Coded (TREAS) and role-split
+/// (LDR) configurations decline; callers fall back to per-object ops.
+[[nodiscard]] inline bool batch_capable(const ConfigSpec& spec) {
+  return spec.protocol == Protocol::kAbd;
+}
+
+/// One get-data (or get-tag, with `tags_only`) quorum round for every
+/// object in `objects` on `spec`'s servers. Returns one item per object
+/// (aligned with `objects`): the max-tag pair across the quorum, the max
+/// confirmed tag, and the "best" piggybacked nextC observed (finalized
+/// preferred). `confirmed_hints` (may be empty) parallels `objects`.
+[[nodiscard]] sim::Future<std::vector<BatchQueryItem>> batch_get_data(
+    sim::Process& owner, ConfigSpec spec, std::vector<ObjectId> objects,
+    bool tags_only, std::vector<Tag> confirmed_hints);
+
+/// One put-data quorum round for every item on `spec`'s servers. After the
+/// quorum acks, every item's tag rests at a quorum: when `spec.semifast`,
+/// one ConfirmBatch broadcast tells the servers so. Returns the ack-time
+/// nextC hints per item (opportunistic staleness signal only — ack-time
+/// sampling can miss a put-config completing mid-round; reconfigurable
+/// callers still need their post-put config check).
+[[nodiscard]] sim::Future<std::vector<CseqEntry>> batch_put_data(
+    sim::Process& owner, ConfigSpec spec, std::vector<BatchPutItem> items);
+
+}  // namespace ares::dap

@@ -61,9 +61,10 @@ class Dap {
   /// starts from ⟨t0, v0⟩).
   [[nodiscard]] Tag confirmed_tag() const { return confirmed_; }
 
- protected:
   /// Record that put-data(τ) completed at a quorum (or that a server
-  /// reported τ confirmed).
+  /// reported τ confirmed). Public so the batched multi-object paths,
+  /// which run their quorum rounds outside the Dap instances, can feed
+  /// the same confirmation cache the scalar primitives use.
   void note_confirmed(Tag t) { confirmed_ = std::max(confirmed_, t); }
 
  private:

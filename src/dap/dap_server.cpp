@@ -11,21 +11,72 @@ Tag DapServer::confirmed_tag(ObjectId obj) const {
   return it == confirmed_.end() ? kInitialTag : it->second;
 }
 
+void DapServer::raise_confirmed(ObjectId obj, Tag tag) {
+  // t0 is confirmed by construction; don't materialize map entries for it.
+  if (tag <= kInitialTag) return;
+  auto& cur = confirmed_[obj];
+  cur = std::max(cur, tag);
+}
+
 bool DapServer::absorb_confirmations(const sim::Message& msg) {
   auto req = std::dynamic_pointer_cast<const sim::RpcRequest>(msg.body);
   if (!req) return false;
-  // t0 is confirmed by construction; don't materialize map entries for it.
-  if (req->confirmed_hint > kInitialTag) {
-    auto& cur = confirmed_[req->object];
-    cur = std::max(cur, req->confirmed_hint);
+  raise_confirmed(req->object, req->confirmed_hint);
+  if (auto batch = std::dynamic_pointer_cast<const QueryBatchReq>(msg.body)) {
+    const std::size_t n =
+        std::min(batch->objects.size(), batch->confirmed_hints.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      raise_confirmed(batch->objects[i], batch->confirmed_hints[i]);
+    }
+    return false;  // still needs its reply (handle_batch)
   }
   if (auto confirm = std::dynamic_pointer_cast<const ConfirmMsg>(msg.body)) {
-    if (confirm->tag > kInitialTag) {
-      auto& cur = confirmed_[confirm->object];
-      cur = std::max(cur, confirm->tag);
-    }
+    raise_confirmed(confirm->object, confirm->tag);
     return true;  // fire-and-forget: consumed, no reply
   }
+  if (auto cb = std::dynamic_pointer_cast<const ConfirmBatchMsg>(msg.body)) {
+    for (const auto& item : cb->tags) raise_confirmed(item.object, item.tag);
+    return true;  // fire-and-forget: consumed, no reply
+  }
+  return false;
+}
+
+bool DapServer::handle_batch(ServerContext& ctx, const sim::Message& msg) {
+  if (!supports_batch()) return false;
+  auto rpc = std::dynamic_pointer_cast<const sim::RpcRequest>(msg.body);
+  if (!rpc) return false;
+
+  if (auto query = std::dynamic_pointer_cast<const QueryBatchReq>(msg.body)) {
+    auto reply = std::make_shared<QueryBatchReply>();
+    reply->items.reserve(query->objects.size());
+    for (ObjectId obj : query->objects) {
+      BatchQueryItem item;
+      item.object = obj;
+      const TagValue tv = query_one(obj);
+      item.tag = tv.tag;
+      if (!query->tags_only) item.value = tv.value;
+      item.confirmed = confirmed_tag(obj);
+      // Per-member piggybacked configuration discovery: the envelope's
+      // next_c (stamped by reply_to) covers only the envelope object.
+      item.next_c = ctx.process.next_config_hint(rpc->config, obj);
+      reply->items.push_back(std::move(item));
+    }
+    ctx.process.reply_to(msg, std::move(reply));
+    return true;
+  }
+
+  if (auto put = std::dynamic_pointer_cast<const PutBatchReq>(msg.body)) {
+    auto reply = std::make_shared<PutBatchReply>();
+    reply->next_cs.reserve(put->items.size());
+    for (const auto& item : put->items) {
+      put_one(item.object, item.tag, item.value);
+      reply->next_cs.push_back(
+          ctx.process.next_config_hint(rpc->config, item.object));
+    }
+    ctx.process.reply_to(msg, std::move(reply));
+    return true;
+  }
+
   return false;
 }
 

@@ -3,10 +3,18 @@
 // LDR's directory/replica state) plus its message handlers. One DapServer
 // instance serves every atomic object addressed in its configuration; state
 // is keyed internally by the ObjectId carried in each request.
+//
+// Batched multi-object primitives (QueryBatchReq / PutBatchReq): the base
+// class serves them generically via handle_batch(), iterating per-object
+// state through the query_one/put_one hooks a protocol implements.
+// Whole-replica protocols (ABD) support them; coded / role-split protocols
+// (TREAS, LDR) report supports_batch() == false and clients fall back to
+// per-object operations (see dap::batch_capable).
 #pragma once
 
 #include "common/types.hpp"
 #include "dap/config.hpp"
+#include "dap/messages.hpp"
 #include "sim/message.hpp"
 #include "sim/process.hpp"
 
@@ -45,14 +53,39 @@ class DapServer {
   /// confirmed_hint piggybacked on requests and from ConfirmMsg broadcasts.
   [[nodiscard]] Tag confirmed_tag(ObjectId obj) const;
 
+  /// True when this protocol's per-object state can serve the batched
+  /// whole-replica primitives (QueryBatchReq / PutBatchReq).
+  [[nodiscard]] virtual bool supports_batch() const { return false; }
+
  protected:
   /// Absorb the confirmation evidence carried by `msg` (every request's
-  /// confirmed_hint; a standalone ConfirmMsg). Returns true iff the message
-  /// was a ConfirmMsg and is thereby fully consumed (no reply is due).
+  /// confirmed_hint, per-member hints of a QueryBatchReq; a standalone
+  /// ConfirmMsg or ConfirmBatchMsg). Returns true iff the message was a
+  /// confirm broadcast and is thereby fully consumed (no reply is due).
   /// Protocol handlers call this before their own dispatch.
   bool absorb_confirmations(const sim::Message& msg);
 
+  /// Serve QueryBatchReq / PutBatchReq by iterating per-object state
+  /// through query_one/put_one (requires supports_batch()). Returns true
+  /// iff the message was a batch request and was consumed. Protocol
+  /// handlers call this after absorb_confirmations.
+  bool handle_batch(ServerContext& ctx, const sim::Message& msg);
+
+  /// Per-object whole-replica hooks backing handle_batch. Only protocols
+  /// with supports_batch() == true implement them.
+  [[nodiscard]] virtual TagValue query_one(ObjectId obj) const {
+    (void)obj;
+    return {};
+  }
+  virtual void put_one(ObjectId obj, const Tag& tag, const ValuePtr& value) {
+    (void)obj;
+    (void)tag;
+    (void)value;
+  }
+
  private:
+  void raise_confirmed(ObjectId obj, Tag tag);
+
   std::map<ObjectId, Tag> confirmed_;
 };
 

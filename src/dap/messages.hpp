@@ -36,4 +36,115 @@ inline void broadcast_confirm(sim::Process& owner, ConfigId config,
   for (ProcessId s : servers) owner.send(s, body);
 }
 
+// ---------------------------------------------------------------------------
+// Batched multi-object primitives (the Store API's read_many/write_many):
+// one RPC addresses every listed object's state within the configuration,
+// so B objects sharing a configuration cost one quorum round instead of B.
+// Served by DapServer::handle_batch iterating per-object state; only
+// whole-replica protocols support them (see DapServer::supports_batch).
+// ---------------------------------------------------------------------------
+
+/// QUERY-BATCH: get-data (or, with `tags_only`, get-tag) for every object
+/// in `objects`, in one RPC. `confirmed_hints` parallels `objects` (may be
+/// empty): the caller's quorum-propagation knowledge per member, absorbed
+/// by the server like the scalar confirmed_hint.
+class QueryBatchReq final : public sim::RpcRequest {
+ public:
+  std::vector<ObjectId> objects;
+  std::vector<Tag> confirmed_hints;  // parallel to objects, or empty
+  bool tags_only = false;
+  [[nodiscard]] std::size_t metadata_bytes() const override {
+    return 32 + 16 * objects.size();
+  }
+  [[nodiscard]] std::string_view type_name() const override {
+    return "dap.query_batch";
+  }
+};
+
+/// One object's slice of a QueryBatchReply, in request order. `next_c` is
+/// the replying server's nextC pointer for (config, object) — the
+/// piggybacked configuration discovery of the scalar path, per member.
+struct BatchQueryItem {
+  ObjectId object = kNoObject;
+  Tag tag;
+  ValuePtr value;  // null under tags_only
+  Tag confirmed;   // server's quorum-propagated tag for the object
+  CseqEntry next_c;
+};
+
+class QueryBatchReply final : public sim::RpcReply {
+ public:
+  std::vector<BatchQueryItem> items;  // aligned with the request's objects
+  [[nodiscard]] std::size_t data_bytes() const override {
+    std::size_t sum = 0;
+    for (const auto& it : items) {
+      if (it.value) sum += it.value->size();
+    }
+    return sum;
+  }
+  [[nodiscard]] std::size_t metadata_bytes() const override {
+    return 32 + 32 * items.size();
+  }
+  [[nodiscard]] std::string_view type_name() const override {
+    return "dap.query_batch_reply";
+  }
+};
+
+/// One member of a PUT-BATCH: put-data(⟨τ, v⟩) for the object.
+struct BatchPutItem {
+  ObjectId object = kNoObject;
+  Tag tag;
+  ValuePtr value;
+};
+
+class PutBatchReq final : public sim::RpcRequest {
+ public:
+  std::vector<BatchPutItem> items;
+  [[nodiscard]] std::size_t data_bytes() const override {
+    std::size_t sum = 0;
+    for (const auto& it : items) {
+      if (it.value) sum += it.value->size();
+    }
+    return sum;
+  }
+  [[nodiscard]] std::size_t metadata_bytes() const override {
+    return 32 + 16 * items.size();
+  }
+  [[nodiscard]] std::string_view type_name() const override {
+    return "dap.put_batch";
+  }
+};
+
+class PutBatchReply final : public sim::RpcReply {
+ public:
+  /// Ack-time nextC per request item (opportunistic staleness signal; NOT a
+  /// substitute for the post-put config check — ack-time sampling can miss
+  /// a put-config completing mid-round, see AresClient::write).
+  std::vector<CseqEntry> next_cs;
+  [[nodiscard]] std::size_t metadata_bytes() const override {
+    return 32 + 8 * next_cs.size();
+  }
+  [[nodiscard]] std::string_view type_name() const override {
+    return "dap.put_batch_ack";
+  }
+};
+
+/// CONFIRM-BATCH (fire-and-forget): per-object confirmed tags after a
+/// completed batch put — one broadcast instead of one ConfirmMsg per
+/// member. Metadata only; no reply.
+class ConfirmBatchMsg final : public sim::RpcRequest {
+ public:
+  struct Item {
+    ObjectId object = kNoObject;
+    Tag tag;
+  };
+  std::vector<Item> tags;
+  [[nodiscard]] std::size_t metadata_bytes() const override {
+    return 32 + 16 * tags.size();
+  }
+  [[nodiscard]] std::string_view type_name() const override {
+    return "dap.confirm_batch";
+  }
+};
+
 }  // namespace ares::dap

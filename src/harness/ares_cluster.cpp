@@ -35,6 +35,7 @@ AresCluster::AresCluster(AresClusterOptions options)
     clients_.push_back(std::make_unique<reconfig::AresClient>(
         sim_, net_, next_pid++, registry_, /*c0=*/0, &history_));
     clients_.back()->set_fast_path(options_.fast_path);
+    stores_.push_back(std::make_unique<api::AresStore>(*clients_.back()));
   }
   for (std::size_t i = 0; i < options_.num_reconfigurers; ++i) {
     if (options_.direct_transfer) {
@@ -45,6 +46,8 @@ AresCluster::AresCluster(AresClusterOptions options)
           sim_, net_, next_pid++, registry_, /*c0=*/0, nullptr));
     }
     reconfigurers_.back()->set_fast_path(options_.fast_path);
+    reconfigurer_stores_.push_back(
+        std::make_unique<api::AresStore>(*reconfigurers_.back()));
   }
 }
 
@@ -100,10 +103,7 @@ std::size_t AresCluster::total_stored_bytes() const {
 
 WorkloadResult AresCluster::run_multi_object_workload(WorkloadOptions opt) {
   opt.num_objects = options_.num_objects;
-  std::vector<reconfig::AresClient*> clients;
-  clients.reserve(clients_.size());
-  for (auto& c : clients_) clients.push_back(c.get());
-  return run_workload(sim_, clients, opt);
+  return run_workload(sim_, stores(), opt);
 }
 
 }  // namespace ares::harness

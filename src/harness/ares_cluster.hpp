@@ -4,6 +4,7 @@
 // experiment.
 #pragma once
 
+#include "api/ares_store.hpp"
 #include "ares/client.hpp"
 #include "ares/server.hpp"
 #include "arestreas/direct_client.hpp"
@@ -80,6 +81,21 @@ class AresCluster {
     return reconfigurers_.size();
   }
 
+  /// Store adapters — the surface the workload driver, benches, examples
+  /// and the placement Rebalancer program against.
+  [[nodiscard]] api::AresStore& store(std::size_t i) { return *stores_[i]; }
+  [[nodiscard]] api::AresStore& reconfigurer_store(std::size_t i) {
+    return *reconfigurer_stores_[i];
+  }
+
+  /// All read/write-client stores, in client order (run_workload's input).
+  [[nodiscard]] std::vector<api::Store*> stores() {
+    std::vector<api::Store*> out;
+    out.reserve(stores_.size());
+    for (auto& s : stores_) out.push_back(s.get());
+    return out;
+  }
+
   /// Builds the spec of a fresh configuration: `n` servers starting at pool
   /// index `first_server` (wrapping), protocol/k as given. Does not
   /// register it — reconfig() does that.
@@ -141,6 +157,8 @@ class AresCluster {
   std::vector<std::unique_ptr<reconfig::AresServer>> servers_;
   std::vector<std::unique_ptr<reconfig::AresClient>> clients_;
   std::vector<std::unique_ptr<reconfig::AresClient>> reconfigurers_;
+  std::vector<std::unique_ptr<api::AresStore>> stores_;
+  std::vector<std::unique_ptr<api::AresStore>> reconfigurer_stores_;
   std::map<ObjectId, ConfigId> placement_;
   ConfigId next_config_id_ = 1;
 

@@ -78,6 +78,7 @@ StaticCluster::StaticCluster(StaticClusterOptions options)
         static_cast<ProcessId>(options_.num_servers + i);
     clients_.push_back(
         std::make_unique<StaticClient>(sim_, net_, cid, spec_, &history_));
+    stores_.push_back(std::make_unique<api::StaticStore>(*clients_.back()));
   }
 }
 

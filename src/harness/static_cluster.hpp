@@ -3,6 +3,7 @@
 // for standalone ABD / TREAS / LDR experiments and tests.
 #pragma once
 
+#include "api/static_store.hpp"
 #include "checker/history.hpp"
 #include "dap/config.hpp"
 #include "dap/dap_server.hpp"
@@ -52,13 +53,19 @@ class StaticClient final : public sim::Process {
     return *reg(obj).dap();
   }
 
-  /// Object-keyed operations (harness::run_workload's multi-object API).
+  /// Object-keyed operations (api::StaticStore adapts these to Store).
   [[nodiscard]] sim::Future<TagValue> read(ObjectId obj) {
     return reg(obj).read();
   }
   [[nodiscard]] sim::Future<Tag> write(ObjectId obj, ValuePtr value) {
     return reg(obj).write(std::move(value));
   }
+
+  /// This deployment's configuration and the history recorder operations
+  /// log to (null if none) — the batch paths record around their own
+  /// multi-object rounds.
+  [[nodiscard]] const dap::ConfigSpec& spec() const { return spec_; }
+  [[nodiscard]] checker::HistoryRecorder* recorder() { return recorder_; }
 
  protected:
   void handle(const sim::Message&) override {}
@@ -106,6 +113,18 @@ class StaticCluster {
   }
   [[nodiscard]] StaticClient& client(std::size_t i) { return *clients_[i]; }
 
+  /// The Store adapter over client `i` — the surface the workload driver,
+  /// benches and examples program against.
+  [[nodiscard]] api::StaticStore& store(std::size_t i) { return *stores_[i]; }
+
+  /// All client stores, in client order (run_workload's input).
+  [[nodiscard]] std::vector<api::Store*> stores() {
+    std::vector<api::Store*> out;
+    out.reserve(stores_.size());
+    for (auto& s : stores_) out.push_back(s.get());
+    return out;
+  }
+
   /// Total object-data bytes stored across servers (paper's storage cost).
   [[nodiscard]] std::size_t total_stored_bytes() const;
 
@@ -121,6 +140,7 @@ class StaticCluster {
   checker::HistoryRecorder history_;
   std::vector<std::unique_ptr<StaticServer>> servers_;
   std::vector<std::unique_ptr<StaticClient>> clients_;
+  std::vector<std::unique_ptr<api::StaticStore>> stores_;
 };
 
 }  // namespace ares::harness

@@ -1,4 +1,173 @@
 #include "harness/workload.hpp"
 
-// Header-only templates; this TU anchors the library target.
-namespace ares::harness {}
+#include "sim/coro.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace ares::harness {
+
+struct WorkloadHandle::Shared {
+  std::vector<OpStat> ops;
+  std::size_t failures = 0;
+  std::size_t done_loops = 0;
+};
+
+namespace {
+
+using WorkloadShared = WorkloadHandle::Shared;
+
+/// Draws up to `want` *distinct* keys (bounded rejection: heavy Zipfian
+/// skew makes large distinct batches expensive, so after a few misses the
+/// batch just stays smaller — at least one key always comes back).
+std::vector<ObjectId> draw_batch(const KeyPicker& picker, Rng& rng,
+                                 std::size_t want) {
+  want = std::min(want, picker.num_objects());
+  std::vector<ObjectId> keys;
+  keys.reserve(want);
+  std::size_t misses = 0;
+  while (keys.size() < want && misses < 4 * want) {
+    const ObjectId k = picker.pick(rng);
+    if (std::find(keys.begin(), keys.end(), k) == keys.end()) {
+      keys.push_back(k);
+    } else {
+      ++misses;
+    }
+  }
+  if (keys.empty()) keys.push_back(picker.pick(rng));
+  return keys;
+}
+
+/// One store's operation loop. A named coroutine taking everything by
+/// value/shared-ptr (CppCoreGuidelines CP.51/CP.53).
+sim::Future<void> client_loop(sim::Simulator* sim, api::Store* store,
+                              WorkloadOptions opt, std::uint64_t seed,
+                              std::shared_ptr<const KeyPicker> picker,
+                              std::shared_ptr<WorkloadShared> shared) {
+  Rng rng(seed);
+  std::size_t remaining = opt.ops_per_client;
+  while (remaining > 0) {
+    if (opt.think_max > 0) {
+      co_await sim::sleep_for(*sim, rng.uniform(opt.think_min, opt.think_max));
+    }
+    const bool is_write = rng.chance(opt.write_fraction);
+    const std::vector<ObjectId> keys =
+        draw_batch(*picker, rng, std::min(opt.batch_size, remaining));
+    remaining -= keys.size();
+    const SimTime start = sim->now();
+
+    std::vector<api::OpResult> results;
+    bool failed = false;
+    try {
+      if (keys.size() == 1 && opt.batch_size == 1) {
+        api::OpResult r;
+        if (is_write) {
+          auto payload =
+              make_value(make_test_value(opt.value_size, rng.next_u64()));
+          auto op = store->write(keys[0], std::move(payload));
+          r = co_await op;
+        } else {
+          auto op = store->read(keys[0]);
+          r = co_await op;
+        }
+        results.push_back(std::move(r));
+      } else if (is_write) {
+        std::vector<api::WriteOp> batch;
+        batch.reserve(keys.size());
+        for (ObjectId k : keys) {
+          batch.push_back(
+              {k, make_value(make_test_value(opt.value_size,
+                                             rng.next_u64()))});
+        }
+        auto op = store->write_many(batch);
+        results = co_await op;
+      } else {
+        auto op = store->read_many(keys);
+        results = co_await op;
+      }
+    } catch (...) {
+      // Failed operations stay in the stats — their end time shows how long
+      // the operation burned before giving up (failure latency). The
+      // catch-all matters: a non-std::exception throw escaping this
+      // coroutine would skip the done_loops increment below and make
+      // run_workload burn its whole event budget. A failed batch marks
+      // every member failed.
+      failed = true;
+    }
+
+    const SimTime end = sim->now();
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      OpStat stat;
+      stat.is_write = is_write;
+      stat.failed = failed;
+      stat.object = keys[i];
+      stat.start = start;
+      stat.end = end;
+      stat.batch = keys.size();
+      if (!failed && i < results.size()) {
+        stat.rounds = results[i].metrics.rounds;
+        stat.messages = results[i].metrics.messages;
+        stat.bytes = results[i].metrics.bytes;
+      }
+      if (failed) ++shared->failures;
+      shared->ops.push_back(stat);
+      if (opt.on_op) {
+        try {
+          opt.on_op(stat);
+        } catch (...) {
+          // A throwing observer must not kill the client loop — that would
+          // skip the done_loops increment and burn the whole event budget,
+          // the very failure the catch-all above guards against.
+        }
+      }
+    }
+  }
+  ++shared->done_loops;
+  co_return;
+}
+
+}  // namespace
+
+bool WorkloadHandle::done() const {
+  return shared_ == nullptr || shared_->done_loops >= loops_;
+}
+
+WorkloadResult WorkloadHandle::result() const {
+  WorkloadResult r;
+  if (shared_ == nullptr) {
+    r.completed = true;
+    return r;
+  }
+  r.ops = shared_->ops;
+  r.failures = shared_->failures;
+  r.completed = done();
+  return r;
+}
+
+WorkloadHandle start_workload(sim::Simulator& sim,
+                              std::vector<api::Store*> stores,
+                              WorkloadOptions opt) {
+  opt.validate();
+  WorkloadHandle handle;
+  handle.shared_ = std::make_shared<WorkloadHandle::Shared>();
+  handle.loops_ = stores.size();
+  auto picker = std::make_shared<const KeyPicker>(
+      opt.num_objects, opt.key_distribution, opt.zipf_s);
+  Rng seeder(opt.seed);
+  for (api::Store* s : stores) {
+    sim::detach(client_loop(&sim, s, opt, seeder.next_u64(), picker,
+                            handle.shared_));
+  }
+  return handle;
+}
+
+WorkloadResult run_workload(sim::Simulator& sim,
+                            std::vector<api::Store*> stores,
+                            WorkloadOptions opt, std::size_t max_events) {
+  WorkloadHandle handle = start_workload(sim, std::move(stores),
+                                         std::move(opt));
+  (void)sim.run_until([&handle] { return handle.done(); }, max_events);
+  return handle.result();
+}
+
+}  // namespace ares::harness

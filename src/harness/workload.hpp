@@ -1,23 +1,29 @@
 // Workload driver: runs concurrent randomized read/write workloads against
-// any client type exposing read()/write() (dap::RegisterClient for static
-// deployments, reconfig::AresClient for ARES) and gathers latency stats.
+// the protocol-agnostic Store API (api::StaticStore for static deployments,
+// api::AresStore for ARES — see src/api/) and gathers latency + traffic
+// stats. The driver programs against ares::Store only: any deployment
+// flavor that adapts to Store plugs in unchanged.
 //
-// Multi-object workloads: when `num_objects > 1` and the client exposes the
-// object-keyed API (read(ObjectId) / write(ObjectId, ValuePtr) — e.g.
-// reconfig::AresClient or harness::StaticClient), every operation first
+// Multi-object workloads: when `num_objects > 1`, every operation first
 // draws a key from the key-space using the configured picker (uniform or
 // Zipfian), so scalability benches exercise many independent atomic
 // objects, including hot-key skew.
+//
+// Batched workloads: with `batch_size > 1` each iteration draws a batch of
+// distinct keys and issues one read_many/write_many — members sharing a
+// configuration ride one multi-object quorum round per phase instead of a
+// per-object loop. Every batch member still yields its own OpStat (with
+// its amortized share of the batch cost), so per-object accounting and the
+// placement::LoadTracker feed keep working unchanged.
 #pragma once
 
+#include "api/store.hpp"
 #include "common/random.hpp"
 #include "common/types.hpp"
-#include "sim/coro.hpp"
 #include "sim/simulator.hpp"
 
 #include <algorithm>
 #include <cmath>
-#include <concepts>
 #include <functional>
 #include <memory>
 #include <stdexcept>
@@ -47,9 +53,16 @@ struct WorkloadOptions {
   KeyDistribution key_distribution = KeyDistribution::kUniform;
   double zipf_s = 0.99;  // Zipfian exponent (YCSB default)
 
+  /// Members per Store operation: 1 issues scalar read/write; larger values
+  /// draw that many *distinct* keys per iteration and issue one
+  /// read_many/write_many (clamped to the key-space size). ops_per_client
+  /// counts batch members, so total operation counts are batch-invariant.
+  std::size_t batch_size = 1;
+
   /// Observer invoked after every completed operation (failed ones
-  /// included), while the workload is still running — the live stats feed
-  /// for placement::LoadTracker and the hot-object Rebalancer.
+  /// included, batch members individually), while the workload is still
+  /// running — the live stats feed for placement::LoadTracker and the
+  /// hot-object Rebalancer.
   std::function<void(const OpStat&)> on_op;
 
   /// Rejects nonsense option combinations (run_workload calls this before
@@ -62,6 +75,9 @@ struct WorkloadOptions {
     if (write_fraction < 0.0 || write_fraction > 1.0) {
       throw std::invalid_argument(
           "WorkloadOptions: write_fraction outside [0, 1]");
+    }
+    if (batch_size == 0) {
+      throw std::invalid_argument("WorkloadOptions: batch_size must be >= 1");
     }
   }
 };
@@ -121,10 +137,11 @@ struct OpStat {
   SimTime start = 0;
   SimTime end = 0;
 
-  /// Operation cost counters, sampled from the client process's
-  /// sim::TrafficStats around the operation (0 for client types without
-  /// traffic accounting): quorum rounds initiated, messages sent, and
-  /// bytes sent+received while the operation ran.
+  /// Members of the Store operation this stat rode in (1 = scalar op).
+  std::size_t batch = 1;
+
+  /// Operation cost counters from the Store's OpResult (amortized share of
+  /// the batch for batched members; 0 for unmetered stores).
   std::uint64_t rounds = 0;
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
@@ -199,7 +216,7 @@ struct WorkloadResult {
 
   /// Mean quorum rounds per successful read or write (the paper-style
   /// operation cost, measured — 4 for a baseline ARES read, 1 on the
-  /// semifast fast path).
+  /// semifast fast path; batch members report their amortized share).
   [[nodiscard]] double mean_rounds(bool writes) const {
     return mean_counter(writes, [](const OpStat& o) { return o.rounds; });
   }
@@ -230,130 +247,49 @@ struct WorkloadResult {
   }
 };
 
-namespace detail {
+/// A workload's loops detached onto the simulator, with shared progress
+/// state — the building block for scenarios that interleave several
+/// differently-shaped workloads (e.g. a reader pool and a writer pool) in
+/// one simulation run. Obtain via start_workload(); the caller drives the
+/// simulator until done().
+class WorkloadHandle {
+ public:
+  WorkloadHandle() = default;
 
-/// Clients exposing the object-keyed operation API.
-template <typename Client>
-concept ObjectKeyedClient = requires(Client c, ObjectId obj, ValuePtr v) {
-  c.read(obj);
-  c.write(obj, v);
+  /// True once every client loop has finished.
+  [[nodiscard]] bool done() const;
+
+  /// The operations recorded so far (final once done()); `completed` is
+  /// done() at collection time.
+  [[nodiscard]] WorkloadResult result() const;
+
+  /// Implementation detail (defined in workload.cpp); public only so the
+  /// driver's internal loops can share it.
+  struct Shared;
+
+ private:
+  friend WorkloadHandle start_workload(sim::Simulator& sim,
+                                       std::vector<api::Store*> stores,
+                                       WorkloadOptions opt);
+  std::shared_ptr<Shared> shared_;
+  std::size_t loops_ = 0;
 };
 
-/// Clients with per-process traffic accounting (any sim::Process).
-template <typename Client>
-concept TrafficCountedClient = requires(const Client c) {
-  { c.traffic().quorum_rounds } -> std::convertible_to<std::uint64_t>;
-};
+/// Validates `opt`, spawns one detached operation loop per store, and
+/// returns immediately — the caller drives the simulator (directly or via
+/// further start_workload/run_workload calls sharing the run).
+[[nodiscard]] WorkloadHandle start_workload(sim::Simulator& sim,
+                                            std::vector<api::Store*> stores,
+                                            WorkloadOptions opt);
 
-struct WorkloadShared {
-  std::vector<OpStat> ops;
-  std::size_t failures = 0;
-  std::size_t done_loops = 0;
-};
-
-/// One client's operation loop. A named coroutine taking everything by
-/// value/shared-ptr (CppCoreGuidelines CP.51/CP.53).
-template <typename Client>
-sim::Future<void> client_loop(sim::Simulator* sim, Client* client,
-                              WorkloadOptions opt, std::uint64_t seed,
-                              std::shared_ptr<const KeyPicker> picker,
-                              std::shared_ptr<WorkloadShared> shared) {
-  Rng rng(seed);
-  for (std::size_t i = 0; i < opt.ops_per_client; ++i) {
-    if (opt.think_max > 0) {
-      co_await sim::sleep_for(*sim, rng.uniform(opt.think_min, opt.think_max));
-    }
-    OpStat stat;
-    stat.is_write = rng.chance(opt.write_fraction);
-    stat.object = picker->pick(rng);
-    stat.start = sim->now();
-    std::uint64_t rounds0 = 0, messages0 = 0, bytes0 = 0;
-    if constexpr (TrafficCountedClient<Client>) {
-      const auto& t = client->traffic();
-      rounds0 = t.quorum_rounds;
-      messages0 = t.messages_sent;
-      bytes0 = t.bytes_total();
-    }
-    try {
-      if (stat.is_write) {
-        auto payload = make_value(make_test_value(opt.value_size,
-                                                  rng.next_u64()));
-        if constexpr (ObjectKeyedClient<Client>) {
-          (void)co_await client->write(stat.object, std::move(payload));
-        } else {
-          (void)co_await client->write(std::move(payload));
-        }
-      } else {
-        if constexpr (ObjectKeyedClient<Client>) {
-          (void)co_await client->read(stat.object);
-        } else {
-          (void)co_await client->read();
-        }
-      }
-    } catch (...) {
-      // Failed operations stay in the stats — their end time shows how long
-      // the operation burned before giving up (failure latency). The
-      // catch-all matters: a non-std::exception throw escaping this
-      // coroutine would skip the done_loops increment below and make
-      // run_workload burn its whole event budget.
-      stat.failed = true;
-      ++shared->failures;
-    }
-    stat.end = sim->now();
-    if constexpr (TrafficCountedClient<Client>) {
-      const auto& t = client->traffic();
-      stat.rounds = t.quorum_rounds - rounds0;
-      stat.messages = t.messages_sent - messages0;
-      stat.bytes = t.bytes_total() - bytes0;
-    }
-    shared->ops.push_back(stat);
-    if (opt.on_op) {
-      try {
-        opt.on_op(stat);
-      } catch (...) {
-        // A throwing observer must not kill the client loop — that would
-        // skip the done_loops increment and burn the whole event budget,
-        // the very failure the catch-all above guards against.
-      }
-    }
-  }
-  ++shared->done_loops;
-  co_return;
-}
-
-}  // namespace detail
-
-/// Runs `opt.ops_per_client` operations on every client concurrently and
-/// drives the simulation until all loops finish (or the budget is hit).
-/// Multi-object key-spaces (opt.num_objects > 1) require a client type with
-/// the object-keyed API.
-template <typename Client>
-WorkloadResult run_workload(sim::Simulator& sim, std::vector<Client*> clients,
+/// Runs `opt.ops_per_client` operations (batch members counted
+/// individually) on every store concurrently and drives the simulation
+/// until all loops finish (or the budget is hit). Every deployment flavor
+/// participates through its Store adapter — there is no per-client-type
+/// plumbing left in the driver.
+WorkloadResult run_workload(sim::Simulator& sim,
+                            std::vector<api::Store*> stores,
                             WorkloadOptions opt,
-                            std::size_t max_events = 20'000'000) {
-  opt.validate();
-  if constexpr (!detail::ObjectKeyedClient<Client>) {
-    if (opt.num_objects > 1) {
-      throw std::invalid_argument(
-          "multi-object workloads need a client with read(obj)/write(obj,v)");
-    }
-  }
-  auto shared = std::make_shared<detail::WorkloadShared>();
-  auto picker = std::make_shared<const KeyPicker>(
-      opt.num_objects, opt.key_distribution, opt.zipf_s);
-  Rng seeder(opt.seed);
-  for (Client* c : clients) {
-    sim::detach(detail::client_loop(&sim, c, opt, seeder.next_u64(), picker,
-                                    shared));
-  }
-  const bool done = sim.run_until(
-      [&shared, n = clients.size()] { return shared->done_loops >= n; },
-      max_events);
-  WorkloadResult result;
-  result.ops = shared->ops;
-  result.failures = shared->failures;
-  result.completed = done;
-  return result;
-}
+                            std::size_t max_events = 20'000'000);
 
 }  // namespace ares::harness

@@ -1,14 +1,19 @@
 #include "placement/rebalancer.hpp"
 
 #include <cassert>
+#include <stdexcept>
 #include <utility>
 
 namespace ares::placement {
 
-Rebalancer::Rebalancer(sim::Simulator& sim,
-                       reconfig::AresClient& reconfigurer, LoadTracker& tracker,
-                       SpecMaker make_spread_spec, RebalancerOptions opt)
+Rebalancer::Rebalancer(sim::Simulator& sim, api::Store& reconfigurer,
+                       LoadTracker& tracker, SpecMaker make_spread_spec,
+                       RebalancerOptions opt)
     : sim_(sim), state_(std::make_shared<State>()) {
+  if (!reconfigurer.supports_reconfig()) {
+    throw std::invalid_argument(
+        "Rebalancer needs a Store with reconfiguration support");
+  }
   state_->tracker = &tracker;
   state_->reconfigurer = &reconfigurer;
   state_->make_spec = std::move(make_spread_spec);
@@ -83,8 +88,9 @@ sim::Future<void> Rebalancer::loop(sim::Simulator* sim,
 
     try {
       dap::ConfigSpec spec = state->make_spec(hot);
-      ev.installed = co_await state->reconfigurer->reconfig(hot,
-                                                            std::move(spec));
+      auto op = state->reconfigurer->reconfig(hot, std::move(spec));
+      const api::OpResult r = co_await op;
+      ev.installed = r.installed;
       ev.installed_at = sim->now();
       state->events.push_back(ev);
     } catch (...) {

@@ -1,13 +1,15 @@
 // The hot-object rebalancer: a control loop on the simulator that watches a
 // LoadTracker while a workload runs, detects objects whose share of the
 // window traffic exceeds a threshold, and live-migrates each one exactly
-// once to a wider / disjoint configuration via AresClient::reconfig(obj,
-// spec) — the per-object reconfiguration ARES was built for (readers and
-// writers keep operating throughout; the four-phase reconfig transfers the
-// object's state and the per-object cseq does the rest).
+// once to a wider / disjoint configuration via Store::reconfig(obj, spec) —
+// the per-object reconfiguration ARES was built for (readers and writers
+// keep operating throughout; the four-phase reconfig transfers the
+// object's state and the per-object cseq does the rest). Programs against
+// the capability-gated ares::Store surface, so any reconfigurable store
+// flavor plugs in.
 #pragma once
 
-#include "ares/client.hpp"
+#include "api/store.hpp"
 #include "dap/config.hpp"
 #include "placement/stats.hpp"
 #include "sim/coro.hpp"
@@ -52,12 +54,13 @@ class Rebalancer {
   /// the spec's id must be fresh (reconfig registers it).
   using SpecMaker = std::function<dap::ConfigSpec(ObjectId hot)>;
 
-  /// `reconfigurer` issues the migrations; `tracker` is fed by the running
-  /// workload (WorkloadOptions::on_op). All three references must outlive
-  /// the control loop: construct the Rebalancer after the deployment (so
-  /// it is destroyed first) — its destructor runs shutdown(), which drives
-  /// the simulator until the loop has exited.
-  Rebalancer(sim::Simulator& sim, reconfig::AresClient& reconfigurer,
+  /// `reconfigurer` issues the migrations (must report supports_reconfig();
+  /// throws std::invalid_argument otherwise); `tracker` is fed by the
+  /// running workload (WorkloadOptions::on_op). All three references must
+  /// outlive the control loop: construct the Rebalancer after the
+  /// deployment (so it is destroyed first) — its destructor runs
+  /// shutdown(), which drives the simulator until the loop has exited.
+  Rebalancer(sim::Simulator& sim, api::Store& reconfigurer,
              LoadTracker& tracker, SpecMaker make_spread_spec,
              RebalancerOptions opt = {});
   ~Rebalancer();
@@ -90,7 +93,7 @@ class Rebalancer {
   /// takes this by shared_ptr, never `this`).
   struct State {
     LoadTracker* tracker = nullptr;
-    reconfig::AresClient* reconfigurer = nullptr;
+    api::Store* reconfigurer = nullptr;
     SpecMaker make_spec;
     RebalancerOptions opt;
     bool running = false;

@@ -104,21 +104,23 @@ class Process {
   /// One quorum round (a broadcast-and-collect fan-out) started.
   void note_quorum_round() { ++traffic_.quorum_rounds; }
 
- protected:
-  /// Subclasses implement protocol logic here. Only non-reply messages (or
-  /// replies with no pending call, which are dropped before reaching here)
-  /// arrive.
-  virtual void handle(const Message& msg) = 0;
-
   /// Server-side hook: the nextC pointer this process would report for
   /// (cfg, obj), stamped into every reply by reply_to(). Default: ⊥ —
   /// processes that host no reconfiguration state piggyback nothing.
+  /// (Public so batch handlers can stamp a per-member hint for every
+  /// object a multi-object request addresses, not just the envelope's.)
   [[nodiscard]] virtual CseqEntry next_config_hint(ConfigId cfg,
                                                    ObjectId obj) const {
     (void)cfg;
     (void)obj;
     return {};
   }
+
+ protected:
+  /// Subclasses implement protocol logic here. Only non-reply messages (or
+  /// replies with no pending call, which are dropped before reaching here)
+  /// arrive.
+  virtual void handle(const Message& msg) = 0;
 
   /// Client-side hook: invoked (before the reply callback) whenever an
   /// incoming reply to this process's own request piggybacks a valid nextC

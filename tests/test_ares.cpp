@@ -238,17 +238,13 @@ TEST_P(AresAtomicity, ConcurrentRwAndReconfigIsAtomic) {
   sim::detach(reconfig_loop(&cluster, &cluster.reconfigurer(0), 3, 3,
                             &reconfig_done));
 
-  std::vector<reconfig::AresClient*> clients;
-  for (std::size_t i = 0; i < cluster.num_clients(); ++i) {
-    clients.push_back(&cluster.client(i));
-  }
-  harness::WorkloadOptions opt;
+    harness::WorkloadOptions opt;
   opt.ops_per_client = 8;
   opt.write_fraction = 0.5;
   opt.value_size = 64;
   opt.think_max = 100;
   opt.seed = GetParam() * 101 + 3;
-  const auto result = harness::run_workload(cluster.sim(), clients, opt);
+  const auto result = harness::run_workload(cluster.sim(), cluster.stores(), opt);
   ASSERT_TRUE(result.completed);
   ASSERT_EQ(result.failures, 0u);
   ASSERT_TRUE(cluster.sim().run_until([&] { return reconfig_done; }));
@@ -269,15 +265,11 @@ TEST(Ares, TwoReconfigurersAndWorkload) {
   sim::detach(
       reconfig_loop(&cluster, &cluster.reconfigurer(1), 2, 5, &done1));
 
-  std::vector<reconfig::AresClient*> clients;
-  for (std::size_t i = 0; i < cluster.num_clients(); ++i) {
-    clients.push_back(&cluster.client(i));
-  }
-  harness::WorkloadOptions opt;
+    harness::WorkloadOptions opt;
   opt.ops_per_client = 6;
   opt.think_max = 150;
   opt.seed = 17;
-  const auto result = harness::run_workload(cluster.sim(), clients, opt);
+  const auto result = harness::run_workload(cluster.sim(), cluster.stores(), opt);
   ASSERT_TRUE(result.completed);
   ASSERT_TRUE(cluster.sim().run_until([&] { return done0 && done1; }));
 

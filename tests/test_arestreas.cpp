@@ -175,17 +175,13 @@ TEST_P(AresTreasAtomicity, ConcurrentRwAndDirectReconfigIsAtomic) {
   sim::detach(
       direct_reconfig_loop(&cluster, &cluster.reconfigurer(0), 3, &done));
 
-  std::vector<reconfig::AresClient*> clients;
-  for (std::size_t i = 0; i < cluster.num_clients(); ++i) {
-    clients.push_back(&cluster.client(i));
-  }
-  harness::WorkloadOptions opt;
+    harness::WorkloadOptions opt;
   opt.ops_per_client = 8;
   opt.write_fraction = 0.5;
   opt.value_size = 96;
   opt.think_max = 120;
   opt.seed = GetParam() * 7 + 11;
-  const auto result = harness::run_workload(cluster.sim(), clients, opt);
+  const auto result = harness::run_workload(cluster.sim(), cluster.stores(), opt);
   ASSERT_TRUE(result.completed);
   ASSERT_EQ(result.failures, 0u);
   ASSERT_TRUE(cluster.sim().run_until([&] { return done; }));

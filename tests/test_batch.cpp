@@ -1,0 +1,394 @@
+// Batched multi-object operations through the Store API: the round-count
+// win (B objects sharing a configuration cost one get-data quorum round
+// instead of B), and the adversarial schedules around it — batches
+// spanning configurations, a reconfiguration completing mid-batch (the
+// config-hint fallback path), and server crashes mid-batch — all
+// atomicity-checked per object.
+#include "api/ares_store.hpp"
+#include "api/static_store.hpp"
+#include "checker/atomicity.hpp"
+#include "harness/ares_cluster.hpp"
+#include "harness/static_cluster.hpp"
+#include "harness/workload.hpp"
+#include "placement/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace ares {
+namespace {
+
+harness::AresClusterOptions abd_cluster(std::size_t objects,
+                                        std::size_t clients = 2) {
+  harness::AresClusterOptions o;
+  o.server_pool = 12;
+  o.initial_protocol = dap::Protocol::kAbd;
+  o.initial_servers = 5;
+  o.num_rw_clients = clients;
+  o.num_reconfigurers = 1;
+  o.num_objects = objects;
+  o.seed = 9;
+  return o;
+}
+
+/// Writes a distinct value to every object so the key-space is warm (every
+/// client's cseq synced, every tag quorum-confirmed).
+void warm_up(harness::AresCluster& cluster, std::size_t objects) {
+  for (ObjectId obj = 0; obj < objects; ++obj) {
+    (void)sim::run_to_completion(
+        cluster.sim(),
+        cluster.store(0).write(obj,
+                               make_value(make_test_value(64, 100 + obj))));
+  }
+  // One scalar read per object on every other store syncs their caches.
+  for (std::size_t c = 1; c < cluster.num_clients(); ++c) {
+    for (ObjectId obj = 0; obj < objects; ++obj) {
+      (void)sim::run_to_completion(cluster.sim(), cluster.store(c).read(obj));
+    }
+  }
+}
+
+void expect_atomic(harness::AresCluster& cluster) {
+  for (const auto& [obj, verdict] : cluster.check_atomicity_per_object()) {
+    EXPECT_TRUE(verdict.ok) << "object " << obj << ": " << verdict.violation;
+  }
+}
+
+// --- the round-count win (acceptance criterion) -----------------------------
+
+TEST(Batch, BatchedReadOfSharedConfigCostsAtMostTwoRounds) {
+  // B = 6 objects, one shared ABD configuration, quiescent steady state:
+  // the batched read must finish in <= 2 quorum rounds total (1 when every
+  // tag is already confirmed), vs 2B for the unbatched A1 structure.
+  constexpr std::size_t kB = 6;
+  harness::AresCluster cluster(abd_cluster(kB));
+  warm_up(cluster, kB);
+
+  auto& store = cluster.store(1);
+  std::vector<ObjectId> keys;
+  for (ObjectId obj = 0; obj < kB; ++obj) keys.push_back(obj);
+
+  const std::uint64_t rounds0 = store.traffic()->quorum_rounds;
+  auto results =
+      sim::run_to_completion(cluster.sim(), store.read_many(keys));
+  const std::uint64_t rounds = store.traffic()->quorum_rounds - rounds0;
+
+  EXPECT_LE(rounds, 2u) << "batched read must coalesce quorum rounds";
+  ASSERT_EQ(results.size(), kB);
+  for (ObjectId obj = 0; obj < kB; ++obj) {
+    ASSERT_TRUE(results[obj].value);
+    EXPECT_EQ(*results[obj].value, make_test_value(64, 100 + obj))
+        << "object " << obj;
+  }
+  // The members' amortized metrics sum back to the batch total.
+  std::uint64_t sum = 0;
+  for (const auto& r : results) sum += r.metrics.rounds;
+  EXPECT_EQ(sum, rounds);
+  expect_atomic(cluster);
+}
+
+TEST(Batch, UnbatchedReadsCostLinearlyMoreRounds) {
+  // The baseline the win is measured against: B scalar reads in the same
+  // steady state cost >= B rounds (1 each on the semifast fast path).
+  constexpr std::size_t kB = 6;
+  harness::AresCluster cluster(abd_cluster(kB));
+  warm_up(cluster, kB);
+
+  auto& store = cluster.store(1);
+  const std::uint64_t rounds0 = store.traffic()->quorum_rounds;
+  for (ObjectId obj = 0; obj < kB; ++obj) {
+    (void)sim::run_to_completion(cluster.sim(), store.read(obj));
+  }
+  const std::uint64_t rounds = store.traffic()->quorum_rounds - rounds0;
+  EXPECT_GE(rounds, kB);
+  expect_atomic(cluster);
+}
+
+TEST(Batch, BatchedWriteOfSharedConfigCostsThreeRounds) {
+  // Batched writes: one get-tag round + one put round + one (mandatory)
+  // post-put config check — 3 rounds for the whole batch vs 3B unbatched.
+  constexpr std::size_t kB = 5;
+  harness::AresCluster cluster(abd_cluster(kB));
+  warm_up(cluster, kB);
+
+  auto& store = cluster.store(1);
+  std::vector<WriteOp> batch;
+  for (ObjectId obj = 0; obj < kB; ++obj) {
+    batch.push_back({obj, make_value(make_test_value(64, 500 + obj))});
+  }
+  const std::uint64_t rounds0 = store.traffic()->quorum_rounds;
+  auto results =
+      sim::run_to_completion(cluster.sim(), store.write_many(batch));
+  const std::uint64_t rounds = store.traffic()->quorum_rounds - rounds0;
+
+  EXPECT_LE(rounds, 3u);
+  ASSERT_EQ(results.size(), kB);
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.is_write);
+    // Tag spaces are per object: each member advanced its own object's tag
+    // past the warm-up write (distinctness across members of one object is
+    // covered by WriteManyWithDuplicateObjectsGetsDistinctTags).
+    EXPECT_GE(r.tag.z, 2u);
+  }
+
+  // The writes are durable and visible to a fresh reader.
+  for (ObjectId obj = 0; obj < kB; ++obj) {
+    auto r = sim::run_to_completion(cluster.sim(), cluster.store(0).read(obj));
+    EXPECT_EQ(*r.value, make_test_value(64, 500 + obj)) << "object " << obj;
+  }
+  expect_atomic(cluster);
+}
+
+TEST(Batch, StaticStoreBatchesAbdReads) {
+  // The same coalescing through the static (A1/A2) stack's adapter.
+  harness::StaticClusterOptions o;
+  o.protocol = dap::Protocol::kAbd;
+  o.num_servers = 5;
+  o.num_clients = 2;
+  o.seed = 4;
+  harness::StaticCluster cluster(o);
+
+  constexpr std::size_t kB = 4;
+  std::vector<WriteOp> batch;
+  for (ObjectId obj = 0; obj < kB; ++obj) {
+    batch.push_back({obj, make_value(make_test_value(32, 70 + obj))});
+  }
+  (void)sim::run_to_completion(cluster.sim(),
+                               cluster.store(0).write_many(batch));
+
+  std::vector<ObjectId> keys;
+  for (ObjectId obj = 0; obj < kB; ++obj) keys.push_back(obj);
+  auto& reader = cluster.store(1);
+  const std::uint64_t rounds0 = reader.traffic()->quorum_rounds;
+  auto results =
+      sim::run_to_completion(cluster.sim(), reader.read_many(keys));
+  EXPECT_LE(reader.traffic()->quorum_rounds - rounds0, 2u);
+  for (ObjectId obj = 0; obj < kB; ++obj) {
+    EXPECT_EQ(*results[obj].value, make_test_value(32, 70 + obj));
+  }
+  const auto verdict = checker::check_tag_atomicity(
+      cluster.history().records());
+  EXPECT_TRUE(verdict.ok) << verdict.violation;
+}
+
+// --- batches spanning configurations ----------------------------------------
+
+TEST(Batch, BatchSpanningTwoConfigurationsGroupsPerConfig) {
+  // 6 objects sharded over two disjoint ABD[3] configurations: one
+  // read_many spans both shards and must group per configuration — at
+  // most 2 rounds per shard — with every member correct.
+  harness::AresClusterOptions o = abd_cluster(6);
+  o.server_pool = 10;
+  harness::AresCluster cluster(o);
+  placement::RoundRobinPlacement policy;
+  (void)cluster.shard_objects(policy, /*num_shards=*/2,
+                              /*servers_per_shard=*/3, dap::Protocol::kAbd,
+                              /*k=*/1);
+  warm_up(cluster, 6);
+
+  auto& store = cluster.store(1);
+  std::vector<ObjectId> keys{0, 1, 2, 3, 4, 5};
+  const std::uint64_t rounds0 = store.traffic()->quorum_rounds;
+  auto results =
+      sim::run_to_completion(cluster.sim(), store.read_many(keys));
+  const std::uint64_t rounds = store.traffic()->quorum_rounds - rounds0;
+  EXPECT_LE(rounds, 4u) << "two shard groups, <= 2 rounds each";
+  for (ObjectId obj = 0; obj < 6; ++obj) {
+    EXPECT_EQ(*results[obj].value, make_test_value(64, 100 + obj));
+  }
+  expect_atomic(cluster);
+}
+
+TEST(Batch, NonBatchableProtocolMembersFallBackPerObject) {
+  // A TREAS-coded configuration cannot serve whole-replica batch rounds:
+  // read_many must fall back to per-object Alg.-7 ops and stay correct.
+  harness::AresClusterOptions o = abd_cluster(3);
+  o.initial_protocol = dap::Protocol::kTreas;
+  o.initial_k = 3;
+  harness::AresCluster cluster(o);
+  warm_up(cluster, 3);
+
+  auto& store = cluster.store(1);
+  std::vector<ObjectId> keys{0, 1, 2};
+  auto results =
+      sim::run_to_completion(cluster.sim(), store.read_many(keys));
+  for (ObjectId obj = 0; obj < 3; ++obj) {
+    EXPECT_EQ(*results[obj].value, make_test_value(64, 100 + obj));
+  }
+  expect_atomic(cluster);
+}
+
+// --- reconfiguration completing mid-batch (config-hint fallback) ------------
+
+TEST(Batch, StaleCacheMemberFallsBackViaConfigHint) {
+  // Client 1's cache says both objects live in c0. A reconfiguration then
+  // moves object 1 to a fresh configuration and a writer puts a new value
+  // there. Client 1's batched read still groups both members under c0 —
+  // the piggybacked nextC hint in the batch reply must demote object 1 to
+  // the per-object path, which traverses to the new configuration and
+  // returns the new value.
+  harness::AresCluster cluster(abd_cluster(2));
+  warm_up(cluster, 2);
+
+  auto spec = cluster.make_spec(dap::Protocol::kAbd, 6, 3, 1);
+  (void)sim::run_to_completion(
+      cluster.sim(), cluster.reconfigurer_store(0).reconfig(1, spec));
+  (void)sim::run_to_completion(
+      cluster.sim(),
+      cluster.store(0).write(1, make_value(make_test_value(64, 999))));
+
+  auto& store = cluster.store(1);  // cache still [⟨c0, F⟩] for object 1
+  ASSERT_EQ(store.client().cseq(1).size(), 1u);
+  std::vector<ObjectId> keys{0, 1};
+  auto results =
+      sim::run_to_completion(cluster.sim(), store.read_many(keys));
+  EXPECT_EQ(*results[0].value, make_test_value(64, 100 + 0));
+  EXPECT_EQ(*results[1].value, make_test_value(64, 999))
+      << "stale member must chase the new configuration";
+  EXPECT_GE(store.client().cseq(1).size(), 2u)
+      << "the hint must have extended the cached sequence";
+  expect_atomic(cluster);
+}
+
+TEST(Batch, ReconfigChurnDuringBatchedWorkloadStaysAtomic) {
+  // The randomized adversarial schedule: a batched workload (reads and
+  // writes, batch_size 3) races a chain of reconfigurations. Every
+  // interleaving — hints arriving mid-get, mid-put, or during the post-put
+  // config check — must leave every object's history atomic.
+  harness::AresCluster cluster(abd_cluster(6, /*clients=*/3));
+
+  struct Churn {
+    static sim::Future<void> loop(harness::AresCluster* cluster, bool* done) {
+      for (int i = 0; i < 4; ++i) {
+        co_await sim::sleep_for(cluster->sim(), 900);
+        auto spec = cluster->make_spec(
+            dap::Protocol::kAbd, static_cast<std::size_t>(1 + 2 * i), 5, 1);
+        auto op = cluster->reconfigurer_store(0).reconfig(
+            static_cast<ObjectId>(i % 3), std::move(spec));
+        (void)co_await op;
+      }
+      *done = true;
+      co_return;
+    }
+  };
+  bool churn_done = false;
+  sim::detach(Churn::loop(&cluster, &churn_done));
+
+  harness::WorkloadOptions w;
+  w.ops_per_client = 60;
+  w.write_fraction = 0.5;
+  w.value_size = 48;
+  w.batch_size = 3;
+  w.seed = 31;
+  const auto result = cluster.run_multi_object_workload(w);
+  ASSERT_TRUE(result.completed);
+  ASSERT_EQ(result.failures, 0u);
+  ASSERT_TRUE(cluster.sim().run_until([&] { return churn_done; }));
+  expect_atomic(cluster);
+}
+
+// --- server crash mid-batch -------------------------------------------------
+
+TEST(Batch, ServerCrashMidBatchStillCompletesAndStaysAtomic) {
+  // ABD[5] tolerates two crashes. One server dies between the batch's
+  // quorum rounds (scheduled mid-flight): the remaining quorum finishes
+  // the batch, every member returns the right value, and the history
+  // stays atomic per object.
+  constexpr std::size_t kB = 5;
+  harness::AresCluster cluster(abd_cluster(kB));
+  warm_up(cluster, kB);
+
+  cluster.sim().schedule_after(15, [&cluster] { cluster.net().crash(0); });
+  auto& store = cluster.store(1);
+  std::vector<ObjectId> keys;
+  for (ObjectId obj = 0; obj < kB; ++obj) keys.push_back(obj);
+  auto results =
+      sim::run_to_completion(cluster.sim(), store.read_many(keys));
+  for (ObjectId obj = 0; obj < kB; ++obj) {
+    EXPECT_EQ(*results[obj].value, make_test_value(64, 100 + obj));
+  }
+
+  // And a batched write over the wreckage (a second crash mid-write).
+  cluster.sim().schedule_after(15, [&cluster] { cluster.net().crash(1); });
+  std::vector<WriteOp> batch;
+  for (ObjectId obj = 0; obj < kB; ++obj) {
+    batch.push_back({obj, make_value(make_test_value(64, 700 + obj))});
+  }
+  auto wres =
+      sim::run_to_completion(cluster.sim(), store.write_many(batch));
+  ASSERT_EQ(wres.size(), kB);
+  for (ObjectId obj = 0; obj < kB; ++obj) {
+    auto r = sim::run_to_completion(cluster.sim(), cluster.store(0).read(obj));
+    EXPECT_EQ(*r.value, make_test_value(64, 700 + obj)) << "object " << obj;
+  }
+  expect_atomic(cluster);
+}
+
+// --- semantics of the batch surface itself ----------------------------------
+
+TEST(Batch, WriteManyWithDuplicateObjectsGetsDistinctTags) {
+  harness::AresCluster cluster(abd_cluster(2));
+  warm_up(cluster, 2);
+  std::vector<WriteOp> batch{
+      {0, make_value(make_test_value(32, 1))},
+      {0, make_value(make_test_value(32, 2))},
+      {1, make_value(make_test_value(32, 3))},
+  };
+  auto results = sim::run_to_completion(cluster.sim(),
+                                        cluster.store(0).write_many(batch));
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_NE(results[0].tag, results[1].tag)
+      << "duplicate members must serialize to distinct tags";
+  expect_atomic(cluster);
+}
+
+TEST(Batch, WorkloadDriverBatchModeKeepsOpCountsAndFeedsPerMemberStats) {
+  harness::AresCluster cluster(abd_cluster(8, /*clients=*/2));
+  harness::WorkloadOptions w;
+  w.ops_per_client = 24;
+  w.write_fraction = 0.4;
+  w.batch_size = 4;
+  w.seed = 12;
+  std::size_t observed = 0;
+  std::set<ObjectId> objects_seen;
+  w.on_op = [&](const harness::OpStat& s) {
+    ++observed;
+    objects_seen.insert(s.object);
+    EXPECT_GE(s.batch, 1u);
+  };
+  const auto result = cluster.run_multi_object_workload(w);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.failures, 0u);
+  // ops_per_client counts batch members, so totals are batch-invariant.
+  EXPECT_EQ(result.ops.size(), 48u);
+  EXPECT_EQ(observed, 48u);
+  EXPECT_GT(objects_seen.size(), 1u);
+  bool saw_batch = false;
+  for (const auto& op : result.ops) saw_batch = saw_batch || op.batch > 1;
+  EXPECT_TRUE(saw_batch);
+  expect_atomic(cluster);
+}
+
+TEST(Batch, StoreReconfigCapabilityGate) {
+  harness::StaticClusterOptions o;
+  o.protocol = dap::Protocol::kAbd;
+  o.num_servers = 3;
+  o.num_clients = 1;
+  harness::StaticCluster cluster(o);
+  EXPECT_FALSE(cluster.store(0).supports_reconfig());
+  // The gate reports through the returned future (a Store call never
+  // throws synchronously), so awaiting it surfaces the logic_error.
+  EXPECT_THROW((void)sim::run_to_completion(
+                   cluster.sim(),
+                   cluster.store(0).reconfig(kDefaultObject, {})),
+               std::logic_error);
+
+  harness::AresCluster ares(abd_cluster(1));
+  EXPECT_TRUE(ares.store(0).supports_reconfig());
+  EXPECT_TRUE(ares.reconfigurer_store(0).supports_reconfig());
+}
+
+}  // namespace
+}  // namespace ares

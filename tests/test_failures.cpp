@@ -41,9 +41,8 @@ TEST_P(ClientCrash, WriterCrashMidOperationPreservesAtomicity) {
   opt.ops_per_client = 8;
   opt.think_max = 30;
   opt.seed = GetParam() + 5;
-  std::vector<dap::RegisterClient*> regs{&cluster.client(1).reg(),
-                                         &cluster.client(2).reg()};
-  const auto result = harness::run_workload(cluster.sim(), regs, opt);
+  std::vector<api::Store*> survivors{&cluster.store(1), &cluster.store(2)};
+  const auto result = harness::run_workload(cluster.sim(), survivors, opt);
   ASSERT_TRUE(result.completed);
   (void)doomed;  // may or may not have completed
 
@@ -222,9 +221,7 @@ std::vector<checker::OpRecord> run_seeded(std::uint64_t seed) {
   opt.ops_per_client = 10;
   opt.think_max = 25;
   opt.seed = 99;
-  std::vector<dap::RegisterClient*> regs;
-  for (auto& c : cluster.clients()) regs.push_back(&c->reg());
-  (void)harness::run_workload(cluster.sim(), regs, opt);
+    (void)harness::run_workload(cluster.sim(), cluster.stores(), opt);
   return cluster.history().records();
 }
 

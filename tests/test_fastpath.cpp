@@ -404,7 +404,7 @@ TEST(FastPath, RebalancerMigrationUnderFastPath) {
   ro.min_window_ops = 20;
   ro.max_rebalances = 1;
   placement::Rebalancer rebalancer(
-      cluster.sim(), cluster.reconfigurer(0), tracker,
+      cluster.sim(), cluster.reconfigurer_store(0), tracker,
       [&cluster](ObjectId) {
         return cluster.make_spec(dap::Protocol::kTreas, 6, 4, 2);
       },

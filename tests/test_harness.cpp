@@ -96,9 +96,8 @@ TEST(Workload, ProducesRequestedOperationCount) {
   harness::WorkloadOptions opt;
   opt.ops_per_client = 7;
   opt.seed = 3;
-  std::vector<dap::RegisterClient*> regs;
-  for (auto& c : cluster.clients()) regs.push_back(&c->reg());
-  const auto result = harness::run_workload(cluster.sim(), regs, opt);
+  const auto result =
+      harness::run_workload(cluster.sim(), cluster.stores(), opt);
   EXPECT_TRUE(result.completed);
   EXPECT_EQ(result.ops.size(), 21u);
   EXPECT_EQ(result.failures, 0u);
@@ -114,9 +113,8 @@ TEST(Workload, WriteFractionRespected) {
   opt.ops_per_client = 50;
   opt.write_fraction = 1.0;
   opt.seed = 5;
-  std::vector<dap::RegisterClient*> regs;
-  for (auto& c : cluster.clients()) regs.push_back(&c->reg());
-  const auto result = harness::run_workload(cluster.sim(), regs, opt);
+  const auto result =
+      harness::run_workload(cluster.sim(), cluster.stores(), opt);
   for (const auto& op : result.ops) EXPECT_TRUE(op.is_write);
 }
 
@@ -131,9 +129,8 @@ TEST(Workload, LatencyStatsAreConsistent) {
   opt.ops_per_client = 10;
   opt.write_fraction = 0.5;
   opt.seed = 11;
-  std::vector<dap::RegisterClient*> regs;
-  for (auto& c : cluster.clients()) regs.push_back(&c->reg());
-  const auto result = harness::run_workload(cluster.sim(), regs, opt);
+  const auto result =
+      harness::run_workload(cluster.sim(), cluster.stores(), opt);
   EXPECT_GT(result.mean_latency(true), 0.0);
   EXPECT_GT(result.mean_latency(false), 0.0);
   EXPECT_GE(result.max_latency(),
@@ -143,23 +140,21 @@ TEST(Workload, LatencyStatsAreConsistent) {
 
 namespace workload_failures {
 
-/// A client whose every operation throws something that is NOT derived
+/// A Store whose every operation throws something that is NOT derived
 /// from std::exception — the case that used to escape client_loop's
 /// catch(const std::exception&), skip the done_loops increment, and make
 /// run_workload burn its whole event budget.
-struct NonStdThrowingClient {
-  sim::Future<TagValue> read(ObjectId /*obj*/) { return throwing_read(); }
-  sim::Future<Tag> write(ObjectId /*obj*/, ValuePtr /*v*/) {
-    return throwing_write();
+struct NonStdThrowingStore final : api::Store {
+  sim::Future<api::OpResult> read(ObjectId /*obj*/) override {
+    return throwing_op();
+  }
+  sim::Future<api::OpResult> write(ObjectId /*obj*/, ValuePtr /*v*/) override {
+    return throwing_op();
   }
 
-  static sim::Future<TagValue> throwing_read() {
+  static sim::Future<api::OpResult> throwing_op() {
     throw 42;  // NOLINT: deliberately not a std::exception
-    co_return TagValue{};
-  }
-  static sim::Future<Tag> throwing_write() {
-    throw 42;  // NOLINT
-    co_return Tag{};
+    co_return api::OpResult{};
   }
 };
 
@@ -167,15 +162,15 @@ struct NonStdThrowingClient {
 
 TEST(Workload, NonStdExceptionIsRecordedAsFailedOperation) {
   sim::Simulator sim(1);
-  workload_failures::NonStdThrowingClient client;
+  workload_failures::NonStdThrowingStore store;
   harness::WorkloadOptions opt;
   opt.ops_per_client = 5;
   opt.num_objects = 2;
   opt.seed = 9;
-  std::vector<workload_failures::NonStdThrowingClient*> clients{&client};
+  std::vector<api::Store*> stores{&store};
   // A tight event budget: if the throw ever escapes the loop again, the
   // workload cannot complete and this stays false instead of hanging long.
-  const auto result = harness::run_workload(sim, clients, opt, 10'000);
+  const auto result = harness::run_workload(sim, stores, opt, 10'000);
   EXPECT_TRUE(result.completed);
   EXPECT_EQ(result.ops.size(), 5u);
   EXPECT_EQ(result.failures, 5u);
@@ -191,9 +186,9 @@ TEST(Workload, RejectsInvertedThinkRange) {
   harness::WorkloadOptions opt;
   opt.think_min = 50;
   opt.think_max = 10;  // inverted — must be rejected up front
-  std::vector<dap::RegisterClient*> regs{&cluster.clients()[0]->reg()};
-  EXPECT_THROW((void)harness::run_workload(cluster.sim(), regs, opt),
-               std::invalid_argument);
+  EXPECT_THROW(
+      (void)harness::run_workload(cluster.sim(), cluster.stores(), opt),
+      std::invalid_argument);
 }
 
 TEST(WorkloadOptions, ValidateChecksRanges) {

@@ -45,17 +45,13 @@ TEST_P(Integration, FullMigrationUnderLoadIsAtomic) {
   sim::detach(
       migration_script(&cluster, &cluster.reconfigurer(0), &migration_done));
 
-  std::vector<reconfig::AresClient*> clients;
-  for (std::size_t i = 0; i < cluster.num_clients(); ++i) {
-    clients.push_back(&cluster.client(i));
-  }
-  harness::WorkloadOptions opt;
+    harness::WorkloadOptions opt;
   opt.ops_per_client = 12;
   opt.write_fraction = 0.4;
   opt.value_size = 256;
   opt.think_max = 150;
   opt.seed = GetParam() * 1000 + 13;
-  const auto result = harness::run_workload(cluster.sim(), clients, opt);
+  const auto result = harness::run_workload(cluster.sim(), cluster.stores(), opt);
   ASSERT_TRUE(result.completed);
   ASSERT_EQ(result.failures, 0u);
   ASSERT_TRUE(cluster.sim().run_until([&] { return migration_done; }));
@@ -139,17 +135,13 @@ TEST(Integration, ManySmallObjectsComposeAtomically) {
   o.seed = 321;
   harness::AresCluster cluster(o);
 
-  std::vector<reconfig::AresClient*> clients;
-  for (std::size_t i = 0; i < cluster.num_clients(); ++i) {
-    clients.push_back(&cluster.client(i));
-  }
-  harness::WorkloadOptions opt;
+    harness::WorkloadOptions opt;
   opt.ops_per_client = 20;
   opt.write_fraction = 0.3;
   opt.value_size = 32;
   opt.think_max = 25;
   opt.seed = 55;
-  const auto result = harness::run_workload(cluster.sim(), clients, opt);
+  const auto result = harness::run_workload(cluster.sim(), cluster.stores(), opt);
   ASSERT_TRUE(result.completed);
   const auto verdict =
       checker::check_tag_atomicity(cluster.history().records());

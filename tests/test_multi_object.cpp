@@ -96,9 +96,8 @@ TEST(MultiObject, ConcurrentWorkloadYieldsIndependentVerdicts) {
   opt.num_objects = 4;
   opt.key_distribution = harness::KeyDistribution::kUniform;
   opt.seed = 17;
-  std::vector<harness::StaticClient*> clients;
-  for (auto& c : cluster.clients()) clients.push_back(c.get());
-  const auto result = harness::run_workload(cluster.sim(), clients, opt);
+  const auto result =
+      harness::run_workload(cluster.sim(), cluster.stores(), opt);
   ASSERT_TRUE(result.completed);
   EXPECT_EQ(result.failures, 0u);
 
@@ -136,9 +135,8 @@ TEST(MultiObject, InjectedViolationDoesNotTaintOtherObjects) {
   opt.ops_per_client = 12;
   opt.num_objects = 3;
   opt.seed = 23;
-  std::vector<harness::StaticClient*> clients;
-  for (auto& c : cluster.clients()) clients.push_back(c.get());
-  const auto result = harness::run_workload(cluster.sim(), clients, opt);
+  const auto result =
+      harness::run_workload(cluster.sim(), cluster.stores(), opt);
   ASSERT_TRUE(result.completed);
 
   auto& rec = cluster.history();
@@ -216,6 +214,12 @@ TEST(MultiObject, PerObjectReconfigLeavesOtherObjectsAlone) {
 
   EXPECT_EQ(rc.cseq(0).size(), 2u);
   EXPECT_TRUE(rc.cseq(0)[1].finalized);
+  // The reconfigurer never touched objects 1 and 2: they are not even
+  // bound on it (cseq is a const observer now — observing must not bind),
+  // and binding them shows the pristine length-1 sequence.
+  EXPECT_THROW((void)rc.cseq(1), std::out_of_range);
+  rc.bind_object(1, cluster.initial_config());
+  rc.bind_object(2, cluster.initial_config());
   EXPECT_EQ(rc.cseq(1).size(), 1u);
   EXPECT_EQ(rc.cseq(2).size(), 1u);
 

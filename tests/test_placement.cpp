@@ -200,7 +200,7 @@ TEST(Rebalancer, SpreadsHotObjectUnderLiveZipfianWorkload) {
   ro.min_window_ops = 20;
   ro.max_rebalances = 1;
   placement::Rebalancer rebalancer(
-      cluster.sim(), cluster.reconfigurer(0), tracker,
+      cluster.sim(), cluster.reconfigurer_store(0), tracker,
       [&cluster](ObjectId) {
         return cluster.make_spec(dap::Protocol::kTreas, 6, 4, 2);
       },
@@ -275,7 +275,7 @@ TEST(Rebalancer, MigratesSecondHotObjectEvenWhileFirstStaysHottest) {
   ro.min_window_ops = 20;
   ro.max_rebalances = 2;
   placement::Rebalancer rebalancer(
-      cluster.sim(), cluster.reconfigurer(0), tracker,
+      cluster.sim(), cluster.reconfigurer_store(0), tracker,
       [&cluster](ObjectId) {
         return cluster.make_spec(dap::Protocol::kTreas, 6, 4, 2);
       },
@@ -331,7 +331,7 @@ TEST(Rebalancer, StaysQuietBelowThresholdsAndShutsDownCleanly) {
   ro.hot_share = 0.99;  // nothing is ever this hot
   ro.min_window_ops = 4;
   placement::Rebalancer rebalancer(
-      cluster.sim(), cluster.reconfigurer(0), tracker,
+      cluster.sim(), cluster.reconfigurer_store(0), tracker,
       [&cluster](ObjectId) {
         return cluster.make_spec(dap::Protocol::kAbd, 0, 6, 1);
       },

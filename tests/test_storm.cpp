@@ -61,17 +61,13 @@ TEST_P(Storm, MixedProtocolStormStaysAtomic) {
   sim::detach(storm_reconfig_loop(&cluster, &cluster.reconfigurer(1),
                                   seed * 5 + 2, 2, &done1));
 
-  std::vector<reconfig::AresClient*> clients;
-  for (std::size_t i = 0; i < cluster.num_clients(); ++i) {
-    clients.push_back(&cluster.client(i));
-  }
-  harness::WorkloadOptions opt;
+    harness::WorkloadOptions opt;
   opt.ops_per_client = 10;
   opt.write_fraction = 0.5;
   opt.value_size = 128;
   opt.think_max = 120;
   opt.seed = seed * 7 + 3;
-  const auto result = harness::run_workload(cluster.sim(), clients, opt);
+  const auto result = harness::run_workload(cluster.sim(), cluster.stores(), opt);
   ASSERT_TRUE(result.completed) << "workload stalled under the storm";
   ASSERT_EQ(result.failures, 0u);
   ASSERT_TRUE(cluster.sim().run_until([&] { return done0 && done1; }))
@@ -110,15 +106,11 @@ TEST(StormWithCrashes, CrashWithinBudgetDuringStorm) {
                                   &done));
   cluster.sim().schedule_after(300, [&cluster] { cluster.net().crash(2); });
 
-  std::vector<reconfig::AresClient*> clients;
-  for (std::size_t i = 0; i < cluster.num_clients(); ++i) {
-    clients.push_back(&cluster.client(i));
-  }
-  harness::WorkloadOptions opt;
+    harness::WorkloadOptions opt;
   opt.ops_per_client = 8;
   opt.think_max = 150;
   opt.seed = 13;
-  const auto result = harness::run_workload(cluster.sim(), clients, opt);
+  const auto result = harness::run_workload(cluster.sim(), cluster.stores(), opt);
   ASSERT_TRUE(result.completed);
   ASSERT_TRUE(cluster.sim().run_until([&] { return done; }));
   const auto verdict =

@@ -211,9 +211,8 @@ TEST(Treas, RetryRescuesReadsBeyondDelta) {
   opt.write_fraction = 0.7;
   opt.think_max = 5;
   opt.seed = 9;
-  std::vector<dap::RegisterClient*> regs;
-  for (auto& c : cluster.clients()) regs.push_back(&c->reg());
-  const auto result = harness::run_workload(cluster.sim(), regs, opt);
+  const auto result =
+      harness::run_workload(cluster.sim(), cluster.stores(), opt);
   ASSERT_TRUE(result.completed);
   const auto verdict =
       checker::check_tag_atomicity(cluster.history().records());

@@ -16,10 +16,8 @@ namespace ares::testing_util {
 /// the recorded history is atomic.
 inline void run_and_check_atomic(harness::StaticCluster& cluster,
                                  harness::WorkloadOptions opt) {
-  std::vector<dap::RegisterClient*> regs;
-  regs.reserve(cluster.clients().size());
-  for (auto& c : cluster.clients()) regs.push_back(&c->reg());
-  const auto result = harness::run_workload(cluster.sim(), regs, opt);
+  const auto result =
+      harness::run_workload(cluster.sim(), cluster.stores(), opt);
   ASSERT_TRUE(result.completed) << "workload did not finish";
   ASSERT_EQ(result.failures, 0u);
   const auto verdict =
