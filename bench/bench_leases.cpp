@@ -1,0 +1,232 @@
+// Per-object read leases vs the PR-3 semifast fast path: identical ARES
+// deployments and read-heavy Zipfian workloads, leases off (baseline = the
+// 1-round confirmed-read fast path) vs on (lease holders serve hot-object
+// reads entirely locally — 0 rounds, 0 messages).
+//
+// Scenarios: quiescent read-heavy (the headline: ≥80% further mean-read-
+// latency cut over the fast path), the wait-vs-invalidate writer policies
+// on a mixed workload (what a write pays to revoke), and reconfig churn
+// plus a server crash mid-workload (leases must degrade to Alg. 7; the
+// atomicity checker must stay green).
+//
+// Emits BENCH_leases.json. Exits non-zero if atomicity fails anywhere or
+// the read-heavy scenario cuts mean read latency by less than 80%.
+#include "harness/ares_cluster.hpp"
+#include "harness/json.hpp"
+#include "harness/table.hpp"
+#include "harness/workload.hpp"
+
+#include <cstdio>
+#include <string>
+
+namespace {
+
+using namespace ares;
+
+struct Scenario {
+  std::string name;
+  double write_fraction = 0.02;
+  dap::LeasePolicy policy = dap::LeasePolicy::kInvalidate;
+  bool churn = false;
+  bool crash = false;
+  /// The window length: invalidate deployments afford long windows (a
+  /// write revokes in one extra RTT); wait deployments pick short ones
+  /// (every write to a leased object stalls out the remaining window).
+  SimDuration lease_ms = 200'000;
+};
+
+struct RunResult {
+  harness::WorkloadResult wl;
+  double local_read_fraction = 0;
+  bool atomic_ok = false;
+};
+
+sim::Future<void> churn_loop(harness::AresCluster* cluster, bool* done) {
+  for (int i = 0; i < 3; ++i) {
+    co_await sim::sleep_for(cluster->sim(), 1'500);
+    auto spec = cluster->make_spec(
+        i % 2 == 0 ? dap::Protocol::kAbd : dap::Protocol::kTreas,
+        static_cast<std::size_t>(1 + 2 * i), 5, i % 2 == 0 ? 1 : 3);
+    (void)co_await cluster->reconfigurer(0).reconfig(spec);
+  }
+  *done = true;
+  co_return;
+}
+
+sim::Future<void> crash_loop(harness::AresCluster* cluster, bool* done) {
+  co_await sim::sleep_for(cluster->sim(), 2'000);
+  cluster->net().crash(2);  // one of the initial ABD[5] grantors
+  *done = true;
+  co_return;
+}
+
+RunResult run_once(const Scenario& sc, bool leases) {
+  harness::AresClusterOptions o;
+  o.server_pool = 12;
+  o.initial_protocol = dap::Protocol::kAbd;
+  o.initial_servers = 5;
+  o.num_rw_clients = 4;
+  o.num_reconfigurers = 1;
+  o.num_objects = 8;
+  o.seed = 42;
+  o.fast_path = true;   // the baseline IS the PR-3 fast path
+  o.semifast = true;
+  o.lease_ms = leases ? sc.lease_ms : 0;
+  o.lease_policy = sc.policy;
+  harness::AresCluster cluster(o);
+
+  bool churn_done = !sc.churn;
+  bool crash_done = !sc.crash;
+  if (sc.churn) sim::detach(churn_loop(&cluster, &churn_done));
+  if (sc.crash) sim::detach(crash_loop(&cluster, &crash_done));
+
+  harness::WorkloadOptions w;
+  w.ops_per_client = 300;
+  w.write_fraction = sc.write_fraction;
+  w.value_size = 256;
+  w.num_objects = o.num_objects;
+  w.key_distribution = harness::KeyDistribution::kZipfian;
+  w.zipf_s = 1.2;
+  w.seed = 7;
+
+  RunResult r;
+  r.wl = cluster.run_multi_object_workload(w);
+  std::size_t reads = 0;
+  std::size_t local = 0;
+  for (const auto& op : r.wl.ops) {
+    if (op.is_write || op.failed) continue;
+    ++reads;
+    if (op.rounds == 0 && op.messages == 0) ++local;
+  }
+  r.local_read_fraction =
+      reads == 0 ? 0.0
+                 : static_cast<double>(local) / static_cast<double>(reads);
+  r.atomic_ok = r.wl.completed && r.wl.failures == 0 &&
+                cluster.sim().run_until([&] { return churn_done; }) &&
+                cluster.sim().run_until([&] { return crash_done; });
+  for (const auto& [obj, verdict] : cluster.check_atomicity_per_object()) {
+    r.atomic_ok = r.atomic_ok && verdict.ok;
+  }
+  return r;
+}
+
+/// One collection pass per result (latency_percentiles satellite); shared
+/// by the table rows and the JSON entries.
+struct Percentiles {
+  std::vector<double> read;   // p50, p95, p99
+  std::vector<double> write;  // p50, p95, p99
+};
+
+Percentiles percentiles_of(const RunResult& r) {
+  return {r.wl.latency_percentiles(false, {50, 95, 99}),
+          r.wl.latency_percentiles(true, {50, 95, 99})};
+}
+
+harness::Json metrics_json(const RunResult& r, const Percentiles& p) {
+  const auto& rp = p.read;
+  const auto& wp = p.write;
+  harness::Json j;
+  j.set("read_mean_latency", r.wl.mean_latency(false))
+      .set("read_p50_latency", rp[0])
+      .set("read_p95_latency", rp[1])
+      .set("read_p99_latency", rp[2])
+      .set("write_mean_latency", r.wl.mean_latency(true))
+      .set("write_p50_latency", wp[0])
+      .set("write_p95_latency", wp[1])
+      .set("write_p99_latency", wp[2])
+      .set("read_rounds_per_op", r.wl.mean_rounds(false))
+      .set("write_rounds_per_op", r.wl.mean_rounds(true))
+      .set("read_messages_per_op", r.wl.mean_messages(false))
+      .set("read_bytes_per_op", r.wl.mean_bytes(false))
+      .set("local_read_fraction", r.local_read_fraction)
+      .set("ops", r.wl.ops.size())
+      .set("atomicity", r.atomic_ok);
+  return j;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : std::string("BENCH_leases.json");
+
+  std::printf(
+      "Per-object read leases vs the semifast fast path: ABD[5] initial\n"
+      "config, pool 12, 4 clients x 300 ops, 8 objects (Zipfian s=1.2),\n"
+      "256 B values. Baseline = PR-3 fast path (1-round confirmed reads);\n"
+      "leased = quorum-granted per-object windows served locally.\n\n");
+
+  const Scenario scenarios[] = {
+      {"read_heavy", 0.02, dap::LeasePolicy::kInvalidate, false, false,
+       200'000},
+      {"writes_invalidate", 0.20, dap::LeasePolicy::kInvalidate, false,
+       false, 200'000},
+      {"writes_wait", 0.20, dap::LeasePolicy::kWait, false, false, 1'000},
+      {"churn_crash", 0.20, dap::LeasePolicy::kInvalidate, true, true,
+       200'000},
+  };
+
+  harness::Table table({"scenario", "mode", "read mean", "read p99",
+                        "write mean", "read rnd/op", "local reads",
+                        "atomicity"});
+  harness::Json doc;
+  doc.set("bench", "leases");
+  auto arr = harness::Json::array();
+
+  bool all_atomic = true;
+  double read_heavy_reduction = 0;
+  for (const auto& sc : scenarios) {
+    const RunResult base = run_once(sc, /*leases=*/false);
+    const RunResult leased = run_once(sc, /*leases=*/true);
+    const Percentiles base_p = percentiles_of(base);
+    const Percentiles leased_p = percentiles_of(leased);
+    all_atomic = all_atomic && base.atomic_ok && leased.atomic_ok;
+
+    for (const auto* r : {&base, &leased}) {
+      const Percentiles& p = r == &base ? base_p : leased_p;
+      table.add_row(sc.name, r == &base ? "fastpath" : "leased",
+                    harness::fmt(r->wl.mean_latency(false), 1),
+                    harness::fmt(p.read[2], 0),
+                    harness::fmt(r->wl.mean_latency(true), 1),
+                    harness::fmt(r->wl.mean_rounds(false)),
+                    harness::fmt(100.0 * r->local_read_fraction, 1),
+                    r->atomic_ok ? "PASS" : "FAIL");
+    }
+
+    const double base_read = base.wl.mean_latency(false);
+    const double leased_read = leased.wl.mean_latency(false);
+    const double reduction =
+        base_read > 0 ? 1.0 - leased_read / base_read : 0.0;
+    if (sc.name == "read_heavy") read_heavy_reduction = reduction;
+
+    harness::Json entry;
+    entry.set("name", sc.name)
+        .set("write_fraction", sc.write_fraction)
+        .set("lease_policy", dap::lease_policy_name(sc.policy))
+        .set("lease_ms", sc.lease_ms)
+        .set("churn", sc.churn)
+        .set("crash", sc.crash)
+        .set("fastpath", metrics_json(base, base_p))
+        .set("leased", metrics_json(leased, leased_p))
+        .set("read_latency_reduction", reduction);
+    arr.push(std::move(entry));
+  }
+  doc.set("scenarios", std::move(arr));
+  doc.set("read_heavy_read_latency_reduction", read_heavy_reduction);
+
+  table.print();
+  std::printf(
+      "\nread-heavy mean read latency reduction vs fast path: %.1f%%\n",
+      100.0 * read_heavy_reduction);
+  harness::write_json_file(out_path, doc);
+
+  if (!all_atomic) {
+    std::printf("FAIL: atomicity violated in at least one scenario\n");
+    return 1;
+  }
+  if (read_heavy_reduction < 0.80) {
+    std::printf("FAIL: read-heavy latency reduction below 80%%\n");
+    return 1;
+  }
+  return 0;
+}

@@ -18,22 +18,30 @@ sim::Future<Tag> AbdDap::get_tag() {
   co_return max;
 }
 
-sim::Future<dap::GetDataResult> AbdDap::get_data_confirmed() {
+sim::Future<dap::GetDataResult> AbdDap::get_data_confirmed(
+    bool want_lease) {
   auto req = std::make_shared<QueryReq>();
   req->config = spec_.id;
   req->object = object();
   req->confirmed_hint = confirmed_tag();
+  req->want_lease = want_lease;
   auto qc = sim::broadcast_collect<QueryReply>(owner_, spec_.servers,
                                                std::move(req));
   co_await qc.wait_for(spec_.quorum_size());
   TagValue best{kInitialTag, nullptr};
   Tag confirmed = kInitialTag;
+  std::size_t grants = 0;
+  SimTime grant_expiry = std::numeric_limits<SimTime>::max();
   for (const auto& a : qc.arrivals()) {
     if (a.reply->tag > best.tag ||
         (a.reply->tag == best.tag && !best.value)) {
       best = TagValue{a.reply->tag, a.reply->value};
     }
     confirmed = std::max(confirmed, a.reply->confirmed);
+    if (a.reply->lease_expiry > 0) {
+      ++grants;
+      grant_expiry = std::min(grant_expiry, a.reply->lease_expiry);
+    }
   }
   dap::GetDataResult result{best, false};
   // One confirming server suffices: its claim is that a *quorum* already
@@ -42,6 +50,13 @@ sim::Future<dap::GetDataResult> AbdDap::get_data_confirmed() {
   if (spec_.semifast && confirmed >= best.tag) {
     result.confirmed = true;
     note_confirmed(best.tag);
+  }
+  // A lease is only trustworthy when a full quorum granted it in this very
+  // round: every later put ack quorum then intersects the grant set, so at
+  // least one enforcing server gates any newer write until we settled. The
+  // window is the *minimum* grant expiry.
+  if (grants >= spec_.quorum_size()) {
+    result.lease_expiry = grant_expiry;
   }
   co_return result;
 }

@@ -17,7 +17,8 @@ class AbdDap final : public dap::Dap {
       : dap::Dap(object), owner_(owner), spec_(std::move(spec)) {}
 
   [[nodiscard]] sim::Future<Tag> get_tag() override;
-  [[nodiscard]] sim::Future<dap::GetDataResult> get_data_confirmed() override;
+  [[nodiscard]] sim::Future<dap::GetDataResult> get_data_confirmed(
+      bool want_lease) override;
   [[nodiscard]] sim::Future<void> put_data(TagValue tv) override;
 
   [[nodiscard]] const dap::ConfigSpec& spec() const { return spec_; }

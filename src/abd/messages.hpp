@@ -25,9 +25,12 @@ class QueryTagReply final : public sim::RpcReply {
   }
 };
 
-/// QUERY: server replies with its ⟨tag, value⟩ pair.
+/// QUERY: server replies with its ⟨tag, value⟩ pair. `want_lease` asks for
+/// a read-lease grant alongside (only set by readers that can install it —
+/// a recorded grant is an enforced promise that stalls later writers).
 class QueryReq final : public sim::RpcRequest {
  public:
+  bool want_lease = false;
   [[nodiscard]] std::string_view type_name() const override {
     return "abd.query";
   }
@@ -38,6 +41,10 @@ class QueryReply final : public sim::RpcReply {
   Tag tag;
   ValuePtr value;
   Tag confirmed;  // highest tag this server knows is quorum-propagated
+  /// Read-lease grant expiry for (object, requester); 0 = no grant (leases
+  /// off, or a successor configuration is already known — leases are never
+  /// minted under a superseded configuration).
+  SimTime lease_expiry = 0;
   [[nodiscard]] std::size_t data_bytes() const override {
     return value ? value->size() : 0;
   }

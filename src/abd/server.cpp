@@ -50,11 +50,15 @@ bool AbdServerState::handle(dap::ServerContext& ctx, const sim::Message& msg) {
     ctx.process.reply_to(msg, std::move(reply));
     return true;
   }
-  if (std::dynamic_pointer_cast<const QueryReq>(msg.body)) {
+  if (auto query = std::dynamic_pointer_cast<const QueryReq>(msg.body)) {
     auto reply = std::make_shared<QueryReply>();
     reply->tag = r.tag;
     reply->value = r.value;
     reply->confirmed = confirmed_tag(req->object);
+    if (query->want_lease) {
+      reply->lease_expiry =
+          maybe_grant_lease(ctx, req->object, msg.from, r.tag);
+    }
     ctx.process.reply_to(msg, std::move(reply));
     return true;
   }
@@ -63,7 +67,14 @@ bool AbdServerState::handle(dap::ServerContext& ctx, const sim::Message& msg) {
       r.tag = write->tag;
       r.value = write->value;
     }
-    ctx.process.reply_to(msg, std::make_shared<WriteAck>());
+    // Adopt immediately, but withhold the ack — i.e. the writer's
+    // completion — until every read lease granted at an older tag has
+    // settled (no-op without leases; see DapServer::settle_leases).
+    sim::Process* proc = &ctx.process;
+    sim::Message saved = msg;
+    settle_leases(ctx, req->object, write->tag, msg.from, [proc, saved] {
+      proc->reply_to(saved, std::make_shared<WriteAck>());
+    });
     return true;
   }
   return false;

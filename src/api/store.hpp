@@ -35,6 +35,15 @@ struct OpMetrics {
   std::uint64_t rounds = 0;
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
+
+  /// True when the operation's measured share is zero rounds and zero
+  /// messages. For a *scalar* operation that means it touched no server at
+  /// all — a read served entirely from a valid read lease. Batch members
+  /// carry amortized shares of the batch total, so there a zero share only
+  /// means the member added no marginal quorum cost (integer division can
+  /// round a quorum-served member's share down to zero, and a lease-served
+  /// member of a mixed batch can inherit a nonzero share).
+  [[nodiscard]] bool local() const { return rounds == 0 && messages == 0; }
 };
 
 /// The outcome of one Store operation.

@@ -60,9 +60,33 @@ AresClient::ObjectState& AresClient::obj_state(ObjectId obj) {
 }
 
 void AresClient::handle(const sim::Message& msg) {
-  // Plain clients receive only RPC replies (routed before handle()); one-way
-  // messages such as TransferAck are handled by subclasses.
-  (void)msg;
+  // Plain clients receive RPC replies (routed before handle()) plus the
+  // lease invalidations servers push under LeasePolicy::kInvalidate; other
+  // one-way messages such as TransferAck are handled by subclasses.
+  if (auto inv =
+          std::dynamic_pointer_cast<const dap::LeaseInvalidateMsg>(msg.body)) {
+    auto it = objects_.find(inv->object);
+    if (it != objects_.end()) {
+      // Poison only a lease minted under the invalidating configuration:
+      // a straggler settle at a superseded configuration (whose stale
+      // record for us has not expired yet) says nothing about a lease we
+      // since acquired under the successor — that one is protected by the
+      // successor's own settle gates.
+      if (it->second.lease.has_value() &&
+          it->second.lease->cfg == inv->config) {
+        it->second.lease.reset();
+      }
+      // Raise the install fence: a grant that left a server before this
+      // invalidation may still be in flight, and the invalidating writer
+      // may complete the moment we ack — installing that stale grant later
+      // would serve a value older than a completed write.
+      Tag& fence = it->second.lease_fence[inv->config];
+      fence = std::max(fence, inv->tag);
+    }
+    // Ack even for unknown objects: the settling server awaits it.
+    reply_to(msg, std::make_shared<dap::LeaseInvalidateAck>());
+    return;
+  }
 }
 
 void AresClient::note_config_hint(ConfigId cfg, ObjectId obj,
@@ -74,9 +98,11 @@ void AresClient::note_config_hint(ConfigId cfg, ObjectId obj,
     if (st.cseq[i].cfg != cfg) continue;
     if (i + 1 == st.cseq.size()) {
       // A successor we did not know: the cached sequence is stale until a
-      // full traversal confirms where GL currently ends.
+      // full traversal confirms where GL currently ends — and any lease
+      // minted on the now-superseded tail must not serve another read.
       st.cseq.push_back(next);
       st.synced = false;
+      st.lease.reset();
     } else {
       // Configuration Uniqueness (Lemma 47): only the status can be news.
       assert(st.cseq[i + 1].cfg == next.cfg);
@@ -106,11 +132,15 @@ std::size_t AresClient::mu(ObjectId obj) const {
 }
 
 void AresClient::set_entry(ObjectId obj, std::size_t idx, CseqEntry e) {
-  auto& cs = obj_state(obj).cseq;
+  ObjectState& st = obj_state(obj);
+  auto& cs = st.cseq;
   assert(e.valid());
   assert(idx <= cs.size());
   if (idx == cs.size()) {
     cs.push_back(e);
+    // The sequence grew: a lease minted on the previous tail is revoked
+    // (reconfigurations — own or Rebalancer-driven — land here).
+    st.lease.reset();
     return;
   }
   // Configuration Uniqueness (Lemma 47): the id in one slot never differs.
@@ -131,6 +161,87 @@ const std::shared_ptr<dap::Dap>& AresClient::dap_for(ObjectId obj,
 
 bool AresClient::tail_covers_hints(ObjectId obj) {
   return covers_config_hints(registry_.get(cseq(obj)[nu(obj)].cfg));
+}
+
+// ---------------------------------------------------------------------------
+// Per-object read leases (client side)
+// ---------------------------------------------------------------------------
+
+SimTime AresClient::lease_now() const {
+  const auto skewed =
+      static_cast<std::int64_t>(simulator().now()) + clock_skew_;
+  return skewed < 0 ? 0 : static_cast<SimTime>(skewed);
+}
+
+bool AresClient::lease_usable(ObjectId obj, const ObjectState& st) const {
+  if (!fast_path_ || !st.lease.has_value()) return false;
+  const LeaseEntry& le = *st.lease;
+  // The steady state the lease was minted in must still hold: the cached
+  // sequence is synced and is exactly the single (finalized) configuration
+  // the grants came from. Any growth poisons the entry, so these checks
+  // are belt and braces.
+  if (!st.synced || st.cseq.back().cfg != le.cfg) return false;
+  if (mu(obj) != nu(obj)) return false;
+  // ε guard: serve only while local_clock < expiry − ε. A real skew within
+  // ±ε then keeps every local read inside the window the granting servers
+  // enforce against writers.
+  return lease_now() + lease_epsilon_ < le.expiry;
+}
+
+bool AresClient::holds_lease(ObjectId obj) const {
+  auto it = objects_.find(obj);
+  return it != objects_.end() && lease_usable(obj, it->second);
+}
+
+bool AresClient::try_lease_read(ObjectId obj, TagValue& out) {
+  ObjectState& st = obj_state(obj);
+  if (!lease_usable(obj, st)) return false;
+  out = TagValue{st.lease->tag, st.lease->value};
+  ++lease_local_reads_;
+  return true;
+}
+
+void AresClient::install_lease(ObjectId obj, ConfigId cfg, TagValue tv,
+                               SimTime expiry) {
+  ObjectState& st = obj_state(obj);
+  // Install fence: a server invalidated tag f for this configuration while
+  // our quorum round (whose grants predate the invalidation) was still in
+  // flight — the invalidating write may already be complete, so only a
+  // pair at least as new may be served locally.
+  auto fit = st.lease_fence.find(cfg);
+  if (fit != st.lease_fence.end() && tv.tag < fit->second) return;
+  st.lease = LeaseEntry{cfg, tv.tag, tv.value, expiry};
+  schedule_lease_reaper(obj, expiry);
+}
+
+void AresClient::schedule_lease_reaper(ObjectId obj, SimTime expiry) {
+  // Expiry reaper: the lazy validity check already refuses a stale entry;
+  // this timer wakeup frees the cached value bytes at window end. It fires
+  // on the *client's* clock — the moment lease_usable() turns false — so a
+  // skewed clock extends the real-time deadline exactly as it extends the
+  // serving window (the hazard the ε guard bounds; reaping on true sim
+  // time would silently mask it).
+  const SimTime ln = lease_now();
+  const SimDuration delay =
+      ln + lease_epsilon_ < expiry ? expiry - lease_epsilon_ - ln + 1 : 1;
+  std::weak_ptr<char> alive = lease_timer_token_;
+  simulator().schedule_after(delay, [this, alive, obj, expiry] {
+    if (alive.expired()) return;
+    auto it = objects_.find(obj);
+    if (it == objects_.end() || !it->second.lease.has_value()) return;
+    if (it->second.lease->expiry > expiry) return;  // renewed since
+    if (lease_now() + lease_epsilon_ < it->second.lease->expiry) {
+      // The local clock has not reached the window end yet (skew): retry.
+      schedule_lease_reaper(obj, it->second.lease->expiry);
+      return;
+    }
+    it->second.lease.reset();
+  });
+}
+
+void AresClient::poison_lease(ObjectId obj) {
+  auto it = objects_.find(obj);
+  if (it != objects_.end()) it->second.lease.reset();
 }
 
 // ---------------------------------------------------------------------------
@@ -229,6 +340,9 @@ sim::Future<Tag> AresClient::write(ObjectId obj, ValuePtr value) {
 sim::Future<Tag> AresClient::write_core(ObjectId obj, ValuePtr value,
                                         std::uint64_t op) {
   (void)obj_state(obj);  // lazily bind to the default c0 on first use
+  // An own write outdates any locally cached pair: the servers' settle
+  // gates exclude the writer itself, so the writer revokes its own lease.
+  poison_lease(obj);
   co_await ensure_config(obj);
 
   // Max tag across configurations µ..ν. If a piggybacked hint reveals a
@@ -288,23 +402,44 @@ sim::Future<TagValue> AresClient::read(ObjectId obj) {
 
 sim::Future<TagValue> AresClient::read_core(ObjectId obj) {
   (void)obj_state(obj);  // lazily bind to the default c0 on first use
+
+  // Lease fast path: a valid window serves the read entirely locally —
+  // zero quorum rounds, zero messages.
+  if (TagValue leased; try_lease_read(obj, leased)) {
+    co_return leased;
+  }
+
   co_await ensure_config(obj);
 
   TagValue best{kInitialTag, nullptr};
   bool confirmed = false;
   std::size_t m = 0;
   std::size_t v = 0;
+  SimTime lease_expiry = 0;    // quorum grant window of the tail round
+  ConfigId lease_cfg = kNoConfig;
   for (;;) {
     m = mu(obj);
     v = nu(obj);
     best = TagValue{kInitialTag, nullptr};
     confirmed = false;
+    lease_expiry = 0;
+    lease_cfg = kNoConfig;
     for (std::size_t i = m; i <= v; ++i) {
+      // Ask for grants only when the whole sequence is this one
+      // configuration — the settle gates of a superseded configuration do
+      // not cover writes landing in its successors, and a grant the
+      // client cannot install would still stall later writers.
+      const bool want_lease = fast_path_ && m == v && i == v;
       dap::GetDataResult r =
-          co_await dap_for(obj, cseq(obj)[i].cfg)->get_data_confirmed();
+          co_await dap_for(obj, cseq(obj)[i].cfg)
+              ->get_data_confirmed(want_lease);
       if (r.tv.tag > best.tag || !best.value) {
         best = r.tv;
         confirmed = r.confirmed;
+      }
+      if (want_lease) {
+        lease_expiry = r.lease_expiry;
+        lease_cfg = cseq(obj)[i].cfg;
       }
     }
     if (nu(obj) == v) break;
@@ -330,6 +465,17 @@ sim::Future<TagValue> AresClient::read_core(ObjectId obj) {
       co_await read_config(obj);
       if (nu(obj) == v) break;
       v = nu(obj);
+    }
+  }
+
+  // Install the lease once the returned pair is quorum-resident (it is,
+  // either by confirmation or by the write-back just completed) and the
+  // steady state still holds — any successor revealed meanwhile poisoned
+  // the premise.
+  if (fast_path_ && lease_expiry > 0) {
+    const ObjectState& st = obj_state(obj);
+    if (st.synced && mu(obj) == nu(obj) && st.cseq.back().cfg == lease_cfg) {
+      install_lease(obj, lease_cfg, best, lease_expiry);
     }
   }
 
@@ -394,6 +540,7 @@ sim::Future<std::vector<TagValue>> AresClient::read_batch(
     std::vector<ObjectId> objs) {
   std::vector<TagValue> out(objs.size());
   std::vector<std::uint64_t> rec(objs.size(), 0);
+  std::vector<char> leased(objs.size(), 0);
   for (std::size_t i = 0; i < objs.size(); ++i) {
     (void)obj_state(objs[i]);
     if (recorder_ != nullptr) {
@@ -401,8 +548,15 @@ sim::Future<std::vector<TagValue>> AresClient::read_batch(
                                 simulator().now(), objs[i]);
     }
   }
+  // Lease fast path per member: a valid window serves the member locally
+  // and excludes it from every quorum round below (the QueryBatchReq
+  // fan-out never lists it).
+  for (std::size_t i = 0; i < objs.size(); ++i) {
+    if (try_lease_read(objs[i], out[i])) leased[i] = 1;
+  }
   // Resolve configurations (zero rounds per member once synced).
   for (std::size_t i = 0; i < objs.size(); ++i) {
+    if (leased[i]) continue;
     co_await ensure_config(objs[i]);
   }
 
@@ -411,6 +565,7 @@ sim::Future<std::vector<TagValue>> AresClient::read_batch(
   std::map<ConfigId, std::vector<std::size_t>> groups;
   std::vector<std::size_t> singles;
   for (std::size_t i = 0; i < objs.size(); ++i) {
+    if (leased[i]) continue;
     const ObjectState& st = obj_state(objs[i]);
     const ConfigId tail = st.cseq.back().cfg;
     if (st.synced && mu(objs[i]) == nu(objs[i]) &&
@@ -437,9 +592,12 @@ sim::Future<std::vector<TagValue>> AresClient::read_batch(
     hints.reserve(uobjs.size());
     for (ObjectId o : uobjs) hints.push_back(dap_for(o, cfg)->confirmed_tag());
 
-    // One get-data quorum round for the whole group.
-    auto get_fut = dap::batch_get_data(*this, spec, uobjs,
-                                       /*tags_only=*/false, std::move(hints));
+    // One get-data quorum round for the whole group (with lease grants —
+    // every grouped member is in the stable single-config steady state).
+    auto get_fut =
+        dap::batch_get_data(*this, spec, uobjs,
+                            /*tags_only=*/false, std::move(hints),
+                            /*want_leases=*/fast_path_);
     auto items = co_await get_fut;
     for (std::size_t u = 0; u < uobjs.size(); ++u) {
       if (items[u].next_c.valid()) {
@@ -449,6 +607,7 @@ sim::Future<std::vector<TagValue>> AresClient::read_batch(
 
     std::vector<dap::BatchPutItem> wb;   // members needing the write-back
     std::vector<std::size_t> wb_canon;   // their canonical member indices
+    std::vector<SimTime> wb_lease;       // their quorum grant windows
     std::vector<std::size_t> demoted;    // uobj indices rerun per-object
     for (std::size_t u = 0; u < uobjs.size(); ++u) {
       const ObjectId obj = uobjs[u];
@@ -464,6 +623,11 @@ sim::Future<std::vector<TagValue>> AresClient::read_batch(
       if (!(fast_path_ && confirmed)) {
         wb.push_back({obj, best.tag, best.value});
         wb_canon.push_back(canon[u]);
+        wb_lease.push_back(items[u].lease_expiry);
+      } else if (fast_path_ && items[u].lease_expiry > 0) {
+        // Confirmed member with a quorum of grants: the pair is already
+        // quorum-resident, so the lease may serve future reads locally.
+        install_lease(obj, cfg, best, items[u].lease_expiry);
       }
     }
 
@@ -496,8 +660,12 @@ sim::Future<std::vector<TagValue>> AresClient::read_batch(
           auto prop = propagate_tail(obj, tv);
           co_await prop;
         } else {
-          // Quorum-propagated by our write-back: remember for next time.
+          // Quorum-propagated by our write-back: remember for next time,
+          // and a quorum of grants from the query round now backs a lease.
           dap_for(obj, cfg)->note_confirmed(wb[j].tag);
+          if (fast_path_ && wb_lease[j] > 0) {
+            install_lease(obj, cfg, out[wb_canon[j]], wb_lease[j]);
+          }
         }
       }
     }
@@ -529,6 +697,7 @@ sim::Future<std::vector<Tag>> AresClient::write_batch(
   std::vector<std::uint64_t> rec(objs.size(), 0);
   for (std::size_t i = 0; i < objs.size(); ++i) {
     (void)obj_state(objs[i]);
+    poison_lease(objs[i]);  // an own write outdates the cached pair
     if (recorder_ != nullptr) {
       rec[i] = recorder_->begin(id(), checker::OpKind::kWrite,
                                 simulator().now(), objs[i]);

@@ -120,6 +120,42 @@ class AresClient : public sim::Process {
   void set_fast_path(bool on) { fast_path_ = on; }
   [[nodiscard]] bool fast_path() const { return fast_path_; }
 
+  // --- per-object read leases ----------------------------------------------
+  //
+  // When a quorum read comes back with a full quorum of lease grants (see
+  // dap::GetDataResult::lease_expiry) the client caches ⟨value, tag,
+  // expiry⟩ per object and serves subsequent reads entirely locally — zero
+  // quorum rounds, zero messages — while the window is valid. The cache is
+  // poisoned the instant anything disturbs the steady state: an own write,
+  // a piggybacked hint or traversal revealing a successor configuration, a
+  // reconfiguration (including Rebalancer-driven migrations), a server's
+  // lease invalidation, or expiry (checked lazily and reaped by a timer
+  // wakeup). Reconfiguration transfer reads (update_config) never consult
+  // the cache — they always run quorum get-data — so state transfer never
+  // trusts a lease minted under a superseded configuration.
+
+  /// Clock-skew bound ε subtracted from every grant window before local
+  /// use: a lease expiring at E is served only while local_clock < E − ε.
+  /// Safe whenever the client's real skew stays within ±ε; the adversarial
+  /// skew tests drive the skew past ε with the guard off to reproduce the
+  /// stale-read violation the bound prevents.
+  void set_lease_epsilon(SimDuration epsilon) { lease_epsilon_ = epsilon; }
+  [[nodiscard]] SimDuration lease_epsilon() const { return lease_epsilon_; }
+
+  /// Simulated clock drift of this client (local_clock = sim time + skew;
+  /// negative = a slow clock). Only lease validity consults the local
+  /// clock, so the skew models exactly the hazard leases introduce.
+  void set_clock_skew(std::int64_t skew) { clock_skew_ = skew; }
+  [[nodiscard]] std::int64_t clock_skew() const { return clock_skew_; }
+
+  /// True while this client holds a currently-valid lease on `obj`.
+  [[nodiscard]] bool holds_lease(ObjectId obj) const;
+
+  /// Reads served entirely from the lease cache (diagnostics/tests).
+  [[nodiscard]] std::uint64_t lease_local_reads() const {
+    return lease_local_reads_;
+  }
+
   /// Object-data bytes this client pulled through itself during
   /// update-config phases, across all objects (the reconfiguration-
   /// bottleneck metric of Section 5; stays 0 for the direct-transfer
@@ -137,6 +173,15 @@ class AresClient : public sim::Process {
   void note_config_hint(ConfigId cfg, ObjectId obj,
                         const CseqEntry& next) override;
 
+  /// One cached read lease: the pair served locally and the window end
+  /// (grantor-clock time; validity subtracts the ε skew bound).
+  struct LeaseEntry {
+    ConfigId cfg = kNoConfig;
+    Tag tag;
+    ValuePtr value;
+    SimTime expiry = 0;
+  };
+
   /// Per-object client state: the local configuration sequence plus cached
   /// protocol endpoints, all independent between objects.
   struct ObjectState {
@@ -147,6 +192,14 @@ class AresClient : public sim::Process {
     bool synced = false;
     std::map<ConfigId, std::shared_ptr<dap::Dap>> daps;
     std::map<ConfigId, std::unique_ptr<consensus::PaxosProposer>> proposers;
+    /// The lease cache entry (nullopt = none) and, per configuration, the
+    /// install fence: the highest tag a lease invalidation announced.
+    /// Grants still in flight from before that invalidation must never be
+    /// installed afterwards — the writer may already have completed — so
+    /// installs require lease.tag ≥ fence. kMaxTag (a reconfiguration's
+    /// settle-all) permanently fences the superseded configuration.
+    std::optional<LeaseEntry> lease;
+    std::map<ConfigId, Tag> lease_fence;
   };
 
   /// Find `obj`'s state, lazily binding it to the constructor's c0.
@@ -185,6 +238,30 @@ class AresClient : public sim::Process {
   /// read_config, unless the fast path may trust the cached cseq for `obj`.
   [[nodiscard]] sim::Future<void> ensure_config(ObjectId obj);
 
+  /// This client's lease-validation clock: sim time + skew, clamped at 0.
+  [[nodiscard]] SimTime lease_now() const;
+
+  /// True when `st`'s lease may serve a read right now: fast path on, the
+  /// cached sequence still the single configuration the lease was minted
+  /// under, and the ε-guarded window not yet over.
+  [[nodiscard]] bool lease_usable(ObjectId obj, const ObjectState& st) const;
+
+  /// Serve a read of `obj` from the lease cache if possible. Returns true
+  /// and fills `out` on a local hit (counted in lease_local_reads_).
+  [[nodiscard]] bool try_lease_read(ObjectId obj, TagValue& out);
+
+  /// Install a lease on `obj` (refused below the configuration's install
+  /// fence) and schedule the expiry reaper wakeup.
+  void install_lease(ObjectId obj, ConfigId cfg, TagValue tv, SimTime expiry);
+
+  /// Schedule the timer wakeup that drops `obj`'s lease entry once the
+  /// client's own (skewed, ε-guarded) clock reaches the window end.
+  void schedule_lease_reaper(ObjectId obj, SimTime expiry);
+
+  /// Drop `obj`'s cached lease (a write, hint, reconfiguration or server
+  /// invalidation disturbed the steady state).
+  void poison_lease(ObjectId obj);
+
   /// The Alg.-7 operation bodies, minus history recording (the public
   /// read/write wrappers and the batch paths record around them; `op` is
   /// the recorder handle for the mid-operation note_write_tag, 0 if none).
@@ -211,6 +288,12 @@ class AresClient : public sim::Process {
 
   ConfigId default_c0_;
   bool fast_path_ = true;
+  SimDuration lease_epsilon_ = 0;
+  std::int64_t clock_skew_ = 0;
+  std::uint64_t lease_local_reads_ = 0;
+  /// Liveness token for the lease-expiry reaper wakeups (the scheduled
+  /// lambdas hold a weak_ptr so a wakeup outliving this client is a no-op).
+  std::shared_ptr<char> lease_timer_token_ = std::make_shared<char>();
   std::map<ObjectId, ObjectState> objects_;
 };
 

@@ -93,7 +93,21 @@ void AresServer::handle(const sim::Message& msg) {
     if (!po.nextc.valid() || !po.nextc.finalized) {
       po.nextc = write->next;
     }
-    reply_to(msg, std::make_shared<WriteConfigAck>());
+    // Lease revocation gate: with nextC set, this server mints no further
+    // leases for the object (maybe_grant_lease checks the hint), and the
+    // put-config ack is withheld until every outstanding lease settled —
+    // any client must complete a quorum put-config before writing into a
+    // successor configuration, so no newer tag can land in the successor
+    // while a lease minted here is live. kMaxTag settles regardless of
+    // grant tags (the successor's writes may carry any newer tag).
+    dap::ServerContext ctx{*this, registry_.get(req->config), registry_};
+    sim::Process* proc = this;
+    sim::Message saved = msg;
+    pc->dap->settle_leases(ctx, req->object, kMaxTag, msg.from,
+                           [proc, saved] {
+                             proc->reply_to(
+                                 saved, std::make_shared<WriteConfigAck>());
+                           });
     return;
   }
   if (std::dynamic_pointer_cast<const consensus::PrepareReq>(msg.body) ||

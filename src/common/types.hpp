@@ -59,6 +59,12 @@ struct Tag {
 /// The initial tag t0 associated with the initial value v0.
 inline constexpr Tag kInitialTag{0, 0};
 
+/// A tag greater than every tag any writer can mint — the "settle
+/// everything" bound used when a reconfiguration revokes all read leases
+/// of an object regardless of their grant tags.
+inline constexpr Tag kMaxTag{std::numeric_limits<std::uint64_t>::max(),
+                             std::numeric_limits<ProcessId>::max()};
+
 /// One element of a configuration sequence: ⟨cfg, status⟩ with status
 /// P (pending) or F (finalized). Lives here (not in the reconfiguration
 /// module) because every RPC reply piggybacks the replying server's nextC

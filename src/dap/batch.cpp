@@ -17,13 +17,14 @@ void merge_next(CseqEntry& best, const CseqEntry& seen) {
 
 sim::Future<std::vector<BatchQueryItem>> batch_get_data(
     sim::Process& owner, ConfigSpec spec, std::vector<ObjectId> objects,
-    bool tags_only, std::vector<Tag> confirmed_hints) {
+    bool tags_only, std::vector<Tag> confirmed_hints, bool want_leases) {
   assert(batch_capable(spec));
   auto req = std::make_shared<QueryBatchReq>();
   req->config = spec.id;
   req->object = objects.empty() ? kDefaultObject : objects.front();
   req->objects = objects;
   req->tags_only = tags_only;
+  req->want_leases = want_leases;
   req->confirmed_hints = std::move(confirmed_hints);
   if (!req->confirmed_hints.empty()) {
     req->confirmed_hint = req->confirmed_hints.front();
@@ -33,6 +34,9 @@ sim::Future<std::vector<BatchQueryItem>> batch_get_data(
   co_await qc.wait_for(spec.quorum_size());
 
   std::vector<BatchQueryItem> best(objects.size());
+  std::vector<std::size_t> grants(objects.size(), 0);
+  std::vector<SimTime> grant_expiry(objects.size(),
+                                    std::numeric_limits<SimTime>::max());
   for (std::size_t i = 0; i < objects.size(); ++i) {
     best[i].object = objects[i];
     best[i].tag = kInitialTag;
@@ -52,7 +56,18 @@ sim::Future<std::vector<BatchQueryItem>> batch_get_data(
       }
       best[i].confirmed = std::max(best[i].confirmed, item.confirmed);
       merge_next(best[i].next_c, item.next_c);
+      if (item.lease_expiry > 0) {
+        ++grants[i];
+        grant_expiry[i] = std::min(grant_expiry[i], item.lease_expiry);
+      }
     }
+  }
+  // Per member: only a full quorum of grants in this round makes a
+  // trustworthy lease (see AbdDap::get_data_confirmed); report the minimum
+  // expiry then, 0 otherwise.
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    best[i].lease_expiry =
+        grants[i] >= spec.quorum_size() ? grant_expiry[i] : 0;
   }
   co_return best;
 }

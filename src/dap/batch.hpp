@@ -27,9 +27,14 @@ namespace ares::dap {
 /// (aligned with `objects`): the max-tag pair across the quorum, the max
 /// confirmed tag, and the "best" piggybacked nextC observed (finalized
 /// preferred). `confirmed_hints` (may be empty) parallels `objects`.
+/// `want_leases` requests per-member read-lease grants (callers that can
+/// install them only; see Dap::get_data_confirmed) — each item's
+/// lease_expiry is then the min expiry across a full quorum of grants
+/// (0 unless a quorum granted).
 [[nodiscard]] sim::Future<std::vector<BatchQueryItem>> batch_get_data(
     sim::Process& owner, ConfigSpec spec, std::vector<ObjectId> objects,
-    bool tags_only, std::vector<Tag> confirmed_hints);
+    bool tags_only, std::vector<Tag> confirmed_hints,
+    bool want_leases = false);
 
 /// One put-data quorum round for every item on `spec`'s servers. After the
 /// quorum acks, every item's tag rests at a quorum: when `spec.semifast`,

@@ -14,4 +14,14 @@ const char* protocol_name(Protocol p) {
   return "?";
 }
 
+const char* lease_policy_name(LeasePolicy p) {
+  switch (p) {
+    case LeasePolicy::kWait:
+      return "wait";
+    case LeasePolicy::kInvalidate:
+      return "invalidate";
+  }
+  return "?";
+}
+
 }  // namespace ares::dap

@@ -25,6 +25,20 @@ enum class Protocol {
 
 [[nodiscard]] const char* protocol_name(Protocol p);
 
+/// How a server settles outstanding read leases before acking a put-data
+/// (or put-config) that carries a tag newer than the lease was granted at:
+///   kWait       — hold the ack until every such lease window has expired
+///                 (writer latency bounded by lease_ms, no extra messages);
+///   kInvalidate — push invalidations to the holders and ack once every
+///                 holder acked (or its window expired — a crashed holder
+///                 can delay a writer by at most the remaining window).
+enum class LeasePolicy {
+  kWait,
+  kInvalidate,
+};
+
+[[nodiscard]] const char* lease_policy_name(LeasePolicy p);
+
 struct ConfigSpec {
   ConfigId id = kNoConfig;
   Protocol protocol = Protocol::kAbd;
@@ -62,6 +76,22 @@ struct ConfigSpec {
   /// `treas_max_retries` rounds.
   SimDuration treas_retry_timeout = 0;
   std::size_t treas_max_retries = 16;
+
+  /// Per-object read leases (0 = off): servers piggyback time-bounded
+  /// grants on query replies; a client holding a quorum of grants serves
+  /// reads entirely locally — zero rounds, zero messages — until the
+  /// window expires, a newer write settles the lease per `lease_policy`,
+  /// or a reconfiguration supersedes the configuration. Only whole-replica
+  /// majority-quorum protocols grant (see leases_on): the safety argument
+  /// needs every put-data / put-config ack quorum to intersect the grant
+  /// quorum.
+  SimDuration lease_ms = 0;
+  LeasePolicy lease_policy = LeasePolicy::kInvalidate;
+
+  /// True when this configuration grants read leases.
+  [[nodiscard]] bool leases_on() const {
+    return lease_ms > 0 && protocol == Protocol::kAbd;
+  }
 
   [[nodiscard]] std::size_t n() const { return servers.size(); }
 

@@ -23,6 +23,12 @@ namespace ares::dap {
 struct GetDataResult {
   TagValue tv;
   bool confirmed = false;
+  /// Read-lease acquisition verdict of the round: nonzero when a full
+  /// quorum of the replies granted a lease to the caller, holding the
+  /// minimum grant expiry (the window the caller may serve the returned
+  /// pair locally, after subtracting its clock-skew bound ε). 0 when the
+  /// configuration grants no leases or fewer than a quorum granted.
+  SimTime lease_expiry = 0;
 };
 
 class Dap {
@@ -40,8 +46,18 @@ class Dap {
 
   /// D2 + semifast metadata: c.get-data() plus whether the returned tag is
   /// quorum-confirmed (always false when the configuration's `semifast`
-  /// flag is off).
-  [[nodiscard]] virtual sim::Future<GetDataResult> get_data_confirmed() = 0;
+  /// flag is off). `want_lease` asks the servers for read-lease grants
+  /// alongside the data — set only by callers that may actually install
+  /// the lease (the ARES read paths in a stable steady state): a recorded
+  /// grant is an *enforced promise* that stalls later writers, so callers
+  /// that never install — reconfiguration transfer reads, get-tag phases,
+  /// the write templates, lease-blind readers — must not ask. (A requested
+  /// grant whose acquisition then fails — sub-quorum grants, a hint
+  /// breaking the steady state mid-round — does linger until its window
+  /// expires; a grant-release handshake that returns those early is a
+  /// ROADMAP follow-up.)
+  [[nodiscard]] virtual sim::Future<GetDataResult> get_data_confirmed(
+      bool want_lease = false) = 0;
 
   /// D2: c.get-data() (wrapper over get_data_confirmed for callers that do
   /// not care about the confirmation verdict).

@@ -3,6 +3,7 @@
 #include "dap/messages.hpp"
 
 #include <algorithm>
+#include <vector>
 
 namespace ares::dap {
 
@@ -54,7 +55,15 @@ bool DapServer::handle_batch(ServerContext& ctx, const sim::Message& msg) {
       item.object = obj;
       const TagValue tv = query_one(obj);
       item.tag = tv.tag;
-      if (!query->tags_only) item.value = tv.value;
+      if (!query->tags_only) {
+        item.value = tv.value;
+        // Per-member lease grants, only when asked for: get-tag rounds
+        // serve writers and lease-blind readers never install, so minting
+        // for them would stall later writers for nothing.
+        if (query->want_leases) {
+          item.lease_expiry = maybe_grant_lease(ctx, obj, msg.from, tv.tag);
+        }
+      }
       item.confirmed = confirmed_tag(obj);
       // Per-member piggybacked configuration discovery: the envelope's
       // next_c (stamped by reply_to) covers only the envelope object.
@@ -66,18 +75,140 @@ bool DapServer::handle_batch(ServerContext& ctx, const sim::Message& msg) {
   }
 
   if (auto put = std::dynamic_pointer_cast<const PutBatchReq>(msg.body)) {
-    auto reply = std::make_shared<PutBatchReply>();
-    reply->next_cs.reserve(put->items.size());
     for (const auto& item : put->items) {
       put_one(item.object, item.tag, item.value);
-      reply->next_cs.push_back(
-          ctx.process.next_config_hint(rpc->config, item.object));
     }
-    ctx.process.reply_to(msg, std::move(reply));
+    // The ack is withheld until every member's outstanding leases settled
+    // (no-op without leases). Values are adopted immediately either way —
+    // only the ack, i.e. the writer's completion, is gated. next_cs are
+    // sampled at send time: a put-config landing during a settle window is
+    // then visible in the ack hints.
+    sim::Process* proc = &ctx.process;
+    sim::Message saved = msg;
+    auto pending = std::make_shared<std::size_t>(put->items.size() + 1);
+    auto finish = [proc, saved, put, pending] {
+      if (--*pending != 0) return;
+      auto reply = std::make_shared<PutBatchReply>();
+      reply->next_cs.reserve(put->items.size());
+      for (const auto& item : put->items) {
+        reply->next_cs.push_back(
+            proc->next_config_hint(put->config, item.object));
+      }
+      proc->reply_to(saved, std::move(reply));
+    };
+    for (const auto& item : put->items) {
+      settle_leases(ctx, item.object, item.tag, msg.from, finish);
+    }
+    finish();  // the +1 guard: fire only after every settle registered
     return true;
   }
 
   return false;
+}
+
+// ---------------------------------------------------------------------------
+// Per-object read leases (see dap_server.hpp for the protocol contract)
+// ---------------------------------------------------------------------------
+
+SimTime DapServer::maybe_grant_lease(ServerContext& ctx, ObjectId obj,
+                                     ProcessId client, Tag tag) {
+  if (!ctx.config.leases_on()) return 0;
+  // Never mint a lease under a superseded configuration: once this server
+  // knows a successor, writes may already be completing in it, unseen by
+  // this configuration's settle gates.
+  if (ctx.process.next_config_hint(ctx.config.id, obj).valid()) return 0;
+  const SimTime expiry =
+      ctx.process.simulator().now() + ctx.config.lease_ms;
+  leases_[obj][client] = LeaseRecord{tag, expiry};
+  return expiry;
+}
+
+std::size_t DapServer::lease_count(ObjectId obj, SimTime now) const {
+  auto it = leases_.find(obj);
+  if (it == leases_.end()) return 0;
+  std::size_t n = 0;
+  for (const auto& [holder, rec] : it->second) {
+    if (rec.expiry > now) ++n;
+  }
+  return n;
+}
+
+void DapServer::settle_leases(ServerContext& ctx, ObjectId obj, Tag tag,
+                              ProcessId writer, std::function<void()> done) {
+  auto table_it = leases_.find(obj);
+  if (table_it == leases_.end()) {
+    done();
+    return;
+  }
+  sim::Simulator& sim = ctx.process.simulator();
+  const SimTime now = sim.now();
+  auto& table = table_it->second;
+  std::erase_if(table, [now](const auto& kv) {
+    return kv.second.expiry <= now;  // opportunistic GC of expired grants
+  });
+
+  std::vector<ProcessId> holders;
+  SimTime until = now;
+  for (const auto& [holder, rec] : table) {
+    if (holder == writer) continue;  // the writer's own stale lease is
+                                     // poisoned client-side at write start
+    if (rec.tag >= tag) continue;    // lease already covers this tag
+    holders.push_back(holder);
+    until = std::max(until, rec.expiry);
+  }
+  if (holders.empty()) {
+    done();
+    return;
+  }
+
+  if (ctx.config.lease_policy == LeasePolicy::kWait) {
+    // Timer-based settlement: by `until` every colliding window has
+    // expired on the grantor's clock, and holders stop serving ε earlier
+    // on their own (see AresClient's skew guard).
+    sim.schedule_at(until, std::move(done));
+    return;
+  }
+
+  // kInvalidate: push an invalidation to every holder; release on the last
+  // ack or at window expiry, whichever first (a crashed holder never acks,
+  // so the expiry fallback bounds the writer's wait by the lease window).
+  struct Settle {
+    std::size_t remaining = 0;
+    bool fired = false;
+    std::function<void()> done;
+  };
+  auto st = std::make_shared<Settle>();
+  st->remaining = holders.size();
+  st->done = std::move(done);
+  for (ProcessId holder : holders) {
+    auto inv = std::make_shared<LeaseInvalidateMsg>();
+    inv->config = ctx.config.id;
+    inv->object = obj;
+    inv->tag = tag;
+    // The ack only releases THIS settle — the record stays until it
+    // expires. Erasing it here would be unsound: the holder may have had a
+    // same-round grant still in flight when it acked (it fenced only tags
+    // *below* ours and can legitimately install a lease AT our tag the
+    // moment our own write's pair reaches it), and that install counts
+    // this server in its backing quorum. A record that outlives every
+    // lease it could back merely costs later writers one idempotent
+    // re-invalidation; a record erased under a live lease lets a later
+    // write assemble an ack quorum with no enforcing member — a stale
+    // local read after the write completed.
+    ctx.process.call_async(holder, std::move(inv),
+                           [st](sim::BodyPtr) {
+                             if (!st->fired && --st->remaining == 0) {
+                               st->fired = true;
+                               st->done();
+                             }
+                           });
+  }
+  sim.schedule_at(until, [st] {
+    if (!st->fired) {
+      st->fired = true;
+      st->done();
+    }
+  });
 }
 
 }  // namespace ares::dap

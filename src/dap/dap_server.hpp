@@ -18,6 +18,7 @@
 #include "sim/message.hpp"
 #include "sim/process.hpp"
 
+#include <functional>
 #include <map>
 #include <memory>
 
@@ -57,6 +58,39 @@ class DapServer {
   /// whole-replica primitives (QueryBatchReq / PutBatchReq).
   [[nodiscard]] virtual bool supports_batch() const { return false; }
 
+  // --- per-object read leases ----------------------------------------------
+  //
+  // The grant is this server's promise not to let a put-data (or
+  // put-config) carrying a tag newer than the grant tag complete through
+  // *its* ack before the lease is settled — expired, or invalidated with
+  // the holder's ack, per the configuration's LeasePolicy. Clients only
+  // trust leases granted by a full quorum in one round, so every put ack
+  // quorum intersects the grant set and at least one enforcing server
+  // gates the put. State lives here, in the protocol-agnostic base, so the
+  // reconfiguration service (put-config on the hosting AresServer) can
+  // settle leases of any protocol's DAP state through the same table.
+
+  /// Grant (or renew) a read lease on `obj` to `client`, recording the
+  /// server's current `tag` for the object. Returns the grant expiry, or 0
+  /// when the configuration grants no leases or a successor configuration
+  /// is already known (leases are never minted under a superseded
+  /// configuration).
+  [[nodiscard]] SimTime maybe_grant_lease(ServerContext& ctx, ObjectId obj,
+                                          ProcessId client, Tag tag);
+
+  /// Settle every outstanding lease on `obj` whose grant tag is older than
+  /// `tag` (holders other than `writer`), then run `done` — immediately
+  /// when nothing is outstanding; after the windows expired (kWait); or
+  /// after every holder acked an invalidation or its window expired,
+  /// whichever first (kInvalidate — a crashed holder delays `done` by at
+  /// most its remaining window). Pass kMaxTag to settle all leases
+  /// regardless of grant tag (reconfiguration revocation).
+  void settle_leases(ServerContext& ctx, ObjectId obj, Tag tag,
+                     ProcessId writer, std::function<void()> done);
+
+  /// Outstanding (unexpired) lease records on `obj` (tests/diagnostics).
+  [[nodiscard]] std::size_t lease_count(ObjectId obj, SimTime now) const;
+
  protected:
   /// Absorb the confirmation evidence carried by `msg` (every request's
   /// confirmed_hint, per-member hints of a QueryBatchReq; a standalone
@@ -86,7 +120,14 @@ class DapServer {
  private:
   void raise_confirmed(ObjectId obj, Tag tag);
 
+  /// One granted lease: the server tag at grant time and the window end.
+  struct LeaseRecord {
+    Tag tag;
+    SimTime expiry = 0;
+  };
+
   std::map<ObjectId, Tag> confirmed_;
+  std::map<ObjectId, std::map<ProcessId, LeaseRecord>> leases_;
 };
 
 }  // namespace ares::dap

@@ -23,6 +23,28 @@ class ConfirmMsg final : public sim::RpcRequest {
   }
 };
 
+/// LEASE-INVALIDATE ⟨τ⟩ (server → lease holder, kInvalidate policy): a
+/// put-data (or put-config) carrying a tag newer than the holder's grant is
+/// waiting at the sending server. The holder poisons its local lease cache
+/// for (config, object), raises its per-configuration install fence to τ —
+/// so a grant still in flight from before the invalidation can never be
+/// installed afterwards — and acks. The server releases the pending put
+/// once every holder acked or its window expired, whichever comes first.
+class LeaseInvalidateMsg final : public sim::RpcRequest {
+ public:
+  Tag tag;
+  [[nodiscard]] std::string_view type_name() const override {
+    return "dap.lease_invalidate";
+  }
+};
+
+class LeaseInvalidateAck final : public sim::RpcReply {
+ public:
+  [[nodiscard]] std::string_view type_name() const override {
+    return "dap.lease_invalidate_ack";
+  }
+};
+
 /// Broadcast one shared CONFIRM ⟨τ⟩ body to `servers` (no acks awaited —
 /// zero rounds added to the completing operation).
 inline void broadcast_confirm(sim::Process& owner, ConfigId config,
@@ -53,6 +75,9 @@ class QueryBatchReq final : public sim::RpcRequest {
   std::vector<ObjectId> objects;
   std::vector<Tag> confirmed_hints;  // parallel to objects, or empty
   bool tags_only = false;
+  /// Ask for per-member read-lease grants (readers that can install them
+  /// only — a recorded grant is an enforced promise that stalls writers).
+  bool want_leases = false;
   [[nodiscard]] std::size_t metadata_bytes() const override {
     return 32 + 16 * objects.size();
   }
@@ -70,6 +95,12 @@ struct BatchQueryItem {
   ValuePtr value;  // null under tags_only
   Tag confirmed;   // server's quorum-propagated tag for the object
   CseqEntry next_c;
+  /// Read-lease grant expiry for (object, requester), 0 = no grant. On the
+  /// wire: this server's promise; in a batch_get_data result: the min
+  /// expiry across a full quorum of granting replies (0 unless a quorum
+  /// granted — only a quorum-backed lease may be trusted, since the settle
+  /// gate relies on every put quorum intersecting the grant set).
+  SimTime lease_expiry = 0;
 };
 
 class QueryBatchReply final : public sim::RpcReply {

@@ -20,6 +20,8 @@ AresCluster::AresCluster(AresClusterOptions options)
   c0.delta = options_.delta;
   c0.treas_retry_timeout = options_.treas_retry_timeout;
   c0.semifast = options_.semifast;
+  c0.lease_ms = options_.lease_ms;
+  c0.lease_policy = options_.lease_policy;
   for (std::size_t i = 0; i < options_.initial_servers; ++i) {
     c0.servers.push_back(static_cast<ProcessId>(i));
   }
@@ -35,6 +37,7 @@ AresCluster::AresCluster(AresClusterOptions options)
     clients_.push_back(std::make_unique<reconfig::AresClient>(
         sim_, net_, next_pid++, registry_, /*c0=*/0, &history_));
     clients_.back()->set_fast_path(options_.fast_path);
+    clients_.back()->set_lease_epsilon(options_.lease_epsilon);
     stores_.push_back(std::make_unique<api::AresStore>(*clients_.back()));
   }
   for (std::size_t i = 0; i < options_.num_reconfigurers; ++i) {
@@ -46,6 +49,7 @@ AresCluster::AresCluster(AresClusterOptions options)
           sim_, net_, next_pid++, registry_, /*c0=*/0, nullptr));
     }
     reconfigurers_.back()->set_fast_path(options_.fast_path);
+    reconfigurers_.back()->set_lease_epsilon(options_.lease_epsilon);
     reconfigurer_stores_.push_back(
         std::make_unique<api::AresStore>(*reconfigurers_.back()));
   }
@@ -62,6 +66,8 @@ dap::ConfigSpec AresCluster::make_spec(dap::Protocol protocol,
   spec.delta = options_.delta;
   spec.treas_retry_timeout = options_.treas_retry_timeout;
   spec.semifast = options_.semifast;
+  spec.lease_ms = options_.lease_ms;
+  spec.lease_policy = options_.lease_policy;
   for (std::size_t i = 0; i < n; ++i) {
     spec.servers.push_back(static_cast<ProcessId>(
         (first_server + i) % options_.server_pool));

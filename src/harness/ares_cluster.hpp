@@ -51,6 +51,15 @@ struct AresClusterOptions {
   bool fast_path = true;
   bool semifast = true;
 
+  /// Per-object read leases in every configuration spec the cluster mints
+  /// (0 = off): lease-holding clients serve reads entirely locally — zero
+  /// quorum rounds — until a writer settles the window per `lease_policy`
+  /// or a reconfiguration revokes it. `lease_epsilon` is the clock-skew
+  /// bound ε every client subtracts from its grant windows.
+  SimDuration lease_ms = 0;
+  dap::LeasePolicy lease_policy = dap::LeasePolicy::kInvalidate;
+  SimDuration lease_epsilon = 0;
+
   SimDuration min_delay = 10;  // d
   SimDuration max_delay = 40;  // D
   std::uint64_t seed = 1;

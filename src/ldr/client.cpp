@@ -27,7 +27,9 @@ sim::Future<Tag> LdrDap::get_tag() {
   co_return max;
 }
 
-sim::Future<dap::GetDataResult> LdrDap::get_data_confirmed() {
+sim::Future<dap::GetDataResult> LdrDap::get_data_confirmed(
+    bool want_lease) {
+  (void)want_lease;  // role-split protocols grant no read leases
   // Phase 1: ⟨τmax, Umax⟩ from a directory majority.
   auto q1req = std::make_shared<QueryTagLocReq>();
   q1req->config = spec_.id;

@@ -7,6 +7,13 @@
 // object's state and the per-object cseq does the rest). Programs against
 // the capability-gated ares::Store surface, so any reconfigurable store
 // flavor plugs in.
+//
+// Read leases and rebalancing compose safely without any coupling here:
+// the migration's put-config round settles every outstanding lease on the
+// hot object before it completes (servers stop granting the moment their
+// nextC is set), and clients poison their lease cache as soon as a hint or
+// traversal reveals the successor configuration — so a mid-migration read
+// is never served from a lease minted under the superseded shard.
 #pragma once
 
 #include "api/store.hpp"

@@ -54,6 +54,7 @@ class Process {
   [[nodiscard]] ProcessId id() const { return id_; }
   [[nodiscard]] bool crashed() const { return crashed_; }
   [[nodiscard]] Simulator& simulator() { return sim_; }
+  [[nodiscard]] const Simulator& simulator() const { return sim_; }
   [[nodiscard]] Network& network() { return net_; }
 
   /// Entry point used by the network. Routes RPC replies to pending calls

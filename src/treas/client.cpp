@@ -110,7 +110,9 @@ sim::Future<Tag> TreasDap::get_tag() {
   co_return max;
 }
 
-sim::Future<dap::GetDataResult> TreasDap::get_data_confirmed() {
+sim::Future<dap::GetDataResult> TreasDap::get_data_confirmed(
+    bool want_lease) {
+  (void)want_lease;  // coded protocols grant no read leases
   const std::size_t q = spec_.quorum_size();
   const std::size_t k = spec_.k;
   for (std::size_t attempt = 0;; ++attempt) {

@@ -16,7 +16,8 @@ class TreasDap final : public dap::Dap {
            ObjectId object = kDefaultObject);
 
   [[nodiscard]] sim::Future<Tag> get_tag() override;
-  [[nodiscard]] sim::Future<dap::GetDataResult> get_data_confirmed() override;
+  [[nodiscard]] sim::Future<dap::GetDataResult> get_data_confirmed(
+      bool want_lease) override;
   [[nodiscard]] sim::Future<void> put_data(TagValue tv) override;
 
   /// Metadata-only variant of get-data used by ARES-TREAS reconfiguration:
