@@ -13,6 +13,7 @@
 // the read-heavy scenario cuts mean read latency by less than 80%.
 #include "harness/ares_cluster.hpp"
 #include "harness/json.hpp"
+#include "harness/metrics_json.hpp"
 #include "harness/table.hpp"
 #include "harness/workload.hpp"
 
@@ -139,6 +140,7 @@ harness::Json metrics_json(const RunResult& r, const Percentiles& p) {
       .set("read_messages_per_op", r.wl.mean_messages(false))
       .set("read_bytes_per_op", r.wl.mean_bytes(false))
       .set("local_read_fraction", r.local_read_fraction)
+      .set("latency_by_class", harness::latency_by_class_json(r.wl))
       .set("ops", r.wl.ops.size())
       .set("atomicity", r.atomic_ok);
   return j;

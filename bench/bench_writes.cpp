@@ -1,0 +1,207 @@
+// The write path after fenced transfer reads: steady-state ABD writes are
+// get-tag + put-data — 2 quorum rounds — with the post-put config check
+// elided (the fence on reconfigurers' transfer reads is what makes the
+// elision safe). Write-ack leases ride the put acks, and adaptive lease
+// windows shrink with an object's write share so kWait writers stop
+// stalling on windows nobody should have been granted.
+//
+// Sweep: lease policy x read/write mix x window length, including the
+// adaptive setting. Emits BENCH_writes.json.
+//
+// Exits non-zero if atomicity fails anywhere, if the quiescent scenarios'
+// mean write rounds exceed 2.2 (the 2-round claim, with slack for cold
+// starts and config discovery), or if the adaptive kWait deployment does
+// not beat the fixed-window write p99 of 951 measured by bench_leases'
+// writes_wait scenario (the PR-5 stall this change exists to remove).
+#include "dap/config.hpp"
+#include "harness/ares_cluster.hpp"
+#include "harness/json.hpp"
+#include "harness/metrics_json.hpp"
+#include "harness/table.hpp"
+#include "harness/workload.hpp"
+
+#include <cstdio>
+#include <string>
+
+namespace {
+
+using namespace ares;
+
+/// bench_leases writes_wait (fixed 1000 ms windows, kWait): write p99.
+constexpr double kFixedWaitWriteP99Baseline = 951.0;
+
+struct Scenario {
+  std::string name;
+  double write_fraction = 0.20;
+  SimDuration lease_ms = 0;  // 0 = leases off
+  dap::LeasePolicy policy = dap::LeasePolicy::kInvalidate;
+  bool adaptive = false;
+  bool churn = false;
+  /// Quiescent steady state: this scenario's mean write rounds gate the
+  /// 2-round claim.
+  bool gate_rounds = false;
+};
+
+struct RunResult {
+  harness::WorkloadResult wl;
+  bool atomic_ok = false;
+};
+
+sim::Future<void> churn_loop(harness::AresCluster* cluster, bool* done) {
+  for (int i = 0; i < 3; ++i) {
+    co_await sim::sleep_for(cluster->sim(), 1'500);
+    auto spec = cluster->make_spec(
+        i % 2 == 0 ? dap::Protocol::kAbd : dap::Protocol::kTreas,
+        static_cast<std::size_t>(1 + 2 * i), 5, i % 2 == 0 ? 1 : 3);
+    (void)co_await cluster->reconfigurer(0).reconfig(spec);
+  }
+  *done = true;
+  co_return;
+}
+
+RunResult run_once(const Scenario& sc) {
+  harness::AresClusterOptions o;
+  o.server_pool = 12;
+  o.initial_protocol = dap::Protocol::kAbd;
+  o.initial_servers = 5;
+  o.num_rw_clients = 4;
+  o.num_reconfigurers = 1;
+  o.num_objects = 8;
+  o.seed = 42;
+  o.fast_path = true;
+  o.semifast = true;
+  o.lease_ms = sc.lease_ms;
+  o.lease_policy = sc.policy;
+  o.lease_adaptive = sc.adaptive;
+  harness::AresCluster cluster(o);
+
+  bool churn_done = !sc.churn;
+  if (sc.churn) sim::detach(churn_loop(&cluster, &churn_done));
+
+  harness::WorkloadOptions w;
+  w.ops_per_client = 300;
+  w.write_fraction = sc.write_fraction;
+  w.value_size = 256;
+  w.num_objects = o.num_objects;
+  w.key_distribution = harness::KeyDistribution::kZipfian;
+  w.zipf_s = 1.2;
+  w.seed = 7;
+
+  RunResult r;
+  r.wl = cluster.run_multi_object_workload(w);
+  r.atomic_ok = r.wl.completed && r.wl.failures == 0 &&
+                cluster.sim().run_until([&] { return churn_done; });
+  for (const auto& [obj, verdict] : cluster.check_atomicity_per_object()) {
+    r.atomic_ok = r.atomic_ok && verdict.ok;
+  }
+  return r;
+}
+
+harness::Json metrics_json(const RunResult& r) {
+  harness::Json j;
+  j.set("latency_by_class", harness::latency_by_class_json(r.wl))
+      .set("read_mean_latency", r.wl.mean_latency(false))
+      .set("write_mean_latency", r.wl.mean_latency(true))
+      .set("write_rounds_per_op", r.wl.mean_rounds(true))
+      .set("write_elided_rounds_per_op", r.wl.mean_elided_rounds(true))
+      .set("read_rounds_per_op", r.wl.mean_rounds(false))
+      .set("write_messages_per_op", r.wl.mean_messages(true))
+      .set("write_bytes_per_op", r.wl.mean_bytes(true))
+      .set("ops", r.wl.ops.size())
+      .set("atomicity", r.atomic_ok);
+  return j;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : std::string("BENCH_writes.json");
+
+  std::printf(
+      "Two-round writes under fenced transfer reads: ABD[5] initial\n"
+      "config, pool 12, 4 clients x 300 ops, 8 objects (Zipfian s=1.2),\n"
+      "256 B values. Writes = get-tag + put-data; the post-put config\n"
+      "check is elided and accounted under elided rounds.\n\n");
+
+  const Scenario scenarios[] = {
+      {"mixed_nolease", 0.20, 0, dap::LeasePolicy::kInvalidate, false, false,
+       true},
+      {"write_heavy_nolease", 0.80, 0, dap::LeasePolicy::kInvalidate, false,
+       false, true},
+      {"writes_wait_fixed", 0.20, 1'000, dap::LeasePolicy::kWait, false,
+       false, false},
+      {"writes_wait_adaptive", 0.20, 1'000, dap::LeasePolicy::kWait, true,
+       false, false},
+      {"writes_invalidate_adaptive", 0.20, 200'000,
+       dap::LeasePolicy::kInvalidate, true, false, false},
+      {"churn_mixed", 0.20, 0, dap::LeasePolicy::kInvalidate, false, true,
+       false},
+  };
+
+  harness::Table table({"scenario", "write mean", "write p99", "write rnd/op",
+                        "elided/op", "read mean", "atomicity"});
+  harness::Json doc;
+  doc.set("bench", "writes");
+  auto arr = harness::Json::array();
+
+  bool all_atomic = true;
+  bool rounds_ok = true;
+  double wait_fixed_p99 = 0;
+  double wait_adaptive_p99 = 0;
+  for (const auto& sc : scenarios) {
+    const RunResult r = run_once(sc);
+    all_atomic = all_atomic && r.atomic_ok;
+
+    const double write_p99 =
+        r.wl.class_latency_percentiles(harness::OpClass::kWrite, {99})[0];
+    const double write_rounds = r.wl.mean_rounds(true);
+    if (sc.gate_rounds && write_rounds > 2.2) rounds_ok = false;
+    if (sc.name == "writes_wait_fixed") wait_fixed_p99 = write_p99;
+    if (sc.name == "writes_wait_adaptive") wait_adaptive_p99 = write_p99;
+
+    table.add_row(sc.name, harness::fmt(r.wl.mean_latency(true), 1),
+                  harness::fmt(write_p99, 0), harness::fmt(write_rounds),
+                  harness::fmt(r.wl.mean_elided_rounds(true)),
+                  harness::fmt(r.wl.mean_latency(false), 1),
+                  r.atomic_ok ? "PASS" : "FAIL");
+
+    harness::Json entry;
+    entry.set("name", sc.name)
+        .set("write_fraction", sc.write_fraction)
+        .set("lease_ms", sc.lease_ms)
+        .set("lease_policy", dap::lease_policy_name(sc.policy))
+        .set("lease_adaptive", sc.adaptive)
+        .set("churn", sc.churn)
+        .set("metrics", metrics_json(r));
+    arr.push(std::move(entry));
+  }
+  doc.set("scenarios", std::move(arr));
+  doc.set("wait_fixed_write_p99", wait_fixed_p99);
+  doc.set("wait_adaptive_write_p99", wait_adaptive_p99);
+  doc.set("fixed_wait_write_p99_baseline", kFixedWaitWriteP99Baseline);
+
+  table.print();
+  std::printf(
+      "\nkWait write p99: fixed window %.0f, adaptive windows %.0f "
+      "(PR-5 fixed baseline %.0f)\n",
+      wait_fixed_p99, wait_adaptive_p99, kFixedWaitWriteP99Baseline);
+  harness::write_json_file(out_path, doc);
+
+  if (!all_atomic) {
+    std::printf("FAIL: atomicity violated in at least one scenario\n");
+    return 1;
+  }
+  if (!rounds_ok) {
+    std::printf("FAIL: quiescent mean write rounds above 2.2\n");
+    return 1;
+  }
+  if (wait_adaptive_p99 >= kFixedWaitWriteP99Baseline) {
+    std::printf(
+        "FAIL: adaptive kWait write p99 (%.0f) does not beat the fixed "
+        "baseline (%.0f)\n",
+        wait_adaptive_p99, kFixedWaitWriteP99Baseline);
+    return 1;
+  }
+  return 0;
+}

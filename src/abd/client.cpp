@@ -61,16 +61,82 @@ sim::Future<dap::GetDataResult> AbdDap::get_data_confirmed(
   co_return result;
 }
 
+sim::Future<TagValue> AbdDap::get_data_fenced() {
+  auto req = std::make_shared<QueryReq>();
+  req->config = spec_.id;
+  req->object = object();
+  req->confirmed_hint = confirmed_tag();
+  auto qc = sim::broadcast_collect<QueryReply>(owner_, spec_.servers,
+                                               std::move(req));
+  // Fence: besides a plain quorum, require a quorum of replies whose
+  // server has installed (and echoes) a successor pointer for the object.
+  // Such a reply fixes an order against any concurrent write in this
+  // configuration: the server either processed the write's put-data before
+  // replying here (we see tag ≥ τ_w below), or it replied first — and then
+  // its put ack carries the successor, so the writer does not elide its
+  // config check and discovers the transfer. Either way every put-data
+  // whose post-put round was elided is visible to this read, which is what
+  // makes the elision safe. Liveness: the reconfiguration completed
+  // put-config to a quorum before calling us (Alg. 5 phases 1–2), so a
+  // quorum of live servers does echo the pointer.
+  using Arrivals =
+      std::vector<typename sim::QuorumCollector<QueryReply>::Arrival>;
+  const std::size_t q = spec_.quorum_size();
+  // Hoisted per the GCC-12 note in sim/coro.hpp: no temporaries inside the
+  // co_await expression.
+  std::function<bool(const Arrivals&)> fenced = [q](const Arrivals& as) {
+    if (as.size() < q) return false;
+    std::size_t with_next = 0;
+    for (const auto& a : as) {
+      if (a.reply->next_c.valid()) ++with_next;
+    }
+    return with_next >= q;
+  };
+  co_await qc.wait(fenced);
+  TagValue best{kInitialTag, nullptr};
+  for (const auto& a : qc.arrivals()) {
+    if (a.reply->tag > best.tag ||
+        (a.reply->tag == best.tag && !best.value)) {
+      best = TagValue{a.reply->tag, a.reply->value};
+    }
+  }
+  co_return best;
+}
+
 sim::Future<void> AbdDap::put_data(TagValue tv) {
+  co_await put_data_leased(std::move(tv), /*want_lease=*/false);
+  co_return;
+}
+
+sim::Future<dap::PutDataResult> AbdDap::put_data_leased(TagValue tv,
+                                                        bool want_lease) {
   auto req = std::make_shared<WriteReq>();
   req->config = spec_.id;
   req->object = object();
   req->confirmed_hint = confirmed_tag();
   req->tag = tv.tag;
   req->value = tv.value;
+  req->want_lease = want_lease;
   auto qc = sim::broadcast_collect<WriteAck>(owner_, spec_.servers,
                                              std::move(req));
   co_await qc.wait_for(spec_.quorum_size());
+  dap::PutDataResult result;
+  if (want_lease) {
+    // Same full-quorum rule as read leases: only when *every* counted ack
+    // granted is the lease enforceable, because then any later put's ack
+    // quorum intersects the grant set. Each grant also certifies that at
+    // ack time our pair was that server's current register, so the cached
+    // value cannot be stale (see WriteAck::lease_expiry).
+    std::size_t grants = 0;
+    SimTime grant_expiry = std::numeric_limits<SimTime>::max();
+    for (const auto& a : qc.arrivals()) {
+      if (a.reply->lease_expiry > 0) {
+        ++grants;
+        grant_expiry = std::min(grant_expiry, a.reply->lease_expiry);
+      }
+    }
+    if (grants >= spec_.quorum_size()) result.lease_expiry = grant_expiry;
+  }
   // ⟨τ, v⟩ now rests at a quorum: remember it and tell the servers, so
   // subsequent reads (ours via the piggybacked hint, anyone's via the
   // broadcast) can skip their write-back.
@@ -78,7 +144,7 @@ sim::Future<void> AbdDap::put_data(TagValue tv) {
   if (spec_.semifast) {
     dap::broadcast_confirm(owner_, spec_.id, object(), tv.tag, spec_.servers);
   }
-  co_return;
+  co_return result;
 }
 
 }  // namespace ares::abd

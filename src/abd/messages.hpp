@@ -54,10 +54,14 @@ class QueryReply final : public sim::RpcReply {
 };
 
 /// WRITE ⟨τ, v⟩: server adopts the pair if τ is newer, then acks.
+/// `want_lease` asks for a write-ack lease grant riding the ack: the
+/// writer's promise window on its own just-written pair (only set by
+/// writers that can install it — steady single-configuration state).
 class WriteReq final : public sim::RpcRequest {
  public:
   Tag tag;
   ValuePtr value;
+  bool want_lease = false;
   [[nodiscard]] std::size_t data_bytes() const override {
     return value ? value->size() : 0;
   }
@@ -68,6 +72,12 @@ class WriteReq final : public sim::RpcRequest {
 
 class WriteAck final : public sim::RpcReply {
  public:
+  /// Write-ack lease grant expiry for (object, writer); 0 = no grant
+  /// (leases off, not asked, a successor configuration already known, or
+  /// the written tag is no longer this server's maximum — a grant is only
+  /// minted when the ack'd pair IS the server's current register, so the
+  /// writer's cached pair can never be older than any granting server's).
+  SimTime lease_expiry = 0;
   [[nodiscard]] std::string_view type_name() const override {
     return "abd.write_ack";
   }

@@ -51,6 +51,7 @@ bool AbdServerState::handle(dap::ServerContext& ctx, const sim::Message& msg) {
     return true;
   }
   if (auto query = std::dynamic_pointer_cast<const QueryReq>(msg.body)) {
+    note_mix(req->object, /*is_write=*/false);
     auto reply = std::make_shared<QueryReply>();
     reply->tag = r.tag;
     reply->value = r.value;
@@ -63,18 +64,36 @@ bool AbdServerState::handle(dap::ServerContext& ctx, const sim::Message& msg) {
     return true;
   }
   if (auto write = std::dynamic_pointer_cast<const WriteReq>(msg.body)) {
+    note_mix(req->object, /*is_write=*/true);
     if (write->tag > r.tag) {
       r.tag = write->tag;
       r.value = write->value;
     }
     // Adopt immediately, but withhold the ack — i.e. the writer's
     // completion — until every read lease granted at an older tag has
-    // settled (no-op without leases; see DapServer::settle_leases).
+    // settled (no-op without leases; see DapServer::settle_leases). The
+    // ServerContext lives on the caller's stack, so the callback captures
+    // its stable pieces and rebuilds one for the grant path.
     sim::Process* proc = &ctx.process;
     sim::Message saved = msg;
-    settle_leases(ctx, req->object, write->tag, msg.from, [proc, saved] {
-      proc->reply_to(saved, std::make_shared<WriteAck>());
-    });
+    settle_leases(
+        ctx, req->object, write->tag, msg.from,
+        [this, proc, saved, spec = &ctx.config, registry = &ctx.registry,
+         obj = req->object, tag = write->tag, from = msg.from,
+         want = write->want_lease] {
+          auto reply = std::make_shared<WriteAck>();
+          // Write-ack lease grant, only when the written pair IS still this
+          // server's current register at ack time (see
+          // WriteAck::lease_expiry): if a concurrent newer write landed
+          // first, refusing here keeps the slower writer from caching a
+          // superseded pair under an enforceable lease; if it lands after,
+          // settle_leases gates its ack on this very grant.
+          if (want && reg(obj).tag == tag) {
+            dap::ServerContext ctx2{*proc, *spec, *registry};
+            reply->lease_expiry = maybe_grant_lease(ctx2, obj, from, tag);
+          }
+          proc->reply_to(saved, std::move(reply));
+        });
     return true;
   }
   return false;

@@ -38,11 +38,13 @@ void detail::amortize(std::vector<OpResult>& results, const OpMetrics& total) {
   if (results.empty()) return;
   const auto n = static_cast<std::uint64_t>(results.size());
   for (auto& r : results) {
-    r.metrics = {total.rounds / n, total.messages / n, total.bytes / n};
+    r.metrics = {total.rounds / n, total.messages / n, total.bytes / n,
+                 total.elided_rounds / n};
   }
   results.front().metrics.rounds += total.rounds % n;
   results.front().metrics.messages += total.messages % n;
   results.front().metrics.bytes += total.bytes % n;
+  results.front().metrics.elided_rounds += total.elided_rounds % n;
 }
 
 }  // namespace ares::api

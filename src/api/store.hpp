@@ -35,6 +35,10 @@ struct OpMetrics {
   std::uint64_t rounds = 0;
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
+  /// Quorum rounds the protocol proved unnecessary and elided locally
+  /// (e.g. a write's post-put config check under fenced transfer reads) —
+  /// work the operation would have cost without the fast paths.
+  std::uint64_t elided_rounds = 0;
 
   /// True when the operation's measured share is zero rounds and zero
   /// messages. For a *scalar* operation that means it touched no server at
@@ -109,11 +113,13 @@ struct TrafficSample {
   std::uint64_t rounds = 0;
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
+  std::uint64_t elided = 0;
 };
 
 [[nodiscard]] inline TrafficSample sample(const sim::TrafficStats* t) {
   if (t == nullptr) return {};
-  return {t->quorum_rounds, t->messages_sent, t->bytes_total()};
+  return {t->quorum_rounds, t->messages_sent, t->bytes_total(),
+          t->rounds_elided};
 }
 
 [[nodiscard]] inline OpMetrics delta(const TrafficSample& before,
@@ -121,7 +127,8 @@ struct TrafficSample {
   if (t == nullptr) return {};
   return {t->quorum_rounds - before.rounds,
           t->messages_sent - before.messages,
-          t->bytes_total() - before.bytes};
+          t->bytes_total() - before.bytes,
+          t->rounds_elided - before.elided};
 }
 
 /// Spread a batch's total cost across `results` (amortized per-member

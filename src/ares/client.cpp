@@ -366,17 +366,38 @@ sim::Future<Tag> AresClient::write_core(ObjectId obj, ValuePtr value,
   }
 
   // Propagate into the last configuration until the sequence stops growing.
-  // The explicit read-config after put-data is NOT elidable: piggybacked
-  // hints are sampled at each server's ack time, which may precede a
-  // concurrent put-config's completion — a reconfiguration racing the put
-  // could then transfer state without this write's tag while the write
-  // completes hint-free (see FastPath.WriteDiscoversReconfigCompleting-
-  // DuringPutRound). Sampling a nextC quorum *after* the put completed
-  // (exactly what this round does) closes that window; making the round
-  // elidable requires fenced transfer reads (see ROADMAP).
+  // Under fenced transfer reads the explicit post-put read-config IS
+  // elidable when the ack quorum came back hint-free: every transfer read
+  // of a racing reconfiguration waits for a quorum of servers that have
+  // *installed* the successor pointer, and that quorum intersects our put
+  // ack quorum — the intersection server either acked our put before its
+  // fenced reply (the transfer observes tw) or replied fenced first, in
+  // which case its ack to us carries the pointer and we take the explicit
+  // round after all (see FastPath.WriteDiscoversReconfigCompleting-
+  // DuringPutRound for the adversarial schedule). LDR tails never elide
+  // (tail_covers_hints is false), so LDR sources need no fence.
   TagValue to_write{tw, value};  // named: see GCC-12 note in sim/coro.hpp
   for (;;) {
-    co_await dap_for(obj, cseq(obj)[v].cfg)->put_data(to_write);
+    const ConfigId vcfg = cseq(obj)[v].cfg;
+    // Ask for a write-ack lease only in the single-tail steady state the
+    // install premise needs (mirrors the read path's want_lease condition).
+    const bool want_lease = fast_path_ && obj_state(obj).synced &&
+                            mu(obj) == v && tail_covers_hints(obj);
+    auto put_fut =
+        dap_for(obj, vcfg)->put_data_leased(to_write, want_lease);
+    const dap::PutDataResult pr = co_await put_fut;
+    ObjectState& st = obj_state(obj);
+    if (fast_path_ && st.synced && nu(obj) == v && tail_covers_hints(obj)) {
+      note_round_elided();
+      // Write-ack lease: a full quorum granted on the ack, certifying our
+      // pair is each granting server's current register — the writer
+      // immediately re-leases its own value.
+      if (pr.lease_expiry > 0 && mu(obj) == nu(obj) &&
+          st.cseq.back().cfg == vcfg) {
+        install_lease(obj, vcfg, to_write, pr.lease_expiry);
+      }
+      break;
+    }
     co_await read_config(obj);
     if (nu(obj) == v) break;
     v = nu(obj);
@@ -462,6 +483,13 @@ sim::Future<TagValue> AresClient::read_core(ObjectId obj) {
   if (!skip_write_back) {
     for (;;) {
       co_await dap_for(obj, cseq(obj)[v].cfg)->put_data(best);
+      // Same fence-backed elision as the write path: a hint-free put ack
+      // quorum proves no racing transfer can have missed this tag.
+      ObjectState& st = obj_state(obj);
+      if (fast_path_ && st.synced && nu(obj) == v && tail_covers_hints(obj)) {
+        note_round_elided();
+        break;
+      }
       co_await read_config(obj);
       if (nu(obj) == v) break;
       v = nu(obj);
@@ -634,20 +662,27 @@ sim::Future<std::vector<TagValue>> AresClient::read_batch(
     if (!wb.empty()) {
       // One put round writes every non-confirmed pair back...
       auto put_fut = dap::batch_put_data(*this, spec, wb);
-      auto ack_hints = co_await put_fut;
+      auto ack = co_await put_fut;
       for (std::size_t j = 0; j < wb.size(); ++j) {
-        if (ack_hints[j].valid()) {
-          note_config_hint(cfg, wb[j].object, ack_hints[j]);
+        if (ack.next_cs[j].valid()) {
+          note_config_hint(cfg, wb[j].object, ack.next_cs[j]);
         }
       }
-      // ...and one batched config check replaces the per-object trailing
-      // read-config (mandatory: ack-time hints can miss a put-config
-      // completing mid-round — see write()).
-      std::vector<ObjectId> wb_objs;
-      wb_objs.reserve(wb.size());
-      for (const auto& p : wb) wb_objs.push_back(p.object);
-      auto check_fut = read_config_batch(cfg, wb_objs);
-      auto nexts = co_await check_fut;
+      // ...and the batched post-put config check — elided under the fast
+      // path: fenced transfer reads guarantee any racing reconfiguration
+      // either observes these tags or leaves a pointer in the ack hints
+      // just absorbed (see write_core); members whose hints fired fall
+      // through to propagate_tail below.
+      std::vector<CseqEntry> nexts(wb.size());
+      if (fast_path_) {
+        note_round_elided();
+      } else {
+        std::vector<ObjectId> wb_objs;
+        wb_objs.reserve(wb.size());
+        for (const auto& p : wb) wb_objs.push_back(p.object);
+        auto check_fut = read_config_batch(cfg, wb_objs);
+        nexts = co_await check_fut;
+      }
       for (std::size_t j = 0; j < wb.size(); ++j) {
         const ObjectId obj = wb[j].object;
         ObjectState& st = obj_state(obj);
@@ -765,22 +800,31 @@ sim::Future<std::vector<Tag>> AresClient::write_batch(
     }
 
     if (!puts.empty()) {
-      // One put round for the whole group...
-      auto put_fut = dap::batch_put_data(*this, spec, puts);
-      auto ack_hints = co_await put_fut;
+      // One put round for the whole group (with write-ack lease grants
+      // under the fast path — every grouped member is in the stable
+      // single-config steady state)...
+      auto put_fut =
+          dap::batch_put_data(*this, spec, puts, /*want_leases=*/fast_path_);
+      auto ack = co_await put_fut;
       for (std::size_t j = 0; j < puts.size(); ++j) {
-        if (ack_hints[j].valid()) {
-          note_config_hint(cfg, puts[j].object, ack_hints[j]);
+        if (ack.next_cs[j].valid()) {
+          note_config_hint(cfg, puts[j].object, ack.next_cs[j]);
         }
       }
-      // ...and the batched post-put configuration check. NOT elidable:
-      // a reconfiguration racing the put could transfer state without
-      // these tags while the puts complete hint-free (see write()).
-      std::vector<ObjectId> put_objs;
-      put_objs.reserve(puts.size());
-      for (const auto& p : puts) put_objs.push_back(p.object);
-      auto check_fut = read_config_batch(cfg, put_objs);
-      auto nexts = co_await check_fut;
+      // ...and the batched post-put configuration check — elided under the
+      // fast path by the same fence argument as write_core: a racing
+      // transfer either observes these tags or left a pointer in the ack
+      // hints just absorbed.
+      std::vector<CseqEntry> nexts(puts.size());
+      if (fast_path_) {
+        note_round_elided();
+      } else {
+        std::vector<ObjectId> put_objs;
+        put_objs.reserve(puts.size());
+        for (const auto& p : puts) put_objs.push_back(p.object);
+        auto check_fut = read_config_batch(cfg, put_objs);
+        nexts = co_await check_fut;
+      }
       for (std::size_t j = 0; j < puts.size(); ++j) {
         const ObjectId obj = puts[j].object;
         ObjectState& st = obj_state(obj);
@@ -794,6 +838,12 @@ sim::Future<std::vector<Tag>> AresClient::write_batch(
           co_await prop;
         } else {
           dap_for(obj, cfg)->note_confirmed(puts[j].tag);
+          // Write-ack lease riding the batch ack: the writer immediately
+          // re-leases its own value (full-quorum grant, min expiry).
+          if (fast_path_ && ack.lease_expiries[j] > 0) {
+            install_lease(obj, cfg, TagValue{puts[j].tag, puts[j].value},
+                          ack.lease_expiries[j]);
+          }
         }
       }
     }
@@ -847,7 +897,21 @@ sim::Future<void> AresClient::update_config(ObjectId obj) {
   const std::size_t v = nu(obj);
   TagValue best{kInitialTag, nullptr};
   for (std::size_t i = m; i <= v; ++i) {
-    TagValue tv = co_await dap_for(obj, cseq(obj)[i].cfg)->get_data();
+    // Fenced on every transfer *source* (i < v): count only replies whose
+    // server echoes the installed successor pointer, so the transfer is
+    // ordered against concurrent writes whose post-put config check was
+    // elided (see write_core). Live because Alg. 5 phases 1–2 completed
+    // put-config to a quorum of cseq[i] before this phase runs. The tail
+    // (i == v) has no successor pointer yet and stays unfenced — it is the
+    // transfer *destination*, not a source.
+    TagValue tv;
+    if (i < v) {
+      auto fut = dap_for(obj, cseq(obj)[i].cfg)->get_data_fenced();
+      tv = co_await fut;
+    } else {
+      auto fut = dap_for(obj, cseq(obj)[i].cfg)->get_data();
+      tv = co_await fut;
+    }
     if (tv.value) update_config_bytes_ += tv.value->size();  // pulled in
     best = max_by_tag(best, tv);
   }

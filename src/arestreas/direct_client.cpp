@@ -66,11 +66,20 @@ sim::Future<void> DirectAresClient::update_config(ObjectId obj) {
     co_return;
   }
 
-  // Algorithm 8: gather ⟨tag, configuration⟩ pairs — metadata only.
+  // Algorithm 8: gather ⟨tag, configuration⟩ pairs — metadata only. Fenced
+  // on every transfer source (i < v), exactly as the base update_config: a
+  // writer that elided its post-put config check must be observed here.
   Tag best = kInitialTag;
   ConfigId holder = cseq(obj)[m].cfg;
   for (std::size_t i = m; i <= v; ++i) {
-    const Tag t = co_await dap_for(obj, cseq(obj)[i].cfg)->get_dec_tag();
+    Tag t;
+    if (i < v) {
+      auto fut = dap_for(obj, cseq(obj)[i].cfg)->get_dec_tag_fenced();
+      t = co_await fut;
+    } else {
+      auto fut = dap_for(obj, cseq(obj)[i].cfg)->get_dec_tag();
+      t = co_await fut;
+    }
     if (t > best || i == m) {
       best = t;
       holder = cseq(obj)[i].cfg;

@@ -72,13 +72,15 @@ sim::Future<std::vector<BatchQueryItem>> batch_get_data(
   co_return best;
 }
 
-sim::Future<std::vector<CseqEntry>> batch_put_data(
-    sim::Process& owner, ConfigSpec spec, std::vector<BatchPutItem> items) {
+sim::Future<BatchPutResult> batch_put_data(
+    sim::Process& owner, ConfigSpec spec, std::vector<BatchPutItem> items,
+    bool want_leases) {
   assert(batch_capable(spec));
   auto req = std::make_shared<PutBatchReq>();
   req->config = spec.id;
   req->object = items.empty() ? kDefaultObject : items.front().object;
   req->items = items;
+  req->want_leases = want_leases;
   auto qc = sim::broadcast_collect<PutBatchReply>(owner, spec.servers,
                                                   std::move(req));
   co_await qc.wait_for(spec.quorum_size());
@@ -97,14 +99,38 @@ sim::Future<std::vector<CseqEntry>> batch_put_data(
     for (ProcessId s : spec.servers) owner.send(s, body);
   }
 
-  std::vector<CseqEntry> hints(items.size());
+  BatchPutResult result;
+  result.next_cs.resize(items.size());
+  result.lease_expiries.assign(items.size(), 0);
+  std::vector<std::size_t> grants(items.size(), 0);
+  std::vector<SimTime> grant_expiry(items.size(),
+                                    std::numeric_limits<SimTime>::max());
   for (const auto& a : qc.arrivals()) {
-    const std::size_t n = std::min(a.reply->next_cs.size(), hints.size());
+    const std::size_t n =
+        std::min(a.reply->next_cs.size(), result.next_cs.size());
     for (std::size_t i = 0; i < n; ++i) {
-      merge_next(hints[i], a.reply->next_cs[i]);
+      merge_next(result.next_cs[i], a.reply->next_cs[i]);
+    }
+    const std::size_t m =
+        std::min(a.reply->lease_expiries.size(), items.size());
+    for (std::size_t i = 0; i < m; ++i) {
+      if (a.reply->lease_expiries[i] > 0) {
+        ++grants[i];
+        grant_expiry[i] = std::min(grant_expiry[i], a.reply->lease_expiries[i]);
+      }
     }
   }
-  co_return hints;
+  // Per item: only a full quorum of granting acks makes an enforceable
+  // write-ack lease (every later put's ack quorum then intersects the
+  // grant set); report the minimum expiry then, 0 otherwise.
+  if (want_leases) {
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (grants[i] >= spec.quorum_size()) {
+        result.lease_expiries[i] = grant_expiry[i];
+      }
+    }
+  }
+  co_return result;
 }
 
 }  // namespace ares::dap

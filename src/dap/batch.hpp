@@ -36,13 +36,28 @@ namespace ares::dap {
     bool tags_only, std::vector<Tag> confirmed_hints,
     bool want_leases = false);
 
+/// What one batched put-data round learned, per request item (both vectors
+/// aligned with `items`).
+struct BatchPutResult {
+  /// Ack-time nextC hints. Under fenced transfer reads a fully hint-free
+  /// ack quorum proves no transfer can have missed these tags (see
+  /// AresClient::write_batch), so the batched post-put config check is
+  /// elidable; with the fast path off they remain an opportunistic
+  /// staleness signal only.
+  std::vector<CseqEntry> next_cs;
+  /// Write-ack lease expiry per item: the min expiry across a full quorum
+  /// of granting acks, 0 when any counted ack declined (only a
+  /// quorum-backed lease is enforceable — see abd::WriteAck::lease_expiry).
+  std::vector<SimTime> lease_expiries;
+};
+
 /// One put-data quorum round for every item on `spec`'s servers. After the
 /// quorum acks, every item's tag rests at a quorum: when `spec.semifast`,
-/// one ConfirmBatch broadcast tells the servers so. Returns the ack-time
-/// nextC hints per item (opportunistic staleness signal only — ack-time
-/// sampling can miss a put-config completing mid-round; reconfigurable
-/// callers still need their post-put config check).
-[[nodiscard]] sim::Future<std::vector<CseqEntry>> batch_put_data(
-    sim::Process& owner, ConfigSpec spec, std::vector<BatchPutItem> items);
+/// one ConfirmBatch broadcast tells the servers so. `want_leases` asks the
+/// servers for per-item write-ack lease grants riding the acks (callers
+/// that can install them only).
+[[nodiscard]] sim::Future<BatchPutResult> batch_put_data(
+    sim::Process& owner, ConfigSpec spec, std::vector<BatchPutItem> items,
+    bool want_leases = false);
 
 }  // namespace ares::dap

@@ -88,6 +88,14 @@ struct ConfigSpec {
   SimDuration lease_ms = 0;
   LeasePolicy lease_policy = LeasePolicy::kInvalidate;
 
+  /// Adaptive per-object lease windows: servers scale each object's grant
+  /// window by its observed read/write mix (placement::LoadTracker fed
+  /// from the request stream) — the full `lease_ms` for read-only objects,
+  /// shrinking linearly to zero as the write share reaches half, so
+  /// kWait-policy writers stop paying near-full-window stalls on
+  /// write-hot objects. Off = every grant uses the full `lease_ms`.
+  bool lease_adaptive = false;
+
   /// True when this configuration grants read leases.
   [[nodiscard]] bool leases_on() const {
     return lease_ms > 0 && protocol == Protocol::kAbd;

@@ -12,4 +12,15 @@ sim::Future<Tag> Dap::get_dec_tag() {
   co_return tv.tag;
 }
 
+sim::Future<TagValue> Dap::get_data_fenced() { return get_data(); }
+
+sim::Future<Tag> Dap::get_dec_tag_fenced() { return get_dec_tag(); }
+
+sim::Future<PutDataResult> Dap::put_data_leased(TagValue tv,
+                                                bool want_lease) {
+  (void)want_lease;  // protocols without lease support never grant
+  co_await put_data(std::move(tv));
+  co_return PutDataResult{};
+}
+
 }  // namespace ares::dap

@@ -31,6 +31,15 @@ struct GetDataResult {
   SimTime lease_expiry = 0;
 };
 
+/// put-data plus the write-ack lease verdict: nonzero when a full quorum of
+/// the put acks granted the writer a lease on its own just-written pair
+/// (the server's promise rides the ack — no extra round), holding the
+/// minimum grant expiry. 0 when the configuration grants no leases, fewer
+/// than a quorum granted, or the caller did not ask.
+struct PutDataResult {
+  SimTime lease_expiry = 0;
+};
+
 class Dap {
  public:
   /// Every DAP instance binds to exactly one atomic object: all of its
@@ -63,14 +72,44 @@ class Dap {
   /// not care about the confirmation verdict).
   [[nodiscard]] sim::Future<TagValue> get_data();
 
+  /// Fenced get-data, used by reconfiguration state transfer: counts only
+  /// replies whose server has installed (and echoes) the nextC-bearing
+  /// cseq entry for this (configuration, object), so the quorum observed
+  /// is entirely drawn from servers that already know the configuration is
+  /// superseded. Combined with quorum intersection this guarantees the
+  /// transfer sees every put-data that completed *hint-free* in this
+  /// configuration — the property that makes the writer's post-put config
+  /// check elidable (see AresClient::write_core). Liveness: callers invoke
+  /// this only after a quorum put-config installed the successor (Alg. 5
+  /// phases 1-2 precede update-config). Default: plain get-data — correct
+  /// for protocols whose tails never elide (LDR, whose directory
+  /// majorities need not intersect server quorums; see
+  /// covers_config_hints), overridden by ABD and TREAS.
+  [[nodiscard]] virtual sim::Future<TagValue> get_data_fenced();
+
   /// D3: c.put-data(⟨τ,v⟩)
   [[nodiscard]] virtual sim::Future<void> put_data(TagValue tv) = 0;
+
+  /// put-data that additionally asks the servers for a write-ack lease on
+  /// the written pair when `want_lease` (piggybacked on the acks — the
+  /// writer immediately re-leases its own value, so hot read-modify-write
+  /// objects never leave the local read path). Callers must only ask when
+  /// they can install the lease (steady single-configuration state).
+  /// Default: plain put-data, never granting (protocols without lease
+  /// support); ABD overrides.
+  [[nodiscard]] virtual sim::Future<PutDataResult> put_data_leased(
+      TagValue tv, bool want_lease);
 
   /// Extension used by ARES-TREAS reconfiguration (Section 5): the tag that
   /// get-data would return, without moving the value through the client.
   /// Default: run get-data and discard the value (correct but not
   /// bandwidth-optimal; TREAS overrides with a metadata-only phase).
   [[nodiscard]] virtual sim::Future<Tag> get_dec_tag();
+
+  /// Fenced get-dec-tag (same fence as get_data_fenced, metadata only) for
+  /// the direct server-to-server transfer path. Default: get_dec_tag;
+  /// TREAS overrides with a fenced digest phase.
+  [[nodiscard]] virtual sim::Future<Tag> get_dec_tag_fenced();
 
   /// Highest tag this client knows is quorum-propagated for its
   /// (configuration, object) — t0 is trivially confirmed (every server

@@ -56,6 +56,7 @@ bool DapServer::handle_batch(ServerContext& ctx, const sim::Message& msg) {
       const TagValue tv = query_one(obj);
       item.tag = tv.tag;
       if (!query->tags_only) {
+        note_mix(obj, /*is_write=*/false);
         item.value = tv.value;
         // Per-member lease grants, only when asked for: get-tag rounds
         // serve writers and lease-blind readers never install, so minting
@@ -76,23 +77,43 @@ bool DapServer::handle_batch(ServerContext& ctx, const sim::Message& msg) {
 
   if (auto put = std::dynamic_pointer_cast<const PutBatchReq>(msg.body)) {
     for (const auto& item : put->items) {
+      note_mix(item.object, /*is_write=*/true);
       put_one(item.object, item.tag, item.value);
     }
     // The ack is withheld until every member's outstanding leases settled
     // (no-op without leases). Values are adopted immediately either way —
     // only the ack, i.e. the writer's completion, is gated. next_cs are
     // sampled at send time: a put-config landing during a settle window is
-    // then visible in the ack hints.
+    // then visible in the ack hints. The ServerContext is stack-allocated
+    // in the caller, so the lambda captures its stable pieces and rebuilds
+    // one for the grant path.
     sim::Process* proc = &ctx.process;
     sim::Message saved = msg;
     auto pending = std::make_shared<std::size_t>(put->items.size() + 1);
-    auto finish = [proc, saved, put, pending] {
+    auto finish = [this, proc, saved, put, pending, spec = &ctx.config,
+                   registry = &ctx.registry, from = msg.from] {
       if (--*pending != 0) return;
       auto reply = std::make_shared<PutBatchReply>();
       reply->next_cs.reserve(put->items.size());
       for (const auto& item : put->items) {
         reply->next_cs.push_back(
             proc->next_config_hint(put->config, item.object));
+      }
+      if (put->want_leases) {
+        ServerContext ctx2{*proc, *spec, *registry};
+        reply->lease_expiries.reserve(put->items.size());
+        for (const auto& item : put->items) {
+          // Grant only when the ack'd pair IS still this server's current
+          // register (same rule as the scalar WriteAck): a newer concurrent
+          // write processed before this ack must refuse the grant, or the
+          // writer could cache a superseded pair under an enforceable
+          // lease.
+          SimTime expiry = 0;
+          if (query_one(item.object).tag == item.tag) {
+            expiry = maybe_grant_lease(ctx2, item.object, from, item.tag);
+          }
+          reply->lease_expiries.push_back(expiry);
+        }
       }
       proc->reply_to(saved, std::move(reply));
     };
@@ -117,10 +138,38 @@ SimTime DapServer::maybe_grant_lease(ServerContext& ctx, ObjectId obj,
   // knows a successor, writes may already be completing in it, unseen by
   // this configuration's settle gates.
   if (ctx.process.next_config_hint(ctx.config.id, obj).valid()) return 0;
-  const SimTime expiry =
-      ctx.process.simulator().now() + ctx.config.lease_ms;
+  const SimTime window = lease_window(ctx.config, obj);
+  if (window == 0) return 0;  // adaptively disabled: object is write-hot
+  const SimTime expiry = ctx.process.simulator().now() + window;
   leases_[obj][client] = LeaseRecord{tag, expiry};
   return expiry;
+}
+
+SimTime DapServer::lease_window(const ConfigSpec& spec, ObjectId obj) const {
+  if (!spec.lease_adaptive) return spec.lease_ms;
+  // Too few recent samples to judge the mix: grant nothing. A lease is an
+  // enforced promise that can stall a kWait writer for the whole window, so
+  // a cold object must earn its window with observed read traffic first —
+  // the reader merely pays quorum rounds until then. (Granting the full
+  // window here instead puts the cold-start stalls straight into the write
+  // tail: the adaptive kWait p99 lands above the fixed-window baseline.)
+  constexpr std::uint64_t kMinSamples = 8;
+  const placement::ObjectLoad load = mix_.window_load(obj);
+  if (load.ops() < kMinSamples) return 0;
+  const double read_share =
+      static_cast<double>(load.reads) / static_cast<double>(load.ops());
+  if (read_share <= 0.5) return 0;
+  return static_cast<SimTime>(static_cast<double>(spec.lease_ms) *
+                              (2.0 * read_share - 1.0));
+}
+
+void DapServer::note_mix(ObjectId obj, bool is_write) {
+  mix_.record(obj, is_write);
+  // Exponential decay every 256 ops keeps the window tracking *recent*
+  // traffic: after a mix shift an object's old counters halve away within
+  // a few hundred server ops, so the window follows within ~1k ops.
+  constexpr std::uint64_t kDecayEvery = 256;
+  if (++mix_ops_ % kDecayEvery == 0) mix_.decay_window();
 }
 
 std::size_t DapServer::lease_count(ObjectId obj, SimTime now) const {

@@ -15,6 +15,7 @@
 #include "common/types.hpp"
 #include "dap/config.hpp"
 #include "dap/messages.hpp"
+#include "placement/stats.hpp"
 #include "sim/message.hpp"
 #include "sim/process.hpp"
 
@@ -91,6 +92,19 @@ class DapServer {
   /// Outstanding (unexpired) lease records on `obj` (tests/diagnostics).
   [[nodiscard]] std::size_t lease_count(ObjectId obj, SimTime now) const;
 
+  /// The grant window this server would use for a lease on `obj` right
+  /// now. The full spec.lease_ms unless the configuration is
+  /// lease_adaptive, in which case the window scales with the object's
+  /// observed read/write mix (an exponentially-decayed LoadTracker window
+  /// fed from the request stream): the full window for read-only traffic,
+  /// shrinking linearly to zero as the write share reaches one half —
+  /// write-hot objects then get no leases at all, so kWait writers never
+  /// stall on them. Objects with too few recent samples to judge get no
+  /// window either — a cold object earns its leases with observed read
+  /// traffic, never with a promise that could stall a writer.
+  [[nodiscard]] SimTime lease_window(const ConfigSpec& spec,
+                                     ObjectId obj) const;
+
  protected:
   /// Absorb the confirmation evidence carried by `msg` (every request's
   /// confirmed_hint, per-member hints of a QueryBatchReq; a standalone
@@ -117,6 +131,12 @@ class DapServer {
     (void)value;
   }
 
+  /// Count one client operation on `obj` towards the adaptive-window
+  /// read/write mix (protocol handlers call it for get-data queries and
+  /// put-datas). Periodically decays the window so the mix tracks recent
+  /// traffic.
+  void note_mix(ObjectId obj, bool is_write);
+
  private:
   void raise_confirmed(ObjectId obj, Tag tag);
 
@@ -128,6 +148,10 @@ class DapServer {
 
   std::map<ObjectId, Tag> confirmed_;
   std::map<ObjectId, std::map<ProcessId, LeaseRecord>> leases_;
+
+  /// Observed read/write mix per object (adaptive lease windows).
+  placement::LoadTracker mix_;
+  std::uint64_t mix_ops_ = 0;
 };
 
 }  // namespace ares::dap

@@ -131,6 +131,9 @@ struct BatchPutItem {
 class PutBatchReq final : public sim::RpcRequest {
  public:
   std::vector<BatchPutItem> items;
+  /// Ask for per-member write-ack lease grants riding the batch ack (same
+  /// contract as abd::WriteReq::want_lease).
+  bool want_leases = false;
   [[nodiscard]] std::size_t data_bytes() const override {
     std::size_t sum = 0;
     for (const auto& it : items) {
@@ -148,12 +151,18 @@ class PutBatchReq final : public sim::RpcRequest {
 
 class PutBatchReply final : public sim::RpcReply {
  public:
-  /// Ack-time nextC per request item (opportunistic staleness signal; NOT a
-  /// substitute for the post-put config check — ack-time sampling can miss
-  /// a put-config completing mid-round, see AresClient::write).
+  /// Ack-time nextC per request item. Under fenced transfer reads a fully
+  /// hint-free batch ack quorum proves no racing reconfiguration can have
+  /// transferred state without these tags (see AresClient::write_batch) —
+  /// the batched post-put config check is then elidable; with the fast
+  /// path off it remains an opportunistic staleness signal only.
   std::vector<CseqEntry> next_cs;
+  /// Write-ack lease grant expiry per request item, 0 = no grant (only
+  /// present when the request asked; same semantics as
+  /// abd::WriteAck::lease_expiry).
+  std::vector<SimTime> lease_expiries;
   [[nodiscard]] std::size_t metadata_bytes() const override {
-    return 32 + 8 * next_cs.size();
+    return 32 + 8 * next_cs.size() + 8 * lease_expiries.size();
   }
   [[nodiscard]] std::string_view type_name() const override {
     return "dap.put_batch_ack";

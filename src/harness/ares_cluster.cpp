@@ -22,6 +22,7 @@ AresCluster::AresCluster(AresClusterOptions options)
   c0.semifast = options_.semifast;
   c0.lease_ms = options_.lease_ms;
   c0.lease_policy = options_.lease_policy;
+  c0.lease_adaptive = options_.lease_adaptive;
   for (std::size_t i = 0; i < options_.initial_servers; ++i) {
     c0.servers.push_back(static_cast<ProcessId>(i));
   }
@@ -68,6 +69,7 @@ dap::ConfigSpec AresCluster::make_spec(dap::Protocol protocol,
   spec.semifast = options_.semifast;
   spec.lease_ms = options_.lease_ms;
   spec.lease_policy = options_.lease_policy;
+  spec.lease_adaptive = options_.lease_adaptive;
   for (std::size_t i = 0; i < n; ++i) {
     spec.servers.push_back(static_cast<ProcessId>(
         (first_server + i) % options_.server_pool));

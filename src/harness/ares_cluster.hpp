@@ -60,6 +60,11 @@ struct AresClusterOptions {
   dap::LeasePolicy lease_policy = dap::LeasePolicy::kInvalidate;
   SimDuration lease_epsilon = 0;
 
+  /// Adaptive per-object lease windows in every spec the cluster mints:
+  /// servers scale each object's grant window by its observed read/write
+  /// mix (see dap::ConfigSpec::lease_adaptive).
+  bool lease_adaptive = false;
+
   SimDuration min_delay = 10;  // d
   SimDuration max_delay = 40;  // D
   std::uint64_t seed = 1;

@@ -1,0 +1,27 @@
+// Shared BENCH-output block: per-op-class latency percentiles from a
+// WorkloadResult as one ordered Json object, so every bench emits the same
+// machine-readable shape (scalar reads / scalar writes / batch members are
+// separate distributions — see WorkloadResult::class_latency_percentiles).
+#pragma once
+
+#include "harness/json.hpp"
+#include "harness/workload.hpp"
+
+namespace ares::harness {
+
+/// {"read": {"count": n, "p50": ..., "p95": ..., "p99": ...}, "write": ...,
+///  "batch": ...} — classes with no successful operations are omitted.
+inline Json latency_by_class_json(const WorkloadResult& r) {
+  Json out = Json::object();
+  for (OpClass cls : {OpClass::kRead, OpClass::kWrite, OpClass::kBatch}) {
+    const std::size_t n = r.class_count(cls);
+    if (n == 0) continue;
+    const auto p = r.class_latency_percentiles(cls, {50.0, 95.0, 99.0});
+    Json c = Json::object();
+    c.set("count", n).set("p50", p[0]).set("p95", p[1]).set("p99", p[2]);
+    out.set(op_class_name(cls), std::move(c));
+  }
+  return out;
+}
+
+}  // namespace ares::harness

@@ -108,6 +108,7 @@ sim::Future<void> client_loop(sim::Simulator* sim, api::Store* store,
         stat.rounds = results[i].metrics.rounds;
         stat.messages = results[i].metrics.messages;
         stat.bytes = results[i].metrics.bytes;
+        stat.elided = results[i].metrics.elided_rounds;
       }
       if (failed) ++shared->failures;
       shared->ops.push_back(stat);

@@ -145,9 +145,27 @@ struct OpStat {
   std::uint64_t rounds = 0;
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
+  /// Quorum rounds the protocol's fast paths elided for this operation
+  /// (e.g. a write's post-put config check under fenced transfer reads).
+  std::uint64_t elided = 0;
 
   [[nodiscard]] SimDuration latency() const { return end - start; }
 };
+
+/// Operation class for split latency reporting: scalar reads, scalar
+/// writes, or members of a multi-object batch (reads and writes alike —
+/// batch members share their operation's latency, so mixing them into the
+/// scalar percentiles would skew both).
+enum class OpClass { kRead, kWrite, kBatch };
+
+[[nodiscard]] inline const char* op_class_name(OpClass c) {
+  switch (c) {
+    case OpClass::kRead: return "read";
+    case OpClass::kWrite: return "write";
+    case OpClass::kBatch: return "batch";
+  }
+  return "?";
+}
 
 struct WorkloadResult {
   /// Every operation attempted, failed ones included (check `failed`).
@@ -215,23 +233,35 @@ struct WorkloadResult {
     for (const auto& o : ops) {
       if (o.is_write == writes && !o.failed) lat.push_back(o.latency());
     }
-    std::vector<double> out;
-    out.reserve(pcts.size());
-    for (double pct : pcts) {
-      if (lat.empty()) {
-        out.push_back(0.0);
-        continue;
-      }
-      const auto rank = std::max<std::size_t>(
-          1, static_cast<std::size_t>(
-                 std::ceil(pct / 100.0 * static_cast<double>(lat.size()))));
-      const std::size_t k = std::min(rank, lat.size()) - 1;
-      std::nth_element(lat.begin(),
-                       lat.begin() + static_cast<std::ptrdiff_t>(k),
-                       lat.end());
-      out.push_back(static_cast<double>(lat[k]));
+    return percentiles_of(std::move(lat), pcts);
+  }
+
+  /// Latency percentiles split by operation class: scalar reads, scalar
+  /// writes, and batch members each get their own distribution (a batched
+  /// member's latency is its whole batch's, so folding it into the scalar
+  /// numbers would skew both).
+  [[nodiscard]] std::vector<double> class_latency_percentiles(
+      OpClass cls, std::vector<double> pcts) const {
+    std::vector<SimDuration> lat;
+    for (const auto& o : ops) {
+      if (!o.failed && op_class_of(o) == cls) lat.push_back(o.latency());
     }
-    return out;
+    return percentiles_of(std::move(lat), pcts);
+  }
+
+  /// Successful operations in class `cls` (the sample size behind
+  /// class_latency_percentiles).
+  [[nodiscard]] std::size_t class_count(OpClass cls) const {
+    std::size_t n = 0;
+    for (const auto& o : ops) {
+      if (!o.failed && op_class_of(o) == cls) ++n;
+    }
+    return n;
+  }
+
+  [[nodiscard]] static OpClass op_class_of(const OpStat& o) {
+    if (o.batch > 1) return OpClass::kBatch;
+    return o.is_write ? OpClass::kWrite : OpClass::kRead;
   }
 
   /// Mean quorum rounds per successful read or write (the paper-style
@@ -252,7 +282,36 @@ struct WorkloadResult {
     return mean_counter(writes, [](const OpStat& o) { return o.bytes; });
   }
 
+  /// Mean *elided* quorum rounds per successful read or write — the work
+  /// the fast paths proved unnecessary (fenced transfer reads let a
+  /// steady-state write skip its post-put config check; rounds + elided
+  /// reconstructs the unoptimized round budget).
+  [[nodiscard]] double mean_elided_rounds(bool writes) const {
+    return mean_counter(writes, [](const OpStat& o) { return o.elided; });
+  }
+
  private:
+  [[nodiscard]] static std::vector<double> percentiles_of(
+      std::vector<SimDuration> lat, const std::vector<double>& pcts) {
+    std::vector<double> out;
+    out.reserve(pcts.size());
+    for (double pct : pcts) {
+      if (lat.empty()) {
+        out.push_back(0.0);
+        continue;
+      }
+      const auto rank = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 std::ceil(pct / 100.0 * static_cast<double>(lat.size()))));
+      const std::size_t k = std::min(rank, lat.size()) - 1;
+      std::nth_element(lat.begin(),
+                       lat.begin() + static_cast<std::ptrdiff_t>(k),
+                       lat.end());
+      out.push_back(static_cast<double>(lat[k]));
+    }
+    return out;
+  }
+
   template <typename Get>
   [[nodiscard]] double mean_counter(bool writes, Get get) const {
     double sum = 0;

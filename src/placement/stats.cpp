@@ -32,6 +32,25 @@ void LoadTracker::reset_window() {
   window_total_ = 0;
 }
 
+void LoadTracker::decay_window() {
+  window_total_ = 0;
+  for (auto it = window_.begin(); it != window_.end();) {
+    it->second.reads /= 2;
+    it->second.writes /= 2;
+    if (it->second.ops() == 0) {
+      it = window_.erase(it);
+    } else {
+      window_total_ += it->second.ops();
+      ++it;
+    }
+  }
+}
+
+ObjectLoad LoadTracker::window_load(ObjectId obj) const {
+  auto it = window_.find(obj);
+  return it == window_.end() ? ObjectLoad{} : it->second;
+}
+
 std::uint64_t LoadTracker::ops(ObjectId obj) const {
   auto it = window_.find(obj);
   return it == window_.end() ? 0 : it->second.ops();

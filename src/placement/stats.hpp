@@ -41,6 +41,18 @@ class LoadTracker {
   /// calls this after each decision so stale traffic cannot re-trigger it.
   void reset_window();
 
+  /// Halve every window counter (integer division; lifetime totals stay) —
+  /// an exponential-decay step that keeps the window reflecting *recent*
+  /// traffic for consumers that sample it continuously instead of
+  /// resetting it (the adaptive lease-window servers). Entries decayed to
+  /// zero ops are dropped.
+  void decay_window();
+
+  /// `obj`'s read/write split within the current window (zeros when the
+  /// object has no window traffic) — what the adaptive lease windows
+  /// judge the read/write mix on.
+  [[nodiscard]] ObjectLoad window_load(ObjectId obj) const;
+
   /// Window counters (what hotness is judged on).
   [[nodiscard]] std::uint64_t ops(ObjectId obj) const;
   [[nodiscard]] std::uint64_t total_ops() const { return window_total_; }

@@ -31,6 +31,10 @@ struct TrafficStats {
   std::uint64_t data_bytes_received = 0;
   std::uint64_t metadata_bytes_received = 0;
   std::uint64_t quorum_rounds = 0;
+  /// Quorum rounds the protocol's fast paths proved unnecessary and elided
+  /// locally (e.g. a write's post-put config check under fenced transfer
+  /// reads) — the "work avoided" counter the OpResult metrics surface.
+  std::uint64_t rounds_elided = 0;
 
   [[nodiscard]] std::uint64_t bytes_sent() const {
     return data_bytes_sent + metadata_bytes_sent;
@@ -104,6 +108,9 @@ class Process {
 
   /// One quorum round (a broadcast-and-collect fan-out) started.
   void note_quorum_round() { ++traffic_.quorum_rounds; }
+
+  /// One quorum round proved unnecessary and elided locally (metrics only).
+  void note_round_elided() { ++traffic_.rounds_elided; }
 
   /// Server-side hook: the nextC pointer this process would report for
   /// (cfg, obj), stamped into every reply by reply_to(). Default: ⊥ —

@@ -69,6 +69,17 @@ ListAnalysis analyze(const ListArrivals& arrivals) {
 using DigestArrivals =
     std::vector<typename sim::QuorumCollector<QueryDigestReply>::Arrival>;
 
+/// How many replies echo an installed successor pointer for the object —
+/// the fenced-transfer arrival count (see TreasDap::get_data_fenced).
+template <typename Arrivals>
+std::size_t fenced_count(const Arrivals& arrivals) {
+  std::size_t n = 0;
+  for (const auto& a : arrivals) {
+    if (a.reply->next_c.valid()) ++n;
+  }
+  return n;
+}
+
 ListAnalysis analyze_digests(const DigestArrivals& arrivals) {
   ListAnalysis a;
   std::uint32_t fake_index = 0;
@@ -113,6 +124,15 @@ sim::Future<Tag> TreasDap::get_tag() {
 sim::Future<dap::GetDataResult> TreasDap::get_data_confirmed(
     bool want_lease) {
   (void)want_lease;  // coded protocols grant no read leases
+  return get_data_impl(/*fenced=*/false);
+}
+
+sim::Future<TagValue> TreasDap::get_data_fenced() {
+  const dap::GetDataResult r = co_await get_data_impl(/*fenced=*/true);
+  co_return r.tv;
+}
+
+sim::Future<dap::GetDataResult> TreasDap::get_data_impl(bool fenced) {
   const std::size_t q = spec_.quorum_size();
   const std::size_t k = spec_.k;
   for (std::size_t attempt = 0;; ++attempt) {
@@ -124,9 +144,14 @@ sim::Future<dap::GetDataResult> TreasDap::get_data_confirmed(
                                                      std::move(req));
     // Hoisted per the GCC-12 note in sim/coro.hpp: no temporaries (the
     // lambda→std::function conversion) inside the co_await expression.
+    // Under `fenced`, additionally require a quorum of replies that echo
+    // the successor pointer; running the analysis over ALL arrivals is
+    // still sound — extra replies only add lists and elements, which can
+    // only raise both t*_max and t^dec_max together.
     std::function<bool(const ListArrivals&)> pred =
-        [q, k](const ListArrivals& arrivals) {
+        [q, k, fenced](const ListArrivals& arrivals) {
           if (arrivals.size() < q) return false;
+          if (fenced && fenced_count(arrivals) < q) return false;
           return analyze(arrivals).verdict(k).ready;
         };
     sim::Future<bool> wait_future =
@@ -164,6 +189,14 @@ sim::Future<dap::GetDataResult> TreasDap::get_data_confirmed(
 }
 
 sim::Future<Tag> TreasDap::get_dec_tag() {
+  return get_dec_tag_impl(/*fenced=*/false);
+}
+
+sim::Future<Tag> TreasDap::get_dec_tag_fenced() {
+  return get_dec_tag_impl(/*fenced=*/true);
+}
+
+sim::Future<Tag> TreasDap::get_dec_tag_impl(bool fenced) {
   const std::size_t q = spec_.quorum_size();
   const std::size_t k = spec_.k;
   for (std::size_t attempt = 0;; ++attempt) {
@@ -174,8 +207,9 @@ sim::Future<Tag> TreasDap::get_dec_tag() {
     auto qc = sim::broadcast_collect<QueryDigestReply>(
         owner_, spec_.servers, std::move(digest_req));
     std::function<bool(const DigestArrivals&)> pred =
-        [q, k](const DigestArrivals& arrivals) {
+        [q, k, fenced](const DigestArrivals& arrivals) {
           if (arrivals.size() < q) return false;
+          if (fenced && fenced_count(arrivals) < q) return false;
           return analyze_digests(arrivals).verdict(k).ready;
         };
     sim::Future<bool> wait_future =

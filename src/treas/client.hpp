@@ -18,15 +18,26 @@ class TreasDap final : public dap::Dap {
   [[nodiscard]] sim::Future<Tag> get_tag() override;
   [[nodiscard]] sim::Future<dap::GetDataResult> get_data_confirmed(
       bool want_lease) override;
+  /// Fenced transfer read: same tag-selection rule, but the wait predicate
+  /// additionally requires a quorum of replies whose server echoes a
+  /// successor pointer for the object — the fence that makes writers'
+  /// elided post-put config checks safe (see abd::AbdDap::get_data_fenced
+  /// for the ordering argument; quorum arithmetic is TREAS's ⌈(n+k)/2⌉).
+  [[nodiscard]] sim::Future<TagValue> get_data_fenced() override;
   [[nodiscard]] sim::Future<void> put_data(TagValue tv) override;
 
   /// Metadata-only variant of get-data used by ARES-TREAS reconfiguration:
   /// same tag-selection rule, no object bytes moved to the client.
   [[nodiscard]] sim::Future<Tag> get_dec_tag() override;
+  /// Fenced variant of get_dec_tag (ARES-TREAS transfer reads).
+  [[nodiscard]] sim::Future<Tag> get_dec_tag_fenced() override;
 
   [[nodiscard]] const dap::ConfigSpec& spec() const { return spec_; }
 
  private:
+  [[nodiscard]] sim::Future<dap::GetDataResult> get_data_impl(bool fenced);
+  [[nodiscard]] sim::Future<Tag> get_dec_tag_impl(bool fenced);
+
   sim::Process& owner_;
   dap::ConfigSpec spec_;
   std::shared_ptr<const codec::Codec> codec_;

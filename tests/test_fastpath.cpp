@@ -41,20 +41,22 @@ TEST(FastPath, QuiescentSteadyStateRoundCounts) {
   auto& client = cluster.client(0);
 
   // Warmup: the first operation pays the explicit read-config sync
-  // (1 round) on top of get-tag + put-data + post-put read-config.
+  // (1 round) on top of get-tag + put-data; the post-put read-config is
+  // elided (fenced transfer reads make the hint-free ack quorum proof
+  // enough — see AresClient::write_core).
   auto payload = make_value(make_test_value(128, 1));
   (void)sim::run_to_completion(cluster.sim(), client.write(payload));
-  EXPECT_EQ(client.traffic().quorum_rounds, 4u);
+  EXPECT_EQ(client.traffic().quorum_rounds, 3u);
+  EXPECT_EQ(client.traffic().rounds_elided, 1u);
   cluster.sim().run();  // drain in-flight confirm broadcasts
 
-  // Steady state: writes skip the leading read-config — 3 rounds (get-tag +
-  // put-data + the post-put read-config, which is not elidable: it must
-  // sample nextC *after* the put completed to catch racing reconfigs)...
+  // Steady state: writes skip the leading read-config AND the post-put
+  // config check — 2 rounds (get-tag + put-data)...
   const std::uint64_t before_write = client.traffic().quorum_rounds;
   auto payload2 = make_value(make_test_value(128, 2));
   const Tag wtag =
       sim::run_to_completion(cluster.sim(), client.write(payload2));
-  EXPECT_EQ(client.traffic().quorum_rounds - before_write, 3u);
+  EXPECT_EQ(client.traffic().quorum_rounds - before_write, 2u);
 
   // ... and a confirmed read is 1 round (get-data only; this client just
   // completed the quorum put of wtag, so its piggybacked hint confirms it).
@@ -194,14 +196,17 @@ TEST(FastPath, PiggybackedHintInvalidatesCachedCseqMidRead) {
 }
 
 TEST(FastPath, WriteDiscoversReconfigCompletingDuringPutRound) {
-  // Adversarial schedule for the exact window the post-put read-config
-  // exists for: a reconfiguration whose put-config completes *while* the
-  // write's put-data round is in flight, with the state transfer reading
-  // from servers that have not yet applied the write. Piggybacked hints
-  // cannot reveal it — every put-data ack pre-dates its server's nextC
-  // adoption — so only the explicit post-put read-config keeps the
-  // completed write's tag alive in the new configuration. Eliding that
-  // round makes this test fail with an atomicity violation.
+  // Adversarial schedule for the exact window the post-put read-config used
+  // to exist for: a reconfiguration whose put-config completes *while* the
+  // write's put-data round is in flight, with every put-data ack pre-dating
+  // its server's nextC adoption — the ack quorum is entirely hint-free and
+  // the writer elides its post-put config check (2 rounds). The *fence* on
+  // transfer reads is what keeps this safe: the transfer counts only
+  // replies from servers that installed nextC, and any such quorum
+  // intersects the put ack quorum — here the slow queries to s0/s1 (which
+  // applied the write at +2) and s2's late nextC adoption force the
+  // transfer to observe the written tag. Without the fence this schedule
+  // is an atomicity violation; with it the elided write stays visible.
   harness::AresClusterOptions o;
   o.server_pool = 8;
   o.initial_protocol = dap::Protocol::kAbd;
@@ -243,6 +248,7 @@ TEST(FastPath, WriteDiscoversReconfigCompletingDuringPutRound) {
   });
 
   auto second = make_value(make_test_value(64, 2));
+  const std::uint64_t before_write = writer.traffic().quorum_rounds;
   sim::Future<Tag> write_future = writer.write(second);
   auto race = [](harness::AresCluster* c) -> sim::Future<void> {
     co_await sim::sleep_for(c->sim(), 5);
@@ -252,6 +258,9 @@ TEST(FastPath, WriteDiscoversReconfigCompletingDuringPutRound) {
   };
   sim::detach(race(&cluster));
   const Tag wtag = sim::run_to_completion(cluster.sim(), write_future);
+  // The hint-free ack quorum let the racing write complete in the fenced
+  // 2-round budget (get-tag + put-data, post-put check elided).
+  EXPECT_EQ(writer.traffic().quorum_rounds - before_write, 2u);
   cluster.sim().run();
 
   // The reconfiguration raced ahead of the write...

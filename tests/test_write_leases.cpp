@@ -1,0 +1,207 @@
+// The write-side latency floor: fenced transfer reads make the post-put
+// config check elidable (steady-state writes are 2 quorum rounds in ABD and
+// TREAS alike), write-ack leases let a writer immediately serve its own
+// value locally, and adaptive lease windows shrink to zero for write-hot
+// objects so kWait writers stop paying for leases nobody benefits from.
+#include "checker/atomicity.hpp"
+#include "dap/messages.hpp"
+#include "harness/ares_cluster.hpp"
+#include "test_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ares {
+namespace {
+
+harness::AresClusterOptions abd_options(std::uint64_t seed = 1) {
+  harness::AresClusterOptions o;
+  o.server_pool = 10;
+  o.initial_protocol = dap::Protocol::kAbd;
+  o.initial_servers = 5;
+  o.num_rw_clients = 2;
+  o.num_reconfigurers = 1;
+  o.seed = seed;
+  return o;
+}
+
+void expect_all_atomic(harness::AresCluster& cluster) {
+  for (const auto& [obj, verdict] : cluster.check_atomicity_per_object()) {
+    EXPECT_TRUE(verdict.ok) << "object " << obj << ": " << verdict.violation;
+  }
+}
+
+// --- the tentpole claim: steady-state writes are two rounds ----------------
+
+TEST(WriteLeases, TwoRoundSteadyStateWritesAbdAndTreas) {
+  for (const auto protocol : {dap::Protocol::kAbd, dap::Protocol::kTreas}) {
+    auto o = abd_options(2);
+    o.initial_protocol = protocol;
+    o.initial_k = 3;
+    harness::AresCluster cluster(o);
+    auto& client = cluster.client(0);
+
+    // Warm-up: the first write pays the up-front read-config; its post-put
+    // check is already elided (the ack quorum carried no hints).
+    auto v1 = make_value(make_test_value(64, 1));
+    (void)sim::run_to_completion(cluster.sim(), client.write(v1));
+    cluster.sim().run();
+
+    // Steady state: get-tag + put-data, nothing else — and the elision is
+    // accounted, not silently absent.
+    const auto before = client.traffic();
+    auto v2 = make_value(make_test_value(64, 2));
+    (void)sim::run_to_completion(cluster.sim(), client.write(v2));
+    EXPECT_EQ(client.traffic().quorum_rounds - before.quorum_rounds, 2u)
+        << "protocol " << static_cast<int>(protocol);
+    EXPECT_EQ(client.traffic().rounds_elided - before.rounds_elided, 1u)
+        << "protocol " << static_cast<int>(protocol);
+
+    const auto verdict =
+        checker::check_tag_atomicity(cluster.history().records());
+    EXPECT_TRUE(verdict.ok) << verdict.violation;
+  }
+}
+
+// --- write-ack leases -------------------------------------------------------
+
+TEST(WriteLeases, WriterReLeasesItsOwnValue) {
+  auto o = abd_options(3);
+  o.lease_ms = 10'000;
+  o.lease_policy = dap::LeasePolicy::kInvalidate;
+  harness::AresCluster cluster(o);
+  auto& writer = cluster.client(0);
+
+  // The write's own put-data acks carry the grants: no read round is ever
+  // needed to acquire the lease.
+  auto v1 = make_value(make_test_value(128, 1));
+  const Tag t1 = sim::run_to_completion(cluster.sim(), writer.write(v1));
+  ASSERT_TRUE(writer.holds_lease(kDefaultObject));
+
+  // Reading back the just-written value costs nothing.
+  const auto before = writer.traffic();
+  const TagValue tv = sim::run_to_completion(cluster.sim(), writer.read());
+  EXPECT_EQ(writer.traffic().quorum_rounds, before.quorum_rounds);
+  EXPECT_EQ(writer.traffic().messages_sent, before.messages_sent);
+  EXPECT_EQ(tv.tag, t1);
+  EXPECT_EQ(*tv.value, *v1);
+
+  const auto verdict =
+      checker::check_tag_atomicity(cluster.history().records());
+  EXPECT_TRUE(verdict.ok) << verdict.violation;
+}
+
+TEST(WriteLeases, WriteAckLeaseRevokedByRemoteWrite) {
+  auto o = abd_options(4);
+  o.lease_ms = 10'000;
+  o.lease_policy = dap::LeasePolicy::kInvalidate;
+  harness::AresCluster cluster(o);
+  auto& w0 = cluster.client(0);
+  auto& w1 = cluster.client(1);
+
+  auto v1 = make_value(make_test_value(128, 1));
+  (void)sim::run_to_completion(cluster.sim(), w0.write(v1));
+  ASSERT_TRUE(w0.holds_lease(kDefaultObject));
+
+  // A remote writer's settle poisons w0's write-ack lease before that write
+  // completes — exactly like a read-acquired lease.
+  auto v2 = make_value(make_test_value(128, 2));
+  const Tag t2 = sim::run_to_completion(cluster.sim(), w1.write(v2));
+  EXPECT_FALSE(w0.holds_lease(kDefaultObject));
+
+  // w0's next read goes back to the quorum and sees the new value.
+  const std::uint64_t r0 = w0.traffic().quorum_rounds;
+  const TagValue tv = sim::run_to_completion(cluster.sim(), w0.read());
+  EXPECT_GE(w0.traffic().quorum_rounds - r0, 1u);
+  EXPECT_EQ(tv.tag, t2);
+  EXPECT_EQ(*tv.value, *v2);
+
+  const auto verdict =
+      checker::check_tag_atomicity(cluster.history().records());
+  EXPECT_TRUE(verdict.ok) << verdict.violation;
+}
+
+// --- fenced transfer liveness -----------------------------------------------
+
+TEST(WriteLeases, FencedTransferLivenessWithCrashedServers) {
+  // The fence demands transfer replies from servers that installed nextC —
+  // a *stricter* quorum predicate, so its liveness needs checking: with the
+  // tolerated f = 2 of the 5 source servers crashed, put-config still
+  // completes at the 3 survivors, all of them end up fenced, and the
+  // transfer (and the whole reconfiguration) terminates with the written
+  // value intact.
+  auto o = abd_options(5);
+  harness::AresCluster cluster(o);
+  auto& writer = cluster.client(0);
+
+  auto v1 = make_value(make_test_value(128, 7));
+  const Tag t1 = sim::run_to_completion(cluster.sim(), writer.write(v1));
+  cluster.sim().run();
+
+  cluster.net().crash(1);
+  cluster.net().crash(4);
+
+  auto spec = cluster.make_spec(dap::Protocol::kAbd, 5, 5, 1);
+  (void)sim::run_to_completion(cluster.sim(),
+                               cluster.reconfigurer(0).reconfig(spec));
+
+  // A fresh read lands in the successor and returns the transferred value.
+  const TagValue tv =
+      sim::run_to_completion(cluster.sim(), cluster.client(1).read());
+  EXPECT_GE(tv.tag, t1);
+  EXPECT_EQ(*tv.value, *v1);
+  EXPECT_EQ(cluster.client(1).cseq().back().cfg, spec.id);
+
+  expect_all_atomic(cluster);
+}
+
+// --- adaptive lease windows -------------------------------------------------
+
+TEST(WriteLeases, AdaptiveWindowShrinksUnderWriteShift) {
+  auto o = abd_options(6);
+  o.lease_ms = 1'000;
+  o.lease_policy = dap::LeasePolicy::kInvalidate;
+  o.lease_adaptive = true;
+  // A large client-side ε keeps every read on the quorum path (no client
+  // ever installs its grants), so the servers keep observing the mix.
+  o.lease_epsilon = 100'000;
+  harness::AresCluster cluster(o);
+  auto& client = cluster.client(0);
+
+  const dap::ConfigSpec& spec = cluster.registry().get(0);
+  auto min_window = [&]() {
+    SimTime w = o.lease_ms + 1;
+    for (const auto& srv : cluster.servers()) {
+      const auto* dap = srv->dap_state(cluster.initial_config());
+      if (dap != nullptr) {
+        w = std::min(w, dap->lease_window(spec, kDefaultObject));
+      }
+    }
+    return w;
+  };
+
+  // Read-heavy phase: one seeding write, then quorum reads. Every server's
+  // observed mix is read-dominated, so windows stay open (scaled, nonzero).
+  auto v1 = make_value(make_test_value(64, 1));
+  (void)sim::run_to_completion(cluster.sim(), client.write(v1));
+  for (int i = 0; i < 20; ++i) {
+    (void)sim::run_to_completion(cluster.sim(), client.read());
+  }
+  EXPECT_GT(min_window(), 0u);
+  EXPECT_LE(min_window(), static_cast<SimTime>(o.lease_ms));
+
+  // Write-heavy phase on the same object: once the write share crosses one
+  // half, every server's window collapses to zero — no more grants minted
+  // for a write-hot object.
+  for (int i = 0; i < 40; ++i) {
+    auto v = make_value(make_test_value(64, 100 + i));
+    (void)sim::run_to_completion(cluster.sim(), client.write(v));
+  }
+  EXPECT_EQ(min_window(), 0u);
+
+  const auto verdict =
+      checker::check_tag_atomicity(cluster.history().records());
+  EXPECT_TRUE(verdict.ok) << verdict.violation;
+}
+
+}  // namespace
+}  // namespace ares
