@@ -1,0 +1,191 @@
+// Real-transport throughput/latency: the same ABD deployment and workload
+// shape measured over localhost TCP (--transport=tcp: real sockets, real
+// threads, wall-clock microseconds) and over the deterministic simulator
+// (--transport=sim: simulated time units) — the first measured-ops/sec
+// point of the perf trajectory, vs client-thread count.
+//
+// Emits BENCH_net.json: one row per (transport, clients) with ops/sec and
+// p50/p99 read/write latency. Exits non-zero if any history fails the
+// atomicity check, any operation fails, or TCP throughput falls below a
+// generous sanity floor (localhost should clear it by orders of magnitude).
+#include "harness/ares_cluster.hpp"
+#include "harness/json.hpp"
+#include "harness/workload.hpp"
+#include "net/cluster.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace ares;
+
+constexpr std::size_t kObjects = 4;
+constexpr std::size_t kOpsPerClient = 150;
+constexpr double kWriteFraction = 0.3;
+constexpr std::size_t kValueSize = 256;
+
+struct Row {
+  std::string transport;
+  std::size_t clients = 0;
+  std::size_t ops = 0;
+  double wall_s = 0;
+  double ops_per_sec = 0;
+  double read_p50 = 0, read_p99 = 0;
+  double write_p50 = 0, write_p99 = 0;
+  bool atomic_ok = false;
+  bool no_failures = false;
+};
+
+harness::WorkloadOptions workload_shape() {
+  harness::WorkloadOptions w;
+  w.ops_per_client = kOpsPerClient;
+  w.write_fraction = kWriteFraction;
+  w.value_size = kValueSize;
+  w.num_objects = kObjects;
+  w.seed = 42;
+  return w;
+}
+
+void fill_latencies(Row& row, const harness::WorkloadResult& res) {
+  const auto rp = res.latency_percentiles(false, {50, 99});
+  const auto wp = res.latency_percentiles(true, {50, 99});
+  row.read_p50 = rp[0];
+  row.read_p99 = rp[1];
+  row.write_p50 = wp[0];
+  row.write_p99 = wp[1];
+}
+
+Row run_tcp(std::size_t clients) {
+  net::NetClusterOptions o;
+  o.servers = 3;
+  o.protocol = dap::Protocol::kAbd;
+  o.num_clients = clients;
+  o.num_objects = kObjects;
+  o.seed = 42;
+  net::NetCluster cluster(o);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto res = net::run_net_workload(cluster, workload_shape());
+  const auto t1 = std::chrono::steady_clock::now();
+
+  Row row;
+  row.transport = "tcp";
+  row.clients = clients;
+  row.ops = res.ops.size();
+  row.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  row.ops_per_sec =
+      row.wall_s > 0 ? static_cast<double>(row.ops) / row.wall_s : 0;
+  fill_latencies(row, res);
+  row.no_failures = res.completed && res.failures == 0;
+  row.atomic_ok = true;
+  for (const auto& [obj, verdict] : cluster.check_atomicity()) {
+    row.atomic_ok = row.atomic_ok && verdict.ok;
+  }
+  return row;
+}
+
+Row run_sim(std::size_t clients) {
+  harness::AresClusterOptions o;
+  o.server_pool = 3;
+  o.initial_protocol = dap::Protocol::kAbd;
+  o.initial_servers = 3;
+  o.initial_k = 1;
+  o.num_rw_clients = clients;
+  o.num_reconfigurers = 0;
+  o.num_objects = kObjects;
+  o.seed = 42;
+  harness::AresCluster cluster(o);
+
+  const SimTime start = cluster.sim().now();
+  const auto res = cluster.run_multi_object_workload(workload_shape());
+  const double sim_us = static_cast<double>(cluster.sim().now() - start);
+
+  Row row;
+  row.transport = "sim";
+  row.clients = clients;
+  row.ops = res.ops.size();
+  row.wall_s = sim_us / 1e6;  // simulated time, unit read as 1 µs
+  row.ops_per_sec =
+      row.wall_s > 0 ? static_cast<double>(row.ops) / row.wall_s : 0;
+  fill_latencies(row, res);
+  row.no_failures = res.completed && res.failures == 0;
+  row.atomic_ok = true;
+  for (const auto& [obj, verdict] : cluster.check_atomicity_per_object()) {
+    row.atomic_ok = row.atomic_ok && verdict.ok;
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string transport = "both";
+  std::string out_path = "BENCH_net.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--transport=", 0) == 0) transport = arg.substr(12);
+    if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
+  }
+  if (transport != "both" && transport != "tcp" && transport != "sim") {
+    std::fprintf(stderr, "usage: %s [--transport=tcp|sim|both] [--out=PATH]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  const std::vector<std::size_t> client_counts = {2, 4};
+  std::vector<Row> rows;
+  for (std::size_t clients : client_counts) {
+    if (transport == "both" || transport == "tcp") rows.push_back(run_tcp(clients));
+    if (transport == "both" || transport == "sim") rows.push_back(run_sim(clients));
+  }
+
+  bool ok = true;
+  std::printf("%-5s %8s %10s %12s %10s %10s %10s %10s\n", "net", "clients",
+              "ops", "ops/sec", "r_p50", "r_p99", "w_p50", "w_p99");
+  harness::Json jrows = harness::Json::array();
+  for (const Row& r : rows) {
+    std::printf("%-5s %8zu %10zu %12.1f %10.1f %10.1f %10.1f %10.1f%s\n",
+                r.transport.c_str(), r.clients, r.ops, r.ops_per_sec,
+                r.read_p50, r.read_p99, r.write_p50, r.write_p99,
+                r.atomic_ok && r.no_failures ? "" : "  [FAIL]");
+    harness::Json row = harness::Json::object();
+    row.set("transport", r.transport)
+        .set("clients", r.clients)
+        .set("ops", r.ops)
+        .set("wall_s", r.wall_s)
+        .set("ops_per_sec", r.ops_per_sec)
+        .set("read_p50_us", r.read_p50)
+        .set("read_p99_us", r.read_p99)
+        .set("write_p50_us", r.write_p50)
+        .set("write_p99_us", r.write_p99)
+        .set("atomic_ok", r.atomic_ok)
+        .set("no_failures", r.no_failures);
+    jrows.push(std::move(row));
+
+    ok = ok && r.atomic_ok && r.no_failures;
+    if (r.transport == "tcp") {
+      // Sanity floor, not a perf target: localhost ABD should sustain far
+      // more than 50 ops/sec even on a loaded CI machine.
+      ok = ok && r.ops_per_sec > 50.0 && r.read_p99 > 0;
+    }
+  }
+
+  harness::Json doc = harness::Json::object();
+  doc.set("bench", "net")
+      .set("servers", 3)
+      .set("objects", kObjects)
+      .set("ops_per_client", kOpsPerClient)
+      .set("write_fraction", kWriteFraction)
+      .set("value_size", kValueSize)
+      .set("rows", std::move(jrows));
+  harness::write_json_file(out_path, doc);
+
+  if (!ok) {
+    std::fprintf(stderr, "bench_net: sanity gate failed\n");
+    return 1;
+  }
+  return 0;
+}

@@ -24,7 +24,7 @@ bool covers_config_hints(const dap::ConfigSpec& spec) {
 
 }  // namespace
 
-AresClient::AresClient(sim::Simulator& sim, sim::Network& net, ProcessId id,
+AresClient::AresClient(sim::Simulator& sim, sim::Transport& net, ProcessId id,
                        dap::ConfigRegistry& registry, ConfigId c0,
                        checker::HistoryRecorder* recorder)
     : sim::Process(sim, net, id),

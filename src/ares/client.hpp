@@ -35,7 +35,7 @@ class AresClient : public sim::Process {
   /// local cseq starts as ⟨c0, F⟩ unless rebound with bind_object().
   /// `recorder` (optional) logs the per-object operation history for
   /// atomicity checking.
-  AresClient(sim::Simulator& sim, sim::Network& net, ProcessId id,
+  AresClient(sim::Simulator& sim, sim::Transport& net, ProcessId id,
              dap::ConfigRegistry& registry, ConfigId c0,
              checker::HistoryRecorder* recorder = nullptr);
   ~AresClient() override;

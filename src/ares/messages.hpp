@@ -56,9 +56,6 @@ class WriteConfigAck final : public sim::RpcReply {
 class ReadConfigBatchReq final : public sim::RpcRequest {
  public:
   std::vector<ObjectId> objects;
-  [[nodiscard]] std::size_t metadata_bytes() const override {
-    return 32 + 8 * objects.size();
-  }
   [[nodiscard]] std::string_view type_name() const override {
     return "ares.read_config_batch";
   }
@@ -67,9 +64,6 @@ class ReadConfigBatchReq final : public sim::RpcRequest {
 class ReadConfigBatchReply final : public sim::RpcReply {
  public:
   std::vector<CseqEntry> nexts;  // aligned with the request's objects
-  [[nodiscard]] std::size_t metadata_bytes() const override {
-    return 32 + 8 * nexts.size();
-  }
   [[nodiscard]] std::string_view type_name() const override {
     return "ares.read_config_batch_reply";
   }

@@ -6,7 +6,7 @@
 
 namespace ares::reconfig {
 
-AresServer::AresServer(sim::Simulator& sim, sim::Network& net, ProcessId id,
+AresServer::AresServer(sim::Simulator& sim, sim::Transport& net, ProcessId id,
                        const dap::ConfigRegistry& registry)
     : sim::Process(sim, net, id), registry_(registry) {}
 

@@ -20,7 +20,7 @@ namespace ares::reconfig {
 
 class AresServer final : public sim::Process {
  public:
-  AresServer(sim::Simulator& sim, sim::Network& net, ProcessId id,
+  AresServer(sim::Simulator& sim, sim::Transport& net, ProcessId id,
              const dap::ConfigRegistry& registry);
 
   /// nextC of configuration `cfg` for object `obj` as this server knows it

@@ -40,7 +40,7 @@ sim::Future<void> DirectAresClient::forward_code_element(ObjectId obj,
   req->dst_config = dst;
   req->tag = tag;
   // md-primitive of [21]: delivered to every non-faulty server of C or none.
-  network().atomic_broadcast(id(), src_spec.servers, std::move(req));
+  transport().atomic_broadcast(id(), src_spec.servers, std::move(req));
 
   co_await done;
   transfers_.erase(tid);

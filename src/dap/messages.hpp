@@ -78,9 +78,6 @@ class QueryBatchReq final : public sim::RpcRequest {
   /// Ask for per-member read-lease grants (readers that can install them
   /// only — a recorded grant is an enforced promise that stalls writers).
   bool want_leases = false;
-  [[nodiscard]] std::size_t metadata_bytes() const override {
-    return 32 + 16 * objects.size();
-  }
   [[nodiscard]] std::string_view type_name() const override {
     return "dap.query_batch";
   }
@@ -113,9 +110,6 @@ class QueryBatchReply final : public sim::RpcReply {
     }
     return sum;
   }
-  [[nodiscard]] std::size_t metadata_bytes() const override {
-    return 32 + 32 * items.size();
-  }
   [[nodiscard]] std::string_view type_name() const override {
     return "dap.query_batch_reply";
   }
@@ -141,9 +135,6 @@ class PutBatchReq final : public sim::RpcRequest {
     }
     return sum;
   }
-  [[nodiscard]] std::size_t metadata_bytes() const override {
-    return 32 + 16 * items.size();
-  }
   [[nodiscard]] std::string_view type_name() const override {
     return "dap.put_batch";
   }
@@ -161,9 +152,6 @@ class PutBatchReply final : public sim::RpcReply {
   /// present when the request asked; same semantics as
   /// abd::WriteAck::lease_expiry).
   std::vector<SimTime> lease_expiries;
-  [[nodiscard]] std::size_t metadata_bytes() const override {
-    return 32 + 8 * next_cs.size() + 8 * lease_expiries.size();
-  }
   [[nodiscard]] std::string_view type_name() const override {
     return "dap.put_batch_ack";
   }
@@ -179,9 +167,6 @@ class ConfirmBatchMsg final : public sim::RpcRequest {
     Tag tag;
   };
   std::vector<Item> tags;
-  [[nodiscard]] std::size_t metadata_bytes() const override {
-    return 32 + 16 * tags.size();
-  }
   [[nodiscard]] std::string_view type_name() const override {
     return "dap.confirm_batch";
   }

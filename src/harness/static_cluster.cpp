@@ -4,7 +4,7 @@
 
 namespace ares::harness {
 
-StaticServer::StaticServer(sim::Simulator& sim, sim::Network& net,
+StaticServer::StaticServer(sim::Simulator& sim, sim::Transport& net,
                            ProcessId id, const dap::ConfigSpec& spec,
                            const dap::ConfigRegistry& reg)
     : sim::Process(sim, net, id),
@@ -17,7 +17,7 @@ void StaticServer::handle(const sim::Message& msg) {
   state_->handle(ctx, msg);
 }
 
-StaticClient::StaticClient(sim::Simulator& sim, sim::Network& net,
+StaticClient::StaticClient(sim::Simulator& sim, sim::Transport& net,
                            ProcessId id, const dap::ConfigSpec& spec,
                            checker::HistoryRecorder* recorder)
     : sim::Process(sim, net, id), spec_(spec), recorder_(recorder) {}

@@ -22,7 +22,7 @@ namespace ares::harness {
 /// Server process hosting exactly one configuration's DAP state.
 class StaticServer final : public sim::Process {
  public:
-  StaticServer(sim::Simulator& sim, sim::Network& net, ProcessId id,
+  StaticServer(sim::Simulator& sim, sim::Transport& net, ProcessId id,
                const dap::ConfigSpec& spec, const dap::ConfigRegistry& reg);
 
   [[nodiscard]] dap::DapServer& state() { return *state_; }
@@ -42,7 +42,7 @@ class StaticServer final : public sim::Process {
 /// read/write API, so it drives multi-object workloads directly.
 class StaticClient final : public sim::Process {
  public:
-  StaticClient(sim::Simulator& sim, sim::Network& net, ProcessId id,
+  StaticClient(sim::Simulator& sim, sim::Transport& net, ProcessId id,
                const dap::ConfigSpec& spec,
                checker::HistoryRecorder* recorder = nullptr);
   ~StaticClient() override;

@@ -1,0 +1,118 @@
+#include "net/runtime.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <ctime>
+
+namespace ares::net {
+
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::steady_clock;
+
+/// Sleep floor while events are due "now": avoids a busy spin when the
+/// wall clock sits exactly on the next timer's deadline.
+constexpr microseconds kMinSleep{100};
+
+/// Poll ceiling: even with an empty event queue, re-check this often so a
+/// condition-variable wakeup lost to timing can never stall a waiter.
+constexpr microseconds kIdleSleep{20'000};
+
+}  // namespace
+
+NodeRuntime::NodeRuntime(std::uint64_t seed) : sim_(seed) {}
+
+NodeRuntime::~NodeRuntime() { stop_driver(); }
+
+SimTime NodeRuntime::unix_now_us() {
+  timespec ts{};
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<SimTime>(ts.tv_sec) * 1'000'000 +
+         static_cast<SimTime>(ts.tv_nsec) / 1'000;
+}
+
+SimTime NodeRuntime::wall_locked() {
+  wall_floor_ = std::max(wall_floor_, unix_now_us());
+  return wall_floor_;
+}
+
+void NodeRuntime::pump_locked() {
+  const SimTime target = wall_locked();
+  if (target > sim_.now()) {
+    sim_.run_for(target - sim_.now());
+  } else {
+    sim_.run_for(0);
+  }
+}
+
+void NodeRuntime::run(const std::function<void()>& fn) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    sim::Simulator::ScopedCurrent cur(sim_);
+    pump_locked();
+    fn();
+    // Drain the resumptions and same-time sends fn just posted, so e.g. a
+    // reply delivery resumes its waiting coroutine before we hand the lock
+    // back to the socket thread.
+    sim_.run_for(0);
+  }
+  cv_.notify_all();
+}
+
+bool NodeRuntime::wait_until(const std::function<bool()>& pred,
+                             SimDuration timeout_us) {
+  std::unique_lock<std::mutex> lk(mu_);
+  sim::Simulator::ScopedCurrent cur(sim_);
+  const auto deadline = steady_clock::now() + microseconds(timeout_us);
+  for (;;) {
+    pump_locked();
+    if (pred()) return true;
+    const auto now = steady_clock::now();
+    if (now >= deadline) return false;
+    auto sleep = kIdleSleep;
+    if (sim_.pending_events() > 0) {
+      const SimTime next = sim_.next_event_time();
+      const SimTime due = next > wall_floor_ ? next - wall_floor_ : 0;
+      sleep = std::min(sleep, microseconds(due));
+    }
+    sleep = std::clamp(
+        sleep, kMinSleep,
+        std::chrono::duration_cast<microseconds>(deadline - now) + kMinSleep);
+    cv_.wait_for(lk, sleep);
+  }
+}
+
+void NodeRuntime::start_driver() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (driver_.joinable()) return;
+  driver_stop_ = false;
+  driver_ = std::thread(&NodeRuntime::driver_loop, this);
+}
+
+void NodeRuntime::stop_driver() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!driver_.joinable()) return;
+    driver_stop_ = true;
+  }
+  cv_.notify_all();
+  driver_.join();
+}
+
+void NodeRuntime::driver_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  sim::Simulator::ScopedCurrent cur(sim_);
+  while (!driver_stop_) {
+    pump_locked();
+    auto sleep = kIdleSleep;
+    if (sim_.pending_events() > 0) {
+      const SimTime next = sim_.next_event_time();
+      const SimTime due = next > wall_floor_ ? next - wall_floor_ : 0;
+      sleep = std::min(sleep, microseconds(due));
+    }
+    cv_.wait_for(lk, std::max(sleep, kMinSleep));
+  }
+}
+
+}  // namespace ares::net

@@ -1,0 +1,382 @@
+#include "net/tcp_transport.hpp"
+
+#include "net/wire.hpp"
+#include "sim/process.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace ares::net {
+
+namespace {
+
+/// Write the whole buffer; MSG_NOSIGNAL so a peer that died mid-write
+/// yields EPIPE instead of killing the process.
+bool write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_exact(int fd, std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::recv(fd, data, len, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+int dial(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+// --- AddressBook -------------------------------------------------------------
+
+void AddressBook::set(ProcessId id, Endpoint ep) {
+  std::lock_guard<std::mutex> lk(mu_);
+  map_[id] = std::move(ep);
+}
+
+std::optional<Endpoint> AddressBook::find(ProcessId id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = map_.find(id);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+// --- TcpTransport ------------------------------------------------------------
+
+TcpTransport::TcpTransport(NodeRuntime& rt, std::shared_ptr<AddressBook> book)
+    : TcpTransport(rt, std::move(book), Options{}) {}
+
+TcpTransport::TcpTransport(NodeRuntime& rt, std::shared_ptr<AddressBook> book,
+                           Options opt)
+    : rt_(rt), book_(std::move(book)), opt_(std::move(opt)) {}
+
+TcpTransport::~TcpTransport() { stop(); }
+
+void TcpTransport::start() {
+  running_.store(true);
+  if (!opt_.listen) return;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("TcpTransport: socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opt_.listen_port);
+  if (::inet_pton(AF_INET, opt_.listen_host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("TcpTransport: bad listen host");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    throw std::runtime_error(std::string("TcpTransport: bind/listen: ") +
+                             std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  accept_thread_ = std::thread(&TcpTransport::accept_loop, this);
+}
+
+void TcpTransport::stop() {
+  if (!running_.exchange(false)) return;
+
+  // Wake the accept loop (on Linux shutdown() makes a blocked accept()
+  // return), then the readers.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  std::vector<std::shared_ptr<Sock>> conns;
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lk(io_mu_);
+    conns = conns_;
+    readers = std::move(readers_);
+    readers_.clear();
+    routes_.clear();
+  }
+  for (auto& s : conns) {
+    s->dead.store(true);
+    ::shutdown(s->fd, SHUT_RDWR);
+  }
+  for (auto& t : readers) {
+    if (t.joinable()) t.join();
+  }
+
+  std::unordered_map<ProcessId, std::unique_ptr<Outbox>> boxes;
+  {
+    std::lock_guard<std::mutex> lk(out_mu_);
+    boxes = std::move(outboxes_);
+    outboxes_.clear();
+  }
+  for (auto& [id, box] : boxes) {
+    {
+      std::lock_guard<std::mutex> lk(box->mu);
+      box->stop = true;
+    }
+    box->cv.notify_all();
+    if (box->th.joinable()) box->th.join();
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(io_mu_);
+    for (auto& s : conns_) ::close(s->fd);
+    conns_.clear();
+  }
+}
+
+void TcpTransport::register_process(sim::Process& p) {
+  std::lock_guard<std::mutex> lk(procs_mu_);
+  procs_[p.id()] = &p;
+}
+
+void TcpTransport::unregister_process(ProcessId id) {
+  std::lock_guard<std::mutex> lk(procs_mu_);
+  procs_.erase(id);
+}
+
+void TcpTransport::send(ProcessId from, ProcessId to, sim::BodyPtr body) {
+  // Same-node shortcut: a co-hosted destination is reached through the
+  // node's own event queue (send() always runs under the node lock with
+  // Simulator::current() set, so post() is safe here).
+  {
+    std::lock_guard<std::mutex> lk(procs_mu_);
+    if (procs_.contains(to)) {
+      rt_.simulator().post(
+          [this, from, to, body] { local_deliver(from, to, body); });
+      return;
+    }
+  }
+  if (!running_.load()) return;  // crashed/stopped node: frames vanish
+  enqueue(to, wire::encode_frame(from, to, *body));
+}
+
+void TcpTransport::atomic_broadcast(ProcessId from,
+                                    std::vector<ProcessId> dests,
+                                    sim::BodyPtr body) {
+  // Approximation: per-destination sends (see sim::Transport — real
+  // crash-stop networks have no all-or-none primitive).
+  for (ProcessId d : dests) send(from, d, body);
+}
+
+void TcpTransport::enqueue(ProcessId to, std::vector<std::uint8_t> frame) {
+  Outbox* box = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(out_mu_);
+    if (!running_.load()) return;
+    auto& slot = outboxes_[to];
+    if (!slot) {
+      slot = std::make_unique<Outbox>();
+      slot->th = std::thread(&TcpTransport::sender_loop, this, to, slot.get());
+    }
+    box = slot.get();
+  }
+  {
+    std::lock_guard<std::mutex> lk(box->mu);
+    if (box->stop) return;
+    box->q.push_back(std::move(frame));
+  }
+  box->cv.notify_one();
+}
+
+void TcpTransport::sender_loop(ProcessId dest, Outbox* box) {
+  for (;;) {
+    std::vector<std::uint8_t> frame;
+    {
+      std::unique_lock<std::mutex> lk(box->mu);
+      box->cv.wait(lk, [&] { return box->stop || !box->q.empty(); });
+      if (box->stop) return;
+      frame = std::move(box->q.front());
+      box->q.pop_front();
+    }
+    auto sock = route_or_dial(dest);
+    if (!sock) {
+      frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    bool ok;
+    {
+      std::lock_guard<std::mutex> wl(sock->write_mu);
+      ok = write_all(sock->fd, frame.data(), frame.size());
+    }
+    if (ok) {
+      frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      sock->dead.store(true);
+      ::shutdown(sock->fd, SHUT_RDWR);
+      frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::shared_ptr<TcpTransport::Sock> TcpTransport::route_or_dial(
+    ProcessId dest) {
+  bool had_route = false;
+  {
+    std::lock_guard<std::mutex> lk(io_mu_);
+    auto it = routes_.find(dest);
+    if (it != routes_.end()) {
+      if (!it->second->dead.load()) return it->second;
+      had_route = true;
+      routes_.erase(it);
+    }
+    auto dit = down_until_.find(dest);
+    if (dit != down_until_.end() &&
+        std::chrono::steady_clock::now() < dit->second) {
+      return nullptr;
+    }
+  }
+  std::optional<Endpoint> ep = book_ ? book_->find(dest) : std::nullopt;
+  if (!ep) return nullptr;  // only published processes can be dialed
+
+  const int attempts = had_route ? opt_.redial_attempts : opt_.dial_attempts;
+  for (int i = 0; i < attempts && running_.load(); ++i) {
+    if (i > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(opt_.dial_retry_ms));
+    }
+    const int fd = dial(ep->host, ep->port);
+    if (fd < 0) continue;
+    auto sock = adopt_fd(fd);
+    if (!sock) {
+      ::close(fd);
+      return nullptr;
+    }
+    std::lock_guard<std::mutex> lk(io_mu_);
+    routes_[dest] = sock;
+    return sock;
+  }
+  std::lock_guard<std::mutex> lk(io_mu_);
+  down_until_[dest] = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(opt_.down_ms);
+  return nullptr;
+}
+
+std::shared_ptr<TcpTransport::Sock> TcpTransport::adopt_fd(int fd) {
+  set_nodelay(fd);
+  auto sock = std::make_shared<Sock>();
+  sock->fd = fd;
+  std::lock_guard<std::mutex> lk(io_mu_);
+  if (!running_.load()) return nullptr;
+  conns_.push_back(sock);
+  readers_.emplace_back(&TcpTransport::reader_loop, this, sock);
+  return sock;
+}
+
+void TcpTransport::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (running_.load() && (errno == EINTR || errno == ECONNABORTED)) {
+        continue;
+      }
+      return;
+    }
+    if (adopt_fd(fd) == nullptr) {
+      ::close(fd);
+      return;
+    }
+  }
+}
+
+void TcpTransport::reader_loop(std::shared_ptr<Sock> sock) {
+  std::vector<std::uint8_t> buf;
+  for (;;) {
+    std::uint8_t hdr[4];
+    if (!read_exact(sock->fd, hdr, sizeof(hdr))) break;
+    const std::uint32_t len = static_cast<std::uint32_t>(hdr[0]) |
+                              static_cast<std::uint32_t>(hdr[1]) << 8 |
+                              static_cast<std::uint32_t>(hdr[2]) << 16 |
+                              static_cast<std::uint32_t>(hdr[3]) << 24;
+    if (len < wire::kFrameHeaderBytes - 4 || len > wire::kMaxFrameBytes) break;
+    buf.resize(len);
+    if (!read_exact(sock->fd, buf.data(), len)) break;
+
+    wire::DecodedFrame frame;
+    try {
+      frame = wire::decode_frame(buf.data(), len);
+    } catch (const wire::WireError&) {
+      break;  // corrupt peer: drop the connection
+    }
+    frames_received_.fetch_add(1, std::memory_order_relaxed);
+
+    // Learn/refresh the route: this connection reaches frame.from.
+    {
+      std::lock_guard<std::mutex> lk(io_mu_);
+      auto it = routes_.find(frame.from);
+      if (it == routes_.end() || it->second->dead.load()) {
+        routes_[frame.from] = sock;
+      }
+    }
+    rt_.run([this, &frame] { local_deliver(frame.from, frame.to, frame.body); });
+  }
+  sock->dead.store(true);
+  ::shutdown(sock->fd, SHUT_RDWR);
+  std::lock_guard<std::mutex> lk(io_mu_);
+  for (auto it = routes_.begin(); it != routes_.end();) {
+    it = it->second == sock ? routes_.erase(it) : std::next(it);
+  }
+}
+
+void TcpTransport::local_deliver(ProcessId from, ProcessId to,
+                                 const sim::BodyPtr& body) {
+  sim::Process* p = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(procs_mu_);
+    auto it = procs_.find(to);
+    if (it != procs_.end()) p = it->second;
+  }
+  if (p == nullptr || p->crashed()) return;  // late frame for a gone process
+  sim::Message msg;
+  msg.from = from;
+  msg.to = to;
+  msg.sent_at = rt_.simulator().now();
+  msg.body = body;
+  p->deliver(msg);
+}
+
+}  // namespace ares::net

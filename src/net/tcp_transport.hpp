@@ -1,0 +1,185 @@
+// TcpTransport: the sim::Transport backend over real sockets. The exact
+// client/server code that runs on the deterministic simulator crosses a
+// wire here as length-prefixed binary frames (see net/wire.hpp), with the
+// asynchronous-network model preserved:
+//
+//   * Reliable-until-crash channels: frames to a reachable peer arrive in
+//     order over one TCP connection; frames to a dead or unreachable peer
+//     are silently dropped after a bounded dial effort — to the sender,
+//     slow and dead stay indistinguishable, exactly the model the
+//     protocols assume.
+//   * Per-destination sender threads: each destination gets its own queue
+//     and thread, so a SIGKILLed server stalls only its own queue while
+//     the rest of a quorum fan-out proceeds at full speed.
+//   * Learned routes: listeners never dial. A server answers a client over
+//     the connection the client dialed in on — the frame header's `from`
+//     binds the connection to a peer id on first receipt. Only processes
+//     published in the AddressBook (servers) are ever dialed.
+//   * Delivery: a reader thread decodes a frame and hands it to the node's
+//     NodeRuntime::run(), so protocol handlers and coroutine resumptions
+//     stay single-threaded per node.
+//
+// atomic_broadcast degrades to per-destination sends: real crash-stop
+// networks have no all-or-none md-primitive, so protocols that *depend* on
+// that guarantee (the Section-5 direct state transfer) are verified on the
+// sim backend (see sim::Transport).
+//
+// Lifetime: stop() (idempotent, called by the destructor) joins every
+// thread. Registered processes must stay alive until stop() returns.
+#pragma once
+
+#include "common/types.hpp"
+#include "net/runtime.hpp"
+#include "sim/transport.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace ares::net {
+
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+/// Shared ProcessId -> Endpoint directory (the deployment's static
+/// membership knowledge). Servers publish themselves after binding;
+/// clients are absent — they are only ever reached over learned routes.
+class AddressBook {
+ public:
+  void set(ProcessId id, Endpoint ep);
+  [[nodiscard]] std::optional<Endpoint> find(ProcessId id) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<ProcessId, Endpoint> map_;
+};
+
+class TcpTransport final : public sim::Transport {
+ public:
+  struct Options {
+    /// Servers listen; pure clients only dial.
+    bool listen = false;
+    std::string listen_host = "127.0.0.1";
+    std::uint16_t listen_port = 0;  // 0 = ephemeral, see port()
+
+    /// Dial budget for a destination never connected before (covers the
+    /// startup race where a peer's listener is still coming up) vs. one
+    /// whose established connection died (it probably crashed).
+    int dial_attempts = 40;
+    int redial_attempts = 2;
+    int dial_retry_ms = 50;
+
+    /// After a failed dial, drop frames to that destination without
+    /// re-dialing for this long (a crashed server must not cost every
+    /// subsequent frame a connect timeout).
+    int down_ms = 2000;
+  };
+
+  TcpTransport(NodeRuntime& rt, std::shared_ptr<AddressBook> book);
+  TcpTransport(NodeRuntime& rt, std::shared_ptr<AddressBook> book,
+               Options opt);
+  ~TcpTransport() override;
+
+  /// Bind + listen (if configured) and start accepting. Must be called
+  /// before the first frame can flow; processes may register earlier.
+  void start();
+
+  /// Close every socket and join every thread. Idempotent.
+  void stop();
+
+  /// Actual listening port (after start() with listen=true).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  [[nodiscard]] std::uint64_t frames_sent() const { return frames_sent_; }
+  [[nodiscard]] std::uint64_t frames_received() const {
+    return frames_received_;
+  }
+  [[nodiscard]] std::uint64_t frames_dropped() const {
+    return frames_dropped_;
+  }
+
+  // --- sim::Transport --------------------------------------------------------
+  void register_process(sim::Process& p) override;
+  void unregister_process(ProcessId id) override;
+  void send(ProcessId from, ProcessId to, sim::BodyPtr body) override;
+  void atomic_broadcast(ProcessId from, std::vector<ProcessId> dests,
+                        sim::BodyPtr body) override;
+
+ private:
+  /// One TCP connection. A single reader thread owns the receive side; the
+  /// write side is shared by sender threads under write_mu (two outboxes
+  /// may route over one connection when a peer node hosts two processes).
+  /// The fd is closed only in stop(), after every thread that could touch
+  /// it has been joined — readers mark `dead` and shutdown() instead.
+  struct Sock {
+    int fd = -1;
+    std::mutex write_mu;
+    std::atomic<bool> dead{false};
+  };
+
+  struct Outbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::vector<std::uint8_t>> q;
+    bool stop = false;
+    std::thread th;
+  };
+
+  void accept_loop();
+  void reader_loop(std::shared_ptr<Sock> sock);
+  void sender_loop(ProcessId dest, Outbox* box);
+
+  /// The live learned route to `dest`, dialing through the AddressBook if
+  /// there is none. Returns nullptr when the destination is unreachable.
+  std::shared_ptr<Sock> route_or_dial(ProcessId dest);
+
+  /// Wrap an accepted/dialed fd: registers it and spawns its reader.
+  /// Returns nullptr (caller closes fd) when the transport has stopped.
+  std::shared_ptr<Sock> adopt_fd(int fd);
+
+  void enqueue(ProcessId to, std::vector<std::uint8_t> frame);
+
+  /// Hand a message to the local process `to` (runs inside rt_.run() or a
+  /// posted simulator event — node lock held either way).
+  void local_deliver(ProcessId from, ProcessId to, const sim::BodyPtr& body);
+
+  NodeRuntime& rt_;
+  std::shared_ptr<AddressBook> book_;
+  Options opt_;
+
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+
+  std::mutex procs_mu_;
+  std::unordered_map<ProcessId, sim::Process*> procs_;
+
+  std::mutex io_mu_;  // conns_, readers_, routes_, down_until_
+  std::vector<std::shared_ptr<Sock>> conns_;
+  std::vector<std::thread> readers_;
+  std::unordered_map<ProcessId, std::shared_ptr<Sock>> routes_;
+  std::unordered_map<ProcessId, std::chrono::steady_clock::time_point>
+      down_until_;
+
+  std::mutex out_mu_;
+  std::unordered_map<ProcessId, std::unique_ptr<Outbox>> outboxes_;
+
+  std::atomic<std::uint64_t> frames_sent_{0};
+  std::atomic<std::uint64_t> frames_received_{0};
+  std::atomic<std::uint64_t> frames_dropped_{0};
+};
+
+}  // namespace ares::net

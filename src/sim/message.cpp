@@ -1,0 +1,11 @@
+#include "sim/message.hpp"
+
+#include "net/wire.hpp"
+
+namespace ares::sim {
+
+std::size_t MessageBody::metadata_bytes() const {
+  return net::wire::metadata_bytes(*this);
+}
+
+}  // namespace ares::sim

@@ -19,9 +19,13 @@ class MessageBody {
   /// Bytes of object data (values / coded elements) carried by this message.
   [[nodiscard]] virtual std::size_t data_bytes() const { return 0; }
 
-  /// Bytes of metadata (tags, ids, status flags). Nominal small constant by
-  /// default; the paper's cost accounting ignores these.
-  [[nodiscard]] virtual std::size_t metadata_bytes() const { return 32; }
+  /// Bytes of metadata (tags, ids, status flags). Measured: frame header
+  /// plus the encoded wire size of this message minus its object-data bytes
+  /// (see net/wire.hpp), so sim-mode byte accounting matches what the socket
+  /// transport actually puts on the wire. Falls back to a nominal 32 for
+  /// types without a registered codec. The paper's cost accounting ignores
+  /// these either way.
+  [[nodiscard]] virtual std::size_t metadata_bytes() const;
 
   /// Stable name used for per-type network statistics.
   [[nodiscard]] virtual std::string_view type_name() const = 0;

@@ -7,6 +7,7 @@
 #include "common/types.hpp"
 #include "sim/message.hpp"
 #include "sim/simulator.hpp"
+#include "sim/transport.hpp"
 
 #include <functional>
 #include <map>
@@ -55,7 +56,7 @@ inline constexpr SimDuration kDropMessage =
                                    SimDuration service_time,
                                    std::unordered_set<ProcessId> queued = {});
 
-class Network {
+class Network final : public Transport {
  public:
   struct Stats {
     std::uint64_t messages = 0;
@@ -68,20 +69,20 @@ class Network {
   Network(Simulator& sim, SimDuration min_delay, SimDuration max_delay);
 
   /// Processes register themselves on construction (see Process).
-  void register_process(Process& p);
-  void unregister_process(ProcessId id);
+  void register_process(Process& p) override;
+  void unregister_process(ProcessId id) override;
 
   /// Point-to-point send. Reliable unless a party crashes: the message is
   /// dropped if the sender is already crashed at send time or the receiver
   /// is crashed at delivery time.
-  void send(ProcessId from, ProcessId to, BodyPtr body);
+  void send(ProcessId from, ProcessId to, BodyPtr body) override;
 
   /// All-or-none broadcast (md-primitive of [21]): one event delivers the
   /// message to every destination that is alive at delivery time. Because
   /// the delivery is a single simulator event, no prefix of destinations can
   /// observe it while others never do — exactly the primitive's guarantee.
   void atomic_broadcast(ProcessId from, std::vector<ProcessId> dests,
-                        BodyPtr body);
+                        BodyPtr body) override;
 
   /// Crash-stop `id`: it stops receiving and sending from this instant.
   void crash(ProcessId id);
@@ -106,5 +107,13 @@ class Network {
   std::unordered_set<ProcessId> crashed_;
   Stats stats_;
 };
+
+/// The simulator backend viewed through the Transport seam: Network *is*
+/// the sim transport — the alias names the role it plays next to
+/// net::TcpTransport. The extraction is pure: Process routes its sends
+/// through the Transport interface, but every call lands on the exact
+/// simulator path it always took (same events, same rng stream, same
+/// histories for the same seed).
+using SimTransport = Network;
 
 }  // namespace ares::sim

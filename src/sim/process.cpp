@@ -4,7 +4,7 @@
 
 namespace ares::sim {
 
-Process::Process(Simulator& sim, Network& net, ProcessId id)
+Process::Process(Simulator& sim, Transport& net, ProcessId id)
     : sim_(sim), net_(net), id_(id) {
   net_.register_process(*this);
 }

@@ -10,6 +10,7 @@
 #include "sim/message.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
+#include "sim/transport.hpp"
 
 #include <cassert>
 #include <concepts>
@@ -49,7 +50,10 @@ struct TrafficStats {
 
 class Process {
  public:
-  Process(Simulator& sim, Network& net, ProcessId id);
+  /// `net` is the transport this process communicates through — the
+  /// deterministic simulator (sim::Network) or a socket backend
+  /// (net::TcpTransport). Protocol code never observes which.
+  Process(Simulator& sim, Transport& net, ProcessId id);
   virtual ~Process();
 
   Process(const Process&) = delete;
@@ -59,7 +63,7 @@ class Process {
   [[nodiscard]] bool crashed() const { return crashed_; }
   [[nodiscard]] Simulator& simulator() { return sim_; }
   [[nodiscard]] const Simulator& simulator() const { return sim_; }
-  [[nodiscard]] Network& network() { return net_; }
+  [[nodiscard]] Transport& transport() { return net_; }
 
   /// Entry point used by the network. Routes RPC replies to pending calls
   /// and everything else to handle().
@@ -163,7 +167,7 @@ class Process {
   }
 
   Simulator& sim_;
-  Network& net_;
+  Transport& net_;
   ProcessId id_;
   bool crashed_ = false;
   std::uint64_t next_rpc_id_ = 1;

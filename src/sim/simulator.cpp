@@ -16,6 +16,12 @@ Simulator::~Simulator() { t_current = prev_current_; }
 
 Simulator* Simulator::current() { return t_current; }
 
+Simulator::ScopedCurrent::ScopedCurrent(Simulator& s) : prev_(t_current) {
+  t_current = &s;
+}
+
+Simulator::ScopedCurrent::~ScopedCurrent() { t_current = prev_; }
+
 void Simulator::post(std::function<void()> action) {
   queue_.push(now_, std::move(action));
 }

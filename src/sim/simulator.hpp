@@ -24,6 +24,22 @@ class Simulator {
   /// promises use it to schedule resumptions through the event queue).
   [[nodiscard]] static Simulator* current();
 
+  /// RAII: makes `s` the thread's current() for the scope. The socket
+  /// backend dispatches protocol handlers on threads that did not
+  /// construct the node's Simulator; the guard routes their coroutine
+  /// resumptions into the right event queue. Single-threaded sim runs
+  /// never need it.
+  class ScopedCurrent {
+   public:
+    explicit ScopedCurrent(Simulator& s);
+    ~ScopedCurrent();
+    ScopedCurrent(const ScopedCurrent&) = delete;
+    ScopedCurrent& operator=(const ScopedCurrent&) = delete;
+
+   private:
+    Simulator* prev_;
+  };
+
   [[nodiscard]] SimTime now() const { return now_; }
   [[nodiscard]] Rng& rng() { return rng_; }
 
@@ -52,6 +68,10 @@ class Simulator {
                std::size_t max_events = kDefaultEventBudget);
 
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+  /// Timestamp of the earliest pending event (the socket backend's timer
+  /// pump sleeps until then). Requires pending_events() > 0.
+  [[nodiscard]] SimTime next_event_time() const { return queue_.next_time(); }
   [[nodiscard]] std::size_t events_executed() const { return executed_; }
 
   static constexpr std::size_t kDefaultEventBudget = 50'000'000;

@@ -1,0 +1,49 @@
+// The transport boundary underneath sim::Process: everything a process
+// needs from "the outside world" to run the protocols — point-to-point
+// send, the md-primitive broadcast, and process registration. Two backends
+// implement it:
+//
+//   * sim::Network (alias sim::SimTransport) — the deterministic
+//     discrete-event simulator path. The correctness harness: same seed,
+//     same history, adversarial schedules on demand.
+//   * net::TcpTransport — real sockets on a real clock. The identical
+//     client/server code (Process subclasses never see which backend they
+//     run on) crosses a wire as length-prefixed binary frames, so
+//     throughput and latency become measured claims instead of
+//     simulated-latency proxies.
+#pragma once
+
+#include "common/types.hpp"
+#include "sim/message.hpp"
+
+#include <vector>
+
+namespace ares::sim {
+
+class Process;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Processes register themselves on construction (see Process) and
+  /// unregister on destruction.
+  virtual void register_process(Process& p) = 0;
+  virtual void unregister_process(ProcessId id) = 0;
+
+  /// Point-to-point send. Reliable unless a party crashes; delivery is
+  /// asynchronous (slow and dead are indistinguishable to the sender).
+  virtual void send(ProcessId from, ProcessId to, BodyPtr body) = 0;
+
+  /// All-or-none broadcast (the md-primitive of [21] used by the
+  /// ARES-TREAS direct state transfer). The simulator implements the
+  /// primitive's exact guarantee — one event delivers to every live
+  /// destination; the socket backend approximates it with per-destination
+  /// sends (real crash-stop networks have no md-primitive, so protocols
+  /// that *depend* on all-or-none semantics are verified on the sim
+  /// backend).
+  virtual void atomic_broadcast(ProcessId from, std::vector<ProcessId> dests,
+                                BodyPtr body) = 0;
+};
+
+}  // namespace ares::sim

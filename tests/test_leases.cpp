@@ -381,8 +381,14 @@ TEST(Leases, BatchReadsServeLeasedMembersLocally) {
                                    client.read_batch({0, 1, 2, 3}));
   EXPECT_EQ(client.traffic().quorum_rounds - mid.quorum_rounds, 1u);
   EXPECT_EQ(client.traffic().messages_sent - mid.messages_sent, 5u);
+  // The fan-out's metadata cost is that of a batch request listing ONLY the
+  // cold member: one object id and one confirmed hint on the wire (measured
+  // by the codec — sizes depend only on the member counts).
+  dap::QueryBatchReq probe;
+  probe.objects = {3};
+  probe.confirmed_hints = {Tag{}};
   EXPECT_EQ(client.traffic().metadata_bytes_sent - mid.metadata_bytes_sent,
-            5u * (32 + 16 * 1));
+            5u * probe.metadata_bytes());
   EXPECT_EQ(b3[3].tag, t3);
   EXPECT_EQ(*b3[3].value, *v3);
   for (std::size_t i = 0; i < 3; ++i) {

@@ -1,0 +1,288 @@
+// The transport-portability contract: the same protocol scenarios — ABD
+// read/write flow (including a server crash), TREAS erasure-coded
+// round-trips, and the read-lease fast path — run unmodified over the
+// deterministic simulator AND over real localhost TCP sockets. The test
+// bodies are shared; only the backend fixture differs (TYPED_TEST), so any
+// divergence between the two transports fails here by construction.
+#include "checker/atomicity.hpp"
+#include "harness/ares_cluster.hpp"
+#include "net/cluster.hpp"
+#include "sim/coro.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ares {
+namespace {
+
+ValuePtr value_of(const std::string& s) {
+  return std::make_shared<Value>(s.begin(), s.end());
+}
+
+std::string to_string(const ValuePtr& v) {
+  if (!v) return {};
+  return std::string(v->begin(), v->end());
+}
+
+/// Backend-agnostic deployment shape for the shared test bodies.
+struct DeployConfig {
+  std::size_t servers = 3;
+  dap::Protocol protocol = dap::Protocol::kAbd;
+  std::size_t k = 1;
+  std::size_t clients = 2;
+  /// Read-lease window: wall-clock µs on TCP, time units on the sim. A
+  /// value large against both backends' operation latencies works for
+  /// both (0 = leases off).
+  SimDuration lease = 0;
+  std::uint64_t seed = 7;
+};
+
+/// Sim backend: wraps harness::AresCluster, driving each blocking call to
+/// completion on the deterministic event loop.
+class SimBackend {
+ public:
+  explicit SimBackend(const DeployConfig& cfg) {
+    harness::AresClusterOptions o;
+    o.server_pool = cfg.servers;
+    o.initial_protocol = cfg.protocol;
+    o.initial_servers = cfg.servers;
+    o.initial_k = cfg.k;
+    o.num_rw_clients = cfg.clients;
+    o.num_reconfigurers = 0;
+    o.seed = cfg.seed;
+    o.lease_ms = cfg.lease;
+    o.lease_policy = dap::LeasePolicy::kInvalidate;
+    cluster_ = std::make_unique<harness::AresCluster>(o);
+  }
+
+  OpResult read(std::size_t c, ObjectId obj) {
+    auto f = cluster_->store(c).read(obj);
+    return sim::run_to_completion(cluster_->sim(), std::move(f));
+  }
+
+  OpResult write(std::size_t c, ObjectId obj, ValuePtr v) {
+    auto f = cluster_->store(c).write(obj, std::move(v));
+    return sim::run_to_completion(cluster_->sim(), std::move(f));
+  }
+
+  void kill_server(std::size_t i) {
+    cluster_->net().crash(static_cast<ProcessId>(i));
+  }
+
+  [[nodiscard]] std::map<ObjectId, checker::CheckResult> check() const {
+    return cluster_->check_atomicity_per_object();
+  }
+
+ private:
+  std::unique_ptr<harness::AresCluster> cluster_;
+};
+
+/// TCP backend: wraps net::NetCluster — every call crosses real sockets
+/// between per-node event loops on real threads.
+class TcpBackend {
+ public:
+  explicit TcpBackend(const DeployConfig& cfg) {
+    net::NetClusterOptions o;
+    o.servers = cfg.servers;
+    o.protocol = cfg.protocol;
+    o.k = cfg.k;
+    o.num_clients = cfg.clients;
+    o.seed = cfg.seed;
+    o.lease_us = cfg.lease;
+    o.lease_policy = dap::LeasePolicy::kInvalidate;
+    cluster_ = std::make_unique<net::NetCluster>(o);
+  }
+
+  OpResult read(std::size_t c, ObjectId obj) { return cluster_->read(c, obj); }
+
+  OpResult write(std::size_t c, ObjectId obj, ValuePtr v) {
+    return cluster_->write(c, obj, std::move(v));
+  }
+
+  void kill_server(std::size_t i) { cluster_->kill_server(i); }
+
+  [[nodiscard]] std::map<ObjectId, checker::CheckResult> check() const {
+    return cluster_->check_atomicity();
+  }
+
+  [[nodiscard]] net::NetCluster& cluster() { return *cluster_; }
+
+ private:
+  std::unique_ptr<net::NetCluster> cluster_;
+};
+
+template <typename Backend>
+class TransportSuite : public ::testing::Test {};
+
+using Backends = ::testing::Types<SimBackend, TcpBackend>;
+TYPED_TEST_SUITE(TransportSuite, Backends);
+
+void expect_atomic(const std::map<ObjectId, checker::CheckResult>& verdicts) {
+  ASSERT_FALSE(verdicts.empty());
+  for (const auto& [obj, res] : verdicts) {
+    EXPECT_TRUE(res.ok) << "object " << obj << ": " << res.violation;
+  }
+}
+
+// The full ABD read/write flow: writes become visible to every client,
+// reads return the latest written value, the history is atomic.
+TYPED_TEST(TransportSuite, AbdReadWriteFlow) {
+  DeployConfig cfg;
+  TypeParam backend(cfg);
+
+  const auto w1 = backend.write(0, kDefaultObject, value_of("alpha"));
+  EXPECT_TRUE(w1.is_write);
+  EXPECT_GT(w1.tag.z, 0u);
+
+  const auto r1 = backend.read(1, kDefaultObject);
+  EXPECT_EQ(to_string(r1.value), "alpha");
+  EXPECT_EQ(r1.tag, w1.tag);
+
+  const auto w2 = backend.write(1, kDefaultObject, value_of("beta"));
+  EXPECT_TRUE(w1.tag < w2.tag);
+
+  const auto r2 = backend.read(0, kDefaultObject);
+  EXPECT_EQ(to_string(r2.value), "beta");
+
+  expect_atomic(backend.check());
+}
+
+// A minority server crash mid-run: operations keep completing against the
+// surviving majority and the history stays atomic.
+TYPED_TEST(TransportSuite, AbdSurvivesServerCrash) {
+  DeployConfig cfg;
+  TypeParam backend(cfg);
+
+  const auto w1 = backend.write(0, kDefaultObject, value_of("before-crash"));
+  EXPECT_GT(w1.tag.z, 0u);
+
+  backend.kill_server(2);
+
+  const auto w2 = backend.write(1, kDefaultObject, value_of("after-crash"));
+  EXPECT_TRUE(w1.tag < w2.tag);
+  const auto r = backend.read(0, kDefaultObject);
+  EXPECT_EQ(to_string(r.value), "after-crash");
+
+  expect_atomic(backend.check());
+}
+
+// TREAS [5,3] erasure-coded round-trip, including a value big enough that
+// fragments dominate framing.
+TYPED_TEST(TransportSuite, TreasReadWriteFlow) {
+  DeployConfig cfg;
+  cfg.servers = 5;
+  cfg.protocol = dap::Protocol::kTreas;
+  cfg.k = 3;
+  TypeParam backend(cfg);
+
+  std::string big(8192, 'x');
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<char>('a' + (i % 23));
+  }
+  const auto w1 = backend.write(0, kDefaultObject, value_of(big));
+  EXPECT_GT(w1.tag.z, 0u);
+
+  const auto r1 = backend.read(1, kDefaultObject);
+  EXPECT_EQ(to_string(r1.value), big);
+  EXPECT_EQ(r1.tag, w1.tag);
+
+  const auto w2 = backend.write(1, kDefaultObject, value_of("small"));
+  const auto r2 = backend.read(0, kDefaultObject);
+  EXPECT_EQ(to_string(r2.value), "small");
+  EXPECT_EQ(r2.tag, w2.tag);
+
+  expect_atomic(backend.check());
+}
+
+// The read-lease fast path: the second read under a live lease is served
+// entirely locally (zero rounds, zero messages); a later write invalidates
+// the lease and its value is what subsequent reads return.
+TYPED_TEST(TransportSuite, LeaseServesSecondReadLocally) {
+  DeployConfig cfg;
+  cfg.lease = 5'000'000;  // far above both backends' op latencies
+  TypeParam backend(cfg);
+
+  // Client 1 writes; client 0 reads (its *first* contact — a write-ack
+  // lease would make the writer's own reads local already).
+  const auto w1 = backend.write(1, kDefaultObject, value_of("leased"));
+  EXPECT_GT(w1.tag.z, 0u);
+
+  const auto r1 = backend.read(0, kDefaultObject);
+  EXPECT_EQ(to_string(r1.value), "leased");
+  EXPECT_GT(r1.metrics.rounds, 0u);  // first read pays the quorum round
+
+  const auto r2 = backend.read(0, kDefaultObject);
+  EXPECT_EQ(to_string(r2.value), "leased");
+  EXPECT_TRUE(r2.metrics.local())
+      << "second read under a live lease should cost zero rounds, got "
+      << r2.metrics.rounds << " rounds / " << r2.metrics.messages
+      << " messages";
+
+  // A write from the other client settles the lease (kInvalidate pushes an
+  // invalidation to the holder) — the holder's next read sees the new value.
+  const auto w2 = backend.write(1, kDefaultObject, value_of("settled"));
+  EXPECT_TRUE(w1.tag < w2.tag);
+  const auto r3 = backend.read(0, kDefaultObject);
+  EXPECT_EQ(to_string(r3.value), "settled");
+
+  expect_atomic(backend.check());
+}
+
+// --- TCP-only coverage -------------------------------------------------------
+
+// Frames really cross sockets (no hidden same-process shortcut), and the
+// threaded workload driver produces an atomic history with sane metrics.
+TEST(TcpTransportOnly, WorkloadCrossesTheWireAtomically) {
+  DeployConfig cfg;
+  cfg.clients = 3;
+  TcpBackend backend(cfg);
+
+  harness::WorkloadOptions w;
+  w.ops_per_client = 20;
+  w.write_fraction = 0.4;
+  w.value_size = 128;
+  w.seed = 11;
+  const auto result = net::run_net_workload(backend.cluster(), w);
+
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.failures, 0u);
+  EXPECT_EQ(result.ops.size(), 3u * 20u);
+  EXPECT_GT(result.mean_latency(false), 0.0);
+  EXPECT_GT(result.mean_rounds(true), 0.0);
+
+  EXPECT_GT(backend.cluster().total_frames_sent(), 0u);
+  EXPECT_GT(backend.cluster().total_frames_received(), 0u);
+
+  expect_atomic(backend.check());
+}
+
+// Batched reads cross the wire as one multi-object quorum round.
+TEST(TcpTransportOnly, BatchedReadsOverTcp) {
+  net::NetClusterOptions o;
+  o.servers = 3;
+  o.num_clients = 1;
+  o.num_objects = 4;
+  o.seed = 3;
+  net::NetCluster cluster(o);
+
+  for (ObjectId obj = 0; obj < 4; ++obj) {
+    (void)cluster.write(0, obj, value_of("obj" + std::to_string(obj)));
+  }
+  const auto results = cluster.read_batch(0, {0, 1, 2, 3});
+  ASSERT_EQ(results.size(), 4u);
+  for (ObjectId obj = 0; obj < 4; ++obj) {
+    EXPECT_EQ(to_string(results[obj].value), "obj" + std::to_string(obj));
+  }
+  std::uint64_t batch_rounds = 0;
+  for (const auto& r : results) batch_rounds += r.metrics.rounds;
+  // One get-data + one put-back round shared by 4 members, not 4x.
+  EXPECT_LE(batch_rounds, 4u);
+  expect_atomic(cluster.check_atomicity());
+}
+
+}  // namespace
+}  // namespace ares
