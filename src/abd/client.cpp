@@ -1,6 +1,7 @@
 #include "abd/client.hpp"
 
 #include "abd/messages.hpp"
+#include "common/mutations.hpp"
 #include "dap/messages.hpp"
 
 namespace ares::abd {
@@ -61,37 +62,47 @@ sim::Future<dap::GetDataResult> AbdDap::get_data_confirmed(
   co_return result;
 }
 
-sim::Future<TagValue> AbdDap::get_data_fenced() {
+sim::Future<TagValue> AbdDap::get_data_fenced(CseqEntry successor) {
   auto req = std::make_shared<QueryReq>();
   req->config = spec_.id;
   req->object = object();
   req->confirmed_hint = confirmed_tag();
+  // Mutation under test: degrade the fence to a plain quorum read — both
+  // the wait predicate below and the successor piggyback, which by itself
+  // repairs most schedules (servers learn nextC from the query and stamp
+  // the racing writer's put acks).
+  if (!mutations().skip_transfer_fence) req->install_next = successor;
   auto qc = sim::broadcast_collect<QueryReply>(owner_, spec_.servers,
                                                std::move(req));
   // Fence: besides a plain quorum, require a quorum of replies whose
   // server has installed (and echoes) a successor pointer for the object.
   // Such a reply fixes an order against any concurrent write in this
   // configuration: the server either processed the write's put-data before
-  // replying here (we see tag ≥ τ_w below), or it replied first — and then
-  // its put ack carries the successor, so the writer does not elide its
-  // config check and discovers the transfer. Either way every put-data
+  // replying here (we see tag >= tau_w below), or it replied first -- and
+  // then its put ack carries the successor, so the writer does not elide
+  // its config check and discovers the transfer. Either way every put-data
   // whose post-put round was elided is visible to this read, which is what
-  // makes the elision safe. Liveness: the reconfiguration completed
-  // put-config to a quorum before calling us (Alg. 5 phases 1–2), so a
-  // quorum of live servers does echo the pointer.
+  // makes the elision safe. Liveness: the request piggybacks the decided
+  // successor (install_next above) and servers install it before replying,
+  // so ANY live quorum satisfies the fence -- it does not depend on the
+  // put-config ack quorum surviving (fuzzer-found schedule: put-config
+  // lands on {a,b} while c is partitioned, b crashes, c heals unaware).
   using Arrivals =
       std::vector<typename sim::QuorumCollector<QueryReply>::Arrival>;
   const std::size_t q = spec_.quorum_size();
   // Hoisted per the GCC-12 note in sim/coro.hpp: no temporaries inside the
   // co_await expression.
-  std::function<bool(const Arrivals&)> fenced = [q](const Arrivals& as) {
-    if (as.size() < q) return false;
-    std::size_t with_next = 0;
-    for (const auto& a : as) {
-      if (a.reply->next_c.valid()) ++with_next;
-    }
-    return with_next >= q;
-  };
+  const bool fence_on = !mutations().skip_transfer_fence;
+  std::function<bool(const Arrivals&)> fenced =
+      [q, fence_on](const Arrivals& as) {
+        if (as.size() < q) return false;
+        if (!fence_on) return true;
+        std::size_t with_next = 0;
+        for (const auto& a : as) {
+          if (a.reply->next_c.valid()) ++with_next;
+        }
+        return with_next >= q;
+      };
   co_await qc.wait(fenced);
   TagValue best{kInitialTag, nullptr};
   for (const auto& a : qc.arrivals()) {

@@ -19,7 +19,8 @@ class AbdDap final : public dap::Dap {
   [[nodiscard]] sim::Future<Tag> get_tag() override;
   [[nodiscard]] sim::Future<dap::GetDataResult> get_data_confirmed(
       bool want_lease) override;
-  [[nodiscard]] sim::Future<TagValue> get_data_fenced() override;
+  [[nodiscard]] sim::Future<TagValue> get_data_fenced(
+      CseqEntry successor) override;
   [[nodiscard]] sim::Future<void> put_data(TagValue tv) override;
   [[nodiscard]] sim::Future<dap::PutDataResult> put_data_leased(
       TagValue tv, bool want_lease) override;

@@ -900,13 +900,14 @@ sim::Future<void> AresClient::update_config(ObjectId obj) {
     // Fenced on every transfer *source* (i < v): count only replies whose
     // server echoes the installed successor pointer, so the transfer is
     // ordered against concurrent writes whose post-put config check was
-    // elided (see write_core). Live because Alg. 5 phases 1–2 completed
-    // put-config to a quorum of cseq[i] before this phase runs. The tail
+    // elided (see write_core). The fence carries cseq[i+1] and installs it
+    // on every replying server, so any live quorum suffices. The tail
     // (i == v) has no successor pointer yet and stays unfenced — it is the
     // transfer *destination*, not a source.
     TagValue tv;
     if (i < v) {
-      auto fut = dap_for(obj, cseq(obj)[i].cfg)->get_data_fenced();
+      auto fut =
+          dap_for(obj, cseq(obj)[i].cfg)->get_data_fenced(cseq(obj)[i + 1]);
       tv = co_await fut;
     } else {
       auto fut = dap_for(obj, cseq(obj)[i].cfg)->get_data();

@@ -57,11 +57,33 @@ AresServer::PerConfig* AresServer::config_state(ConfigId cfg) {
   return &ins->second;
 }
 
+void AresServer::begin_recovery(std::vector<ConfigId> stale_configs) {
+  stale_.insert(stale_configs.begin(), stale_configs.end());
+}
+
 void AresServer::handle(const sim::Message& msg) {
   auto req = std::dynamic_pointer_cast<const sim::RpcRequest>(msg.body);
   if (!req) return;
+  // Amnesia guard: stay silent for configurations served before a restart
+  // (crash-stop semantics per old configuration — see begin_recovery).
+  if (!stale_.empty() && stale_.contains(req->config)) return;
   PerConfig* pc = config_state(req->config);
   if (pc == nullptr) return;
+
+  // Successor propagation (fenced transfer reads): adopt a piggybacked
+  // nextC entry under the same rule as put-config — Alg. 6, never demote a
+  // finalized pointer. This installs real reconfiguration state, so
+  // materializing the per-object slot here is intentional (unlike the
+  // plain-DAP rule below). No lease settling: the transfer runs after a
+  // quorum put-config already gated its acks on settlement, and installing
+  // the pointer only *adds* fencing (blocks further grants, stamps put
+  // acks) — it never unblocks a waiting writer.
+  if (req->install_next.valid()) {
+    PerObject& inst = pc->objects[req->object];
+    if (!inst.nextc.valid() || !inst.nextc.finalized) {
+      inst.nextc = req->install_next;
+    }
+  }
 
   // Reconfiguration-service state (a nextC pointer plus a Paxos acceptor
   // per (configuration, object)) materializes only for the message types

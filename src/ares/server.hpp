@@ -15,6 +15,8 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
+#include <vector>
 
 namespace ares::reconfig {
 
@@ -35,6 +37,23 @@ class AresServer final : public sim::Process {
   /// Total object-data bytes stored across all hosted configurations and
   /// objects (the paper's storage cost for this server).
   [[nodiscard]] std::size_t stored_data_bytes() const;
+
+  /// Crash-recovery amnesia guard. A server restarted with empty volatile
+  /// state must not answer for configurations it served before the crash:
+  /// its pre-crash acks are gone (e.g. a write quorum counted it), so an
+  /// empty reply to an old-config query would let a read quorum miss a
+  /// completed write. Recording the stale set and staying silent for it is
+  /// exactly crash-stop semantics per old configuration — safe under the
+  /// usual f-threshold — while configurations installed after the restart
+  /// start empty on every member, so serving them is sound. The recovered
+  /// server rejoins real service when a reconfiguration transfers state
+  /// into a successor configuration that lists it.
+  void begin_recovery(std::vector<ConfigId> stale_configs);
+
+  /// Configurations this server went amnesiac on (tests/diagnostics).
+  [[nodiscard]] const std::set<ConfigId>& stale_configs() const {
+    return stale_;
+  }
 
  protected:
   void handle(const sim::Message& msg) override;
@@ -65,6 +84,10 @@ class AresServer final : public sim::Process {
 
   const dap::ConfigRegistry& registry_;
   std::map<ConfigId, PerConfig> configs_;
+
+  /// Configurations registered before a restart (see begin_recovery):
+  /// messages addressed to them are dropped silently.
+  std::set<ConfigId> stale_;
 };
 
 }  // namespace ares::reconfig

@@ -74,7 +74,8 @@ sim::Future<void> DirectAresClient::update_config(ObjectId obj) {
   for (std::size_t i = m; i <= v; ++i) {
     Tag t;
     if (i < v) {
-      auto fut = dap_for(obj, cseq(obj)[i].cfg)->get_dec_tag_fenced();
+      auto fut =
+          dap_for(obj, cseq(obj)[i].cfg)->get_dec_tag_fenced(cseq(obj)[i + 1]);
       t = co_await fut;
     } else {
       auto fut = dap_for(obj, cseq(obj)[i].cfg)->get_dec_tag();

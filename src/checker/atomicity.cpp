@@ -7,9 +7,8 @@
 #include <sstream>
 
 namespace ares::checker {
-namespace {
 
-std::string describe(const OpRecord& r) {
+std::string describe_op(const OpRecord& r) {
   std::ostringstream os;
   os << (r.kind == OpKind::kWrite ? "write" : "read") << "#" << r.op_id
      << " by p" << r.client << " on obj" << r.object << " [" << r.invoked
@@ -19,7 +18,29 @@ std::string describe(const OpRecord& r) {
   return os.str();
 }
 
-CheckResult fail(const std::string& msg) { return CheckResult{false, msg}; }
+std::string CheckResult::to_string() const {
+  if (ok) return {};
+  std::ostringstream os;
+  os << violation;
+  if (!witnesses.empty()) {
+    os << "\ncounterexample (" << witnesses.size() << " ops):";
+    for (const auto& w : witnesses) os << "\n  " << describe_op(w);
+  }
+  return os.str();
+}
+
+namespace {
+
+std::string describe(const OpRecord& r) { return describe_op(r); }
+
+CheckResult fail(const std::string& msg,
+                 std::vector<OpRecord> witnesses = {}) {
+  CheckResult r{};
+  r.ok = false;
+  r.violation = msg;
+  r.witnesses = std::move(witnesses);
+  return r;
+}
 
 /// Split a (possibly mixed) history into per-object sub-histories,
 /// preserving record order. Single-object histories come back as one group.
@@ -50,7 +71,8 @@ CheckResult check_one_object_tags(const std::vector<OpRecord>& ops,
       // retry duplicate is tolerated only if tags truly collide, which the
       // algorithms never produce.)
       return fail("duplicate write tag: " + describe(r) + " vs " +
-                  describe(*it->second.op));
+                      describe(*it->second.op),
+                  {r, *it->second.op});
     }
   }
 
@@ -61,21 +83,25 @@ CheckResult check_one_object_tags(const std::vector<OpRecord>& ops,
     if (r.tag == initial_tag) {
       if (r.value_hash != initial_hash) {
         return fail("read returned initial tag with wrong value: " +
-                    describe(r));
+                        describe(r),
+                    {r});
       }
       continue;
     }
     auto it = writes.find(r.tag);
     if (it == writes.end()) {
-      return fail("read returned a tag no write produced: " + describe(r));
+      return fail("read returned a tag no write produced: " + describe(r),
+                  {r});
     }
     if (it->second.op->value_hash != r.value_hash) {
       return fail("read returned wrong value for its tag: " + describe(r) +
-                  " vs " + describe(*it->second.op));
+                      " vs " + describe(*it->second.op),
+                  {r, *it->second.op});
     }
     if (it->second.op->invoked > r.responded) {
       return fail("read returned a value written after it responded: " +
-                  describe(r));
+                      describe(r),
+                  {r, *it->second.op});
     }
   }
 
@@ -111,12 +137,21 @@ CheckResult check_one_object_tags(const std::vector<OpRecord>& ops,
     if (op->kind == OpKind::kWrite) {
       if (!(op->tag > max_tag)) {
         return fail("A1 violated (write tag not above preceding op): " +
-                    describe(*op) + " preceded by " + describe(*max_op));
+                        describe(*op) + " preceded by " + describe(*max_op),
+                    {*max_op, *op});
       }
     } else {
       if (op->tag < max_tag) {
+        // The minimal broken cycle: the op that responded first, the
+        // violating read, and (when one exists) the write whose tag the
+        // read returned — the three corners of the stale-read triangle.
+        std::vector<OpRecord> cycle{*max_op, *op};
+        if (auto w = writes.find(op->tag); w != writes.end()) {
+          cycle.push_back(*w->second.op);
+        }
         return fail("A1 violated (read tag below preceding op): " +
-                    describe(*op) + " preceded by " + describe(*max_op));
+                        describe(*op) + " preceded by " + describe(*max_op),
+                    std::move(cycle));
       }
     }
   }
@@ -195,7 +230,9 @@ CheckResult check_one_object_bruteforce(const std::vector<OpRecord>& ops,
       }
     }
   }
-  return fail("no valid linearization exists");
+  std::vector<OpRecord> all;
+  for (const OpRecord* c : cand) all.push_back(*c);
+  return fail("no valid linearization exists", std::move(all));
 }
 
 }  // namespace

@@ -23,10 +23,25 @@ namespace ares::checker {
 
 struct CheckResult {
   bool ok = true;
-  std::string violation;  // human-readable description when !ok
+  std::string violation;  // human-readable one-line description when !ok
+
+  /// The minimal set of operations witnessing the violation (the ops of
+  /// the broken cycle: the conflicting pair plus, for value mismatches,
+  /// the write that produced the tag). Empty when ok. Diagnosable from the
+  /// log alone: ids, kinds, clients, tags, and real-time intervals.
+  std::vector<OpRecord> witnesses;
 
   explicit operator bool() const { return ok; }
+
+  /// Multi-line counterexample: the verdict plus one line per witness op
+  /// ("write#12 by p5 on obj0 [120,180] tag=(3,5)"). Equals `violation`
+  /// when there are no witnesses; empty-string when ok.
+  [[nodiscard]] std::string to_string() const;
 };
+
+/// The formatted one-line form of a record used in counterexamples
+/// (exposed for fuzzer / tool logging).
+[[nodiscard]] std::string describe_op(const OpRecord& r);
 
 /// Verifies, over the *complete* operations of a history:
 ///   U  — write tags are unique;

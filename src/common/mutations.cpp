@@ -1,0 +1,32 @@
+#include "common/mutations.hpp"
+
+namespace ares {
+
+Mutations& mutations() {
+  static Mutations m;
+  return m;
+}
+
+bool set_mutation(std::string_view name, bool on) {
+  if (name == "disable_lease_ack_gating") {
+    mutations().disable_lease_ack_gating = on;
+    return true;
+  }
+  if (name == "skip_transfer_fence") {
+    mutations().skip_transfer_fence = on;
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::string_view> mutation_names() {
+  return {"disable_lease_ack_gating", "skip_transfer_fence"};
+}
+
+ScopedMutation::ScopedMutation(std::string_view name) : prev_(mutations()) {
+  set_mutation(name, true);
+}
+
+ScopedMutation::~ScopedMutation() { mutations() = prev_; }
+
+}  // namespace ares

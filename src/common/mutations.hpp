@@ -1,0 +1,54 @@
+// Testing-only mutation switches: each flag disables one safety mechanism
+// so the schedule-exploration fuzzer can prove its oracle actually catches
+// the bug class that mechanism exists to prevent (an always-green checker
+// is indistinguishable from a checker that checks nothing). Production code
+// paths read the flags through mutations(); everything defaults to off and
+// nothing in the repo outside tests/tools ever sets them.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace ares {
+
+struct Mutations {
+  /// Writers' put-data / put-config acks no longer wait for colliding read
+  /// leases to settle — a lease holder can serve a stale local read after
+  /// a newer write completed (violates A1).
+  bool disable_lease_ack_gating = false;
+
+  /// Fenced transfer reads degrade to plain quorum reads — a reconfig
+  /// state transfer can miss a concurrent 2-round write whose post-put
+  /// config check was elided, losing the write in the successor
+  /// configuration (violates A1/A3).
+  bool skip_transfer_fence = false;
+
+  [[nodiscard]] bool any() const {
+    return disable_lease_ack_gating || skip_transfer_fence;
+  }
+};
+
+/// The process-global mutation switches (default: all off).
+[[nodiscard]] Mutations& mutations();
+
+/// Set one mutation by name ("disable_lease_ack_gating",
+/// "skip_transfer_fence"). Returns false for unknown names.
+bool set_mutation(std::string_view name, bool on);
+
+/// All known mutation names (CLI help / replay-file validation).
+[[nodiscard]] std::vector<std::string_view> mutation_names();
+
+/// RAII: enable one named mutation for a scope, restoring the previous
+/// switch state on exit (tests).
+class ScopedMutation {
+ public:
+  explicit ScopedMutation(std::string_view name);
+  ~ScopedMutation();
+  ScopedMutation(const ScopedMutation&) = delete;
+  ScopedMutation& operator=(const ScopedMutation&) = delete;
+
+ private:
+  Mutations prev_;
+};
+
+}  // namespace ares

@@ -13,7 +13,13 @@ bool PaxosAcceptor::handle(sim::Process& host, const sim::Message& msg) {
     auto reply = std::make_shared<PrepareReply>();
     reply->decided = decided_;
     reply->decided_value = decided_value_;
-    if (!decided_ && prep->ballot > promised_) {
+    // >= makes prepare idempotent: a network that duplicates messages
+    // delivers the same prepare twice, and a nack minted by the second
+    // copy can overtake the first copy's promise in flight — the proposer
+    // then counts this acceptor as a rejection of its own live ballot
+    // (fuzzer-found). Re-promising an already-promised ballot is harmless:
+    // the promise "accept nothing below b" is unchanged.
+    if (!decided_ && prep->ballot >= promised_) {
       promised_ = prep->ballot;
       reply->ok = true;
       reply->has_accepted = has_accepted_;
@@ -89,7 +95,17 @@ sim::Future<PaxosValue> PaxosProposer::propose(PaxosValue value) {
       }
       return decided || ok >= maj || nack > n - maj;
     };
-    sim::Future<bool> p1_wait = p1.wait(p1_pred);
+    // A round can wedge without a decision: with one silent acceptor
+    // (crashed, or amnesiac after restart) the live replies can split
+    // ok/nack so that neither "ok >= maj" nor "nack > n - maj" ever holds.
+    // Classic Paxos liveness: bound every round by a timeout and retry
+    // with a higher ballot — safe because prepare/accept are idempotent
+    // and a new ballot never un-decides anything. The window grows
+    // exponentially so late rounds ride out any transient delay spike.
+    const SimDuration round_timeout = static_cast<SimDuration>(
+        backoff_base_ << std::min<std::uint64_t>(round_ + 4, 10));
+    sim::Future<bool> p1_wait =
+        p1.wait(p1_pred, owner_.simulator(), round_timeout);
     co_await p1_wait;
 
     std::size_t promises = 0;
@@ -148,7 +164,8 @@ sim::Future<PaxosValue> PaxosProposer::propose(PaxosValue value) {
             }
             return decided || ok >= maj || nack > n - maj;
           };
-      sim::Future<bool> p2_wait = p2.wait(p2_pred);
+      sim::Future<bool> p2_wait =
+          p2.wait(p2_pred, owner_.simulator(), round_timeout);
       co_await p2_wait;
 
       std::size_t accepts = 0;

@@ -12,9 +12,13 @@ sim::Future<Tag> Dap::get_dec_tag() {
   co_return tv.tag;
 }
 
-sim::Future<TagValue> Dap::get_data_fenced() { return get_data(); }
+sim::Future<TagValue> Dap::get_data_fenced(CseqEntry) {
+  return get_data();
+}
 
-sim::Future<Tag> Dap::get_dec_tag_fenced() { return get_dec_tag(); }
+sim::Future<Tag> Dap::get_dec_tag_fenced(CseqEntry) {
+  return get_dec_tag();
+}
 
 sim::Future<PutDataResult> Dap::put_data_leased(TagValue tv,
                                                 bool want_lease) {

@@ -79,13 +79,19 @@ class Dap {
   /// superseded. Combined with quorum intersection this guarantees the
   /// transfer sees every put-data that completed *hint-free* in this
   /// configuration — the property that makes the writer's post-put config
-  /// check elidable (see AresClient::write_core). Liveness: callers invoke
-  /// this only after a quorum put-config installed the successor (Alg. 5
-  /// phases 1-2 precede update-config). Default: plain get-data — correct
-  /// for protocols whose tails never elide (LDR, whose directory
-  /// majorities need not intersect server quorums; see
+  /// check elidable (see AresClient::write_core). The caller passes the
+  /// decided successor entry; the query piggybacks it and each server
+  /// installs it before replying (Alg. 6 adopt rule), so the fence is
+  /// self-establishing. Liveness therefore needs only *some* quorum of
+  /// live servers — not the specific quorum that acked put-config, which a
+  /// crash after a partition can leave below quorum strength (a schedule
+  /// the fuzzer found: put-config reaches {a,b} while c is partitioned, b
+  /// crashes, c heals having never seen the pointer). Default: plain
+  /// get-data — correct for protocols whose tails never elide (LDR, whose
+  /// directory majorities need not intersect server quorums; see
   /// covers_config_hints), overridden by ABD and TREAS.
-  [[nodiscard]] virtual sim::Future<TagValue> get_data_fenced();
+  [[nodiscard]] virtual sim::Future<TagValue> get_data_fenced(
+      CseqEntry successor);
 
   /// D3: c.put-data(⟨τ,v⟩)
   [[nodiscard]] virtual sim::Future<void> put_data(TagValue tv) = 0;
@@ -106,10 +112,12 @@ class Dap {
   /// bandwidth-optimal; TREAS overrides with a metadata-only phase).
   [[nodiscard]] virtual sim::Future<Tag> get_dec_tag();
 
-  /// Fenced get-dec-tag (same fence as get_data_fenced, metadata only) for
+  /// Fenced get-dec-tag (same fence and successor piggyback as
+  /// get_data_fenced, metadata only) for
   /// the direct server-to-server transfer path. Default: get_dec_tag;
   /// TREAS overrides with a fenced digest phase.
-  [[nodiscard]] virtual sim::Future<Tag> get_dec_tag_fenced();
+  [[nodiscard]] virtual sim::Future<Tag> get_dec_tag_fenced(
+      CseqEntry successor);
 
   /// Highest tag this client knows is quorum-propagated for its
   /// (configuration, object) — t0 is trivially confirmed (every server

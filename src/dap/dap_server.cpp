@@ -1,8 +1,10 @@
 #include "dap/dap_server.hpp"
 
+#include "common/mutations.hpp"
 #include "dap/messages.hpp"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 namespace ares::dap {
@@ -184,6 +186,20 @@ std::size_t DapServer::lease_count(ObjectId obj, SimTime now) const {
 
 void DapServer::settle_leases(ServerContext& ctx, ObjectId obj, Tag tag,
                               ProcessId writer, std::function<void()> done) {
+  if (mutations().disable_lease_ack_gating) {
+    // Mutation under test: ack immediately, leases be damned. The fuzzer's
+    // oracle must catch the stale local read this enables.
+    done();
+    return;
+  }
+  // Deferred paths below hand `done` to simulator timers that capture
+  // `this` and the hosting process; guard them so a timer outliving a
+  // crashed-and-destroyed server no-ops instead of running into freed
+  // state. (The synchronous early-outs need no guard.)
+  done = [alive = std::weak_ptr<const bool>(alive_),
+          done = std::move(done)] {
+    if (alive.lock()) done();
+  };
   auto table_it = leases_.find(obj);
   if (table_it == leases_.end()) {
     done();

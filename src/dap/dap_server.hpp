@@ -149,6 +149,13 @@ class DapServer {
   std::map<ObjectId, Tag> confirmed_;
   std::map<ObjectId, std::map<ProcessId, LeaseRecord>> leases_;
 
+  /// Alive sentinel for timers. settle_leases schedules simulator callbacks
+  /// that capture `this` (and the hosting process); a server destroyed by a
+  /// crash/restart would leave those timers dangling. Every deferred `done`
+  /// is wrapped in a weak_ptr guard on this token so stale timers no-op
+  /// instead of touching freed state.
+  std::shared_ptr<const bool> alive_ = std::make_shared<const bool>(true);
+
   /// Observed read/write mix per object (adaptive lease windows).
   placement::LoadTracker mix_;
   std::uint64_t mix_ops_ = 0;

@@ -1,0 +1,335 @@
+#include "fuzz/fuzzer.hpp"
+
+#include "harness/ares_cluster.hpp"
+#include "harness/workload.hpp"
+#include "placement/rebalancer.hpp"
+#include "placement/stats.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+namespace ares::fuzz {
+namespace {
+
+/// Runtime sub-seeds are derived from plan.seed by SplitMix64 mixing with a
+/// fixed salt per consumer — NOT from the generator's Rng stream — so an
+/// edited (shrunk) plan replays the same runtime randomness. Salts:
+/// 0 = simulator/network, 1 = workload, 2 = reconfiguration storm.
+std::uint64_t sub_seed(std::uint64_t seed, std::uint64_t salt) {
+  std::uint64_t x = seed + 0x9E3779B97F4A7C15ULL * (salt + 1);
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Storm-style reconfigurer: installs `count` configurations with
+/// randomized protocol and placement, pausing randomly in between.
+sim::Future<void> reconfig_loop(harness::AresCluster* cluster,
+                                reconfig::AresClient* rc, std::uint64_t seed,
+                                std::size_t count, bool burst, bool* done) {
+  Rng rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Burst mode (transfer-race storms) fires reconfigurations nearly
+    // back-to-back at ABD-only targets; the default cadence spaces them
+    // out and mixes protocols.
+    co_await sim::sleep_for(rc->simulator(),
+                            burst ? rng.uniform(0, 40)
+                                  : rng.uniform(50, 400));
+    const std::size_t pool = cluster->options().server_pool;
+    const std::size_t first = rng.uniform(0, pool - 1);
+    // Storms stay ABD-only but mix n=3 and n=5 targets. Both geometries
+    // matter: 3-of-5 quorums let a write's ack quorum and a transfer's
+    // read quorum be nearly disjoint, while 2-of-3 quorums need the
+    // fewest coincident slow lanes for a transfer read to slip between a
+    // put's delivery and its (hint-free) acks.
+    dap::ConfigSpec spec =
+        burst ? cluster->make_spec(dap::Protocol::kAbd, first,
+                                   rng.chance(0.5) ? 3 : 5, 1)
+        : rng.chance(0.4)
+            ? cluster->make_spec(dap::Protocol::kAbd, first, 3, 1)
+            : cluster->make_spec(dap::Protocol::kTreas, first, 5, 3);
+    (void)co_await rc->reconfig(std::move(spec));
+  }
+  *done = true;
+  co_return;
+}
+
+std::uint64_t history_hash(const std::vector<checker::OpRecord>& records) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (const auto& r : records) {
+    mix(r.op_id);
+    mix(r.client);
+    mix(r.object);
+    mix(static_cast<std::uint64_t>(r.kind));
+    mix(r.invoked);
+    mix(r.responded);
+    mix(r.tag.z);
+    mix(r.tag.writer);
+    mix(r.value_hash);
+    mix(r.tag_known ? 1 : 0);
+  }
+  return h;
+}
+
+/// Install every fault event of the plan as simulator callbacks. `cluster`
+/// must outlive the run (faults capture it by pointer).
+void schedule_faults(harness::AresCluster& cluster, const SchedulePlan& plan) {
+  sim::Simulator& sim = cluster.sim();
+  sim::Network& net = cluster.net();
+  const std::size_t pool = plan.server_pool;
+  // All non-server process ids (clients, reconfigurers) — needed to build
+  // explicit partition sides: sim::Network treats unlisted processes as
+  // reachable from everyone, so cutting servers off requires listing the
+  // rest of the world as the other side.
+  const std::size_t total_pids =
+      pool + plan.num_clients + (plan.rebalance ? 2 : 1);
+
+  for (const FaultEvent& f : plan.faults) {
+    switch (f.kind) {
+      case FaultKind::kPartition: {
+        std::vector<ProcessId> side_a;
+        std::vector<ProcessId> side_b;
+        for (std::size_t pid = 0; pid < total_pids; ++pid) {
+          const bool cut = pid < 64 && ((f.mask >> pid) & 1ull) != 0;
+          (cut ? side_a : side_b).push_back(static_cast<ProcessId>(pid));
+        }
+        if (side_a.empty()) break;
+        sim.schedule_at(f.at, [&net, side_a, side_b] {
+          net.partition({side_a, side_b});
+        });
+        sim.schedule_at(f.until, [&net] { net.heal(); });
+        break;
+      }
+      case FaultKind::kLoss:
+        sim.schedule_at(f.at, [&net, r = f.rate] { net.set_loss_rate(r); });
+        sim.schedule_at(f.until, [&net] { net.set_loss_rate(0); });
+        break;
+      case FaultKind::kDuplicate:
+        sim.schedule_at(f.at,
+                        [&net, r = f.rate] { net.set_duplicate_rate(r); });
+        sim.schedule_at(f.until, [&net] { net.set_duplicate_rate(0); });
+        break;
+      case FaultKind::kGray: {
+        const ProcessId pid = static_cast<ProcessId>(f.victim % pool);
+        sim.schedule_at(f.at,
+                        [&net, pid, e = f.extra] { net.set_gray(pid, e); });
+        sim.schedule_at(f.until, [&net, pid] { net.clear_gray(pid); });
+        break;
+      }
+      case FaultKind::kCrash: {
+        const std::size_t v = f.victim % pool;
+        sim.schedule_at(f.at, [&cluster, v] { cluster.crash_server(v); });
+        break;
+      }
+      case FaultKind::kRestart: {
+        const std::size_t v = f.victim % pool;
+        sim.schedule_at(f.at, [&cluster, v] { cluster.crash_server(v); });
+        sim.schedule_at(f.until, [&cluster, v] {
+          cluster.restart_server(v);
+        });
+        break;
+      }
+      case FaultKind::kSkew: {
+        const std::size_t v = f.victim % std::max<std::size_t>(
+                                             1, plan.num_clients);
+        sim.schedule_at(f.at, [&cluster, v, s = f.skew] {
+          cluster.client(v).set_clock_skew(s);
+        });
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+RunResult run_plan(const SchedulePlan& plan) {
+  harness::AresClusterOptions o;
+  o.server_pool = plan.server_pool;
+  o.initial_protocol = plan.protocol;
+  o.initial_servers =
+      plan.protocol == dap::Protocol::kAbd && !plan.reconfig_burst ? 3 : 5;
+  o.initial_k = plan.protocol == dap::Protocol::kAbd ? 1 : 3;
+  o.num_rw_clients = plan.num_clients;
+  o.num_reconfigurers = plan.rebalance ? 2 : 1;
+  o.num_objects = plan.num_objects;
+  o.direct_transfer = plan.direct_transfer;
+  o.lease_ms = plan.lease_ms;
+  o.lease_policy = plan.lease_policy;
+  o.lease_epsilon = plan.lease_epsilon;
+  o.min_delay = plan.min_delay;
+  o.max_delay = plan.max_delay;
+  o.seed = sub_seed(plan.seed, 0);
+  harness::AresCluster cluster(o);
+
+  if (plan.slow_prob > 0 && plan.slow_delay > plan.max_delay) {
+    // Bimodal delays: mostly [min, max], stragglers in [max, slow_delay].
+    // lane_delays makes the straggler coin sticky per (message type,
+    // destination) — a deterministic hash of the pair against a per-run
+    // salt — so the same link stays slow all run (see SchedulePlan).
+    // Otherwise each message flips the coin independently. Either way the
+    // randomness comes from the run's derived sub-seeds, so a replayed
+    // plan sees identical delays.
+    const double p = plan.slow_prob;
+    const SimDuration lo = plan.min_delay, hi = plan.max_delay,
+                      slow = plan.slow_delay;
+    const bool lanes = plan.lane_delays;
+    const std::uint64_t lane_salt = sub_seed(plan.seed, 3);
+    cluster.net().set_delay_fn(
+        [p, lo, hi, slow, lanes,
+         lane_salt](const sim::Message& m, Rng& rng) -> SimDuration {
+          bool straggler;
+          if (lanes) {
+            // Two-level draw: the message TYPE first gets its own slow
+            // probability in [0, 2p] (so some runs have slow writes but
+            // fast queries, others the reverse — the asymmetric profiles
+            // that actually reorder protocol phases against each other),
+            // then each (type, destination) lane flips that coin. All
+            // deterministic from the run's lane salt.
+            std::uint64_t th = 1469598103934665603ULL ^ lane_salt;
+            for (char c : m.body->type_name()) {
+              th ^= static_cast<unsigned char>(c);
+              th *= 1099511628211ULL;
+            }
+            std::uint64_t mixed = th;
+            mixed ^= mixed >> 33;
+            mixed *= 0xff51afd7ed558ccdULL;
+            mixed ^= mixed >> 33;
+            const double u_type = static_cast<double>(mixed >> 11) *
+                                  (1.0 / 9007199254740992.0);
+            // Bimodal per-type profile: some message types per run are
+            // "afflicted" -- roughly half their lanes straggle (think a
+            // degraded data plane: put-data frames crawling on some links
+            // while small metadata queries stay fast). The half-and-half
+            // split is deliberate: a type whose every lane is slow
+            // protects itself (a put delivered late everywhere is acked
+            // after servers learn the successor config, so the writer
+            // re-checks and nothing races), while a mixed split delivers
+            // a put early to the ack quorum and late to everyone else --
+            // the geometry a transfer read can slip through.
+            const double p_type = u_type < 0.3 ? 0.55 : p * u_type;
+            std::uint64_t h = th;
+            h ^= m.to;
+            h *= 1099511628211ULL;
+            h ^= h >> 33;  // final avalanche: low bits must mix `to`
+            h *= 0xff51afd7ed558ccdULL;
+            h ^= h >> 33;
+            straggler = static_cast<double>(h >> 11) *
+                            (1.0 / 9007199254740992.0) <
+                        p_type;
+          } else {
+            straggler = rng.chance(p);
+          }
+          if (straggler) {
+            return static_cast<SimDuration>(
+                rng.uniform(static_cast<std::uint64_t>(hi),
+                            static_cast<std::uint64_t>(slow)));
+          }
+          return static_cast<SimDuration>(
+              rng.uniform(static_cast<std::uint64_t>(lo),
+                          static_cast<std::uint64_t>(hi)));
+        });
+  }
+
+  schedule_faults(cluster, plan);
+
+  bool reconfigs_done = plan.num_reconfigs == 0;
+  if (plan.num_reconfigs > 0) {
+    sim::detach(reconfig_loop(&cluster, &cluster.reconfigurer(0),
+                              sub_seed(plan.seed, 2), plan.num_reconfigs,
+                              plan.reconfig_burst, &reconfigs_done));
+  }
+
+  placement::LoadTracker tracker;
+  std::unique_ptr<placement::Rebalancer> rebalancer;
+  if (plan.rebalance) {
+    placement::RebalancerOptions ro;
+    ro.check_interval = 400;
+    ro.hot_share = 0.3;
+    ro.min_window_ops = 8;
+    ro.max_rebalances = 1;
+    rebalancer = std::make_unique<placement::Rebalancer>(
+        cluster.sim(), cluster.reconfigurer_store(1), tracker,
+        [&cluster](ObjectId) {
+          return cluster.make_spec(dap::Protocol::kTreas, 3, 5, 3);
+        },
+        ro);
+    rebalancer->start();
+  }
+
+  harness::WorkloadOptions opt;
+  opt.ops_per_client = plan.ops_per_client;
+  opt.write_fraction = plan.write_fraction;
+  opt.value_size = 64;
+  opt.think_max = plan.think_max;
+  opt.seed = sub_seed(plan.seed, 1);
+  opt.num_objects = plan.num_objects;
+  opt.batch_size = plan.batch_size;
+  opt.key_distribution = plan.zipfian ? harness::KeyDistribution::kZipfian
+                                      : harness::KeyDistribution::kUniform;
+  if (plan.rebalance) {
+    opt.on_op = [&tracker](const harness::OpStat& s) {
+      tracker.record(s.object, s.is_write);
+    };
+  }
+
+  // Bounded drive: plenty for any live schedule, small enough to make a
+  // genuinely wedged one fail fast instead of spinning the whole budget.
+  constexpr std::size_t kEventBudget = 5'000'000;
+  auto handle = harness::start_workload(cluster.sim(), cluster.stores(), opt);
+  const bool drained = cluster.sim().run_until(
+      [&] { return handle.done() && reconfigs_done; }, kEventBudget);
+  if (rebalancer) rebalancer->shutdown();
+
+  RunResult result;
+  result.completed = drained && handle.done() && reconfigs_done;
+  const harness::WorkloadResult wl = handle.result();
+  result.num_ops = wl.ops.size();
+  result.op_failures = wl.failures;
+  result.schedule_hash = history_hash(cluster.history().records());
+
+  const checker::CheckResult verdict =
+      checker::check_tag_atomicity(cluster.history().records());
+  if (!verdict.ok) {
+    result.ok = false;
+    result.violation = verdict.to_string();
+    return result;
+  }
+  if (plan.expect_liveness && (!result.completed || result.op_failures > 0)) {
+    result.ok = false;
+    std::ostringstream os;
+    os << "liveness: workload "
+       << (result.completed ? "completed" : "stalled") << ", "
+       << result.op_failures << " op failures, reconfigs "
+       << (reconfigs_done ? "done" : "stalled");
+    result.violation = os.str();
+  }
+  return result;
+}
+
+RunResult ScheduleFuzzer::run_seed(std::uint64_t seed) {
+  ++runs_;
+  return run_plan(generate_plan(seed));
+}
+
+std::optional<ScheduleFuzzer::Failure> ScheduleFuzzer::run_range(
+    std::uint64_t first, std::uint64_t last,
+    const std::function<void(std::uint64_t, const RunResult&)>& on_run) {
+  for (std::uint64_t seed = first; seed <= last; ++seed) {
+    SchedulePlan plan = generate_plan(seed);
+    ++runs_;
+    RunResult r = run_plan(plan);
+    if (on_run) on_run(seed, r);
+    if (!r.ok) {
+      return Failure{seed, std::move(plan), std::move(r)};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ares::fuzz

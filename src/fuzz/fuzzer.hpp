@@ -1,0 +1,68 @@
+// Schedule-exploration fuzzer: run thousands of seeded schedules — mixed
+// read/write/batch/lease/reconfig/rebalance workloads under the fault plan
+// each seed draws — against the atomicity oracle, deterministic per seed.
+// The deterministic simulator makes every execution a function of its plan,
+// which turns the fuzzer into a (randomized) model checker: a failing seed
+// IS a reproducer, and the shrinker (shrink.hpp) minimizes it.
+#pragma once
+
+#include "fuzz/plan.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace ares::fuzz {
+
+/// The outcome of one schedule execution.
+struct RunResult {
+  /// Atomic, and (when the plan promises liveness) every operation and
+  /// reconfiguration completed. THE fuzzer verdict.
+  bool ok = true;
+
+  bool completed = false;  // workload + reconfig loops all finished
+  std::size_t num_ops = 0;
+  std::size_t op_failures = 0;  // operations that threw
+
+  /// FNV-1a digest over the recorded history (every field of every
+  /// OpRecord, in record order). Two runs of one plan must produce equal
+  /// hashes — the regression handle for the determinism audit.
+  std::uint64_t schedule_hash = 0;
+
+  /// Human-readable failure: the checker counterexample (minimal cycle of
+  /// ops with ids, tags and real-time intervals) or the liveness complaint.
+  std::string violation;
+};
+
+/// Executes one plan end to end: builds the cluster, schedules the fault
+/// events, runs the workload (+ reconfiguration storm / rebalancer), then
+/// checks the full history for atomicity. Deterministic: equal plans give
+/// equal RunResults.
+[[nodiscard]] RunResult run_plan(const SchedulePlan& plan);
+
+class ScheduleFuzzer {
+ public:
+  struct Failure {
+    std::uint64_t seed = 0;
+    SchedulePlan plan;
+    RunResult result;
+  };
+
+  /// generate_plan(seed) + run_plan.
+  [[nodiscard]] RunResult run_seed(std::uint64_t seed);
+
+  /// Runs seeds [first, last] in order, stopping at the first failure.
+  /// `on_run` (optional) observes every executed seed's result.
+  [[nodiscard]] std::optional<Failure> run_range(
+      std::uint64_t first, std::uint64_t last,
+      const std::function<void(std::uint64_t, const RunResult&)>& on_run = {});
+
+  /// Schedules executed so far by this fuzzer instance.
+  [[nodiscard]] std::size_t runs() const { return runs_; }
+
+ private:
+  std::size_t runs_ = 0;
+};
+
+}  // namespace ares::fuzz

@@ -1,0 +1,311 @@
+#include "fuzz/plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace ares::fuzz {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kLoss: return "loss";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kGray: return "gray";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kRestart: return "restart";
+    case FaultKind::kSkew: return "skew";
+  }
+  return "?";
+}
+
+namespace {
+
+FaultKind fault_kind_from(const std::string& name) {
+  for (FaultKind k :
+       {FaultKind::kPartition, FaultKind::kLoss, FaultKind::kDuplicate,
+        FaultKind::kGray, FaultKind::kCrash, FaultKind::kRestart,
+        FaultKind::kSkew}) {
+    if (name == fault_kind_name(k)) return k;
+  }
+  throw std::invalid_argument("unknown fault kind: " + name);
+}
+
+}  // namespace
+
+std::string FaultEvent::to_string() const {
+  std::ostringstream os;
+  os << "fault " << fault_kind_name(kind) << " at=" << at << " until=" << until
+     << " victim=" << victim << " mask=" << mask << " rate=" << rate
+     << " extra=" << extra << " skew=" << skew;
+  return os.str();
+}
+
+std::string SchedulePlan::to_string() const {
+  std::ostringstream os;
+  os << "seed=" << seed << "\n";
+  os << "server_pool=" << server_pool << "\n";
+  os << "protocol=" << (protocol == dap::Protocol::kAbd ? "abd" : "treas")
+     << "\n";
+  os << "num_clients=" << num_clients << "\n";
+  os << "num_objects=" << num_objects << "\n";
+  os << "num_reconfigs=" << num_reconfigs << "\n";
+  os << "direct_transfer=" << (direct_transfer ? 1 : 0) << "\n";
+  os << "lease_ms=" << lease_ms << "\n";
+  os << "lease_policy="
+     << (lease_policy == dap::LeasePolicy::kWait ? "wait" : "invalidate")
+     << "\n";
+  os << "lease_epsilon=" << lease_epsilon << "\n";
+  os << "rebalance=" << (rebalance ? 1 : 0) << "\n";
+  os << "ops_per_client=" << ops_per_client << "\n";
+  os << "write_fraction=" << write_fraction << "\n";
+  os << "batch_size=" << batch_size << "\n";
+  os << "think_max=" << think_max << "\n";
+  os << "min_delay=" << min_delay << "\n";
+  os << "max_delay=" << max_delay << "\n";
+  os << "slow_prob=" << slow_prob << "\n";
+  os << "slow_delay=" << slow_delay << "\n";
+  os << "reconfig_burst=" << (reconfig_burst ? 1 : 0) << "\n";
+  os << "lane_delays=" << (lane_delays ? 1 : 0) << "\n";
+  os << "zipfian=" << (zipfian ? 1 : 0) << "\n";
+  os << "expect_liveness=" << (expect_liveness ? 1 : 0) << "\n";
+  for (const auto& f : faults) os << f.to_string() << "\n";
+  return os.str();
+}
+
+SchedulePlan parse_plan(const std::string& text) {
+  SchedulePlan plan;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    // Strip trailing CR (files may come from CRLF checkouts) and skip
+    // blanks/comments.
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty() || line[0] == '#') continue;
+
+    if (line.rfind("fault ", 0) == 0) {
+      std::istringstream ls(line.substr(6));
+      std::string kind_name;
+      ls >> kind_name;
+      FaultEvent f;
+      f.kind = fault_kind_from(kind_name);
+      std::string kv;
+      while (ls >> kv) {
+        const auto eq = kv.find('=');
+        if (eq == std::string::npos) {
+          throw std::invalid_argument("malformed fault field: " + kv);
+        }
+        const std::string key = kv.substr(0, eq);
+        const std::string val = kv.substr(eq + 1);
+        if (key == "at") f.at = std::stoull(val);
+        else if (key == "until") f.until = std::stoull(val);
+        else if (key == "victim") f.victim = std::stoull(val);
+        else if (key == "mask") f.mask = std::stoull(val);
+        else if (key == "rate") f.rate = std::stod(val);
+        else if (key == "extra") f.extra = std::stoll(val);
+        else if (key == "skew") f.skew = std::stoll(val);
+        else throw std::invalid_argument("unknown fault field: " + key);
+      }
+      plan.faults.push_back(f);
+      continue;
+    }
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("malformed plan line: " + line);
+    }
+    const std::string key = line.substr(0, eq);
+    const std::string val = line.substr(eq + 1);
+    if (key == "seed") plan.seed = std::stoull(val);
+    else if (key == "server_pool") plan.server_pool = std::stoull(val);
+    else if (key == "protocol") {
+      if (val == "abd") plan.protocol = dap::Protocol::kAbd;
+      else if (val == "treas") plan.protocol = dap::Protocol::kTreas;
+      else throw std::invalid_argument("unknown protocol: " + val);
+    } else if (key == "num_clients") plan.num_clients = std::stoull(val);
+    else if (key == "num_objects") plan.num_objects = std::stoull(val);
+    else if (key == "num_reconfigs") plan.num_reconfigs = std::stoull(val);
+    else if (key == "direct_transfer") plan.direct_transfer = val != "0";
+    else if (key == "lease_ms") plan.lease_ms = std::stoll(val);
+    else if (key == "lease_policy") {
+      if (val == "wait") plan.lease_policy = dap::LeasePolicy::kWait;
+      else if (val == "invalidate") {
+        plan.lease_policy = dap::LeasePolicy::kInvalidate;
+      } else {
+        throw std::invalid_argument("unknown lease policy: " + val);
+      }
+    } else if (key == "lease_epsilon") plan.lease_epsilon = std::stoll(val);
+    else if (key == "rebalance") plan.rebalance = val != "0";
+    else if (key == "ops_per_client") plan.ops_per_client = std::stoull(val);
+    else if (key == "write_fraction") plan.write_fraction = std::stod(val);
+    else if (key == "batch_size") plan.batch_size = std::stoull(val);
+    else if (key == "think_max") plan.think_max = std::stoll(val);
+    else if (key == "min_delay") plan.min_delay = std::stoll(val);
+    else if (key == "max_delay") plan.max_delay = std::stoll(val);
+    else if (key == "slow_prob") plan.slow_prob = std::stod(val);
+    else if (key == "slow_delay") plan.slow_delay = std::stoll(val);
+    else if (key == "reconfig_burst") plan.reconfig_burst = val != "0";
+    else if (key == "lane_delays") plan.lane_delays = val != "0";
+    else if (key == "zipfian") plan.zipfian = val != "0";
+    else if (key == "expect_liveness") plan.expect_liveness = val != "0";
+    else throw std::invalid_argument("unknown plan key: " + key);
+  }
+  return plan;
+}
+
+SchedulePlan generate_plan(std::uint64_t seed) {
+  Rng rng(seed);
+  SchedulePlan plan;
+  plan.seed = seed;
+
+  // --- cluster shape (draw order is part of the determinism contract) ---
+  plan.server_pool = 8;
+
+  // ~1 in 7 plans is a transfer-race storm: ABD, no leases, one object,
+  // dense writes, back-to-back reconfigurations, heavy-tail delays. This
+  // is the only regime that samples the fenced-transfer race at a usable
+  // rate — a mutant that skips the fence must die within the CI budget,
+  // and uniformly random plans hit the required ordering roughly once per
+  // 10^5 runs.
+  if (rng.chance(0.15)) {
+    plan.protocol = dap::Protocol::kAbd;
+    // Few writers with moderate think time: the fence only matters when a
+    // racing put carries the MAXIMUM tag. Dense write traffic self-heals —
+    // a transfer that misses an in-flight put still returns some newer
+    // completed tag, so nothing is lost. Sparse writers keep each put the
+    // newest value in the system while it races the transfer.
+    // 3-4 clients: enough writers for a sparse racing stream, plus good
+    // odds that at least one client is between writes — i.e. reading —
+    // during any given stale window.
+    plan.num_clients = 3 + rng.uniform(0, 1);
+    plan.num_objects = 1;
+    plan.num_reconfigs = 3 + rng.uniform(0, 2);
+    plan.reconfig_burst = true;
+    plan.ops_per_client = 12 + rng.uniform(0, 8);
+    // Near-even read/write mix. Sparse writes supply the racing puts;
+    // reads are the witnesses — a transfer that missed a put leaves the
+    // new configuration stale only until the next write lands there, and
+    // nothing but a read in that window ever reports the stale tag (the
+    // victim writer itself still sees its lost write through the OLD
+    // configuration, so its next tag jumps right over the hole).
+    plan.write_fraction = 0.45 + 0.25 * rng.uniform01();
+    plan.think_max = 15 + rng.uniform(0, 40);
+    plan.min_delay = 1;
+    plan.max_delay = 30 + rng.uniform(0, 50);
+    plan.slow_prob = 0.2 + 0.2 * rng.uniform01();
+    plan.slow_delay =
+        plan.max_delay * static_cast<SimDuration>(6 + rng.uniform(0, 8));
+    plan.lane_delays = true;
+    return plan;  // no faults: the race needs reordering, not failures
+  }
+
+  // Roughly half the plans run ABD (n=3) with leases on — the lease
+  // machinery is where two of the known-hard bug classes live; the rest run
+  // TREAS [5,3] (erasure coding + fenced transfers).
+  if (rng.chance(0.5)) {
+    plan.protocol = dap::Protocol::kAbd;
+    plan.lease_ms = rng.chance(0.7) ? 300 + rng.uniform(0, 3) * 100 : 0;
+    plan.lease_policy = rng.chance(0.5) ? dap::LeasePolicy::kInvalidate
+                                        : dap::LeasePolicy::kWait;
+    plan.lease_epsilon = plan.lease_ms > 0 ? 20 : 0;
+  } else {
+    plan.protocol = dap::Protocol::kTreas;
+  }
+  plan.num_clients = 2 + rng.uniform(0, 2);
+  plan.num_objects = 1 + rng.uniform(0, 2);
+  plan.num_reconfigs = rng.uniform(0, 3);
+  plan.direct_transfer = rng.chance(0.3);
+  plan.rebalance = rng.chance(0.2);
+
+  // --- workload shape ---
+  plan.ops_per_client = 8 + rng.uniform(0, 8);
+  plan.write_fraction = 0.3 + 0.4 * rng.uniform01();
+  plan.batch_size = rng.chance(0.25) ? 2 + rng.uniform(0, 2) : 1;
+  plan.think_max = 40 + rng.uniform(0, 160);
+  plan.min_delay = 2 + rng.uniform(0, 8);
+  plan.max_delay = plan.min_delay + 20 + rng.uniform(0, 80);
+  // Heavy-tail mode on ~40% of plans: stragglers up to ~10x the normal
+  // ceiling. This is the regime that surfaces transfer/write ordering
+  // races (see SchedulePlan::slow_prob).
+  if (rng.chance(0.4)) {
+    plan.slow_prob = 0.03 + 0.25 * rng.uniform01();
+    plan.slow_delay =
+        plan.max_delay * static_cast<SimDuration>(3 + rng.uniform(0, 8));
+  }
+  plan.zipfian = plan.num_objects > 1 && rng.chance(0.4);
+
+  // --- fault schedule ---
+  // The horizon bounds fault windows; the run itself continues past it
+  // until the workload drains (faults never outlive their windows except a
+  // permanent crash).
+  const SimTime horizon =
+      static_cast<SimTime>(plan.ops_per_client * (plan.think_max + 200));
+  const std::size_t num_faults = rng.uniform(0, 5);
+  bool have_victim = false;  // one crash/restart victim per plan (f = 1)
+  // The initial configuration covers pool servers [0, n0): ABD 3, TREAS 5.
+  const std::size_t n0 = plan.protocol == dap::Protocol::kAbd ? 3 : 5;
+  for (std::size_t i = 0; i < num_faults; ++i) {
+    FaultEvent f;
+    const SimTime at = rng.uniform(0, horizon / 2);
+    const SimTime until = at + 1 + rng.uniform(50, horizon / 2);
+    f.at = at;
+    f.until = until;
+    switch (rng.uniform(0, 6)) {
+      case 0: {
+        f.kind = FaultKind::kPartition;
+        // Cut 1-2 pool servers off from everyone; always heals at `until`.
+        f.mask = 1ull << rng.uniform(0, plan.server_pool - 1);
+        if (rng.chance(0.5)) {
+          f.mask |= 1ull << rng.uniform(0, plan.server_pool - 1);
+        }
+        break;
+      }
+      case 1:
+        f.kind = FaultKind::kLoss;
+        f.rate = 0.02 + 0.1 * rng.uniform01();
+        plan.expect_liveness = false;  // channels no longer reliable
+        break;
+      case 2:
+        f.kind = FaultKind::kDuplicate;
+        f.rate = 0.1 + 0.4 * rng.uniform01();
+        break;
+      case 3:
+        f.kind = FaultKind::kGray;
+        f.victim = rng.uniform(0, plan.server_pool - 1);
+        f.extra = static_cast<SimDuration>(rng.uniform(50, 400));
+        break;
+      case 4:
+        if (have_victim) continue;  // keep the f = 1 budget
+        have_victim = true;
+        f.kind = FaultKind::kCrash;
+        f.victim = rng.uniform(0, n0 - 1);  // hit the active configuration
+        break;
+      case 5:
+        if (have_victim) continue;
+        have_victim = true;
+        f.kind = FaultKind::kRestart;
+        f.victim = rng.uniform(0, n0 - 1);
+        break;
+      case 6:
+        f.kind = FaultKind::kSkew;
+        f.victim = rng.uniform(0, plan.num_clients - 1);
+        // Skew within ±ε is the documented safe envelope when leases are
+        // on; the mutation runs are what push past the guard.
+        if (plan.lease_ms > 0) {
+          const std::int64_t eps = plan.lease_epsilon;
+          f.skew = static_cast<std::int64_t>(rng.uniform(0, 2 * eps)) - eps;
+        } else {
+          f.skew = static_cast<std::int64_t>(rng.uniform(0, 100)) - 50;
+        }
+        break;
+    }
+    plan.faults.push_back(f);
+  }
+  std::sort(plan.faults.begin(), plan.faults.end(),
+            [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  return plan;
+}
+
+}  // namespace ares::fuzz

@@ -1,0 +1,136 @@
+// Schedule plans for the fuzzer: everything one fuzz execution needs,
+// drawn deterministically from a single seed — cluster shape, workload
+// shape, and a list of timed fault events (partitions that heal, message
+// loss/duplication windows, gray failures, crashes, crash/recover, client
+// clock skew). A plan is a plain value: it can be printed to a
+// self-contained text reproducer, parsed back, and mutated by the shrinker
+// without re-deriving anything from the seed.
+//
+// Determinism contract (the one documented RNG stream):
+//   * generate_plan(seed) consumes a single Rng(seed) stream, in a fixed
+//     draw order (cluster shape, then workload shape, then faults).
+//   * run_plan (fuzzer.hpp) derives every runtime seed — simulator/network,
+//     workload key-picking and think times, reconfig-loop pauses — from
+//     plan.seed by fixed SplitMix-style mixing, NOT from the generator
+//     stream. A shrunk plan (same seed, edited fields) therefore replays
+//     the same runtime randomness, which is what makes shrinking and
+//     replay files meaningful.
+#pragma once
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+#include "dap/config.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ares::fuzz {
+
+enum class FaultKind {
+  kPartition,  // cut the servers in `mask` off from everyone at `at`;
+               // heal at `until` (held messages are then released —
+               // unbounded-but-finite delay, liveness preserved)
+  kLoss,       // iid message loss at `rate` during [at, until) — breaks the
+               // reliable-channel assumption, so plans with loss are
+               // safety-only (expect_liveness = false)
+  kDuplicate,  // every message duplicated with prob `rate` during [at,until)
+  kGray,       // gray failure: server `victim` stays up (counts for
+               // quorums) but all its traffic gains `extra` per-hop delay
+               // during [at, until)
+  kCrash,      // crash-stop server `victim` at `at`, permanently
+  kRestart,    // crash server `victim` at `at`; at `until` restart it with
+               // empty volatile state (amnesiac for old configurations; a
+               // later reconfiguration's transfer catches it up)
+  kSkew,       // set rw-client `victim`'s clock skew to `skew` at `at`
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind k);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kPartition;
+  SimTime at = 0;
+  SimTime until = 0;        // window end (heal / rate-off / restart time)
+  std::size_t victim = 0;   // pool index (gray/crash/restart), client (skew)
+  std::uint64_t mask = 0;   // partition: bit i = pool server i on the far side
+  double rate = 0;          // loss / duplicate probability
+  SimDuration extra = 0;    // gray per-hop extra delay
+  std::int64_t skew = 0;    // clock skew amount
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// One complete fuzz schedule. Field order here is the print/parse order of
+/// the reproducer format.
+struct SchedulePlan {
+  std::uint64_t seed = 0;
+
+  // Cluster shape.
+  std::size_t server_pool = 8;
+  dap::Protocol protocol = dap::Protocol::kTreas;  // initial configuration
+  std::size_t num_clients = 3;
+  std::size_t num_objects = 2;
+  std::size_t num_reconfigs = 2;  // storm reconfigurations to install
+  bool direct_transfer = false;
+  SimDuration lease_ms = 0;  // >0 enables per-object read leases (ABD)
+  dap::LeasePolicy lease_policy = dap::LeasePolicy::kInvalidate;
+  SimDuration lease_epsilon = 0;
+  bool rebalance = false;  // run a hot-object Rebalancer alongside
+
+  // Workload shape.
+  std::size_t ops_per_client = 12;
+  double write_fraction = 0.5;
+  std::size_t batch_size = 1;
+  SimDuration think_max = 120;
+  SimDuration min_delay = 5;
+  SimDuration max_delay = 60;
+  /// Heavy-tail delay mode: each message independently becomes a straggler
+  /// with probability slow_prob, drawing its delay from
+  /// [max_delay, slow_delay] instead of [min_delay, max_delay]. Bimodal
+  /// delays are what expose ordering races (a fenced-transfer miss needs
+  /// several messages wildly reordered against an otherwise fast run) —
+  /// uniform jitter almost never lines them up.
+  double slow_prob = 0;
+  SimDuration slow_delay = 0;
+  /// Delay lanes: instead of each message drawing its straggler coin
+  /// independently, every (message type, destination) pair is assigned a
+  /// sticky fast/slow class for the whole run (probability slow_prob of
+  /// slow). A slow lane delays ALL its messages into [max_delay,
+  /// slow_delay]. This models a congested link or a slow handler and
+  /// sustains asymmetries — "puts to s3 are slow while queries to s3 are
+  /// fast" — that independent jitter cannot hold long enough to race a
+  /// transfer against a write.
+  bool lane_delays = false;
+  /// Transfer-race storm: reconfigurations fire back-to-back (near-zero
+  /// inter-reconfig sleep, ABD-only targets) instead of the default
+  /// leisurely cadence. Concentrates schedules on the write/transfer race
+  /// the fence guards — the window where a put round overlaps phases 2-3
+  /// of a reconfiguration is only a few time units wide, so the default
+  /// cadence almost never samples it.
+  bool reconfig_burst = false;
+  bool zipfian = false;
+
+  // Fault schedule, in event order.
+  std::vector<FaultEvent> faults;
+
+  /// When false the plan contains true message loss: the run only checks
+  /// safety (the checker handles incomplete operations) and a stalled
+  /// workload is not a failure.
+  bool expect_liveness = true;
+
+  /// Self-contained text form (the reproducer format).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Draws a complete plan from one seed (see the determinism contract
+/// above). Generated plans keep every configuration's fault budget: at most
+/// one crash/restart victim, partitions always heal, skew within the lease
+/// ε bound whenever leases are on.
+[[nodiscard]] SchedulePlan generate_plan(std::uint64_t seed);
+
+/// Parses the to_string() form back. Throws std::invalid_argument on
+/// malformed input. Unknown keys are rejected (a reproducer that silently
+/// loses a fault is worse than one that fails loudly).
+[[nodiscard]] SchedulePlan parse_plan(const std::string& text);
+
+}  // namespace ares::fuzz

@@ -1,0 +1,66 @@
+#include "fuzz/replay.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ares::fuzz {
+
+ReplayCase load_replay(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open replay file: " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  // Split off the provenance lines the plan parser does not know about.
+  ReplayCase rc;
+  std::string plan_text;
+  std::istringstream lines(buffer.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("mutation=", 0) == 0) {
+      rc.mutation = line.substr(9);
+      while (!rc.mutation.empty() &&
+             (rc.mutation.back() == '\r' || rc.mutation.back() == ' ')) {
+        rc.mutation.pop_back();
+      }
+      continue;
+    }
+    plan_text += line;
+    plan_text += '\n';
+  }
+  rc.plan = parse_plan(plan_text);
+  return rc;
+}
+
+void save_replay(const std::string& path, const SchedulePlan& plan,
+                 const std::string& mutation, const std::string& violation) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write replay file: " + path);
+  out << "# ares fuzz reproducer (seed " << plan.seed << ")\n";
+  if (!violation.empty()) {
+    // The violation is free-form multi-line text; keep it as comments.
+    std::istringstream lines(violation);
+    std::string line;
+    while (std::getline(lines, line)) out << "# " << line << "\n";
+  }
+  if (!mutation.empty()) out << "mutation=" << mutation << "\n";
+  out << plan.to_string();
+  if (!out) throw std::runtime_error("failed writing replay file: " + path);
+}
+
+std::vector<std::string> list_replays(const std::string& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".fuzz") {
+      out.push_back(entry.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ares::fuzz

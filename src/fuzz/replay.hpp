@@ -1,0 +1,44 @@
+// Replay files: self-contained text reproducers emitted by the fuzzer on
+// failure and checked into tests/repros/. A replay file is a SchedulePlan
+// (plan.hpp text format) plus optional provenance lines:
+//
+//   # comment lines are free-form (the fuzzer records the violation here)
+//   mutation=disable_lease_ack_gating
+//   seed=123
+//   ...plan fields...
+//   fault restart at=100 until=600 ...
+//
+// The `mutation` line records which safety mechanism was disabled when the
+// failure was found (empty for a genuine protocol bug). Regression replay
+// runs the plan CLEAN — with all mutations off it must pass; re-enabling
+// the recorded mutation must still fail, proving both that the guarded
+// path is still exercised and that the oracle still has teeth.
+#pragma once
+
+#include "fuzz/plan.hpp"
+
+#include <string>
+#include <vector>
+
+namespace ares::fuzz {
+
+struct ReplayCase {
+  SchedulePlan plan;
+  std::string mutation;  // empty = found with all mutations off
+};
+
+/// Loads one replay file. Throws std::runtime_error (unreadable) or
+/// std::invalid_argument (malformed).
+[[nodiscard]] ReplayCase load_replay(const std::string& path);
+
+/// Writes `plan` (+ mutation provenance and a violation comment) to `path`.
+/// Throws std::runtime_error when the file cannot be written.
+void save_replay(const std::string& path, const SchedulePlan& plan,
+                 const std::string& mutation = {},
+                 const std::string& violation = {});
+
+/// All *.fuzz files directly under `dir`, sorted by name (deterministic
+/// replay order). Empty when the directory does not exist.
+[[nodiscard]] std::vector<std::string> list_replays(const std::string& dir);
+
+}  // namespace ares::fuzz

@@ -1,0 +1,157 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace ares::fuzz {
+namespace {
+
+/// Bookkeeping shared by the shrink passes: counts executions against the
+/// budget and remembers the latest failing result.
+struct Budget {
+  std::size_t used = 0;
+  std::size_t max_runs;
+  RunResult last_failure;
+
+  explicit Budget(std::size_t m) : max_runs(m) {}
+
+  [[nodiscard]] bool exhausted() const { return used >= max_runs; }
+
+  /// True iff `candidate` still fails (and we had budget to try).
+  bool still_fails(const SchedulePlan& candidate) {
+    if (exhausted()) return false;
+    ++used;
+    RunResult r = run_plan(candidate);
+    if (!r.ok) {
+      last_failure = std::move(r);
+      return true;
+    }
+    return false;
+  }
+};
+
+/// Classic ddmin over the fault-event list: try dropping chunks (and
+/// keeping only chunks) at increasing granularity, keeping any reduction
+/// that still fails.
+void ddmin_faults(SchedulePlan& plan, Budget& budget) {
+  std::size_t n = 2;
+  while (plan.faults.size() >= 1 && n <= plan.faults.size() &&
+         !budget.exhausted()) {
+    const std::size_t chunk =
+        std::max<std::size_t>(1, plan.faults.size() / n);
+    bool reduced = false;
+    for (std::size_t start = 0;
+         start < plan.faults.size() && !budget.exhausted(); start += chunk) {
+      // Complement: the plan without faults [start, start+chunk).
+      SchedulePlan candidate = plan;
+      candidate.faults.erase(
+          candidate.faults.begin() + static_cast<std::ptrdiff_t>(start),
+          candidate.faults.begin() +
+              static_cast<std::ptrdiff_t>(
+                  std::min(start + chunk, candidate.faults.size())));
+      if (budget.still_fails(candidate)) {
+        plan = std::move(candidate);
+        n = std::max<std::size_t>(2, n - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (n >= plan.faults.size()) break;
+      n = std::min(n * 2, plan.faults.size());
+    }
+  }
+  // Final sweep: drop single events (covers the n == size endgame).
+  for (std::size_t i = 0; i < plan.faults.size() && !budget.exhausted();) {
+    SchedulePlan candidate = plan;
+    candidate.faults.erase(candidate.faults.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+    if (budget.still_fails(candidate)) {
+      plan = std::move(candidate);
+    } else {
+      ++i;
+    }
+  }
+}
+
+/// Greedy scalar reduction: for each knob, repeatedly try the smaller
+/// value while the plan keeps failing.
+void shrink_scalars(SchedulePlan& plan, Budget& budget) {
+  auto try_set = [&](auto set) {
+    SchedulePlan candidate = plan;
+    set(candidate);
+    if (budget.still_fails(candidate)) {
+      plan = std::move(candidate);
+      return true;
+    }
+    return false;
+  };
+
+  bool changed = true;
+  while (changed && !budget.exhausted()) {
+    changed = false;
+    if (plan.ops_per_client > 2) {
+      changed |= try_set([&](SchedulePlan& p) {
+        p.ops_per_client = std::max<std::size_t>(2, p.ops_per_client / 2);
+      });
+    }
+    if (plan.num_reconfigs > 0) {
+      changed |= try_set(
+          [&](SchedulePlan& p) { p.num_reconfigs = p.num_reconfigs - 1; });
+    }
+    if (plan.num_clients > 1) {
+      changed |= try_set(
+          [&](SchedulePlan& p) { p.num_clients = p.num_clients - 1; });
+    }
+    if (plan.num_objects > 1) {
+      changed |= try_set([&](SchedulePlan& p) { p.num_objects = 1; });
+    }
+    if (plan.batch_size > 1) {
+      changed |= try_set([&](SchedulePlan& p) { p.batch_size = 1; });
+    }
+    if (plan.rebalance) {
+      changed |= try_set([&](SchedulePlan& p) { p.rebalance = false; });
+    }
+    if (plan.zipfian) {
+      changed |= try_set([&](SchedulePlan& p) { p.zipfian = false; });
+    }
+    if (plan.slow_prob > 0) {
+      changed |= try_set([&](SchedulePlan& p) {
+        p.slow_prob = 0;
+        p.slow_delay = 0;
+      });
+    }
+    if (plan.think_max > 20) {
+      changed |= try_set([&](SchedulePlan& p) { p.think_max /= 2; });
+    }
+  }
+}
+
+}  // namespace
+
+ShrinkOutcome shrink_plan(const SchedulePlan& failing, std::size_t max_runs) {
+  Budget budget(max_runs);
+  SchedulePlan plan = failing;
+
+  // Establish the baseline result (also seeds last_failure for the case
+  // where nothing smaller reproduces).
+  budget.last_failure = run_plan(plan);
+  ++budget.used;
+
+  ddmin_faults(plan, budget);
+  shrink_scalars(plan, budget);
+  // Scalar reduction can unlock further fault removal (fewer ops → fewer
+  // fault windows that matter); one more cheap single-event sweep.
+  ddmin_faults(plan, budget);
+
+  ShrinkOutcome out;
+  out.plan = std::move(plan);
+  out.runs = budget.used;
+  // last_failure tracks the most recent failing execution, which is always
+  // the accepted (smallest) plan's result.
+  out.result = std::move(budget.last_failure);
+  return out;
+}
+
+}  // namespace ares::fuzz

@@ -1,0 +1,28 @@
+// Delta-debugging shrinker: given a failing SchedulePlan, find a smaller
+// plan that still fails — first ddmin over the fault-event list, then
+// greedy reduction of the workload scalars (ops, clients, reconfigs,
+// objects, batching). Every candidate is re-executed with run_plan, so the
+// output provably still reproduces; the total number of executions is
+// bounded by the caller's budget.
+#pragma once
+
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/plan.hpp"
+
+#include <cstddef>
+
+namespace ares::fuzz {
+
+struct ShrinkOutcome {
+  SchedulePlan plan;      // smallest failing plan found
+  RunResult result;       // its run result (still !ok)
+  std::size_t runs = 0;   // schedule executions spent shrinking
+};
+
+/// Minimizes `failing` (which must satisfy !run_plan(failing).ok) within
+/// `max_runs` schedule executions. Returns the smallest still-failing plan
+/// found — `failing` itself if nothing smaller reproduces.
+[[nodiscard]] ShrinkOutcome shrink_plan(const SchedulePlan& failing,
+                                        std::size_t max_runs = 250);
+
+}  // namespace ares::fuzz

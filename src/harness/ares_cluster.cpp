@@ -103,6 +103,25 @@ std::vector<ConfigId> AresCluster::shard_objects(
   return shards;
 }
 
+void AresCluster::crash_server(std::size_t i) {
+  assert(i < servers_.size());
+  net_.crash(servers_[i]->id());
+}
+
+void AresCluster::restart_server(std::size_t i) {
+  assert(i < servers_.size());
+  const ProcessId pid = servers_[i]->id();
+  assert(net_.is_crashed(pid) && "restart of a server that never crashed");
+  // Destroy first (unregisters pid and cancels its pending RPC matching;
+  // lease timers no-op via the DapServer alive sentinel), then lift the
+  // network crash flag and re-register a fresh, empty process.
+  servers_[i].reset();
+  net_.restart(pid);
+  servers_[i] =
+      std::make_unique<reconfig::AresServer>(sim_, net_, pid, registry_);
+  servers_[i]->begin_recovery(registry_.ids());
+}
+
 std::size_t AresCluster::total_stored_bytes() const {
   std::size_t sum = 0;
   for (const auto& s : servers_) sum += s->stored_data_bytes();

@@ -110,6 +110,18 @@ class AresCluster {
     return out;
   }
 
+  /// Crash-stop pool server `i` (network-level: it stops receiving).
+  void crash_server(std::size_t i);
+
+  /// Restart pool server `i` after crash_server(i): the old process object
+  /// is destroyed and a fresh one (empty volatile state) re-registers under
+  /// the same ProcessId. The recovered server begins amnesiac for every
+  /// configuration registered before the restart (it silently drops their
+  /// messages — crash-stop semantics per old configuration) and rejoins
+  /// service when a reconfiguration transfers state into a successor
+  /// configuration listing it.
+  void restart_server(std::size_t i);
+
   /// Builds the spec of a fresh configuration: `n` servers starting at pool
   /// index `first_server` (wrapping), protocol/k as given. Does not
   /// register it — reconfig() does that.

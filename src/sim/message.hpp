@@ -56,6 +56,15 @@ class RpcRequest : public MessageBody {
   /// raise their confirmed tag to it, so a client's own completed put-data
   /// is visible in the very next query round (see dap::DapServer).
   Tag confirmed_hint = kInitialTag;
+
+  /// Successor propagation for fenced transfer reads: when valid, the
+  /// server adopts this entry as its nextC pointer for (config, object)
+  /// (same adopt-unless-finalized rule as put-config) before handling the
+  /// request, so its reply echoes a valid next_c. Only reconfiguration
+  /// transfer reads stamp it — it makes the transfer fence
+  /// self-establishing instead of relying on every put-config quorum
+  /// member staying reachable (see Dap::get_data_fenced).
+  CseqEntry install_next;
 };
 
 class RpcReply : public MessageBody {

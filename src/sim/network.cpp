@@ -80,24 +80,47 @@ void Network::deliver(ProcessId to, Message msg) {
   it->second->deliver(msg);
 }
 
-void Network::send(ProcessId from, ProcessId to, BodyPtr body) {
-  assert(body != nullptr);
-  if (crashed_.contains(from)) return;
-  Message msg{from, to, sim_.now(), std::move(body)};
-  const SimDuration delay = delay_fn_(msg, rng_);
-  if (delay == kDropMessage) return;
-  account(msg.body);
-  sim_.schedule_after(delay, [this, to, msg = std::move(msg)] {
-    deliver(to, msg);
-  });
+bool Network::separated(ProcessId a, ProcessId b) const {
+  if (group_.empty()) return false;
+  auto ia = group_.find(a);
+  auto ib = group_.find(b);
+  // Unlisted processes sit on every side of the cut.
+  if (ia == group_.end() || ib == group_.end()) return false;
+  return ia->second != ib->second;
 }
 
-void Network::atomic_broadcast(ProcessId from, std::vector<ProcessId> dests,
-                               BodyPtr body) {
-  assert(body != nullptr);
-  if (crashed_.contains(from)) return;
+SimDuration Network::draw_delay(const Message& msg) {
+  SimDuration delay = delay_fn_(msg, rng_);
+  if (delay == kDropMessage) return kDropMessage;
+  for (ProcessId end : {msg.from, msg.to}) {
+    auto it = gray_.find(end);
+    if (it != gray_.end() && it->second > 0) {
+      delay += static_cast<SimDuration>(
+          rng_.uniform(it->second / 2, it->second));
+    }
+  }
+  return delay;
+}
+
+void Network::schedule_point_to_point(Message msg) {
+  const ProcessId to = msg.to;
+  const SimDuration delay = draw_delay(msg);
+  if (delay == kDropMessage) return;
+  account(msg.body);
+  const bool duplicate = duplicate_rate_ > 0 && rng_.chance(duplicate_rate_);
+  const SimDuration dup_delay = duplicate ? draw_delay(msg) : kDropMessage;
+  sim_.schedule_after(delay, [this, to, msg] { deliver(to, msg); });
+  if (duplicate && dup_delay != kDropMessage) {
+    account(msg.body);  // the copy traverses the network too
+    sim_.schedule_after(dup_delay,
+                        [this, to, msg = std::move(msg)] { deliver(to, msg); });
+  }
+}
+
+void Network::schedule_broadcast(ProcessId from, std::vector<ProcessId> dests,
+                                 BodyPtr body) {
   Message probe{from, from, sim_.now(), body};
-  const SimDuration delay = delay_fn_(probe, rng_);
+  const SimDuration delay = draw_delay(probe);
   if (delay == kDropMessage) return;
   for (std::size_t i = 0; i < dests.size(); ++i) account(body);
   sim_.schedule_after(delay, [this, from, dests = std::move(dests),
@@ -109,6 +132,64 @@ void Network::atomic_broadcast(ProcessId from, std::vector<ProcessId> dests,
   });
 }
 
+void Network::send(ProcessId from, ProcessId to, BodyPtr body) {
+  assert(body != nullptr);
+  if (crashed_.contains(from)) return;
+  if (loss_rate_ > 0 && rng_.chance(loss_rate_)) return;
+  Message msg{from, to, sim_.now(), std::move(body)};
+  if (separated(from, to)) {
+    held_.push_back(std::move(msg));  // released by heal()
+    return;
+  }
+  schedule_point_to_point(std::move(msg));
+}
+
+void Network::atomic_broadcast(ProcessId from, std::vector<ProcessId> dests,
+                               BodyPtr body) {
+  assert(body != nullptr);
+  if (crashed_.contains(from)) return;
+  // Whole-event loss keeps the primitive all-or-none: either every alive
+  // destination observes the message or none does.
+  if (loss_rate_ > 0 && rng_.chance(loss_rate_)) return;
+  const bool blocked = std::any_of(
+      dests.begin(), dests.end(),
+      [&](ProcessId to) { return separated(from, to); });
+  if (blocked) {
+    // Hold the whole event: delivering only to the reachable side would
+    // break all-or-none; delaying everyone until heal() is just latency.
+    held_casts_.push_back(HeldCast{from, std::move(dests), std::move(body)});
+    return;
+  }
+  schedule_broadcast(from, std::move(dests), std::move(body));
+}
+
+void Network::partition(const std::vector<std::vector<ProcessId>>& groups) {
+  group_.clear();
+  int g = 0;
+  for (const auto& members : groups) {
+    for (ProcessId id : members) group_[id] = g;
+    ++g;
+  }
+}
+
+void Network::heal() {
+  group_.clear();
+  // Re-stamp send times so queue-style delay policies treat the release as
+  // a fresh send; bytes are accounted at release (held messages never
+  // traversed the network while the partition stood).
+  auto held = std::move(held_);
+  held_.clear();
+  auto casts = std::move(held_casts_);
+  held_casts_.clear();
+  for (Message& msg : held) {
+    msg.sent_at = sim_.now();
+    schedule_point_to_point(std::move(msg));
+  }
+  for (HeldCast& hc : casts) {
+    schedule_broadcast(hc.from, std::move(hc.dests), std::move(hc.body));
+  }
+}
+
 void Network::crash(ProcessId id) {
   crashed_.insert(id);
   auto it = processes_.find(id);
@@ -116,5 +197,7 @@ void Network::crash(ProcessId id) {
 }
 
 bool Network::is_crashed(ProcessId id) const { return crashed_.contains(id); }
+
+void Network::restart(ProcessId id) { crashed_.erase(id); }
 
 }  // namespace ares::sim

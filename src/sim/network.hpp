@@ -1,6 +1,28 @@
 // The simulated asynchronous network: reliable channels with per-message
 // delay in [d, D], crash-stop failures, all-or-none broadcast (the
 // md-primitive of [21] used by ARES-TREAS), and byte accounting.
+//
+// First-class fault injection (the schedule-exploration fuzzer's knobs —
+// see src/fuzz/):
+//   - partition(groups) / heal(): messages crossing a partition boundary
+//     are *held*, not dropped, and released with fresh delays at heal time.
+//     A healed partition is therefore just a burst of unbounded-but-finite
+//     delay, which the asynchronous model already covers — safety AND
+//     liveness arguments survive, and traffic resumes after heal().
+//   - set_loss_rate(p): iid message loss (broadcasts are dropped as a
+//     whole event, preserving the primitive's all-or-none guarantee). The
+//     paper assumes reliable channels, so loss may stall in-flight
+//     operations forever — safety-only fault model.
+//   - set_duplicate_rate(p): point-to-point messages are delivered a
+//     second time at an independently drawn delay. Handlers must be
+//     idempotent; reply matching must dedupe by server.
+//   - set_gray(id, extra) / clear_gray(id): gray failure — a slow-but-
+//     alive process whose traffic (both directions) takes an extra
+//     uniform(extra/2, extra) on every hop. Counts as alive for quorums.
+//   - crash(id) / restart(id): crash-stop, plus recovery: restart()
+//     re-admits the id so a *fresh* Process re-registered under it (empty
+//     volatile state) receives traffic again. Amnesia safety is the
+//     re-registered server's job — see reconfig::AresServer::begin_recovery.
 #pragma once
 
 #include "common/random.hpp"
@@ -88,6 +110,47 @@ class Network final : public Transport {
   void crash(ProcessId id);
   [[nodiscard]] bool is_crashed(ProcessId id) const;
 
+  /// Crash-recover: re-admit `id` to the network. The caller re-registers
+  /// a fresh Process under the id (the crashed instance's volatile state is
+  /// gone — that is the point); messages already in flight at crash time
+  /// that deliver after restart() reach the new incarnation.
+  void restart(ProcessId id);
+
+  /// Partition the network: processes in different groups cannot exchange
+  /// messages until heal(). Unlisted processes are unaffected (reachable
+  /// from every group). Messages crossing a boundary are held and released
+  /// with fresh delays at heal time — a partition is unbounded-but-finite
+  /// delay, not loss, so liveness resumes when it heals. An all-or-none
+  /// broadcast with any unreachable destination is held as a whole event
+  /// (delaying delivery to everyone preserves the primitive's guarantee;
+  /// delivering to a reachable prefix would not). Calling partition()
+  /// while one is active replaces the groups; already-held messages stay
+  /// held until heal().
+  void partition(const std::vector<std::vector<ProcessId>>& groups);
+
+  /// Dissolve the partition and release every held message.
+  void heal();
+  [[nodiscard]] bool partitioned() const { return !group_.empty(); }
+  [[nodiscard]] std::size_t held_messages() const {
+    return held_.size() + held_casts_.size();
+  }
+
+  /// iid message loss with probability `p` (0 disables). Point-to-point
+  /// messages drop independently; an atomic broadcast drops as a whole
+  /// event (all-or-none preserved). Lost messages are lost forever — the
+  /// protocols assume reliable channels, so ops may stall (safety-only).
+  void set_loss_rate(double p) { loss_rate_ = p; }
+
+  /// iid duplication with probability `p` (0 disables): a point-to-point
+  /// message is delivered twice, the copy at an independent delay.
+  void set_duplicate_rate(double p) { duplicate_rate_ = p; }
+
+  /// Gray failure: every message to or from `id` takes an extra
+  /// uniform(extra/2, extra) delay per hop. The process stays alive (and
+  /// counts toward quorums) — just slow.
+  void set_gray(ProcessId id, SimDuration extra) { gray_[id] = extra; }
+  void clear_gray(ProcessId id) { gray_.erase(id); }
+
   void set_delay_fn(DelayFn fn) { delay_fn_ = std::move(fn); }
   void set_delay_bounds(SimDuration min_delay, SimDuration max_delay);
 
@@ -100,12 +163,41 @@ class Network final : public Transport {
   void account(const BodyPtr& body);
   void deliver(ProcessId to, Message msg);
 
+  /// True when a partition separates `a` from `b` right now.
+  [[nodiscard]] bool separated(ProcessId a, ProcessId b) const;
+
+  /// Draw the delivery delay for `msg` (delay policy plus gray-failure
+  /// extra). kDropMessage propagates from the policy.
+  [[nodiscard]] SimDuration draw_delay(const Message& msg);
+
+  /// Schedule the (already accounted) message for delivery, honoring
+  /// duplication. Shared by send() and heal().
+  void schedule_point_to_point(Message msg);
+
+  /// Schedule the (already accounted) broadcast event. Shared by
+  /// atomic_broadcast() and heal().
+  void schedule_broadcast(ProcessId from, std::vector<ProcessId> dests,
+                          BodyPtr body);
+
   Simulator& sim_;
   DelayFn delay_fn_;
   Rng rng_;
   std::unordered_map<ProcessId, Process*> processes_;
   std::unordered_set<ProcessId> crashed_;
   Stats stats_;
+
+  // Fault-injection state (all off by default; see class comment).
+  std::unordered_map<ProcessId, int> group_;  // empty = no partition
+  double loss_rate_ = 0;
+  double duplicate_rate_ = 0;
+  std::unordered_map<ProcessId, SimDuration> gray_;
+  struct HeldCast {
+    ProcessId from;
+    std::vector<ProcessId> dests;
+    BodyPtr body;
+  };
+  std::vector<Message> held_;       // point-to-point, awaiting heal()
+  std::vector<HeldCast> held_casts_;
 };
 
 /// The simulator backend viewed through the Transport seam: Network *is*

@@ -1,5 +1,6 @@
 #include "sim/process.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace ares::sim {
@@ -28,6 +29,13 @@ void Process::deliver(const Message& msg) {
       return;
     }
     if (auto it = broadcasts_.find(reply->rpc_id); it != broadcasts_.end()) {
+      // Drop duplicate replies: one vote per server (see PendingBroadcast).
+      auto& replied = it->second.replied;
+      if (std::find(replied.begin(), replied.end(), msg.from) !=
+          replied.end()) {
+        return;
+      }
+      replied.push_back(msg.from);
       // Copy out before invoking anything: the callback may start new calls
       // that rehash the maps.
       auto callback = it->second.callback;

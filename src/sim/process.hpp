@@ -158,6 +158,12 @@ class Process {
     std::size_t remaining = 0;  // erased once every destination replied
     ConfigId config = kNoConfig;
     ObjectId object = kDefaultObject;
+    /// Servers that already replied. A network that duplicates messages
+    /// delivers some replies twice; counting a duplicate would both
+    /// double-fire the callback (a QuorumCollector would treat one server
+    /// as two quorum members — breaking quorum intersection) and erase the
+    /// broadcast early, dropping a genuine later reply.
+    std::vector<ProcessId> replied;
   };
 
   void account_sent(const BodyPtr& body) {

@@ -1,5 +1,6 @@
 #include "treas/client.hpp"
 
+#include "common/mutations.hpp"
 #include "dap/messages.hpp"
 #include "treas/messages.hpp"
 
@@ -127,12 +128,17 @@ sim::Future<dap::GetDataResult> TreasDap::get_data_confirmed(
   return get_data_impl(/*fenced=*/false);
 }
 
-sim::Future<TagValue> TreasDap::get_data_fenced() {
-  const dap::GetDataResult r = co_await get_data_impl(/*fenced=*/true);
+sim::Future<TagValue> TreasDap::get_data_fenced(CseqEntry successor) {
+  const dap::GetDataResult r =
+      co_await get_data_impl(/*fenced=*/true, successor);
   co_return r.tv;
 }
 
-sim::Future<dap::GetDataResult> TreasDap::get_data_impl(bool fenced) {
+sim::Future<dap::GetDataResult> TreasDap::get_data_impl(
+    bool fenced, CseqEntry successor) {
+  // Mutation under test: degrade fenced transfer reads to plain quorum
+  // reads (see common/mutations.hpp).
+  if (mutations().skip_transfer_fence) fenced = false;
   const std::size_t q = spec_.quorum_size();
   const std::size_t k = spec_.k;
   for (std::size_t attempt = 0;; ++attempt) {
@@ -140,6 +146,9 @@ sim::Future<dap::GetDataResult> TreasDap::get_data_impl(bool fenced) {
     req->config = spec_.id;
     req->object = object();
     req->confirmed_hint = confirmed_tag();
+    // Fenced transfers piggyback the decided successor so any live quorum
+    // can satisfy the fence (see abd::AbdDap::get_data_fenced).
+    if (fenced) req->install_next = successor;
     auto qc = sim::broadcast_collect<QueryListReply>(owner_, spec_.servers,
                                                      std::move(req));
     // Hoisted per the GCC-12 note in sim/coro.hpp: no temporaries (the
@@ -192,11 +201,13 @@ sim::Future<Tag> TreasDap::get_dec_tag() {
   return get_dec_tag_impl(/*fenced=*/false);
 }
 
-sim::Future<Tag> TreasDap::get_dec_tag_fenced() {
-  return get_dec_tag_impl(/*fenced=*/true);
+sim::Future<Tag> TreasDap::get_dec_tag_fenced(CseqEntry successor) {
+  return get_dec_tag_impl(/*fenced=*/true, successor);
 }
 
-sim::Future<Tag> TreasDap::get_dec_tag_impl(bool fenced) {
+sim::Future<Tag> TreasDap::get_dec_tag_impl(bool fenced,
+                                            CseqEntry successor) {
+  if (mutations().skip_transfer_fence) fenced = false;
   const std::size_t q = spec_.quorum_size();
   const std::size_t k = spec_.k;
   for (std::size_t attempt = 0;; ++attempt) {
@@ -204,6 +215,7 @@ sim::Future<Tag> TreasDap::get_dec_tag_impl(bool fenced) {
     digest_req->config = spec_.id;
     digest_req->object = object();
     digest_req->confirmed_hint = confirmed_tag();
+    if (fenced) digest_req->install_next = successor;
     auto qc = sim::broadcast_collect<QueryDigestReply>(
         owner_, spec_.servers, std::move(digest_req));
     std::function<bool(const DigestArrivals&)> pred =

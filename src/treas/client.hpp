@@ -23,20 +23,24 @@ class TreasDap final : public dap::Dap {
   /// successor pointer for the object — the fence that makes writers'
   /// elided post-put config checks safe (see abd::AbdDap::get_data_fenced
   /// for the ordering argument; quorum arithmetic is TREAS's ⌈(n+k)/2⌉).
-  [[nodiscard]] sim::Future<TagValue> get_data_fenced() override;
+  [[nodiscard]] sim::Future<TagValue> get_data_fenced(
+      CseqEntry successor) override;
   [[nodiscard]] sim::Future<void> put_data(TagValue tv) override;
 
   /// Metadata-only variant of get-data used by ARES-TREAS reconfiguration:
   /// same tag-selection rule, no object bytes moved to the client.
   [[nodiscard]] sim::Future<Tag> get_dec_tag() override;
   /// Fenced variant of get_dec_tag (ARES-TREAS transfer reads).
-  [[nodiscard]] sim::Future<Tag> get_dec_tag_fenced() override;
+  [[nodiscard]] sim::Future<Tag> get_dec_tag_fenced(
+      CseqEntry successor) override;
 
   [[nodiscard]] const dap::ConfigSpec& spec() const { return spec_; }
 
  private:
-  [[nodiscard]] sim::Future<dap::GetDataResult> get_data_impl(bool fenced);
-  [[nodiscard]] sim::Future<Tag> get_dec_tag_impl(bool fenced);
+  [[nodiscard]] sim::Future<dap::GetDataResult> get_data_impl(
+      bool fenced, CseqEntry successor = {});
+  [[nodiscard]] sim::Future<Tag> get_dec_tag_impl(
+      bool fenced, CseqEntry successor = {});
 
   sim::Process& owner_;
   dap::ConfigSpec spec_;

@@ -230,8 +230,11 @@ TEST(FastPath, WriteDiscoversReconfigCompletingDuringPutRound) {
   //  - writer's put-data: fast to s0/s1, slow to s2, slower still to s3/s4
   //    — the ack quorum {s0,s1,s2} completes late and entirely hint-free;
   //  - put-config to s2 delayed past s2's put-data ack, so s2 stays blind;
-  //  - the transfer's get-data delayed to s0/s1, so its quorum {s2,s3,s4}
-  //    answers before any of them applied the write.
+  //  - the transfer's fenced get-data delayed to s0/s1/s2 past that ack
+  //    (the fenced query piggybacks the successor and installs it on
+  //    arrival, so an early query to s2 would stamp the ack with the hint
+  //    and un-elide the write). The fence is then satisfied by
+  //    {s3,s4} + the delayed replies, all of which echo the successor.
   cluster.net().set_delay_fn([writer_id, reconfigurer_id](
                                  const sim::Message& m, Rng&) -> SimDuration {
     const auto type = m.body->type_name();
@@ -241,7 +244,7 @@ TEST(FastPath, WriteDiscoversReconfigCompletingDuringPutRound) {
       return 500;
     }
     if (type == "ares.write_config" && m.to == 2) return 200;
-    if (type == "abd.query" && m.from == reconfigurer_id && m.to <= 1) {
+    if (type == "abd.query" && m.from == reconfigurer_id && m.to <= 2) {
       return 300;
     }
     return 2;

@@ -1,0 +1,81 @@
+// fuzz_replay: re-run checked-in fuzz reproducers as regressions.
+//
+//   fuzz_replay tests/repros                 # replay all *.fuzz in a dir
+//   fuzz_replay tests/repros/seed_42.fuzz    # replay one file
+//   fuzz_replay --with-mutation tests/repros # re-enable each file's
+//                                            # recorded mutation; expect RED
+//
+// Default (clean) mode runs every plan with all mutations off and expects
+// green — a red clean replay means a real regression. --with-mutation mode
+// proves the reproducers still have teeth: each plan re-run under its
+// recorded mutation must still fail. Exit 0 when every file met its
+// expectation, 1 otherwise, 2 on usage errors.
+#include "common/mutations.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/replay.hpp"
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+  bool with_mutation = false;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--with-mutation") {
+      with_mutation = true;
+    } else {
+      inputs.push_back(a);
+    }
+  }
+  if (inputs.empty()) {
+    std::cerr << "usage: fuzz_replay [--with-mutation] <file.fuzz | dir>...\n";
+    return 2;
+  }
+
+  std::vector<std::string> files;
+  for (const auto& input : inputs) {
+    if (std::filesystem::is_directory(input)) {
+      for (auto& f : ares::fuzz::list_replays(input)) files.push_back(f);
+    } else {
+      files.push_back(input);
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "no replay files found\n";
+    return 2;
+  }
+
+  int failures = 0;
+  for (const auto& path : files) {
+    ares::fuzz::ReplayCase rc;
+    try {
+      rc = ares::fuzz::load_replay(path);
+    } catch (const std::exception& e) {
+      std::cerr << path << ": " << e.what() << "\n";
+      ++failures;
+      continue;
+    }
+
+    if (with_mutation && rc.mutation.empty()) {
+      std::cout << path << ": skipped (no recorded mutation)\n";
+      continue;
+    }
+    if (with_mutation) ares::set_mutation(rc.mutation, true);
+    const ares::fuzz::RunResult r = ares::fuzz::run_plan(rc.plan);
+    if (with_mutation) ares::set_mutation(rc.mutation, false);
+
+    const bool expected = with_mutation ? !r.ok : r.ok;
+    std::cout << path << ": " << (r.ok ? "green" : "red")
+              << (expected ? "" : "  <-- UNEXPECTED") << "\n";
+    if (!expected) {
+      if (!r.ok) std::cout << r.violation << "\n";
+      ++failures;
+    }
+  }
+  std::cout << files.size() << " reproducers replayed, " << failures
+            << " unexpected\n";
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,142 @@
+// fuzz_schedules: the schedule-exploration fuzzer CLI.
+//
+//   fuzz_schedules --seeds 1..500                 # explore a seed range
+//   fuzz_schedules --seeds 1..500 --out repros/   # write shrunk repro file
+//   fuzz_schedules --seeds 1..500 --mutation skip_transfer_fence
+//                  --expect-failure               # oracle-power check
+//
+// Exit code: 0 = expectation met (all green, or — with --expect-failure —
+// a failure was found); 1 = expectation violated; 2 = usage error.
+//
+// On failure the shrunk plan is printed (and written to --out when given);
+// the reproducer replays with fuzz_replay or `--replay file`.
+#include "common/mutations.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/replay.hpp"
+#include "fuzz/shrink.hpp"
+
+#include <cstdint>
+#include <filesystem>
+#include <iostream>
+#include <optional>
+#include <string>
+
+namespace {
+
+struct Args {
+  std::uint64_t first = 1;
+  std::uint64_t last = 100;
+  std::string mutation;
+  std::string out_dir;
+  bool expect_failure = false;
+  std::size_t shrink_budget = 250;
+  bool verbose = false;
+};
+
+int usage() {
+  std::cerr
+      << "usage: fuzz_schedules [--seeds A..B] [--mutation NAME]\n"
+         "                      [--expect-failure] [--out DIR]\n"
+         "                      [--shrink-budget N] [--verbose]\n"
+         "mutations:";
+  for (auto name : ares::mutation_names()) std::cerr << " " << name;
+  std::cerr << "\n";
+  return 2;
+}
+
+std::optional<Args> parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--seeds") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      const std::string range(v);
+      const auto dots = range.find("..");
+      if (dots == std::string::npos) return std::nullopt;
+      args.first = std::stoull(range.substr(0, dots));
+      args.last = std::stoull(range.substr(dots + 2));
+      if (args.first > args.last) return std::nullopt;
+    } else if (a == "--mutation") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      args.mutation = v;
+    } else if (a == "--expect-failure") {
+      args.expect_failure = true;
+    } else if (a == "--out") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      args.out_dir = v;
+    } else if (a == "--shrink-budget") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      args.shrink_budget = std::stoull(v);
+    } else if (a == "--verbose") {
+      args.verbose = true;
+    } else {
+      return std::nullopt;
+    }
+  }
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = parse_args(argc, argv);
+  if (!parsed) return usage();
+  const Args& args = *parsed;
+
+  if (!args.mutation.empty() &&
+      !ares::set_mutation(args.mutation, true)) {
+    std::cerr << "unknown mutation: " << args.mutation << "\n";
+    return usage();
+  }
+
+  ares::fuzz::ScheduleFuzzer fuzzer;
+  std::size_t done = 0;
+  auto failure = fuzzer.run_range(
+      args.first, args.last,
+      [&](std::uint64_t seed, const ares::fuzz::RunResult& r) {
+        ++done;
+        if (args.verbose) {
+          std::cout << "seed " << seed << ": " << (r.ok ? "ok" : "FAIL")
+                    << " ops=" << r.num_ops << " hash=" << std::hex
+                    << r.schedule_hash << std::dec << "\n";
+        } else if (done % 100 == 0) {
+          std::cout << done << " schedules explored...\n";
+        }
+      });
+
+  if (!failure) {
+    std::cout << "explored seeds " << args.first << ".." << args.last
+              << ": all " << fuzzer.runs() << " schedules "
+              << (args.mutation.empty() ? "atomic and live"
+                                        : "green despite mutation")
+              << "\n";
+    return args.expect_failure ? 1 : 0;
+  }
+
+  std::cout << "seed " << failure->seed << " FAILED:\n"
+            << failure->result.violation << "\n\nshrinking (budget "
+            << args.shrink_budget << " runs)...\n";
+  const ares::fuzz::ShrinkOutcome shrunk =
+      ares::fuzz::shrink_plan(failure->plan, args.shrink_budget);
+  std::cout << "shrunk to " << shrunk.plan.faults.size()
+            << " fault events after " << shrunk.runs << " runs:\n"
+            << shrunk.plan.to_string() << "\nviolation:\n"
+            << shrunk.result.violation << "\n";
+
+  if (!args.out_dir.empty()) {
+    std::filesystem::create_directories(args.out_dir);
+    const std::string path = args.out_dir + "/seed_" +
+                             std::to_string(failure->seed) + ".fuzz";
+    ares::fuzz::save_replay(path, shrunk.plan, args.mutation,
+                            shrunk.result.violation);
+    std::cout << "reproducer written to " << path << "\n";
+  }
+  return args.expect_failure ? 0 : 1;
+}
