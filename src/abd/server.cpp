@@ -1,6 +1,7 @@
 #include "abd/server.hpp"
 
 #include "abd/messages.hpp"
+#include "storage/records.hpp"
 
 namespace ares::abd {
 
@@ -37,6 +38,42 @@ std::size_t AbdServerState::stored_data_bytes() const {
 
 Tag AbdServerState::max_tag(ObjectId obj) const { return reg(obj).tag; }
 
+std::size_t AbdServerState::drop_object(ObjectId obj) {
+  std::size_t bytes = 0;
+  if (auto it = objects_.find(obj); it != objects_.end()) {
+    if (it->second.value) bytes = it->second.value->size();
+    objects_.erase(it);
+  }
+  DapServer::drop_object(obj);
+  return bytes;
+}
+
+void AbdServerState::restore_put(
+    ObjectId obj, const Tag& tag, const ValuePtr& value,
+    const std::optional<codec::Fragment>& fragment) {
+  (void)fragment;  // whole-replica protocol: fragments never journaled
+  Register& r = reg(obj);
+  if (tag > r.tag) {  // same adopt-if-newer rule as the live path
+    r.tag = tag;
+    r.value = value;
+  }
+}
+
+void AbdServerState::dump_wal(
+    dap::ServerContext& ctx, ConfigId cfg,
+    const std::function<void(const sim::MessageBody&)>& sink) const {
+  for (const auto& [obj, r] : objects_) {
+    if (r.tag <= kInitialTag) continue;  // ⟨t0, v0⟩ reconstructs for free
+    storage::WalPut rec;
+    rec.config = cfg;
+    rec.object = obj;
+    rec.tag = r.tag;
+    rec.value = r.value;
+    sink(rec);
+  }
+  DapServer::dump_wal(ctx, cfg, sink);
+}
+
 bool AbdServerState::handle(dap::ServerContext& ctx, const sim::Message& msg) {
   auto req = std::dynamic_pointer_cast<const sim::RpcRequest>(msg.body);
   if (!req) return false;
@@ -65,10 +102,7 @@ bool AbdServerState::handle(dap::ServerContext& ctx, const sim::Message& msg) {
   }
   if (auto write = std::dynamic_pointer_cast<const WriteReq>(msg.body)) {
     note_mix(req->object, /*is_write=*/true);
-    if (write->tag > r.tag) {
-      r.tag = write->tag;
-      r.value = write->value;
-    }
+    put_one(req->object, write->tag, write->value);
     // Adopt immediately, but withhold the ack — i.e. the writer's
     // completion — until every read lease granted at an older tag has
     // settled (no-op without leases; see DapServer::settle_leases). The

@@ -32,6 +32,13 @@ class AbdServerState final : public dap::DapServer {
     return reg(obj).value;
   }
 
+  std::size_t drop_object(ObjectId obj) override;
+  void restore_put(ObjectId obj, const Tag& tag, const ValuePtr& value,
+                   const std::optional<codec::Fragment>& fragment) override;
+  void dump_wal(dap::ServerContext& ctx, ConfigId cfg,
+                const std::function<void(const sim::MessageBody&)>& sink)
+      const override;
+
  protected:
   [[nodiscard]] TagValue query_one(ObjectId obj) const override {
     const Register& r = reg(obj);
@@ -42,6 +49,7 @@ class AbdServerState final : public dap::DapServer {
     if (tag > r.tag) {
       r.tag = tag;
       r.value = value;
+      journal_put(obj, tag, value, std::nullopt);
     }
   }
 

@@ -1,7 +1,9 @@
 #include "ares/client.hpp"
 
+#include "common/mutations.hpp"
 #include "dap/batch.hpp"
 #include "dap/factory.hpp"
+#include "storage/messages.hpp"
 
 #include <cassert>
 #include <map>
@@ -10,6 +12,24 @@
 
 namespace ares::reconfig {
 namespace {
+
+/// Frame-scoped in-flight markers: while any operation coroutine holding
+/// indices into an object's cseq is suspended, trim_cseq must not rebase
+/// the sequence. Destroyed with the coroutine frame, so exceptional exits
+/// release the marks too.
+struct InflightGuards {
+  std::vector<std::size_t*> counts;
+  void hold(std::size_t& n) {
+    ++n;
+    counts.push_back(&n);
+  }
+  InflightGuards() = default;
+  InflightGuards(const InflightGuards&) = delete;
+  InflightGuards& operator=(const InflightGuards&) = delete;
+  ~InflightGuards() {
+    for (std::size_t* n : counts) --*n;
+  }
+};
 
 /// Piggybacked nextC discovery is sound for a configuration iff its DAP
 /// phase quorums intersect every reconfiguration-service quorum on the same
@@ -161,6 +181,81 @@ const std::shared_ptr<dap::Dap>& AresClient::dap_for(ObjectId obj,
 
 bool AresClient::tail_covers_hints(ObjectId obj) {
   return covers_config_hints(registry_.get(cseq(obj)[nu(obj)].cfg));
+}
+
+// ---------------------------------------------------------------------------
+// Config-lineage GC (client side)
+// ---------------------------------------------------------------------------
+
+void AresClient::broadcast_retire(ObjectId obj, std::size_t upto,
+                                  CseqEntry successor) {
+  const auto& cs = cseq(obj);
+  assert(upto <= cs.size());
+  for (std::size_t i = 0; i < upto; ++i) {
+    const ConfigId cfg = cs[i].cfg;
+    for (ProcessId s : registry_.get(cfg).servers) {
+      auto req = std::make_shared<storage::RetireConfigReq>();
+      req->config = cfg;
+      req->object = obj;
+      req->successor = successor;
+      send(s, std::move(req));
+    }
+  }
+}
+
+void AresClient::trim_cseq(ObjectId obj) {
+  // Only under config-lineage GC: without it the full lineage stays live on
+  // the servers and the (observable) client view keeps every entry.
+  if (!config_gc_) return;
+  auto it = objects_.find(obj);
+  if (it == objects_.end()) return;
+  ObjectState& st = it->second;
+  if (st.inflight != 0) return;  // suspended ops hold indices into cseq
+  std::size_t m = 0;
+  for (std::size_t i = st.cseq.size(); i-- > 0;) {
+    if (st.cseq[i].finalized) {
+      m = i;
+      break;
+    }
+  }
+  if (m == 0) return;
+  // Every entry below µ is superseded by a finalized successor and — once
+  // the retirer's GC broadcast lands — answered only from tombstones.
+  // Rebasing keeps cseq[0] finalized (the new base IS µ) and caps the
+  // client's footprint at the live suffix of the lineage.
+  for (std::size_t i = 0; i < m; ++i) {
+    const ConfigId cfg = st.cseq[i].cfg;
+    st.daps.erase(cfg);
+    st.proposers.erase(cfg);
+    st.lease_fence.erase(cfg);
+  }
+  st.cseq.erase(st.cseq.begin(),
+                st.cseq.begin() + static_cast<std::ptrdiff_t>(m));
+}
+
+sim::Future<void> AresClient::resync_after_retire(ObjectId obj) {
+  obj_state(obj).synced = false;
+  // The traversal only talks to the configuration service, which keeps
+  // answering from tombstones — it cannot itself be bounced. The retirer
+  // finalized the successor before any retirement, so µ lands past every
+  // retired entry and the retried phases touch only live configurations.
+  co_await read_config(obj);
+  co_return;
+}
+
+sim::Future<void> AresClient::complete_write(ObjectId obj, TagValue tv) {
+  for (;;) {
+    bool retired = false;
+    try {
+      auto prop = propagate_tail(obj, tv);
+      co_await prop;
+    } catch (const sim::ConfigRetired&) {
+      retired = true;
+    }
+    if (!retired) co_return;
+    auto rs = resync_after_retire(obj);
+    co_await rs;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -323,7 +418,10 @@ sim::Future<void> AresClient::ensure_config(ObjectId obj) {
 // ---------------------------------------------------------------------------
 
 sim::Future<Tag> AresClient::write(ObjectId obj, ValuePtr value) {
-  (void)obj_state(obj);  // lazily bind to the default c0 on first use
+  ObjectState& st = obj_state(obj);  // lazily bind to the default c0
+  trim_cseq(obj);
+  InflightGuards guard;
+  guard.hold(st.inflight);
   std::uint64_t op = 0;
   if (recorder_ != nullptr) {
     op = recorder_->begin(id(), checker::OpKind::kWrite, simulator().now(),
@@ -343,21 +441,34 @@ sim::Future<Tag> AresClient::write_core(ObjectId obj, ValuePtr value,
   // An own write outdates any locally cached pair: the servers' settle
   // gates exclude the writer itself, so the writer revokes its own lease.
   poison_lease(obj);
-  co_await ensure_config(obj);
 
   // Max tag across configurations µ..ν. If a piggybacked hint reveals a
-  // successor mid-phase, re-traverse and re-run so tmax covers it.
+  // successor mid-phase, re-traverse and re-run so tmax covers it; if a
+  // quorum round bounces off garbage-collected state, re-sync and retry
+  // wholesale — no tag has been recorded yet, so a fresh choice is sound.
   Tag tmax = kInitialTag;
   std::size_t v = 0;
   for (;;) {
-    const std::size_t m = mu(obj);
-    v = nu(obj);
-    tmax = kInitialTag;
-    for (std::size_t i = m; i <= v; ++i) {
-      tmax = std::max(tmax, co_await dap_for(obj, cseq(obj)[i].cfg)->get_tag());
+    bool retired = false;
+    try {
+      co_await ensure_config(obj);
+      for (;;) {
+        const std::size_t m = mu(obj);
+        v = nu(obj);
+        tmax = kInitialTag;
+        for (std::size_t i = m; i <= v; ++i) {
+          tmax =
+              std::max(tmax, co_await dap_for(obj, cseq(obj)[i].cfg)->get_tag());
+        }
+        if (nu(obj) == v) break;
+        co_await read_config(obj);
+      }
+    } catch (const sim::ConfigRetired&) {
+      retired = true;
     }
-    if (nu(obj) == v) break;
-    co_await read_config(obj);
+    if (!retired) break;
+    auto rs = resync_after_retire(obj);
+    co_await rs;
   }
   const Tag tw = tmax.next(id());
   if (recorder_ != nullptr) {
@@ -377,37 +488,53 @@ sim::Future<Tag> AresClient::write_core(ObjectId obj, ValuePtr value,
   // DuringPutRound for the adversarial schedule). LDR tails never elide
   // (tail_covers_hints is false), so LDR sources need no fence.
   TagValue to_write{tw, value};  // named: see GCC-12 note in sim/coro.hpp
-  for (;;) {
-    const ConfigId vcfg = cseq(obj)[v].cfg;
-    // Ask for a write-ack lease only in the single-tail steady state the
-    // install premise needs (mirrors the read path's want_lease condition).
-    const bool want_lease = fast_path_ && obj_state(obj).synced &&
-                            mu(obj) == v && tail_covers_hints(obj);
-    auto put_fut =
-        dap_for(obj, vcfg)->put_data_leased(to_write, want_lease);
-    const dap::PutDataResult pr = co_await put_fut;
-    ObjectState& st = obj_state(obj);
-    if (fast_path_ && st.synced && nu(obj) == v && tail_covers_hints(obj)) {
-      note_round_elided();
-      // Write-ack lease: a full quorum granted on the ack, certifying our
-      // pair is each granting server's current register — the writer
-      // immediately re-leases its own value.
-      if (pr.lease_expiry > 0 && mu(obj) == nu(obj) &&
-          st.cseq.back().cfg == vcfg) {
-        install_lease(obj, vcfg, to_write, pr.lease_expiry);
+  bool retired = false;
+  try {
+    for (;;) {
+      const ConfigId vcfg = cseq(obj)[v].cfg;
+      // Ask for a write-ack lease only in the single-tail steady state the
+      // install premise needs (mirrors the read path's want_lease condition).
+      const bool want_lease = fast_path_ && obj_state(obj).synced &&
+                              mu(obj) == v && tail_covers_hints(obj);
+      auto put_fut =
+          dap_for(obj, vcfg)->put_data_leased(to_write, want_lease);
+      const dap::PutDataResult pr = co_await put_fut;
+      ObjectState& st = obj_state(obj);
+      if (fast_path_ && st.synced && nu(obj) == v && tail_covers_hints(obj)) {
+        note_round_elided();
+        // Write-ack lease: a full quorum granted on the ack, certifying our
+        // pair is each granting server's current register — the writer
+        // immediately re-leases its own value.
+        if (pr.lease_expiry > 0 && mu(obj) == nu(obj) &&
+            st.cseq.back().cfg == vcfg) {
+          install_lease(obj, vcfg, to_write, pr.lease_expiry);
+        }
+        break;
       }
-      break;
+      co_await read_config(obj);
+      if (nu(obj) == v) break;
+      v = nu(obj);
     }
-    co_await read_config(obj);
-    if (nu(obj) == v) break;
-    v = nu(obj);
+  } catch (const sim::ConfigRetired&) {
+    // The tag is recorded history now: finish by re-propagating the SAME
+    // pair into the re-synced tail (complete_write), never a fresh tag.
+    retired = true;
+  }
+  if (retired) {
+    auto rs = resync_after_retire(obj);
+    co_await rs;
+    auto fin = complete_write(obj, to_write);
+    co_await fin;
   }
 
   co_return tw;
 }
 
 sim::Future<TagValue> AresClient::read(ObjectId obj) {
-  (void)obj_state(obj);  // lazily bind to the default c0 on first use
+  ObjectState& st = obj_state(obj);  // lazily bind to the default c0
+  trim_cseq(obj);
+  InflightGuards guard;
+  guard.hold(st.inflight);
   std::uint64_t op = 0;
   if (recorder_ != nullptr) {
     op = recorder_->begin(id(), checker::OpKind::kRead, simulator().now(),
@@ -422,6 +549,26 @@ sim::Future<TagValue> AresClient::read(ObjectId obj) {
 }
 
 sim::Future<TagValue> AresClient::read_core(ObjectId obj) {
+  // Retirement retry shell: a quorum round of the attempt below may bounce
+  // off garbage-collected state at any suspension point; reads are
+  // side-effect free up to their write-back, so re-running the whole
+  // attempt after a re-sync is always sound.
+  for (;;) {
+    bool retired = false;
+    TagValue out;
+    try {
+      auto once = read_core_once(obj);
+      out = co_await once;
+    } catch (const sim::ConfigRetired&) {
+      retired = true;
+    }
+    if (!retired) co_return out;
+    auto rs = resync_after_retire(obj);
+    co_await rs;
+  }
+}
+
+sim::Future<TagValue> AresClient::read_core_once(ObjectId obj) {
   (void)obj_state(obj);  // lazily bind to the default c0 on first use
 
   // Lease fast path: a valid window serves the read entirely locally —
@@ -569,8 +716,12 @@ sim::Future<std::vector<TagValue>> AresClient::read_batch(
   std::vector<TagValue> out(objs.size());
   std::vector<std::uint64_t> rec(objs.size(), 0);
   std::vector<char> leased(objs.size(), 0);
+  InflightGuards guard;
+  std::set<ObjectId> held;
   for (std::size_t i = 0; i < objs.size(); ++i) {
-    (void)obj_state(objs[i]);
+    ObjectState& st = obj_state(objs[i]);
+    trim_cseq(objs[i]);
+    if (held.insert(objs[i]).second) guard.hold(st.inflight);
     if (recorder_ != nullptr) {
       rec[i] = recorder_->begin(id(), checker::OpKind::kRead,
                                 simulator().now(), objs[i]);
@@ -605,6 +756,28 @@ sim::Future<std::vector<TagValue>> AresClient::read_batch(
   }
 
   for (auto& [cfg, slots] : groups) {
+    auto group = read_batch_group(cfg, slots, objs, out);
+    co_await group;
+  }
+
+  for (std::size_t i : singles) {
+    auto fallback = read_core(objs[i]);
+    out[i] = co_await fallback;
+  }
+
+  if (recorder_ != nullptr) {
+    for (std::size_t i = 0; i < objs.size(); ++i) {
+      recorder_->end(rec[i], simulator().now(), out[i].tag, out[i].value);
+    }
+  }
+  co_return out;
+}
+
+sim::Future<void> AresClient::read_batch_group(
+    ConfigId cfg, const std::vector<std::size_t>& slots,
+    const std::vector<ObjectId>& objs, std::vector<TagValue>& out) {
+  bool retired = false;
+  try {
     const dap::ConfigSpec& spec = registry_.get(cfg);
     std::vector<ObjectId> uobjs;           // distinct objects, wire order
     std::vector<std::size_t> canon;        // canonical member per uobj
@@ -710,19 +883,26 @@ sim::Future<std::vector<TagValue>> AresClient::read_batch(
       out[canon[u]] = co_await fallback;
     }
     for (std::size_t s : slots) out[s] = out[canon[uslot[objs[s]]]];
+  } catch (const sim::ConfigRetired&) {
+    retired = true;
   }
-
-  for (std::size_t i : singles) {
-    auto fallback = read_core(objs[i]);
-    out[i] = co_await fallback;
-  }
-
-  if (recorder_ != nullptr) {
-    for (std::size_t i = 0; i < objs.size(); ++i) {
-      recorder_->end(rec[i], simulator().now(), out[i].tag, out[i].value);
+  if (retired) {
+    // The group's configuration was garbage-collected mid-round: re-sync
+    // every member once, then serve each slot per-object (read_core rides
+    // out any further retirement itself). Re-reading already-served slots
+    // is sound — reads are idempotent.
+    std::set<ObjectId> resynced;
+    for (std::size_t s : slots) {
+      if (!resynced.insert(objs[s]).second) continue;
+      auto rs = resync_after_retire(objs[s]);
+      co_await rs;
+    }
+    for (std::size_t s : slots) {
+      auto fallback = read_core(objs[s]);
+      out[s] = co_await fallback;
     }
   }
-  co_return out;
+  co_return;
 }
 
 sim::Future<std::vector<Tag>> AresClient::write_batch(
@@ -730,8 +910,12 @@ sim::Future<std::vector<Tag>> AresClient::write_batch(
   assert(objs.size() == values.size());
   std::vector<Tag> out(objs.size());
   std::vector<std::uint64_t> rec(objs.size(), 0);
+  InflightGuards guard;
+  std::set<ObjectId> held;
   for (std::size_t i = 0; i < objs.size(); ++i) {
-    (void)obj_state(objs[i]);
+    ObjectState& st = obj_state(objs[i]);
+    trim_cseq(objs[i]);
+    if (held.insert(objs[i]).second) guard.hold(st.inflight);
     poison_lease(objs[i]);  // an own write outdates the cached pair
     if (recorder_ != nullptr) {
       rec[i] = recorder_->begin(id(), checker::OpKind::kWrite,
@@ -761,6 +945,34 @@ sim::Future<std::vector<Tag>> AresClient::write_batch(
   }
 
   for (auto& [cfg, slots] : groups) {
+    auto group = write_batch_group(cfg, slots, objs, values, rec, out);
+    co_await group;
+  }
+
+  for (std::size_t i : singles) {
+    auto fallback = write_core(objs[i], values[i], rec[i]);
+    out[i] = co_await fallback;
+  }
+
+  if (recorder_ != nullptr) {
+    for (std::size_t i = 0; i < objs.size(); ++i) {
+      recorder_->end(rec[i], simulator().now(), out[i], values[i]);
+    }
+  }
+  co_return out;
+}
+
+sim::Future<void> AresClient::write_batch_group(
+    ConfigId cfg, const std::vector<std::size_t>& slots,
+    const std::vector<ObjectId>& objs, const std::vector<ValuePtr>& values,
+    const std::vector<std::uint64_t>& rec, std::vector<Tag>& out) {
+  // Declared outside the try so retirement recovery can tell which members
+  // already had their tag noted (put_slots) from those that never got one.
+  std::vector<dap::BatchPutItem> puts;
+  std::vector<std::size_t> put_slots;
+  std::vector<std::size_t> demoted_slots;
+  bool retired = false;
+  try {
     const dap::ConfigSpec& spec = registry_.get(cfg);
     std::vector<ObjectId> gobjs;
     gobjs.reserve(slots.size());
@@ -779,9 +991,6 @@ sim::Future<std::vector<Tag>> AresClient::write_batch(
       }
     }
 
-    std::vector<dap::BatchPutItem> puts;
-    std::vector<std::size_t> put_slots;
-    std::vector<std::size_t> demoted_slots;
     for (std::size_t j = 0; j < gobjs.size(); ++j) {
       const ObjectId obj = gobjs[j];
       const std::size_t slot = slots[j];
@@ -852,19 +1061,37 @@ sim::Future<std::vector<Tag>> AresClient::write_batch(
       auto fallback = write_core(objs[slot], values[slot], rec[slot]);
       out[slot] = co_await fallback;
     }
+    co_return;
+  } catch (const sim::ConfigRetired&) {
+    retired = true;
   }
 
-  for (std::size_t i : singles) {
-    auto fallback = write_core(objs[i], values[i], rec[i]);
-    out[i] = co_await fallback;
-  }
-
-  if (recorder_ != nullptr) {
-    for (std::size_t i = 0; i < objs.size(); ++i) {
-      recorder_->end(rec[i], simulator().now(), out[i], values[i]);
+  // A member configuration was retired by config-lineage GC mid-group.
+  // Re-sync every member once, then finish each slot individually:
+  // members whose tag was already noted with the recorder must re-propagate
+  // the SAME (tag, value) pair (the checker records one tag per write op);
+  // members that never got a tag restart through write_core, which is free
+  // to choose fresh tags and has its own retirement retry loop.
+  if (retired) {
+    std::set<ObjectId> members;
+    for (std::size_t s : slots) members.insert(objs[s]);
+    for (ObjectId o : members) {
+      auto rs = resync_after_retire(o);
+      co_await rs;
+    }
+    for (std::size_t j = 0; j < puts.size(); ++j) {
+      auto done = complete_write(puts[j].object,
+                                 TagValue{puts[j].tag, puts[j].value});
+      co_await done;
+    }
+    const std::set<std::size_t> noted(put_slots.begin(), put_slots.end());
+    for (std::size_t s : slots) {
+      if (noted.contains(s)) continue;
+      auto fallback = write_core(objs[s], values[s], rec[s]);
+      out[s] = co_await fallback;
     }
   }
-  co_return out;
+  co_return;
 }
 
 // ---------------------------------------------------------------------------
@@ -905,14 +1132,27 @@ sim::Future<void> AresClient::update_config(ObjectId obj) {
     // (i == v) has no successor pointer yet and stays unfenced — it is the
     // transfer *destination*, not a source.
     TagValue tv;
-    if (i < v) {
-      auto fut =
-          dap_for(obj, cseq(obj)[i].cfg)->get_data_fenced(cseq(obj)[i + 1]);
-      tv = co_await fut;
-    } else {
-      auto fut = dap_for(obj, cseq(obj)[i].cfg)->get_data();
-      tv = co_await fut;
+    bool lost = false;
+    try {
+      if (i < v) {
+        auto fut =
+            dap_for(obj, cseq(obj)[i].cfg)->get_data_fenced(cseq(obj)[i + 1]);
+        tv = co_await fut;
+      } else {
+        auto fut = dap_for(obj, cseq(obj)[i].cfg)->get_data();
+        tv = co_await fut;
+      }
+    } catch (const sim::ConfigRetired&) {
+      // A transfer source was retired out from under the transfer. Under
+      // the skip_gc_quorum_check mutation this is exactly the injected bug:
+      // GC raced ahead of the state transfer and the source's data is gone
+      // — the source contributes nothing and the (lossy) transfer
+      // completes, so the atomicity oracle can observe the lost write.
+      // Without the mutation the correct reaction is to abort and re-sync.
+      if (!mutations().skip_gc_quorum_check) throw;
+      lost = true;
     }
+    if (lost) continue;
     if (tv.value) update_config_bytes_ += tv.value->size();  // pulled in
     best = max_by_tag(best, tv);
   }
@@ -931,33 +1171,93 @@ sim::Future<ConfigId> AresClient::reconfig(ObjectId obj,
     registry_.register_config(new_spec);
   }
 
-  // Phase 1: read-config. Reconfigurations are rare: always the full
-  // traversal, never the cached-cseq shortcut.
-  co_await read_config(obj);
+  // Reconfig holds cseq indices (v, last) across suspension points: pin the
+  // cseq against trim_cseq rebasing by concurrent ops on this client.
+  InflightGuards guard;
+  guard.hold(obj_state(obj).inflight);
 
-  // Phase 2: add-config — consensus on the successor of the current last
-  // configuration, then announce the link with put-config.
-  const std::size_t v = nu(obj);
-  const ConfigId prev = cseq(obj)[v].cfg;
-  const ConfigId decided =
-      static_cast<ConfigId>(co_await propose(obj, prev, new_spec.id));
-  set_entry(obj, v + 1, CseqEntry{decided, false});
-  co_await put_config(obj, prev, cseq(obj)[v + 1]);
+  ConfigId decided = kNoConfig;
+  for (;;) {
+    bool retired = false;
+    try {
+      // Phase 1: read-config. Reconfigurations are rare: always the full
+      // traversal, never the cached-cseq shortcut. (Traversal talks only to
+      // the config service, which answers from tombstones — it is never
+      // bounced by retirement.)
+      co_await read_config(obj);
 
-  // Phase 3: update-config — transfer the latest object state into the new
-  // configuration. Pin the index now: update_config transfers into the tail
-  // known at this instant, and phase 4 must finalize exactly that entry —
-  // never an even-newer configuration a piggybacked hint appends while the
-  // transfer is in flight (its own reconfigurer finalizes it after its own
-  // transfer).
-  const std::size_t last = nu(obj);
-  co_await update_config(obj);
+      if (decided == kNoConfig) {
+        // A previous attempt's proposal may have been decided on a
+        // configuration retired before the outcome reached us. Config ids
+        // are unique in the chain — never re-propose one already present.
+        for (const auto& e : cseq(obj)) {
+          if (e.cfg == new_spec.id) {
+            decided = new_spec.id;
+            break;
+          }
+        }
+      }
+      if (decided == kNoConfig) {
+        // Phase 2: add-config — consensus on the successor of the current
+        // last configuration, then announce the link with put-config.
+        const std::size_t v = nu(obj);
+        const ConfigId prev = cseq(obj)[v].cfg;
+        decided = static_cast<ConfigId>(
+            co_await propose(obj, prev, new_spec.id));
+        set_entry(obj, v + 1, CseqEntry{decided, false});
+        co_await put_config(obj, prev, cseq(obj)[v + 1]);
+        if (config_gc_ && mutations().skip_gc_quorum_check) {
+          // Mutation: retire the superseded prefix right after add-config,
+          // fabricating a "finalized" successor — before the state
+          // transfer ran. Any completed write stored only in the retired
+          // prefix is lost (the bug class GC's quorum gating prevents).
+          broadcast_retire(obj, v + 1, CseqEntry{decided, true});
+        }
+      }
 
-  // Phase 4: finalize-config.
-  obj_state(obj).cseq[last].finalized = true;
-  co_await put_config(obj, cseq(obj)[last - 1].cfg, cseq(obj)[last]);
+      // Locate the decided configuration in the (possibly re-synced)
+      // chain. Absent, or at/below µ, means the chain already finalized
+      // at-or-past it — some other process completed phases 3–4 for us.
+      std::size_t idx = 0;
+      bool found = false;
+      for (std::size_t i = 0; i < cseq(obj).size(); ++i) {
+        if (cseq(obj)[i].cfg == decided) {
+          idx = i;
+          found = true;
+          break;
+        }
+      }
+      if (!found || idx <= mu(obj)) co_return decided;
 
-  co_return decided;
+      // Phase 3: update-config — transfer the latest object state into the
+      // new configuration. Pin the index now: update_config transfers into
+      // the tail known at this instant, and phase 4 must finalize exactly
+      // that entry — never an even-newer configuration a piggybacked hint
+      // appends while the transfer is in flight (its own reconfigurer
+      // finalizes it after its own transfer).
+      const std::size_t last = nu(obj);
+      co_await update_config(obj);
+
+      // Phase 4: finalize-config.
+      obj_state(obj).cseq[last].finalized = true;
+      co_await put_config(obj, cseq(obj)[last - 1].cfg, cseq(obj)[last]);
+
+      if (config_gc_) {
+        // The transfer completed and the finalize quorum acked: the prefix
+        // cseq[0..last) is superseded — tell its servers to retire the
+        // object's state there (fire-and-forget; stragglers re-learn via
+        // the tombstone bounce).
+        broadcast_retire(obj, last, cseq(obj)[last]);
+      }
+      co_return decided;
+    } catch (const sim::ConfigRetired&) {
+      retired = true;
+    }
+    if (retired) {
+      auto rs = resync_after_retire(obj);
+      co_await rs;
+    }
+  }
 }
 
 }  // namespace ares::reconfig

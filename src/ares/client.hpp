@@ -120,6 +120,16 @@ class AresClient : public sim::Process {
   void set_fast_path(bool on) { fast_path_ = on; }
   [[nodiscard]] bool fast_path() const { return fast_path_; }
 
+  /// Config-lineage GC (off by default): when on, a reconfiguration this
+  /// client completes — transfer done, finalize quorum acked — broadcasts
+  /// RetireConfigReq for every superseded configuration in the object's
+  /// chain, letting servers drop that lineage's state. Operations of any
+  /// client that straggles into a retired configuration are bounced with a
+  /// RetiredReply and re-sync through the Alg. 4 traversal (the tombstone
+  /// keeps serving the configuration-service chain pointers).
+  void set_config_gc(bool on) { config_gc_ = on; }
+  [[nodiscard]] bool config_gc() const { return config_gc_; }
+
   // --- per-object read leases ----------------------------------------------
   //
   // When a quorum read comes back with a full quorum of lease grants (see
@@ -200,6 +210,9 @@ class AresClient : public sim::Process {
     /// settle-all) permanently fences the superseded configuration.
     std::optional<LeaseEntry> lease;
     std::map<ConfigId, Tag> lease_fence;
+    /// Operations currently holding indices into cseq across suspensions.
+    /// trim_cseq only rebases the sequence while this is zero.
+    std::size_t inflight = 0;
   };
 
   /// Find `obj`'s state, lazily binding it to the constructor's c0.
@@ -234,6 +247,32 @@ class AresClient : public sim::Process {
   [[nodiscard]] sim::Future<consensus::PaxosValue> propose(ObjectId obj,
                                                            ConfigId on_cfg,
                                                            ConfigId value);
+
+  /// Fire-and-forget RetireConfigReq for cseq[0..upto) of `obj` to every
+  /// server of those configurations, naming `successor` as the finalized
+  /// authorization token.
+  void broadcast_retire(ObjectId obj, std::size_t upto, CseqEntry successor);
+
+  /// Rebase `obj`'s local cseq to start at µ, dropping retired/superseded
+  /// prefix entries and their cached DAP endpoints, proposers and fences.
+  /// No-op while any operation is in flight on the object (in-flight
+  /// coroutines hold indices into the sequence).
+  void trim_cseq(ObjectId obj);
+
+  /// Re-sync after a ConfigRetired bounce: mark unsynced and run the full
+  /// Alg. 4 traversal (the tombstones keep the chain walkable, and the
+  /// retirer's finalize makes µ jump past every retired entry).
+  [[nodiscard]] sim::Future<void> resync_after_retire(ObjectId obj);
+
+  /// One attempt of the Alg.-7 read body (throws sim::ConfigRetired when a
+  /// quorum round hits garbage-collected state; read_core retries).
+  [[nodiscard]] sim::Future<TagValue> read_core_once(ObjectId obj);
+
+  /// Finish a write whose tag is already recorded history: propagate the
+  /// SAME pair into the (re-synced) tail until the sequence is stable,
+  /// riding out further retirements. Never picks a new tag — the checker
+  /// indexes writes by their single noted tag.
+  [[nodiscard]] sim::Future<void> complete_write(ObjectId obj, TagValue tv);
 
   /// read_config, unless the fast path may trust the cached cseq for `obj`.
   [[nodiscard]] sim::Future<void> ensure_config(ObjectId obj);
@@ -276,6 +315,19 @@ class AresClient : public sim::Process {
   [[nodiscard]] sim::Future<std::vector<CseqEntry>> read_config_batch(
       ConfigId c, std::vector<ObjectId> objs);
 
+  /// One configuration group of read_batch / write_batch, including the
+  /// per-group retirement recovery (a ConfigRetired bounce re-syncs the
+  /// members and finishes them per-object — reads re-run read_core; writes
+  /// whose tag was already noted re-propagate that SAME tag via
+  /// complete_write, the rest fall back to write_core).
+  [[nodiscard]] sim::Future<void> read_batch_group(
+      ConfigId cfg, const std::vector<std::size_t>& slots,
+      const std::vector<ObjectId>& objs, std::vector<TagValue>& out);
+  [[nodiscard]] sim::Future<void> write_batch_group(
+      ConfigId cfg, const std::vector<std::size_t>& slots,
+      const std::vector<ObjectId>& objs, const std::vector<ValuePtr>& values,
+      const std::vector<std::uint64_t>& rec, std::vector<Tag>& out);
+
   /// Alg.-7 propagation loop for a pair that already rests at a quorum of
   /// the old tail after a successor configuration was revealed: re-put into
   /// each new tail until the sequence stops growing.
@@ -288,6 +340,7 @@ class AresClient : public sim::Process {
 
   ConfigId default_c0_;
   bool fast_path_ = true;
+  bool config_gc_ = false;
   SimDuration lease_epsilon_ = 0;
   std::int64_t clock_skew_ = 0;
   std::uint64_t lease_local_reads_ = 0;

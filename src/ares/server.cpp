@@ -1,6 +1,8 @@
 #include "ares/server.hpp"
 
 #include "dap/factory.hpp"
+#include "storage/messages.hpp"
+#include "storage/records.hpp"
 
 #include <algorithm>
 
@@ -53,8 +55,106 @@ AresServer::PerConfig* AresServer::config_state(ConfigId cfg) {
   if (!member) return nullptr;  // misaddressed message
   PerConfig pc;
   pc.dap = dap::make_dap_server(spec, id());
+  if (journal_) pc.dap->set_journal(journal_.get(), cfg);
   auto [ins, _] = configs_.emplace(cfg, std::move(pc));
   return &ins->second;
+}
+
+void AresServer::journal_cseq(ConfigId cfg, ObjectId obj,
+                              const CseqEntry& next) {
+  if (journal_) journal_->cseq(cfg, obj, next);
+}
+
+bool AresServer::attach_journal(std::shared_ptr<storage::Device> dev,
+                                storage::ServerJournal::Options opts) {
+  // journal_ stays unset until replay is done: the typed loops below
+  // restore state through the same mutation paths that produced it
+  // (config_state materializes DAPs along the way), and none of that may
+  // re-journal.
+  auto journal =
+      std::make_unique<storage::ServerJournal>(std::move(dev), std::move(opts));
+  storage::RecoveredState rec = journal->recover();
+
+  // Type-split replay order. cseqs first (config-service pointers), then
+  // puts through the protocols' own adopt paths, then acceptor state, then
+  // retirements LAST — they re-drop whatever earlier puts resurrected —
+  // and finally the leases still unexpired on the recovered clock.
+  for (const auto& c : rec.cseqs) {
+    if (PerConfig* pc = config_state(c->config)) {
+      PerObject& po = pc->objects[c->object];
+      if (!po.nextc.valid() || !po.nextc.finalized) po.nextc = c->next;
+    }
+  }
+  for (const auto& p : rec.puts) {
+    if (PerConfig* pc = config_state(p->config)) {
+      pc->dap->restore_put(p->object, p->tag, p->value, p->fragment);
+    }
+  }
+  for (const auto& x : rec.paxos) {
+    if (PerConfig* pc = config_state(x->config)) {
+      pc->objects[x->object].paxos.restore(x->state);
+    }
+  }
+  for (const auto& r : rec.retires) {
+    if (PerConfig* pc = config_state(r->config)) {
+      pc->objects[r->object].paxos = consensus::PaxosAcceptor{};
+      const std::size_t bytes = pc->dap->drop_object(r->object);
+      if (gc_.retire(r->config, r->object, r->successor)) {
+        gc_.note_reclaimed(bytes);
+      }
+    }
+  }
+  const SimTime now = simulator().now();
+  for (const auto& l : rec.leases) {
+    if (l->expiry <= now) continue;
+    if (PerConfig* pc = config_state(l->config)) {
+      pc->dap->restore_lease(l->object, l->holder, l->tag, l->expiry);
+    }
+  }
+
+  // Wire journaling only now that replay is done.
+  journal_ = std::move(journal);
+  journal_->set_snapshot_source(
+      [this](const storage::ServerJournal::RecordSink& sink) {
+        dump_wal_state(sink);
+      });
+  for (auto& [cfg, pc] : configs_) {
+    if (pc.dap) pc.dap->set_journal(journal_.get(), cfg);
+  }
+  return rec.intact;
+}
+
+void AresServer::dump_wal_state(const storage::ServerJournal::RecordSink& sink) {
+  for (auto& [cfg, pc] : configs_) {
+    for (const auto& [obj, po] : pc.objects) {
+      if (po.nextc.valid()) {
+        storage::WalCseq rec;
+        rec.config = cfg;
+        rec.object = obj;
+        rec.next = po.nextc;
+        sink(rec);
+      }
+      const consensus::AcceptorState st = po.paxos.snapshot();
+      if (!(st == consensus::AcceptorState{})) {
+        storage::WalPaxos rec;
+        rec.config = cfg;
+        rec.object = obj;
+        rec.state = st;
+        sink(rec);
+      }
+    }
+    if (pc.dap) {
+      dap::ServerContext ctx{*this, registry_.get(cfg), registry_};
+      pc.dap->dump_wal(ctx, cfg, sink);
+    }
+  }
+  gc_.for_each([&sink](ConfigId cfg, ObjectId obj, CseqEntry successor) {
+    storage::WalRetire rec;
+    rec.config = cfg;
+    rec.object = obj;
+    rec.successor = successor;
+    sink(rec);
+  });
 }
 
 void AresServer::begin_recovery(std::vector<ConfigId> stale_configs) {
@@ -81,7 +181,10 @@ void AresServer::handle(const sim::Message& msg) {
   if (req->install_next.valid()) {
     PerObject& inst = pc->objects[req->object];
     if (!inst.nextc.valid() || !inst.nextc.finalized) {
+      const bool changed = inst.nextc.cfg != req->install_next.cfg ||
+                           inst.nextc.finalized != req->install_next.finalized;
       inst.nextc = req->install_next;
+      if (changed) journal_cseq(req->config, req->object, inst.nextc);
     }
   }
 
@@ -113,7 +216,12 @@ void AresServer::handle(const sim::Message& msg) {
     // pointer never changes again (Lemma 46).
     PerObject& po = pc->objects[req->object];
     if (!po.nextc.valid() || !po.nextc.finalized) {
+      const bool changed = po.nextc.cfg != write->next.cfg ||
+                           po.nextc.finalized != write->next.finalized;
       po.nextc = write->next;
+      // Persist-before-ack: the pointer is durable before the settle gate
+      // can release the WriteConfigAck below.
+      if (changed) journal_cseq(req->config, req->object, po.nextc);
     }
     // Lease revocation gate: with nextC set, this server mints no further
     // leases for the object (maybe_grant_lease checks the hint), and the
@@ -132,10 +240,94 @@ void AresServer::handle(const sim::Message& msg) {
                            });
     return;
   }
+  // Config-lineage GC. Retirement requests first: a reconfigurer that
+  // completed transfer + finalize into a successor authorizes dropping this
+  // configuration's per-object state. The existing nextC pointer is
+  // deliberately PRESERVED as the straggler hint — the successor named in
+  // the request may be far down the chain, and installing a non-immediate
+  // successor would violate the client-side chain invariant (Lemma 47);
+  // the tombstone's job is only to authorize the drop and to mark the
+  // (configuration, object) retired.
+  if (auto retire =
+          std::dynamic_pointer_cast<const storage::RetireConfigReq>(msg.body)) {
+    auto reply = std::make_shared<storage::RetireConfigAck>();
+    if (retire->successor.valid() && retire->successor.finalized) {
+      if (gc_.retired(req->config, req->object) == nullptr) {
+        pc->objects[req->object].paxos = consensus::PaxosAcceptor{};
+        const std::size_t bytes = pc->dap->drop_object(req->object);
+        gc_.retire(req->config, req->object, retire->successor);
+        gc_.note_reclaimed(bytes);
+        if (journal_) {
+          journal_->retire(req->config, req->object, retire->successor);
+        }
+        reply->bytes_reclaimed = bytes;
+      }
+      reply->retired = true;  // idempotent re-delivery acks success too
+    }
+    reply_to(msg, std::move(reply));
+    return;
+  }
+
+  // Retired-state guard: DAP data phases and consensus for a retired
+  // (configuration, object) answer with a RetiredReply — the client's
+  // quorum collector turns it into a ConfigRetired and the operation
+  // re-syncs through Alg. 4 traversal. The configuration-service branches
+  // above keep answering from the tombstone (nextC survives retirement),
+  // so stragglers can still walk the chain forward. Batch requests are
+  // refused if ANY addressed member is retired.
+  if (gc_.retired_count() != 0) {
+    ObjectId hit = req->object;
+    bool retired_hit = gc_.retired(req->config, hit) != nullptr;
+    if (!retired_hit) {
+      if (auto qb =
+              std::dynamic_pointer_cast<const dap::QueryBatchReq>(msg.body)) {
+        for (ObjectId obj : qb->objects) {
+          if (gc_.retired(req->config, obj) != nullptr) {
+            retired_hit = true;
+            hit = obj;
+            break;
+          }
+        }
+      } else if (auto pb =
+                     std::dynamic_pointer_cast<const dap::PutBatchReq>(
+                         msg.body)) {
+        for (const auto& item : pb->items) {
+          if (gc_.retired(req->config, item.object) != nullptr) {
+            retired_hit = true;
+            hit = item.object;
+            break;
+          }
+        }
+      }
+    }
+    if (retired_hit) {
+      auto reply = std::make_shared<sim::RetiredReply>();
+      reply->config = req->config;
+      reply->object = hit;
+      reply->successor = *gc_.retired(req->config, hit);
+      reply_to(msg, std::move(reply));
+      return;
+    }
+  }
+
   if (std::dynamic_pointer_cast<const consensus::PrepareReq>(msg.body) ||
       std::dynamic_pointer_cast<const consensus::AcceptReq>(msg.body) ||
       std::dynamic_pointer_cast<const consensus::DecidedMsg>(msg.body)) {
-    if (pc->objects[req->object].paxos.handle(*this, msg)) return;
+    PerObject& po = pc->objects[req->object];
+    if (journal_) {
+      // Journal the acceptor transition when it changed. The reply already
+      // left inside handle() — atomic with the append within one simulator
+      // event, so persist-before-ack holds for every schedule the fuzzer
+      // can produce; a real deployment would split handle() to journal
+      // between transition and send.
+      const consensus::AcceptorState before = po.paxos.snapshot();
+      const bool consumed = po.paxos.handle(*this, msg);
+      const consensus::AcceptorState after = po.paxos.snapshot();
+      if (!(after == before)) journal_->paxos(req->config, req->object, after);
+      if (consumed) return;
+    } else if (po.paxos.handle(*this, msg)) {
+      return;
+    }
   }
 
   dap::ServerContext ctx{*this, registry_.get(req->config), registry_};

@@ -11,6 +11,8 @@
 #include "dap/config.hpp"
 #include "dap/dap_server.hpp"
 #include "sim/process.hpp"
+#include "storage/gc.hpp"
+#include "storage/wal.hpp"
 
 #include <map>
 #include <memory>
@@ -55,6 +57,26 @@ class AresServer final : public sim::Process {
     return stale_;
   }
 
+  /// Attach a write-ahead journal backed by `dev` and replay whatever it
+  /// holds into this server's state (config-service pointers, object data
+  /// through the protocols' own adopt paths, acceptor state, retirements,
+  /// unexpired leases). Returns true iff the log chain was intact — the
+  /// server may then serve its pre-crash configurations immediately. False
+  /// means amnesia (torn mid-chain or missing segments): the caller must
+  /// fence the server with begin_recovery exactly like a diskless restart.
+  /// Call once, before any traffic; subsequent mutations are journaled
+  /// before their acks leave.
+  bool attach_journal(std::shared_ptr<storage::Device> dev,
+                      storage::ServerJournal::Options opts = {});
+
+  /// The config-lineage GC ledger (tests/metrics).
+  [[nodiscard]] const storage::GcManager& gc() const { return gc_; }
+
+  /// The attached journal, or nullptr (tests/metrics).
+  [[nodiscard]] const storage::ServerJournal* journal() const {
+    return journal_.get();
+  }
+
  protected:
   void handle(const sim::Message& msg) override;
 
@@ -82,12 +104,27 @@ class AresServer final : public sim::Process {
   /// configurations start from the protocol's initial state, per the paper).
   PerConfig* config_state(ConfigId cfg);
 
+  /// Enumerate all live durable state as WAL records (snapshot compaction).
+  void dump_wal_state(const storage::ServerJournal::RecordSink& sink);
+
+  /// Journal an adopted nextC pointer (no-op without a journal).
+  void journal_cseq(ConfigId cfg, ObjectId obj, const CseqEntry& next);
+
   const dap::ConfigRegistry& registry_;
   std::map<ConfigId, PerConfig> configs_;
 
   /// Configurations registered before a restart (see begin_recovery):
   /// messages addressed to them are dropped silently.
   std::set<ConfigId> stale_;
+
+  /// Config-lineage GC: tombstones for retired (configuration, object)
+  /// state (see storage/gc.hpp for the retirement state machine).
+  storage::GcManager gc_;
+
+  /// Optional write-ahead journal (attach_journal). Mutations are
+  /// journaled before their acks; a restart replays the log and rejoins
+  /// without amnesia fencing when the chain is intact.
+  std::unique_ptr<storage::ServerJournal> journal_;
 };
 
 }  // namespace ares::reconfig

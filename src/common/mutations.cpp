@@ -16,11 +16,16 @@ bool set_mutation(std::string_view name, bool on) {
     mutations().skip_transfer_fence = on;
     return true;
   }
+  if (name == "skip_gc_quorum_check") {
+    mutations().skip_gc_quorum_check = on;
+    return true;
+  }
   return false;
 }
 
 std::vector<std::string_view> mutation_names() {
-  return {"disable_lease_ack_gating", "skip_transfer_fence"};
+  return {"disable_lease_ack_gating", "skip_transfer_fence",
+          "skip_gc_quorum_check"};
 }
 
 ScopedMutation::ScopedMutation(std::string_view name) : prev_(mutations()) {

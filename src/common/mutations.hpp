@@ -23,8 +23,16 @@ struct Mutations {
   /// configuration (violates A1/A3).
   bool skip_transfer_fence = false;
 
+  /// Config-lineage GC fires right after add-config instead of waiting for
+  /// the transfer + finalize quorums: the reconfigurer retires superseded
+  /// configurations with a fabricated "finalized" successor before their
+  /// state was transferred out — a completed write stored only in a
+  /// retired configuration is lost (violates A1/A3).
+  bool skip_gc_quorum_check = false;
+
   [[nodiscard]] bool any() const {
-    return disable_lease_ack_gating || skip_transfer_fence;
+    return disable_lease_ack_gating || skip_transfer_fence ||
+           skip_gc_quorum_check;
   }
 };
 

@@ -82,6 +82,21 @@ class DecidedMsg final : public sim::RpcRequest {
 
 // --- acceptor ---------------------------------------------------------------
 
+/// The durable core of an acceptor: everything a recovered server must
+/// remember to avoid re-promising a lower ballot or forgetting an accepted
+/// value (which would let two ballots decide differently). Snapshot /
+/// restore exist for the write-ahead log (storage::WalPaxos).
+struct AcceptorState {
+  Ballot promised{};
+  bool has_accepted = false;
+  Ballot accepted_ballot{};
+  PaxosValue accepted_value = 0;
+  bool decided = false;
+  PaxosValue decided_value = 0;
+
+  friend bool operator==(const AcceptorState&, const AcceptorState&) = default;
+};
+
 /// Per-configuration acceptor state, hosted inside a server process.
 class PaxosAcceptor {
  public:
@@ -90,6 +105,20 @@ class PaxosAcceptor {
 
   [[nodiscard]] bool decided() const { return decided_; }
   [[nodiscard]] PaxosValue decided_value() const { return decided_value_; }
+
+  /// Durable-state accessors for write-ahead journaling / crash recovery.
+  [[nodiscard]] AcceptorState snapshot() const {
+    return AcceptorState{promised_,     has_accepted_, accepted_ballot_,
+                         accepted_value_, decided_,    decided_value_};
+  }
+  void restore(const AcceptorState& s) {
+    promised_ = s.promised;
+    has_accepted_ = s.has_accepted;
+    accepted_ballot_ = s.accepted_ballot;
+    accepted_value_ = s.accepted_value;
+    decided_ = s.decided;
+    decided_value_ = s.decided_value;
+  }
 
  private:
   Ballot promised_{};

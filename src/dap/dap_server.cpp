@@ -2,6 +2,8 @@
 
 #include "common/mutations.hpp"
 #include "dap/messages.hpp"
+#include "storage/records.hpp"
+#include "storage/wal.hpp"
 
 #include <algorithm>
 #include <utility>
@@ -144,7 +146,95 @@ SimTime DapServer::maybe_grant_lease(ServerContext& ctx, ObjectId obj,
   if (window == 0) return 0;  // adaptively disabled: object is write-hot
   const SimTime expiry = ctx.process.simulator().now() + window;
   leases_[obj][client] = LeaseRecord{tag, expiry};
+  if (journal_) journal_->lease(journal_cfg_, obj, client, tag, expiry);
+  // Reap the table a little after this grant expires: expired records are
+  // pure garbage (lease_count and settle_leases both filter by expiry), so
+  // the sweep only bounds memory, never correctness. The epsilon keeps the
+  // sweep strictly after the expiry instant even at window granularity.
+  schedule_lease_sweep(ctx, obj, expiry + std::max<SimTime>(1, window / 8));
   return expiry;
+}
+
+void DapServer::set_journal(storage::ServerJournal* journal, ConfigId cfg) {
+  journal_ = journal;
+  journal_cfg_ = cfg;
+}
+
+void DapServer::journal_put(ObjectId obj, const Tag& tag,
+                            const ValuePtr& value,
+                            const std::optional<codec::Fragment>& fragment) {
+  if (journal_) journal_->put(journal_cfg_, obj, tag, value, fragment);
+}
+
+std::size_t DapServer::drop_object(ObjectId obj) {
+  confirmed_.erase(obj);
+  leases_.erase(obj);
+  sweep_at_.erase(obj);
+  return 0;  // the base holds no object *data*; overrides add their bytes
+}
+
+void DapServer::restore_lease(ObjectId obj, ProcessId holder, const Tag& tag,
+                              SimTime expiry) {
+  leases_[obj][holder] = LeaseRecord{tag, expiry};
+}
+
+void DapServer::dump_wal(ServerContext& ctx, ConfigId cfg,
+                         const std::function<void(const sim::MessageBody&)>&
+                             sink) const {
+  const SimTime now = ctx.process.simulator().now();
+  for (const auto& [obj, table] : leases_) {
+    for (const auto& [holder, rec] : table) {
+      if (rec.expiry <= now) continue;  // expired grants need no durability
+      storage::WalLease wl;
+      wl.config = cfg;
+      wl.object = obj;
+      wl.holder = holder;
+      wl.tag = rec.tag;
+      wl.expiry = rec.expiry;
+      sink(wl);
+    }
+  }
+}
+
+std::size_t DapServer::lease_records(ObjectId obj) const {
+  auto it = leases_.find(obj);
+  return it == leases_.end() ? 0 : it->second.size();
+}
+
+void DapServer::schedule_lease_sweep(ServerContext& ctx, ObjectId obj,
+                                     SimTime at) {
+  auto [it, inserted] = sweep_at_.try_emplace(obj, at);
+  if (!inserted) {
+    // A sweep is already pending. Pushing the recorded time later is enough
+    // to cover this grant: the in-flight timer sees the mismatch, reaps
+    // what has expired by then, and re-arms itself at the recorded time.
+    if (at > it->second) it->second = at;
+    return;
+  }
+  arm_lease_sweep(&ctx.process, obj, at);
+}
+
+void DapServer::arm_lease_sweep(sim::Process* proc, ObjectId obj, SimTime at) {
+  proc->simulator().schedule_at(
+      at, [this, alive = std::weak_ptr<const bool>(alive_), proc, obj, at] {
+        if (!alive.lock()) return;
+        auto pending = sweep_at_.find(obj);
+        if (pending == sweep_at_.end()) return;  // object dropped meanwhile
+        const SimTime now = proc->simulator().now();
+        if (auto table = leases_.find(obj); table != leases_.end()) {
+          std::erase_if(table->second, [now](const auto& kv) {
+            return kv.second.expiry <= now;  // never drop an unexpired
+          });                                // promise
+          if (table->second.empty()) leases_.erase(table);
+        }
+        if (pending->second > at) {
+          // A later grant pushed the slot forward while this timer was in
+          // flight: re-arm at the recorded time instead of clearing it.
+          arm_lease_sweep(proc, obj, pending->second);
+          return;
+        }
+        sweep_at_.erase(pending);
+      });
 }
 
 SimTime DapServer::lease_window(const ConfigSpec& spec, ObjectId obj) const {

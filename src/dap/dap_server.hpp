@@ -12,6 +12,7 @@
 // per-object operations (see dap::batch_capable).
 #pragma once
 
+#include "codec/codec.hpp"
 #include "common/types.hpp"
 #include "dap/config.hpp"
 #include "dap/messages.hpp"
@@ -22,6 +23,11 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
+
+namespace ares::storage {
+class ServerJournal;
+}
 
 namespace ares::dap {
 
@@ -92,6 +98,46 @@ class DapServer {
   /// Outstanding (unexpired) lease records on `obj` (tests/diagnostics).
   [[nodiscard]] std::size_t lease_count(ObjectId obj, SimTime now) const;
 
+  // --- durability & garbage collection --------------------------------------
+
+  /// Attach the hosting server's write-ahead journal. Mutations to this
+  /// configuration's state (put-datas, lease grants) are journaled under
+  /// `cfg` before their acks leave. Pass nullptr to detach (recovery replay
+  /// restores state without re-journaling).
+  void set_journal(storage::ServerJournal* journal, ConfigId cfg);
+
+  /// Retire `obj`'s state under this configuration: drop object data,
+  /// leases and confirmed-tag bookkeeping, returning the object-data bytes
+  /// reclaimed. Protocol overrides free their stores and delegate to the
+  /// base for the lease/confirmed tables.
+  virtual std::size_t drop_object(ObjectId obj);
+
+  /// Recovery hooks: re-install one journaled mutation without re-acking or
+  /// re-journaling it. restore_put feeds a WalPut back into the protocol
+  /// store (ABD registers, TREAS list entries); restore_lease re-seats an
+  /// unexpired grant so the restarted server keeps gating puts it promised
+  /// to gate.
+  virtual void restore_put(ObjectId obj, const Tag& tag, const ValuePtr& value,
+                           const std::optional<codec::Fragment>& fragment) {
+    (void)obj;
+    (void)tag;
+    (void)value;
+    (void)fragment;
+  }
+  void restore_lease(ObjectId obj, ProcessId holder, const Tag& tag,
+                     SimTime expiry);
+
+  /// Emit this configuration's durable state as WAL records (snapshot
+  /// compaction). The base emits unexpired leases; protocol overrides emit
+  /// their object data first, then delegate.
+  virtual void dump_wal(ServerContext& ctx, ConfigId cfg,
+                        const std::function<void(const sim::MessageBody&)>&
+                            sink) const;
+
+  /// Raw lease-table entries for `obj`, expired grants included — observes
+  /// the reaper (lease_count already filters by expiry).
+  [[nodiscard]] std::size_t lease_records(ObjectId obj) const;
+
   /// The grant window this server would use for a lease on `obj` right
   /// now. The full spec.lease_ms unless the configuration is
   /// lease_adaptive, in which case the window scales with the object's
@@ -137,8 +183,21 @@ class DapServer {
   /// traffic.
   void note_mix(ObjectId obj, bool is_write);
 
+  /// Journal one put-data mutation (protocol stores call it from their
+  /// adopt paths, before the ack leaves). No-op when no journal is
+  /// attached.
+  void journal_put(ObjectId obj, const Tag& tag, const ValuePtr& value,
+                   const std::optional<codec::Fragment>& fragment);
+
  private:
   void raise_confirmed(ObjectId obj, Tag tag);
+
+  /// Schedule (or coalesce into) a reaping sweep of `obj`'s lease table at
+  /// `at`: expired grants linger until swept, bounding the table by live
+  /// grants plus one window of stragglers. Sweeps erase only grants whose
+  /// expiry has passed — an unexpired promise is never dropped.
+  void schedule_lease_sweep(ServerContext& ctx, ObjectId obj, SimTime at);
+  void arm_lease_sweep(sim::Process* proc, ObjectId obj, SimTime at);
 
   /// One granted lease: the server tag at grant time and the window end.
   struct LeaseRecord {
@@ -148,6 +207,16 @@ class DapServer {
 
   std::map<ObjectId, Tag> confirmed_;
   std::map<ObjectId, std::map<ProcessId, LeaseRecord>> leases_;
+
+  /// Pending reap time per object (0 = none scheduled). Sweeps compare the
+  /// recorded time against their own to detect supersession: renewing a
+  /// grant pushes the sweep later instead of stacking timers.
+  std::map<ObjectId, SimTime> sweep_at_;
+
+  /// Attached write-ahead journal (owned by the hosting AresServer) and the
+  /// configuration id this DAP's records are journaled under.
+  storage::ServerJournal* journal_ = nullptr;
+  ConfigId journal_cfg_ = kNoConfig;
 
   /// Alive sentinel for timers. settle_leases schedules simulator callbacks
   /// that capture `this` (and the hosting process); a server destroyed by a

@@ -129,7 +129,23 @@ void schedule_faults(harness::AresCluster& cluster, const SchedulePlan& plan) {
       case FaultKind::kRestart: {
         const std::size_t v = f.victim % pool;
         sim.schedule_at(f.at, [&cluster, v] { cluster.crash_server(v); });
-        sim.schedule_at(f.until, [&cluster, v] {
+        // With WAL on, the fault's `wal` field picks the recovery mode:
+        // 0 = the disk died with the process (wipe → amnesiac fencing),
+        // 1 = intact journal (rejoins with memory), 2 = torn tail (the
+        // in-flight append never fully landed; recovery truncates it and
+        // rejoins with memory minus that record). The atomicity oracle
+        // checks all three against the same history.
+        const int mode = plan.wal ? f.wal : 0;
+        sim.schedule_at(f.until, [&cluster, v, mode] {
+          if (cluster.options().wal) {
+            storage::MemDevice& dev = cluster.wal_device(v);
+            if (mode == 0) {
+              dev.wipe();
+            } else if (mode == 2) {
+              const auto blobs = dev.list("");
+              if (!blobs.empty()) dev.corrupt_tail(blobs.back(), 3);
+            }
+          }
           cluster.restart_server(v);
         });
         break;
@@ -165,6 +181,8 @@ RunResult run_plan(const SchedulePlan& plan) {
   o.min_delay = plan.min_delay;
   o.max_delay = plan.max_delay;
   o.seed = sub_seed(plan.seed, 0);
+  o.wal = plan.wal;
+  o.config_gc = plan.config_gc;
   harness::AresCluster cluster(o);
 
   if (plan.slow_prob > 0 && plan.slow_delay > plan.max_delay) {

@@ -37,7 +37,7 @@ std::string FaultEvent::to_string() const {
   std::ostringstream os;
   os << "fault " << fault_kind_name(kind) << " at=" << at << " until=" << until
      << " victim=" << victim << " mask=" << mask << " rate=" << rate
-     << " extra=" << extra << " skew=" << skew;
+     << " extra=" << extra << " skew=" << skew << " wal=" << wal;
   return os.str();
 }
 
@@ -68,6 +68,8 @@ std::string SchedulePlan::to_string() const {
   os << "reconfig_burst=" << (reconfig_burst ? 1 : 0) << "\n";
   os << "lane_delays=" << (lane_delays ? 1 : 0) << "\n";
   os << "zipfian=" << (zipfian ? 1 : 0) << "\n";
+  os << "wal=" << (wal ? 1 : 0) << "\n";
+  os << "config_gc=" << (config_gc ? 1 : 0) << "\n";
   os << "expect_liveness=" << (expect_liveness ? 1 : 0) << "\n";
   for (const auto& f : faults) os << f.to_string() << "\n";
   return os.str();
@@ -106,6 +108,7 @@ SchedulePlan parse_plan(const std::string& text) {
         else if (key == "rate") f.rate = std::stod(val);
         else if (key == "extra") f.extra = std::stoll(val);
         else if (key == "skew") f.skew = std::stoll(val);
+        else if (key == "wal") f.wal = std::stoi(val);
         else throw std::invalid_argument("unknown fault field: " + key);
       }
       plan.faults.push_back(f);
@@ -149,6 +152,8 @@ SchedulePlan parse_plan(const std::string& text) {
     else if (key == "reconfig_burst") plan.reconfig_burst = val != "0";
     else if (key == "lane_delays") plan.lane_delays = val != "0";
     else if (key == "zipfian") plan.zipfian = val != "0";
+    else if (key == "wal") plan.wal = val != "0";
+    else if (key == "config_gc") plan.config_gc = val != "0";
     else if (key == "expect_liveness") plan.expect_liveness = val != "0";
     else throw std::invalid_argument("unknown plan key: " + key);
   }
@@ -198,6 +203,12 @@ SchedulePlan generate_plan(std::uint64_t seed) {
     plan.slow_delay =
         plan.max_delay * static_cast<SimDuration>(6 + rng.uniform(0, 8));
     plan.lane_delays = true;
+    // Storms stay GC-free: this regime exists to sample the fenced-transfer
+    // race, and retirement bounces perturb exactly the message orderings
+    // that hit it (empirically, drawing config_gc here halves the regime's
+    // mutant-killing power below the CI budget). GC's own storm coverage
+    // lives in the regular plans below, the skip_gc_quorum_check mutant
+    // run, and test_storage's adversarial schedules.
     return plan;  // no faults: the race needs reordering, not failures
   }
 
@@ -305,6 +316,20 @@ SchedulePlan generate_plan(std::uint64_t seed) {
   }
   std::sort(plan.faults.begin(), plan.faults.end(),
             [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+
+  // --- durability & GC (draws appended at the END: the determinism
+  // contract pins every earlier draw position across fuzzer versions) ---
+  plan.config_gc = rng.chance(0.35);
+  plan.wal = rng.chance(0.35);
+  if (plan.wal) {
+    for (auto& f : plan.faults) {
+      if (f.kind == FaultKind::kRestart) {
+        // Amnesiac (disk died too) / intact WAL / torn tail — equal odds,
+        // so both recovery modes and the truncation path all get seeds.
+        f.wal = static_cast<int>(rng.uniform(0, 2));
+      }
+    }
+  }
   return plan;
 }
 

@@ -39,9 +39,12 @@ enum class FaultKind {
                // quorums) but all its traffic gains `extra` per-hop delay
                // during [at, until)
   kCrash,      // crash-stop server `victim` at `at`, permanently
-  kRestart,    // crash server `victim` at `at`; at `until` restart it with
-               // empty volatile state (amnesiac for old configurations; a
-               // later reconfiguration's transfer catches it up)
+  kRestart,    // crash server `victim` at `at`; at `until` restart it. The
+               // `wal` field picks the recovery mode (see FaultEvent::wal):
+               // amnesiac (empty volatile state, fenced for old
+               // configurations until a transfer catches it up) or
+               // WAL-backed (journal replayed, serves pre-crash
+               // configurations with memory — the oracle checks both)
   kSkew,       // set rw-client `victim`'s clock skew to `skew` at `at`
 };
 
@@ -56,6 +59,12 @@ struct FaultEvent {
   double rate = 0;          // loss / duplicate probability
   SimDuration extra = 0;    // gray per-hop extra delay
   std::int64_t skew = 0;    // clock skew amount
+  /// Restart recovery mode (plans with SchedulePlan::wal only; otherwise
+  /// every restart is amnesiac): 0 = the disk died with the process (WAL
+  /// wiped — amnesiac), 1 = WAL intact (replayed, rejoins with memory),
+  /// 2 = torn tail (the last append never fully hit the platter; recovery
+  /// truncates the torn record and rejoins with memory minus the tail).
+  int wal = 0;
 
   [[nodiscard]] std::string to_string() const;
 };
@@ -109,6 +118,14 @@ struct SchedulePlan {
   /// cadence almost never samples it.
   bool reconfig_burst = false;
   bool zipfian = false;
+  /// Per-server write-ahead persistence (harness::AresClusterOptions::wal):
+  /// restarts replay the journal instead of coming back amnesiac, per the
+  /// restart fault's FaultEvent::wal mode.
+  bool wal = false;
+  /// Config-lineage GC on every client and reconfigurer: finalized
+  /// reconfigurations retire the superseded configurations' server state;
+  /// straggler operations bounce off tombstones and re-sync.
+  bool config_gc = false;
 
   // Fault schedule, in event order.
   std::vector<FaultEvent> faults;

@@ -13,6 +13,14 @@
 // runs the plan CLEAN — with all mutations off it must pass; re-enabling
 // the recorded mutation must still fail, proving both that the guarded
 // path is still exercised and that the oracle still has teeth.
+//
+// Crash-fault provenance: a `fault restart` line's `wal=` field records the
+// recovery mode the failure was found under — 0 = amnesiac (the disk died
+// with the process; only meaningful mode when the plan has `wal=0`),
+// 1 = WAL-backed (journal replayed, rejoined with memory), 2 = WAL-backed
+// with a torn tail (last append truncated at recovery). Replays re-create
+// the exact same recovery, so a reproducer distinguishes bugs in the
+// amnesia fencing from bugs in journal replay.
 #pragma once
 
 #include "fuzz/plan.hpp"

@@ -116,6 +116,12 @@ void shrink_scalars(SchedulePlan& plan, Budget& budget) {
     if (plan.zipfian) {
       changed |= try_set([&](SchedulePlan& p) { p.zipfian = false; });
     }
+    if (plan.config_gc) {
+      changed |= try_set([&](SchedulePlan& p) { p.config_gc = false; });
+    }
+    if (plan.wal) {
+      changed |= try_set([&](SchedulePlan& p) { p.wal = false; });
+    }
     if (plan.slow_prob > 0) {
       changed |= try_set([&](SchedulePlan& p) {
         p.slow_prob = 0;

@@ -31,6 +31,10 @@ AresCluster::AresCluster(AresClusterOptions options)
   for (std::size_t i = 0; i < options_.server_pool; ++i) {
     servers_.push_back(std::make_unique<reconfig::AresServer>(
         sim_, net_, static_cast<ProcessId>(i), registry_));
+    if (options_.wal) {
+      wal_devices_.push_back(std::make_shared<storage::MemDevice>());
+      servers_.back()->attach_journal(wal_devices_.back());
+    }
   }
 
   ProcessId next_pid = static_cast<ProcessId>(options_.server_pool);
@@ -39,6 +43,7 @@ AresCluster::AresCluster(AresClusterOptions options)
         sim_, net_, next_pid++, registry_, /*c0=*/0, &history_));
     clients_.back()->set_fast_path(options_.fast_path);
     clients_.back()->set_lease_epsilon(options_.lease_epsilon);
+    clients_.back()->set_config_gc(options_.config_gc);
     stores_.push_back(std::make_unique<api::AresStore>(*clients_.back()));
   }
   for (std::size_t i = 0; i < options_.num_reconfigurers; ++i) {
@@ -51,6 +56,7 @@ AresCluster::AresCluster(AresClusterOptions options)
     }
     reconfigurers_.back()->set_fast_path(options_.fast_path);
     reconfigurers_.back()->set_lease_epsilon(options_.lease_epsilon);
+    reconfigurers_.back()->set_config_gc(options_.config_gc);
     reconfigurer_stores_.push_back(
         std::make_unique<api::AresStore>(*reconfigurers_.back()));
   }
@@ -119,6 +125,32 @@ void AresCluster::restart_server(std::size_t i) {
   net_.restart(pid);
   servers_[i] =
       std::make_unique<reconfig::AresServer>(sim_, net_, pid, registry_);
+  if (options_.wal) {
+    // An *empty* device at restart is a broken chain, not a fresh boot: the
+    // server may have acked journaled state before the disk died with it
+    // (MemDevice::wipe), and replay cannot tell the difference — an empty
+    // journal replays "intact". Rejoining un-fenced with empty state would
+    // let the server contribute void replies to quorums that durably
+    // intersect the writes it forgot. Conservatively fence.
+    const bool had_chain = !wal_devices_[i]->list("").empty();
+    const bool intact = servers_[i]->attach_journal(wal_devices_[i]) && had_chain;
+    if (intact) {
+      // WAL-backed recovery: pre-crash state is restored, so the server may
+      // serve its old configurations immediately — except LDR ones, whose
+      // directory state is never journaled (no record shape) and must stay
+      // fenced until a transfer re-seeds it.
+      std::vector<ConfigId> fenced;
+      for (ConfigId cfg : registry_.ids()) {
+        if (registry_.get(cfg).protocol == dap::Protocol::kLdr) {
+          fenced.push_back(cfg);
+        }
+      }
+      servers_[i]->begin_recovery(std::move(fenced));
+      return;
+    }
+    // Broken chain (torn mid-log, missing segment): the journal is wiped
+    // and recovery degrades to diskless amnesia below.
+  }
   servers_[i]->begin_recovery(registry_.ids());
 }
 

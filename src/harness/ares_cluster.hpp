@@ -14,6 +14,7 @@
 #include "harness/workload.hpp"
 #include "placement/policy.hpp"
 #include "sim/network.hpp"
+#include "storage/device.hpp"
 #include "sim/simulator.hpp"
 
 #include <map>
@@ -69,6 +70,20 @@ struct AresClusterOptions {
   SimDuration max_delay = 40;  // D
   std::uint64_t seed = 1;
   SimDuration treas_retry_timeout = 0;
+
+  /// Per-server write-ahead persistence: every server journals mutations to
+  /// an in-memory device that survives crash/restart. restart_server then
+  /// replays the journal — an intact chain lets the server rejoin with
+  /// memory (serving its pre-crash configurations immediately) instead of
+  /// amnesiac. LDR-protocol configurations are never journaled (directory
+  /// state has no record shape) and stay fenced either way; a torn/broken
+  /// chain falls back to full amnesia fencing.
+  bool wal = false;
+
+  /// Config-lineage GC on every read/write client and reconfigurer: after
+  /// a finalize quorum acks, the reconfigurer retires superseded
+  /// configurations' server-side state (see AresClient::set_config_gc).
+  bool config_gc = false;
 };
 
 class AresCluster {
@@ -115,12 +130,22 @@ class AresCluster {
 
   /// Restart pool server `i` after crash_server(i): the old process object
   /// is destroyed and a fresh one (empty volatile state) re-registers under
-  /// the same ProcessId. The recovered server begins amnesiac for every
-  /// configuration registered before the restart (it silently drops their
-  /// messages — crash-stop semantics per old configuration) and rejoins
-  /// service when a reconfiguration transfers state into a successor
-  /// configuration listing it.
+  /// the same ProcessId. Without `options().wal` the recovered server
+  /// begins amnesiac for every configuration registered before the restart
+  /// (it silently drops their messages — crash-stop semantics per old
+  /// configuration) and rejoins service when a reconfiguration transfers
+  /// state into a successor configuration listing it. With `wal` the
+  /// journal is replayed first: an intact chain restores pre-crash state
+  /// (only LDR-protocol configurations, which are never journaled, stay
+  /// fenced); a broken chain degrades to the amnesiac path.
   void restart_server(std::size_t i);
+
+  /// Server i's WAL backing device (options().wal only) — tests corrupt or
+  /// wipe it between crash and restart to drive the torn-tail / broken-
+  /// chain recovery paths.
+  [[nodiscard]] storage::MemDevice& wal_device(std::size_t i) {
+    return *wal_devices_.at(i);
+  }
 
   /// Builds the spec of a fresh configuration: `n` servers starting at pool
   /// index `first_server` (wrapping), protocol/k as given. Does not
@@ -181,6 +206,7 @@ class AresCluster {
   dap::ConfigRegistry registry_;
   checker::HistoryRecorder history_;
   std::vector<std::unique_ptr<reconfig::AresServer>> servers_;
+  std::vector<std::shared_ptr<storage::MemDevice>> wal_devices_;
   std::vector<std::unique_ptr<reconfig::AresClient>> clients_;
   std::vector<std::unique_ptr<reconfig::AresClient>> reconfigurers_;
   std::vector<std::unique_ptr<api::AresStore>> stores_;

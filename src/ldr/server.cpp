@@ -33,6 +33,18 @@ std::size_t LdrServerState::stored_data_bytes() const {
   return sum;
 }
 
+std::size_t LdrServerState::drop_object(ObjectId obj) {
+  std::size_t bytes = 0;
+  if (auto it = objects_.find(obj); it != objects_.end()) {
+    for (const auto& [tag, v] : it->second.store) {
+      if (v) bytes += v->size();
+    }
+    objects_.erase(it);
+  }
+  DapServer::drop_object(obj);
+  return bytes;
+}
+
 Tag LdrServerState::max_tag(ObjectId obj) const {
   auto it = objects_.find(obj);
   if (it == objects_.end()) return kInitialTag;

@@ -19,6 +19,12 @@ class LdrServerState final : public dap::DapServer {
   [[nodiscard]] std::size_t stored_data_bytes() const override;
   [[nodiscard]] Tag max_tag(ObjectId obj = kDefaultObject) const override;
 
+  // LDR participates in config-lineage GC (drop_object) but not in the
+  // write-ahead journal: its directory metadata (dir_loc) has no WAL record
+  // shape, so an LDR configuration recovers through the amnesia/transfer
+  // path. The harness fences recovered servers accordingly.
+  std::size_t drop_object(ObjectId obj) override;
+
  private:
   /// One atomic object's directory + replica state on this server.
   struct PerObject {

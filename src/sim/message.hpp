@@ -7,6 +7,7 @@
 #include "common/types.hpp"
 
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <string_view>
 
@@ -79,6 +80,41 @@ class RpcReply : public MessageBody {
   /// Clients that cache their configuration sequence use it to skip the
   /// explicit read-config round in the quiescent steady state.
   CseqEntry next_c;
+};
+
+/// Universal negative reply from a server that has garbage-collected the
+/// addressed (config, object) lineage entry: the state a data-phase or
+/// consensus request would touch no longer exists. Carries the finalized
+/// successor the server retained as a tombstone; `next_c` is additionally
+/// stamped by reply_to, so the caller can extend its cseq before retrying
+/// through the normal Alg-4 traversal. Any server may send this in place of
+/// the expected typed reply — QuorumCollector turns the first one into a
+/// ConfigRetired exception on the waiting operation.
+class RetiredReply : public RpcReply {
+ public:
+  ConfigId config = kNoConfig;
+  ObjectId object = kDefaultObject;
+  /// Finalized successor recorded at retirement (tombstone hint).
+  CseqEntry successor;
+
+  [[nodiscard]] std::string_view type_name() const override {
+    return "storage.retired";
+  }
+};
+
+/// Thrown out of a quorum wait when a server reports the addressed config
+/// retired. Client operations catch it, fold the piggybacked successor into
+/// their cseq, re-traverse the configuration sequence, and retry.
+class ConfigRetired : public std::exception {
+ public:
+  ConfigRetired(ConfigId cfg, ObjectId obj) : config(cfg), object(obj) {}
+
+  [[nodiscard]] const char* what() const noexcept override {
+    return "configuration retired (state garbage-collected)";
+  }
+
+  ConfigId config = kNoConfig;
+  ObjectId object = kDefaultObject;
 };
 
 }  // namespace ares::sim

@@ -268,6 +268,18 @@ class QuorumCollector {
     bool fulfilled = false;
 
     void on_reply(ProcessId from, const BodyPtr& body) {
+      if (auto retired = std::dynamic_pointer_cast<const RetiredReply>(body)) {
+        // The addressed (config, object) was garbage-collected server-side.
+        // Its piggybacked successor already reached note_config_hint (hints
+        // run before reply callbacks), so the waiter can re-traverse from an
+        // extended cseq. Fail the wait once; later replies are ignored.
+        if (!fulfilled) {
+          fulfilled = true;
+          done.set_error(std::make_exception_ptr(
+              ConfigRetired(retired->config, retired->object)));
+        }
+        return;
+      }
       auto typed = std::dynamic_pointer_cast<const Reply>(body);
       if (!typed) return;  // wrong reply type: ignore (defensive)
       arrivals.push_back(Arrival{from, std::move(typed)});

@@ -1,0 +1,122 @@
+#include "storage/device.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+namespace ares::storage {
+
+// --- MemDevice --------------------------------------------------------------
+
+std::vector<std::string> MemDevice::list(const std::string& prefix) const {
+  std::vector<std::string> names;
+  for (const auto& [name, bytes] : blobs_) {
+    if (name.rfind(prefix, 0) == 0) names.push_back(name);
+  }
+  return names;  // std::map iteration order is already sorted
+}
+
+std::vector<std::uint8_t> MemDevice::read(const std::string& name) const {
+  auto it = blobs_.find(name);
+  return it == blobs_.end() ? std::vector<std::uint8_t>{} : it->second;
+}
+
+std::size_t MemDevice::admit(std::size_t n) {
+  if (fail_after_ < 0) return n;
+  if (fail_after_ == 0) return 0;  // device is gone: drop everything
+  --fail_after_;
+  return fail_after_ == 0 ? n / 2 : n;  // last admitted op tears mid-write
+}
+
+void MemDevice::append(const std::string& name, const std::uint8_t* data,
+                       std::size_t n) {
+  const std::size_t take = admit(n);
+  auto& blob = blobs_[name];
+  blob.insert(blob.end(), data, data + take);
+}
+
+void MemDevice::write(const std::string& name, std::vector<std::uint8_t> bytes) {
+  const std::size_t take = admit(bytes.size());
+  if (take != bytes.size()) bytes.resize(take);
+  blobs_[name] = std::move(bytes);
+}
+
+void MemDevice::remove(const std::string& name) {
+  if (fail_after_ == 0) return;  // device is gone: the delete never happens
+  blobs_.erase(name);
+}
+
+void MemDevice::corrupt_tail(const std::string& name, std::size_t n) {
+  auto it = blobs_.find(name);
+  if (it == blobs_.end()) return;
+  auto& blob = it->second;
+  blob.resize(blob.size() - std::min(n, blob.size()));
+}
+
+std::size_t MemDevice::blob_size(const std::string& name) const {
+  auto it = blobs_.find(name);
+  return it == blobs_.end() ? 0 : it->second.size();
+}
+
+std::size_t MemDevice::total_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [name, bytes] : blobs_) total += bytes.size();
+  return total;
+}
+
+// --- FileDevice -------------------------------------------------------------
+
+FileDevice::FileDevice(std::string dir) : dir_(std::move(dir)) {
+  std::filesystem::create_directories(dir_);
+}
+
+std::string FileDevice::path_of(const std::string& name) const {
+  return dir_ + "/" + name;
+}
+
+std::vector<std::string> FileDevice::list(const std::string& prefix) const {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& e : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!e.is_regular_file()) continue;
+    std::string name = e.path().filename().string();
+    if (name.rfind(prefix, 0) == 0) names.push_back(std::move(name));
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::vector<std::uint8_t> FileDevice::read(const std::string& name) const {
+  std::ifstream in(path_of(name), std::ios::binary);
+  if (!in) return {};
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void FileDevice::append(const std::string& name, const std::uint8_t* data,
+                        std::size_t n) {
+  std::ofstream out(path_of(name), std::ios::binary | std::ios::app);
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(n));
+}
+
+void FileDevice::write(const std::string& name,
+                       std::vector<std::uint8_t> bytes) {
+  // Write-then-rename so a crash mid-write never leaves a half snapshot
+  // under the final name.
+  const std::string tmp = path_of(name) + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path_of(name), ec);
+}
+
+void FileDevice::remove(const std::string& name) {
+  std::error_code ec;
+  std::filesystem::remove(path_of(name), ec);
+}
+
+}  // namespace ares::storage

@@ -1,0 +1,108 @@
+// Durable-storage device seam. A write-ahead log only needs a tiny named
+// blob-store: list / read / append / whole-blob write / remove. Two
+// implementations keep the same journal code running on both backends:
+//   * MemDevice  — in-memory blobs that survive a simulated server restart
+//                  (the harness owns the device; the server process is
+//                  destroyed and recreated around it), with fault hooks for
+//                  torn tails and mid-compaction crashes.
+//   * FileDevice — one directory of real files, for the socket backend.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ares::storage {
+
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  /// Names of all blobs whose name starts with `prefix`, sorted.
+  [[nodiscard]] virtual std::vector<std::string> list(
+      const std::string& prefix) const = 0;
+
+  /// Full contents of `name`; empty if the blob does not exist.
+  [[nodiscard]] virtual std::vector<std::uint8_t> read(
+      const std::string& name) const = 0;
+
+  /// Append bytes to `name`, creating the blob if absent.
+  virtual void append(const std::string& name, const std::uint8_t* data,
+                      std::size_t n) = 0;
+
+  /// Create-or-replace `name` with `bytes` in one step.
+  virtual void write(const std::string& name,
+                     std::vector<std::uint8_t> bytes) = 0;
+
+  /// Delete `name` (no-op if absent).
+  virtual void remove(const std::string& name) = 0;
+};
+
+/// In-memory device. Owned by the test/harness layer, not the server, so a
+/// crash-restart cycle that destroys the server process keeps the "disk"
+/// contents — that is the whole point of a WAL.
+class MemDevice final : public Device {
+ public:
+  [[nodiscard]] std::vector<std::string> list(
+      const std::string& prefix) const override;
+  [[nodiscard]] std::vector<std::uint8_t> read(
+      const std::string& name) const override;
+  void append(const std::string& name, const std::uint8_t* data,
+              std::size_t n) override;
+  void write(const std::string& name,
+             std::vector<std::uint8_t> bytes) override;
+  void remove(const std::string& name) override;
+
+  // --- fault injection (tests / fuzzer) ----------------------------------
+
+  /// Drop the last `n` bytes of `name` — a torn append: the process died
+  /// mid-write and the tail record never fully reached the platter.
+  void corrupt_tail(const std::string& name, std::size_t n);
+
+  /// From the next write()/append() on, the first `ops` operations apply
+  /// only half their bytes and every later one is silently dropped —
+  /// simulates a crash in the middle of snapshot compaction.
+  void fail_after(std::size_t ops) { fail_after_ = static_cast<long>(ops); }
+
+  /// Clear a pending fail_after() so recovery can write again.
+  void heal() { fail_after_ = -1; }
+
+  /// Drop every blob — the disk died with the process, so a restart from
+  /// this device is indistinguishable from a diskless (amnesiac) one.
+  void wipe() { blobs_.clear(); }
+
+  [[nodiscard]] std::size_t blob_size(const std::string& name) const;
+  [[nodiscard]] std::size_t total_bytes() const;
+
+ private:
+  /// Returns how many of `n` incoming bytes should actually be applied
+  /// (all of them when no failure is armed).
+  std::size_t admit(std::size_t n);
+
+  std::map<std::string, std::vector<std::uint8_t>> blobs_;
+  long fail_after_ = -1;  // -1: healthy
+};
+
+/// Directory-backed device for the socket backend: blob name = file name.
+class FileDevice final : public Device {
+ public:
+  explicit FileDevice(std::string dir);
+
+  [[nodiscard]] std::vector<std::string> list(
+      const std::string& prefix) const override;
+  [[nodiscard]] std::vector<std::uint8_t> read(
+      const std::string& name) const override;
+  void append(const std::string& name, const std::uint8_t* data,
+              std::size_t n) override;
+  void write(const std::string& name,
+             std::vector<std::uint8_t> bytes) override;
+  void remove(const std::string& name) override;
+
+ private:
+  [[nodiscard]] std::string path_of(const std::string& name) const;
+
+  std::string dir_;
+};
+
+}  // namespace ares::storage

@@ -1,0 +1,21 @@
+#include "storage/gc.hpp"
+
+namespace ares::storage {
+
+bool GcManager::retire(ConfigId cfg, ObjectId obj, CseqEntry successor) {
+  return tombstones_.emplace(std::make_pair(cfg, obj), successor).second;
+}
+
+const CseqEntry* GcManager::retired(ConfigId cfg, ObjectId obj) const {
+  auto it = tombstones_.find({cfg, obj});
+  return it == tombstones_.end() ? nullptr : &it->second;
+}
+
+void GcManager::for_each(
+    const std::function<void(ConfigId, ObjectId, CseqEntry)>& fn) const {
+  for (const auto& [key, successor] : tombstones_) {
+    fn(key.first, key.second, successor);
+  }
+}
+
+}  // namespace ares::storage

@@ -1,0 +1,56 @@
+// GcManager: the server-side ledger of retired (configuration, object)
+// lineage entries.
+//
+// Retirement state machine per (config, object):
+//
+//   live ──RetireConfigReq(successor finalized, proof: the reconfigurer
+//          completed transfer + finalize quorums)──▶ retired(successor)
+//
+// `retired` is terminal and durable (WAL: WalRetire). A retired entry keeps
+// only a ~32-byte tombstone: the finalized successor. Every request that
+// would touch reclaimed state — DAP data phases, Paxos — is answered with
+// sim::RetiredReply carrying that successor, which the client's quorum
+// collector turns into a ConfigRetired retry through Alg-4 traversal. The
+// configuration *service* (read/write-config) keeps answering from the
+// tombstone: the nextC pointer IS the tombstone, so stragglers can still
+// walk the chain forward.
+#pragma once
+
+#include "common/types.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+namespace ares::storage {
+
+class GcManager {
+ public:
+  /// Record retirement of (cfg, obj) with the given finalized successor.
+  /// Returns false if already retired (idempotent re-delivery).
+  bool retire(ConfigId cfg, ObjectId obj, CseqEntry successor);
+
+  /// The tombstone for (cfg, obj), or nullptr while it is live.
+  [[nodiscard]] const CseqEntry* retired(ConfigId cfg, ObjectId obj) const;
+
+  /// Account object-data bytes reclaimed by a retirement.
+  void note_reclaimed(std::uint64_t bytes) { bytes_reclaimed_ += bytes; }
+
+  [[nodiscard]] std::size_t retired_count() const {
+    return tombstones_.size();
+  }
+  [[nodiscard]] std::uint64_t bytes_reclaimed() const {
+    return bytes_reclaimed_;
+  }
+
+  /// Enumerate every tombstone (WAL snapshot dumps).
+  void for_each(
+      const std::function<void(ConfigId, ObjectId, CseqEntry)>& fn) const;
+
+ private:
+  std::map<std::pair<ConfigId, ObjectId>, CseqEntry> tombstones_;
+  std::uint64_t bytes_reclaimed_ = 0;
+};
+
+}  // namespace ares::storage

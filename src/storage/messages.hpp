@@ -1,0 +1,48 @@
+// Config-lineage GC protocol messages. RAMBO-style configuration
+// retirement, adapted to ARES's explicit nextC chain: the reconfigurer that
+// finalized configuration c_new — i.e. proved state transfer out of every
+// c_i, i < new, completed at a quorum of c_new and wrote the finalized
+// pointer to a quorum — tells the superseded configurations' servers to
+// retire their (config, object) state. The "retired" negative reply itself
+// lives in sim/message.hpp (sim::RetiredReply) because the RPC layer's
+// QuorumCollector must recognize it for every reply type.
+#pragma once
+
+#include "common/types.hpp"
+#include "sim/message.hpp"
+
+namespace ares::storage {
+
+/// RETIRE-CONFIG ⟨successor⟩: reclaim all server-side state of the
+/// addressed (config, object) — register/fragment maps, Paxos acceptor,
+/// lease and confirmed-tag entries — keeping only a tombstone that points
+/// at the finalized `successor`. Fire-and-forget from the reconfigurer
+/// (a crashed server must not stall retirement of the live ones); servers
+/// ack so tests and eager callers can await full coverage.
+class RetireConfigReq final : public sim::RpcRequest {
+ public:
+  /// The finalized configuration whose install quorum proves the addressed
+  /// config's state was transferred. Servers refuse to retire on a
+  /// non-finalized successor — retiring early would drop state that was
+  /// never handed over.
+  CseqEntry successor;
+
+  [[nodiscard]] std::string_view type_name() const override {
+    return "storage.retire_config";
+  }
+};
+
+class RetireConfigAck final : public sim::RpcReply {
+ public:
+  /// False if the server refused (not a member, no state, or successor not
+  /// finalized).
+  bool retired = false;
+  /// Bytes of object data the retirement reclaimed on this server.
+  std::uint64_t bytes_reclaimed = 0;
+
+  [[nodiscard]] std::string_view type_name() const override {
+    return "storage.retire_config_ack";
+  }
+};
+
+}  // namespace ares::storage

@@ -1,0 +1,126 @@
+// Write-ahead-log record types. Each record is a sim::MessageBody with a
+// registered wire codec (net/wire.cpp, ids 80+), so the WAL reuses the exact
+// serialization the socket transport puts on the wire — one field list per
+// type, no second encoder to drift. On disk every record is framed as
+//   u32 length | u32 crc32 | u16 type_id | payload
+// by storage::Wal (see wal.hpp); the types here are only the payloads.
+#pragma once
+
+#include "codec/codec.hpp"
+#include "common/types.hpp"
+#include "consensus/paxos.hpp"
+#include "sim/message.hpp"
+
+#include <optional>
+
+namespace ares::storage {
+
+/// A register / coded-element mutation: the server durably holds ⟨tag, v⟩
+/// (ABD/LDR: whole value, `fragment` empty) or ⟨tag, Φ_i(v)⟩ (TREAS:
+/// `value` null, fragment set) for (config, object) from this point on.
+/// TREAS list semantics (δ+1 bound, ⊥ placeholders) are reconstructed by
+/// replaying inserts through the same TreasServerState::insert that built
+/// them — the WAL stores mutations, not data-structure shapes.
+class WalPut final : public sim::MessageBody {
+ public:
+  ConfigId config = kNoConfig;
+  ObjectId object = kDefaultObject;
+  Tag tag;
+  ValuePtr value;                          // whole-replica protocols
+  std::optional<codec::Fragment> fragment; // coded protocols
+
+  [[nodiscard]] std::size_t data_bytes() const override {
+    std::size_t sum = value ? value->size() : 0;
+    if (fragment) sum += fragment->size();
+    return sum;
+  }
+  [[nodiscard]] std::string_view type_name() const override {
+    return "wal.put";
+  }
+};
+
+/// A nextC install for (config, object): the server adopted `next` (Alg. 6
+/// adopt-unless-finalized). Replayed through the same adopt rule.
+class WalCseq final : public sim::MessageBody {
+ public:
+  ConfigId config = kNoConfig;
+  ObjectId object = kDefaultObject;
+  CseqEntry next;
+
+  [[nodiscard]] std::string_view type_name() const override {
+    return "wal.cseq";
+  }
+};
+
+/// A GC retirement marker: (config, object) state was reclaimed; only the
+/// tombstone pointing at the finalized `successor` remains. Must be durable
+/// — a recovered server that forgot a retirement would resurrect dropped
+/// state with stale tags.
+class WalRetire final : public sim::MessageBody {
+ public:
+  ConfigId config = kNoConfig;
+  ObjectId object = kDefaultObject;
+  CseqEntry successor;
+
+  [[nodiscard]] std::string_view type_name() const override {
+    return "wal.retire";
+  }
+};
+
+/// Paxos acceptor state for (config, object) after a handled prepare /
+/// accept / decided. An acceptor that forgets a promise may re-promise a
+/// lower ballot after recovery and un-decide consensus, so acceptor
+/// transitions are journaled before the reply leaves the server.
+class WalPaxos final : public sim::MessageBody {
+ public:
+  ConfigId config = kNoConfig;
+  ObjectId object = kDefaultObject;
+  consensus::AcceptorState state;
+
+  [[nodiscard]] std::string_view type_name() const override {
+    return "wal.paxos";
+  }
+};
+
+/// A read/write-ack lease grant for (config, object, holder). Grant sets
+/// intersect put-ack quorums in possibly just this server, so a forgotten
+/// grant would let a writer complete while the holder still serves the old
+/// value locally. Expired grants are dropped at replay.
+class WalLease final : public sim::MessageBody {
+ public:
+  ConfigId config = kNoConfig;
+  ObjectId object = kDefaultObject;
+  ProcessId holder = kNoProcess;
+  Tag tag;
+  SimTime expiry = 0;
+
+  [[nodiscard]] std::string_view type_name() const override {
+    return "wal.lease";
+  }
+};
+
+/// First record of a snapshot segment: everything after it (up to the
+/// matching tail) is a full dump of live state as of compaction.
+class WalSnapshotHead final : public sim::MessageBody {
+ public:
+  std::uint64_t record_count = 0;  // records between head and tail
+
+  [[nodiscard]] std::string_view type_name() const override {
+    return "wal.snapshot_head";
+  }
+};
+
+/// Last record of a snapshot segment. A snapshot without its tail is an
+/// interrupted compaction and is ignored at replay (the pre-compaction
+/// chain is still intact — segments are only removed after the tail is
+/// durable).
+class WalSnapshotTail final : public sim::MessageBody {
+ public:
+  std::uint64_t record_count = 0;  // must match the head
+
+  [[nodiscard]] std::string_view type_name() const override {
+    return "wal.snapshot_tail";
+  }
+};
+
+}  // namespace ares::storage

@@ -1,0 +1,357 @@
+#include "storage/wal.hpp"
+
+#include "net/wire.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstring>
+
+namespace ares::storage {
+namespace {
+
+/// Per-record frame header: u32 length + u32 crc32.
+constexpr std::size_t kRecordHeader = 8;
+
+std::uint32_t read_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void push_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+/// Guard against a corrupt length field making us allocate the moon.
+constexpr std::uint32_t kMaxRecordBytes = 64u * 1024 * 1024;
+
+/// One segment, parsed. `valid_bytes` is the prefix that decoded cleanly;
+/// a segment is `clean` iff every byte belongs to a whole, CRC-valid,
+/// decodable record.
+struct ParsedSegment {
+  std::uint64_t seq = 0;
+  std::string name;
+  std::vector<sim::BodyPtr> records;
+  std::size_t valid_bytes = 0;
+  std::size_t total_bytes = 0;
+  bool clean = false;
+  bool snapshot_head = false;  // first record is WalSnapshotHead
+  bool snapshot_ok = false;    // ... and a matching tail is present
+};
+
+ParsedSegment parse_segment(const std::vector<std::uint8_t>& blob) {
+  ParsedSegment seg;
+  seg.total_bytes = blob.size();
+  std::uint64_t head_count = 0;
+  std::size_t off = 0;
+  while (off + kRecordHeader <= blob.size()) {
+    const std::uint32_t len = read_u32(blob.data() + off);
+    const std::uint32_t crc = read_u32(blob.data() + off + 4);
+    if (len < 2 || len > kMaxRecordBytes ||
+        off + kRecordHeader + len > blob.size()) {
+      break;  // torn tail (or garbage length)
+    }
+    const std::uint8_t* payload = blob.data() + off + kRecordHeader;
+    if (crc32(payload, len) != crc) break;  // torn / flipped bits
+    const std::uint16_t type_id =
+        static_cast<std::uint16_t>(payload[0] | (payload[1] << 8));
+    sim::BodyPtr rec;
+    try {
+      rec = net::wire::decode_payload(type_id, payload + 2, len - 2);
+    } catch (const net::wire::WireError&) {
+      break;  // CRC passed but the payload does not decode: stop here
+    }
+    if (seg.records.empty()) {
+      seg.snapshot_head =
+          std::dynamic_pointer_cast<const WalSnapshotHead>(rec) != nullptr;
+      if (seg.snapshot_head) {
+        head_count =
+            std::static_pointer_cast<const WalSnapshotHead>(rec)->record_count;
+      }
+    } else if (auto tail =
+                   std::dynamic_pointer_cast<const WalSnapshotTail>(rec)) {
+      seg.snapshot_ok =
+          seg.snapshot_head && tail->record_count == head_count &&
+          seg.records.size() == head_count + 1;  // head + exactly count records
+    }
+    seg.records.push_back(std::move(rec));
+    off += kRecordHeader + len;
+    seg.valid_bytes = off;
+  }
+  seg.clean = seg.valid_bytes == blob.size();
+  return seg;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+Wal::Wal(std::shared_ptr<Device> dev, Options opts)
+    : dev_(std::move(dev)), opts_(std::move(opts)) {}
+
+std::string Wal::segment_name(std::uint64_t seq) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), ".%012llu.wal",
+                static_cast<unsigned long long>(seq));
+  return opts_.prefix + buf;
+}
+
+void Wal::append_record_to(std::vector<std::uint8_t>& out,
+                           const sim::MessageBody& record) {
+  const std::uint16_t id = net::wire::type_id(record.type_name());
+  std::vector<std::uint8_t> payload;
+  payload.push_back(static_cast<std::uint8_t>(id));
+  payload.push_back(static_cast<std::uint8_t>(id >> 8));
+  const std::vector<std::uint8_t> fields = net::wire::encode_payload(record);
+  payload.insert(payload.end(), fields.begin(), fields.end());
+
+  push_u32(out, static_cast<std::uint32_t>(payload.size()));
+  push_u32(out, crc32(payload.data(), payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+void Wal::append(const sim::MessageBody& record) {
+  if (live_bytes_ >= opts_.segment_bytes) {
+    ++live_seq_;
+    live_bytes_ = 0;
+    ++stats_.segments_rotated;
+  }
+  std::vector<std::uint8_t> frame;
+  append_record_to(frame, record);
+  dev_->append(segment_name(live_seq_), frame.data(), frame.size());
+  live_bytes_ += frame.size();
+  ++stats_.records_appended;
+  stats_.bytes_appended += frame.size();
+}
+
+Wal::Replay Wal::replay() {
+  Replay out;
+  const std::vector<std::string> names = dev_->list(opts_.prefix + ".");
+
+  std::vector<ParsedSegment> segs;
+  for (const std::string& name : names) {
+    // `<prefix>.<seq>.wal`
+    const std::size_t digits_at = opts_.prefix.size() + 1;
+    const std::uint64_t seq = std::strtoull(name.c_str() + digits_at, nullptr, 10);
+    if (seq == 0) continue;  // not one of ours
+    const std::vector<std::uint8_t> blob = dev_->read(name);
+    ParsedSegment seg = parse_segment(blob);
+    seg.seq = seq;
+    seg.name = name;
+    out.bytes_read += blob.size();
+    segs.push_back(std::move(seg));
+  }
+  std::sort(segs.begin(), segs.end(),
+            [](const ParsedSegment& a, const ParsedSegment& b) {
+              return a.seq < b.seq;
+            });
+
+  if (segs.empty()) {
+    live_seq_ = 1;
+    live_bytes_ = 0;
+    return out;
+  }
+
+  // An interrupted compaction is a snapshot-head segment without its tail
+  // at the very top of the numbering: drop it, the old chain is the truth.
+  if (segs.size() > 1 && segs.back().snapshot_head && !segs.back().snapshot_ok) {
+    dev_->remove(segs.back().name);
+    segs.pop_back();
+  }
+
+  // Start at the newest complete snapshot, else at the oldest segment.
+  std::size_t start = 0;
+  for (std::size_t i = segs.size(); i-- > 0;) {
+    if (segs[i].snapshot_ok) {
+      start = i;
+      break;
+    }
+  }
+
+  const auto amnesia = [&] {
+    out.intact = false;
+    out.records.clear();
+    std::uint64_t max_seq = 0;
+    for (const ParsedSegment& s : segs) {
+      max_seq = std::max(max_seq, s.seq);
+      dev_->remove(s.name);
+    }
+    live_seq_ = max_seq + 1;
+    live_bytes_ = 0;
+    return out;
+  };
+
+  for (std::size_t i = start; i < segs.size(); ++i) {
+    const bool last = i + 1 == segs.size();
+    if (i > start && segs[i].seq != segs[i - 1].seq + 1) return amnesia();
+    if (!segs[i].clean && !last) return amnesia();
+    for (const sim::BodyPtr& r : segs[i].records) out.records.push_back(r);
+  }
+
+  // Legal torn tail: truncate it on-device so the chain stays clean for
+  // the appends that follow.
+  ParsedSegment& tail = segs.back();
+  if (!tail.clean) {
+    out.truncated_bytes = tail.total_bytes - tail.valid_bytes;
+    std::vector<std::uint8_t> blob = dev_->read(tail.name);
+    blob.resize(tail.valid_bytes);
+    dev_->write(tail.name, std::move(blob));
+  }
+  live_seq_ = tail.seq;
+  live_bytes_ = tail.valid_bytes;
+  return out;
+}
+
+void Wal::compact(
+    const std::function<void(const std::function<void(const sim::MessageBody&)>&)>&
+        dump) {
+  // Collect the body records first: the head must carry the exact count.
+  std::vector<std::uint8_t> body;
+  std::uint64_t count = 0;
+  dump([&](const sim::MessageBody& rec) {
+    append_record_to(body, rec);
+    ++count;
+  });
+
+  WalSnapshotHead head;
+  head.record_count = count;
+  WalSnapshotTail tail;
+  tail.record_count = count;
+
+  std::vector<std::uint8_t> out;
+  append_record_to(out, head);
+  out.insert(out.end(), body.begin(), body.end());
+  append_record_to(out, tail);
+
+  const std::uint64_t snap_seq = live_seq_ + 1;
+  dev_->write(segment_name(snap_seq), std::move(out));
+  for (std::uint64_t s = 1; s <= live_seq_; ++s) {
+    dev_->remove(segment_name(s));
+  }
+  // The snapshot segment stays immutable (replay requires its tail to be
+  // its last record); appends continue in the next segment.
+  live_seq_ = snap_seq + 1;
+  live_bytes_ = 0;
+  ++stats_.compactions;
+}
+
+std::size_t Wal::device_bytes() const {
+  std::size_t total = 0;
+  for (const std::string& name : dev_->list(opts_.prefix + ".")) {
+    total += dev_->read(name).size();
+  }
+  return total;
+}
+
+// --- ServerJournal ----------------------------------------------------------
+
+ServerJournal::ServerJournal(std::shared_ptr<Device> dev, Options opts)
+    : wal_(std::move(dev),
+           Wal::Options{opts.prefix, opts.segment_bytes}),
+      opts_(std::move(opts)) {}
+
+RecoveredState ServerJournal::recover() {
+  Wal::Replay rep = wal_.replay();
+  RecoveredState st;
+  st.intact = rep.intact;
+  st.wal_bytes = rep.bytes_read;
+  for (const sim::BodyPtr& r : rep.records) {
+    if (auto p = std::dynamic_pointer_cast<const WalPut>(r)) {
+      st.puts.push_back(std::move(p));
+    } else if (auto c = std::dynamic_pointer_cast<const WalCseq>(r)) {
+      st.cseqs.push_back(std::move(c));
+    } else if (auto g = std::dynamic_pointer_cast<const WalRetire>(r)) {
+      st.retires.push_back(std::move(g));
+    } else if (auto x = std::dynamic_pointer_cast<const WalPaxos>(r)) {
+      st.paxos.push_back(std::move(x));
+    } else if (auto l = std::dynamic_pointer_cast<const WalLease>(r)) {
+      st.leases.push_back(std::move(l));
+    }
+    // Snapshot head/tail markers carry no state.
+  }
+  return st;
+}
+
+void ServerJournal::appended(std::size_t approx_bytes) {
+  bytes_since_snapshot_ += approx_bytes;
+  if (dump_ && bytes_since_snapshot_ >= opts_.compact_every_bytes) {
+    wal_.compact(dump_);
+    bytes_since_snapshot_ = 0;
+  }
+}
+
+void ServerJournal::put(ConfigId cfg, ObjectId obj, Tag tag, ValuePtr value,
+                        std::optional<codec::Fragment> fragment) {
+  WalPut rec;
+  rec.config = cfg;
+  rec.object = obj;
+  rec.tag = tag;
+  rec.value = std::move(value);
+  rec.fragment = std::move(fragment);
+  wal_.append(rec);
+  appended(kRecordHeader + 32 + rec.data_bytes());
+}
+
+void ServerJournal::cseq(ConfigId cfg, ObjectId obj, CseqEntry next) {
+  WalCseq rec;
+  rec.config = cfg;
+  rec.object = obj;
+  rec.next = next;
+  wal_.append(rec);
+  appended(kRecordHeader + 24);
+}
+
+void ServerJournal::retire(ConfigId cfg, ObjectId obj, CseqEntry successor) {
+  WalRetire rec;
+  rec.config = cfg;
+  rec.object = obj;
+  rec.successor = successor;
+  wal_.append(rec);
+  appended(kRecordHeader + 24);
+}
+
+void ServerJournal::paxos(ConfigId cfg, ObjectId obj,
+                          const consensus::AcceptorState& s) {
+  WalPaxos rec;
+  rec.config = cfg;
+  rec.object = obj;
+  rec.state = s;
+  wal_.append(rec);
+  appended(kRecordHeader + 64);
+}
+
+void ServerJournal::lease(ConfigId cfg, ObjectId obj, ProcessId holder,
+                          Tag tag, SimTime expiry) {
+  WalLease rec;
+  rec.config = cfg;
+  rec.object = obj;
+  rec.holder = holder;
+  rec.tag = tag;
+  rec.expiry = expiry;
+  wal_.append(rec);
+  appended(kRecordHeader + 40);
+}
+
+}  // namespace ares::storage

@@ -1,0 +1,176 @@
+// storage::Wal — a segmented, checksummed write-ahead log over a Device —
+// and storage::ServerJournal, the typed facade an AresServer journals
+// through.
+//
+// On-device layout: blobs named `<prefix>.<seq>.wal` with strictly
+// increasing decimal `seq`. Each segment is a flat run of records framed
+//
+//   u32 length | u32 crc32 | payload = (u16 type_id | fields)
+//
+// where `length` counts the payload bytes and the CRC covers the payload.
+// Payload serialization is the PR-7 wire codec (net/wire.cpp) — WAL record
+// types are registered MessageBody types, so there is exactly one field
+// list per record type for both the socket transport and the disk format.
+//
+// Replay rules (crash-recovery contract):
+//   * Records are applied in (segment seq, offset) order.
+//   * A torn record (short frame or CRC mismatch) is legal only at the very
+//     tail of the highest segment — the crashed append — and is truncated.
+//     Anywhere else the chain is broken and replay reports amnesia.
+//   * A segment beginning with WalSnapshotHead is a compaction snapshot: if
+//     its matching WalSnapshotTail is present, replay starts there (older
+//     segments are redundant); if the tail is missing and it is the highest
+//     segment, the whole segment is an interrupted compaction and is
+//     ignored — the pre-compaction chain is still the durable truth.
+//   * A gap in the segment numbering after the replay start breaks the
+//     chain: amnesia.
+// Amnesia is not an error — the server rejoins through the existing
+// transfer path exactly like the fuzzer's crash-recover-with-amnesia fault;
+// it just loses the fast local catch-up.
+#pragma once
+
+#include "common/types.hpp"
+#include "consensus/paxos.hpp"
+#include "sim/message.hpp"
+#include "storage/device.hpp"
+#include "storage/records.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ares::storage {
+
+/// CRC-32 (IEEE 802.3, reflected) over `n` bytes.
+[[nodiscard]] std::uint32_t crc32(const std::uint8_t* data, std::size_t n);
+
+struct WalStats {
+  std::uint64_t records_appended = 0;
+  std::uint64_t bytes_appended = 0;
+  std::uint64_t segments_rotated = 0;
+  std::uint64_t compactions = 0;
+};
+
+class Wal {
+ public:
+  struct Options {
+    std::string prefix = "wal";
+    /// Rotate to a fresh segment once the live one exceeds this.
+    std::size_t segment_bytes = 64 * 1024;
+  };
+
+  struct Replay {
+    /// Decoded records in append order (starting at the newest complete
+    /// snapshot, if any). Empty under amnesia.
+    std::vector<sim::BodyPtr> records;
+    /// False: the chain was broken (mid-chain tear or segment gap) and the
+    /// server must recover with amnesia.
+    bool intact = true;
+    /// Bytes of torn tail dropped from the highest segment.
+    std::size_t truncated_bytes = 0;
+    std::size_t bytes_read = 0;
+  };
+
+  Wal(std::shared_ptr<Device> dev, Options opts);
+
+  /// Scan, verify, and decode everything durable; repairs a legal torn
+  /// tail in place (rewrites the highest segment without the torn bytes)
+  /// so subsequent appends extend a clean chain. On a broken chain, wipes
+  /// the prefix's segments — recovery is amnesiac and the old garbage must
+  /// not resurface after the next crash.
+  [[nodiscard]] Replay replay();
+
+  /// Append one record durably. Rotates segments as needed.
+  void append(const sim::MessageBody& record);
+
+  /// Compaction: write WalSnapshotHead, every record `dump` emits, and
+  /// WalSnapshotTail into a fresh segment, then drop all older segments.
+  /// A crash anywhere before the tail is durable leaves the old chain
+  /// untouched (replay ignores a tailless snapshot segment).
+  void compact(
+      const std::function<void(const std::function<void(const sim::MessageBody&)>&)>&
+          dump);
+
+  [[nodiscard]] const WalStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t device_bytes() const;
+
+ private:
+  [[nodiscard]] std::string segment_name(std::uint64_t seq) const;
+  void append_record_to(std::vector<std::uint8_t>& out,
+                        const sim::MessageBody& record);
+
+  std::shared_ptr<Device> dev_;
+  Options opts_;
+  std::uint64_t live_seq_ = 1;    // segment currently appended to
+  std::size_t live_bytes_ = 0;    // size of that segment
+  WalStats stats_;
+};
+
+/// What a WAL replay reconstructed, split by record kind, in log order.
+/// The server applies puts through the same mutation paths that produced
+/// them (ABD adopt-if-newer, TREAS δ-bounded insert), so replay cannot
+/// drift from live behavior.
+struct RecoveredState {
+  bool intact = false;
+  std::vector<std::shared_ptr<const WalPut>> puts;
+  std::vector<std::shared_ptr<const WalCseq>> cseqs;
+  std::vector<std::shared_ptr<const WalRetire>> retires;
+  std::vector<std::shared_ptr<const WalPaxos>> paxos;
+  std::vector<std::shared_ptr<const WalLease>> leases;
+  std::size_t wal_bytes = 0;
+};
+
+/// The journal a server writes its durable transitions through. Thin typed
+/// wrapper over Wal plus an auto-compaction policy: once
+/// `compact_every_bytes` of records accumulated since the last snapshot,
+/// the owner-provided snapshot source is dumped into a fresh snapshot
+/// segment and the older segments are dropped.
+class ServerJournal {
+ public:
+  struct Options {
+    std::string prefix = "srv";
+    std::size_t segment_bytes = 64 * 1024;
+    std::size_t compact_every_bytes = 256 * 1024;
+  };
+
+  using RecordSink = std::function<void(const sim::MessageBody&)>;
+
+  ServerJournal(std::shared_ptr<Device> dev, Options opts);
+
+  /// Must be called before the first journaled mutation. The source
+  /// enumerates *all* live durable state as WAL records (puts, cseqs,
+  /// retires, paxos, unexpired leases).
+  void set_snapshot_source(std::function<void(const RecordSink&)> dump) {
+    dump_ = std::move(dump);
+  }
+
+  /// Replay the device into a RecoveredState. Call once, before any
+  /// journaling.
+  [[nodiscard]] RecoveredState recover();
+
+  // --- typed append helpers (persist-before-ack call sites) ---------------
+  void put(ConfigId cfg, ObjectId obj, Tag tag, ValuePtr value,
+           std::optional<codec::Fragment> fragment);
+  void cseq(ConfigId cfg, ObjectId obj, CseqEntry next);
+  void retire(ConfigId cfg, ObjectId obj, CseqEntry successor);
+  void paxos(ConfigId cfg, ObjectId obj, const consensus::AcceptorState& s);
+  void lease(ConfigId cfg, ObjectId obj, ProcessId holder, Tag tag,
+             SimTime expiry);
+
+  [[nodiscard]] const WalStats& stats() const { return wal_.stats(); }
+  [[nodiscard]] std::size_t device_bytes() const {
+    return wal_.device_bytes();
+  }
+
+ private:
+  void appended(std::size_t approx_bytes);
+
+  Wal wal_;
+  Options opts_;
+  std::function<void(const RecordSink&)> dump_;
+  std::size_t bytes_since_snapshot_ = 0;
+};
+
+}  // namespace ares::storage

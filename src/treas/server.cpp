@@ -1,5 +1,7 @@
 #include "treas/server.hpp"
 
+#include "storage/records.hpp"
+
 #include <algorithm>
 #include <cassert>
 
@@ -44,14 +46,20 @@ const TreasServerState::List& TreasServerState::list(ObjectId obj) const {
 void TreasServerState::insert(Tag tag, std::optional<codec::Fragment> fragment,
                               ObjectId obj) {
   PerObject& state = object_state(obj);
+  bool changed = false;
   auto it = state.list.find(tag);
   if (it == state.list.end()) {
-    state.list.emplace(tag, std::move(fragment));
+    state.list.emplace(tag, fragment);
+    changed = true;
   } else if (!it->second && fragment) {
     // Re-learning an element we only had as ⊥ (e.g. via state transfer) is
     // allowed; GC below may immediately null it again if it is old.
-    it->second = std::move(fragment);
+    it->second = fragment;
+    changed = true;
   }
+  // Journal the pre-GC insertion: replay re-runs insert and re-derives the
+  // δ+1 bound, so the durable form never drifts from live GC behavior.
+  if (changed) journal_put(obj, tag, nullptr, fragment);
   garbage_collect(state);
 }
 
@@ -83,6 +91,53 @@ std::size_t TreasServerState::stored_data_bytes() const {
     }
   }
   return sum;
+}
+
+std::size_t TreasServerState::drop_object(ObjectId obj) {
+  std::size_t bytes = 0;
+  if (auto it = objects_.find(obj); it != objects_.end()) {
+    const PerObject& state = it->second;
+    for (const auto& [tag, frag] : state.list) {
+      if (frag) bytes += frag->size();
+    }
+    for (const auto& [tag, st] : state.staging) {
+      for (const auto& f : st.fragments) bytes += f.size();
+    }
+    for (const auto& [tag, frags] : state.repair_staging) {
+      for (const auto& f : frags) bytes += f.size();
+    }
+    objects_.erase(it);
+  }
+  DapServer::drop_object(obj);
+  return bytes;
+}
+
+void TreasServerState::restore_put(
+    ObjectId obj, const Tag& tag, const ValuePtr& value,
+    const std::optional<codec::Fragment>& fragment) {
+  (void)value;  // coded protocol: whole values never journaled
+  insert(tag, fragment, obj);
+}
+
+void TreasServerState::dump_wal(
+    dap::ServerContext& ctx, ConfigId cfg,
+    const std::function<void(const sim::MessageBody&)>& sink) const {
+  for (const auto& [obj, state] : objects_) {
+    for (const auto& [tag, frag] : state.list) {
+      if (tag <= kInitialTag) continue;  // (t0, Φ_i(v0)) reconstructs free
+      // ⊥ entries are dumped without a fragment so replay recreates the
+      // List's exact tag shape (the δ+1 window depends on it). Staging is
+      // deliberately volatile: an interrupted transfer re-runs from the
+      // source after restart.
+      storage::WalPut rec;
+      rec.config = cfg;
+      rec.object = obj;
+      rec.tag = tag;
+      rec.fragment = frag;
+      sink(rec);
+    }
+  }
+  DapServer::dump_wal(ctx, cfg, sink);
 }
 
 Tag TreasServerState::max_tag(ObjectId obj) const {

@@ -61,6 +61,13 @@ class TreasServerState final : public dap::DapServer {
     return it->second;
   }
 
+  std::size_t drop_object(ObjectId obj) override;
+  void restore_put(ObjectId obj, const Tag& tag, const ValuePtr& value,
+                   const std::optional<codec::Fragment>& fragment) override;
+  void dump_wal(dap::ServerContext& ctx, ConfigId cfg,
+                const std::function<void(const sim::MessageBody&)>& sink)
+      const override;
+
  private:
   using List = std::map<Tag, std::optional<codec::Fragment>>;
 

@@ -1,0 +1,500 @@
+// Durable-storage suite: WAL framing and crash-recovery contracts at the
+// device level (torn appends, broken chains, interrupted compaction), and
+// cluster-level adversarial schedules — a server recovering from its
+// journal mid-deployment, amnesia fencing, and config-lineage GC racing
+// in-flight operations and stragglers.
+#include "checker/atomicity.hpp"
+#include "harness/ares_cluster.hpp"
+#include "harness/workload.hpp"
+#include "storage/device.hpp"
+#include "storage/records.hpp"
+#include "storage/wal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace ares {
+namespace {
+
+storage::WalPut make_put(ConfigId cfg, std::uint64_t n, std::uint64_t wid,
+                         std::size_t bytes = 64) {
+  storage::WalPut p;
+  p.config = cfg;
+  p.object = kDefaultObject;
+  p.tag = Tag{n, static_cast<ProcessId>(wid)};
+  p.value = make_value(make_test_value(bytes, n));
+  return p;
+}
+
+// --- WAL: append / replay contracts ----------------------------------------
+
+TEST(Wal, AppendReplayRoundTrip) {
+  auto dev = std::make_shared<storage::MemDevice>();
+  {
+    storage::Wal wal(dev, {});
+    wal.append(make_put(7, 3, 9));
+    storage::WalCseq c;
+    c.config = 7;
+    c.next = CseqEntry{8, true};
+    wal.append(c);
+    storage::WalRetire r;
+    r.config = 7;
+    r.successor = CseqEntry{8, true};
+    wal.append(r);
+  }
+  // A fresh Wal over the same device sees everything, in order.
+  storage::Wal wal2(dev, {});
+  const auto rep = wal2.replay();
+  EXPECT_TRUE(rep.intact);
+  EXPECT_EQ(rep.truncated_bytes, 0u);
+  ASSERT_EQ(rep.records.size(), 3u);
+  auto p = std::dynamic_pointer_cast<const storage::WalPut>(rep.records[0]);
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->config, 7u);
+  EXPECT_EQ(p->tag, (Tag{3, 9}));
+  ASSERT_TRUE(p->value);
+  EXPECT_EQ(*p->value, make_test_value(64, 3));
+  auto c = std::dynamic_pointer_cast<const storage::WalCseq>(rep.records[1]);
+  ASSERT_TRUE(c);
+  EXPECT_EQ(c->next.cfg, 8u);
+  EXPECT_TRUE(c->next.finalized);
+  auto r = std::dynamic_pointer_cast<const storage::WalRetire>(rep.records[2]);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->successor.cfg, 8u);
+}
+
+TEST(Wal, TornTailIsTruncatedNotFatal) {
+  // The crash-mid-append schedule: the last record never fully reached the
+  // device. Replay keeps everything before it and repairs the segment so
+  // later appends extend a clean chain.
+  auto dev = std::make_shared<storage::MemDevice>();
+  {
+    storage::Wal wal(dev, {});
+    for (std::uint64_t n = 1; n <= 3; ++n) wal.append(make_put(1, n, 5));
+  }
+  const auto names = dev->list("");
+  ASSERT_EQ(names.size(), 1u);
+  dev->corrupt_tail(names.back(), 3);
+
+  storage::Wal wal2(dev, {});
+  const auto rep = wal2.replay();
+  EXPECT_TRUE(rep.intact);
+  EXPECT_GT(rep.truncated_bytes, 0u);
+  ASSERT_EQ(rep.records.size(), 2u);  // the torn third record is gone
+
+  // The repair is durable: appending and replaying again is clean.
+  wal2.append(make_put(1, 4, 5));
+  storage::Wal wal3(dev, {});
+  const auto rep2 = wal3.replay();
+  EXPECT_TRUE(rep2.intact);
+  EXPECT_EQ(rep2.truncated_bytes, 0u);
+  ASSERT_EQ(rep2.records.size(), 3u);
+  auto last =
+      std::dynamic_pointer_cast<const storage::WalPut>(rep2.records.back());
+  ASSERT_TRUE(last);
+  EXPECT_EQ(last->tag.z, 4u);
+}
+
+TEST(Wal, MidChainTearIsAmnesia) {
+  // A tear anywhere but the highest segment's tail means bytes the server
+  // already acked are gone — the chain is untrustworthy and recovery must
+  // degrade to amnesia (and scrub the garbage so it cannot resurface).
+  auto dev = std::make_shared<storage::MemDevice>();
+  {
+    storage::Wal wal(dev, storage::Wal::Options{"wal", 1});  // 1 record/segment
+    for (std::uint64_t n = 1; n <= 3; ++n) wal.append(make_put(1, n, 5));
+  }
+  const auto names = dev->list("");
+  ASSERT_EQ(names.size(), 3u);
+  dev->corrupt_tail(names[1], 3);  // middle segment
+
+  storage::Wal wal2(dev, {});
+  const auto rep = wal2.replay();
+  EXPECT_FALSE(rep.intact);
+  EXPECT_TRUE(rep.records.empty());
+  EXPECT_TRUE(dev->list("").empty());  // wiped: amnesia leaves no garbage
+}
+
+TEST(Wal, SegmentGapIsAmnesia) {
+  auto dev = std::make_shared<storage::MemDevice>();
+  {
+    storage::Wal wal(dev, storage::Wal::Options{"wal", 1});
+    for (std::uint64_t n = 1; n <= 3; ++n) wal.append(make_put(1, n, 5));
+  }
+  const auto names = dev->list("");
+  ASSERT_EQ(names.size(), 3u);
+  dev->remove(names[1]);  // a whole acked segment vanished
+
+  storage::Wal wal2(dev, {});
+  const auto rep = wal2.replay();
+  EXPECT_FALSE(rep.intact);
+  EXPECT_TRUE(rep.records.empty());
+}
+
+TEST(Wal, InterruptedCompactionKeepsOldChain) {
+  // The crash-during-compaction schedule: the snapshot segment is half
+  // written (its tail never landed) and the old segments were never
+  // removed. Replay must ignore the tailless snapshot and recover from the
+  // pre-compaction chain untouched.
+  auto dev = std::make_shared<storage::MemDevice>();
+  storage::Wal wal(dev, {});
+  for (std::uint64_t n = 1; n <= 4; ++n) wal.append(make_put(1, n, 5));
+
+  dev->fail_after(1);  // the snapshot write tears mid-way; nothing after lands
+  wal.compact([](const std::function<void(const sim::MessageBody&)>& sink) {
+    sink(make_put(1, 4, 5));
+    sink(make_put(1, 4, 5, 128));
+  });
+  dev->heal();
+
+  storage::Wal wal2(dev, {});
+  const auto rep = wal2.replay();
+  EXPECT_TRUE(rep.intact);
+  ASSERT_EQ(rep.records.size(), 4u);  // the original appends, nothing else
+  for (const auto& rec : rep.records) {
+    EXPECT_TRUE(std::dynamic_pointer_cast<const storage::WalPut>(rec));
+  }
+}
+
+TEST(Wal, CompletedCompactionReplacesHistory) {
+  auto dev = std::make_shared<storage::MemDevice>();
+  storage::Wal wal(dev, {});
+  for (std::uint64_t n = 1; n <= 4; ++n) wal.append(make_put(1, n, 5));
+  wal.compact([](const std::function<void(const sim::MessageBody&)>& sink) {
+    sink(make_put(1, 99, 5));
+  });
+  EXPECT_EQ(wal.stats().compactions, 1u);
+  ASSERT_EQ(dev->list("").size(), 1u);  // older segments dropped
+
+  storage::Wal wal2(dev, {});
+  const auto rep = wal2.replay();
+  EXPECT_TRUE(rep.intact);
+  std::size_t puts = 0;
+  for (const auto& rec : rep.records) {
+    if (auto p = std::dynamic_pointer_cast<const storage::WalPut>(rec)) {
+      ++puts;
+      EXPECT_EQ(p->tag.z, 99u);
+    }
+  }
+  EXPECT_EQ(puts, 1u);  // snapshot contents only
+}
+
+TEST(ServerJournal, RecoverSplitsRecordsByKind) {
+  auto dev = std::make_shared<storage::MemDevice>();
+  {
+    storage::ServerJournal j(dev, {});
+    const auto st0 = j.recover();  // empty device: intact, nothing to apply
+    EXPECT_TRUE(st0.intact);
+    EXPECT_TRUE(st0.puts.empty());
+
+    j.put(1, kDefaultObject, Tag{2, 7}, make_value(make_test_value(48, 2)),
+          std::nullopt);
+    j.cseq(1, kDefaultObject, CseqEntry{2, false});
+    j.retire(1, kDefaultObject, CseqEntry{2, true});
+    consensus::AcceptorState acc;
+    acc.decided = true;
+    acc.decided_value = 2;
+    j.paxos(1, kDefaultObject, acc);
+    j.lease(2, kDefaultObject, /*holder=*/11, Tag{2, 7}, /*expiry=*/500);
+  }
+  storage::ServerJournal j2(dev, {});
+  const auto st = j2.recover();
+  EXPECT_TRUE(st.intact);
+  ASSERT_EQ(st.puts.size(), 1u);
+  ASSERT_EQ(st.cseqs.size(), 1u);
+  ASSERT_EQ(st.retires.size(), 1u);
+  ASSERT_EQ(st.paxos.size(), 1u);
+  ASSERT_EQ(st.leases.size(), 1u);
+  EXPECT_EQ(st.puts[0]->tag, (Tag{2, 7}));
+  EXPECT_TRUE(st.retires[0]->successor.finalized);
+  EXPECT_EQ(st.paxos[0]->state.decided_value, 2);
+  EXPECT_EQ(st.leases[0]->holder, 11u);
+  EXPECT_EQ(st.leases[0]->expiry, 500);
+}
+
+TEST(ServerJournal, AutoCompactionBoundsDeviceGrowth) {
+  auto dev = std::make_shared<storage::MemDevice>();
+  storage::ServerJournal::Options opts;
+  opts.segment_bytes = 256;
+  opts.compact_every_bytes = 256;
+  storage::ServerJournal j(dev, opts);
+  std::uint64_t latest = 0;
+  j.set_snapshot_source([&latest](const storage::ServerJournal::RecordSink& sink) {
+    // Live state is just the newest put — everything older is garbage.
+    if (latest > 0) sink(make_put(1, latest, 5));
+  });
+  (void)j.recover();
+  for (std::uint64_t n = 1; n <= 40; ++n) {
+    latest = n;
+    j.put(1, kDefaultObject, Tag{n, 5}, make_value(make_test_value(64, n)),
+          std::nullopt);
+  }
+  EXPECT_GT(j.stats().compactions, 0u);
+  // Compaction keeps the device near live-state size, far below the
+  // 40-put append volume.
+  EXPECT_LT(j.device_bytes(), j.stats().bytes_appended / 2);
+
+  storage::ServerJournal j2(dev, opts);
+  const auto st = j2.recover();
+  EXPECT_TRUE(st.intact);
+  ASSERT_FALSE(st.puts.empty());
+  EXPECT_EQ(st.puts.back()->tag.z, 40u);
+}
+
+// --- cluster: WAL-backed crash recovery -------------------------------------
+
+harness::AresClusterOptions wal_options(std::uint64_t seed = 1) {
+  harness::AresClusterOptions o;
+  o.initial_protocol = dap::Protocol::kAbd;  // majority quorums: f = 2
+  o.server_pool = 10;
+  o.initial_servers = 5;
+  o.num_rw_clients = 2;
+  o.num_reconfigurers = 1;
+  o.wal = true;
+  o.seed = seed;
+  return o;
+}
+
+TEST(WalRecovery, RecoveredServerServesWithMemory) {
+  // Server 0 crashes and restarts from an intact journal. Afterwards two
+  // *other* servers die, so every majority quorum must include server 0 —
+  // reads complete only because replay restored its pre-crash state. An
+  // amnesiac restart would leave the read stalled (see the fencing test).
+  harness::AresCluster cluster(wal_options());
+  auto payload = make_value(make_test_value(300, 1));
+  const Tag wtag = sim::run_to_completion(
+      cluster.sim(), cluster.client(0).write(payload));
+  cluster.sim().run();  // drain: every live server has processed the put
+
+  cluster.crash_server(0);
+  cluster.restart_server(0);
+  EXPECT_GT(cluster.servers()[0]->stored_data_bytes(), 0u)
+      << "journal replay restored no object data";
+
+  cluster.crash_server(1);
+  cluster.crash_server(2);
+  const auto tv =
+      sim::run_to_completion(cluster.sim(), cluster.client(1).read());
+  EXPECT_EQ(tv.tag, wtag);
+  EXPECT_EQ(*tv.value, *payload);
+  const auto verdict =
+      checker::check_tag_atomicity(cluster.history().records());
+  EXPECT_TRUE(verdict.ok) << verdict.violation;
+}
+
+TEST(WalRecovery, TornLastAppendTruncatedOnRejoin) {
+  // Crash mid-WAL-append: the journal's final record is torn. Recovery
+  // truncates it (legal at the tail), keeps the rest of the chain, and the
+  // server rejoins un-fenced — quorums through it still complete.
+  harness::AresCluster cluster(wal_options(3));
+  auto payload = make_value(make_test_value(300, 1));
+  const Tag wtag = sim::run_to_completion(
+      cluster.sim(), cluster.client(0).write(payload));
+  cluster.sim().run();
+
+  cluster.crash_server(0);
+  storage::MemDevice& dev = cluster.wal_device(0);
+  const auto names = dev.list("");
+  ASSERT_FALSE(names.empty());
+  dev.corrupt_tail(names.back(), 3);
+  cluster.restart_server(0);
+
+  cluster.crash_server(1);
+  cluster.crash_server(2);
+  // The torn record (at most one mutation) may be forgotten by server 0,
+  // but the drained quorum at servers 3/4 covers it — the read completes
+  // through server 0 and returns the written tag.
+  const auto tv =
+      sim::run_to_completion(cluster.sim(), cluster.client(1).read());
+  EXPECT_EQ(tv.tag, wtag);
+  const auto verdict =
+      checker::check_tag_atomicity(cluster.history().records());
+  EXPECT_TRUE(verdict.ok) << verdict.violation;
+}
+
+TEST(WalRecovery, BrokenChainFallsBackToFencedAmnesia) {
+  // The disk died with the process: recovery has nothing to replay and the
+  // server must NOT serve its old configurations — a recovered server
+  // answering reads before catch-up could return stale (or empty) state
+  // inside a quorum that the write never reached. Fencing turns that
+  // safety violation into a liveness stall, which the checker cannot see
+  // but this test can: the read never completes.
+  harness::AresCluster cluster(wal_options(5));
+  auto payload = make_value(make_test_value(300, 1));
+  (void)sim::run_to_completion(cluster.sim(),
+                               cluster.client(0).write(payload));
+  cluster.sim().run();
+
+  cluster.crash_server(0);
+  cluster.wal_device(0).wipe();  // broken chain → amnesia
+  cluster.restart_server(0);
+  EXPECT_EQ(cluster.servers()[0]->stored_data_bytes(), 0u);
+
+  cluster.crash_server(1);
+  cluster.crash_server(2);
+  auto fut = cluster.client(1).read();
+  cluster.sim().run();
+  EXPECT_FALSE(fut.ready())
+      << "a fenced amnesiac server contributed to a quorum";
+  const auto verdict =
+      checker::check_tag_atomicity(cluster.history().records());
+  EXPECT_TRUE(verdict.ok) << verdict.violation;
+}
+
+// --- cluster: config-lineage GC ---------------------------------------------
+
+harness::AresClusterOptions gc_options(std::uint64_t seed = 1) {
+  harness::AresClusterOptions o;
+  o.server_pool = 14;
+  o.initial_protocol = dap::Protocol::kTreas;
+  o.initial_servers = 5;
+  o.initial_k = 3;
+  o.num_rw_clients = 3;
+  o.num_reconfigurers = 2;
+  o.config_gc = true;
+  o.seed = seed;
+  return o;
+}
+
+TEST(ConfigGc, RetiresSupersededConfigState) {
+  harness::AresCluster cluster(gc_options());
+  auto payload = make_value(make_test_value(2000, 1));
+  (void)sim::run_to_completion(cluster.sim(),
+                               cluster.client(0).write(payload));
+
+  // Move the object to a disjoint member set; finalization retires c0.
+  auto spec = cluster.make_spec(dap::Protocol::kTreas, 5, 5, 3);
+  (void)sim::run_to_completion(cluster.sim(),
+                               cluster.reconfigurer(0).reconfig(spec));
+  cluster.sim().run();  // let the retirement broadcast land everywhere
+
+  std::size_t tombstones = 0;
+  std::uint64_t reclaimed = 0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    tombstones += cluster.servers()[i]->gc().retired_count();
+    reclaimed += cluster.servers()[i]->gc().bytes_reclaimed();
+    // Old members held only c0 state; after retirement they hold nothing.
+    EXPECT_EQ(cluster.servers()[i]->stored_data_bytes(), 0u)
+        << "server " << i << " kept superseded-config data";
+  }
+  EXPECT_EQ(tombstones, 5u);
+  EXPECT_GT(reclaimed, 0u);
+
+  // The data lives on in the successor configuration.
+  const auto tv =
+      sim::run_to_completion(cluster.sim(), cluster.client(1).read());
+  EXPECT_EQ(*tv.value, *payload);
+}
+
+TEST(ConfigGc, StragglerIsBouncedThroughResync) {
+  // Client 2 sleeps through a chain of reconfigurations; its first contact
+  // hits only retired state. The RetiredReply bounce must push it through
+  // the Alg-4 re-sync to the live configuration — and return the current
+  // value, not an error and not stale state.
+  harness::AresCluster cluster(gc_options(7));
+  auto payload = make_value(make_test_value(512, 4));
+  const Tag wtag = sim::run_to_completion(
+      cluster.sim(), cluster.client(0).write(payload));
+  ConfigId last_cfg = cluster.initial_config();
+  for (int i = 0; i < 3; ++i) {
+    auto spec = cluster.make_spec(dap::Protocol::kTreas,
+                                  static_cast<std::size_t>(5 + 2 * i), 5, 3);
+    last_cfg = spec.id;
+    (void)sim::run_to_completion(cluster.sim(),
+                                 cluster.reconfigurer(0).reconfig(spec));
+  }
+  cluster.sim().run();
+
+  // Client 2 has run no operation yet — it discovers c0 on first contact
+  // and every data phase it attempts there is answered with RetiredReply.
+  const auto tv =
+      sim::run_to_completion(cluster.sim(), cluster.client(2).read());
+  EXPECT_EQ(tv.tag, wtag);
+  EXPECT_EQ(*tv.value, *payload);
+  EXPECT_EQ(cluster.client(2).cseq().back().cfg, last_cfg)
+      << "re-sync did not reach the live configuration";
+  const auto verdict =
+      checker::check_tag_atomicity(cluster.history().records());
+  EXPECT_TRUE(verdict.ok) << verdict.violation;
+}
+
+TEST(ConfigGc, TombstonesSurviveWalRestart) {
+  // A recovered server that forgot a retirement would resurrect reclaimed
+  // state with stale tags. WalRetire records make tombstones durable.
+  auto o = gc_options(9);
+  o.wal = true;
+  harness::AresCluster cluster(o);
+  (void)sim::run_to_completion(
+      cluster.sim(),
+      cluster.client(0).write(make_value(make_test_value(256, 1))));
+  auto spec = cluster.make_spec(dap::Protocol::kTreas, 5, 5, 3);
+  (void)sim::run_to_completion(cluster.sim(),
+                               cluster.reconfigurer(0).reconfig(spec));
+  cluster.sim().run();
+  ASSERT_GE(cluster.servers()[0]->gc().retired_count(), 1u);
+
+  cluster.crash_server(0);
+  cluster.restart_server(0);
+  EXPECT_GE(cluster.servers()[0]->gc().retired_count(), 1u)
+      << "retirement tombstone lost across restart";
+}
+
+// --- cluster: GC racing concurrent reconfiguration and traffic --------------
+
+sim::Future<void> reconfig_chain(harness::AresCluster& c, std::size_t rc,
+                                 std::size_t steps) {
+  for (std::size_t i = 0; i < steps; ++i) {
+    const auto proto =
+        (rc + i) % 2 == 0 ? dap::Protocol::kTreas : dap::Protocol::kAbd;
+    auto spec = c.make_spec(proto, (3 * rc + 4 * i + 1) % c.options().server_pool,
+                            5, 3);
+    (void)co_await c.reconfigurer(rc).reconfig(std::move(spec));
+  }
+}
+
+class GcTransferRace : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GcTransferRace, ConcurrentGcReconfigAndTrafficStaysAtomic) {
+  // Two reconfigurers race whole chains — each finalize retires the
+  // predecessor while the rival's transfer reads may still be in flight —
+  // and clients read/write throughout, sampling the retire-vs-transfer and
+  // retire-vs-read races. Everything must complete (bounced operations
+  // re-sync and retry) and the recorded history must stay atomic.
+  auto o = gc_options(GetParam());
+  o.wal = true;  // journal the churn too: retire + cseq records interleave
+  harness::AresCluster cluster(o);
+  (void)sim::run_to_completion(
+      cluster.sim(),
+      cluster.client(0).write(make_value(make_test_value(256, 1))));
+
+  auto chain0 = reconfig_chain(cluster, 0, 2);
+  auto chain1 = reconfig_chain(cluster, 1, 2);
+
+  harness::WorkloadOptions opt;
+  opt.ops_per_client = 6;
+  opt.think_max = 40;
+  opt.seed = GetParam() + 13;
+  const auto result =
+      harness::run_workload(cluster.sim(), cluster.stores(), opt);
+  ASSERT_TRUE(result.completed);
+  ASSERT_EQ(result.failures, 0u);
+  sim::run_to_completion(cluster.sim(), std::move(chain0));
+  sim::run_to_completion(cluster.sim(), std::move(chain1));
+  cluster.sim().run();
+
+  const auto verdict =
+      checker::check_tag_atomicity(cluster.history().records());
+  EXPECT_TRUE(verdict.ok) << verdict.violation;
+
+  // The survivors agree: a fresh read completes against the final lineage.
+  const auto tv =
+      sim::run_to_completion(cluster.sim(), cluster.client(2).read());
+  EXPECT_TRUE(tv.value != nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GcTransferRace,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace ares

@@ -12,6 +12,8 @@
 #include "consensus/paxos.hpp"
 #include "dap/messages.hpp"
 #include "ldr/messages.hpp"
+#include "storage/messages.hpp"
+#include "storage/records.hpp"
 #include "treas/messages.hpp"
 
 #include <gtest/gtest.h>
@@ -469,6 +471,85 @@ const std::map<std::string, Generator>& generators() {
         t.object = r32(g);
         t.tag = rtag(g);
       }
+      return p;
+    });
+
+    // storage: config-lineage GC protocol
+    add([](Rng& g) {
+      auto p = std::make_shared<ares::sim::RetiredReply>();
+      fill_reply(*p, g);
+      p->config = r32(g);
+      p->object = r32(g);
+      p->successor = rcseq(g);
+      return p;
+    });
+    add([](Rng& g) {
+      auto p = std::make_shared<ares::storage::RetireConfigReq>();
+      fill_req(*p, g);
+      p->successor = rcseq(g);
+      return p;
+    });
+    add([](Rng& g) {
+      auto p = std::make_shared<ares::storage::RetireConfigAck>();
+      fill_reply(*p, g);
+      p->retired = rbool(g);
+      p->bytes_reclaimed = r64(g);
+      return p;
+    });
+
+    // storage: WAL record payloads (framed by storage::Wal on disk)
+    add([](Rng& g) {
+      auto p = std::make_shared<ares::storage::WalPut>();
+      p->config = r32(g);
+      p->object = r32(g);
+      p->tag = rtag(g);
+      p->value = rvalue(g);
+      p->fragment = ropt_frag(g);
+      return p;
+    });
+    add([](Rng& g) {
+      auto p = std::make_shared<ares::storage::WalCseq>();
+      p->config = r32(g);
+      p->object = r32(g);
+      p->next = rcseq(g);
+      return p;
+    });
+    add([](Rng& g) {
+      auto p = std::make_shared<ares::storage::WalRetire>();
+      p->config = r32(g);
+      p->object = r32(g);
+      p->successor = rcseq(g);
+      return p;
+    });
+    add([](Rng& g) {
+      auto p = std::make_shared<ares::storage::WalPaxos>();
+      p->config = r32(g);
+      p->object = r32(g);
+      p->state.promised = rballot(g);
+      p->state.has_accepted = rbool(g);
+      p->state.accepted_ballot = rballot(g);
+      p->state.accepted_value = r64(g);
+      p->state.decided = rbool(g);
+      p->state.decided_value = r64(g);
+      return p;
+    });
+    add([](Rng& g) {
+      auto p = std::make_shared<ares::storage::WalLease>();
+      p->config = r32(g);
+      p->object = r32(g);
+      p->holder = r32(g);
+      p->tag = rtag(g);
+      p->expiry = r64(g);
+      return p;
+    });
+    add([](Rng& g) {
+      auto p = std::make_shared<ares::storage::WalSnapshotHead>();
+      p->record_count = r64(g);
+      return p;
+    });
+    add([](Rng& g) {
+      auto p = std::make_shared<ares::storage::WalSnapshotTail>();
+      p->record_count = r64(g);
       return p;
     });
 
