@@ -8,14 +8,29 @@
 // p50/p99 read/write latency. Exits non-zero if any history fails the
 // atomicity check, any operation fails, or TCP throughput falls below a
 // generous sanity floor (localhost should clear it by orders of magnitude).
+//
+// --scenario=chaos runs the degraded-mode scenario instead: a saturating
+// workload over TCP while a partition lands mid-run and later heals, in two
+// shapes — one server cut off (quorums mask it: availability holds) and a
+// quorum cut off (ops degrade to *typed* timeouts bounded by the per-op
+// deadline — zero indefinite hangs). Reports availability %, timeout rate
+// and p99 per phase, measures time-to-recovery after healing, and emits
+// BENCH_net_chaos.json. Exits non-zero when a history is non-atomic, when
+// ops/sec has not recovered to >= 90% of the healthy rate within 5 s of
+// healing, or when any operation outlives deadline + backoff slack.
 #include "harness/ares_cluster.hpp"
 #include "harness/json.hpp"
 #include "harness/workload.hpp"
+#include "net/chaos.hpp"
 #include "net/cluster.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -119,21 +134,283 @@ Row run_sim(std::size_t clients) {
   return row;
 }
 
+// --- degraded-mode scenario (--scenario=chaos) -------------------------------
+
+constexpr SimDuration kChaosDeadlineUs = 300'000;
+constexpr double kWarmupS = 0.5;
+constexpr double kHealthyS = 1.5;
+constexpr double kDegradedS = 2.0;
+constexpr double kPostHealS = 6.0;
+constexpr double kRecoverWithinS = 5.0;
+constexpr double kRecoverFraction = 0.9;
+// Typed-failure bound: deadline + 2x the retransmission backoff cap (1 s)
+// + the runtime's abort grace. Anything beyond this counts as a hang.
+constexpr double kOpBoundS = 0.3 + 2.0 + 2.0;
+
+struct TimedOp {
+  SimTime start = 0;
+  SimTime end = 0;
+  api::OpStatus status = api::OpStatus::kOk;
+};
+
+struct PhaseStats {
+  std::string phase;
+  double dur_s = 0;
+  std::size_t attempted = 0;
+  std::size_t ok = 0;
+  std::size_t timeouts = 0;
+  std::size_t unreachable = 0;
+  double availability = 0;  // ok / attempted
+  double timeout_rate = 0;  // (timeouts + unreachable) / attempted
+  double ops_per_sec = 0;   // completed-Ok rate
+  double p99_ms = 0;        // over ALL ops (typed failures included)
+};
+
+PhaseStats phase_stats(const std::string& name, const std::vector<TimedOp>& ops,
+                       SimTime lo, SimTime hi) {
+  PhaseStats st;
+  st.phase = name;
+  st.dur_s = static_cast<double>(hi - lo) / 1e6;
+  std::vector<double> lat;
+  for (const TimedOp& op : ops) {
+    if (op.end < lo || op.end >= hi) continue;
+    ++st.attempted;
+    if (op.status == api::OpStatus::kOk) ++st.ok;
+    if (op.status == api::OpStatus::kTimeout) ++st.timeouts;
+    if (op.status == api::OpStatus::kQuorumUnreachable) ++st.unreachable;
+    lat.push_back(static_cast<double>(op.end - op.start) / 1e3);
+  }
+  if (st.attempted > 0) {
+    st.availability = static_cast<double>(st.ok) / st.attempted;
+    st.timeout_rate =
+        static_cast<double>(st.timeouts + st.unreachable) / st.attempted;
+    const std::size_t idx = (lat.size() * 99) / 100;
+    std::nth_element(lat.begin(), lat.begin() + static_cast<std::ptrdiff_t>(
+                                      std::min(idx, lat.size() - 1)),
+                     lat.end());
+    st.p99_ms = lat[std::min(idx, lat.size() - 1)];
+  }
+  if (st.dur_s > 0) st.ops_per_sec = static_cast<double>(st.ok) / st.dur_s;
+  return st;
+}
+
+struct ScenarioResult {
+  std::string name;
+  bool atomic_ok = false;
+  bool bounded_ok = false;    // no op outlived kOpBoundS
+  double recovered_after_s = -1;  // -1 = never within the post window
+  double healthy_ops_per_sec = 0;
+  double max_op_s = 0;
+  std::vector<PhaseStats> phases;
+};
+
+/// Saturating mixed workload over TCP; `mid_run_groups` is installed as a
+/// symmetric partition after the healthy window and healed kDegradedS
+/// later. Client pids are appended to the last group (they stay connected
+/// to whatever servers share it).
+ScenarioResult run_chaos_scenario(const std::string& name,
+                                  std::vector<std::vector<ProcessId>> groups) {
+  auto chaos = std::make_shared<net::ChaosController>(42);
+  net::NetClusterOptions o;
+  o.servers = 3;
+  o.protocol = dap::Protocol::kAbd;
+  o.num_clients = 4;
+  o.num_objects = kObjects;
+  o.seed = 42;
+  o.chaos = chaos;
+  o.op_deadline_us = kChaosDeadlineUs;
+  net::NetCluster cluster(o);
+  for (std::size_t c = 0; c < o.num_clients; ++c) {
+    groups.back().push_back(static_cast<ProcessId>(100 + c));
+  }
+
+  for (ObjectId obj = 0; obj < kObjects; ++obj) {
+    (void)cluster.write(0, obj, std::make_shared<Value>(kValueSize,
+                                                        std::uint8_t{0xB0}));
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<TimedOp>> per_client(o.num_clients);
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < o.num_clients; ++c) {
+    threads.emplace_back([&cluster, &stop, &per_client, c] {
+      Rng rng(1000 + c);
+      std::uint8_t fill = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const ObjectId obj = static_cast<ObjectId>(rng.uniform(0, kObjects - 1));
+        const bool is_write = rng.chance(kWriteFraction);
+        TimedOp op;
+        op.start = net::NodeRuntime::unix_now_us();
+        const OpResult r =
+            is_write ? cluster.write(c, obj, std::make_shared<Value>(
+                                                 kValueSize, ++fill))
+                     : cluster.read(c, obj);
+        op.end = net::NodeRuntime::unix_now_us();
+        op.status = r.status;
+        per_client[c].push_back(op);
+      }
+    });
+  }
+
+  const auto sleep_s = [](double s) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<std::int64_t>(s * 1e6)));
+  };
+  const SimTime t0 = net::NodeRuntime::unix_now_us();
+  sleep_s(kWarmupS + kHealthyS);
+  const SimTime t_part = net::NodeRuntime::unix_now_us();
+  chaos->partition(groups);
+  sleep_s(kDegradedS);
+  const SimTime t_heal = net::NodeRuntime::unix_now_us();
+  chaos->heal();
+  sleep_s(kPostHealS);
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  const SimTime t_end = net::NodeRuntime::unix_now_us();
+
+  std::vector<TimedOp> ops;
+  for (const auto& v : per_client) ops.insert(ops.end(), v.begin(), v.end());
+
+  ScenarioResult res;
+  res.name = name;
+  res.phases.push_back(phase_stats(
+      "healthy", ops, t0 + static_cast<SimTime>(kWarmupS * 1e6), t_part));
+  res.phases.push_back(phase_stats("degraded", ops, t_part, t_heal));
+  res.phases.push_back(phase_stats("post_heal", ops, t_heal, t_end));
+  res.healthy_ops_per_sec = res.phases[0].ops_per_sec;
+
+  // Time to recovery: first 500 ms bin after healing whose completed-Ok
+  // rate reaches kRecoverFraction of the healthy rate.
+  constexpr double kBinS = 0.5;
+  const double target = kRecoverFraction * res.healthy_ops_per_sec;
+  const int bins =
+      static_cast<int>(static_cast<double>(t_end - t_heal) / 1e6 / kBinS);
+  for (int b = 0; b < bins; ++b) {
+    const SimTime lo = t_heal + static_cast<SimTime>(b * kBinS * 1e6);
+    const SimTime hi = t_heal + static_cast<SimTime>((b + 1) * kBinS * 1e6);
+    std::size_t ok = 0;
+    for (const TimedOp& op : ops) {
+      if (op.end >= lo && op.end < hi && op.status == api::OpStatus::kOk) ++ok;
+    }
+    if (static_cast<double>(ok) / kBinS >= target) {
+      res.recovered_after_s = (b + 1) * kBinS;
+      break;
+    }
+  }
+
+  for (const TimedOp& op : ops) {
+    res.max_op_s =
+        std::max(res.max_op_s, static_cast<double>(op.end - op.start) / 1e6);
+  }
+  res.bounded_ok = res.max_op_s <= kOpBoundS;
+  res.atomic_ok = true;
+  for (const auto& [obj, verdict] : cluster.check_atomicity()) {
+    res.atomic_ok = res.atomic_ok && verdict.ok;
+  }
+  return res;
+}
+
+int run_chaos(const std::string& out_path) {
+  std::vector<ScenarioResult> scenarios;
+  // One server partitioned away: quorums {1,2} mask it entirely.
+  scenarios.push_back(
+      run_chaos_scenario("minority_partition", {{0}, {1, 2}}));
+  // A quorum partitioned away: every op fails *typed* within its deadline,
+  // and the moment the partition heals the cluster recovers.
+  scenarios.push_back(run_chaos_scenario("quorum_partition", {{0, 1}, {2}}));
+
+  bool ok = true;
+  harness::Json jscen = harness::Json::array();
+  for (const ScenarioResult& s : scenarios) {
+    std::printf("%s: atomic=%d bounded=%d (max op %.2fs) recovered_after=%.1fs\n",
+                s.name.c_str(), s.atomic_ok, s.bounded_ok, s.max_op_s,
+                s.recovered_after_s);
+    std::printf("  %-10s %8s %8s %8s %12s %10s %10s\n", "phase", "ops", "avail",
+                "t/o rate", "ok ops/sec", "p99_ms", "dur_s");
+    harness::Json jphases = harness::Json::array();
+    for (const PhaseStats& p : s.phases) {
+      std::printf("  %-10s %8zu %7.1f%% %7.1f%% %12.1f %10.2f %10.2f\n",
+                  p.phase.c_str(), p.attempted, 100 * p.availability,
+                  100 * p.timeout_rate, p.ops_per_sec, p.p99_ms, p.dur_s);
+      harness::Json jp = harness::Json::object();
+      jp.set("phase", p.phase)
+          .set("dur_s", p.dur_s)
+          .set("attempted", p.attempted)
+          .set("ok", p.ok)
+          .set("timeouts", p.timeouts)
+          .set("unreachable", p.unreachable)
+          .set("availability", p.availability)
+          .set("timeout_rate", p.timeout_rate)
+          .set("ok_ops_per_sec", p.ops_per_sec)
+          .set("p99_ms", p.p99_ms);
+      jphases.push(std::move(jp));
+    }
+    harness::Json js = harness::Json::object();
+    js.set("scenario", s.name)
+        .set("atomic_ok", s.atomic_ok)
+        .set("bounded_ok", s.bounded_ok)
+        .set("max_op_s", s.max_op_s)
+        .set("healthy_ops_per_sec", s.healthy_ops_per_sec)
+        .set("recovered_after_s", s.recovered_after_s)
+        .set("phases", std::move(jphases));
+    jscen.push(std::move(js));
+
+    ok = ok && s.atomic_ok && s.bounded_ok;
+    // Recovery gate: >= 90% of the healthy rate within 5 s of healing.
+    ok = ok && s.recovered_after_s >= 0 &&
+         s.recovered_after_s <= kRecoverWithinS;
+    // Sanity floor on the healthy phase, as in the throughput scenario.
+    ok = ok && s.healthy_ops_per_sec > 50.0;
+    if (s.name == "minority_partition") {
+      // One dead server must be masked by the surviving quorum.
+      ok = ok && s.phases[1].availability >= 0.95;
+    }
+  }
+
+  harness::Json doc = harness::Json::object();
+  doc.set("bench", "net_chaos")
+      .set("servers", 3)
+      .set("clients", 4)
+      .set("objects", kObjects)
+      .set("write_fraction", kWriteFraction)
+      .set("value_size", kValueSize)
+      .set("op_deadline_ms", kChaosDeadlineUs / 1000)
+      .set("recover_within_s", kRecoverWithinS)
+      .set("recover_fraction", kRecoverFraction)
+      .set("scenarios", std::move(jscen));
+  harness::write_json_file(out_path, doc);
+
+  if (!ok) {
+    std::fprintf(stderr, "bench_net: chaos scenario gate failed\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string transport = "both";
-  std::string out_path = "BENCH_net.json";
+  std::string scenario = "throughput";
+  std::string out_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--transport=", 0) == 0) transport = arg.substr(12);
+    if (arg.rfind("--scenario=", 0) == 0) scenario = arg.substr(11);
     if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
   }
-  if (transport != "both" && transport != "tcp" && transport != "sim") {
-    std::fprintf(stderr, "usage: %s [--transport=tcp|sim|both] [--out=PATH]\n",
+  if ((transport != "both" && transport != "tcp" && transport != "sim") ||
+      (scenario != "throughput" && scenario != "chaos")) {
+    std::fprintf(stderr,
+                 "usage: %s [--transport=tcp|sim|both] "
+                 "[--scenario=throughput|chaos] [--out=PATH]\n",
                  argv[0]);
     return 2;
   }
+  if (scenario == "chaos") {
+    return run_chaos(out_path.empty() ? "BENCH_net_chaos.json" : out_path);
+  }
+  if (out_path.empty()) out_path = "BENCH_net.json";
 
   const std::vector<std::size_t> client_counts = {2, 4};
   std::vector<Row> rows;

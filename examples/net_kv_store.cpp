@@ -7,7 +7,15 @@
 // returns a wrong value, or the merged history fails the atomicity check.
 //
 //   ./example_net_kv_store              # orchestrator (default)
+//   ./example_net_kv_store --chaos      # + client-side fault injection
 //   ./example_net_kv_store server <id>  # internal: one server process
+//
+// --chaos runs an extra phase before the SIGKILL: a shared ChaosController
+// on the clients injects message loss, duplication, connection resets,
+// torn frames and a partition window while operations keep flowing —
+// quorum-round retransmission with backoff must carry every op to a
+// correct completion over the degraded wire (the servers are plain
+// processes; all faults are injected on the client side of the socket).
 //
 // Read leases stay off here: lease windows compare server-side expiries
 // against client clocks, which is exact in-process but needs the ε skew
@@ -19,6 +27,7 @@
 #include "checker/atomicity.hpp"
 #include "checker/history.hpp"
 #include "dap/config.hpp"
+#include "net/chaos.hpp"
 #include "net/cluster.hpp"
 #include "net/runtime.hpp"
 #include "net/tcp_transport.hpp"
@@ -78,16 +87,29 @@ int run_server(ProcessId id) {
 struct Client {
   net::NodeRuntime rt;
   net::TcpTransport tcp;
+  std::unique_ptr<net::ChaosTransport> chaos;
   checker::HistoryRecorder history;
   std::unique_ptr<reconfig::AresClient> client;
   std::unique_ptr<api::AresStore> store;
 
   Client(std::uint64_t seed, ProcessId id, dap::ConfigRegistry& registry,
-         std::shared_ptr<net::AddressBook> book)
+         std::shared_ptr<net::AddressBook> book,
+         std::shared_ptr<net::ChaosController> ctrl = nullptr)
       : rt(seed), tcp(rt, std::move(book)) {
-    client = std::make_unique<reconfig::AresClient>(rt.simulator(), tcp, id,
+    if (ctrl) {
+      tcp.set_chaos(ctrl);
+      chaos = std::make_unique<net::ChaosTransport>(rt, tcp, ctrl);
+    }
+    sim::Transport& wire = chaos ? static_cast<sim::Transport&>(*chaos) : tcp;
+    client = std::make_unique<reconfig::AresClient>(rt.simulator(), wire, id,
                                                     registry, 0, &history);
+    if (ctrl) {
+      // A degraded wire needs the quorum-round retransmission layer for
+      // liveness, and a deadline so a surprise never hangs the example.
+      client->set_retransmit_policy(net::default_net_retransmit());
+    }
     store = std::make_unique<api::AresStore>(*client);
+    if (ctrl) store->set_op_deadline(10'000'000);
     tcp.start();
   }
 
@@ -109,7 +131,7 @@ std::string to_string(const ValuePtr& v) {
   return v ? std::string(v->begin(), v->end()) : std::string();
 }
 
-int run_orchestrator(const char* self) {
+int run_orchestrator(const char* self, bool chaos_mode) {
   // Spawn the three server processes, each reporting its port on a pipe.
   std::vector<pid_t> pids;
   auto book = std::make_shared<net::AddressBook>();
@@ -142,8 +164,10 @@ int run_orchestrator(const char* self) {
 
   dap::ConfigRegistry registry;
   registry.register_config(initial_config());
-  Client alice(101, 100, registry, book);
-  Client bob(102, 101, registry, book);
+  auto ctrl =
+      chaos_mode ? std::make_shared<net::ChaosController>(7) : nullptr;
+  Client alice(101, 100, registry, book, ctrl);
+  Client bob(102, 101, registry, book, ctrl);
 
   bool ok = true;
   const auto expect = [&](bool cond, const char* what) {
@@ -160,6 +184,32 @@ int run_orchestrator(const char* self) {
     expect(to_string(bob.read(0).value) == v, "read returns latest write");
   }
   std::printf("phase 1: 20 ops against 3/3 servers ok\n");
+
+  if (chaos_mode) {
+    // Chaos phase: degrade the clients' side of every socket — message
+    // loss, duplicate delivery, connection resets, torn frames — and cut
+    // server 2 off behind a partition. Retransmission with backoff must
+    // carry every operation to a correct completion over quorums {0,1}.
+    ctrl->set_loss(0.15);
+    ctrl->set_duplicate(0.2);
+    ctrl->set_reset_rate(0.05);
+    ctrl->set_torn_rate(0.05);
+    ctrl->partition({{2}, {0, 1, 100, 101}});
+    for (int i = 0; i < 10 && ok; ++i) {
+      const std::string v = "c" + std::to_string(i);
+      expect(alice.write(0, v).ok(), "write completes under chaos");
+      const auto r = bob.read(0);
+      expect(r.ok(), "read completes under chaos");
+      expect(to_string(r.value) == v, "read under chaos returns latest write");
+    }
+    ctrl->clear_all();
+    std::printf(
+        "chaos phase: 20 ops under loss/dup/reset/tear + partition ok "
+        "(%llu msgs dropped, %llu frames torn, %llu reset)\n",
+        static_cast<unsigned long long>(ctrl->messages_dropped()),
+        static_cast<unsigned long long>(ctrl->frames_torn()),
+        static_cast<unsigned long long>(ctrl->frames_reset()));
+  }
 
   // Phase 2: SIGKILL one server mid-run; a majority of 2/3 must carry on.
   ::kill(pids[2], SIGKILL);
@@ -201,5 +251,7 @@ int main(int argc, char** argv) {
   if (argc >= 3 && std::strcmp(argv[1], "server") == 0) {
     return run_server(static_cast<ProcessId>(std::atoi(argv[2])));
   }
-  return run_orchestrator(argv[0]);
+  const bool chaos_mode =
+      argc >= 2 && std::strcmp(argv[1], "--chaos") == 0;
+  return run_orchestrator(argv[0], chaos_mode);
 }

@@ -4,41 +4,100 @@
 
 namespace ares::api {
 
+namespace {
+
+/// Arm a one-shot deadline alarm on the client's simulator. When it fires
+/// (and the returned flag is still true), every pending quorum wait of the
+/// client process fails with sim::OpAborted — the suspended operation
+/// unwinds through its frame destructors (InflightGuards, cseq pins) and
+/// the adapter below maps the exception to a typed OpStatus. Works on both
+/// backends: the deterministic simulator runs the timer in virtual time,
+/// NodeRuntime pumps it at the corresponding wall-clock instant.
+std::shared_ptr<bool> arm_deadline(reconfig::AresClient& client,
+                                   SimDuration deadline_us) {
+  if (deadline_us == 0) return nullptr;
+  client.set_abortable_waits(true);
+  auto armed = std::make_shared<bool>(true);
+  auto* cl = &client;
+  client.simulator().schedule_after(
+      deadline_us, [armed, alive = client.liveness(), cl] {
+        if (!*armed || alive.expired()) return;
+        cl->abort_pending_waits(std::make_exception_ptr(
+            sim::OpAborted(sim::OpAborted::Reason::kDeadline)));
+      });
+  return armed;
+}
+
+void disarm(const std::shared_ptr<bool>& armed) {
+  if (armed) *armed = false;
+}
+
+OpStatus status_of(const sim::OpAborted& e) {
+  return e.reason == sim::OpAborted::Reason::kCancelled ? OpStatus::kCancelled
+                                                        : OpStatus::kTimeout;
+}
+
+}  // namespace
+
 const sim::TrafficStats* AresStore::traffic() const {
   return &client_.traffic();
 }
 
 sim::Future<OpResult> AresStore::read(ObjectId obj) {
   const auto before = detail::sample(traffic());
-  auto op = client_.read(obj);
-  TagValue tv = co_await op;
   OpResult r;
   r.object = obj;
-  r.tag = tv.tag;
-  r.value = tv.value;
+  auto armed = arm_deadline(client_, op_deadline());
+  try {
+    auto op = client_.read(obj);
+    TagValue tv = co_await op;
+    r.tag = tv.tag;
+    r.value = tv.value;
+  } catch (const sim::OpAborted& e) {
+    r.status = status_of(e);
+  } catch (const sim::ConfigRetired&) {
+    r.status = OpStatus::kRetired;
+  }
+  disarm(armed);
   r.metrics = detail::delta(before, traffic());
   co_return r;
 }
 
 sim::Future<OpResult> AresStore::write(ObjectId obj, ValuePtr value) {
   const auto before = detail::sample(traffic());
-  auto op = client_.write(obj, std::move(value));
-  const Tag tag = co_await op;
   OpResult r;
   r.object = obj;
   r.is_write = true;
-  r.tag = tag;
+  auto armed = arm_deadline(client_, op_deadline());
+  try {
+    auto op = client_.write(obj, std::move(value));
+    const Tag tag = co_await op;
+    r.tag = tag;
+  } catch (const sim::OpAborted& e) {
+    r.status = status_of(e);
+  } catch (const sim::ConfigRetired&) {
+    r.status = OpStatus::kRetired;
+  }
+  disarm(armed);
   r.metrics = detail::delta(before, traffic());
   co_return r;
 }
 
 sim::Future<OpResult> AresStore::reconfig(ObjectId obj, dap::ConfigSpec spec) {
   const auto before = detail::sample(traffic());
-  auto op = client_.reconfig(obj, std::move(spec));
-  const ConfigId installed = co_await op;
   OpResult r;
   r.object = obj;
-  r.installed = installed;
+  auto armed = arm_deadline(client_, op_deadline());
+  try {
+    auto op = client_.reconfig(obj, std::move(spec));
+    const ConfigId installed = co_await op;
+    r.installed = installed;
+  } catch (const sim::OpAborted& e) {
+    r.status = status_of(e);
+  } catch (const sim::ConfigRetired&) {
+    r.status = OpStatus::kRetired;
+  }
+  disarm(armed);
   r.metrics = detail::delta(before, traffic());
   co_return r;
 }
@@ -46,15 +105,23 @@ sim::Future<OpResult> AresStore::reconfig(ObjectId obj, dap::ConfigSpec spec) {
 sim::Future<std::vector<OpResult>> AresStore::read_many(
     std::span<const ObjectId> objs) {
   const auto before = detail::sample(traffic());
-  std::vector<ObjectId> keys(objs.begin(), objs.end());
-  auto op = client_.read_batch(std::move(keys));
-  auto tvs = co_await op;
-  std::vector<OpResult> out(tvs.size());
-  for (std::size_t i = 0; i < tvs.size(); ++i) {
-    out[i].object = objs[i];
-    out[i].tag = tvs[i].tag;
-    out[i].value = tvs[i].value;
+  std::vector<OpResult> out(objs.size());
+  for (std::size_t i = 0; i < objs.size(); ++i) out[i].object = objs[i];
+  auto armed = arm_deadline(client_, op_deadline());
+  try {
+    std::vector<ObjectId> keys(objs.begin(), objs.end());
+    auto op = client_.read_batch(std::move(keys));
+    auto tvs = co_await op;
+    for (std::size_t i = 0; i < tvs.size(); ++i) {
+      out[i].tag = tvs[i].tag;
+      out[i].value = tvs[i].value;
+    }
+  } catch (const sim::OpAborted& e) {
+    for (auto& r : out) r.status = status_of(e);
+  } catch (const sim::ConfigRetired&) {
+    for (auto& r : out) r.status = OpStatus::kRetired;
   }
+  disarm(armed);
   const OpMetrics total = detail::delta(before, traffic());
   detail::amortize(out, total);
   co_return out;
@@ -63,22 +130,30 @@ sim::Future<std::vector<OpResult>> AresStore::read_many(
 sim::Future<std::vector<OpResult>> AresStore::write_many(
     std::span<const WriteOp> ops) {
   const auto before = detail::sample(traffic());
-  std::vector<ObjectId> keys;
-  std::vector<ValuePtr> values;
-  keys.reserve(ops.size());
-  values.reserve(ops.size());
-  for (const WriteOp& op : ops) {
-    keys.push_back(op.object);
-    values.push_back(op.value);
-  }
-  auto batch = client_.write_batch(std::move(keys), std::move(values));
-  auto tags = co_await batch;
-  std::vector<OpResult> out(tags.size());
-  for (std::size_t i = 0; i < tags.size(); ++i) {
+  std::vector<OpResult> out(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
     out[i].object = ops[i].object;
     out[i].is_write = true;
-    out[i].tag = tags[i];
   }
+  auto armed = arm_deadline(client_, op_deadline());
+  try {
+    std::vector<ObjectId> keys;
+    std::vector<ValuePtr> values;
+    keys.reserve(ops.size());
+    values.reserve(ops.size());
+    for (const WriteOp& op : ops) {
+      keys.push_back(op.object);
+      values.push_back(op.value);
+    }
+    auto batch = client_.write_batch(std::move(keys), std::move(values));
+    auto tags = co_await batch;
+    for (std::size_t i = 0; i < tags.size(); ++i) out[i].tag = tags[i];
+  } catch (const sim::OpAborted& e) {
+    for (auto& r : out) r.status = status_of(e);
+  } catch (const sim::ConfigRetired&) {
+    for (auto& r : out) r.status = OpStatus::kRetired;
+  }
+  disarm(armed);
   const OpMetrics total = detail::delta(before, traffic());
   detail::amortize(out, total);
   co_return out;

@@ -34,6 +34,14 @@ class StaticStore final : public Store {
   [[nodiscard]] harness::StaticClient& client() { return client_; }
 
  private:
+  /// The batch orchestration bodies; the public read_many/write_many wrap
+  /// them with the per-op deadline alarm and map sim::OpAborted to a typed
+  /// per-member OpStatus.
+  [[nodiscard]] sim::Future<std::vector<OpResult>> read_many_impl(
+      std::span<const ObjectId> objs);
+  [[nodiscard]] sim::Future<std::vector<OpResult>> write_many_impl(
+      std::span<const WriteOp> ops);
+
   harness::StaticClient& client_;
 };
 

@@ -4,6 +4,17 @@
 
 namespace ares::api {
 
+const char* to_string(OpStatus s) {
+  switch (s) {
+    case OpStatus::kOk: return "ok";
+    case OpStatus::kTimeout: return "timeout";
+    case OpStatus::kQuorumUnreachable: return "quorum-unreachable";
+    case OpStatus::kRetired: return "retired";
+    case OpStatus::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
 sim::Future<OpResult> Store::reconfig(ObjectId obj, dap::ConfigSpec spec) {
   (void)obj;
   (void)spec;

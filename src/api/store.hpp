@@ -50,14 +50,40 @@ struct OpMetrics {
   [[nodiscard]] bool local() const { return rounds == 0 && messages == 0; }
 };
 
+/// Typed outcome of one Store operation. Anything other than kOk means the
+/// operation did NOT take effect observably (a timed-out write may still
+/// land on some servers — the history checker treats it like a crashed
+/// writer, which tag atomicity already tolerates).
+enum class OpStatus : std::uint8_t {
+  kOk = 0,
+  /// The per-op deadline expired before a quorum answered. The operation's
+  /// coroutine frames were unwound (in-flight guards and cseq pins
+  /// released); retrying is always safe.
+  kTimeout,
+  /// Fast-failed before sending: the failure detector currently suspects
+  /// too many quorum members for the protocol's quorum size. Cheap to
+  /// retry after the detector heals (frame receipt unsuspects).
+  kQuorumUnreachable,
+  /// Every configuration the client could reach reported the addressed
+  /// lineage retired and re-traversal did not converge within the deadline.
+  kRetired,
+  /// Explicitly cancelled by the caller.
+  kCancelled,
+};
+
+[[nodiscard]] const char* to_string(OpStatus s);
+
 /// The outcome of one Store operation.
 struct OpResult {
   ObjectId object = kDefaultObject;
   bool is_write = false;
+  OpStatus status = OpStatus::kOk;
   Tag tag;                         // read: tag returned; write: tag written
   ValuePtr value;                  // read: value returned (null for writes)
   ConfigId installed = kNoConfig;  // reconfig: config that won the GL slot
   OpMetrics metrics;
+
+  [[nodiscard]] bool ok() const { return status == OpStatus::kOk; }
 };
 
 /// One member of a write_many batch.
@@ -104,6 +130,18 @@ class Store {
   [[nodiscard]] virtual const sim::TrafficStats* traffic() const {
     return nullptr;
   }
+
+  /// Per-operation deadline in time units (µs of wall time on the socket
+  /// backend), 0 = none. When set, an operation that has not completed by
+  /// its deadline has its pending quorum waits aborted and returns
+  /// OpStatus::kTimeout instead of waiting indefinitely. Applies to every
+  /// subsequent operation on this store; one store drives one operation at
+  /// a time (the abort hits every wait of the owning client process).
+  void set_op_deadline(SimDuration deadline_us) { op_deadline_us_ = deadline_us; }
+  [[nodiscard]] SimDuration op_deadline() const { return op_deadline_us_; }
+
+ protected:
+  SimDuration op_deadline_us_ = 0;
 };
 
 namespace detail {
@@ -143,6 +181,7 @@ namespace ares {
 // The canonical spelling: `ares::Store` is the client surface.
 using api::OpMetrics;
 using api::OpResult;
+using api::OpStatus;
 using api::Store;
 using api::WriteOp;
 }  // namespace ares

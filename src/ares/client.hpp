@@ -161,6 +161,15 @@ class AresClient : public sim::Process {
   /// True while this client holds a currently-valid lease on `obj`.
   [[nodiscard]] bool holds_lease(ObjectId obj) const;
 
+  /// In-flight guard count currently held on `obj` — the cseq pins that
+  /// block trim_cseq while operations are suspended. Diagnostics/tests: a
+  /// timed-out (aborted) operation must have unwound back to 0, proving
+  /// the abort released its InflightGuards. 0 for untouched objects.
+  [[nodiscard]] std::size_t inflight_marks(ObjectId obj) const {
+    auto it = objects_.find(obj);
+    return it == objects_.end() ? 0 : it->second.inflight;
+  }
+
   /// Reads served entirely from the lease cache (diagnostics/tests).
   [[nodiscard]] std::uint64_t lease_local_reads() const {
     return lease_local_reads_;

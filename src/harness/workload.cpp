@@ -105,12 +105,16 @@ sim::Future<void> client_loop(sim::Simulator* sim, api::Store* store,
       stat.end = end;
       stat.batch = keys.size();
       if (!failed && i < results.size()) {
+        stat.status = results[i].status;
+        stat.failed = !results[i].ok();
         stat.rounds = results[i].metrics.rounds;
         stat.messages = results[i].metrics.messages;
         stat.bytes = results[i].metrics.bytes;
         stat.elided = results[i].metrics.elided_rounds;
+      } else if (failed) {
+        stat.status = api::OpStatus::kTimeout;
       }
-      if (failed) ++shared->failures;
+      if (stat.failed) ++shared->failures;
       shared->ops.push_back(stat);
       if (opt.on_op) {
         try {

@@ -133,6 +133,9 @@ class KeyPicker {
 struct OpStat {
   bool is_write = false;
   bool failed = false;  // threw (e.g. retry exhaustion); end is still set
+  /// Typed outcome from the Store (kOk unless the op failed; a thrown op
+  /// with no typed result is accounted as kTimeout).
+  api::OpStatus status = api::OpStatus::kOk;
   ObjectId object = kDefaultObject;
   SimTime start = 0;
   SimTime end = 0;
@@ -172,6 +175,15 @@ struct WorkloadResult {
   std::vector<OpStat> ops;
   std::size_t failures = 0;   // operations that threw (e.g. retry exhaustion)
   bool completed = false;     // all client loops finished within the budget
+
+  /// Operations that ended with the given typed status.
+  [[nodiscard]] std::size_t status_count(api::OpStatus s) const {
+    std::size_t n = 0;
+    for (const auto& o : ops) {
+      if (o.status == s) ++n;
+    }
+    return n;
+  }
 
   /// Mean latency of *successful* reads or writes.
   [[nodiscard]] double mean_latency(bool writes) const {

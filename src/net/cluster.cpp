@@ -9,9 +9,10 @@ namespace ares::net {
 
 namespace {
 
-TcpTransport::Options listen_options() {
+TcpTransport::Options listen_options(const std::string& host) {
   TcpTransport::Options o;
   o.listen = true;
+  o.listen_host = host;
   return o;
 }
 
@@ -21,13 +22,19 @@ TcpTransport::Options listen_options() {
 struct NetCluster::ServerNode {
   NodeRuntime rt;
   TcpTransport tcp;
+  std::unique_ptr<ChaosTransport> chaos;
   std::unique_ptr<reconfig::AresServer> server;
   bool alive = true;
 
   ServerNode(std::uint64_t seed, ProcessId id, const dap::ConfigRegistry& reg,
-             std::shared_ptr<AddressBook> book)
-      : rt(seed), tcp(rt, std::move(book), listen_options()) {
-    server = std::make_unique<reconfig::AresServer>(rt.simulator(), tcp, id,
+             std::shared_ptr<AddressBook> book, const NetClusterOptions& o)
+      : rt(seed), tcp(rt, std::move(book), listen_options(o.host)) {
+    if (o.chaos) {
+      tcp.set_chaos(o.chaos);
+      chaos = std::make_unique<ChaosTransport>(rt, tcp, o.chaos);
+    }
+    sim::Transport& wire = chaos ? static_cast<sim::Transport&>(*chaos) : tcp;
+    server = std::make_unique<reconfig::AresServer>(rt.simulator(), wire, id,
                                                     reg);
   }
 };
@@ -38,6 +45,8 @@ struct NetCluster::ServerNode {
 struct NetCluster::ClientNode {
   NodeRuntime rt;
   TcpTransport tcp;
+  std::unique_ptr<ChaosTransport> chaos;
+  std::shared_ptr<FailureDetector> detector;
   checker::HistoryRecorder history;
   std::unique_ptr<reconfig::AresClient> client;
   std::unique_ptr<api::AresStore> store;
@@ -45,11 +54,30 @@ struct NetCluster::ClientNode {
   ClientNode(std::uint64_t seed, ProcessId id, dap::ConfigRegistry& reg,
              std::shared_ptr<AddressBook> book, const NetClusterOptions& o)
       : rt(seed), tcp(rt, std::move(book)) {
-    client = std::make_unique<reconfig::AresClient>(rt.simulator(), tcp, id,
+    if (o.failure_detector) {
+      detector = std::make_shared<FailureDetector>(o.detector);
+      tcp.set_failure_detector(detector);
+    }
+    if (o.chaos) {
+      tcp.set_chaos(o.chaos);
+      chaos = std::make_unique<ChaosTransport>(rt, tcp, o.chaos);
+    }
+    sim::Transport& wire = chaos ? static_cast<sim::Transport&>(*chaos) : tcp;
+    client = std::make_unique<reconfig::AresClient>(rt.simulator(), wire, id,
                                                     reg, /*c0=*/0, &history);
     client->set_fast_path(o.fast_path);
     client->set_lease_epsilon(o.lease_epsilon_us);
+    client->set_retransmit_policy(o.retransmit);
     store = std::make_unique<api::AresStore>(*client);
+    store->set_op_deadline(o.op_deadline_us);
+  }
+
+  /// Deadline hook for NodeRuntime::sync's backstop: abort whatever the
+  /// client is still waiting on so the op unwinds to a typed result.
+  void abort_pending() {
+    client->set_abortable_waits(true);
+    client->abort_pending_waits(std::make_exception_ptr(
+        sim::OpAborted(sim::OpAborted::Reason::kDeadline)));
   }
 };
 
@@ -82,10 +110,10 @@ NetCluster::NetCluster(NetClusterOptions options)
   for (std::size_t i = 0; i < options_.servers; ++i) {
     auto node = std::make_unique<ServerNode>(options_.seed + 1 + i,
                                              static_cast<ProcessId>(i),
-                                             registry_, book_);
+                                             registry_, book_, options_);
     node->tcp.start();
     book_->set(static_cast<ProcessId>(i),
-               Endpoint{"127.0.0.1", node->tcp.port()});
+               Endpoint{options_.host, node->tcp.port()});
     node->rt.start_driver();
     servers_.push_back(std::move(node));
   }
@@ -112,22 +140,60 @@ NetCluster::~NetCluster() {
   }
 }
 
+std::size_t NetCluster::quorum_size() const {
+  const std::size_t n = options_.servers;
+  if (options_.protocol == dap::Protocol::kTreas) {
+    return (n + options_.k + 1) / 2;  // ⌈(n+k)/2⌉
+  }
+  return n / 2 + 1;
+}
+
+bool NetCluster::quorum_reachable(ClientNode& n) {
+  if (!n.detector) return true;
+  const SimTime now = NodeRuntime::unix_now_us();
+  std::size_t reachable = 0;
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    if (!n.detector->suspected(static_cast<ProcessId>(i), now)) ++reachable;
+  }
+  if (reachable >= quorum_size()) return true;
+  // Let one op per probe interval through anyway: its (probe-gated) frames
+  // are the only way a healed server can ever be re-discovered.
+  return n.detector->allow_op_probe(now);
+}
+
+OpResult NetCluster::unreachable_result(ObjectId obj, bool is_write) {
+  OpResult r;
+  r.object = obj;
+  r.is_write = is_write;
+  r.status = OpStatus::kQuorumUnreachable;
+  return r;
+}
+
 OpResult NetCluster::read(std::size_t c, ObjectId obj) {
   auto& n = *clients_.at(c);
-  return n.rt.sync([&] { return n.store->read(obj); }, options_.op_timeout_us);
+  if (!quorum_reachable(n)) return unreachable_result(obj, false);
+  return n.rt.sync([&] { return n.store->read(obj); }, options_.op_timeout_us,
+                   [&n] { n.abort_pending(); });
 }
 
 OpResult NetCluster::write(std::size_t c, ObjectId obj, ValuePtr value) {
   auto& n = *clients_.at(c);
+  if (!quorum_reachable(n)) return unreachable_result(obj, true);
   return n.rt.sync([&] { return n.store->write(obj, std::move(value)); },
-                   options_.op_timeout_us);
+                   options_.op_timeout_us, [&n] { n.abort_pending(); });
 }
 
 std::vector<OpResult> NetCluster::read_batch(std::size_t c,
                                              std::vector<ObjectId> objs) {
   auto& n = *clients_.at(c);
+  if (!quorum_reachable(n)) {
+    std::vector<OpResult> out;
+    out.reserve(objs.size());
+    for (ObjectId obj : objs) out.push_back(unreachable_result(obj, false));
+    return out;
+  }
   return n.rt.sync([&] { return n.store->read_many(objs); },
-                   options_.op_timeout_us);
+                   options_.op_timeout_us, [&n] { n.abort_pending(); });
 }
 
 void NetCluster::kill_server(std::size_t i) {
@@ -140,6 +206,30 @@ void NetCluster::kill_server(std::size_t i) {
 
 bool NetCluster::server_alive(std::size_t i) const {
   return servers_.at(i)->alive;
+}
+
+reconfig::AresClient& NetCluster::client(std::size_t c) {
+  return *clients_.at(c)->client;
+}
+
+const std::shared_ptr<FailureDetector>& NetCluster::detector(
+    std::size_t c) const {
+  return clients_.at(c)->detector;
+}
+
+TcpTransport& NetCluster::client_transport(std::size_t c) {
+  return clients_.at(c)->tcp;
+}
+
+TcpTransport& NetCluster::server_transport(std::size_t i) {
+  return servers_.at(i)->tcp;
+}
+
+std::size_t NetCluster::client_inflight_marks(std::size_t c, ObjectId obj) {
+  auto& n = *clients_.at(c);
+  std::size_t marks = 0;
+  n.rt.run([&] { marks = n.client->inflight_marks(obj); });
+  return marks;
 }
 
 std::vector<checker::OpRecord> NetCluster::merged_history() const {
@@ -170,6 +260,14 @@ std::uint64_t NetCluster::total_frames_received() const {
   std::uint64_t sum = 0;
   for (const auto& s : servers_) sum += s->tcp.frames_received();
   for (const auto& c : clients_) sum += c->tcp.frames_received();
+  return sum;
+}
+
+std::uint64_t NetCluster::total_retransmits() const {
+  std::uint64_t sum = 0;
+  for (const auto& c : clients_) {
+    c->rt.run([&] { sum += c->client->traffic().retransmits; });
+  }
   return sum;
 }
 
@@ -257,6 +355,8 @@ harness::WorkloadResult run_net_workload(NetCluster& cluster,
           for (const auto& r : results) {
             harness::OpStat st;
             st.is_write = r.is_write;
+            st.failed = !r.ok();
+            st.status = r.status;
             st.object = r.object;
             st.start = start;
             st.end = end;
@@ -271,6 +371,7 @@ harness::WorkloadResult run_net_workload(NetCluster& cluster,
           harness::OpStat st;
           st.is_write = is_write;
           st.failed = true;
+          st.status = api::OpStatus::kTimeout;
           st.start = start;
           st.end = NodeRuntime::unix_now_us();
           st.batch = b;

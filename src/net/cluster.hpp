@@ -22,6 +22,8 @@
 #include "checker/history.hpp"
 #include "dap/config.hpp"
 #include "harness/workload.hpp"
+#include "net/chaos.hpp"
+#include "net/failure_detector.hpp"
 #include "net/runtime.hpp"
 #include "net/tcp_transport.hpp"
 
@@ -31,7 +33,24 @@
 
 namespace ares::net {
 
+/// Quorum-round retransmission defaults for real networks: first retry at
+/// 50 ms, doubling to a 1 s cap, ±20% jitter, 6 attempts — enough to ride
+/// out a multi-second partition without melting a healthy cluster.
+/// (Safe against duplicate delivery: every protocol message is idempotent
+/// and replies are de-duplicated per rpc id — see sim::RetransmitPolicy.)
+inline sim::RetransmitPolicy default_net_retransmit() {
+  sim::RetransmitPolicy p;
+  p.enabled = true;
+  return p;
+}
+
 struct NetClusterOptions {
+  /// Loopback address the deployment binds and dials. Test suites that
+  /// kill servers use distinct 127/8 addresses so a freed ephemeral port
+  /// re-bound by a concurrently running process can never impersonate the
+  /// dead server.
+  std::string host = "127.0.0.1";
+
   std::size_t servers = 3;
   dap::Protocol protocol = dap::Protocol::kAbd;
   std::size_t k = 1;
@@ -53,8 +72,28 @@ struct NetClusterOptions {
   SimDuration treas_retry_timeout_us = 250'000;
 
   /// Patience of the blocking client surface before an operation is
-  /// declared failed (too many servers dead).
+  /// declared failed (too many servers dead). This is the outer, legacy
+  /// backstop; prefer op_deadline_us for typed failures.
   SimDuration op_timeout_us = NodeRuntime::kDefaultOpTimeoutUs;
+
+  /// Per-operation deadline (0 = none): an operation that cannot assemble
+  /// its quorums by then has its waits aborted and returns a typed
+  /// OpStatus (kTimeout) instead of hanging until op_timeout_us.
+  SimDuration op_deadline_us = 0;
+
+  /// Shared fault script: when set, every node's protocol traffic flows
+  /// through a ChaosTransport consulting this controller, and every
+  /// TcpTransport consults its socket-level script (resets, torn frames).
+  std::shared_ptr<ChaosController> chaos;
+
+  /// Per-client failure detector (suspected servers get fast-failed
+  /// frames, shrunk dial budgets, and gate operations on quorum
+  /// reachability — see FailureDetector).
+  bool failure_detector = true;
+  FailureDetector::Options detector;
+
+  /// Client-side quorum-round retransmission (servers only ever reply).
+  sim::RetransmitPolicy retransmit = default_net_retransmit();
 
   std::uint64_t seed = 1;
 };
@@ -85,6 +124,22 @@ class NetCluster {
   void kill_server(std::size_t i);
   [[nodiscard]] bool server_alive(std::size_t i) const;
 
+  /// Client `c`'s protocol object / failure detector / transport (tests,
+  /// diagnostics).
+  [[nodiscard]] reconfig::AresClient& client(std::size_t c);
+  [[nodiscard]] const std::shared_ptr<FailureDetector>& detector(
+      std::size_t c) const;
+  [[nodiscard]] TcpTransport& client_transport(std::size_t c);
+  [[nodiscard]] TcpTransport& server_transport(std::size_t i);
+
+  /// Open InflightGuard marks client `c` holds on `obj`, read under the
+  /// node lock (must drain to 0 when an op completes or aborts).
+  [[nodiscard]] std::size_t client_inflight_marks(std::size_t c, ObjectId obj);
+
+  /// Minimum unsuspected servers an operation needs (protocol-dependent:
+  /// majority, or ⌈(n+k)/2⌉ for TREAS).
+  [[nodiscard]] std::size_t quorum_size() const;
+
   /// All clients' operation records merged into one history (op ids
   /// re-keyed to stay unique across per-client recorders).
   [[nodiscard]] std::vector<checker::OpRecord> merged_history() const;
@@ -97,9 +152,22 @@ class NetCluster {
   [[nodiscard]] std::uint64_t total_frames_sent() const;
   [[nodiscard]] std::uint64_t total_frames_received() const;
 
+  /// Quorum-round retransmissions across all clients.
+  [[nodiscard]] std::uint64_t total_retransmits() const;
+
  private:
   struct ServerNode;
   struct ClientNode;
+
+  /// Operation admission gate: false when the failure detector says too
+  /// few servers are reachable for a quorum — except one probe op per
+  /// detector probe interval, whose traffic re-tests (and heals) the
+  /// suspicion.
+  [[nodiscard]] bool quorum_reachable(ClientNode& n);
+
+  /// A fast-failed result (no traffic, no history record).
+  [[nodiscard]] static OpResult unreachable_result(ObjectId obj,
+                                                  bool is_write);
 
   NetClusterOptions options_;
   dap::ConfigRegistry registry_;

@@ -92,6 +92,34 @@ class NodeRuntime {
     return await(std::move(f), timeout_us);
   }
 
+  /// After an aborted wait unwinds, how long sync() waits for the typed
+  /// result to materialize before falling back to the legacy timeout
+  /// exception. Generous: the abort itself is synchronous, the grace only
+  /// covers lock contention on the node.
+  static constexpr SimDuration kAbortGraceUs = 2'000'000;
+
+  /// Like sync(mk, timeout_us), but when the wall deadline expires
+  /// `on_deadline` runs on the node first (typically
+  /// Process::abort_pending_waits, which makes the operation's coroutine
+  /// unwind and fulfill its future with a typed OpStatus). Only if the
+  /// future still isn't ready after a grace period does the legacy timeout
+  /// exception fire — with deadlines armed it never should.
+  template <typename MakeOp>
+  auto sync(MakeOp&& mk, SimDuration timeout_us,
+            const std::function<void()>& on_deadline) {
+    using Fut = std::invoke_result_t<MakeOp&>;
+    Fut f;
+    run([&] { f = mk(); });
+    if (!wait_until([&f] { return f.ready(); }, timeout_us) && on_deadline) {
+      run(on_deadline);
+      (void)wait_until([&f] { return f.ready(); }, kAbortGraceUs);
+    }
+    if (!f.ready()) {
+      throw std::runtime_error("net::NodeRuntime: operation timed out");
+    }
+    return f.get();
+  }
+
   /// Timer pump thread for nodes nobody awaits on (servers): wakes for the
   /// next due event and otherwise idles. Idempotent; stop_driver() (or the
   /// destructor) joins it.

@@ -66,6 +66,23 @@ int dial(const std::string& host, std::uint16_t port) {
 
 }  // namespace
 
+int jittered_dial_delay_ms(int base_ms, int jitter_pct, std::uint64_t salt,
+                           int attempt) {
+  if (base_ms <= 0) return 0;
+  if (jitter_pct <= 0) return base_ms;
+  // SplitMix64 of (salt, attempt) -> u in [0, 1) -> factor in [1-j, 1+j].
+  std::uint64_t z =
+      salt + static_cast<std::uint64_t>(attempt) * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  const double u = static_cast<double>(z >> 11) * 0x1.0p-53;
+  const double j = static_cast<double>(jitter_pct) / 100.0;
+  const double factor = 1.0 + j * (2.0 * u - 1.0);
+  const int ms = static_cast<int>(static_cast<double>(base_ms) * factor);
+  return ms < 1 ? 1 : ms;
+}
+
 // --- AddressBook -------------------------------------------------------------
 
 void AddressBook::set(ProcessId id, Endpoint ep) {
@@ -205,6 +222,22 @@ void TcpTransport::atomic_broadcast(ProcessId from,
 }
 
 void TcpTransport::enqueue(ProcessId to, std::vector<std::uint8_t> frame) {
+  // Fast-fail frames to suspected peers (modulo the detector's probe
+  // allowance) — dropped here is indistinguishable from dropped by the
+  // network, which the protocols already tolerate, and it keeps a dead
+  // peer's queue from soaking up memory and sender-thread time.
+  if (detector_) {
+    const SimTime now = NodeRuntime::unix_now_us();
+    if (!detector_->allow_send(to, now)) {
+      frames_fastfailed_.fetch_add(1, std::memory_order_relaxed);
+      frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    // Arm the silence clock when the frame is handed to the transport, not
+    // when a write succeeds: a peer whose connection died and never comes
+    // back would otherwise be invisible to the timeout rule.
+    detector_->note_send(to, now);
+  }
   Outbox* box = nullptr;
   {
     std::lock_guard<std::mutex> lk(out_mu_);
@@ -220,8 +253,22 @@ void TcpTransport::enqueue(ProcessId to, std::vector<std::uint8_t> frame) {
     std::lock_guard<std::mutex> lk(box->mu);
     if (box->stop) return;
     box->q.push_back(std::move(frame));
+    // Bounded queue: drop the OLDEST while over budget (see Options).
+    while (opt_.max_queue_frames > 0 && box->q.size() > opt_.max_queue_frames) {
+      box->q.pop_front();
+      frames_dropped_overflow_.fetch_add(1, std::memory_order_relaxed);
+      frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   box->cv.notify_one();
+}
+
+std::size_t TcpTransport::queue_depth(ProcessId dest) const {
+  std::lock_guard<std::mutex> lk(out_mu_);
+  auto it = outboxes_.find(dest);
+  if (it == outboxes_.end()) return 0;
+  std::lock_guard<std::mutex> qlk(it->second->mu);
+  return it->second->q.size();
 }
 
 void TcpTransport::sender_loop(ProcessId dest, Outbox* box) {
@@ -234,23 +281,54 @@ void TcpTransport::sender_loop(ProcessId dest, Outbox* box) {
       frame = std::move(box->q.front());
       box->q.pop_front();
     }
-    auto sock = route_or_dial(dest);
-    if (!sock) {
-      frames_dropped_.fetch_add(1, std::memory_order_relaxed);
-      continue;
-    }
-    bool ok;
-    {
-      std::lock_guard<std::mutex> wl(sock->write_mu);
-      ok = write_all(sock->fd, frame.data(), frame.size());
-    }
-    if (ok) {
-      frames_sent_.fetch_add(1, std::memory_order_relaxed);
-    } else {
+    // Reconnect-and-replay: a frame whose write fails (or whose connection
+    // is chaos-reset before the write) is re-offered to a freshly dialed
+    // connection a bounded number of times before being dropped.
+    bool sent = false;
+    for (int attempt = 0; attempt <= opt_.write_replay_attempts; ++attempt) {
+      auto sock = route_or_dial(dest);
+      if (!sock) break;
+      if (attempt > 0) {
+        frames_replayed_.fetch_add(1, std::memory_order_relaxed);
+      }
+      ChaosController::SockFault fault = ChaosController::SockFault::kNone;
+      if (chaos_) fault = chaos_->sock_fault(NodeRuntime::unix_now_us());
+      if (fault == ChaosController::SockFault::kTear) {
+        // Torn frame: write a truncated prefix, then kill the connection.
+        // The peer sees a short read mid-frame and drops the connection;
+        // the frame is consumed (its bytes went out) — liveness comes from
+        // the retransmission layer, not replay.
+        {
+          std::lock_guard<std::mutex> wl(sock->write_mu);
+          (void)write_all(sock->fd, frame.data(), frame.size() / 2);
+        }
+        sock->dead.store(true);
+        ::shutdown(sock->fd, SHUT_RDWR);
+        frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+        sent = true;  // consumed, don't double-count as a queue drop
+        break;
+      }
+      if (fault == ChaosController::SockFault::kReset) {
+        // Connection reset before the frame hit the wire: the frame is
+        // still intact, so it is eligible for replay on a new connection.
+        sock->dead.store(true);
+        ::shutdown(sock->fd, SHUT_RDWR);
+        continue;
+      }
+      bool ok;
+      {
+        std::lock_guard<std::mutex> wl(sock->write_mu);
+        ok = write_all(sock->fd, frame.data(), frame.size());
+      }
+      if (ok) {
+        frames_sent_.fetch_add(1, std::memory_order_relaxed);
+        sent = true;
+        break;
+      }
       sock->dead.store(true);
       ::shutdown(sock->fd, SHUT_RDWR);
-      frames_dropped_.fetch_add(1, std::memory_order_relaxed);
     }
+    if (!sent) frames_dropped_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -262,9 +340,12 @@ std::shared_ptr<TcpTransport::Sock> TcpTransport::route_or_dial(
     auto it = routes_.find(dest);
     if (it != routes_.end()) {
       if (!it->second->dead.load()) return it->second;
-      had_route = true;
       routes_.erase(it);
     }
+    // "Previously connected" must survive the reader thread erasing a dead
+    // route, or the generous first-dial budget re-applies to a crashed
+    // peer and suspicion latches seconds late (see known_peers_).
+    had_route = known_peers_.contains(dest);
     auto dit = down_until_.find(dest);
     if (dit != down_until_.end() &&
         std::chrono::steady_clock::now() < dit->second) {
@@ -274,10 +355,21 @@ std::shared_ptr<TcpTransport::Sock> TcpTransport::route_or_dial(
   std::optional<Endpoint> ep = book_ ? book_->find(dest) : std::nullopt;
   if (!ep) return nullptr;  // only published processes can be dialed
 
-  const int attempts = had_route ? opt_.redial_attempts : opt_.dial_attempts;
+  // A suspected peer gets a single cheap attempt: spending the full dial
+  // budget on a peer the detector already condemned would stall this
+  // sender thread (and, across clients, synchronize a reconnect storm).
+  int attempts = had_route ? opt_.redial_attempts : opt_.dial_attempts;
+  if (detector_ && detector_->suspected(dest, NodeRuntime::unix_now_us())) {
+    attempts = 1;
+  }
+  const std::uint64_t salt =
+      (static_cast<std::uint64_t>(dest) << 32) ^
+      static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(this));
   for (int i = 0; i < attempts && running_.load(); ++i) {
     if (i > 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(opt_.dial_retry_ms));
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          jittered_dial_delay_ms(opt_.dial_retry_ms, opt_.dial_retry_jitter_pct,
+                                 salt, i)));
     }
     const int fd = dial(ep->host, ep->port);
     if (fd < 0) continue;
@@ -286,9 +378,17 @@ std::shared_ptr<TcpTransport::Sock> TcpTransport::route_or_dial(
       ::close(fd);
       return nullptr;
     }
+    // A completed TCP handshake is affirmative evidence the peer is back
+    // (its listener answered), so heal any standing suspicion now rather
+    // than waiting for the first reply frame.
+    if (detector_) detector_->note_receive(dest, NodeRuntime::unix_now_us());
     std::lock_guard<std::mutex> lk(io_mu_);
     routes_[dest] = sock;
+    known_peers_.insert(dest);
     return sock;
+  }
+  if (detector_) {
+    detector_->note_dial_failure(dest, NodeRuntime::unix_now_us());
   }
   std::lock_guard<std::mutex> lk(io_mu_);
   down_until_[dest] = std::chrono::steady_clock::now() +
@@ -343,6 +443,9 @@ void TcpTransport::reader_loop(std::shared_ptr<Sock> sock) {
       break;  // corrupt peer: drop the connection
     }
     frames_received_.fetch_add(1, std::memory_order_relaxed);
+    if (detector_) {
+      detector_->note_receive(frame.from, NodeRuntime::unix_now_us());
+    }
 
     // Learn/refresh the route: this connection reaches frame.from.
     {
@@ -351,6 +454,7 @@ void TcpTransport::reader_loop(std::shared_ptr<Sock> sock) {
       if (it == routes_.end() || it->second->dead.load()) {
         routes_[frame.from] = sock;
       }
+      known_peers_.insert(frame.from);
     }
     rt_.run([this, &frame] { local_deliver(frame.from, frame.to, frame.body); });
   }

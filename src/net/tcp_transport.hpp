@@ -29,6 +29,8 @@
 #pragma once
 
 #include "common/types.hpp"
+#include "net/chaos.hpp"
+#include "net/failure_detector.hpp"
 #include "net/runtime.hpp"
 #include "sim/transport.hpp"
 
@@ -44,9 +46,18 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace ares::net {
+
+/// The sleep before dial retry `attempt` (1-based): `base_ms` scaled by a
+/// deterministic factor in [1 - pct/100, 1 + pct/100] drawn from a
+/// SplitMix64 hash of (salt, attempt), floored at 1 ms. Deterministic so
+/// tests can assert the spread; different salts (per transport, per
+/// destination) de-synchronize real senders.
+[[nodiscard]] int jittered_dial_delay_ms(int base_ms, int jitter_pct,
+                                         std::uint64_t salt, int attempt);
 
 struct Endpoint {
   std::string host = "127.0.0.1";
@@ -81,10 +92,29 @@ class TcpTransport final : public sim::Transport {
     int redial_attempts = 2;
     int dial_retry_ms = 50;
 
+    /// ± percent jitter on every dial retry sleep (see
+    /// jittered_dial_delay_ms): a fixed sleep synchronizes every sender
+    /// thread of every client into a reconnect stampede after a server
+    /// restart.
+    int dial_retry_jitter_pct = 50;
+
     /// After a failed dial, drop frames to that destination without
     /// re-dialing for this long (a crashed server must not cost every
     /// subsequent frame a connect timeout).
     int down_ms = 2000;
+
+    /// Per-destination sender queue bound. When a peer is dead or
+    /// partitioned its queue would otherwise grow without limit (every
+    /// retransmission, probe and op adds frames nobody drains); beyond
+    /// this depth the OLDEST frame is dropped — stale rounds lose to the
+    /// live operation's traffic, and the protocols tolerate loss by
+    /// construction.
+    std::size_t max_queue_frames = 512;
+
+    /// After a write fails mid-frame (peer reset the connection), how many
+    /// times the frame is re-offered to a freshly dialed connection before
+    /// being dropped (reconnect-and-replay of unacked frames).
+    int write_replay_attempts = 2;
   };
 
   TcpTransport(NodeRuntime& rt, std::shared_ptr<AddressBook> book);
@@ -102,6 +132,25 @@ class TcpTransport final : public sim::Transport {
   /// Actual listening port (after start() with listen=true).
   [[nodiscard]] std::uint16_t port() const { return port_; }
 
+  /// Install a failure detector: enqueue() fast-fails frames to suspected
+  /// peers, the reader feeds receipts back, and the dial path shrinks its
+  /// budget for suspects. Call before start(); not thread-safe to swap
+  /// while frames are flowing.
+  void set_failure_detector(std::shared_ptr<FailureDetector> fd) {
+    detector_ = std::move(fd);
+  }
+  [[nodiscard]] const std::shared_ptr<FailureDetector>& failure_detector()
+      const {
+    return detector_;
+  }
+
+  /// Install the deployment's shared fault script: sender loops consult
+  /// sock_fault() per frame for torn-frame / connection-reset injection.
+  /// Call before start().
+  void set_chaos(std::shared_ptr<ChaosController> chaos) {
+    chaos_ = std::move(chaos);
+  }
+
   [[nodiscard]] std::uint64_t frames_sent() const { return frames_sent_; }
   [[nodiscard]] std::uint64_t frames_received() const {
     return frames_received_;
@@ -109,6 +158,21 @@ class TcpTransport final : public sim::Transport {
   [[nodiscard]] std::uint64_t frames_dropped() const {
     return frames_dropped_;
   }
+  /// Subsets of frames_dropped(), by cause.
+  [[nodiscard]] std::uint64_t frames_dropped_overflow() const {
+    return frames_dropped_overflow_;
+  }
+  [[nodiscard]] std::uint64_t frames_fastfailed() const {
+    return frames_fastfailed_;
+  }
+  /// Frames rewritten onto a freshly dialed connection after a write
+  /// failure (reconnect-and-replay).
+  [[nodiscard]] std::uint64_t frames_replayed() const {
+    return frames_replayed_;
+  }
+
+  /// Current depth of the sender queue toward `dest` (0 if none exists).
+  [[nodiscard]] std::size_t queue_depth(ProcessId dest) const;
 
   // --- sim::Transport --------------------------------------------------------
   void register_process(sim::Process& p) override;
@@ -167,19 +231,31 @@ class TcpTransport final : public sim::Transport {
   std::mutex procs_mu_;
   std::unordered_map<ProcessId, sim::Process*> procs_;
 
-  std::mutex io_mu_;  // conns_, readers_, routes_, down_until_
+  std::mutex io_mu_;  // conns_, readers_, routes_, known_peers_, down_until_
   std::vector<std::shared_ptr<Sock>> conns_;
   std::vector<std::thread> readers_;
   std::unordered_map<ProcessId, std::shared_ptr<Sock>> routes_;
+  /// Destinations that were connected at least once. The generous
+  /// first-dial budget (startup race) must never apply to these: a dead
+  /// route may already be erased by its reader thread when the sender
+  /// re-dials, and 40 jittered attempts would delay note_dial_failure —
+  /// and thus suspicion — by seconds.
+  std::unordered_set<ProcessId> known_peers_;
   std::unordered_map<ProcessId, std::chrono::steady_clock::time_point>
       down_until_;
 
-  std::mutex out_mu_;
+  mutable std::mutex out_mu_;
   std::unordered_map<ProcessId, std::unique_ptr<Outbox>> outboxes_;
+
+  std::shared_ptr<FailureDetector> detector_;
+  std::shared_ptr<ChaosController> chaos_;
 
   std::atomic<std::uint64_t> frames_sent_{0};
   std::atomic<std::uint64_t> frames_received_{0};
   std::atomic<std::uint64_t> frames_dropped_{0};
+  std::atomic<std::uint64_t> frames_dropped_overflow_{0};
+  std::atomic<std::uint64_t> frames_fastfailed_{0};
+  std::atomic<std::uint64_t> frames_replayed_{0};
 };
 
 }  // namespace ares::net

@@ -117,4 +117,26 @@ class ConfigRetired : public std::exception {
   ObjectId object = kDefaultObject;
 };
 
+/// Injected into every pending quorum wait by Process::abort_pending_waits
+/// when an operation's deadline expires (or a caller cancels it). Coroutine
+/// frames are eager and self-owning, so they cannot be destroyed from
+/// outside; instead the abort propagates out of the suspended co_await like
+/// any protocol exception, unwinding the frame through its normal
+/// destructors — InflightGuards, cseq pins and lease state all release on
+/// the way out. Store adapters catch it at the operation boundary and turn
+/// it into a typed OpStatus.
+class OpAborted : public std::exception {
+ public:
+  enum class Reason { kDeadline, kCancelled };
+
+  explicit OpAborted(Reason r) : reason(r) {}
+
+  [[nodiscard]] const char* what() const noexcept override {
+    return reason == Reason::kDeadline ? "operation deadline expired"
+                                       : "operation cancelled";
+  }
+
+  Reason reason = Reason::kDeadline;
+};
+
 }  // namespace ares::sim

@@ -36,6 +36,10 @@ struct TrafficStats {
   /// locally (e.g. a write's post-put config check under fenced transfer
   /// reads) — the "work avoided" counter the OpResult metrics surface.
   std::uint64_t rounds_elided = 0;
+  /// Request frames re-sent by the retransmission layer (socket backend
+  /// only by default — see Process::RetransmitPolicy). Retransmits are also
+  /// counted in messages_sent/bytes: they really cross the wire.
+  std::uint64_t retransmits = 0;
 
   [[nodiscard]] std::uint64_t bytes_sent() const {
     return data_bytes_sent + metadata_bytes_sent;
@@ -47,6 +51,30 @@ struct TrafficStats {
     return bytes_sent() + bytes_received();
   }
 };
+
+/// Per-round retransmission with exponential backoff + deterministic
+/// jitter. Off by default: the deterministic simulator models loss
+/// explicitly and the fuzzer's schedule hashes must not change; the socket
+/// backend turns it on per client (safe — PR 8's duplication windows prove
+/// every message type idempotent, and PendingBroadcast dedups replies per
+/// server anyway).
+struct RetransmitPolicy {
+  bool enabled = false;
+  SimDuration initial_us = 50'000;
+  double multiplier = 2.0;
+  SimDuration max_us = 1'000'000;
+  /// Delay is scaled by a deterministic factor in [1-jitter, 1+jitter]
+  /// derived from (rpc id, attempt), so concurrent rounds de-synchronize
+  /// without perturbing seeded-run reproducibility.
+  double jitter = 0.2;
+  int max_attempts = 6;
+};
+
+/// The backoff delay before retransmit attempt `attempt` (1-based) of the
+/// round salted with `salt` (the rpc id): initial * multiplier^(attempt-1),
+/// capped at max_us, scaled by the deterministic jitter factor.
+[[nodiscard]] SimDuration retransmit_delay(const RetransmitPolicy& p,
+                                           std::uint64_t salt, int attempt);
 
 class Process {
  public:
@@ -110,6 +138,39 @@ class Process {
   /// Traffic/round counters of this process (workload metrics layer).
   [[nodiscard]] const TrafficStats& traffic() const { return traffic_; }
 
+  // --- Typed deadlines / abortable quorum waits ------------------------------
+
+  /// When enabled, every QuorumCollector wait started through
+  /// broadcast_collect registers an abort hook with this process, making
+  /// the wait failable from outside via abort_pending_waits(). Off by
+  /// default: abort machinery must not exist on the deterministic backend
+  /// unless a deadline layer asks for it.
+  void set_abortable_waits(bool on) { abortable_waits_ = on; }
+  [[nodiscard]] bool abortable_waits() const { return abortable_waits_; }
+
+  /// Fail every registered pending quorum wait with `err` (typically an
+  /// OpAborted). Each suspended co_await rethrows it, unwinding the
+  /// operation's coroutine frames through their normal destructors — the
+  /// only safe way to cancel eager self-owning frames. No-op when nothing
+  /// is waiting.
+  void abort_pending_waits(std::exception_ptr err);
+
+  /// Abort-hook registry (used by QuorumCollector; exposed rather than
+  /// friended so non-member collector templates can arm themselves).
+  std::uint64_t add_abort_hook(std::function<void(std::exception_ptr)> fn);
+  void remove_abort_hook(std::uint64_t token);
+
+  /// Retransmission policy for this process's calls (see RetransmitPolicy).
+  void set_retransmit_policy(RetransmitPolicy p) { retransmit_ = p; }
+  [[nodiscard]] const RetransmitPolicy& retransmit_policy() const {
+    return retransmit_;
+  }
+
+  /// Expires when this process is destroyed — timers that outlive their
+  /// process (retransmits, deadline alarms in a wall-clock-pumped
+  /// simulator) capture this and bail instead of touching a dead object.
+  [[nodiscard]] std::weak_ptr<void> liveness() const { return alive_; }
+
   /// One quorum round (a broadcast-and-collect fan-out) started.
   void note_quorum_round() { ++traffic_.quorum_rounds; }
 
@@ -151,6 +212,9 @@ class Process {
     std::function<void(BodyPtr)> callback;
     ConfigId config = kNoConfig;
     ObjectId object = kDefaultObject;
+    /// Retransmission state (kept only while the policy is enabled).
+    BodyPtr req;
+    ProcessId dest = kNoProcess;
   };
 
   struct PendingBroadcast {
@@ -164,7 +228,16 @@ class Process {
     /// as two quorum members — breaking quorum intersection) and erase the
     /// broadcast early, dropping a genuine later reply.
     std::vector<ProcessId> replied;
+    /// Retransmission state (kept only while the policy is enabled).
+    BodyPtr req;
+    std::vector<ProcessId> dests;
   };
+
+  /// Schedule retransmit `attempt` for rpc `rpc` after its backoff delay.
+  /// Fires only while the pending entry still exists (i.e. some destination
+  /// has not replied) and re-sends the original request body to exactly the
+  /// destinations still missing.
+  void schedule_retransmit(std::uint64_t rpc, bool broadcast, int attempt);
 
   void account_sent(const BodyPtr& body) {
     ++traffic_.messages_sent;
@@ -180,6 +253,12 @@ class Process {
   std::unordered_map<std::uint64_t, PendingCall> pending_;
   std::unordered_map<std::uint64_t, PendingBroadcast> broadcasts_;
   TrafficStats traffic_;
+  bool abortable_waits_ = false;
+  std::uint64_t next_abort_token_ = 1;
+  std::unordered_map<std::uint64_t, std::function<void(std::exception_ptr)>>
+      abort_hooks_;
+  RetransmitPolicy retransmit_;
+  std::shared_ptr<void> alive_ = std::make_shared<int>(0);
 };
 
 /// Collects replies from a broadcast to a set of servers and completes when
@@ -240,12 +319,23 @@ class QuorumCollector {
                     Simulator& sim, SimDuration timeout) {
     auto f = wait(std::move(pred));
     sim.schedule_after(timeout, [inner = inner_] {
-      if (!inner->fulfilled) {
-        inner->fulfilled = true;
-        inner->done.set_value(false);
-      }
+      inner->fulfill_value(false);
     });
     return f;
+  }
+
+  /// Register this wait with `p`'s abort registry: abort_pending_waits()
+  /// fails it with the supplied exception, which the suspended co_await
+  /// rethrows (broadcast_collect arms this automatically while
+  /// p.abortable_waits() is on).
+  void arm_abort(Process& p) {
+    auto inner = inner_;
+    inner->owner = &p;
+    inner->abort_token =
+        p.add_abort_hook([inner](std::exception_ptr err) {
+          inner->owner = nullptr;  // registry entry consumed by the firing
+          inner->fulfill_error(std::move(err));
+        });
   }
 
   /// Completes when at least `count` replies have arrived.
@@ -266,6 +356,32 @@ class QuorumCollector {
     std::function<bool(const std::vector<Arrival>&)> pred;
     Promise<bool> done;
     bool fulfilled = false;
+    /// Abort registration (arm_abort): owner's registry holds a hook that
+    /// fails this wait; the registration is dropped on any fulfillment so
+    /// the registry only ever holds genuinely-pending waits.
+    Process* owner = nullptr;
+    std::uint64_t abort_token = 0;
+
+    void fulfill_value(bool v) {
+      if (fulfilled) return;
+      fulfilled = true;
+      detach_abort();
+      done.set_value(v);
+    }
+
+    void fulfill_error(std::exception_ptr err) {
+      if (fulfilled) return;
+      fulfilled = true;
+      detach_abort();
+      done.set_error(std::move(err));
+    }
+
+    void detach_abort() {
+      if (owner != nullptr) {
+        owner->remove_abort_hook(abort_token);
+        owner = nullptr;
+      }
+    }
 
     void on_reply(ProcessId from, const BodyPtr& body) {
       if (auto retired = std::dynamic_pointer_cast<const RetiredReply>(body)) {
@@ -273,11 +389,8 @@ class QuorumCollector {
         // Its piggybacked successor already reached note_config_hint (hints
         // run before reply callbacks), so the waiter can re-traverse from an
         // extended cseq. Fail the wait once; later replies are ignored.
-        if (!fulfilled) {
-          fulfilled = true;
-          done.set_error(std::make_exception_ptr(
-              ConfigRetired(retired->config, retired->object)));
-        }
+        fulfill_error(std::make_exception_ptr(
+            ConfigRetired(retired->config, retired->object)));
         return;
       }
       auto typed = std::dynamic_pointer_cast<const Reply>(body);
@@ -290,6 +403,7 @@ class QuorumCollector {
       if (fulfilled || !pred) return;
       if (pred(arrivals)) {
         fulfilled = true;
+        detach_abort();
         done.set_value(true);
       }
     }
@@ -309,8 +423,10 @@ template <typename Reply, typename MakeReq>
                       std::function<void(BodyPtr)> cb) {
     p.call_async(s, std::move(r), std::move(cb));
   };
-  return QuorumCollector<Reply>(do_call, servers,
-                                std::forward<MakeReq>(make_request));
+  QuorumCollector<Reply> qc(do_call, servers,
+                            std::forward<MakeReq>(make_request));
+  if (p.abortable_waits()) qc.arm_abort(p);
+  return qc;
 }
 
 /// Convenience: broadcast one shared immutable request from `p` to
@@ -320,7 +436,9 @@ template <typename Reply>
     Process& p, const std::vector<ProcessId>& servers,
     std::shared_ptr<RpcRequest> req) {
   p.note_quorum_round();
-  return QuorumCollector<Reply>(p, servers, std::move(req));
+  QuorumCollector<Reply> qc(p, servers, std::move(req));
+  if (p.abortable_waits()) qc.arm_abort(p);
+  return qc;
 }
 
 }  // namespace ares::sim

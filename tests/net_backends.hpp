@@ -1,0 +1,226 @@
+// Shared backend fixtures for transport-portability tests: the same
+// protocol scenarios (and, in test_chaos.cpp, the same *fault* scenarios)
+// run unmodified over the deterministic simulator AND over real localhost
+// TCP sockets. The test bodies are shared; only the backend fixture
+// differs (TYPED_TEST), so any divergence between the transports fails by
+// construction.
+//
+// Both backends expose one fault vocabulary — partition/heal, loss,
+// duplication, gray delays — mapped to sim::Network on the simulator and
+// to net::ChaosController on TCP. Faults the sim cannot express (torn
+// frames, connection resets, one-way links) stay TCP-only and live in the
+// TCP-specific sections of the test files.
+#pragma once
+
+#include "checker/atomicity.hpp"
+#include "harness/ares_cluster.hpp"
+#include "net/chaos.hpp"
+#include "net/cluster.hpp"
+#include "sim/coro.hpp"
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ares {
+
+inline ValuePtr value_of(const std::string& s) {
+  return std::make_shared<Value>(s.begin(), s.end());
+}
+
+inline std::string to_string(const ValuePtr& v) {
+  if (!v) return {};
+  return std::string(v->begin(), v->end());
+}
+
+inline void expect_atomic(
+    const std::map<ObjectId, checker::CheckResult>& verdicts) {
+  ASSERT_FALSE(verdicts.empty());
+  for (const auto& [obj, res] : verdicts) {
+    EXPECT_TRUE(res.ok) << "object " << obj << ": " << res.violation;
+  }
+}
+
+/// Backend-agnostic deployment shape for the shared test bodies.
+struct DeployConfig {
+  std::size_t servers = 3;
+  dap::Protocol protocol = dap::Protocol::kAbd;
+  std::size_t k = 1;
+  std::size_t clients = 2;
+  /// Read-lease window: wall-clock µs on TCP, time units on the sim. A
+  /// value large against both backends' operation latencies works for
+  /// both (0 = leases off).
+  SimDuration lease = 0;
+  /// Per-operation deadline (0 = none): failed ops return a typed
+  /// OpStatus instead of hanging. Same unit caveat as `lease`.
+  SimDuration op_deadline = 0;
+  /// Quorum-round retransmission on clients. TCP clusters retransmit by
+  /// default; the sim only when asked (determinism is its default).
+  bool retransmit = false;
+  /// Retry attempts when retransmitting (the shared loss test raises this
+  /// so that permanent message loss stays vanishingly unlikely).
+  int retransmit_attempts = 6;
+  /// Loopback address for the TCP backend (ignored by the sim). Suites
+  /// that kill servers claim a private 127/8 address so a freed ephemeral
+  /// port re-bound by another concurrently running test binary can never
+  /// impersonate the dead server.
+  std::string host = "127.0.0.1";
+  std::uint64_t seed = 7;
+};
+
+/// Sim backend: wraps harness::AresCluster, driving each blocking call to
+/// completion on the deterministic event loop.
+class SimBackend {
+ public:
+  explicit SimBackend(const DeployConfig& cfg) {
+    harness::AresClusterOptions o;
+    o.server_pool = cfg.servers;
+    o.initial_protocol = cfg.protocol;
+    o.initial_servers = cfg.servers;
+    o.initial_k = cfg.k;
+    o.num_rw_clients = cfg.clients;
+    o.num_reconfigurers = 0;
+    o.seed = cfg.seed;
+    o.lease_ms = cfg.lease;
+    o.lease_policy = dap::LeasePolicy::kInvalidate;
+    cluster_ = std::make_unique<harness::AresCluster>(o);
+    for (std::size_t i = 0; i < cfg.clients; ++i) {
+      cluster_->store(i).set_op_deadline(cfg.op_deadline);
+      if (cfg.retransmit) {
+        sim::RetransmitPolicy p;
+        p.enabled = true;
+        p.max_attempts = cfg.retransmit_attempts;
+        cluster_->client(i).set_retransmit_policy(p);
+      }
+    }
+  }
+
+  OpResult read(std::size_t c, ObjectId obj) {
+    auto f = cluster_->store(c).read(obj);
+    return sim::run_to_completion(cluster_->sim(), std::move(f));
+  }
+
+  OpResult write(std::size_t c, ObjectId obj, ValuePtr v) {
+    auto f = cluster_->store(c).write(obj, std::move(v));
+    return sim::run_to_completion(cluster_->sim(), std::move(f));
+  }
+
+  void kill_server(std::size_t i) {
+    cluster_->net().crash(static_cast<ProcessId>(i));
+  }
+
+  [[nodiscard]] std::map<ObjectId, checker::CheckResult> check() const {
+    return cluster_->check_atomicity_per_object();
+  }
+
+  // --- shared fault vocabulary -----------------------------------------------
+
+  void partition(const std::vector<std::vector<ProcessId>>& groups) {
+    cluster_->net().partition(groups);
+  }
+  void heal() { cluster_->net().heal(); }
+  void set_loss(double p) { cluster_->net().set_loss_rate(p); }
+  void set_duplicate(double p) { cluster_->net().set_duplicate_rate(p); }
+  void set_gray(ProcessId id, SimDuration extra_max_us) {
+    cluster_->net().set_gray(id, extra_max_us);
+  }
+
+  [[nodiscard]] ProcessId client_pid(std::size_t c) {
+    return cluster_->client(c).id();
+  }
+
+  /// Current time in the unit deadlines are expressed in.
+  [[nodiscard]] SimTime now_us() { return cluster_->sim().now(); }
+
+  [[nodiscard]] std::uint64_t retransmits() {
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < cluster_->options().num_rw_clients; ++i) {
+      sum += cluster_->client(i).traffic().retransmits;
+    }
+    return sum;
+  }
+
+  /// Open InflightGuard marks client `c` holds on `obj` (must drain to 0
+  /// when an op completes OR aborts — the leak the deadline test guards).
+  [[nodiscard]] std::size_t inflight_marks(std::size_t c, ObjectId obj) {
+    return cluster_->client(c).inflight_marks(obj);
+  }
+
+ private:
+  std::unique_ptr<harness::AresCluster> cluster_;
+};
+
+/// TCP backend: wraps net::NetCluster — every call crosses real sockets
+/// between per-node event loops on real threads. A ChaosController is
+/// always installed (it is a no-op until a fault script is set).
+class TcpBackend {
+ public:
+  explicit TcpBackend(const DeployConfig& cfg)
+      : chaos_(std::make_shared<net::ChaosController>(cfg.seed)) {
+    net::NetClusterOptions o;
+    o.host = cfg.host;
+    o.servers = cfg.servers;
+    o.protocol = cfg.protocol;
+    o.k = cfg.k;
+    o.num_clients = cfg.clients;
+    o.seed = cfg.seed;
+    o.lease_us = cfg.lease;
+    o.lease_policy = dap::LeasePolicy::kInvalidate;
+    o.op_deadline_us = cfg.op_deadline;
+    o.chaos = chaos_;
+    o.retransmit.enabled = cfg.retransmit;
+    o.retransmit.max_attempts = cfg.retransmit_attempts;
+    cluster_ = std::make_unique<net::NetCluster>(o);
+  }
+
+  OpResult read(std::size_t c, ObjectId obj) { return cluster_->read(c, obj); }
+
+  OpResult write(std::size_t c, ObjectId obj, ValuePtr v) {
+    return cluster_->write(c, obj, std::move(v));
+  }
+
+  void kill_server(std::size_t i) { cluster_->kill_server(i); }
+
+  [[nodiscard]] std::map<ObjectId, checker::CheckResult> check() const {
+    return cluster_->check_atomicity();
+  }
+
+  // --- shared fault vocabulary -----------------------------------------------
+
+  void partition(const std::vector<std::vector<ProcessId>>& groups) {
+    chaos_->partition(groups);
+  }
+  void heal() { chaos_->heal(); }
+  void set_loss(double p) { chaos_->set_loss(p); }
+  void set_duplicate(double p) { chaos_->set_duplicate(p); }
+  void set_gray(ProcessId id, SimDuration extra_max_us) {
+    chaos_->set_gray(id, extra_max_us / 2, extra_max_us);
+  }
+
+  [[nodiscard]] ProcessId client_pid(std::size_t c) {
+    return static_cast<ProcessId>(100 + c);
+  }
+
+  [[nodiscard]] SimTime now_us() { return net::NodeRuntime::unix_now_us(); }
+
+  [[nodiscard]] std::uint64_t retransmits() {
+    return cluster_->total_retransmits();
+  }
+
+  [[nodiscard]] std::size_t inflight_marks(std::size_t c, ObjectId obj) {
+    return cluster_->client_inflight_marks(c, obj);
+  }
+
+  [[nodiscard]] net::NetCluster& cluster() { return *cluster_; }
+  [[nodiscard]] net::ChaosController& chaos() { return *chaos_; }
+
+ private:
+  std::shared_ptr<net::ChaosController> chaos_;
+  std::unique_ptr<net::NetCluster> cluster_;
+};
+
+}  // namespace ares

@@ -1,132 +1,23 @@
 // The transport-portability contract: the same protocol scenarios — ABD
 // read/write flow (including a server crash), TREAS erasure-coded
 // round-trips, and the read-lease fast path — run unmodified over the
-// deterministic simulator AND over real localhost TCP sockets. The test
-// bodies are shared; only the backend fixture differs (TYPED_TEST), so any
-// divergence between the two transports fails here by construction.
-#include "checker/atomicity.hpp"
-#include "harness/ares_cluster.hpp"
-#include "net/cluster.hpp"
-#include "sim/coro.hpp"
+// deterministic simulator AND over real localhost TCP sockets. The
+// backend fixtures are shared with the chaos suite (net_backends.hpp);
+// any divergence between the two transports fails here by construction.
+#include "net_backends.hpp"
 
 #include <gtest/gtest.h>
 
-#include <map>
-#include <memory>
 #include <string>
-#include <vector>
 
 namespace ares {
 namespace {
-
-ValuePtr value_of(const std::string& s) {
-  return std::make_shared<Value>(s.begin(), s.end());
-}
-
-std::string to_string(const ValuePtr& v) {
-  if (!v) return {};
-  return std::string(v->begin(), v->end());
-}
-
-/// Backend-agnostic deployment shape for the shared test bodies.
-struct DeployConfig {
-  std::size_t servers = 3;
-  dap::Protocol protocol = dap::Protocol::kAbd;
-  std::size_t k = 1;
-  std::size_t clients = 2;
-  /// Read-lease window: wall-clock µs on TCP, time units on the sim. A
-  /// value large against both backends' operation latencies works for
-  /// both (0 = leases off).
-  SimDuration lease = 0;
-  std::uint64_t seed = 7;
-};
-
-/// Sim backend: wraps harness::AresCluster, driving each blocking call to
-/// completion on the deterministic event loop.
-class SimBackend {
- public:
-  explicit SimBackend(const DeployConfig& cfg) {
-    harness::AresClusterOptions o;
-    o.server_pool = cfg.servers;
-    o.initial_protocol = cfg.protocol;
-    o.initial_servers = cfg.servers;
-    o.initial_k = cfg.k;
-    o.num_rw_clients = cfg.clients;
-    o.num_reconfigurers = 0;
-    o.seed = cfg.seed;
-    o.lease_ms = cfg.lease;
-    o.lease_policy = dap::LeasePolicy::kInvalidate;
-    cluster_ = std::make_unique<harness::AresCluster>(o);
-  }
-
-  OpResult read(std::size_t c, ObjectId obj) {
-    auto f = cluster_->store(c).read(obj);
-    return sim::run_to_completion(cluster_->sim(), std::move(f));
-  }
-
-  OpResult write(std::size_t c, ObjectId obj, ValuePtr v) {
-    auto f = cluster_->store(c).write(obj, std::move(v));
-    return sim::run_to_completion(cluster_->sim(), std::move(f));
-  }
-
-  void kill_server(std::size_t i) {
-    cluster_->net().crash(static_cast<ProcessId>(i));
-  }
-
-  [[nodiscard]] std::map<ObjectId, checker::CheckResult> check() const {
-    return cluster_->check_atomicity_per_object();
-  }
-
- private:
-  std::unique_ptr<harness::AresCluster> cluster_;
-};
-
-/// TCP backend: wraps net::NetCluster — every call crosses real sockets
-/// between per-node event loops on real threads.
-class TcpBackend {
- public:
-  explicit TcpBackend(const DeployConfig& cfg) {
-    net::NetClusterOptions o;
-    o.servers = cfg.servers;
-    o.protocol = cfg.protocol;
-    o.k = cfg.k;
-    o.num_clients = cfg.clients;
-    o.seed = cfg.seed;
-    o.lease_us = cfg.lease;
-    o.lease_policy = dap::LeasePolicy::kInvalidate;
-    cluster_ = std::make_unique<net::NetCluster>(o);
-  }
-
-  OpResult read(std::size_t c, ObjectId obj) { return cluster_->read(c, obj); }
-
-  OpResult write(std::size_t c, ObjectId obj, ValuePtr v) {
-    return cluster_->write(c, obj, std::move(v));
-  }
-
-  void kill_server(std::size_t i) { cluster_->kill_server(i); }
-
-  [[nodiscard]] std::map<ObjectId, checker::CheckResult> check() const {
-    return cluster_->check_atomicity();
-  }
-
-  [[nodiscard]] net::NetCluster& cluster() { return *cluster_; }
-
- private:
-  std::unique_ptr<net::NetCluster> cluster_;
-};
 
 template <typename Backend>
 class TransportSuite : public ::testing::Test {};
 
 using Backends = ::testing::Types<SimBackend, TcpBackend>;
 TYPED_TEST_SUITE(TransportSuite, Backends);
-
-void expect_atomic(const std::map<ObjectId, checker::CheckResult>& verdicts) {
-  ASSERT_FALSE(verdicts.empty());
-  for (const auto& [obj, res] : verdicts) {
-    EXPECT_TRUE(res.ok) << "object " << obj << ": " << res.violation;
-  }
-}
 
 // The full ABD read/write flow: writes become visible to every client,
 // reads return the latest written value, the history is atomic.
